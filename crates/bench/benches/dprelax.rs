@@ -1,0 +1,60 @@
+//! Criterion bench for DPRELAX: discrete-relaxation convergence on a
+//! masked-adder value-selection problem (the §V.B engine in isolation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hltg_core::dprelax::{Activation, MemImage, RelaxEngine, RelaxGoal};
+use hltg_netlist::ctl::CtlBuilder;
+use hltg_netlist::dp::DpBuilder;
+use hltg_netlist::{Design, Stage};
+use hltg_sim::{Injection, Polarity};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn masked_adder() -> (Design, hltg_netlist::dp::ArchId, hltg_netlist::dp::DpNetId) {
+    let mut b = DpBuilder::new("dp");
+    b.set_stage(Stage::new(0));
+    let mem = b.arch_mem("m", 16);
+    let a0 = b.constant("a0", 4, 0);
+    let a1 = b.constant("a1", 4, 1);
+    let a2 = b.constant("a2", 4, 2);
+    let x = b.mem_read("x", mem, a0);
+    let y = b.mem_read("y", mem, a1);
+    let mask = b.mem_read("mask", mem, a2);
+    let sum = b.add("sum", x, y);
+    let anded = b.and("anded", sum, mask);
+    let r = b.reg("r", anded);
+    b.mark_output(r);
+    let dp = b.finish().unwrap();
+    let ctl = CtlBuilder::new("ctl").finish().unwrap();
+    (Design::new("t", dp, ctl), mem, sum)
+}
+
+fn bench_relax(c: &mut Criterion) {
+    let (design, mem, sum) = masked_adder();
+    let inj = Injection {
+        net: sum,
+        bit: 7,
+        polarity: Polarity::StuckAt0,
+    };
+    c.bench_function("dprelax_masked_adder", |b| {
+        b.iter(|| {
+            let mut engine = RelaxEngine::new(&design, inj, vec![(mem, MemImage::free())]);
+            let goal = RelaxGoal {
+                activation: Activation {
+                    net: sum,
+                    cycle: 0,
+                    bit: 7,
+                    want: true,
+                },
+                requirements: Vec::new(),
+                horizon: 4,
+            };
+            let mut rng = StdRng::seed_from_u64(7);
+            black_box(engine.solve(&goal, &mut rng, 64).unwrap())
+        })
+    });
+}
+
+criterion_group!(benches, bench_relax);
+criterion_main!(benches);

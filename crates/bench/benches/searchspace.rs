@@ -1,0 +1,34 @@
+//! Criterion bench for the §IV comparison: pipeframe-organized CTRLJUST vs
+//! the conventional timeframe-organized justification on the same
+//! controller objectives.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hltg_core::ctrljust::{self, CtrlJustConfig, Objective};
+use hltg_core::timeframe::justify_timeframe;
+use hltg_core::unroll::Unrolled;
+use hltg_dlx::DlxDesign;
+use std::hint::black_box;
+
+fn bench_organizations(c: &mut Criterion) {
+    let dlx = DlxDesign::build();
+    let objs = [Objective {
+        frame: 5,
+        net: dlx.ctl.c_mem_we,
+        value: true,
+    }];
+
+    let mut group = c.benchmark_group("fig2_searchspace");
+    group.bench_function("pipeframe_ctrljust_store", |b| {
+        b.iter(|| {
+            let mut u = Unrolled::new(&dlx.design.ctl, 8);
+            black_box(ctrljust::justify(&mut u, &objs, &[], CtrlJustConfig::default()).unwrap())
+        })
+    });
+    group.bench_function("timeframe_baseline_store", |b| {
+        b.iter(|| black_box(justify_timeframe(&dlx.design.ctl, &objs, 5000)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_organizations);
+criterion_main!(benches);

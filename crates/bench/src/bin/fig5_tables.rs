@@ -1,0 +1,11 @@
+//! Reproduces **Figure 5**: the C- and O-propagation tables for the
+//! two-input representatives of the ADD, AND and MUX module classes.
+//!
+//! Usage: `cargo run --release -p hltg-bench --bin fig5_tables`
+
+fn main() {
+    println!("{}", hltg_core::costate::format_fig5_tables());
+    println!("legend:");
+    println!("  C1 unknown / C2 open decisions remain / C3 settled / C4 controlled");
+    println!("  O1 unknown / O2 not observable / O3 observable");
+}

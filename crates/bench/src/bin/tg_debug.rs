@@ -1,0 +1,25 @@
+//! Single-error TG debugging harness: `tg_debug <error-id>`.
+use hltg_core::tg::{Outcome, TestGenerator, TgConfig};
+
+fn main() {
+    let id: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0);
+    let dlx = hltg_dlx::DlxDesign::build();
+    let stages: Vec<_> = [2u8, 3, 4].iter().map(|&s| hltg_netlist::Stage::new(s)).collect();
+    let errors = hltg_errors::enumerate_stage_errors(
+        &dlx.design,
+        &stages,
+        hltg_errors::EnumPolicy::RepresentativePerBus,
+    );
+    let e = &errors[id];
+    println!("error: {e}");
+    let cfg = TgConfig { debug: true, max_variants: 4, ..TgConfig::default() };
+    let mut tg = TestGenerator::new(&dlx, cfg);
+    match tg.generate(e) {
+        Outcome::Detected(tc) => {
+            println!("DETECTED len={} core={} cycle={}", tc.length, tc.core_len, tc.detected_cycle);
+            println!("{}", tc.program.listing());
+            println!("dmem: {:?}", tc.dmem_image);
+        }
+        Outcome::Aborted { reason, backtracks } => println!("ABORTED {reason:?} bt={backtracks}"),
+    }
+}

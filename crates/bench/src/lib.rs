@@ -1,0 +1,14 @@
+//! Benchmark harness for the `hltg` workspace.
+//!
+//! Each table and figure of the paper's evaluation has a report binary
+//! (`src/bin/`) that regenerates it, plus Criterion benches (`benches/`)
+//! measuring the underlying engines:
+//!
+//! | target | reproduces |
+//! |---|---|
+//! | `table1` | Table 1 (the bus-SSL campaign) |
+//! | `fig2_searchspace` | §IV search-space analysis + empirical baseline |
+//! | `fig5_tables` | Figure 5 C/O propagation tables |
+//! | `census` | §VI design census (state/tertiary/CTRL counts) |
+//! | `ablation_relax` | §V.B relaxation-heuristics ablation |
+//! | `tg_debug <id>` | single-error generation with step tracing |

@@ -1,0 +1,310 @@
+//! Controllability (C) and observability (O) state lattices and the
+//! per-class propagation tables of the paper's Figure 5.
+//!
+//! Path selection annotates every datapath port with a C-state and an
+//! O-state:
+//!
+//! * `C1` — unknown whether the port can be controlled (open decisions);
+//! * `C2` — not (yet) controllable, but open decisions remain in its
+//!   transitive fanin;
+//! * `C3` — not controllable and *settled*: no open decisions remain, the
+//!   port's value is determined by the current partial assignment;
+//! * `C4` — controlled: the search can justify an arbitrary value here.
+//!
+//! * `O1` — unknown whether the port can be observed;
+//! * `O2` — not observable;
+//! * `O3` — observable.
+//!
+//! The tables encode the module-class semantics of §V.A:
+//!
+//! * **ADD** class: any single controlled input justifies the output, but
+//!   only once the side inputs are settled (`C3`/`C4`); if the output is
+//!   observable and the sides are settled, every input is observable.
+//! * **AND** class: all inputs must be *controlled* (`C4`) both to justify
+//!   the output and to expose one input at the output.
+//! * **MUX** class: the select routes exactly one data input; unassigned
+//!   selects leave the state open.
+
+use hltg_netlist::dp::DpClass;
+
+/// Controllability state of a port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)]
+pub enum CState {
+    C1,
+    C2,
+    C3,
+    C4,
+}
+
+impl CState {
+    /// `true` for states with no open decisions left (`C3`/`C4`).
+    pub fn is_settled(self) -> bool {
+        matches!(self, CState::C3 | CState::C4)
+    }
+
+    /// `true` if the port is controlled.
+    pub fn is_controlled(self) -> bool {
+        self == CState::C4
+    }
+}
+
+/// Observability state of a port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)]
+pub enum OState {
+    O1,
+    O2,
+    O3,
+}
+
+impl OState {
+    /// `true` if the port is observable.
+    pub fn is_observable(self) -> bool {
+        self == OState::O3
+    }
+}
+
+/// Forward C-propagation for an **ADD**-class module: output state from the
+/// input states.
+///
+/// The output is controlled through one controlled input once every other
+/// input is settled; a single open input keeps the output open.
+pub fn add_c_forward(inputs: &[CState]) -> CState {
+    if inputs.is_empty() {
+        return CState::C3; // constant-like
+    }
+    let all_settled = inputs.iter().all(|c| c.is_settled());
+    if all_settled {
+        if inputs.iter().any(|c| c.is_controlled()) {
+            CState::C4
+        } else {
+            CState::C3
+        }
+    } else if inputs.contains(&CState::C1) {
+        CState::C1
+    } else {
+        CState::C2
+    }
+}
+
+/// Forward C-propagation for an **AND**-class module.
+pub fn and_c_forward(inputs: &[CState]) -> CState {
+    if inputs.iter().all(|c| c.is_controlled()) {
+        CState::C4
+    } else if inputs.contains(&CState::C3) {
+        // Some input can never be controlled: the output cannot be
+        // justified to an arbitrary value, and that is final.
+        CState::C3
+    } else if inputs.contains(&CState::C1) {
+        CState::C1
+    } else {
+        CState::C2
+    }
+}
+
+/// Forward C-propagation for a **MUX**-class module. `selected` is the data
+/// input routed by the (fully assigned) selects, or `None` while any select
+/// is unassigned.
+pub fn mux_c_forward(inputs: &[CState], selected: Option<usize>) -> CState {
+    match selected {
+        Some(i) => inputs[i],
+        None => {
+            if inputs.iter().all(|&c| c == CState::C3) {
+                CState::C3
+            } else {
+                // The select is an open decision: outcome unknown.
+                CState::C1
+            }
+        }
+    }
+}
+
+/// Backward O-propagation for an **ADD**-class module: state of input `i`
+/// given the output's O-state and the C-states of the side inputs.
+pub fn add_o_backward(output: OState, sides: &[CState]) -> OState {
+    match output {
+        OState::O2 => OState::O2,
+        OState::O1 => OState::O1,
+        OState::O3 => {
+            if sides.iter().all(|c| c.is_settled()) {
+                OState::O3
+            } else {
+                OState::O1
+            }
+        }
+    }
+}
+
+/// Backward O-propagation for an **AND**-class module.
+pub fn and_o_backward(output: OState, sides: &[CState]) -> OState {
+    match output {
+        OState::O2 => OState::O2,
+        OState::O1 => OState::O1,
+        OState::O3 => {
+            if sides.iter().all(|c| c.is_controlled()) {
+                OState::O3
+            } else if sides
+                .iter()
+                .any(|&c| c == CState::C2 || c == CState::C3)
+            {
+                // A side input that cannot be driven to the non-masking
+                // value blocks observation.
+                OState::O2
+            } else {
+                OState::O1
+            }
+        }
+    }
+}
+
+/// Backward O-propagation for a **MUX**-class module: state of data input
+/// `i` given the output's O-state and the routed input (if decided).
+pub fn mux_o_backward(output: OState, selected: Option<usize>, i: usize) -> OState {
+    match output {
+        OState::O2 => OState::O2,
+        _ => match selected {
+            Some(s) if s == i => output,
+            Some(_) => OState::O2,
+            // Open select: routing is still undecided.
+            None => OState::O1,
+        },
+    }
+}
+
+/// Dispatches forward C-propagation by module class (`Mux` requires the
+/// select resolution).
+pub fn c_forward(class: DpClass, inputs: &[CState], selected: Option<usize>) -> CState {
+    match class {
+        DpClass::Add => add_c_forward(inputs),
+        DpClass::And => and_c_forward(inputs),
+        DpClass::Mux => mux_c_forward(inputs, selected),
+        DpClass::Source => CState::C4,
+        DpClass::Sink | DpClass::Seq => add_c_forward(inputs),
+    }
+}
+
+/// Pretty-prints the Figure 5 tables for the two-input representatives of
+/// each class (used by the `fig5_tables` report binary).
+pub fn format_fig5_tables() -> String {
+    use std::fmt::Write;
+    let cs = [CState::C1, CState::C2, CState::C3, CState::C4];
+    let os = [OState::O1, OState::O2, OState::O3];
+    let mut s = String::new();
+    let _ = writeln!(s, "ADD2  C(y) from C(x1) x C(x2):");
+    for &c1 in &cs {
+        let _ = write!(s, "  {c1:?}:");
+        for &c2 in &cs {
+            let _ = write!(s, " {:?}", add_c_forward(&[c1, c2]));
+        }
+        let _ = writeln!(s);
+    }
+    let _ = writeln!(s, "ADD2  O(x1) from C(x2) x O(y):");
+    for &c2 in &cs {
+        let _ = write!(s, "  {c2:?}:");
+        for &o in &os {
+            let _ = write!(s, " {:?}", add_o_backward(o, &[c2]));
+        }
+        let _ = writeln!(s);
+    }
+    let _ = writeln!(s, "AND2  C(y) from C(x1) x C(x2):");
+    for &c1 in &cs {
+        let _ = write!(s, "  {c1:?}:");
+        for &c2 in &cs {
+            let _ = write!(s, " {:?}", and_c_forward(&[c1, c2]));
+        }
+        let _ = writeln!(s);
+    }
+    let _ = writeln!(s, "AND2  O(x1) from C(x2) x O(y):");
+    for &c2 in &cs {
+        let _ = write!(s, "  {c2:?}:");
+        for &o in &os {
+            let _ = write!(s, " {:?}", and_o_backward(o, &[c2]));
+        }
+        let _ = writeln!(s);
+    }
+    let _ = writeln!(s, "MUX2  C(y): sel=u -> open (C1/C3); sel=k -> C(x_k)");
+    for &c1 in &cs {
+        let _ = write!(s, "  sel=u, x:{c1:?}:");
+        let _ = writeln!(s, " {:?}", mux_c_forward(&[c1, c1], None));
+    }
+    let _ = writeln!(s, "MUX2  O(x1) from sel x O(y):");
+    for (sel, label) in [(None, "u"), (Some(0), "0"), (Some(1), "1")] {
+        let _ = write!(s, "  sel={label}:");
+        for &o in &os {
+            let _ = write!(s, " {:?}", mux_o_backward(o, sel, 0));
+        }
+        let _ = writeln!(s);
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use CState::*;
+    use OState::*;
+
+    #[test]
+    fn add_forward_requires_settled_sides() {
+        // A controlled input justifies the output only once the side input
+        // is settled.
+        assert_eq!(add_c_forward(&[C4, C3]), C4);
+        assert_eq!(add_c_forward(&[C4, C4]), C4);
+        assert_eq!(add_c_forward(&[C4, C1]), C1);
+        assert_eq!(add_c_forward(&[C4, C2]), C2);
+        assert_eq!(add_c_forward(&[C3, C3]), C3);
+        assert_eq!(add_c_forward(&[C2, C3]), C2);
+        assert_eq!(add_c_forward(&[C1, C3]), C1);
+    }
+
+    #[test]
+    fn and_forward_requires_all_controlled() {
+        assert_eq!(and_c_forward(&[C4, C4]), C4);
+        assert_eq!(and_c_forward(&[C4, C3]), C3, "uncontrollable side is final");
+        assert_eq!(and_c_forward(&[C4, C2]), C2);
+        assert_eq!(and_c_forward(&[C4, C1]), C1);
+        assert_eq!(and_c_forward(&[C1, C2]), C1);
+    }
+
+    #[test]
+    fn mux_forward_routes_selected() {
+        assert_eq!(mux_c_forward(&[C4, C3], Some(0)), C4);
+        assert_eq!(mux_c_forward(&[C4, C3], Some(1)), C3);
+        assert_eq!(mux_c_forward(&[C4, C3], None), C1, "open select");
+        assert_eq!(mux_c_forward(&[C3, C3], None), C3);
+    }
+
+    #[test]
+    fn add_backward_observability() {
+        assert_eq!(add_o_backward(O3, &[C3]), O3);
+        assert_eq!(add_o_backward(O3, &[C4]), O3);
+        assert_eq!(add_o_backward(O3, &[C1]), O1, "unsettled side blocks");
+        assert_eq!(add_o_backward(O3, &[C2]), O1);
+        assert_eq!(add_o_backward(O2, &[C4]), O2);
+        assert_eq!(add_o_backward(O1, &[C4]), O1);
+    }
+
+    #[test]
+    fn and_backward_observability() {
+        assert_eq!(and_o_backward(O3, &[C4]), O3);
+        assert_eq!(and_o_backward(O3, &[C3]), O2, "cannot unmask");
+        assert_eq!(and_o_backward(O3, &[C2]), O2);
+        assert_eq!(and_o_backward(O3, &[C1]), O1);
+        assert_eq!(and_o_backward(O2, &[C4]), O2);
+    }
+
+    #[test]
+    fn mux_backward_observability() {
+        assert_eq!(mux_o_backward(O3, Some(0), 0), O3);
+        assert_eq!(mux_o_backward(O3, Some(1), 0), O2, "deselected");
+        assert_eq!(mux_o_backward(O3, None, 0), O1);
+        assert_eq!(mux_o_backward(O2, Some(0), 0), O2);
+    }
+
+    #[test]
+    fn fig5_report_renders() {
+        let s = format_fig5_tables();
+        assert!(s.contains("ADD2") && s.contains("MUX2"));
+    }
+}

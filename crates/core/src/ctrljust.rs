@@ -1,0 +1,519 @@
+//! `CTRLJUST` — justification of control signals in the controller
+//! (paper §V.C).
+//!
+//! Given a set of objectives `(cᵢ, vᵢ)` on controller nets at specific
+//! frames, `CTRLJUST` finds an input sequence — assignments to the CPI and
+//! STS inputs of the unrolled controller — that starts from the reset state
+//! and satisfies every objective. It is a PODEM-style branch-and-bound: an
+//! unsatisfied objective is *backtraced* through gates and flip-flops
+//! (crossing one frame per flip-flop) to an unassigned input, a decision is
+//! made there, forward three-valued implication runs, and conflicts flip or
+//! pop decisions.
+//!
+//! Decisions on STS inputs are recorded in the result so the caller can
+//! hand them to `DPRELAX` for justification by the datapath — the paper's
+//! Figure 4 interaction.
+
+use crate::unroll::Unrolled;
+use hltg_netlist::ctl::{CtlInputKind, CtlNetId, CtlOp};
+use hltg_sim::V3;
+use std::error::Error;
+use std::fmt;
+
+/// A required value on a controller net at a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Objective {
+    /// Clock frame (0 = first cycle after reset).
+    pub frame: usize,
+    /// The controller net (typically a CTRL output or a tertiary signal).
+    pub net: CtlNetId,
+    /// Required value.
+    pub value: bool,
+}
+
+/// Search limits.
+#[derive(Debug, Clone, Copy)]
+pub struct CtrlJustConfig {
+    /// Abort after this many backtracks.
+    pub max_backtracks: usize,
+}
+
+impl Default for CtrlJustConfig {
+    fn default() -> Self {
+        CtrlJustConfig {
+            max_backtracks: 2000,
+        }
+    }
+}
+
+/// A successful justification.
+#[derive(Debug, Clone)]
+pub struct Justification {
+    /// Decided free inputs `(frame, net, value)`, in decision order. CPI
+    /// entries define instruction bits; STS entries are obligations for the
+    /// datapath value search.
+    pub assignments: Vec<(usize, CtlNetId, bool)>,
+    /// Backtracks performed.
+    pub backtracks: usize,
+    /// Decisions made (including flipped ones).
+    pub decisions: usize,
+}
+
+impl Justification {
+    /// The decided STS obligations `(frame, net, value)`.
+    pub fn sts_obligations<'a>(
+        &'a self,
+        u: &'a Unrolled<'_>,
+    ) -> impl Iterator<Item = (usize, CtlNetId, bool)> + 'a {
+        self.assignments.iter().copied().filter(|&(_, n, _)| {
+            matches!(u.netlist().net(n).op, CtlOp::Input(CtlInputKind::Sts))
+        })
+    }
+}
+
+/// Justification failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JustifyError {
+    /// The objectives are unsatisfiable in this window (search exhausted).
+    Unsatisfiable,
+    /// The backtrack limit was hit.
+    BacktrackLimit,
+}
+
+impl fmt::Display for JustifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JustifyError::Unsatisfiable => write!(f, "objectives unsatisfiable in window"),
+            JustifyError::BacktrackLimit => write!(f, "backtrack limit exceeded"),
+        }
+    }
+}
+
+impl Error for JustifyError {}
+
+#[derive(Debug)]
+struct Decision {
+    frame: usize,
+    net: CtlNetId,
+    value: bool,
+    flipped: bool,
+}
+
+/// Runs the PODEM search. On success the `Unrolled` model holds the found
+/// assignment (propagated); on failure all decisions are undone.
+///
+/// `objectives` must end up *known correct*; they drive the backtrace.
+/// `monitors` are watchdog requirements (e.g. "no stall anywhere"): a
+/// monitor implied to the wrong value is a conflict, but an undetermined
+/// monitor neither blocks success nor triggers decisions — it is resolved
+/// by the caller's final model check once the instruction stream is
+/// complete.
+///
+/// Pre-existing assignments in `u` act as fixed assumptions and are never
+/// backtracked.
+///
+/// # Errors
+///
+/// [`JustifyError::Unsatisfiable`] when the search space is exhausted,
+/// [`JustifyError::BacktrackLimit`] when the budget runs out.
+pub fn justify(
+    u: &mut Unrolled<'_>,
+    objectives: &[Objective],
+    monitors: &[Objective],
+    cfg: CtrlJustConfig,
+) -> Result<Justification, JustifyError> {
+    let mut stack: Vec<Decision> = Vec::new();
+    let mut backtracks = 0usize;
+    let mut decisions = 0usize;
+
+    loop {
+        u.propagate();
+        // Check objectives: conflict if any is known-wrong.
+        let mut pending = None;
+        let mut conflict = false;
+        for o in objectives {
+            match u.value(o.frame, o.net).to_bool() {
+                Some(v) if v == o.value => {}
+                Some(_) => {
+                    conflict = true;
+                    break;
+                }
+                None => {
+                    if pending.is_none() {
+                        pending = Some(*o);
+                    }
+                }
+            }
+        }
+        if !conflict {
+            for m in monitors {
+                if let Some(v) = u.value(m.frame, m.net).to_bool() {
+                    if v != m.value {
+                        conflict = true;
+                        break;
+                    }
+                }
+            }
+        }
+
+        if conflict {
+            match unwind(u, &mut stack) {
+                Some(()) => {
+                    backtracks += 1;
+                    if backtracks > cfg.max_backtracks {
+                        undo_all(u, &mut stack);
+                        return Err(JustifyError::BacktrackLimit);
+                    }
+                    continue;
+                }
+                None => return Err(JustifyError::Unsatisfiable),
+            }
+        }
+
+        let Some(obj) = pending else {
+            // All objectives satisfied.
+            let assignments = stack
+                .iter()
+                .map(|d| (d.frame, d.net, d.value))
+                .collect();
+            return Ok(Justification {
+                assignments,
+                backtracks,
+                decisions,
+            });
+        };
+
+        // Backtrace the pending objective to a free input.
+        match backtrace(u, obj.frame, obj.net, obj.value) {
+            Some((frame, net, value)) => {
+                u.assign(frame, net, value);
+                decisions += 1;
+                stack.push(Decision {
+                    frame,
+                    net,
+                    value,
+                    flipped: false,
+                });
+            }
+            None => {
+                // No path to an input: the objective is blocked under the
+                // current decisions.
+                match unwind(u, &mut stack) {
+                    Some(()) => {
+                        backtracks += 1;
+                        if backtracks > cfg.max_backtracks {
+                            undo_all(u, &mut stack);
+                            return Err(JustifyError::BacktrackLimit);
+                        }
+                    }
+                    None => return Err(JustifyError::Unsatisfiable),
+                }
+            }
+        }
+    }
+}
+
+fn undo_all(u: &mut Unrolled<'_>, stack: &mut Vec<Decision>) {
+    while let Some(d) = stack.pop() {
+        u.unassign(d.frame, d.net);
+    }
+    u.propagate();
+}
+
+/// Pops flipped decisions, then flips the newest unflipped one. Returns
+/// `None` when the stack is exhausted.
+fn unwind(u: &mut Unrolled<'_>, stack: &mut Vec<Decision>) -> Option<()> {
+    while let Some(d) = stack.last_mut() {
+        if d.flipped {
+            u.unassign(d.frame, d.net);
+            stack.pop();
+        } else {
+            d.value = !d.value;
+            d.flipped = true;
+            let (f, n, v) = (d.frame, d.net, d.value);
+            u.assign(f, n, v);
+            return Some(());
+        }
+    }
+    None
+}
+
+/// Walks from an X-valued objective toward a free input whose assignment
+/// can move it, returning `(frame, net, value)` for the decision. The walk
+/// is a depth-first search over the X-valued inputs of each gate (an
+/// alternative blocked by constants, the reset state, or pre-assigned
+/// inputs falls through to the next), so a decision is found whenever any
+/// sensitizable path to a free input exists.
+fn backtrace(
+    u: &Unrolled<'_>,
+    frame: usize,
+    net: CtlNetId,
+    value: bool,
+) -> Option<(usize, CtlNetId, bool)> {
+    backtrace_dfs(u, frame, net, value, 0)
+}
+
+fn backtrace_dfs(
+    u: &Unrolled<'_>,
+    f: usize,
+    n: CtlNetId,
+    v: bool,
+    depth: usize,
+) -> Option<(usize, CtlNetId, bool)> {
+    if depth > 4096 {
+        return None;
+    }
+    let nl = u.netlist();
+    let gate = nl.net(n);
+    match gate.op {
+        CtlOp::Input(_) => {
+            if u.assigned(f, n) == V3::X {
+                Some((f, n, v))
+            } else {
+                None
+            }
+        }
+        CtlOp::Const(_) => None,
+        CtlOp::Not => backtrace_dfs(u, f, gate.inputs[0], !v, depth + 1),
+        CtlOp::Buf => backtrace_dfs(u, f, gate.inputs[0], v, depth + 1),
+        CtlOp::And | CtlOp::Nand | CtlOp::Or | CtlOp::Nor => {
+            let target = match gate.op {
+                CtlOp::And | CtlOp::Or => v,
+                CtlOp::Nand | CtlOp::Nor => !v,
+                _ => unreachable!(),
+            };
+            gate.inputs
+                .iter()
+                .filter(|&&i| u.value(f, i) == V3::X)
+                .find_map(|&i| backtrace_dfs(u, f, i, target, depth + 1))
+        }
+        CtlOp::Xor | CtlOp::Xnor => {
+            let parity: bool = gate
+                .inputs
+                .iter()
+                .filter_map(|&i| u.value(f, i).to_bool())
+                .fold(false, |a, b| a ^ b);
+            let want = if gate.op == CtlOp::Xor { v } else { !v };
+            gate.inputs
+                .iter()
+                .filter(|&&i| u.value(f, i) == V3::X)
+                .find_map(|&i| backtrace_dfs(u, f, i, want ^ parity, depth + 1))
+        }
+        CtlOp::Ff(spec) => {
+            if f == 0 {
+                return None; // reset value is fixed
+            }
+            let pf = f - 1;
+            let d = gate.inputs[0];
+            let mut port = 1;
+            let en = if spec.has_enable {
+                let e = gate.inputs[port];
+                port += 1;
+                Some(e)
+            } else {
+                None
+            };
+            let clr = if spec.has_clear {
+                Some(gate.inputs[port])
+            } else {
+                None
+            };
+            // Alternative 1: decide an X clear toward the easy case.
+            if let Some(c) = clr {
+                match u.value(pf, c) {
+                    V3::X => {
+                        if let Some(hit) =
+                            backtrace_dfs(u, pf, c, v == spec.clear_val, depth + 1)
+                        {
+                            return Some(hit);
+                        }
+                        // fall through: try the load path under clr=0
+                    }
+                    V3::One => return None, // forced to clear_val
+                    V3::Zero => {}
+                }
+            }
+            // Alternative 2: open an X enable, then drive the data.
+            if let Some(e) = en {
+                match u.value(pf, e) {
+                    V3::X => {
+                        if let Some(hit) = backtrace_dfs(u, pf, e, true, depth + 1) {
+                            return Some(hit);
+                        }
+                    }
+                    V3::Zero => {
+                        // Holds: the objective moves to the previous state.
+                        return backtrace_dfs(u, pf, n, v, depth + 1);
+                    }
+                    V3::One => {}
+                }
+            }
+            // Alternative 3: drive the data input.
+            backtrace_dfs(u, pf, d, v, depth + 1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hltg_netlist::ctl::CtlBuilder;
+
+    /// y(t) = q(t) AND i(t) with q(t+1) = j(t): objective y=1 at frame 1
+    /// requires j=1 at frame 0 and i=1 at frame 1.
+    #[test]
+    fn justifies_across_frames() {
+        let mut b = CtlBuilder::new("c");
+        let i = b.cpi("i");
+        let j = b.cpi("j");
+        let q = b.ff("q", j, false);
+        let y = b.and(&[q, i]);
+        b.mark_cpo(y);
+        let nl = b.finish().unwrap();
+        let mut u = Unrolled::new(&nl, 3);
+        let r = justify(
+            &mut u,
+            &[Objective {
+                frame: 1,
+                net: y,
+                value: true,
+            }],
+            &[],
+            CtrlJustConfig::default(),
+        )
+        .expect("satisfiable");
+        assert_eq!(u.value(1, y), V3::One);
+        assert!(r.assignments.contains(&(0, j, true)));
+        assert!(r.assignments.contains(&(1, i, true)));
+    }
+
+    /// An objective against the reset state at frame 0 is unsatisfiable.
+    #[test]
+    fn reset_state_blocks() {
+        let mut b = CtlBuilder::new("c");
+        let i = b.cpi("i");
+        let q = b.ff("q", i, false);
+        b.mark_cpo(q);
+        let nl = b.finish().unwrap();
+        let mut u = Unrolled::new(&nl, 2);
+        let e = justify(
+            &mut u,
+            &[Objective {
+                frame: 0,
+                net: q,
+                value: true,
+            }],
+            &[],
+            CtrlJustConfig::default(),
+        )
+        .unwrap_err();
+        assert_eq!(e, JustifyError::Unsatisfiable);
+    }
+
+    /// Conflicting objectives on a shared input force backtracking into
+    /// failure.
+    #[test]
+    fn detects_unsatisfiable_conflict() {
+        let mut b = CtlBuilder::new("c");
+        let i = b.cpi("i");
+        let ni = b.not(i);
+        b.mark_cpo(ni);
+        let nl = b.finish().unwrap();
+        let mut u = Unrolled::new(&nl, 1);
+        let e = justify(
+            &mut u,
+            &[
+                Objective {
+                    frame: 0,
+                    net: i,
+                    value: true,
+                },
+                Objective {
+                    frame: 0,
+                    net: ni,
+                    value: true,
+                },
+            ],
+            &[],
+            CtrlJustConfig::default(),
+        )
+        .unwrap_err();
+        assert_eq!(e, JustifyError::Unsatisfiable);
+    }
+
+    /// Backtracking recovers from a wrong first choice: y = a XOR b with
+    /// y=1 and a forced 1 by an assumption leaves b=0.
+    #[test]
+    fn respects_pre_assignments() {
+        let mut b = CtlBuilder::new("c");
+        let a = b.cpi("a");
+        let c = b.cpi("b");
+        let y = b.xor(&[a, c]);
+        b.mark_cpo(y);
+        let nl = b.finish().unwrap();
+        let mut u = Unrolled::new(&nl, 1);
+        u.assign(0, a, true); // fixed assumption
+        let r = justify(
+            &mut u,
+            &[Objective {
+                frame: 0,
+                net: y,
+                value: true,
+            }],
+            &[],
+            CtrlJustConfig::default(),
+        )
+        .expect("satisfiable");
+        assert_eq!(u.value(0, y), V3::One);
+        assert!(r.assignments.contains(&(0, c, false)));
+    }
+
+    /// On the DLX: demand a register write in WB at frame 6 — CTRLJUST must
+    /// discover instruction bits at frame 2 decoding to a reg-writing op.
+    #[test]
+    fn dlx_regwrite_objective() {
+        let dlx = hltg_dlx::DlxDesign::build();
+        let mut u = Unrolled::new(&dlx.design.ctl, 8);
+        let r = justify(
+            &mut u,
+            &[Objective {
+                frame: 6,
+                net: dlx.ctl.c_rf_we,
+                value: true,
+            }],
+            &[],
+            CtrlJustConfig::default(),
+        )
+        .expect("satisfiable");
+        assert_eq!(u.value(6, dlx.ctl.c_rf_we), V3::One);
+        assert!(r.decisions > 0);
+    }
+
+    /// On the DLX: demand a memory write (store in MEM) plus no squash in
+    /// the window — a more constrained combination.
+    #[test]
+    fn dlx_store_objective_without_squash() {
+        let dlx = hltg_dlx::DlxDesign::build();
+        let mut u = Unrolled::new(&dlx.design.ctl, 8);
+        let mut objectives = vec![Objective {
+            frame: 5,
+            net: dlx.ctl.c_mem_we,
+            value: true,
+        }];
+        for f in 0..7 {
+            objectives.push(Objective {
+                frame: f,
+                net: dlx.ctl.squash,
+                value: false,
+            });
+            objectives.push(Objective {
+                frame: f,
+                net: dlx.ctl.stall,
+                value: false,
+            });
+        }
+        justify(&mut u, &objectives, &[], CtrlJustConfig::default()).expect("satisfiable");
+        assert_eq!(u.value(5, dlx.ctl.c_mem_we), V3::One);
+        assert_eq!(u.value(4, dlx.ctl.squash), V3::Zero);
+    }
+}

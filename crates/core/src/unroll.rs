@@ -1,0 +1,334 @@
+//! Three-valued evaluation of the controller unrolled over clock frames.
+//!
+//! `CTRLJUST` reasons about the gate-level controller across a window of
+//! clock cycles starting at the reset state. The [`Unrolled`] model holds a
+//! [`V3`] value for every controller net at every frame; primary and status
+//! inputs are *free* variables assigned by the search, everything else is
+//! implied by forward three-valued evaluation. Flip-flops take their frame-0
+//! values from their reset specification, so justification back to the reset
+//! state — the paper's termination condition — holds by construction.
+
+use hltg_netlist::ctl::{CtlInputKind, CtlNetId, CtlNetlist, CtlOp};
+use hltg_sim::tv::{eval_gate, V3};
+
+/// Computes a topological order of the combinational controller nets
+/// (inputs and constants first; flip-flops excluded — they are sources).
+pub fn comb_topo_order(nl: &CtlNetlist) -> Vec<CtlNetId> {
+    let n = nl.net_count();
+    let mut indeg = vec![0usize; n];
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (id, net) in nl.iter_nets() {
+        if net.op.is_ff() {
+            continue;
+        }
+        for &i in &net.inputs {
+            if !nl.net(i).op.is_ff() {
+                succs[i.0 as usize].push(id.0 as usize);
+                indeg[id.0 as usize] += 1;
+            }
+        }
+    }
+    let mut queue: Vec<usize> = (0..n)
+        .filter(|&i| !nl.nets()[i].op.is_ff() && indeg[i] == 0)
+        .collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(i) = queue.pop() {
+        order.push(CtlNetId(i as u32));
+        for &s in &succs[i] {
+            indeg[s] -= 1;
+            if indeg[s] == 0 {
+                queue.push(CtlNetId(s as u32).0 as usize);
+            }
+        }
+    }
+    debug_assert_eq!(
+        order.len(),
+        nl.nets().iter().filter(|g| !g.op.is_ff()).count(),
+        "controller validated acyclic"
+    );
+    order
+}
+
+/// The controller unrolled over `frames` clock cycles.
+///
+/// # Examples
+///
+/// ```
+/// use hltg_core::unroll::Unrolled;
+/// use hltg_sim::V3;
+/// let dlx = hltg_dlx::DlxDesign::build();
+/// let mut u = Unrolled::new(&dlx.design.ctl, 8);
+/// u.propagate();
+/// // With all inputs unknown, the squash signal is unknown too...
+/// assert_eq!(u.value(3, dlx.ctl.squash), V3::X);
+/// // ...but frame 0 starts from reset: the EX-stage branch flag is 0,
+/// // so no squash can occur in frame 0.
+/// assert_eq!(u.value(0, dlx.ctl.squash), V3::Zero);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Unrolled<'d> {
+    nl: &'d CtlNetlist,
+    frames: usize,
+    topo: Vec<CtlNetId>,
+    ffs: Vec<CtlNetId>,
+    /// Implied value of net `n` at frame `f`: `vals[f * n_nets + n]`.
+    vals: Vec<V3>,
+    /// Free-variable assignments for input nets, same indexing.
+    free: Vec<V3>,
+}
+
+impl<'d> Unrolled<'d> {
+    /// Creates an unrolled model with all free inputs unassigned.
+    pub fn new(nl: &'d CtlNetlist, frames: usize) -> Self {
+        let topo = comb_topo_order(nl);
+        let ffs = nl.ff_nets().collect();
+        let n = nl.net_count();
+        Unrolled {
+            nl,
+            frames,
+            topo,
+            ffs,
+            vals: vec![V3::X; frames * n],
+            free: vec![V3::X; frames * n],
+        }
+    }
+
+    /// Number of frames.
+    pub fn frames(&self) -> usize {
+        self.frames
+    }
+
+    /// The underlying netlist.
+    pub fn netlist(&self) -> &'d CtlNetlist {
+        self.nl
+    }
+
+    fn idx(&self, frame: usize, net: CtlNetId) -> usize {
+        debug_assert!(frame < self.frames);
+        frame * self.nl.net_count() + net.0 as usize
+    }
+
+    /// Assigns a free input (CPI or STS) at a frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is not an input.
+    pub fn assign(&mut self, frame: usize, net: CtlNetId, value: bool) {
+        assert!(
+            matches!(self.nl.net(net).op, CtlOp::Input(_)),
+            "assign on non-input `{}`",
+            self.nl.net(net).name
+        );
+        let i = self.idx(frame, net);
+        self.free[i] = V3::from_bool(value);
+    }
+
+    /// Removes a free-input assignment.
+    pub fn unassign(&mut self, frame: usize, net: CtlNetId) {
+        let i = self.idx(frame, net);
+        self.free[i] = V3::X;
+    }
+
+    /// The assignment (not the implied value) of a free input.
+    pub fn assigned(&self, frame: usize, net: CtlNetId) -> V3 {
+        self.free[self.idx(frame, net)]
+    }
+
+    /// The implied value of any net at a frame (valid after
+    /// [`propagate`](Unrolled::propagate)).
+    pub fn value(&self, frame: usize, net: CtlNetId) -> V3 {
+        self.vals[self.idx(frame, net)]
+    }
+
+    /// Forward three-valued evaluation of every frame.
+    pub fn propagate(&mut self) {
+        for f in 0..self.frames {
+            // Flip-flop states entering frame f.
+            for k in 0..self.ffs.len() {
+                let q = self.ffs[k];
+                let v = if f == 0 {
+                    match self.nl.net(q).op {
+                        CtlOp::Ff(spec) => V3::from_bool(spec.init),
+                        _ => unreachable!("ffs holds flip-flops"),
+                    }
+                } else {
+                    self.ff_next(f - 1, q)
+                };
+                let i = self.idx(f, q);
+                self.vals[i] = v;
+            }
+            // Combinational settle.
+            for k in 0..self.topo.len() {
+                let id = self.topo[k];
+                let net = self.nl.net(id);
+                let v = match net.op {
+                    CtlOp::Input(CtlInputKind::Cpi) | CtlOp::Input(CtlInputKind::Sts) => {
+                        self.free[self.idx(f, id)]
+                    }
+                    CtlOp::Const(c) => V3::from_bool(c),
+                    _ => {
+                        let ins: Vec<V3> =
+                            net.inputs.iter().map(|&i| self.value(f, i)).collect();
+                        eval_gate(net.op, &ins)
+                    }
+                };
+                let i = self.idx(f, id);
+                self.vals[i] = v;
+            }
+        }
+    }
+
+    /// Three-valued next-state of flip-flop `q` given frame `f` values.
+    fn ff_next(&self, f: usize, q: CtlNetId) -> V3 {
+        let net = self.nl.net(q);
+        let CtlOp::Ff(spec) = net.op else {
+            unreachable!("ff_next on non-ff")
+        };
+        let d = self.value(f, net.inputs[0]);
+        let mut port = 1;
+        let en = if spec.has_enable {
+            let e = self.value(f, net.inputs[port]);
+            port += 1;
+            e
+        } else {
+            V3::One
+        };
+        let clr = if spec.has_clear {
+            self.value(f, net.inputs[port])
+        } else {
+            V3::Zero
+        };
+        let prev = self.value(f, q);
+        let no_clear_case = match en {
+            V3::One => d,
+            V3::Zero => prev,
+            V3::X => {
+                if d == prev {
+                    d
+                } else {
+                    V3::X
+                }
+            }
+        };
+        match clr {
+            V3::One => V3::from_bool(spec.clear_val),
+            V3::Zero => no_clear_case,
+            V3::X => {
+                let cleared = V3::from_bool(spec.clear_val);
+                if cleared == no_clear_case {
+                    cleared
+                } else {
+                    V3::X
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hltg_netlist::ctl::CtlBuilder;
+
+    /// q[t+1] = i[t]; y = not q. Checks frame-to-frame state flow.
+    #[test]
+    fn state_flows_across_frames() {
+        let mut b = CtlBuilder::new("c");
+        let i = b.cpi("i");
+        let q = b.ff("q", i, false);
+        let y = b.not(q);
+        b.mark_cpo(y);
+        let nl = b.finish().unwrap();
+
+        let mut u = Unrolled::new(&nl, 3);
+        u.assign(0, i, true);
+        u.propagate();
+        assert_eq!(u.value(0, q), V3::Zero, "reset value");
+        assert_eq!(u.value(0, y), V3::One);
+        assert_eq!(u.value(1, q), V3::One, "latched the frame-0 input");
+        assert_eq!(u.value(1, y), V3::Zero);
+        assert_eq!(u.value(2, q), V3::X, "frame-1 input unassigned");
+        assert_eq!(u.value(2, y), V3::X);
+    }
+
+    #[test]
+    fn enable_and_clear_semantics() {
+        let mut b = CtlBuilder::new("c");
+        let d = b.cpi("d");
+        let en = b.cpi("en");
+        let clr = b.cpi("clr");
+        let q = b.ff_spec(
+            "q",
+            d,
+            hltg_netlist::ctl::FfSpec {
+                init: false,
+                has_enable: true,
+                has_clear: true,
+                clear_val: false,
+            },
+            Some(en),
+            Some(clr),
+        );
+        b.mark_cpo(q);
+        let nl = b.finish().unwrap();
+        let mut u = Unrolled::new(&nl, 4);
+        // Frame 0: load 1.
+        u.assign(0, d, true);
+        u.assign(0, en, true);
+        u.assign(0, clr, false);
+        // Frame 1: hold (en=0) despite d=0.
+        u.assign(1, d, false);
+        u.assign(1, en, false);
+        u.assign(1, clr, false);
+        // Frame 2: clear dominates en.
+        u.assign(2, d, true);
+        u.assign(2, en, true);
+        u.assign(2, clr, true);
+        u.propagate();
+        assert_eq!(u.value(1, q), V3::One);
+        assert_eq!(u.value(2, q), V3::One, "held");
+        assert_eq!(u.value(3, q), V3::Zero, "cleared");
+    }
+
+    #[test]
+    fn x_enable_with_equal_dq_stays_known() {
+        let mut b = CtlBuilder::new("c");
+        let d = b.cpi("d");
+        let en = b.cpi("en");
+        let q = b.ff_spec(
+            "q",
+            d,
+            hltg_netlist::ctl::FfSpec {
+                init: false,
+                has_enable: true,
+                has_clear: false,
+                clear_val: false,
+            },
+            Some(en),
+            None,
+        );
+        b.mark_cpo(q);
+        let nl = b.finish().unwrap();
+        let mut u = Unrolled::new(&nl, 2);
+        // d = 0 = reset value, en unknown: next state is 0 either way.
+        u.assign(0, d, false);
+        u.propagate();
+        assert_eq!(u.value(1, q), V3::Zero);
+    }
+
+    #[test]
+    fn dlx_reset_frame_implies_inert_control() {
+        let dlx = hltg_dlx::DlxDesign::build();
+        let mut u = Unrolled::new(&dlx.design.ctl, 6);
+        u.propagate();
+        // At reset every CPR is zero: no store, no regwrite, no squash can
+        // be implied in the first frames regardless of inputs.
+        assert_eq!(u.value(0, dlx.ctl.squash), V3::Zero);
+        assert_eq!(u.value(0, dlx.ctl.stall), V3::Zero);
+        assert_eq!(u.value(0, dlx.ctl.c_mem_we), V3::Zero);
+        assert_eq!(u.value(0, dlx.ctl.c_rf_we), V3::Zero);
+        assert_eq!(u.value(1, dlx.ctl.c_rf_we), V3::Zero);
+        // With unknown instructions, later frames are unknown.
+        assert_eq!(u.value(5, dlx.ctl.c_rf_we), V3::X);
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests of the search engines on the real DLX controller
+//! and datapath.
+
+use hltg_core::ctrljust::{self, CtrlJustConfig, Objective};
+use hltg_core::dptrace::{self, DptraceConfig};
+use hltg_core::unroll::Unrolled;
+use hltg_dlx::DlxDesign;
+use hltg_netlist::ctl::CtlNetId;
+use hltg_sim::V3;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn dlx() -> &'static DlxDesign {
+    static DLX: OnceLock<DlxDesign> = OnceLock::new();
+    DLX.get_or_init(DlxDesign::build)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// Forward implication over the unrolled controller is monotone: adding
+    /// input assignments never flips a value that was already known.
+    #[test]
+    fn unrolled_propagation_is_monotone(
+        assigns in prop::collection::vec((0usize..6, 0usize..12, any::<bool>()), 0..10),
+        extra in (0usize..6, 0usize..12, any::<bool>()),
+    ) {
+        let dlx = dlx();
+        let cpis: Vec<CtlNetId> = dlx.design.ctl.cpi_nets().collect();
+        let mut u = Unrolled::new(&dlx.design.ctl, 6);
+        for &(f, i, v) in &assigns {
+            u.assign(f, cpis[i], v);
+        }
+        u.propagate();
+        let before: Vec<Vec<V3>> = (0..6)
+            .map(|f| {
+                (0..dlx.design.ctl.net_count())
+                    .map(|n| u.value(f, CtlNetId(n as u32)))
+                    .collect()
+            })
+            .collect();
+        let (f, i, v) = extra;
+        if u.assigned(f, cpis[i]) == V3::X {
+            u.assign(f, cpis[i], v);
+            u.propagate();
+            for (frame, row) in before.iter().enumerate() {
+                for (n, &was) in row.iter().enumerate() {
+                    if let Some(known) = was.to_bool() {
+                        let now = u.value(frame, CtlNetId(n as u32));
+                        prop_assert_eq!(
+                            now.to_bool(),
+                            Some(known),
+                            "net {} at frame {} flipped",
+                            dlx.design.ctl.net(CtlNetId(n as u32)).name,
+                            frame
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// CTRLJUST soundness: whatever objective it claims to satisfy is
+    /// implied (known correct) under its returned assignment.
+    #[test]
+    fn ctrljust_results_are_implied(
+        which in 0usize..4,
+        frame in 4usize..7,
+    ) {
+        let dlx = dlx();
+        let nets = [
+            dlx.ctl.c_mem_we,
+            dlx.ctl.c_rf_we,
+            dlx.ctl.c_alu_b_imm,
+            dlx.ctl.c_wb_sel[1],
+        ];
+        let obj = Objective { frame, net: nets[which], value: true };
+        let mut u = Unrolled::new(&dlx.design.ctl, frame + 2);
+        if ctrljust::justify(&mut u, &[obj], &[], CtrlJustConfig::default()).is_ok() {
+            prop_assert_eq!(u.value(obj.frame, obj.net), V3::One);
+        }
+    }
+
+    /// DPTRACE plans are internally consistent for every variant: no two
+    /// objectives contradict, and the sink lies within the window.
+    #[test]
+    fn dptrace_plans_are_consistent(variant in 0usize..32, which in 0usize..6) {
+        let dlx = dlx();
+        let nets = [
+            dlx.dp.alu_out,
+            dlx.dp.exmem_alu,
+            dlx.dp.b_fwd,
+            dlx.dp.load_val,
+            dlx.dp.wb_value,
+            dlx.dp.store_data,
+        ];
+        let cfg = DptraceConfig::default();
+        if let Ok(plan) = dptrace::select_paths(&dlx.design, nets[which], variant, cfg) {
+            for (i, a) in plan.ctrl_objectives.iter().enumerate() {
+                for b in &plan.ctrl_objectives[i + 1..] {
+                    prop_assert!(
+                        !(a.dp_net == b.dp_net && a.time == b.time && a.value != b.value),
+                        "conflicting objectives on {}",
+                        dlx.design.dp.net(a.dp_net).name
+                    );
+                }
+            }
+            prop_assert!(plan.sink.time >= cfg.min_time && plan.sink.time <= cfg.max_time);
+            prop_assert!(plan.min_time <= 0 && plan.max_time >= 0);
+        }
+    }
+}

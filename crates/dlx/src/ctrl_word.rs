@@ -1,0 +1,307 @@
+//! Per-opcode control words: the decode table of the DLX controller.
+//!
+//! Each of the 44 instructions maps to a [`CtrlWord`] — the values the
+//! controller must drive onto the datapath's CTRL signals as the instruction
+//! moves down the pipe. The gate-level decoder in [`crate::controller`] is
+//! synthesized directly from this table, and the table doubles as the oracle
+//! in decoder unit tests.
+
+use hltg_isa::Opcode;
+
+/// ALU function select (4 bits on the `c_alu*` CTRL lines).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum AluOp {
+    Add = 0,
+    Sub = 1,
+    And = 2,
+    Or = 3,
+    Xor = 4,
+    Sll = 5,
+    Srl = 6,
+    Sra = 7,
+    Seq = 8,
+    Sne = 9,
+    Slt = 10,
+    Sgt = 11,
+    Sle = 12,
+    Sge = 13,
+}
+
+/// Immediate-format select in ID (2 bits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ImmSel {
+    /// Sign-extended 16-bit immediate.
+    Sext16 = 0,
+    /// Zero-extended 16-bit immediate.
+    Zext16 = 1,
+    /// `imm16 << 16` (LHI).
+    Lhi = 2,
+    /// Sign-extended 26-bit offset (J/JAL).
+    Sext26 = 3,
+}
+
+/// Destination-register select in ID (2 bits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DestSel {
+    /// Instruction bits `[20:16]` (I-type rd).
+    IType = 0,
+    /// Instruction bits `[15:11]` (R-type rd).
+    RType = 1,
+    /// The link register `r31` (JAL/JALR).
+    Link = 2,
+}
+
+/// Write-back source select in WB (2 bits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WbSel {
+    /// ALU result.
+    Alu = 0,
+    /// Load data (after width extraction).
+    Lmd = 1,
+    /// Link value `pc + 4`.
+    Pc4 = 2,
+}
+
+/// Store-width select in MEM (2 bits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StSel {
+    /// 32-bit word.
+    Word = 0,
+    /// 16-bit half.
+    Half = 1,
+    /// 8-bit byte.
+    Byte = 2,
+}
+
+/// Load-extraction select in MEM (3 bits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LdSel {
+    /// Full word.
+    Word = 0,
+    /// Sign-extended byte.
+    ByteSext = 1,
+    /// Zero-extended byte.
+    ByteZext = 2,
+    /// Sign-extended half.
+    HalfSext = 3,
+    /// Zero-extended half.
+    HalfZext = 4,
+}
+
+/// The complete per-instruction control word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CtrlWord {
+    /// Immediate format (ID).
+    pub imm_sel: ImmSel,
+    /// Destination-register field (ID).
+    pub dest_sel: DestSel,
+    /// ALU function (EX).
+    pub alu_op: AluOp,
+    /// ALU B operand is the immediate (EX); otherwise the (forwarded) B
+    /// register value.
+    pub alu_b_imm: bool,
+    /// Memory load (EX/MEM).
+    pub is_load: bool,
+    /// Memory store (EX/MEM).
+    pub is_store: bool,
+    /// Conditional branch, resolved in EX.
+    pub is_branch: bool,
+    /// Branch taken when the (forwarded) A operand is zero (`BEQZ`) vs
+    /// non-zero (`BNEZ`).
+    pub branch_on_zero: bool,
+    /// PC-relative unconditional jump (J/JAL), resolved in EX.
+    pub is_jimm: bool,
+    /// Register-indirect jump (JR/JALR), resolved in EX.
+    pub is_jreg: bool,
+    /// Writes a destination register in WB.
+    pub writes_reg: bool,
+    /// Write-back source (WB).
+    pub wb_sel: WbSel,
+    /// Store width (MEM).
+    pub st_sel: StSel,
+    /// Load extraction (MEM).
+    pub ld_sel: LdSel,
+    /// Instruction reads `rs1` (hazard detection in ID).
+    pub uses_rs1: bool,
+    /// Instruction reads `rs2` (hazard detection in ID).
+    pub uses_rs2: bool,
+}
+
+impl Default for CtrlWord {
+    /// The NOP / bubble control word: everything inert.
+    fn default() -> Self {
+        CtrlWord {
+            imm_sel: ImmSel::Sext16,
+            dest_sel: DestSel::IType,
+            alu_op: AluOp::Add,
+            alu_b_imm: false,
+            is_load: false,
+            is_store: false,
+            is_branch: false,
+            branch_on_zero: false,
+            is_jimm: false,
+            is_jreg: false,
+            writes_reg: false,
+            wb_sel: WbSel::Alu,
+            st_sel: StSel::Word,
+            ld_sel: LdSel::Word,
+            uses_rs1: false,
+            uses_rs2: false,
+        }
+    }
+}
+
+impl CtrlWord {
+    /// The control word for an opcode (the decode table).
+    pub fn for_opcode(op: Opcode) -> CtrlWord {
+        use Opcode::*;
+        let mut w = CtrlWord {
+            uses_rs1: op.reads_rs1(),
+            uses_rs2: op.reads_rs2(),
+            writes_reg: op.writes_reg(),
+            ..CtrlWord::default()
+        };
+        match op {
+            Nop => {
+                w.writes_reg = false;
+            }
+            // Loads: address = rs1 + sext(imm), write LMD.
+            Lb | Lh | Lw | Lbu | Lhu => {
+                w.alu_b_imm = true;
+                w.is_load = true;
+                w.wb_sel = WbSel::Lmd;
+                w.ld_sel = match op {
+                    Lw => LdSel::Word,
+                    Lb => LdSel::ByteSext,
+                    Lbu => LdSel::ByteZext,
+                    Lh => LdSel::HalfSext,
+                    Lhu => LdSel::HalfZext,
+                    _ => unreachable!(),
+                };
+            }
+            // Stores: address = rs1 + sext(imm), data = rs2.
+            Sb | Sh | Sw => {
+                w.alu_b_imm = true;
+                w.is_store = true;
+                w.st_sel = match op {
+                    Sw => StSel::Word,
+                    Sh => StSel::Half,
+                    Sb => StSel::Byte,
+                    _ => unreachable!(),
+                };
+            }
+            // ALU immediates.
+            Addi => w = w.alu_imm(AluOp::Add, ImmSel::Sext16),
+            Addui => w = w.alu_imm(AluOp::Add, ImmSel::Zext16),
+            Subi => w = w.alu_imm(AluOp::Sub, ImmSel::Sext16),
+            Subui => w = w.alu_imm(AluOp::Sub, ImmSel::Zext16),
+            Andi => w = w.alu_imm(AluOp::And, ImmSel::Zext16),
+            Ori => w = w.alu_imm(AluOp::Or, ImmSel::Zext16),
+            Xori => w = w.alu_imm(AluOp::Xor, ImmSel::Zext16),
+            // LHI: rd = imm << 16 = r0 OR (imm << 16).
+            Lhi => w = w.alu_imm(AluOp::Or, ImmSel::Lhi),
+            Slli => w = w.alu_imm(AluOp::Sll, ImmSel::Zext16),
+            Srli => w = w.alu_imm(AluOp::Srl, ImmSel::Zext16),
+            Srai => w = w.alu_imm(AluOp::Sra, ImmSel::Zext16),
+            Seqi => w = w.alu_imm(AluOp::Seq, ImmSel::Sext16),
+            Snei => w = w.alu_imm(AluOp::Sne, ImmSel::Sext16),
+            Slti => w = w.alu_imm(AluOp::Slt, ImmSel::Sext16),
+            // Branches: condition on A in EX, target = pc4 + sext(imm).
+            Beqz | Bnez => {
+                w.is_branch = true;
+                w.branch_on_zero = op == Beqz;
+            }
+            // PC-relative jumps: target = pc4 + sext26.
+            J => {
+                w.is_jimm = true;
+                w.imm_sel = ImmSel::Sext26;
+            }
+            Jal => {
+                w.is_jimm = true;
+                w.imm_sel = ImmSel::Sext26;
+                w.dest_sel = DestSel::Link;
+                w.wb_sel = WbSel::Pc4;
+            }
+            // Register jumps: target = (forwarded) A.
+            Jr => w.is_jreg = true,
+            Jalr => {
+                w.is_jreg = true;
+                w.dest_sel = DestSel::Link;
+                w.wb_sel = WbSel::Pc4;
+            }
+            // R-type ALU.
+            Add | Addu => w = w.alu_reg(AluOp::Add),
+            Sub | Subu => w = w.alu_reg(AluOp::Sub),
+            And => w = w.alu_reg(AluOp::And),
+            Or => w = w.alu_reg(AluOp::Or),
+            Xor => w = w.alu_reg(AluOp::Xor),
+            Sll => w = w.alu_reg(AluOp::Sll),
+            Srl => w = w.alu_reg(AluOp::Srl),
+            Sra => w = w.alu_reg(AluOp::Sra),
+            Seq => w = w.alu_reg(AluOp::Seq),
+            Sne => w = w.alu_reg(AluOp::Sne),
+            Slt => w = w.alu_reg(AluOp::Slt),
+            Sgt => w = w.alu_reg(AluOp::Sgt),
+            Sle => w = w.alu_reg(AluOp::Sle),
+            Sge => w = w.alu_reg(AluOp::Sge),
+        }
+        w
+    }
+
+    fn alu_imm(mut self, op: AluOp, imm: ImmSel) -> Self {
+        self.alu_op = op;
+        self.alu_b_imm = true;
+        self.imm_sel = imm;
+        self
+    }
+
+    fn alu_reg(mut self, op: AluOp) -> Self {
+        self.alu_op = op;
+        self.dest_sel = DestSel::RType;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hltg_isa::instr::ALL_OPCODES;
+
+    #[test]
+    fn every_opcode_has_consistent_word() {
+        for op in ALL_OPCODES {
+            let w = CtrlWord::for_opcode(op);
+            assert_eq!(w.writes_reg, op.writes_reg(), "{op:?}");
+            assert_eq!(w.is_load, op.is_load(), "{op:?}");
+            assert_eq!(w.is_store, op.is_store(), "{op:?}");
+            assert_eq!(w.is_branch, op.is_branch(), "{op:?}");
+            assert_eq!(w.uses_rs1, op.reads_rs1(), "{op:?}");
+            assert_eq!(w.uses_rs2, op.reads_rs2(), "{op:?}");
+            // Loads/stores address through the adder with the immediate.
+            if op.is_load() || op.is_store() {
+                assert!(w.alu_b_imm && w.alu_op == AluOp::Add, "{op:?}");
+            }
+            // Only loads write back LMD.
+            assert_eq!(w.wb_sel == WbSel::Lmd, op.is_load(), "{op:?}");
+        }
+    }
+
+    #[test]
+    fn nop_word_is_inert() {
+        let w = CtrlWord::default();
+        assert!(!w.writes_reg && !w.is_store && !w.is_load);
+        assert!(!w.is_branch && !w.is_jimm && !w.is_jreg);
+        assert_eq!(w, CtrlWord::for_opcode(Opcode::Nop));
+    }
+
+    #[test]
+    fn link_instructions_write_r31_pc4() {
+        for op in [Opcode::Jal, Opcode::Jalr] {
+            let w = CtrlWord::for_opcode(op);
+            assert_eq!(w.dest_sel, DestSel::Link);
+            assert_eq!(w.wb_sel, WbSel::Pc4);
+            assert!(w.writes_reg);
+        }
+    }
+}

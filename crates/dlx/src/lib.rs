@@ -1,0 +1,53 @@
+//! The pipelined DLX test vehicle.
+//!
+//! This crate builds the processor the paper uses for its experiments
+//! (§VI): a five-stage (`IF/ID/EX/MEM/WB`) pipelined DLX implementing the
+//! 44 instructions of [`hltg_isa`], with
+//!
+//! * **load-use interlock** — a one-cycle stall when an instruction in ID
+//!   needs the result of a load in EX;
+//! * **forwarding (bypass)** — EX/MEM → EX and MEM/WB → EX paths for both
+//!   ALU operands (these buses are the datapath's *tertiary* signals);
+//! * **predict-not-taken fetch** — branches and jumps resolve in EX and
+//!   squash the two younger instructions on a taken transfer (the squash and
+//!   stall wires are the controller's *tertiary* signals).
+//!
+//! The datapath is a word-level [`hltg_netlist::dp::DpNetlist`]; the
+//! controller is a gate-level [`hltg_netlist::ctl::CtlNetlist`] synthesized
+//! from the per-opcode control-word table in [`ctrl_word`]. The two are
+//! joined into a [`hltg_netlist::Design`] whose only cross-domain wires are
+//! single-bit CTRL / STS signals and the 12 instruction bits (opcode +
+//! function fields) that feed the decoder — exactly the structure of the
+//! paper's Figure 1.
+//!
+//! # Example
+//!
+//! ```
+//! use hltg_dlx::{DlxDesign, runner};
+//! use hltg_isa::{asm, Reg};
+//!
+//! let dlx = DlxDesign::build();
+//! let program = asm::assemble(0, "
+//!     addi r1, r0, 40
+//!     addi r2, r0, 2
+//!     add  r3, r1, r2
+//!     sw   r3, 0x80(r0)
+//! ").expect("valid assembly");
+//! let result = runner::run_program(&dlx, &program, 32);
+//! assert_eq!(result.reg(Reg(3)), 42);
+//! assert_eq!(result.mem_word(0x80), 42);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod build;
+pub mod controller;
+pub mod ctrl_word;
+pub mod datapath;
+pub mod runner;
+pub mod trace;
+
+pub use build::{DlxDesign, DlxNets};
+pub use trace::PipeTrace;
+pub use ctrl_word::{AluOp, CtrlWord, DestSel, ImmSel, LdSel, StSel, WbSel};

@@ -1,0 +1,239 @@
+//! Pipeline-occupancy tracing: which instruction is in which stage, cycle
+//! by cycle, with interlock bubbles and squash kills made visible.
+//!
+//! The trace is reconstructed from the architectural fetch stream and the
+//! tertiary control signals (`stall`, `squash`) — exactly the signals the
+//! paper identifies as carrying all inter-instruction interaction — so the
+//! renderer doubles as a readable witness of that claim.
+
+use crate::build::DlxDesign;
+use hltg_isa::Instr;
+use hltg_sim::Machine;
+use std::fmt;
+
+/// What occupies one pipe stage in one cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Slot {
+    /// An instruction fetched from this byte address.
+    Instr(u32),
+    /// An interlock bubble (inserted by a stall) or squash kill.
+    Bubble,
+    /// Nothing yet (pipeline filling).
+    Empty,
+}
+
+/// One cycle of the trace.
+#[derive(Debug, Clone)]
+pub struct CycleRow {
+    /// Cycle index.
+    pub cycle: u64,
+    /// Stage occupancy `[IF, ID, EX, MEM, WB]`.
+    pub stages: [Slot; 5],
+    /// Load-use interlock active this cycle.
+    pub stall: bool,
+    /// Taken control transfer squashing the two younger stages.
+    pub squash: bool,
+}
+
+/// A captured pipeline trace.
+#[derive(Debug, Clone)]
+pub struct PipeTrace {
+    rows: Vec<CycleRow>,
+    /// The instruction words by byte address, for disassembly.
+    imem: Vec<(u64, u32)>,
+}
+
+impl PipeTrace {
+    /// Runs a machine for `cycles` and reconstructs stage occupancy from
+    /// the fetch stream and the stall/squash tertiary signals.
+    ///
+    /// `machine` must be freshly reset with its instruction memory loaded;
+    /// `imem` lists `(word_addr, word)` for disassembly in the rendering.
+    pub fn capture(
+        dlx: &DlxDesign,
+        machine: &mut Machine<'_>,
+        imem: &[(u64, u32)],
+        cycles: u64,
+    ) -> PipeTrace {
+        let mut rows = Vec::with_capacity(cycles as usize);
+        // Occupancy pipeline: index 0 = IF ... 4 = WB.
+        let mut stages = [Slot::Empty; 5];
+        for cycle in 0..cycles {
+            machine.step();
+            // Values settle during the step; read them afterwards.
+            let pc = machine.dp_value(dlx.dp.pc) as u32;
+            let stall = machine.ctl_value(dlx.ctl.stall);
+            let squash = machine.ctl_value(dlx.ctl.squash);
+            // This cycle's IF occupant is the fetch at `pc` (the younger
+            // stages were computed last cycle).
+            stages[0] = Slot::Instr(pc);
+            rows.push(CycleRow {
+                cycle,
+                stages,
+                stall,
+                squash,
+            });
+            // Advance occupancy exactly as the hardware does at the clock
+            // edge: squash kills IF and ID; a stall holds IF/ID and feeds a
+            // bubble into EX; otherwise everything shifts.
+            let mut next = [Slot::Empty; 5];
+            if squash {
+                next[1] = Slot::Bubble;
+                next[2] = Slot::Bubble;
+            } else if stall {
+                next[0] = stages[0];
+                next[1] = stages[1];
+                next[2] = Slot::Bubble;
+            } else {
+                next[1] = stages[0];
+                next[2] = stages[1];
+            }
+            next[3] = stages[2];
+            next[4] = stages[3];
+            stages = next;
+        }
+        PipeTrace {
+            rows,
+            imem: imem.to_vec(),
+        }
+    }
+
+    /// The captured rows.
+    pub fn rows(&self) -> &[CycleRow] {
+        &self.rows
+    }
+
+    /// Cycles in which the load-use interlock fired.
+    pub fn stall_cycles(&self) -> Vec<u64> {
+        self.rows
+            .iter()
+            .filter(|r| r.stall)
+            .map(|r| r.cycle)
+            .collect()
+    }
+
+    /// Cycles in which a taken transfer squashed the front end.
+    pub fn squash_cycles(&self) -> Vec<u64> {
+        self.rows
+            .iter()
+            .filter(|r| r.squash)
+            .map(|r| r.cycle)
+            .collect()
+    }
+
+    fn mnemonic_at(&self, addr: u32) -> String {
+        let word = self
+            .imem
+            .iter()
+            .find(|&&(a, _)| a == u64::from(addr) / 4)
+            .map(|&(_, w)| w)
+            .unwrap_or(0);
+        match Instr::decode(word) {
+            Ok(i) => i.to_string(),
+            Err(_) => format!("0x{word:08x}"),
+        }
+    }
+}
+
+impl fmt::Display for PipeTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:>5}  {:<22} {:<22} {:<22} {:<22} {:<22}",
+            "cycle", "IF", "ID", "EX", "MEM", "WB"
+        )?;
+        for row in &self.rows {
+            let cell = |s: Slot| -> String {
+                match s {
+                    Slot::Instr(a) => format!("{:04x}: {}", a, self.mnemonic_at(a)),
+                    Slot::Bubble => "(bubble)".into(),
+                    Slot::Empty => String::new(),
+                }
+            };
+            let mut flags = String::new();
+            if row.stall {
+                flags.push_str(" STALL");
+            }
+            if row.squash {
+                flags.push_str(" SQUASH");
+            }
+            writeln!(
+                f,
+                "{:>5}  {:<22} {:<22} {:<22} {:<22} {:<22}{}",
+                row.cycle,
+                cell(row.stages[0]),
+                cell(row.stages[1]),
+                cell(row.stages[2]),
+                cell(row.stages[3]),
+                cell(row.stages[4]),
+                flags
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner;
+    use hltg_isa::asm::assemble;
+
+    fn capture(text: &str, cycles: u64) -> PipeTrace {
+        let dlx = DlxDesign::build();
+        let program = assemble(0, text).unwrap();
+        let mut machine = Machine::new(&dlx.design).unwrap();
+        runner::load_program(&dlx, &mut machine, &program);
+        let imem: Vec<(u64, u32)> = program
+            .encode()
+            .into_iter()
+            .enumerate()
+            .map(|(i, w)| (i as u64, w))
+            .collect();
+        PipeTrace::capture(&dlx, &mut machine, &imem, cycles)
+    }
+
+    #[test]
+    fn straight_line_fills_all_stages() {
+        let t = capture(
+            "addi r1, r0, 1\naddi r2, r0, 2\naddi r3, r0, 3\naddi r4, r0, 4\naddi r5, r0, 5",
+            8,
+        );
+        assert!(t.stall_cycles().is_empty());
+        assert!(t.squash_cycles().is_empty());
+        // At cycle 4 the pipe is full: IF holds the 5th instruction, WB the
+        // first.
+        let row = &t.rows()[4];
+        assert_eq!(row.stages[0], Slot::Instr(16));
+        assert_eq!(row.stages[4], Slot::Instr(0));
+    }
+
+    #[test]
+    fn load_use_shows_one_stall_and_bubble() {
+        let t = capture(
+            "lw r1, 0x40(r0)\nadd r2, r1, r1\nnop\nnop",
+            8,
+        );
+        assert_eq!(t.stall_cycles().len(), 1, "exactly one interlock cycle");
+        let stall_cycle = t.stall_cycles()[0] as usize;
+        // The cycle after the stall carries a bubble in EX.
+        assert_eq!(t.rows()[stall_cycle + 1].stages[2], Slot::Bubble);
+        let rendered = t.to_string();
+        assert!(rendered.contains("STALL"));
+        assert!(rendered.contains("(bubble)"));
+    }
+
+    #[test]
+    fn taken_branch_kills_two_slots() {
+        let t = capture(
+            "beqz r0, skip\naddi r1, r0, 9\nnop\nskip: addi r2, r0, 2",
+            8,
+        );
+        assert_eq!(t.squash_cycles().len(), 1);
+        let q = t.squash_cycles()[0] as usize;
+        assert_eq!(t.rows()[q + 1].stages[1], Slot::Bubble, "ID killed");
+        assert_eq!(t.rows()[q + 1].stages[2], Slot::Bubble, "EX gets bubble");
+        // The fetch after the squash lands on the branch target.
+        assert_eq!(t.rows()[q + 1].stages[0], Slot::Instr(12));
+    }
+}

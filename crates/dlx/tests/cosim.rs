@@ -1,0 +1,400 @@
+//! Co-simulation of the pipelined DLX against the architectural reference
+//! simulator — the correctness foundation every ATPG result rests on.
+//!
+//! Each test runs the same program on both models and compares final
+//! register-file and data-memory state. The pipeline runs long enough that
+//! the program (plus trailing NOPs from zero-filled instruction memory)
+//! quiesces; NOPs have no architectural effect, so final-state comparison is
+//! exact.
+
+use hltg_dlx::{runner, DlxDesign};
+use hltg_isa::asm::{assemble, Program};
+use hltg_isa::ref_sim::ArchSim;
+use hltg_isa::{Instr, Opcode, Reg};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Runs `program` on both models and asserts equal architectural state.
+/// `arch_steps` bounds the reference run; the pipeline runs 3× that plus
+/// fill/drain margin.
+fn cosim(dlx: &DlxDesign, program: &Program, arch_steps: usize) {
+    let mut spec = ArchSim::new();
+    spec.load_program(program.base, &program.encode());
+    spec.run(arch_steps);
+
+    let result = runner::run_program(dlx, program, (3 * arch_steps + 24) as u64);
+
+    for r in 0..32u8 {
+        assert_eq!(
+            result.reg(Reg(r)),
+            spec.reg(Reg(r)) as u64,
+            "r{r} mismatch\nprogram:\n{}",
+            program.listing()
+        );
+    }
+    // Compare every data word either model touched.
+    for &(word_addr, value) in &result.dmem {
+        assert_eq!(
+            value,
+            spec.mem_word(word_addr as u32 * 4) as u64,
+            "dmem[{word_addr:#x}] mismatch\nprogram:\n{}",
+            program.listing()
+        );
+    }
+}
+
+fn cosim_asm(dlx: &DlxDesign, text: &str) {
+    let p = assemble(0, text).expect("valid assembly");
+    cosim(dlx, &p, p.len() * 8 + 16);
+}
+
+#[test]
+fn forwarding_chain_distance_1_2_3() {
+    let dlx = DlxDesign::build();
+    cosim_asm(
+        &dlx,
+        "
+        addi r1, r0, 11
+        add  r2, r1, r1   ; distance 1: EX/MEM bypass
+        add  r3, r2, r1   ; distances 1 and 2
+        add  r4, r3, r2   ; distances 1 and 2
+        add  r5, r1, r1   ; distance 4: plain regfile read
+        sub  r6, r5, r3
+        ",
+    );
+}
+
+#[test]
+fn distance_3_uses_regfile_write_through() {
+    let dlx = DlxDesign::build();
+    cosim_asm(
+        &dlx,
+        "
+        addi r1, r0, 42
+        nop
+        nop
+        add  r2, r1, r1   ; producer is in WB while this reads in ID
+        ",
+    );
+}
+
+#[test]
+fn load_use_interlock() {
+    let dlx = DlxDesign::build();
+    cosim_asm(
+        &dlx,
+        "
+        addi r1, r0, 0x77
+        sw   r1, 0x40(r0)
+        lw   r2, 0x40(r0)
+        add  r3, r2, r2   ; immediate use of load: needs the stall
+        lw   r4, 0x40(r0)
+        sw   r4, 0x44(r0) ; store of just-loaded value (stall + WB bypass)
+        ",
+    );
+}
+
+#[test]
+fn branch_taken_squashes_wrong_path() {
+    let dlx = DlxDesign::build();
+    cosim_asm(
+        &dlx,
+        "
+        addi r1, r0, 1
+        beqz r0, skip     ; always taken
+        addi r2, r0, 99   ; wrong path: must be squashed
+        addi r3, r0, 99   ; wrong path: must be squashed
+    skip:
+        addi r4, r0, 7
+        ",
+    );
+}
+
+#[test]
+fn branch_not_taken_falls_through() {
+    let dlx = DlxDesign::build();
+    cosim_asm(
+        &dlx,
+        "
+        addi r1, r0, 1
+        bnez r0, away     ; never taken
+        addi r2, r0, 5
+        addi r3, r0, 6
+    away:
+        addi r4, r0, 7
+        ",
+    );
+}
+
+#[test]
+fn branch_condition_uses_forwarded_value() {
+    let dlx = DlxDesign::build();
+    // The branch condition register is produced by the immediately
+    // preceding instruction: condition must see the bypassed value.
+    cosim_asm(
+        &dlx,
+        "
+        addi r1, r0, 1
+        subi r1, r1, 1    ; r1 becomes 0 in EX right before the branch
+        beqz r1, yes
+        addi r2, r0, 99
+    yes:
+        addi r3, r0, 3
+        ",
+    );
+}
+
+#[test]
+fn countdown_loop() {
+    let dlx = DlxDesign::build();
+    cosim_asm(
+        &dlx,
+        "
+        addi r1, r0, 4
+        addi r2, r0, 0
+    top:
+        add  r2, r2, r1
+        subi r1, r1, 1
+        bnez r1, top
+        sw   r2, 0x100(r0)  ; 4+3+2+1 = 10
+        ",
+    );
+}
+
+#[test]
+fn jal_jr_link_and_return() {
+    let dlx = DlxDesign::build();
+    cosim_asm(
+        &dlx,
+        "
+        jal  sub            ; r31 <- 4
+        addi r1, r0, 1      ; executed after return
+        j    end
+    sub:
+        addi r2, r0, 2
+        jr   r31
+        addi r9, r0, 99     ; delay-slot-looking wrong path: squashed
+    end:
+        addi r3, r0, 3
+        ",
+    );
+}
+
+#[test]
+fn jalr_links() {
+    let dlx = DlxDesign::build();
+    cosim_asm(
+        &dlx,
+        "
+        addi r1, r0, 16
+        nop
+        nop
+        jalr r1            ; to byte 16, r31 <- 12
+        addi r2, r0, 99    ; squashed
+        addi r3, r0, 3     ; at byte 16 (wait: jalr is at 12... target 16)
+        add  r4, r31, r0
+        ",
+    );
+}
+
+#[test]
+fn byte_and_half_memory_ops() {
+    let dlx = DlxDesign::build();
+    cosim_asm(
+        &dlx,
+        "
+        lhi  r1, 0x1234
+        ori  r1, r1, 0x5678
+        sw   r1, 0x200(r0)
+        sb   r1, 0x205(r0)
+        sh   r1, 0x20a(r0)
+        lb   r2, 0x200(r0)
+        lbu  r3, 0x201(r0)
+        lh   r4, 0x202(r0)
+        lhu  r5, 0x205(r0)
+        lw   r6, 0x204(r0)
+        ",
+    );
+}
+
+#[test]
+fn set_instructions_signed_comparisons() {
+    let dlx = DlxDesign::build();
+    cosim_asm(
+        &dlx,
+        "
+        addi r1, r0, -5
+        addi r2, r0, 3
+        slt  r3, r1, r2
+        sgt  r4, r1, r2
+        sle  r5, r1, r1
+        sge  r6, r2, r1
+        seq  r7, r1, r1
+        sne  r8, r1, r2
+        slti r9, r1, -4
+        seqi r10, r2, 3
+        ",
+    );
+}
+
+#[test]
+fn shifts_and_logic() {
+    let dlx = DlxDesign::build();
+    cosim_asm(
+        &dlx,
+        "
+        lhi  r1, 0x8000
+        ori  r2, r0, 5
+        sra  r3, r1, r2
+        srl  r4, r1, r2
+        sll  r5, r2, r2
+        srai r6, r1, 31
+        srli r7, r1, 31
+        slli r8, r2, 3
+        andi r9, r1, 0xffff
+        xori r10, r2, 0xff
+        ",
+    );
+}
+
+#[test]
+fn store_data_forwarding() {
+    let dlx = DlxDesign::build();
+    cosim_asm(
+        &dlx,
+        "
+        addi r1, r0, 0x2a
+        sw   r1, 0x80(r0)   ; store data produced 1 cycle earlier
+        addi r2, r0, 0x2b
+        nop
+        sw   r2, 0x84(r0)   ; distance 2
+        ",
+    );
+}
+
+#[test]
+fn r0_writes_are_discarded_in_pipeline() {
+    let dlx = DlxDesign::build();
+    cosim_asm(
+        &dlx,
+        "
+        addi r0, r0, 77     ; must not change r0
+        add  r1, r0, r0
+        lw   r2, 0(r0)
+        addi r3, r2, 1
+        ",
+    );
+}
+
+/// Randomized co-simulation: straight-line programs with hazard-dense
+/// register reuse over a small register window, plus loads/stores to a
+/// small memory region and occasional forward branches.
+#[test]
+fn random_cosim_hazard_dense() {
+    let dlx = DlxDesign::build();
+    let mut rng = StdRng::seed_from_u64(0xD1_5EED);
+    for trial in 0..40 {
+        let p = random_program(&mut rng, 24);
+        let steps = p.len() * 4 + 16;
+        // Bound memory addresses so listing stays readable on failure.
+        cosim(&dlx, &p, steps);
+        let _ = trial;
+    }
+}
+
+fn random_program(rng: &mut StdRng, len: usize) -> Program {
+    let mut p = Program::new();
+    let reg = |rng: &mut StdRng| Reg(rng.gen_range(0..6)); // dense reuse, incl. r0
+    for i in 0..len {
+        let remaining = len - i;
+        let pick = rng.gen_range(0..100);
+        let instr = if pick < 35 {
+            // R-type ALU
+            let ops = [
+                Opcode::Add,
+                Opcode::Sub,
+                Opcode::And,
+                Opcode::Or,
+                Opcode::Xor,
+                Opcode::Sll,
+                Opcode::Srl,
+                Opcode::Sra,
+                Opcode::Slt,
+                Opcode::Sgt,
+                Opcode::Seq,
+                Opcode::Sne,
+                Opcode::Sle,
+                Opcode::Sge,
+            ];
+            let op = ops[rng.gen_range(0..ops.len())];
+            Instr {
+                op,
+                rd: reg(rng),
+                rs1: reg(rng),
+                rs2: reg(rng),
+                imm: 0,
+            }
+        } else if pick < 60 {
+            // I-type ALU
+            let ops = [
+                Opcode::Addi,
+                Opcode::Addui,
+                Opcode::Subi,
+                Opcode::Andi,
+                Opcode::Ori,
+                Opcode::Xori,
+                Opcode::Slti,
+                Opcode::Seqi,
+                Opcode::Snei,
+            ];
+            let op = ops[rng.gen_range(0..ops.len())];
+            let imm = if op.imm_is_signed() {
+                rng.gen_range(-128..128)
+            } else {
+                rng.gen_range(0..256)
+            };
+            Instr {
+                op,
+                rd: reg(rng),
+                rs1: reg(rng),
+                rs2: Reg(0),
+                imm,
+            }
+        } else if pick < 70 {
+            Instr::lhi(reg(rng), rng.gen_range(0..0x10000))
+        } else if pick < 82 {
+            // Load from the small scratch region (word aligned to keep
+            // byte/half lanes exercised via dedicated tests).
+            let ops = [Opcode::Lw, Opcode::Lb, Opcode::Lbu, Opcode::Lh, Opcode::Lhu];
+            let op = ops[rng.gen_range(0..ops.len())];
+            let align = match op {
+                Opcode::Lw => !3,
+                Opcode::Lh | Opcode::Lhu => !1,
+                _ => !0,
+            };
+            Instr::load(op, reg(rng), Reg(0), (0x100 + rng.gen_range(0..64)) & align)
+        } else if pick < 92 {
+            let ops = [Opcode::Sw, Opcode::Sh, Opcode::Sb];
+            let op = ops[rng.gen_range(0..ops.len())];
+            let align = match op {
+                Opcode::Sw => !3,
+                Opcode::Sh => !1,
+                _ => !0,
+            };
+            Instr::store(op, Reg(0), (0x100 + rng.gen_range(0..64)) & align, reg(rng))
+        } else if remaining > 3 {
+            // Forward branch over 1..3 instructions (no infinite loops).
+            let skip = rng.gen_range(1..=3.min(remaining as i32 - 1));
+            let off = skip * 4;
+            if rng.gen_bool(0.5) {
+                Instr::beqz(reg(rng), off)
+            } else {
+                Instr::bnez(reg(rng), off)
+            }
+        } else {
+            Instr::nop()
+        };
+        p.push(instr);
+    }
+    p
+}

@@ -1,0 +1,394 @@
+//! The bus single-stuck-line (bus SSL) synthetic design-error model.
+//!
+//! Following Van Campenhout et al. (and Bhattacharya & Hayes' bus-fault
+//! model), a *bus SSL error* fixes one line of one word-level datapath bus
+//! to a constant. The model's virtue for design verification is that the
+//! number of error instances is **linear in the size of the circuit**, while
+//! still correlating with realistic design errors (wrong connections,
+//! dropped signals, inverted control).
+//!
+//! Two enumeration policies are provided:
+//!
+//! * [`EnumPolicy::RepresentativePerBus`] — two errors per bus (one line,
+//!   both polarities), the linear-size population used for the Table 1
+//!   reproduction;
+//! * [`EnumPolicy::AllBits`] — every line of every bus, for exhaustive
+//!   studies.
+//!
+//! # Example
+//!
+//! ```
+//! use hltg_errors::{enumerate_stage_errors, EnumPolicy};
+//! use hltg_netlist::Stage;
+//! let dlx = hltg_dlx::DlxDesign::build();
+//! let errors = enumerate_stage_errors(
+//!     &dlx.design,
+//!     &[Stage::new(2), Stage::new(3), Stage::new(4)],
+//!     EnumPolicy::RepresentativePerBus,
+//! );
+//! assert!(!errors.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use hltg_netlist::dp::{DpNetId, DpNetKind, DpOp};
+use hltg_netlist::{Design, Stage};
+use std::fmt;
+
+pub use hltg_sim::{ErrorModel, Polarity};
+
+/// Unique identifier of an error instance within an enumeration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ErrorId(pub u32);
+
+/// One bus single-stuck-line design error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BusSslError {
+    /// Identifier within the enumeration that produced it.
+    pub id: ErrorId,
+    /// The affected datapath bus.
+    pub net: DpNetId,
+    /// Name of the bus (for reports).
+    pub net_name: String,
+    /// Bus width.
+    pub width: u32,
+    /// The stuck line.
+    pub bit: u32,
+    /// Stuck polarity.
+    pub polarity: Polarity,
+    /// Pipe stage of the bus.
+    pub stage: Stage,
+}
+
+impl BusSslError {
+    /// The simulator injection realizing this error.
+    pub fn to_injection(&self) -> hltg_sim::Injection {
+        hltg_sim::Injection {
+            net: self.net,
+            bit: self.bit,
+            polarity: self.polarity,
+        }
+    }
+}
+
+impl fmt::Display for BusSslError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "#{} {}[{}] {} @{}",
+            self.id.0, self.net_name, self.bit, self.polarity, self.stage
+        )
+    }
+}
+
+/// How to enumerate bus SSL errors over a design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnumPolicy {
+    /// One representative line per bus (the middle line), both polarities:
+    /// an error population linear in circuit size, as the paper requires.
+    RepresentativePerBus,
+    /// Every line of every bus, both polarities.
+    AllBits,
+}
+
+/// `true` if `net` is an error site: a word-level datapath bus (primary
+/// input or module output), not a single-bit control wire from the
+/// controller and not a constant.
+fn is_error_site(design: &Design, net: DpNetId) -> bool {
+    let n = design.dp.net(net);
+    match n.kind {
+        DpNetKind::Ctrl => false,
+        DpNetKind::Input => true,
+        DpNetKind::Internal => {
+            let driver = n.driver.expect("validated internal net");
+            // Constants are not buses that can be mis-wired meaningfully at
+            // this level; every other module output is.
+            !matches!(
+                design.dp.module(driver).op,
+                hltg_netlist::dp::DpOp::Const(_)
+            )
+        }
+    }
+}
+
+/// Enumerates bus SSL errors on every datapath bus belonging to one of
+/// `stages`.
+///
+/// Buses are visited in net order; for each bus the policy decides which
+/// lines are included, and each included line yields a stuck-at-0 and a
+/// stuck-at-1 instance.
+pub fn enumerate_stage_errors(
+    design: &Design,
+    stages: &[Stage],
+    policy: EnumPolicy,
+) -> Vec<BusSslError> {
+    let mut out = Vec::new();
+    for (id, net) in design.dp.iter_nets() {
+        if !stages.contains(&net.stage) || !is_error_site(design, id) {
+            continue;
+        }
+        let bits: Vec<u32> = match policy {
+            EnumPolicy::RepresentativePerBus => vec![net.width / 2],
+            EnumPolicy::AllBits => (0..net.width).collect(),
+        };
+        for bit in bits {
+            for polarity in [Polarity::StuckAt0, Polarity::StuckAt1] {
+                out.push(BusSslError {
+                    id: ErrorId(out.len() as u32),
+                    net: id,
+                    net_name: net.name.clone(),
+                    width: net.width,
+                    bit,
+                    polarity,
+                    stage: net.stage,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// `true` if the error is *structurally redundant*: the stuck line always
+/// carries the stuck value in the error-free machine, so the erroneous
+/// machine is behaviourally identical and no test can exist. This covers
+/// stuck-at-0 errors on lines that are constant zero by construction —
+/// zero-extension upper bits and lines below a constant left-shift.
+///
+/// # Examples
+///
+/// ```
+/// # use hltg_errors::*;
+/// let dlx = hltg_dlx::DlxDesign::build();
+/// let errors = enumerate_all_errors(&dlx.design, EnumPolicy::RepresentativePerBus);
+/// let redundant = errors.iter().filter(|e| is_structurally_redundant(&dlx.design, e)).count();
+/// assert!(redundant > 0);
+/// ```
+pub fn is_structurally_redundant(design: &Design, error: &BusSslError) -> bool {
+    match error.polarity {
+        Polarity::StuckAt0 => constant_line(design, error.net, error.bit, 8) == Some(false),
+        // A constant-one line would be the dual case; none of our module
+        // semantics produce one.
+        Polarity::StuckAt1 => constant_line(design, error.net, error.bit, 8) == Some(true),
+    }
+}
+
+/// Returns `Some(value)` if line `bit` of `net` provably always carries
+/// `value`, `None` if unknown. Depth-bounded structural walk.
+fn constant_line(design: &Design, net: DpNetId, bit: u32, depth: u32) -> Option<bool> {
+    use hltg_netlist::dp::DpOp;
+    if depth == 0 {
+        return None;
+    }
+    let n = design.dp.net(net);
+    let driver = n.driver?;
+    let m = design.dp.module(driver);
+    match m.op {
+        DpOp::Const(v) => Some((v >> bit) & 1 == 1),
+        DpOp::ZeroExt => {
+            let w = design.dp.net(m.inputs[0]).width;
+            if bit >= w {
+                Some(false)
+            } else {
+                constant_line(design, m.inputs[0], bit, depth - 1)
+            }
+        }
+        DpOp::Sll => {
+            // Left shift by a constant amount zeroes the low lines.
+            let amt = design.dp.net(m.inputs[1]).driver.and_then(|d| {
+                match design.dp.module(d).op {
+                    DpOp::Const(v) => Some(v as u32),
+                    _ => None,
+                }
+            })?;
+            if bit < amt {
+                Some(false)
+            } else {
+                None
+            }
+        }
+        DpOp::Slice { lo } => constant_line(design, m.inputs[0], lo + bit, depth - 1),
+        DpOp::Concat => {
+            let mut off = 0;
+            for &inp in &m.inputs {
+                let w = design.dp.net(inp).width;
+                if bit < off + w {
+                    return constant_line(design, inp, bit - off, depth - 1);
+                }
+                off += w;
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+/// Enumerates bus SSL errors over every stage of the datapath.
+pub fn enumerate_all_errors(design: &Design, policy: EnumPolicy) -> Vec<BusSslError> {
+    let max_stage = design
+        .dp
+        .iter_nets()
+        .map(|(_, n)| n.stage.index())
+        .max()
+        .unwrap_or(0);
+    let stages: Vec<Stage> = (0..=max_stage as u8).map(Stage::new).collect();
+    enumerate_stage_errors(design, &stages, policy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Design {
+        use hltg_netlist::ctl::CtlBuilder;
+        use hltg_netlist::dp::DpBuilder;
+        let mut b = DpBuilder::new("dp");
+        b.set_stage(Stage::new(0));
+        let a = b.input("a", 8);
+        let c = b.input("c", 8);
+        let s = b.add("s", a, c);
+        b.set_stage(Stage::new(1));
+        let k = b.constant("k", 8, 1);
+        let t = b.add("t", s, k);
+        b.mark_output(t);
+        let dp = b.finish().unwrap();
+        let ctl = CtlBuilder::new("ctl").finish().unwrap();
+        Design::new("toy", dp, ctl)
+    }
+
+    #[test]
+    fn representative_policy_is_linear() {
+        let d = toy();
+        let errs = enumerate_all_errors(&d, EnumPolicy::RepresentativePerBus);
+        // Buses: a, c, s.y, t.y (constant k.y excluded) -> 4 × 2 polarities.
+        assert_eq!(errs.len(), 8);
+        // Middle line of an 8-bit bus.
+        assert!(errs.iter().all(|e| e.bit == 4));
+    }
+
+    #[test]
+    fn all_bits_policy_covers_every_line() {
+        let d = toy();
+        let errs = enumerate_all_errors(&d, EnumPolicy::AllBits);
+        assert_eq!(errs.len(), 4 * 8 * 2);
+    }
+
+    #[test]
+    fn stage_filter() {
+        let d = toy();
+        let errs = enumerate_stage_errors(&d, &[Stage::new(1)], EnumPolicy::RepresentativePerBus);
+        // Only t.y lives in stage 1 (k is a constant).
+        assert_eq!(errs.len(), 2);
+        assert!(errs.iter().all(|e| e.net_name == "t.y"));
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let d = toy();
+        let errs = enumerate_all_errors(&d, EnumPolicy::AllBits);
+        for (i, e) in errs.iter().enumerate() {
+            assert_eq!(e.id.0 as usize, i);
+        }
+    }
+
+    #[test]
+    fn display_format() {
+        let d = toy();
+        let errs = enumerate_all_errors(&d, EnumPolicy::RepresentativePerBus);
+        let s = errs[0].to_string();
+        assert!(s.contains("sa0") && s.contains("[4]"), "{s}");
+    }
+}
+
+/// Enumerates **bus order errors** (two adjacent lines of a bus swapped —
+/// modelling a miswired bus) on the buses of `stages`. One representative
+/// adjacent swap per bus, at the middle of the bus.
+pub fn enumerate_bus_order_errors(design: &Design, stages: &[Stage]) -> Vec<ErrorModel> {
+    let mut out = Vec::new();
+    for (id, net) in design.dp.iter_nets() {
+        if !stages.contains(&net.stage) || !is_error_site(design, id) || net.width < 2 {
+            continue;
+        }
+        let low = (net.width / 2).min(net.width - 2);
+        out.push(ErrorModel::BusOrder {
+            net: id,
+            low,
+            high: low + 1,
+        });
+    }
+    out
+}
+
+/// The plausible wrong-operator substitutions for a module, from the
+/// extended error-model family: operators a designer could plausibly have
+/// confused (add/sub, and/or, xor/xnor, shift direction, comparison sense).
+pub fn plausible_substitutions(op: &DpOp) -> Vec<DpOp> {
+    match op {
+        DpOp::Add => vec![DpOp::Sub],
+        DpOp::Sub => vec![DpOp::Add],
+        DpOp::And => vec![DpOp::Or],
+        DpOp::Or => vec![DpOp::And],
+        DpOp::Xor => vec![DpOp::Xnor],
+        DpOp::Xnor => vec![DpOp::Xor],
+        DpOp::Nand => vec![DpOp::Nor],
+        DpOp::Nor => vec![DpOp::Nand],
+        DpOp::Sll => vec![DpOp::Srl],
+        DpOp::Srl => vec![DpOp::Sll, DpOp::Sra],
+        DpOp::Sra => vec![DpOp::Srl],
+        DpOp::Eq => vec![DpOp::Ne],
+        DpOp::Ne => vec![DpOp::Eq],
+        DpOp::Lt => vec![DpOp::Le, DpOp::Ge],
+        DpOp::Le => vec![DpOp::Lt],
+        DpOp::Gt => vec![DpOp::Ge],
+        DpOp::Ge => vec![DpOp::Gt, DpOp::Lt],
+        DpOp::LtU => vec![DpOp::GeU, DpOp::Lt],
+        DpOp::GeU => vec![DpOp::LtU],
+        _ => Vec::new(),
+    }
+}
+
+/// Enumerates **module substitution errors** (a module implementing a
+/// plausibly-confusable wrong operation) in `stages`.
+pub fn enumerate_module_substitutions(design: &Design, stages: &[Stage]) -> Vec<ErrorModel> {
+    let mut out = Vec::new();
+    for (id, m) in design.dp.iter_modules() {
+        if !stages.contains(&m.stage) {
+            continue;
+        }
+        for with in plausible_substitutions(&m.op) {
+            out.push(ErrorModel::ModuleSubstitution { module: id, with });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod extended_tests {
+    use super::*;
+
+    #[test]
+    fn extended_models_enumerate_on_dlx() {
+        let dlx = hltg_dlx::DlxDesign::build();
+        let stages = [Stage::new(2), Stage::new(3), Stage::new(4)];
+        let order = enumerate_bus_order_errors(&dlx.design, &stages);
+        let subs = enumerate_module_substitutions(&dlx.design, &stages);
+        assert!(order.len() > 30, "{}", order.len());
+        assert!(subs.len() > 15, "{}", subs.len());
+        // Substitutions preserve arity by construction: every candidate op
+        // for a binary module is binary.
+        for e in &subs {
+            if let ErrorModel::ModuleSubstitution { module, with } = e {
+                let m = dlx.design.dp.module(*module);
+                assert_eq!(m.inputs.len(), 2, "{:?} -> {with:?}", m.op);
+            }
+        }
+    }
+
+    #[test]
+    fn substitutions_are_symmetric_where_expected() {
+        assert!(plausible_substitutions(&DpOp::Add).contains(&DpOp::Sub));
+        assert!(plausible_substitutions(&DpOp::Sub).contains(&DpOp::Add));
+        assert!(plausible_substitutions(&DpOp::Mux).is_empty());
+        assert!(plausible_substitutions(&DpOp::Const(3)).is_empty());
+    }
+}

@@ -1,0 +1,435 @@
+//! A small two-pass assembler and program container.
+//!
+//! The assembler accepts one instruction per line using the syntax printed
+//! by [`Instr`]'s `Display` impl, plus labels and comments:
+//!
+//! ```text
+//! ; initialize operands
+//!         addi r1, r0, 10
+//! loop:   subi r1, r1, 1
+//!         bnez r1, loop
+//!         sw   r1, 0x40(r0)
+//! ```
+
+use crate::instr::{Instr, Opcode, Reg, ALL_OPCODES};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// An ordered list of instructions with a base address.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Program {
+    /// Byte address of the first instruction.
+    pub base: u32,
+    /// The instructions.
+    pub instrs: Vec<Instr>,
+}
+
+impl Program {
+    /// An empty program based at address 0.
+    pub fn new() -> Self {
+        Program::default()
+    }
+
+    /// Appends an instruction; returns its byte address.
+    pub fn push(&mut self, instr: Instr) -> u32 {
+        let addr = self.base + 4 * self.instrs.len() as u32;
+        self.instrs.push(instr);
+        addr
+    }
+
+    /// Appends `n` no-ops.
+    pub fn push_nops(&mut self, n: usize) {
+        for _ in 0..n {
+            self.push(Instr::nop());
+        }
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// `true` if the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Encodes to instruction words.
+    pub fn encode(&self) -> Vec<u32> {
+        self.instrs.iter().map(Instr::encode).collect()
+    }
+
+    /// Disassembles to one mnemonic line per instruction.
+    pub fn listing(&self) -> String {
+        let mut s = String::new();
+        for (i, instr) in self.instrs.iter().enumerate() {
+            use std::fmt::Write;
+            let _ = writeln!(s, "{:#06x}: {}", self.base + 4 * i as u32, instr);
+        }
+        s
+    }
+}
+
+impl FromIterator<Instr> for Program {
+    fn from_iter<T: IntoIterator<Item = Instr>>(iter: T) -> Self {
+        Program {
+            base: 0,
+            instrs: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Instr> for Program {
+    fn extend<T: IntoIterator<Item = Instr>>(&mut self, iter: T) {
+        self.instrs.extend(iter);
+    }
+}
+
+/// An assembly error with its line number (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub detail: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.detail)
+    }
+}
+
+impl Error for AsmError {}
+
+fn parse_reg(tok: &str, line: usize) -> Result<Reg, AsmError> {
+    let t = tok.trim();
+    let num = t
+        .strip_prefix('r')
+        .or_else(|| t.strip_prefix('R'))
+        .ok_or_else(|| AsmError {
+            line,
+            detail: format!("expected register, found `{t}`"),
+        })?;
+    let n: u8 = num.parse().map_err(|_| AsmError {
+        line,
+        detail: format!("bad register `{t}`"),
+    })?;
+    if n >= 32 {
+        return Err(AsmError {
+            line,
+            detail: format!("register `{t}` out of range"),
+        });
+    }
+    Ok(Reg(n))
+}
+
+fn parse_imm(tok: &str, line: usize) -> Result<i32, AsmError> {
+    let t = tok.trim();
+    let (neg, t) = match t.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, t),
+    };
+    let v = if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16)
+    } else {
+        t.parse::<i64>()
+    }
+    .map_err(|_| AsmError {
+        line,
+        detail: format!("bad immediate `{tok}`"),
+    })?;
+    let v = if neg { -v } else { v };
+    i32::try_from(v).map_err(|_| AsmError {
+        line,
+        detail: format!("immediate `{tok}` out of range"),
+    })
+}
+
+/// `imm(reg)` operand for loads/stores.
+fn parse_mem_operand(tok: &str, line: usize) -> Result<(i32, Reg), AsmError> {
+    let t = tok.trim();
+    let open = t.find('(').ok_or_else(|| AsmError {
+        line,
+        detail: format!("expected `imm(reg)`, found `{t}`"),
+    })?;
+    if !t.ends_with(')') {
+        return Err(AsmError {
+            line,
+            detail: format!("unterminated memory operand `{t}`"),
+        });
+    }
+    let imm = if open == 0 { 0 } else { parse_imm(&t[..open], line)? };
+    let reg = parse_reg(&t[open + 1..t.len() - 1], line)?;
+    Ok((imm, reg))
+}
+
+struct Line<'a> {
+    number: usize,
+    mnemonic: &'a str,
+    operands: Vec<&'a str>,
+}
+
+/// Assembles source text into a [`Program`] based at `base`.
+///
+/// # Errors
+///
+/// Returns the first [`AsmError`] (unknown mnemonic, malformed operand,
+/// undefined label, immediate overflow).
+///
+/// # Examples
+///
+/// ```
+/// let p = hltg_isa::asm::assemble(0, "
+///     addi r1, r0, 3
+/// top: subi r1, r1, 1
+///     bnez r1, top
+/// ")?;
+/// assert_eq!(p.len(), 3);
+/// assert_eq!(p.instrs[2].imm, -8); // branch back over one instruction
+/// # Ok::<(), hltg_isa::asm::AsmError>(())
+/// ```
+pub fn assemble(base: u32, text: &str) -> Result<Program, AsmError> {
+    // Pass 1: strip comments, collect labels and instruction lines.
+    let mut labels: HashMap<String, u32> = HashMap::new();
+    let mut lines: Vec<Line<'_>> = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let number = i + 1;
+        let mut s = raw;
+        if let Some(p) = s.find([';', '#']) {
+            s = &s[..p];
+        }
+        let mut s = s.trim();
+        while let Some(colon) = s.find(':') {
+            let label = s[..colon].trim();
+            if label.is_empty() || label.contains(char::is_whitespace) {
+                return Err(AsmError {
+                    line: number,
+                    detail: format!("bad label `{label}`"),
+                });
+            }
+            let addr = base + 4 * lines.len() as u32;
+            if labels.insert(label.to_owned(), addr).is_some() {
+                return Err(AsmError {
+                    line: number,
+                    detail: format!("label `{label}` redefined"),
+                });
+            }
+            s = s[colon + 1..].trim();
+        }
+        if s.is_empty() {
+            continue;
+        }
+        let (mnemonic, rest) = match s.find(char::is_whitespace) {
+            Some(p) => (&s[..p], s[p..].trim()),
+            None => (s, ""),
+        };
+        let operands = if rest.is_empty() {
+            Vec::new()
+        } else {
+            rest.split(',').map(str::trim).collect()
+        };
+        lines.push(Line {
+            number,
+            mnemonic,
+            operands,
+        });
+    }
+
+    // Pass 2: encode.
+    let mut program = Program {
+        base,
+        instrs: Vec::with_capacity(lines.len()),
+    };
+    for (idx, l) in lines.iter().enumerate() {
+        let pc = base + 4 * idx as u32;
+        let target_imm = |tok: &str| -> Result<i32, AsmError> {
+            if let Some(&addr) = labels.get(tok.trim()) {
+                Ok(addr as i32 - (pc as i32 + 4))
+            } else {
+                parse_imm(tok, l.number)
+            }
+        };
+        let mn = l.mnemonic.to_ascii_lowercase();
+        let op = if mn == "nop" {
+            Opcode::Nop
+        } else {
+            ALL_OPCODES
+                .iter()
+                .copied()
+                .find(|o| o.mnemonic() == mn)
+                .ok_or_else(|| AsmError {
+                    line: l.number,
+                    detail: format!("unknown mnemonic `{}`", l.mnemonic),
+                })?
+        };
+        let need = |n: usize| -> Result<(), AsmError> {
+            if l.operands.len() != n {
+                Err(AsmError {
+                    line: l.number,
+                    detail: format!(
+                        "`{}` needs {} operands, found {}",
+                        mn,
+                        n,
+                        l.operands.len()
+                    ),
+                })
+            } else {
+                Ok(())
+            }
+        };
+        let instr = match op {
+            Opcode::Nop => {
+                need(0)?;
+                Instr::nop()
+            }
+            o if o.is_load() => {
+                need(2)?;
+                let rd = parse_reg(l.operands[0], l.number)?;
+                let (imm, base_r) = parse_mem_operand(l.operands[1], l.number)?;
+                Instr::load(o, rd, base_r, imm)
+            }
+            o if o.is_store() => {
+                need(2)?;
+                let src = parse_reg(l.operands[0], l.number)?;
+                let (imm, base_r) = parse_mem_operand(l.operands[1], l.number)?;
+                Instr::store(o, base_r, imm, src)
+            }
+            Opcode::Lhi => {
+                need(2)?;
+                Instr::lhi(
+                    parse_reg(l.operands[0], l.number)?,
+                    parse_imm(l.operands[1], l.number)?,
+                )
+            }
+            Opcode::Beqz | Opcode::Bnez => {
+                need(2)?;
+                let rs1 = parse_reg(l.operands[0], l.number)?;
+                let off = target_imm(l.operands[1])?;
+                if op == Opcode::Beqz {
+                    Instr::beqz(rs1, off)
+                } else {
+                    Instr::bnez(rs1, off)
+                }
+            }
+            Opcode::J | Opcode::Jal => {
+                need(1)?;
+                let off = target_imm(l.operands[0])?;
+                if op == Opcode::J {
+                    Instr::j(off)
+                } else {
+                    Instr::jal(off)
+                }
+            }
+            Opcode::Jr | Opcode::Jalr => {
+                need(1)?;
+                let rs1 = parse_reg(l.operands[0], l.number)?;
+                if op == Opcode::Jr {
+                    Instr::jr(rs1)
+                } else {
+                    Instr::jalr(rs1)
+                }
+            }
+            o if o.format() == crate::instr::Format::RType => {
+                need(3)?;
+                Instr {
+                    op: o,
+                    rd: parse_reg(l.operands[0], l.number)?,
+                    rs1: parse_reg(l.operands[1], l.number)?,
+                    rs2: parse_reg(l.operands[2], l.number)?,
+                    imm: 0,
+                }
+            }
+            o => {
+                // Remaining I-type ALU ops: rd, rs1, imm.
+                need(3)?;
+                Instr {
+                    op: o,
+                    rd: parse_reg(l.operands[0], l.number)?,
+                    rs1: parse_reg(l.operands[1], l.number)?,
+                    rs2: Reg(0),
+                    imm: parse_imm(l.operands[2], l.number)?,
+                }
+            }
+        };
+        program.push(instr);
+    }
+    Ok(program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembles_representative_program() {
+        let p = assemble(
+            0,
+            "
+            ; a loop storing a countdown
+                addi r1, r0, 3
+            top: sw r1, 0x40(r0)
+                subi r1, r1, 1
+                bnez r1, top
+                lw  r2, 0x40(r0)
+                jr  r31
+            ",
+        )
+        .unwrap();
+        assert_eq!(p.len(), 6);
+        assert_eq!(p.instrs[0], Instr::addi(Reg(1), Reg(0), 3));
+        assert_eq!(p.instrs[1], Instr::sw(Reg(0), 0x40, Reg(1)));
+        // bnez at 12 targets `top` at 4: offset = 4 - 16 = -12.
+        assert_eq!(p.instrs[3], Instr::bnez(Reg(1), -12));
+        assert_eq!(p.instrs[5], Instr::jr(Reg(31)));
+    }
+
+    #[test]
+    fn roundtrips_through_ref_sim() {
+        let p = assemble(
+            0,
+            "
+                addi r1, r0, 5
+            top: subi r1, r1, 1
+                bnez r1, top
+                sw   r1, 0x100(r0)
+            ",
+        )
+        .unwrap();
+        let mut sim = crate::ref_sim::ArchSim::new();
+        sim.load_program(0, &p.encode());
+        // addi + 5×(subi, bnez) + the final fall-through bnez's sw = 12 steps.
+        sim.run(12);
+        assert_eq!(sim.reg(Reg(1)), 0);
+        assert_eq!(sim.mem_word(0x100), 0);
+        assert_eq!(sim.pc(), 16);
+    }
+
+    #[test]
+    fn error_reporting() {
+        assert!(assemble(0, "frobnicate r1, r2").is_err());
+        assert!(assemble(0, "addi r1, r0").is_err());
+        assert!(assemble(0, "addi r99, r0, 1").is_err());
+        assert!(assemble(0, "beqz r1, nowhere").is_err());
+        let e = assemble(0, "\n\naddi r1").unwrap_err();
+        assert_eq!(e.line, 3);
+    }
+
+    #[test]
+    fn labels_on_own_line_and_dup_detection() {
+        let p = assemble(0, "x:\n  j x\n").unwrap();
+        assert_eq!(p.instrs[0], Instr::j(-4));
+        assert!(assemble(0, "x:\nx:\n j x").is_err());
+    }
+
+    #[test]
+    fn listing_disassembles() {
+        let mut p = Program::new();
+        p.push(Instr::addi(Reg(1), Reg(0), 1));
+        p.push(Instr::nop());
+        let l = p.listing();
+        assert!(l.contains("0x0000: addi r1, r0, 1"));
+        assert!(l.contains("0x0004: nop"));
+    }
+}

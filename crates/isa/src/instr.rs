@@ -1,0 +1,696 @@
+//! Instruction definitions, binary encoding and decoding.
+
+use std::error::Error;
+use std::fmt;
+
+/// A general-purpose register number (`r0`..`r31`; `r0` reads as zero).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Reg(pub u8);
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Instruction word format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// `op rs1 rd imm16`.
+    IType,
+    /// `0 rs1 rs2 rd 0 func`.
+    RType,
+    /// `op offset26`.
+    JType,
+}
+
+/// The 44 DLX instructions implemented by the test vehicle, plus the `NOP`
+/// alias (the all-zero word).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // the variants are the standard DLX mnemonics
+pub enum Opcode {
+    // Loads (5)
+    Lb, Lh, Lw, Lbu, Lhu,
+    // Stores (3)
+    Sb, Sh, Sw,
+    // ALU immediate (14)
+    Addi, Addui, Subi, Subui, Andi, Ori, Xori, Lhi, Slli, Srli, Srai, Seqi, Snei, Slti,
+    // Branches (2)
+    Beqz, Bnez,
+    // Jumps (4)
+    J, Jal, Jr, Jalr,
+    // ALU register (16)
+    Add, Addu, Sub, Subu, And, Or, Xor, Sll, Srl, Sra, Seq, Sne, Slt, Sgt, Sle, Sge,
+    // Alias: the all-zero word (not counted among the 44)
+    Nop,
+}
+
+/// All 44 architected instructions (excludes the [`Opcode::Nop`] alias).
+pub const ALL_OPCODES: [Opcode; 44] = [
+    Opcode::Lb, Opcode::Lh, Opcode::Lw, Opcode::Lbu, Opcode::Lhu,
+    Opcode::Sb, Opcode::Sh, Opcode::Sw,
+    Opcode::Addi, Opcode::Addui, Opcode::Subi, Opcode::Subui,
+    Opcode::Andi, Opcode::Ori, Opcode::Xori, Opcode::Lhi,
+    Opcode::Slli, Opcode::Srli, Opcode::Srai,
+    Opcode::Seqi, Opcode::Snei, Opcode::Slti,
+    Opcode::Beqz, Opcode::Bnez,
+    Opcode::J, Opcode::Jal, Opcode::Jr, Opcode::Jalr,
+    Opcode::Add, Opcode::Addu, Opcode::Sub, Opcode::Subu,
+    Opcode::And, Opcode::Or, Opcode::Xor,
+    Opcode::Sll, Opcode::Srl, Opcode::Sra,
+    Opcode::Seq, Opcode::Sne, Opcode::Slt, Opcode::Sgt, Opcode::Sle, Opcode::Sge,
+];
+
+impl Opcode {
+    /// The instruction word format.
+    pub fn format(self) -> Format {
+        use Opcode::*;
+        match self {
+            J | Jal => Format::JType,
+            Add | Addu | Sub | Subu | And | Or | Xor | Sll | Srl | Sra | Seq | Sne | Slt
+            | Sgt | Sle | Sge | Nop => Format::RType,
+            _ => Format::IType,
+        }
+    }
+
+    /// The 6-bit major opcode field.
+    pub fn major(self) -> u32 {
+        use Opcode::*;
+        match self {
+            Nop | Add | Addu | Sub | Subu | And | Or | Xor | Sll | Srl | Sra | Seq | Sne
+            | Slt | Sgt | Sle | Sge => 0x00,
+            J => 0x02,
+            Jal => 0x03,
+            Beqz => 0x04,
+            Bnez => 0x05,
+            Addi => 0x08,
+            Addui => 0x09,
+            Subi => 0x0a,
+            Subui => 0x0b,
+            Andi => 0x0c,
+            Ori => 0x0d,
+            Xori => 0x0e,
+            Lhi => 0x0f,
+            Jr => 0x12,
+            Jalr => 0x13,
+            Slli => 0x14,
+            Srli => 0x16,
+            Srai => 0x17,
+            Seqi => 0x18,
+            Snei => 0x19,
+            Slti => 0x1a,
+            Lb => 0x20,
+            Lh => 0x21,
+            Lw => 0x23,
+            Lbu => 0x24,
+            Lhu => 0x25,
+            Sb => 0x28,
+            Sh => 0x29,
+            Sw => 0x2b,
+        }
+    }
+
+    /// The 6-bit function field, for R-type instructions.
+    pub fn func(self) -> Option<u32> {
+        use Opcode::*;
+        Some(match self {
+            Nop => 0x00,
+            Sll => 0x04,
+            Srl => 0x06,
+            Sra => 0x07,
+            Add => 0x20,
+            Addu => 0x21,
+            Sub => 0x22,
+            Subu => 0x23,
+            And => 0x24,
+            Or => 0x25,
+            Xor => 0x26,
+            Seq => 0x28,
+            Sne => 0x29,
+            Slt => 0x2a,
+            Sgt => 0x2b,
+            Sle => 0x2c,
+            Sge => 0x2d,
+            _ => return None,
+        })
+    }
+
+    /// `true` for memory loads.
+    pub fn is_load(self) -> bool {
+        matches!(
+            self,
+            Opcode::Lb | Opcode::Lh | Opcode::Lw | Opcode::Lbu | Opcode::Lhu
+        )
+    }
+
+    /// `true` for memory stores.
+    pub fn is_store(self) -> bool {
+        matches!(self, Opcode::Sb | Opcode::Sh | Opcode::Sw)
+    }
+
+    /// `true` for conditional branches.
+    pub fn is_branch(self) -> bool {
+        matches!(self, Opcode::Beqz | Opcode::Bnez)
+    }
+
+    /// `true` for unconditional control transfers.
+    pub fn is_jump(self) -> bool {
+        matches!(self, Opcode::J | Opcode::Jal | Opcode::Jr | Opcode::Jalr)
+    }
+
+    /// `true` if the instruction writes a destination register.
+    pub fn writes_reg(self) -> bool {
+        use Opcode::*;
+        !matches!(self, Sb | Sh | Sw | Beqz | Bnez | J | Jr | Nop)
+    }
+
+    /// `true` if the instruction reads `rs1`.
+    pub fn reads_rs1(self) -> bool {
+        use Opcode::*;
+        !matches!(self, J | Jal | Lhi | Nop)
+    }
+
+    /// `true` if the instruction reads `rs2` (the second register operand;
+    /// for stores this is the value being stored).
+    pub fn reads_rs2(self) -> bool {
+        self.format() == Format::RType && self != Opcode::Nop || self.is_store()
+    }
+
+    /// `true` if the 16-bit immediate is sign-extended (vs zero-extended).
+    pub fn imm_is_signed(self) -> bool {
+        use Opcode::*;
+        matches!(
+            self,
+            Lb | Lh | Lw | Lbu | Lhu | Sb | Sh | Sw | Addi | Subi | Seqi | Snei | Slti | Beqz
+                | Bnez
+        )
+    }
+
+    /// The assembly mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        use Opcode::*;
+        match self {
+            Lb => "lb", Lh => "lh", Lw => "lw", Lbu => "lbu", Lhu => "lhu",
+            Sb => "sb", Sh => "sh", Sw => "sw",
+            Addi => "addi", Addui => "addui", Subi => "subi", Subui => "subui",
+            Andi => "andi", Ori => "ori", Xori => "xori", Lhi => "lhi",
+            Slli => "slli", Srli => "srli", Srai => "srai",
+            Seqi => "seqi", Snei => "snei", Slti => "slti",
+            Beqz => "beqz", Bnez => "bnez",
+            J => "j", Jal => "jal", Jr => "jr", Jalr => "jalr",
+            Add => "add", Addu => "addu", Sub => "sub", Subu => "subu",
+            And => "and", Or => "or", Xor => "xor",
+            Sll => "sll", Srl => "srl", Sra => "sra",
+            Seq => "seq", Sne => "sne", Slt => "slt", Sgt => "sgt",
+            Sle => "sle", Sge => "sge",
+            Nop => "nop",
+        }
+    }
+}
+
+/// Failure to decode an instruction word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeInstrError {
+    /// The undecodable word.
+    pub word: u32,
+}
+
+impl fmt::Display for DecodeInstrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "undecodable instruction word {:#010x}", self.word)
+    }
+}
+
+impl Error for DecodeInstrError {}
+
+/// A decoded instruction.
+///
+/// Fields that an instruction does not use are zero. The immediate holds the
+/// *semantic* value (already sign- or zero-extended per the opcode).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Instr {
+    /// Operation.
+    pub op: Opcode,
+    /// First source register.
+    pub rs1: Reg,
+    /// Second source register (R-type) or store data register.
+    pub rs2: Reg,
+    /// Destination register.
+    pub rd: Reg,
+    /// Immediate / offset (semantic value).
+    pub imm: i32,
+}
+
+impl Default for Instr {
+    fn default() -> Self {
+        Instr::nop()
+    }
+}
+
+macro_rules! itype_ctor {
+    ($(#[$doc:meta])* $name:ident, $op:ident) => {
+        $(#[$doc])*
+        pub fn $name(rd: Reg, rs1: Reg, imm: i32) -> Self {
+            Instr { op: Opcode::$op, rs1, rs2: Reg(0), rd, imm }
+        }
+    };
+}
+
+macro_rules! rtype_ctor {
+    ($(#[$doc:meta])* $name:ident, $op:ident) => {
+        $(#[$doc])*
+        pub fn $name(rd: Reg, rs1: Reg, rs2: Reg) -> Self {
+            Instr { op: Opcode::$op, rs1, rs2, rd, imm: 0 }
+        }
+    };
+}
+
+impl Instr {
+    /// The no-op (all-zero word).
+    pub const fn nop() -> Self {
+        Instr {
+            op: Opcode::Nop,
+            rs1: Reg(0),
+            rs2: Reg(0),
+            rd: Reg(0),
+            imm: 0,
+        }
+    }
+
+    itype_ctor!(/// `rd = rs1 + sext(imm)` (signed add immediate).
+        addi, Addi);
+    itype_ctor!(/// `rd = rs1 + zext(imm)` (unsigned add immediate).
+        addui, Addui);
+    itype_ctor!(/// `rd = rs1 - sext(imm)`.
+        subi, Subi);
+    itype_ctor!(/// `rd = rs1 - zext(imm)`.
+        subui, Subui);
+    itype_ctor!(/// `rd = rs1 & zext(imm)`.
+        andi, Andi);
+    itype_ctor!(/// `rd = rs1 | zext(imm)`.
+        ori, Ori);
+    itype_ctor!(/// `rd = rs1 ^ zext(imm)`.
+        xori, Xori);
+    itype_ctor!(/// `rd = rs1 << imm[4:0]`.
+        slli, Slli);
+    itype_ctor!(/// `rd = rs1 >> imm[4:0]` (logical).
+        srli, Srli);
+    itype_ctor!(/// `rd = rs1 >> imm[4:0]` (arithmetic).
+        srai, Srai);
+    itype_ctor!(/// `rd = (rs1 == sext(imm)) ? 1 : 0`.
+        seqi, Seqi);
+    itype_ctor!(/// `rd = (rs1 != sext(imm)) ? 1 : 0`.
+        snei, Snei);
+    itype_ctor!(/// `rd = (rs1 < sext(imm)) ? 1 : 0` (signed).
+        slti, Slti);
+
+    /// `rd = imm << 16` (load high immediate).
+    pub fn lhi(rd: Reg, imm: i32) -> Self {
+        Instr {
+            op: Opcode::Lhi,
+            rs1: Reg(0),
+            rs2: Reg(0),
+            rd,
+            imm,
+        }
+    }
+
+    rtype_ctor!(/// `rd = rs1 + rs2` (signed, traps ignored).
+        add, Add);
+    rtype_ctor!(/// `rd = rs1 + rs2` (unsigned).
+        addu, Addu);
+    rtype_ctor!(/// `rd = rs1 - rs2`.
+        sub, Sub);
+    rtype_ctor!(/// `rd = rs1 - rs2` (unsigned).
+        subu, Subu);
+    rtype_ctor!(/// `rd = rs1 & rs2`.
+        and, And);
+    rtype_ctor!(/// `rd = rs1 | rs2`.
+        or, Or);
+    rtype_ctor!(/// `rd = rs1 ^ rs2`.
+        xor, Xor);
+    rtype_ctor!(/// `rd = rs1 << rs2[4:0]`.
+        sll, Sll);
+    rtype_ctor!(/// `rd = rs1 >> rs2[4:0]` (logical).
+        srl, Srl);
+    rtype_ctor!(/// `rd = rs1 >> rs2[4:0]` (arithmetic).
+        sra, Sra);
+    rtype_ctor!(/// `rd = (rs1 == rs2) ? 1 : 0`.
+        seq, Seq);
+    rtype_ctor!(/// `rd = (rs1 != rs2) ? 1 : 0`.
+        sne, Sne);
+    rtype_ctor!(/// `rd = (rs1 < rs2) ? 1 : 0` (signed).
+        slt, Slt);
+    rtype_ctor!(/// `rd = (rs1 > rs2) ? 1 : 0` (signed).
+        sgt, Sgt);
+    rtype_ctor!(/// `rd = (rs1 <= rs2) ? 1 : 0` (signed).
+        sle, Sle);
+    rtype_ctor!(/// `rd = (rs1 >= rs2) ? 1 : 0` (signed).
+        sge, Sge);
+
+    /// Load: `rd = mem[rs1 + sext(imm)]` with the width/extension of `op`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` is not a load.
+    pub fn load(op: Opcode, rd: Reg, base: Reg, offset: i32) -> Self {
+        assert!(op.is_load());
+        Instr {
+            op,
+            rs1: base,
+            rs2: Reg(0),
+            rd,
+            imm: offset,
+        }
+    }
+
+    /// `rd = mem32[rs1 + sext(imm)]`.
+    pub fn lw(rd: Reg, base: Reg, offset: i32) -> Self {
+        Self::load(Opcode::Lw, rd, base, offset)
+    }
+
+    /// Store: `mem[base + sext(offset)] = src` with the width of `op`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` is not a store.
+    pub fn store(op: Opcode, base: Reg, offset: i32, src: Reg) -> Self {
+        assert!(op.is_store());
+        Instr {
+            op,
+            rs1: base,
+            rs2: src,
+            rd: Reg(0),
+            imm: offset,
+        }
+    }
+
+    /// `mem32[base + sext(offset)] = src`.
+    pub fn sw(base: Reg, offset: i32, src: Reg) -> Self {
+        Self::store(Opcode::Sw, base, offset, src)
+    }
+
+    /// `if rs1 == 0 { pc += 4 + offset }`.
+    pub fn beqz(rs1: Reg, offset: i32) -> Self {
+        Instr {
+            op: Opcode::Beqz,
+            rs1,
+            rs2: Reg(0),
+            rd: Reg(0),
+            imm: offset,
+        }
+    }
+
+    /// `if rs1 != 0 { pc += 4 + offset }`.
+    pub fn bnez(rs1: Reg, offset: i32) -> Self {
+        Instr {
+            op: Opcode::Bnez,
+            rs1,
+            rs2: Reg(0),
+            rd: Reg(0),
+            imm: offset,
+        }
+    }
+
+    /// `pc += 4 + offset`.
+    pub fn j(offset: i32) -> Self {
+        Instr {
+            op: Opcode::J,
+            rs1: Reg(0),
+            rs2: Reg(0),
+            rd: Reg(0),
+            imm: offset,
+        }
+    }
+
+    /// `r31 = pc + 4; pc += 4 + offset`.
+    pub fn jal(offset: i32) -> Self {
+        Instr {
+            op: Opcode::Jal,
+            rs1: Reg(0),
+            rs2: Reg(0),
+            rd: Reg(31),
+            imm: offset,
+        }
+    }
+
+    /// `pc = rs1`.
+    pub fn jr(rs1: Reg) -> Self {
+        Instr {
+            op: Opcode::Jr,
+            rs1,
+            rs2: Reg(0),
+            rd: Reg(0),
+            imm: 0,
+        }
+    }
+
+    /// `r31 = pc + 4; pc = rs1`.
+    pub fn jalr(rs1: Reg) -> Self {
+        Instr {
+            op: Opcode::Jalr,
+            rs1,
+            rs2: Reg(0),
+            rd: Reg(31),
+            imm: 0,
+        }
+    }
+
+    /// Encodes to a 32-bit instruction word.
+    pub fn encode(&self) -> u32 {
+        match self.op.format() {
+            Format::RType => {
+                if self.op == Opcode::Nop {
+                    return 0;
+                }
+                (self.rs1.0 as u32) << 21
+                    | (self.rs2.0 as u32) << 16
+                    | (self.rd.0 as u32) << 11
+                    | self.op.func().expect("r-type has func")
+            }
+            Format::IType => {
+                // Stores carry the data register (rs2) in the rd field slot.
+                let field = if self.op.is_store() { self.rs2 } else { self.rd };
+                self.op.major() << 26
+                    | (self.rs1.0 as u32) << 21
+                    | (field.0 as u32) << 16
+                    | (self.imm as u32 & 0xffff)
+            }
+            Format::JType => self.op.major() << 26 | (self.imm as u32 & 0x03ff_ffff),
+        }
+    }
+
+    /// Decodes a 32-bit instruction word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeInstrError`] for words that are not among the 44
+    /// implemented instructions (or the `NOP` alias).
+    pub fn decode(word: u32) -> Result<Self, DecodeInstrError> {
+        let major = word >> 26;
+        let rs1 = Reg(((word >> 21) & 0x1f) as u8);
+        let err = || DecodeInstrError { word };
+        if major == 0 {
+            let func = word & 0x3f;
+            let rs2 = Reg(((word >> 16) & 0x1f) as u8);
+            let rd = Reg(((word >> 11) & 0x1f) as u8);
+            let op = match func {
+                0x00 => return Ok(Instr::nop()),
+                0x04 => Opcode::Sll,
+                0x06 => Opcode::Srl,
+                0x07 => Opcode::Sra,
+                0x20 => Opcode::Add,
+                0x21 => Opcode::Addu,
+                0x22 => Opcode::Sub,
+                0x23 => Opcode::Subu,
+                0x24 => Opcode::And,
+                0x25 => Opcode::Or,
+                0x26 => Opcode::Xor,
+                0x28 => Opcode::Seq,
+                0x29 => Opcode::Sne,
+                0x2a => Opcode::Slt,
+                0x2b => Opcode::Sgt,
+                0x2c => Opcode::Sle,
+                0x2d => Opcode::Sge,
+                _ => return Err(err()),
+            };
+            return Ok(Instr {
+                op,
+                rs1,
+                rs2,
+                rd,
+                imm: 0,
+            });
+        }
+        let op = ALL_OPCODES
+            .iter()
+            .copied()
+            .find(|o| o.format() != Format::RType && o.major() == major)
+            .ok_or_else(err)?;
+        match op.format() {
+            Format::JType => {
+                let raw = word & 0x03ff_ffff;
+                let imm = ((raw << 6) as i32) >> 6; // sign-extend 26 bits
+                Ok(Instr {
+                    op,
+                    rs1: Reg(0),
+                    rs2: Reg(0),
+                    rd: if op == Opcode::Jal { Reg(31) } else { Reg(0) },
+                    imm,
+                })
+            }
+            Format::IType => {
+                let rd_field = Reg(((word >> 16) & 0x1f) as u8);
+                let raw = (word & 0xffff) as u16;
+                let imm = if op.imm_is_signed() {
+                    raw as i16 as i32
+                } else {
+                    raw as i32
+                };
+                // Stores carry the data register in the rd field position.
+                let (rs2, rd) = if op.is_store() {
+                    (rd_field, Reg(0))
+                } else if op == Opcode::Jalr {
+                    (Reg(0), Reg(31))
+                } else if matches!(op, Opcode::Jr | Opcode::Beqz | Opcode::Bnez) {
+                    (Reg(0), Reg(0))
+                } else {
+                    (Reg(0), rd_field)
+                };
+                Ok(Instr {
+                    op,
+                    rs1,
+                    rs2,
+                    rd,
+                    imm,
+                })
+            }
+            Format::RType => unreachable!("handled above"),
+        }
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let m = self.op.mnemonic();
+        match self.op {
+            Opcode::Nop => write!(f, "nop"),
+            Opcode::J | Opcode::Jal => write!(f, "{m} {}", self.imm),
+            Opcode::Jr | Opcode::Jalr => write!(f, "{m} {}", self.rs1),
+            Opcode::Beqz | Opcode::Bnez => write!(f, "{m} {}, {}", self.rs1, self.imm),
+            Opcode::Lhi => write!(f, "{m} {}, {:#x}", self.rd, self.imm),
+            o if o.is_load() => write!(f, "{m} {}, {}({})", self.rd, self.imm, self.rs1),
+            o if o.is_store() => write!(f, "{m} {}, {}({})", self.rs2, self.imm, self.rs1),
+            o if o.format() == Format::RType => {
+                write!(f, "{m} {}, {}, {}", self.rd, self.rs1, self.rs2)
+            }
+            _ => write!(f, "{m} {}, {}, {}", self.rd, self.rs1, self.imm),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_44_instructions() {
+        assert_eq!(ALL_OPCODES.len(), 44);
+        // All distinct.
+        let mut set = std::collections::HashSet::new();
+        for op in ALL_OPCODES {
+            assert!(set.insert(op), "{op:?} duplicated");
+            assert_ne!(op, Opcode::Nop);
+        }
+    }
+
+    #[test]
+    fn encodings_are_unique() {
+        // (major, func) pairs must be distinct across the ISA.
+        let mut seen = std::collections::HashSet::new();
+        for op in ALL_OPCODES {
+            let key = (op.major(), op.func());
+            assert!(seen.insert(key), "{op:?} collides on {key:?}");
+        }
+    }
+
+    #[test]
+    fn nop_is_zero_word() {
+        assert_eq!(Instr::nop().encode(), 0);
+        assert_eq!(Instr::decode(0).unwrap().op, Opcode::Nop);
+    }
+
+    #[test]
+    fn roundtrip_representative_instructions() {
+        let cases = [
+            Instr::addi(Reg(1), Reg(2), -5),
+            Instr::addui(Reg(1), Reg(2), 0xffff),
+            Instr::lhi(Reg(7), 0xabcd),
+            Instr::add(Reg(3), Reg(4), Reg(5)),
+            Instr::slt(Reg(3), Reg(4), Reg(5)),
+            Instr::sll(Reg(3), Reg(4), Reg(5)),
+            Instr::lw(Reg(6), Reg(7), 16),
+            Instr::load(Opcode::Lbu, Reg(6), Reg(7), -3),
+            Instr::sw(Reg(7), 8, Reg(6)),
+            Instr::store(Opcode::Sb, Reg(7), -1, Reg(6)),
+            Instr::beqz(Reg(9), -8),
+            Instr::bnez(Reg(9), 12),
+            Instr::j(-1024),
+            Instr::jal(2048),
+            Instr::jr(Reg(31)),
+            Instr::jalr(Reg(4)),
+            Instr::xori(Reg(1), Reg(2), 0x00ff),
+        ];
+        for i in cases {
+            let w = i.encode();
+            let d = Instr::decode(w).unwrap_or_else(|e| panic!("{i}: {e}"));
+            assert_eq!(d, i, "{i} -> {w:#010x} -> {d}");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(Instr::decode(0xffff_ffff).is_err()); // major 0x3f undefined
+        assert!(Instr::decode(0x0000_003f).is_err()); // func 0x3f undefined
+    }
+
+    #[test]
+    fn store_register_fields() {
+        // sw r7+8 <- r6: rs1=7 (base), data reg in the rd field slot.
+        let w = Instr::sw(Reg(7), 8, Reg(6)).encode();
+        assert_eq!((w >> 26) & 0x3f, 0x2b);
+        assert_eq!((w >> 21) & 0x1f, 7);
+        assert_eq!((w >> 16) & 0x1f, 6);
+        assert_eq!(w & 0xffff, 8);
+    }
+
+    #[test]
+    fn signedness_of_immediates() {
+        assert!(Opcode::Addi.imm_is_signed());
+        assert!(!Opcode::Addui.imm_is_signed());
+        assert!(!Opcode::Ori.imm_is_signed());
+        assert!(Opcode::Lw.imm_is_signed());
+        assert!(Opcode::Beqz.imm_is_signed());
+    }
+
+    #[test]
+    fn operand_usage_flags() {
+        assert!(Opcode::Add.reads_rs1() && Opcode::Add.reads_rs2());
+        assert!(Opcode::Addi.reads_rs1() && !Opcode::Addi.reads_rs2());
+        assert!(Opcode::Sw.reads_rs1() && Opcode::Sw.reads_rs2());
+        assert!(!Opcode::Lhi.reads_rs1());
+        assert!(!Opcode::J.reads_rs1());
+        assert!(Opcode::Jal.writes_reg());
+        assert!(!Opcode::Beqz.writes_reg());
+        assert!(!Opcode::Sw.writes_reg());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Instr::addi(Reg(1), Reg(0), 5).to_string(), "addi r1, r0, 5");
+        assert_eq!(Instr::lw(Reg(2), Reg(3), -4).to_string(), "lw r2, -4(r3)");
+        assert_eq!(Instr::sw(Reg(3), 8, Reg(2)).to_string(), "sw r2, 8(r3)");
+        assert_eq!(Instr::add(Reg(1), Reg(2), Reg(3)).to_string(), "add r1, r2, r3");
+        assert_eq!(Instr::nop().to_string(), "nop");
+    }
+}

@@ -1,0 +1,45 @@
+//! The DLX instruction-set architecture.
+//!
+//! This crate is the *specification* side of the verification problem: a
+//! 44-instruction DLX (Hennessy & Patterson) with
+//!
+//! * typed instruction definitions and binary encode/decode ([`instr`]),
+//! * a small two-pass assembler with labels ([`asm`]), and
+//! * an architectural reference simulator ([`ref_sim`]) against which the
+//!   pipelined implementation in `hltg-dlx` is validated, and which supplies
+//!   expected results during test generation.
+//!
+//! The instruction word is 32 bits with the classical DLX field layout:
+//!
+//! ```text
+//! I-type:  op[31:26] rs1[25:21] rd[20:16]  imm[15:0]
+//! R-type:  000000    rs1[25:21] rs2[20:16] rd[15:11] 00000 func[5:0]
+//! J-type:  op[31:26] offset[25:0]
+//! ```
+//!
+//! The all-zero word decodes as `NOP` (an alias), so zero-filled instruction
+//! memory executes as a stream of no-ops.
+//!
+//! # Example
+//!
+//! ```
+//! use hltg_isa::{Instr, Reg, asm::Program, ref_sim::ArchSim};
+//!
+//! let mut p = Program::new();
+//! p.push(Instr::addi(Reg(1), Reg(0), 40));
+//! p.push(Instr::addi(Reg(2), Reg(0), 2));
+//! p.push(Instr::add(Reg(3), Reg(1), Reg(2)));
+//! let mut sim = ArchSim::new();
+//! sim.load_program(0, &p.encode());
+//! sim.run(3);
+//! assert_eq!(sim.reg(Reg(3)), 42);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asm;
+pub mod instr;
+pub mod ref_sim;
+
+pub use instr::{DecodeInstrError, Instr, Opcode, Reg};

@@ -1,0 +1,422 @@
+//! Architectural (ISA-level) reference simulator — the *specification*.
+//!
+//! The reference simulator executes one instruction per step with no notion
+//! of pipelining. It defines the architecturally correct behaviour against
+//! which the pipelined implementation is verified, and supplies expected
+//! register/memory effects during test generation.
+
+use crate::instr::{DecodeInstrError, Instr, Opcode, Reg};
+use std::collections::HashMap;
+
+/// The architectural effects of executing one instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecRecord {
+    /// PC of the executed instruction.
+    pub pc: u32,
+    /// The instruction.
+    pub instr: Instr,
+    /// Register written, if any.
+    pub reg_write: Option<(Reg, u32)>,
+    /// Memory write `(byte_address, stored word after merge, byte_mask)`,
+    /// if any.
+    pub mem_write: Option<(u32, u32, u8)>,
+    /// PC of the next instruction.
+    pub next_pc: u32,
+    /// `true` if a branch/jump redirected the PC.
+    pub taken: bool,
+}
+
+/// The DLX architectural state and interpreter.
+///
+/// Instruction and data memory are separate word-addressed sparse arrays
+/// (Harvard organization, matching the pipelined implementation); absent
+/// words read as zero, which decodes as `NOP`.
+///
+/// # Examples
+///
+/// ```
+/// use hltg_isa::{Instr, Reg, ref_sim::ArchSim};
+/// let mut sim = ArchSim::new();
+/// sim.load_program(0, &[Instr::addi(Reg(1), Reg(0), 7).encode()]);
+/// sim.step()?;
+/// assert_eq!(sim.reg(Reg(1)), 7);
+/// # Ok::<(), hltg_isa::DecodeInstrError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ArchSim {
+    pc: u32,
+    regs: [u32; 32],
+    imem: HashMap<u32, u32>,
+    dmem: HashMap<u32, u32>,
+}
+
+impl ArchSim {
+    /// A simulator in the reset state (PC 0, registers 0, memories empty).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current program counter.
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    /// Sets the program counter.
+    pub fn set_pc(&mut self, pc: u32) {
+        self.pc = pc;
+    }
+
+    /// Reads a register (`r0` reads as zero).
+    pub fn reg(&self, r: Reg) -> u32 {
+        if r.0 == 0 {
+            0
+        } else {
+            self.regs[r.0 as usize]
+        }
+    }
+
+    /// Writes a register (writes to `r0` are ignored).
+    pub fn set_reg(&mut self, r: Reg, v: u32) {
+        if r.0 != 0 {
+            self.regs[r.0 as usize] = v;
+        }
+    }
+
+    /// Loads encoded instruction words into instruction memory starting at
+    /// byte address `base` (must be word-aligned).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is not word-aligned.
+    pub fn load_program(&mut self, base: u32, words: &[u32]) {
+        assert_eq!(base % 4, 0, "program base must be word-aligned");
+        for (i, &w) in words.iter().enumerate() {
+            self.imem.insert(base / 4 + i as u32, w);
+        }
+    }
+
+    /// Reads a data-memory word at a byte address (aligned down).
+    pub fn mem_word(&self, byte_addr: u32) -> u32 {
+        self.dmem.get(&(byte_addr / 4)).copied().unwrap_or(0)
+    }
+
+    /// Writes a data-memory word at a byte address (aligned down).
+    pub fn set_mem_word(&mut self, byte_addr: u32, value: u32) {
+        self.dmem.insert(byte_addr / 4, value);
+    }
+
+    /// Reads an instruction-memory word at a byte address.
+    pub fn imem_word(&self, byte_addr: u32) -> u32 {
+        self.imem.get(&(byte_addr / 4)).copied().unwrap_or(0)
+    }
+
+    /// Executes one instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeInstrError`] if the fetched word is undecodable; the
+    /// PC does not advance in that case.
+    pub fn step(&mut self) -> Result<ExecRecord, DecodeInstrError> {
+        let pc = self.pc;
+        let word = self.imem.get(&(pc / 4)).copied().unwrap_or(0);
+        let instr = Instr::decode(word)?;
+        let a = self.reg(instr.rs1);
+        let b = self.reg(instr.rs2);
+        let imm = instr.imm;
+        let mut next_pc = pc.wrapping_add(4);
+        let mut reg_write = None;
+        let mut mem_write = None;
+        let mut taken = false;
+
+        use Opcode::*;
+        match instr.op {
+            Nop => {}
+            Addi => reg_write = Some((instr.rd, a.wrapping_add(imm as u32))),
+            Addui => reg_write = Some((instr.rd, a.wrapping_add(imm as u32 & 0xffff))),
+            Subi => reg_write = Some((instr.rd, a.wrapping_sub(imm as u32))),
+            Subui => reg_write = Some((instr.rd, a.wrapping_sub(imm as u32 & 0xffff))),
+            Andi => reg_write = Some((instr.rd, a & (imm as u32 & 0xffff))),
+            Ori => reg_write = Some((instr.rd, a | (imm as u32 & 0xffff))),
+            Xori => reg_write = Some((instr.rd, a ^ (imm as u32 & 0xffff))),
+            Lhi => reg_write = Some((instr.rd, (imm as u32 & 0xffff) << 16)),
+            Slli => reg_write = Some((instr.rd, a << (imm as u32 & 0x1f))),
+            Srli => reg_write = Some((instr.rd, a >> (imm as u32 & 0x1f))),
+            Srai => reg_write = Some((instr.rd, ((a as i32) >> (imm as u32 & 0x1f)) as u32)),
+            Seqi => reg_write = Some((instr.rd, (a as i32 == imm) as u32)),
+            Snei => reg_write = Some((instr.rd, (a as i32 != imm) as u32)),
+            Slti => reg_write = Some((instr.rd, ((a as i32) < imm) as u32)),
+            Add | Addu => reg_write = Some((instr.rd, a.wrapping_add(b))),
+            Sub | Subu => reg_write = Some((instr.rd, a.wrapping_sub(b))),
+            And => reg_write = Some((instr.rd, a & b)),
+            Or => reg_write = Some((instr.rd, a | b)),
+            Xor => reg_write = Some((instr.rd, a ^ b)),
+            Sll => reg_write = Some((instr.rd, a << (b & 0x1f))),
+            Srl => reg_write = Some((instr.rd, a >> (b & 0x1f))),
+            Sra => reg_write = Some((instr.rd, ((a as i32) >> (b & 0x1f)) as u32)),
+            Seq => reg_write = Some((instr.rd, (a == b) as u32)),
+            Sne => reg_write = Some((instr.rd, (a != b) as u32)),
+            Slt => reg_write = Some((instr.rd, ((a as i32) < (b as i32)) as u32)),
+            Sgt => reg_write = Some((instr.rd, ((a as i32) > (b as i32)) as u32)),
+            Sle => reg_write = Some((instr.rd, ((a as i32) <= (b as i32)) as u32)),
+            Sge => reg_write = Some((instr.rd, ((a as i32) >= (b as i32)) as u32)),
+            Lb | Lh | Lw | Lbu | Lhu => {
+                let ea = a.wrapping_add(imm as u32);
+                let word = self.mem_word(ea);
+                let v = match instr.op {
+                    Lw => word,
+                    Lb => ((word >> ((ea & 3) * 8)) as u8) as i8 as i32 as u32,
+                    Lbu => ((word >> ((ea & 3) * 8)) as u8) as u32,
+                    Lh => ((word >> ((ea & 2) * 8)) as u16) as i16 as i32 as u32,
+                    Lhu => ((word >> ((ea & 2) * 8)) as u16) as u32,
+                    _ => unreachable!(),
+                };
+                reg_write = Some((instr.rd, v));
+            }
+            Sb | Sh | Sw => {
+                let ea = a.wrapping_add(imm as u32);
+                let old = self.mem_word(ea);
+                let (mask, data) = match instr.op {
+                    Sw => (0b1111u8, b),
+                    Sh => {
+                        let lane = (ea & 2) * 8;
+                        (0b0011 << (ea & 2), (b & 0xffff) << lane)
+                    }
+                    Sb => {
+                        let lane = (ea & 3) * 8;
+                        (0b0001 << (ea & 3), (b & 0xff) << lane)
+                    }
+                    _ => unreachable!(),
+                };
+                let bits = {
+                    let mut m = 0u32;
+                    for lane in 0..4 {
+                        if (mask >> lane) & 1 == 1 {
+                            m |= 0xff << (lane * 8);
+                        }
+                    }
+                    m
+                };
+                let merged = (old & !bits) | (data & bits);
+                self.dmem.insert(ea / 4, merged);
+                mem_write = Some((ea & !3, merged, mask));
+            }
+            Beqz => {
+                if a == 0 {
+                    next_pc = pc.wrapping_add(4).wrapping_add(imm as u32);
+                    taken = true;
+                }
+            }
+            Bnez => {
+                if a != 0 {
+                    next_pc = pc.wrapping_add(4).wrapping_add(imm as u32);
+                    taken = true;
+                }
+            }
+            J => {
+                next_pc = pc.wrapping_add(4).wrapping_add(imm as u32);
+                taken = true;
+            }
+            Jal => {
+                reg_write = Some((Reg(31), pc.wrapping_add(4)));
+                next_pc = pc.wrapping_add(4).wrapping_add(imm as u32);
+                taken = true;
+            }
+            Jr => {
+                next_pc = a;
+                taken = true;
+            }
+            Jalr => {
+                reg_write = Some((Reg(31), pc.wrapping_add(4)));
+                next_pc = a;
+                taken = true;
+            }
+        }
+        if let Some((r, v)) = reg_write {
+            if r.0 == 0 {
+                reg_write = None; // writes to r0 vanish architecturally
+            } else {
+                self.set_reg(r, v);
+            }
+        }
+        self.pc = next_pc;
+        Ok(ExecRecord {
+            pc,
+            instr,
+            reg_write,
+            mem_write,
+            next_pc,
+            taken,
+        })
+    }
+
+    /// Executes up to `n` instructions, stopping early on a decode error.
+    ///
+    /// Returns the records of the executed instructions.
+    pub fn run(&mut self, n: usize) -> Vec<ExecRecord> {
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            match self.step() {
+                Ok(r) => out.push(r),
+                Err(_) => break,
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_program(instrs: &[Instr], steps: usize) -> ArchSim {
+        let words: Vec<u32> = instrs.iter().map(Instr::encode).collect();
+        let mut sim = ArchSim::new();
+        sim.load_program(0, &words);
+        sim.run(steps);
+        sim
+    }
+
+    #[test]
+    fn arithmetic_and_logic() {
+        let sim = run_program(
+            &[
+                Instr::addi(Reg(1), Reg(0), 100),
+                Instr::addi(Reg(2), Reg(0), -3),
+                Instr::add(Reg(3), Reg(1), Reg(2)),
+                Instr::sub(Reg(4), Reg(1), Reg(2)),
+                Instr::and(Reg(5), Reg(1), Reg(2)),
+                Instr::xor(Reg(6), Reg(1), Reg(2)),
+                Instr::slt(Reg(7), Reg(2), Reg(1)),
+                Instr::sgt(Reg(8), Reg(2), Reg(1)),
+            ],
+            8,
+        );
+        assert_eq!(sim.reg(Reg(3)), 97);
+        assert_eq!(sim.reg(Reg(4)), 103);
+        assert_eq!(sim.reg(Reg(5)), 100 & (-3i32 as u32));
+        assert_eq!(sim.reg(Reg(6)), 100 ^ (-3i32 as u32));
+        assert_eq!(sim.reg(Reg(7)), 1, "-3 < 100 signed");
+        assert_eq!(sim.reg(Reg(8)), 0);
+    }
+
+    #[test]
+    fn r0_is_hardwired_zero() {
+        let sim = run_program(
+            &[
+                Instr::addi(Reg(0), Reg(0), 55),
+                Instr::add(Reg(1), Reg(0), Reg(0)),
+            ],
+            2,
+        );
+        assert_eq!(sim.reg(Reg(0)), 0);
+        assert_eq!(sim.reg(Reg(1)), 0);
+    }
+
+    #[test]
+    fn lhi_ori_builds_constants() {
+        let sim = run_program(
+            &[
+                Instr::lhi(Reg(1), 0xdead),
+                Instr::ori(Reg(1), Reg(1), 0xbeef),
+            ],
+            2,
+        );
+        assert_eq!(sim.reg(Reg(1)), 0xdead_beef);
+    }
+
+    #[test]
+    fn memory_byte_lanes() {
+        let mut sim = ArchSim::new();
+        let p = [
+            Instr::lhi(Reg(1), 0x1234),
+            Instr::ori(Reg(1), Reg(1), 0x5678),
+            Instr::sw(Reg(0), 0x100, Reg(1)),
+            Instr::load(Opcode::Lb, Reg(2), Reg(0), 0x100), // byte 0: 0x78
+            Instr::load(Opcode::Lbu, Reg(3), Reg(0), 0x101), // byte 1: 0x56
+            Instr::load(Opcode::Lh, Reg(4), Reg(0), 0x102), // high half: 0x1234
+            Instr::store(Opcode::Sb, Reg(0), 0x100, Reg(0)), // clear byte 0
+            Instr::lw(Reg(5), Reg(0), 0x100),
+        ];
+        let words: Vec<u32> = p.iter().map(Instr::encode).collect();
+        sim.load_program(0, &words);
+        sim.run(p.len());
+        assert_eq!(sim.reg(Reg(2)), 0x78);
+        assert_eq!(sim.reg(Reg(3)), 0x56);
+        assert_eq!(sim.reg(Reg(4)), 0x1234);
+        assert_eq!(sim.reg(Reg(5)), 0x1234_5600);
+    }
+
+    #[test]
+    fn sign_extension_of_loads() {
+        let mut sim = ArchSim::new();
+        sim.set_mem_word(0x40, 0x0000_80ff);
+        let p = [
+            Instr::load(Opcode::Lb, Reg(1), Reg(0), 0x40),  // 0xff -> -1
+            Instr::load(Opcode::Lh, Reg(2), Reg(0), 0x40),  // 0x80ff -> sign-extended
+            Instr::load(Opcode::Lhu, Reg(3), Reg(0), 0x40), // 0x80ff zero-extended
+        ];
+        let words: Vec<u32> = p.iter().map(Instr::encode).collect();
+        sim.load_program(0, &words);
+        sim.run(3);
+        assert_eq!(sim.reg(Reg(1)), 0xffff_ffff);
+        assert_eq!(sim.reg(Reg(2)), 0xffff_80ff);
+        assert_eq!(sim.reg(Reg(3)), 0x0000_80ff);
+    }
+
+    #[test]
+    fn branches_and_jumps() {
+        // 0: addi r1, r0, 1
+        // 4: beqz r0, +8  (taken -> 16)
+        // 8: addi r2, r0, 99 (skipped)
+        // 12: nop
+        // 16: addi r3, r0, 7
+        let p = [
+            Instr::addi(Reg(1), Reg(0), 1),
+            Instr::beqz(Reg(0), 8),
+            Instr::addi(Reg(2), Reg(0), 99),
+            Instr::nop(),
+            Instr::addi(Reg(3), Reg(0), 7),
+        ];
+        let sim = run_program(&p, 3);
+        assert_eq!(sim.reg(Reg(2)), 0);
+        assert_eq!(sim.reg(Reg(3)), 7);
+    }
+
+    #[test]
+    fn jal_links_and_jr_returns() {
+        // 0: jal +4 (-> 8, r31 = 4)
+        // 4: addi r2, r0, 1  (the return target)
+        // 8: jr r31 (-> 4)
+        let p = [Instr::jal(4), Instr::addi(Reg(2), Reg(0), 1), Instr::jr(Reg(31))];
+        let mut sim = ArchSim::new();
+        let words: Vec<u32> = p.iter().map(Instr::encode).collect();
+        sim.load_program(0, &words);
+        let r = sim.step().unwrap();
+        assert!(r.taken);
+        assert_eq!(sim.reg(Reg(31)), 4);
+        assert_eq!(sim.pc(), 8);
+        sim.step().unwrap(); // jr
+        assert_eq!(sim.pc(), 4);
+        sim.step().unwrap(); // addi executes
+        assert_eq!(sim.reg(Reg(2)), 1);
+    }
+
+    #[test]
+    fn exec_record_reports_effects() {
+        let mut sim = ArchSim::new();
+        sim.load_program(0, &[Instr::sw(Reg(0), 0x20, Reg(0)).encode()]);
+        let r = sim.step().unwrap();
+        assert_eq!(r.mem_write, Some((0x20, 0, 0b1111)));
+        assert_eq!(r.reg_write, None);
+        assert_eq!(r.next_pc, 4);
+    }
+
+    #[test]
+    fn empty_imem_runs_nops() {
+        let mut sim = ArchSim::new();
+        let recs = sim.run(5);
+        assert_eq!(recs.len(), 5);
+        assert!(recs.iter().all(|r| r.instr.op == Opcode::Nop));
+        assert_eq!(sim.pc(), 20);
+    }
+}

@@ -1,0 +1,443 @@
+//! Builder for [`CtlNetlist`]s with hash-consing and constant folding.
+
+use super::{CtlInputKind, CtlNet, CtlNetId, CtlNetlist, CtlOp, FfSpec, Stage};
+use crate::error::NetlistError;
+use std::collections::HashMap;
+
+/// Incremental builder for a gate-level controller.
+///
+/// Structurally identical gates are hash-consed (shared), and trivial
+/// identities are folded — `and(x, 1) = x`, `or(x, 1) = 1`, `not(not(x)) =
+/// x`, duplicate inputs de-duplicated — which keeps PLA-style instruction
+/// decoders compact without a separate logic optimizer.
+///
+/// ```
+/// use hltg_netlist::ctl::CtlBuilder;
+/// let mut b = CtlBuilder::new("dec");
+/// let op0 = b.cpi("op0");
+/// let op1 = b.cpi("op1");
+/// let is3 = b.and(&[op0, op1]);
+/// let is3_again = b.and(&[op1, op0]);
+/// assert_eq!(is3, is3_again); // hash-consed
+/// ```
+#[derive(Debug)]
+pub struct CtlBuilder {
+    nl: CtlNetlist,
+    stage: Stage,
+    cse: HashMap<(CtlOp, Vec<CtlNetId>), CtlNetId>,
+    const0: Option<CtlNetId>,
+    const1: Option<CtlNetId>,
+    anon: u64,
+}
+
+impl CtlBuilder {
+    /// Creates an empty builder for a controller called `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        CtlBuilder {
+            nl: CtlNetlist {
+                name: name.into(),
+                ..CtlNetlist::default()
+            },
+            stage: Stage::default(),
+            cse: HashMap::new(),
+            const0: None,
+            const1: None,
+            anon: 0,
+        }
+    }
+
+    /// Sets the stage cursor for subsequently created nets.
+    pub fn set_stage(&mut self, stage: Stage) {
+        self.stage = stage;
+    }
+
+    /// The current stage cursor.
+    pub fn stage(&self) -> Stage {
+        self.stage
+    }
+
+    fn fresh_name(&mut self, prefix: &str) -> String {
+        self.anon += 1;
+        format!("{prefix}_{}", self.anon)
+    }
+
+    fn push(&mut self, name: String, op: CtlOp, inputs: Vec<CtlNetId>) -> CtlNetId {
+        let id = CtlNetId(self.nl.nets.len() as u32);
+        for (port, &i) in inputs.iter().enumerate() {
+            self.nl.nets[i.0 as usize].fanouts.push((id, port));
+        }
+        self.nl.nets.push(CtlNet {
+            name,
+            op,
+            inputs,
+            stage: self.stage,
+            fanouts: Vec::new(),
+        });
+        id
+    }
+
+    /// Declares a primary input (*CPI*).
+    pub fn cpi(&mut self, name: impl Into<String>) -> CtlNetId {
+        self.push(name.into(), CtlOp::Input(CtlInputKind::Cpi), Vec::new())
+    }
+
+    /// Declares a status input (*STS*) from the datapath.
+    pub fn sts(&mut self, name: impl Into<String>) -> CtlNetId {
+        self.push(name.into(), CtlOp::Input(CtlInputKind::Sts), Vec::new())
+    }
+
+    /// Constant-0 net (shared).
+    pub fn const0(&mut self) -> CtlNetId {
+        if let Some(c) = self.const0 {
+            return c;
+        }
+        let c = self.push("const0".into(), CtlOp::Const(false), Vec::new());
+        self.const0 = Some(c);
+        c
+    }
+
+    /// Constant-1 net (shared).
+    pub fn const1(&mut self) -> CtlNetId {
+        if let Some(c) = self.const1 {
+            return c;
+        }
+        let c = self.push("const1".into(), CtlOp::Const(true), Vec::new());
+        self.const1 = Some(c);
+        c
+    }
+
+    /// Returns a constant net for `v`.
+    pub fn constant(&mut self, v: bool) -> CtlNetId {
+        if v {
+            self.const1()
+        } else {
+            self.const0()
+        }
+    }
+
+    fn is_const(&self, id: CtlNetId) -> Option<bool> {
+        match self.nl.net(id).op {
+            CtlOp::Const(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    fn cons(&mut self, op: CtlOp, mut inputs: Vec<CtlNetId>) -> CtlNetId {
+        // Canonicalize commutative gate inputs for structural sharing.
+        if matches!(
+            op,
+            CtlOp::And | CtlOp::Or | CtlOp::Nand | CtlOp::Nor | CtlOp::Xor | CtlOp::Xnor
+        ) {
+            inputs.sort();
+            if matches!(op, CtlOp::And | CtlOp::Or | CtlOp::Nand | CtlOp::Nor) {
+                inputs.dedup();
+                if inputs.len() == 1 {
+                    // x·x = x, x+x = x (and the inverted forms).
+                    return match op {
+                        CtlOp::And | CtlOp::Or => inputs[0],
+                        _ => self.not(inputs[0]),
+                    };
+                }
+            }
+        }
+        if let Some(&hit) = self.cse.get(&(op, inputs.clone())) {
+            return hit;
+        }
+        let name = self.fresh_name(match op {
+            CtlOp::And => "and",
+            CtlOp::Or => "or",
+            CtlOp::Nand => "nand",
+            CtlOp::Nor => "nor",
+            CtlOp::Xor => "xor",
+            CtlOp::Xnor => "xnor",
+            CtlOp::Not => "not",
+            CtlOp::Buf => "buf",
+            _ => "g",
+        });
+        let id = self.push(name, op, inputs.clone());
+        self.cse.insert((op, inputs), id);
+        id
+    }
+
+    /// N-ary and gate (with folding).
+    pub fn and(&mut self, inputs: &[CtlNetId]) -> CtlNetId {
+        let mut live = Vec::with_capacity(inputs.len());
+        for &i in inputs {
+            match self.is_const(i) {
+                Some(false) => return self.const0(),
+                Some(true) => {}
+                None => live.push(i),
+            }
+        }
+        match live.len() {
+            0 => self.const1(),
+            1 => live[0],
+            _ => self.cons(CtlOp::And, live),
+        }
+    }
+
+    /// N-ary or gate (with folding).
+    pub fn or(&mut self, inputs: &[CtlNetId]) -> CtlNetId {
+        let mut live = Vec::with_capacity(inputs.len());
+        for &i in inputs {
+            match self.is_const(i) {
+                Some(true) => return self.const1(),
+                Some(false) => {}
+                None => live.push(i),
+            }
+        }
+        match live.len() {
+            0 => self.const0(),
+            1 => live[0],
+            _ => self.cons(CtlOp::Or, live),
+        }
+    }
+
+    /// Inverter (with folding of constants and double negation).
+    pub fn not(&mut self, a: CtlNetId) -> CtlNetId {
+        if let Some(v) = self.is_const(a) {
+            return self.constant(!v);
+        }
+        if self.nl.net(a).op == CtlOp::Not {
+            return self.nl.net(a).inputs[0];
+        }
+        self.cons(CtlOp::Not, vec![a])
+    }
+
+    /// N-ary xor (parity) gate.
+    pub fn xor(&mut self, inputs: &[CtlNetId]) -> CtlNetId {
+        let mut parity = false;
+        let mut live = Vec::with_capacity(inputs.len());
+        for &i in inputs {
+            match self.is_const(i) {
+                Some(v) => parity ^= v,
+                None => live.push(i),
+            }
+        }
+        let base = match live.len() {
+            0 => return self.constant(parity),
+            1 => live[0],
+            _ => self.cons(CtlOp::Xor, live),
+        };
+        if parity {
+            self.not(base)
+        } else {
+            base
+        }
+    }
+
+    /// Nand gate.
+    pub fn nand(&mut self, inputs: &[CtlNetId]) -> CtlNetId {
+        let a = self.and(inputs);
+        self.not(a)
+    }
+
+    /// Nor gate.
+    pub fn nor(&mut self, inputs: &[CtlNetId]) -> CtlNetId {
+        let a = self.or(inputs);
+        self.not(a)
+    }
+
+    /// 2-way select: `if s { t } else { e }` built from and/or/not gates.
+    pub fn mux2(&mut self, s: CtlNetId, t: CtlNetId, e: CtlNetId) -> CtlNetId {
+        let ns = self.not(s);
+        let a = self.and(&[s, t]);
+        let b = self.and(&[ns, e]);
+        self.or(&[a, b])
+    }
+
+    /// Plain flip-flop resetting to `init`; returns the Q net (*CSO*).
+    pub fn ff(&mut self, name: impl Into<String>, d: CtlNetId, init: bool) -> CtlNetId {
+        self.push(name.into(), CtlOp::Ff(FfSpec::plain(init)), vec![d])
+    }
+
+    /// Flip-flop with optional enable/clear controls per `spec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the presence of `enable`/`clear` disagrees with `spec`.
+    pub fn ff_spec(
+        &mut self,
+        name: impl Into<String>,
+        d: CtlNetId,
+        spec: FfSpec,
+        enable: Option<CtlNetId>,
+        clear: Option<CtlNetId>,
+    ) -> CtlNetId {
+        assert_eq!(spec.has_enable, enable.is_some(), "enable port vs spec");
+        assert_eq!(spec.has_clear, clear.is_some(), "clear port vs spec");
+        let mut inputs = vec![d];
+        inputs.extend(enable);
+        inputs.extend(clear);
+        self.push(name.into(), CtlOp::Ff(spec), inputs)
+    }
+
+    /// Declares a net with no driving gate yet — a *forward reference* for
+    /// feedback paths (e.g. pipeline-register enables computed from decode
+    /// logic that reads those registers). Connect it with
+    /// [`CtlBuilder::drive_ff`] or [`CtlBuilder::drive_buf`] before `finish`.
+    pub fn wire(&mut self, name: impl Into<String>) -> CtlNetId {
+        // A placeholder Buf with no inputs; replaced when driven.
+        self.push(name.into(), CtlOp::Buf, Vec::new())
+    }
+
+    fn connect(&mut self, out: CtlNetId, op: CtlOp, inputs: Vec<CtlNetId>) {
+        assert!(
+            self.nl.net(out).op == CtlOp::Buf && self.nl.net(out).inputs.is_empty(),
+            "net `{}` already driven",
+            self.nl.net(out).name
+        );
+        for (port, &i) in inputs.iter().enumerate() {
+            self.nl.nets[i.0 as usize].fanouts.push((out, port));
+        }
+        let net = &mut self.nl.nets[out.0 as usize];
+        net.op = op;
+        net.inputs = inputs;
+    }
+
+    /// Turns the forward-declared `out` into a flip-flop with data input
+    /// `d` and optional enable/clear controls per `spec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is already driven or the ports disagree with `spec`.
+    pub fn drive_ff(
+        &mut self,
+        out: CtlNetId,
+        d: CtlNetId,
+        spec: FfSpec,
+        enable: Option<CtlNetId>,
+        clear: Option<CtlNetId>,
+    ) {
+        assert_eq!(spec.has_enable, enable.is_some(), "enable port vs spec");
+        assert_eq!(spec.has_clear, clear.is_some(), "clear port vs spec");
+        let mut inputs = vec![d];
+        inputs.extend(enable);
+        inputs.extend(clear);
+        self.connect(out, CtlOp::Ff(spec), inputs);
+    }
+
+    /// Turns the forward-declared `out` into a buffer of `src`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is already driven.
+    pub fn drive_buf(&mut self, out: CtlNetId, src: CtlNetId) {
+        self.connect(out, CtlOp::Buf, vec![src]);
+    }
+
+    /// Designates `net` as a control output to the datapath (*CTRL*).
+    pub fn mark_ctrl_output(&mut self, net: CtlNetId) {
+        if !self.nl.ctrl_outputs.contains(&net) {
+            self.nl.ctrl_outputs.push(net);
+        }
+    }
+
+    /// Designates `net` as a primary output (*CPO*).
+    pub fn mark_cpo(&mut self, net: CtlNetId) {
+        if !self.nl.cpo.contains(&net) {
+            self.nl.cpo.push(net);
+        }
+    }
+
+    /// Designates `net` as a tertiary signal (*CTI/CTO*): a control signal
+    /// that crosses pipe stages — stall, squash, bypass select.
+    pub fn mark_tertiary(&mut self, net: CtlNetId) {
+        if !self.nl.tertiary.contains(&net) {
+            self.nl.tertiary.push(net);
+        }
+    }
+
+    /// Renames a net (decoded control signals get meaningful names).
+    pub fn rename(&mut self, net: CtlNetId, name: impl Into<String>) {
+        self.nl.nets[net.0 as usize].name = name.into();
+    }
+
+    /// Read-only view of the netlist under construction.
+    pub fn peek(&self) -> &CtlNetlist {
+        &self.nl
+    }
+
+    /// Validates and returns the finished netlist.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first structural [`NetlistError`] found.
+    pub fn finish(self) -> Result<CtlNetlist, NetlistError> {
+        self.nl.validate()?;
+        Ok(self.nl)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn folding_identities() {
+        let mut b = CtlBuilder::new("t");
+        let x = b.cpi("x");
+        let one = b.const1();
+        let zero = b.const0();
+        assert_eq!(b.and(&[x, one]), x);
+        assert_eq!(b.and(&[x, zero]), zero);
+        assert_eq!(b.or(&[x, zero]), x);
+        assert_eq!(b.or(&[x, one]), one);
+        let nx = b.not(x);
+        assert_eq!(b.not(nx), x);
+        assert_eq!(b.and(&[x, x]), x);
+        assert_eq!(b.xor(&[x, zero]), x);
+    }
+
+    #[test]
+    fn hash_consing_shares_gates() {
+        let mut b = CtlBuilder::new("t");
+        let x = b.cpi("x");
+        let y = b.cpi("y");
+        let g1 = b.and(&[x, y]);
+        let g2 = b.and(&[y, x]);
+        assert_eq!(g1, g2);
+        let count_before = b.peek().net_count();
+        let _ = b.and(&[x, y]);
+        assert_eq!(b.peek().net_count(), count_before);
+    }
+
+    #[test]
+    fn mux2_truth_table_structure() {
+        let mut b = CtlBuilder::new("t");
+        let s = b.cpi("s");
+        let t = b.cpi("t");
+        let e = b.cpi("e");
+        let m = b.mux2(s, t, e);
+        // s=1 selects t: with t==e the mux must reduce to something driven
+        // by both products. Structural check only; functional checks live in
+        // the simulator crate.
+        assert!(b.peek().net(m).inputs.len() == 2);
+        let nl = b.finish().unwrap();
+        assert!(nl.validate().is_ok());
+    }
+
+    #[test]
+    fn ff_roundtrip() {
+        let mut b = CtlBuilder::new("t");
+        let d = b.cpi("d");
+        let en = b.cpi("en");
+        let clr = b.cpi("clr");
+        let q = b.ff_spec(
+            "q",
+            d,
+            FfSpec {
+                init: true,
+                has_enable: true,
+                has_clear: true,
+                clear_val: false,
+            },
+            Some(en),
+            Some(clr),
+        );
+        b.mark_tertiary(clr);
+        let nl = b.finish().unwrap();
+        assert_eq!(nl.ff_nets().collect::<Vec<_>>(), vec![q]);
+        assert_eq!(nl.tertiary, vec![clr]);
+    }
+}

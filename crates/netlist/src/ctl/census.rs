@@ -1,0 +1,108 @@
+//! Census of controller signals for the pipeframe search-space analysis.
+//!
+//! Section IV of the paper compares the conventional timeframe organization
+//! (decision variables CPI ∪ CSI, `n₁ + p·n₂` per frame) with the pipeframe
+//! organization (decision variables CPI ∪ CTI, `n₁ + p·n₃` per frame). This
+//! census extracts n₁, n₂ and n₃ from a controller netlist.
+
+use super::{CtlNetlist, CtlOp};
+use std::collections::BTreeMap;
+
+/// Census of a controller netlist. See [`CtlNetlist::census`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CtlCensus {
+    /// n₁: number of primary inputs (CPI).
+    pub cpi: usize,
+    /// Number of status inputs (STS).
+    pub sts: usize,
+    /// Total state bits (CSI/CSO pairs): p·n₂ summed over stages.
+    pub state_bits: usize,
+    /// Total designated tertiary signals (CTI/CTO): p·n₃ summed over stages.
+    pub tertiary: usize,
+    /// State bits per stage index.
+    pub state_bits_by_stage: BTreeMap<usize, usize>,
+    /// Tertiary signals per stage index.
+    pub tertiary_by_stage: BTreeMap<usize, usize>,
+    /// Number of control outputs to the datapath.
+    pub ctrl_outputs: usize,
+    /// Total gate count (excluding inputs, constants and FFs).
+    pub gates: usize,
+    /// Decision variables needing justification per frame in the timeframe
+    /// organization (= state bits).
+    pub timeframe_justify_vars: usize,
+    /// Decision variables needing justification per frame in the pipeframe
+    /// organization (= tertiary signals).
+    pub pipeframe_justify_vars: usize,
+}
+
+impl CtlCensus {
+    /// Search-space reduction ratio `n₂ / n₃` (state bits per tertiary
+    /// signal); `None` when there are no tertiary signals.
+    pub fn reduction_ratio(&self) -> Option<f64> {
+        if self.tertiary == 0 {
+            None
+        } else {
+            Some(self.state_bits as f64 / self.tertiary as f64)
+        }
+    }
+}
+
+pub(super) fn census(nl: &CtlNetlist) -> CtlCensus {
+    let mut c = CtlCensus::default();
+    for (_, net) in nl.iter_nets() {
+        match net.op {
+            CtlOp::Input(super::CtlInputKind::Cpi) => c.cpi += 1,
+            CtlOp::Input(super::CtlInputKind::Sts) => c.sts += 1,
+            CtlOp::Ff(_) => {
+                c.state_bits += 1;
+                *c.state_bits_by_stage.entry(net.stage.index()).or_insert(0) += 1;
+            }
+            CtlOp::Const(_) => {}
+            _ => c.gates += 1,
+        }
+    }
+    for &t in &nl.tertiary {
+        c.tertiary += 1;
+        *c.tertiary_by_stage
+            .entry(nl.net(t).stage.index())
+            .or_insert(0) += 1;
+    }
+    c.ctrl_outputs = nl.ctrl_outputs.len();
+    c.timeframe_justify_vars = c.state_bits;
+    c.pipeframe_justify_vars = c.tertiary;
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::ctl::CtlBuilder;
+    use crate::stage::Stage;
+
+    #[test]
+    fn census_counts() {
+        let mut b = CtlBuilder::new("c");
+        b.set_stage(Stage::new(0));
+        let i0 = b.cpi("i0");
+        let i1 = b.cpi("i1");
+        let s0 = b.sts("s0");
+        let g = b.and(&[i0, i1]);
+        let q0 = b.ff("q0", g, false);
+        b.set_stage(Stage::new(1));
+        let g2 = b.or(&[q0, s0]);
+        let q1 = b.ff("q1", g2, false);
+        b.mark_ctrl_output(q1);
+        b.mark_tertiary(g2);
+        let nl = b.finish().unwrap();
+        let c = nl.census();
+        assert_eq!(c.cpi, 2);
+        assert_eq!(c.sts, 1);
+        assert_eq!(c.state_bits, 2);
+        assert_eq!(c.tertiary, 1);
+        assert_eq!(c.state_bits_by_stage[&0], 1);
+        assert_eq!(c.state_bits_by_stage[&1], 1);
+        assert_eq!(c.ctrl_outputs, 1);
+        assert_eq!(c.timeframe_justify_vars, 2);
+        assert_eq!(c.pipeframe_justify_vars, 1);
+        assert_eq!(c.reduction_ratio(), Some(2.0));
+    }
+}

@@ -1,0 +1,217 @@
+//! Gate-level controller netlist.
+//!
+//! Controllers possess unstructured binary signals and are therefore modelled
+//! at the gate level (paper §III). A [`CtlNetlist`] is a graph of single-bit
+//! nets, each produced by one [`CtlOp`] (gate, flip-flop, or input). Signals
+//! are classified following Figure 1:
+//!
+//! * **CPI** — primary inputs: instruction/decode bits and environment
+//!   signals;
+//! * **STS** — status inputs from the datapath;
+//! * **CSI/CSO** — secondary signals: flip-flop (control pipe register, CPR)
+//!   inputs/outputs;
+//! * **CTI/CTO** — tertiary signals crossing pipe stages: stalls, squashes,
+//!   bypass selects — *explicitly designated* with
+//!   [`CtlBuilder::mark_tertiary`], plus automatically detectable via
+//!   [`CtlNetlist::census`];
+//! * **CTRL** — outputs to the datapath;
+//! * **CPO** — primary outputs.
+//!
+//! Use [`CtlBuilder`], which hash-conses gates and performs light constant
+//! folding so that large PLA-style decoders stay compact.
+
+mod builder;
+mod census;
+mod validate;
+
+pub use builder::CtlBuilder;
+pub use census::CtlCensus;
+
+pub use crate::stage::Stage;
+use crate::error::NetlistError;
+
+/// Identifier of a controller net (each net has exactly one driving gate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CtlNetId(pub u32);
+
+/// What sources a controller input net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum CtlInputKind {
+    /// Primary input (*CPI*): instruction bits, reset, environment.
+    Cpi,
+    /// Status input (*STS*) from the datapath.
+    Sts,
+}
+
+/// Parameters of a control pipe register (CPR) flip-flop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct FfSpec {
+    /// Reset value.
+    pub init: bool,
+    /// Active-high load enable (stall support); input order `[d, en?, clr?]`.
+    pub has_enable: bool,
+    /// Synchronous clear (squash support), priority over enable.
+    pub has_clear: bool,
+    /// Value loaded on clear.
+    pub clear_val: bool,
+}
+
+impl FfSpec {
+    /// A plain flip-flop with the given reset value.
+    pub const fn plain(init: bool) -> Self {
+        FfSpec {
+            init,
+            has_enable: false,
+            has_clear: false,
+            clear_val: false,
+        }
+    }
+}
+
+/// The operation driving a controller net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum CtlOp {
+    /// External input.
+    Input(CtlInputKind),
+    /// Constant.
+    Const(bool),
+    /// N-ary and.
+    And,
+    /// N-ary or.
+    Or,
+    /// N-ary nand.
+    Nand,
+    /// N-ary nor.
+    Nor,
+    /// N-ary xor (parity).
+    Xor,
+    /// N-ary xnor.
+    Xnor,
+    /// Inverter.
+    Not,
+    /// Buffer.
+    Buf,
+    /// Control pipe register bit; inputs `[d, enable?, clear?]`.
+    Ff(FfSpec),
+}
+
+impl CtlOp {
+    /// `true` for flip-flops.
+    pub fn is_ff(&self) -> bool {
+        matches!(self, CtlOp::Ff(_))
+    }
+
+    /// `true` for external inputs.
+    pub fn is_input(&self) -> bool {
+        matches!(self, CtlOp::Input(_))
+    }
+}
+
+/// A single-bit controller net together with its driving gate.
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CtlNet {
+    /// Human-readable name.
+    pub name: String,
+    /// Driving operation.
+    pub op: CtlOp,
+    /// Gate inputs, in port order.
+    pub inputs: Vec<CtlNetId>,
+    /// Pipe stage the gate belongs to.
+    pub stage: Stage,
+    /// Consumers `(net, port)` reading this net.
+    pub fanouts: Vec<(CtlNetId, usize)>,
+}
+
+/// A gate-level controller netlist.
+#[derive(Debug, Clone, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CtlNetlist {
+    /// Netlist name.
+    pub name: String,
+    nets: Vec<CtlNet>,
+    /// Nets designated control outputs to the datapath (*CTRL*), with the
+    /// name the datapath knows them by.
+    pub ctrl_outputs: Vec<CtlNetId>,
+    /// Nets designated primary outputs (*CPO*).
+    pub cpo: Vec<CtlNetId>,
+    /// Nets explicitly designated tertiary (*CTI/CTO*): stall, squash,
+    /// bypass-select signals crossing stages.
+    pub tertiary: Vec<CtlNetId>,
+}
+
+impl CtlNetlist {
+    /// The nets, indexable by [`CtlNetId`].
+    pub fn nets(&self) -> &[CtlNet] {
+        &self.nets
+    }
+
+    /// Access a net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn net(&self, id: CtlNetId) -> &CtlNet {
+        &self.nets[id.0 as usize]
+    }
+
+    /// Number of nets.
+    pub fn net_count(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Iterator over `(id, net)` pairs.
+    pub fn iter_nets(&self) -> impl Iterator<Item = (CtlNetId, &CtlNet)> {
+        self.nets
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (CtlNetId(i as u32), n))
+    }
+
+    /// Looks up a net by name.
+    pub fn find_net(&self, name: &str) -> Option<CtlNetId> {
+        self.iter_nets()
+            .find(|(_, n)| n.name == name)
+            .map(|(id, _)| id)
+    }
+
+    /// All primary-input (*CPI*) nets, in creation order.
+    pub fn cpi_nets(&self) -> impl Iterator<Item = CtlNetId> + '_ {
+        self.iter_nets()
+            .filter(|(_, n)| n.op == CtlOp::Input(CtlInputKind::Cpi))
+            .map(|(id, _)| id)
+    }
+
+    /// All status-input (*STS*) nets, in creation order.
+    pub fn sts_nets(&self) -> impl Iterator<Item = CtlNetId> + '_ {
+        self.iter_nets()
+            .filter(|(_, n)| n.op == CtlOp::Input(CtlInputKind::Sts))
+            .map(|(id, _)| id)
+    }
+
+    /// All flip-flop (*CSO*) nets, in creation order.
+    pub fn ff_nets(&self) -> impl Iterator<Item = CtlNetId> + '_ {
+        self.iter_nets()
+            .filter(|(_, n)| n.op.is_ff())
+            .map(|(id, _)| id)
+    }
+
+    /// Validates structural well-formedness.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`NetlistError`] found.
+    pub fn validate(&self) -> Result<(), NetlistError> {
+        validate::validate(self)
+    }
+
+    /// Computes the census used by the pipeframe search-space analysis:
+    /// n₁ (CPIs), n₂ (state bits per stage), n₃ (tertiary per stage).
+    pub fn census(&self) -> CtlCensus {
+        census::census(self)
+    }
+}

@@ -1,0 +1,116 @@
+//! Structural validation of controller netlists.
+
+use super::{CtlNetlist, CtlOp};
+use crate::error::NetlistError;
+
+pub(super) fn validate(nl: &CtlNetlist) -> Result<(), NetlistError> {
+    for (_, net) in nl.iter_nets() {
+        let arity_ok = match net.op {
+            CtlOp::Input(_) | CtlOp::Const(_) => net.inputs.is_empty(),
+            CtlOp::Not | CtlOp::Buf => net.inputs.len() == 1,
+            CtlOp::And | CtlOp::Or | CtlOp::Nand | CtlOp::Nor | CtlOp::Xor | CtlOp::Xnor => {
+                net.inputs.len() >= 2
+            }
+            CtlOp::Ff(spec) => {
+                net.inputs.len() == 1 + spec.has_enable as usize + spec.has_clear as usize
+            }
+        };
+        if !arity_ok {
+            return Err(NetlistError::ArityMismatch {
+                module: net.name.clone(),
+                detail: format!("{:?} with {} inputs", net.op, net.inputs.len()),
+            });
+        }
+        for &i in &net.inputs {
+            if i.0 as usize >= nl.net_count() {
+                return Err(NetlistError::UnknownId {
+                    detail: format!("net `{}` references id {}", net.name, i.0),
+                });
+            }
+        }
+    }
+    for list in [&nl.ctrl_outputs, &nl.cpo, &nl.tertiary] {
+        for &n in list {
+            if n.0 as usize >= nl.net_count() {
+                return Err(NetlistError::UnknownId {
+                    detail: format!("designated net id {} out of range", n.0),
+                });
+            }
+        }
+    }
+    check_acyclic(nl)?;
+    Ok(())
+}
+
+fn check_acyclic(nl: &CtlNetlist) -> Result<(), NetlistError> {
+    let n = nl.net_count();
+    let mut indeg = vec![0usize; n];
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (id, net) in nl.iter_nets() {
+        if net.op.is_ff() {
+            continue; // FFs break combinational cycles.
+        }
+        for &i in &net.inputs {
+            if !nl.net(i).op.is_ff() {
+                succs[i.0 as usize].push(id.0 as usize);
+                indeg[id.0 as usize] += 1;
+            } else {
+                // FF output feeding comb logic: no comb edge.
+            }
+        }
+    }
+    let mut queue: Vec<usize> = (0..n)
+        .filter(|&i| !nl.nets()[i].op.is_ff() && indeg[i] == 0)
+        .collect();
+    let mut seen = queue.len();
+    while let Some(i) = queue.pop() {
+        for &s in &succs[i] {
+            indeg[s] -= 1;
+            if indeg[s] == 0 {
+                queue.push(s);
+                seen += 1;
+            }
+        }
+    }
+    let comb_total = nl.nets().iter().filter(|g| !g.op.is_ff()).count();
+    if seen != comb_total {
+        let bad = (0..n)
+            .find(|&i| !nl.nets()[i].op.is_ff() && indeg[i] > 0)
+            .expect("leftover node");
+        return Err(NetlistError::CombinationalCycle {
+            net: nl.nets()[bad].name.clone(),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::ctl::CtlBuilder;
+
+    #[test]
+    fn valid_controller_passes() {
+        let mut b = CtlBuilder::new("c");
+        let x = b.cpi("x");
+        let y = b.sts("y");
+        let g = b.and(&[x, y]);
+        let q = b.ff("q", g, false);
+        b.mark_ctrl_output(q);
+        assert!(b.finish().is_ok());
+    }
+
+    #[test]
+    fn sequential_loop_is_fine() {
+        // q = FF(not q): a toggle — legal because the FF breaks the cycle.
+        let mut b = CtlBuilder::new("c");
+        let x = b.cpi("seed");
+        let q = b.ff("q", x, false);
+        let nq = b.not(q);
+        // We cannot rewire q's input after creation through the public API,
+        // but feeding FF output back through comb logic into another FF is
+        // the equivalent legality check:
+        let q2 = b.ff("q2", nq, false);
+        b.mark_cpo(q2);
+        assert!(b.finish().is_ok());
+    }
+}

@@ -1,0 +1,309 @@
+//! A complete design: datapath + controller + their interconnection.
+
+use crate::ctl::{CtlInputKind, CtlNetlist, CtlNetId, CtlOp};
+use crate::dp::{DpNetKind, DpNetlist, DpNetId};
+use crate::error::NetlistError;
+
+/// Connects a controller CTRL output to a datapath control-input net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CtrlBind {
+    /// Controller net (must be listed in [`CtlNetlist::ctrl_outputs`]).
+    pub ctl: CtlNetId,
+    /// Datapath net of kind [`DpNetKind::Ctrl`].
+    pub dp: DpNetId,
+}
+
+/// Connects one bit of a datapath status net to a controller STS input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct StsBind {
+    /// Datapath net (single-bit, listed in [`DpNetlist::status`]).
+    pub dp: DpNetId,
+    /// Controller STS input net.
+    pub ctl: CtlNetId,
+}
+
+/// Connects one bit of a datapath net (typically the fetched instruction
+/// word) to a controller CPI input. This closes the fetch loop: the
+/// "environment" instruction stream enters the controller through the
+/// instruction memory read port of the datapath.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CpiBind {
+    /// Datapath net carrying the instruction word.
+    pub dp: DpNetId,
+    /// Bit index within that net.
+    pub bit: u32,
+    /// Controller CPI input net.
+    pub ctl: CtlNetId,
+}
+
+/// A complete processor design following the paper's Figure 1: a word-level
+/// [`DpNetlist`] and a gate-level [`CtlNetlist`] communicating through
+/// single-bit control and status signals.
+///
+/// # Examples
+///
+/// ```
+/// use hltg_netlist::{Design, Stage};
+/// use hltg_netlist::dp::DpBuilder;
+/// use hltg_netlist::ctl::CtlBuilder;
+///
+/// let mut dpb = DpBuilder::new("dp");
+/// let a = dpb.input("a", 8);
+/// let b2 = dpb.input("b", 8);
+/// let sel = dpb.ctrl("sel");
+/// let s = dpb.add("s", a, b2);
+/// let d = dpb.sub("d", a, b2);
+/// let y = dpb.mux("y", &[sel], &[s, d]);
+/// dpb.mark_output(y);
+/// let dp = dpb.finish()?;
+///
+/// let mut cb = CtlBuilder::new("ctl");
+/// let op = cb.cpi("op");
+/// cb.mark_ctrl_output(op);
+/// let ctl = cb.finish()?;
+///
+/// let mut design = Design::new("toy", dp, ctl);
+/// design.bind_ctrl("op", "sel")?;
+/// design.validate()?;
+/// # Ok::<(), hltg_netlist::NetlistError>(())
+/// ```
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Design {
+    /// Design name.
+    pub name: String,
+    /// The word-level datapath.
+    pub dp: DpNetlist,
+    /// The gate-level controller.
+    pub ctl: CtlNetlist,
+    /// Control bindings (controller → datapath).
+    pub ctrl_binds: Vec<CtrlBind>,
+    /// Status bindings (datapath → controller).
+    pub sts_binds: Vec<StsBind>,
+    /// Instruction-bit bindings (datapath fetch bus → controller CPI).
+    pub cpi_binds: Vec<CpiBind>,
+}
+
+impl Design {
+    /// Creates a design with no bindings yet.
+    pub fn new(name: impl Into<String>, dp: DpNetlist, ctl: CtlNetlist) -> Self {
+        Design {
+            name: name.into(),
+            dp,
+            ctl,
+            ctrl_binds: Vec::new(),
+            sts_binds: Vec::new(),
+            cpi_binds: Vec::new(),
+        }
+    }
+
+    /// Binds controller net `ctl_name` to datapath control net `dp_name`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownId`] if either name does not resolve.
+    pub fn bind_ctrl(&mut self, ctl_name: &str, dp_name: &str) -> Result<(), NetlistError> {
+        let ctl = self.ctl.find_net(ctl_name).ok_or_else(|| NetlistError::UnknownId {
+            detail: format!("controller net `{ctl_name}`"),
+        })?;
+        let dp = self.dp.find_net(dp_name).ok_or_else(|| NetlistError::UnknownId {
+            detail: format!("datapath net `{dp_name}`"),
+        })?;
+        self.ctrl_binds.push(CtrlBind { ctl, dp });
+        Ok(())
+    }
+
+    /// Binds datapath status net `dp_name` to controller STS input
+    /// `ctl_name`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownId`] if either name does not resolve.
+    pub fn bind_sts(&mut self, dp_name: &str, ctl_name: &str) -> Result<(), NetlistError> {
+        let dp = self.dp.find_net(dp_name).ok_or_else(|| NetlistError::UnknownId {
+            detail: format!("datapath net `{dp_name}`"),
+        })?;
+        let ctl = self.ctl.find_net(ctl_name).ok_or_else(|| NetlistError::UnknownId {
+            detail: format!("controller net `{ctl_name}`"),
+        })?;
+        self.sts_binds.push(StsBind { dp, ctl });
+        Ok(())
+    }
+
+    /// Binds bit `bit` of datapath net `dp_name` to controller CPI input
+    /// `ctl_name`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownId`] if either name does not resolve.
+    pub fn bind_cpi(
+        &mut self,
+        dp_name: &str,
+        bit: u32,
+        ctl_name: &str,
+    ) -> Result<(), NetlistError> {
+        let dp = self.dp.find_net(dp_name).ok_or_else(|| NetlistError::UnknownId {
+            detail: format!("datapath net `{dp_name}`"),
+        })?;
+        let ctl = self.ctl.find_net(ctl_name).ok_or_else(|| NetlistError::UnknownId {
+            detail: format!("controller net `{ctl_name}`"),
+        })?;
+        self.cpi_binds.push(CpiBind { dp, bit, ctl });
+        Ok(())
+    }
+
+    /// Validates both netlists and every binding.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`NetlistError`] found. Note that cross-netlist
+    /// combinational cycles (datapath STS → controller → CTRL → datapath)
+    /// are detected by the simulator's levelization, which sees the combined
+    /// graph.
+    pub fn validate(&self) -> Result<(), NetlistError> {
+        self.dp.validate()?;
+        self.ctl.validate()?;
+        for b in &self.ctrl_binds {
+            if b.dp.0 as usize >= self.dp.net_count() || b.ctl.0 as usize >= self.ctl.net_count() {
+                return Err(NetlistError::BadBinding {
+                    detail: "ctrl bind id out of range".into(),
+                });
+            }
+            if self.dp.net(b.dp).kind != DpNetKind::Ctrl {
+                return Err(NetlistError::BadBinding {
+                    detail: format!("dp net `{}` is not a ctrl net", self.dp.net(b.dp).name),
+                });
+            }
+        }
+        for b in &self.sts_binds {
+            if self.dp.net(b.dp).width != 1 {
+                return Err(NetlistError::BadBinding {
+                    detail: format!("sts source `{}` is not 1-bit", self.dp.net(b.dp).name),
+                });
+            }
+            if self.ctl.net(b.ctl).op != CtlOp::Input(CtlInputKind::Sts) {
+                return Err(NetlistError::BadBinding {
+                    detail: format!("`{}` is not an STS input", self.ctl.net(b.ctl).name),
+                });
+            }
+        }
+        for b in &self.cpi_binds {
+            if b.bit >= self.dp.net(b.dp).width {
+                return Err(NetlistError::BadBinding {
+                    detail: format!(
+                        "cpi bind bit {} exceeds width of `{}`",
+                        b.bit,
+                        self.dp.net(b.dp).name
+                    ),
+                });
+            }
+            if self.ctl.net(b.ctl).op != CtlOp::Input(CtlInputKind::Cpi) {
+                return Err(NetlistError::BadBinding {
+                    detail: format!("`{}` is not a CPI input", self.ctl.net(b.ctl).name),
+                });
+            }
+        }
+        // Every datapath ctrl net must be driven by exactly one binding.
+        for id in self.dp.ctrl_nets() {
+            let n = self.ctrl_binds.iter().filter(|b| b.dp == id).count();
+            if n != 1 {
+                return Err(NetlistError::BadBinding {
+                    detail: format!(
+                        "datapath ctrl net `{}` has {} bindings (need 1)",
+                        self.dp.net(id).name,
+                        n
+                    ),
+                });
+            }
+        }
+        // Every controller STS input must be driven.
+        for id in self.ctl.sts_nets() {
+            let n = self.sts_binds.iter().filter(|b| b.ctl == id).count();
+            if n != 1 {
+                return Err(NetlistError::BadBinding {
+                    detail: format!(
+                        "controller sts input `{}` has {} bindings (need 1)",
+                        self.ctl.net(id).name,
+                        n
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// The datapath control net bound to controller net `ctl`, if any.
+    pub fn ctrl_target(&self, ctl: CtlNetId) -> Option<DpNetId> {
+        self.ctrl_binds.iter().find(|b| b.ctl == ctl).map(|b| b.dp)
+    }
+
+    /// The controller net driving datapath control net `dp`, if any.
+    pub fn ctrl_source(&self, dp: DpNetId) -> Option<CtlNetId> {
+        self.ctrl_binds.iter().find(|b| b.dp == dp).map(|b| b.ctl)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctl::CtlBuilder;
+    use crate::dp::DpBuilder;
+
+    fn toy() -> Design {
+        let mut dpb = DpBuilder::new("dp");
+        let a = dpb.input("a", 8);
+        let b2 = dpb.input("b", 8);
+        let sel = dpb.ctrl("sel");
+        let s = dpb.add("s", a, b2);
+        let d = dpb.sub("d", a, b2);
+        let y = dpb.mux("y", &[sel], &[s, d]);
+        let z = dpb.predicate("z", crate::dp::DpOp::Eq, y, a);
+        dpb.mark_output(y);
+        dpb.mark_status(z);
+        let dp = dpb.finish().unwrap();
+
+        let mut cb = CtlBuilder::new("ctl");
+        let op = cb.cpi("op");
+        let zsts = cb.sts("z_in");
+        let sel_out = cb.and(&[op, zsts]);
+        cb.rename(sel_out, "sel_out");
+        cb.mark_ctrl_output(sel_out);
+        let ctl = cb.finish().unwrap();
+        let mut d = Design::new("toy", dp, ctl);
+        d.bind_ctrl("sel_out", "sel").unwrap();
+        d.bind_sts("z.y", "z_in").unwrap();
+        d
+    }
+
+    #[test]
+    fn toy_design_validates() {
+        assert!(toy().validate().is_ok());
+    }
+
+    #[test]
+    fn unbound_ctrl_is_rejected() {
+        let mut d = toy();
+        d.ctrl_binds.clear();
+        let err = d.validate().unwrap_err();
+        assert!(matches!(err, NetlistError::BadBinding { .. }), "{err}");
+    }
+
+    #[test]
+    fn double_bound_ctrl_is_rejected() {
+        let mut d = toy();
+        let b = d.ctrl_binds[0];
+        d.ctrl_binds.push(b);
+        assert!(d.validate().is_err());
+    }
+
+    #[test]
+    fn lookup_helpers() {
+        let d = toy();
+        let b = d.ctrl_binds[0];
+        assert_eq!(d.ctrl_target(b.ctl), Some(b.dp));
+        assert_eq!(d.ctrl_source(b.dp), Some(b.ctl));
+    }
+}

@@ -1,0 +1,476 @@
+//! Builder for [`DpNetlist`]s.
+
+use super::{
+    ArchDecl, ArchId, ArchKind, DpModId, DpModule, DpNet, DpNetId, DpNetKind, DpNetlist, DpOp,
+    PortRef, RegSpec, Stage,
+};
+use crate::error::NetlistError;
+use crate::word;
+
+/// Incremental builder for a [`DpNetlist`].
+///
+/// The builder keeps a *current stage* cursor ([`DpBuilder::set_stage`]);
+/// every net and module created afterwards is annotated with that stage.
+/// Module-creating methods return the output net id, so dataflow reads
+/// top-down:
+///
+/// ```
+/// use hltg_netlist::dp::{DpBuilder, Stage};
+/// let mut b = DpBuilder::new("alu");
+/// let a = b.input("a", 32);
+/// let c = b.input("b", 32);
+/// let f = b.ctrl("f");
+/// let sum = b.add("sum", a, c);
+/// let dif = b.sub("dif", a, c);
+/// let y = b.mux("y", &[f], &[sum, dif]);
+/// b.mark_output(y);
+/// let netlist = b.finish().expect("valid");
+/// assert_eq!(netlist.net(y).width, 32);
+/// ```
+#[derive(Debug)]
+pub struct DpBuilder {
+    nl: DpNetlist,
+    stage: Stage,
+}
+
+impl DpBuilder {
+    /// Creates an empty builder for a netlist called `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        DpBuilder {
+            nl: DpNetlist {
+                name: name.into(),
+                ..DpNetlist::default()
+            },
+            stage: Stage::default(),
+        }
+    }
+
+    /// Sets the stage cursor for subsequently created nets and modules.
+    pub fn set_stage(&mut self, stage: Stage) {
+        self.stage = stage;
+    }
+
+    /// The current stage cursor.
+    pub fn stage(&self) -> Stage {
+        self.stage
+    }
+
+    fn new_net(&mut self, name: String, width: u32, kind: DpNetKind) -> DpNetId {
+        assert!(
+            (1..=word::MAX_WIDTH).contains(&width),
+            "net `{name}`: invalid width {width}"
+        );
+        let id = DpNetId(self.nl.nets.len() as u32);
+        self.nl.nets.push(DpNet {
+            name,
+            width,
+            kind,
+            stage: self.stage,
+            driver: None,
+            fanouts: Vec::new(),
+        });
+        id
+    }
+
+    /// Declares a primary data input (*DPI*) of the given width.
+    pub fn input(&mut self, name: impl Into<String>, width: u32) -> DpNetId {
+        self.new_net(name.into(), width, DpNetKind::Input)
+    }
+
+    /// Declares a single-bit control input (*CTRL*), to be driven by the
+    /// controller through a [`crate::Design`] binding.
+    pub fn ctrl(&mut self, name: impl Into<String>) -> DpNetId {
+        self.new_net(name.into(), 1, DpNetKind::Ctrl)
+    }
+
+    /// Declares an architectural register file.
+    pub fn arch_regfile(
+        &mut self,
+        name: impl Into<String>,
+        count: u32,
+        width: u32,
+        zero_reg: bool,
+    ) -> ArchId {
+        let id = ArchId(self.nl.archs.len() as u32);
+        self.nl.archs.push(ArchDecl {
+            name: name.into(),
+            kind: ArchKind::RegFile {
+                count,
+                width,
+                zero_reg,
+            },
+        });
+        id
+    }
+
+    /// Declares an architectural memory of `width`-bit words.
+    pub fn arch_mem(&mut self, name: impl Into<String>, width: u32) -> ArchId {
+        let id = ArchId(self.nl.archs.len() as u32);
+        self.nl.archs.push(ArchDecl {
+            name: name.into(),
+            kind: ArchKind::Mem { width },
+        });
+        id
+    }
+
+    /// Declares an internal net with no driver yet — a *forward reference*
+    /// for feedback paths (e.g. the PC register fed by a mux built later).
+    /// Connect it with [`DpBuilder::drive`] before `finish`, or validation
+    /// fails with a missing-driver error.
+    pub fn wire(&mut self, name: impl Into<String>, width: u32) -> DpNetId {
+        self.new_net(name.into(), width, DpNetKind::Internal)
+    }
+
+    /// Creates a module whose output is the pre-declared net `out`
+    /// (see [`DpBuilder::wire`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` already has a driver.
+    pub fn drive(&mut self, out: DpNetId, name: impl Into<String>, op: DpOp, inputs: &[DpNetId], ctrls: &[DpNetId]) {
+        assert!(
+            self.nl.net(out).driver.is_none(),
+            "net `{}` already driven",
+            self.nl.net(out).name
+        );
+        assert!(op.has_output(), "drive() requires an op with an output");
+        let mid = DpModId(self.nl.modules.len() as u32);
+        for (i, &n) in inputs.iter().enumerate() {
+            self.nl.nets[n.0 as usize].fanouts.push((mid, PortRef::Data(i)));
+        }
+        for (i, &n) in ctrls.iter().enumerate() {
+            self.nl.nets[n.0 as usize].fanouts.push((mid, PortRef::Ctrl(i)));
+        }
+        self.nl.nets[out.0 as usize].driver = Some(mid);
+        self.nl.modules.push(DpModule {
+            name: name.into(),
+            op,
+            inputs: inputs.to_vec(),
+            ctrls: ctrls.to_vec(),
+            output: Some(out),
+            stage: self.stage,
+        });
+    }
+
+    /// Instantiates a module with explicit ports; returns the output net when
+    /// the op produces one. This is the general entry point behind the named
+    /// convenience methods.
+    pub fn module(
+        &mut self,
+        name: impl Into<String>,
+        op: DpOp,
+        inputs: &[DpNetId],
+        ctrls: &[DpNetId],
+        out_width: Option<u32>,
+    ) -> Option<DpNetId> {
+        let name = name.into();
+        let mid = DpModId(self.nl.modules.len() as u32);
+        let output = if op.has_output() {
+            let w = out_width.expect("output width required for op with output");
+            Some(self.new_net(format!("{name}.y"), w, DpNetKind::Internal))
+        } else {
+            None
+        };
+        if let Some(o) = output {
+            self.nl.nets[o.0 as usize].driver = Some(mid);
+        }
+        for (i, &n) in inputs.iter().enumerate() {
+            self.nl.nets[n.0 as usize].fanouts.push((mid, PortRef::Data(i)));
+        }
+        for (i, &n) in ctrls.iter().enumerate() {
+            self.nl.nets[n.0 as usize].fanouts.push((mid, PortRef::Ctrl(i)));
+        }
+        self.nl.modules.push(DpModule {
+            name,
+            op,
+            inputs: inputs.to_vec(),
+            ctrls: ctrls.to_vec(),
+            output,
+            stage: self.stage,
+        });
+        output
+    }
+
+    fn binop(&mut self, name: impl Into<String>, op: DpOp, a: DpNetId, b: DpNetId) -> DpNetId {
+        let w = if op.is_predicate() {
+            1
+        } else {
+            self.nl.net(a).width
+        };
+        self.module(name, op, &[a, b], &[], Some(w)).expect("binop has output")
+    }
+
+    /// Wrapping adder.
+    pub fn add(&mut self, name: impl Into<String>, a: DpNetId, b: DpNetId) -> DpNetId {
+        self.binop(name, DpOp::Add, a, b)
+    }
+
+    /// Wrapping subtractor (`a - b`).
+    pub fn sub(&mut self, name: impl Into<String>, a: DpNetId, b: DpNetId) -> DpNetId {
+        self.binop(name, DpOp::Sub, a, b)
+    }
+
+    /// Bitwise xor word gate.
+    pub fn xor(&mut self, name: impl Into<String>, a: DpNetId, b: DpNetId) -> DpNetId {
+        self.binop(name, DpOp::Xor, a, b)
+    }
+
+    /// Bitwise and word gate.
+    pub fn and(&mut self, name: impl Into<String>, a: DpNetId, b: DpNetId) -> DpNetId {
+        self.binop(name, DpOp::And, a, b)
+    }
+
+    /// Bitwise or word gate.
+    pub fn or(&mut self, name: impl Into<String>, a: DpNetId, b: DpNetId) -> DpNetId {
+        self.binop(name, DpOp::Or, a, b)
+    }
+
+    /// Word inverter.
+    pub fn not(&mut self, name: impl Into<String>, a: DpNetId) -> DpNetId {
+        let w = self.nl.net(a).width;
+        self.module(name, DpOp::Not, &[a], &[], Some(w)).expect("has output")
+    }
+
+    /// Generic predicate module (`Eq`, `Lt`, ... — 1-bit output).
+    pub fn predicate(
+        &mut self,
+        name: impl Into<String>,
+        op: DpOp,
+        a: DpNetId,
+        b: DpNetId,
+    ) -> DpNetId {
+        assert!(op.is_predicate(), "predicate() requires a predicate op");
+        self.binop(name, op, a, b)
+    }
+
+    /// Shift module (`Sll`/`Srl`/`Sra`); `amount` may have any width.
+    pub fn shift(
+        &mut self,
+        name: impl Into<String>,
+        op: DpOp,
+        value: DpNetId,
+        amount: DpNetId,
+    ) -> DpNetId {
+        assert!(
+            matches!(op, DpOp::Sll | DpOp::Srl | DpOp::Sra),
+            "shift() requires a shift op"
+        );
+        let w = self.nl.net(value).width;
+        self.module(name, op, &[value, amount], &[], Some(w)).expect("has output")
+    }
+
+    /// Multiplexer: `sels` (little-endian index bits, each 1-bit CTRL or data
+    /// nets) select among `data` inputs of a common width.
+    pub fn mux(&mut self, name: impl Into<String>, sels: &[DpNetId], data: &[DpNetId]) -> DpNetId {
+        assert!(data.len() >= 2, "mux needs at least 2 data inputs");
+        let need = word::select_bits(data.len());
+        assert_eq!(
+            sels.len() as u32,
+            need,
+            "mux with {} inputs needs {} select bits",
+            data.len(),
+            need
+        );
+        let w = self.nl.net(data[0]).width;
+        self.module(name, DpOp::Mux, data, sels, Some(w)).expect("has output")
+    }
+
+    /// Constant source of the given width.
+    pub fn constant(&mut self, name: impl Into<String>, width: u32, value: u64) -> DpNetId {
+        self.module(name, DpOp::Const(value), &[], &[], Some(width)).expect("has output")
+    }
+
+    /// Sign-extends `a` to `to` bits.
+    pub fn sign_ext(&mut self, name: impl Into<String>, a: DpNetId, to: u32) -> DpNetId {
+        self.module(name, DpOp::SignExt, &[a], &[], Some(to)).expect("has output")
+    }
+
+    /// Zero-extends `a` to `to` bits.
+    pub fn zero_ext(&mut self, name: impl Into<String>, a: DpNetId, to: u32) -> DpNetId {
+        self.module(name, DpOp::ZeroExt, &[a], &[], Some(to)).expect("has output")
+    }
+
+    /// Extracts bits `lo .. lo + width` of `a`.
+    pub fn slice(&mut self, name: impl Into<String>, a: DpNetId, lo: u32, width: u32) -> DpNetId {
+        self.module(name, DpOp::Slice { lo }, &[a], &[], Some(width)).expect("has output")
+    }
+
+    /// Concatenates `parts` (first part least significant).
+    pub fn concat(&mut self, name: impl Into<String>, parts: &[DpNetId]) -> DpNetId {
+        let w: u32 = parts.iter().map(|&p| self.nl.net(p).width).sum();
+        self.module(name, DpOp::Concat, parts, &[], Some(w)).expect("has output")
+    }
+
+    /// Plain pipeline register resetting to 0.
+    pub fn reg(&mut self, name: impl Into<String>, d: DpNetId) -> DpNetId {
+        self.reg_spec(name, d, RegSpec::plain(0), None, None)
+    }
+
+    /// Pipeline register with full control: optional `enable` (stall) and
+    /// `clear` (squash) single-bit control nets, per `spec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the presence of `enable`/`clear` disagrees with `spec`.
+    pub fn reg_spec(
+        &mut self,
+        name: impl Into<String>,
+        d: DpNetId,
+        spec: RegSpec,
+        enable: Option<DpNetId>,
+        clear: Option<DpNetId>,
+    ) -> DpNetId {
+        assert_eq!(spec.has_enable, enable.is_some(), "enable port vs spec");
+        assert_eq!(spec.has_clear, clear.is_some(), "clear port vs spec");
+        let w = self.nl.net(d).width;
+        let mut ctrls = Vec::new();
+        if let Some(e) = enable {
+            ctrls.push(e);
+        }
+        if let Some(c) = clear {
+            ctrls.push(c);
+        }
+        self.module(name, DpOp::Reg(spec), &[d], &ctrls, Some(w)).expect("has output")
+    }
+
+    /// Combinational register-file read port.
+    pub fn rf_read(&mut self, name: impl Into<String>, rf: ArchId, addr: DpNetId) -> DpNetId {
+        let w = self.nl.arch(rf).width();
+        self.module(name, DpOp::RegFileRead(rf), &[addr], &[], Some(w)).expect("has output")
+    }
+
+    /// Register-file write port (a sink: no output net).
+    pub fn rf_write(
+        &mut self,
+        name: impl Into<String>,
+        rf: ArchId,
+        addr: DpNetId,
+        data: DpNetId,
+        we: DpNetId,
+    ) -> DpModId {
+        let before = self.nl.modules.len();
+        self.module(name, DpOp::RegFileWrite(rf), &[addr, data], &[we], None);
+        DpModId(before as u32)
+    }
+
+    /// Combinational memory read port (word-addressed).
+    pub fn mem_read(&mut self, name: impl Into<String>, mem: ArchId, addr: DpNetId) -> DpNetId {
+        let w = self.nl.arch(mem).width();
+        self.module(name, DpOp::MemRead(mem), &[addr], &[], Some(w)).expect("has output")
+    }
+
+    /// Memory write port (a sink) with a per-byte lane mask.
+    pub fn mem_write(
+        &mut self,
+        name: impl Into<String>,
+        mem: ArchId,
+        addr: DpNetId,
+        data: DpNetId,
+        byte_mask: DpNetId,
+        we: DpNetId,
+    ) -> DpModId {
+        let before = self.nl.modules.len();
+        self.module(name, DpOp::MemWrite(mem), &[addr, data, byte_mask], &[we], None);
+        DpModId(before as u32)
+    }
+
+    /// Designates `net` as a primary data output (*DPO*, observable).
+    pub fn mark_output(&mut self, net: DpNetId) {
+        if !self.nl.outputs.contains(&net) {
+            self.nl.outputs.push(net);
+        }
+    }
+
+    /// Designates `net` as a status signal (*STS*, routed to the controller).
+    pub fn mark_status(&mut self, net: DpNetId) {
+        assert_eq!(self.nl.net(net).width, 1, "status nets are single-bit");
+        if !self.nl.status.contains(&net) {
+            self.nl.status.push(net);
+        }
+    }
+
+    /// Read-only view of the netlist under construction (e.g. for width
+    /// queries while building).
+    pub fn peek(&self) -> &DpNetlist {
+        &self.nl
+    }
+
+    /// Validates and returns the finished netlist.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first structural [`NetlistError`] found.
+    pub fn finish(self) -> Result<DpNetlist, NetlistError> {
+        self.nl.validate()?;
+        Ok(self.nl)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dp::DpClass;
+
+    #[test]
+    fn builds_small_alu() {
+        let mut b = DpBuilder::new("t");
+        let a = b.input("a", 16);
+        let c = b.input("b", 16);
+        let f0 = b.ctrl("f0");
+        let f1 = b.ctrl("f1");
+        let s = b.add("s", a, c);
+        let d = b.sub("d", a, c);
+        let x = b.xor("x", a, c);
+        let n = b.and("n", a, c);
+        let y = b.mux("y", &[f0, f1], &[s, d, x, n]);
+        b.mark_output(y);
+        let nl = b.finish().unwrap();
+        assert_eq!(nl.module_count(), 5);
+        assert_eq!(nl.net(y).width, 16);
+        assert_eq!(nl.ctrl_nets().count(), 2);
+        assert_eq!(nl.outputs, vec![y]);
+        // The mux has two fanin data modules plus select ctrl fanouts wired.
+        let ymod = nl.module(nl.net(y).driver.unwrap());
+        assert_eq!(ymod.op.class(), DpClass::Mux);
+        assert_eq!(ymod.ctrls.len(), 2);
+    }
+
+    #[test]
+    fn regfile_ports_connect_arch() {
+        let mut b = DpBuilder::new("t");
+        let rf = b.arch_regfile("gpr", 32, 32, true);
+        let addr = b.input("addr", 5);
+        let we = b.ctrl("we");
+        let v = b.rf_read("rd", rf, addr);
+        b.rf_write("wr", rf, addr, v, we);
+        let nl = b.finish().unwrap();
+        assert_eq!(nl.archs().len(), 1);
+        // Write port has no output net.
+        let wr = nl
+            .iter_modules()
+            .find(|(_, m)| m.name == "wr")
+            .map(|(_, m)| m.output)
+            .unwrap();
+        assert!(wr.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "needs 2 select bits")]
+    fn mux_select_arity_checked() {
+        let mut b = DpBuilder::new("t");
+        let s = b.ctrl("s");
+        let a = b.input("a", 8);
+        let c = b.input("b", 8);
+        let d = b.input("c", 8);
+        b.mux("m", &[s], &[a, c, d]);
+    }
+
+    #[test]
+    fn stage_cursor_annotates() {
+        let mut b = DpBuilder::new("t");
+        b.set_stage(Stage::new(3));
+        let a = b.input("a", 8);
+        let nl_stage = b.peek().net(a).stage;
+        assert_eq!(nl_stage, Stage::new(3));
+    }
+}

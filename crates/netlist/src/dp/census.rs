@@ -1,0 +1,122 @@
+//! Signal census of a datapath netlist.
+//!
+//! Computes the quantities the paper reports for its DLX test vehicle
+//! (§VI): implementation state bits (pipeline registers, excluding the
+//! ISA-visible register file and memories), tertiary data nets (buses whose
+//! driver and consumer live in different stages, e.g. bypasses), and module
+//! counts per controllability class.
+
+use super::{DpClass, DpNetlist, DpOp};
+use std::collections::BTreeMap;
+
+/// Census of a datapath netlist. See [`DpNetlist::census`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DpCensus {
+    /// Total pipeline-register bits (implementation-specific state; excludes
+    /// architectural register files and memories, as in the paper).
+    pub state_bits: u32,
+    /// Number of pipeline registers.
+    pub registers: usize,
+    /// Data nets consumed combinationally in a stage other than their
+    /// driver's stage (*DTI/DTO* pairs — bypass buses and the like).
+    pub tertiary_nets: usize,
+    /// Total tertiary bus bits.
+    pub tertiary_bits: u32,
+    /// Number of CTRL (controller → datapath) signals.
+    pub ctrl_signals: usize,
+    /// Number of STS (datapath → controller) signals.
+    pub status_signals: usize,
+    /// Number of primary data inputs.
+    pub primary_inputs: usize,
+    /// Number of designated observable outputs.
+    pub primary_outputs: usize,
+    /// Module count per controllability class.
+    pub modules_by_class: BTreeMap<&'static str, usize>,
+}
+
+pub(super) fn census(nl: &DpNetlist) -> DpCensus {
+    let mut c = DpCensus::default();
+    for (_, m) in nl.iter_modules() {
+        let class = match m.op.class() {
+            DpClass::Add => "ADD",
+            DpClass::And => "AND",
+            DpClass::Mux => "MUX",
+            DpClass::Source => "SRC",
+            DpClass::Sink => "SINK",
+            DpClass::Seq => "SEQ",
+        };
+        *c.modules_by_class.entry(class).or_insert(0) += 1;
+        if let DpOp::Reg(_) = m.op {
+            c.registers += 1;
+            c.state_bits += nl.net(m.output.expect("reg has output")).width;
+        }
+    }
+    for (_, net) in nl.iter_nets() {
+        if net.kind == super::DpNetKind::Ctrl {
+            c.ctrl_signals += 1;
+            continue;
+        }
+        if net.kind == super::DpNetKind::Input {
+            c.primary_inputs += 1;
+        }
+        // A data net is tertiary if some combinational consumer sits in a
+        // different stage than the net itself (registers are the legitimate
+        // stage boundary and do not count).
+        let crosses = net.fanouts.iter().any(|&(m, _)| {
+            let module = nl.module(m);
+            !matches!(module.op, DpOp::Reg(_)) && module.stage != net.stage
+        });
+        if crosses {
+            c.tertiary_nets += 1;
+            c.tertiary_bits += net.width;
+        }
+    }
+    c.status_signals = nl.status.len();
+    c.primary_outputs = nl.outputs.len();
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::dp::{DpBuilder, Stage};
+
+    #[test]
+    fn census_counts_bypass_as_tertiary() {
+        let mut b = DpBuilder::new("t");
+        b.set_stage(Stage::new(0));
+        let a = b.input("a", 8);
+        let c = b.input("c", 8);
+        let sum = b.add("sum", a, c);
+        b.set_stage(Stage::new(1));
+        let r = b.reg("r", sum); // stage-1 input register: secondary, not tertiary
+        let sel = b.ctrl("sel");
+        // `sum` (stage 0) feeds this stage-1 mux combinationally: tertiary.
+        let m = b.mux("m", &[sel], &[r, sum]);
+        b.mark_output(m);
+        let nl = b.finish().unwrap();
+        let cen = nl.census();
+        assert_eq!(cen.state_bits, 8);
+        assert_eq!(cen.registers, 1);
+        assert_eq!(cen.tertiary_nets, 1);
+        assert_eq!(cen.tertiary_bits, 8);
+        assert_eq!(cen.ctrl_signals, 1);
+        assert_eq!(cen.primary_inputs, 2);
+        assert_eq!(cen.primary_outputs, 1);
+        assert_eq!(cen.modules_by_class["MUX"], 1);
+        assert_eq!(cen.modules_by_class["ADD"], 1);
+    }
+
+    #[test]
+    fn reg_consumer_is_not_tertiary() {
+        let mut b = DpBuilder::new("t");
+        b.set_stage(Stage::new(0));
+        let a = b.input("a", 8);
+        b.set_stage(Stage::new(1));
+        // A register in stage 1 latching a stage-0 net is the normal
+        // pipeline boundary, not a tertiary arc.
+        let r = b.reg("r", a);
+        b.mark_output(r);
+        let nl = b.finish().unwrap();
+        assert_eq!(nl.census().tertiary_nets, 0);
+    }
+}

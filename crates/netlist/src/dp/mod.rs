@@ -1,0 +1,257 @@
+//! Word-level datapath netlist.
+//!
+//! A [`DpNetlist`] is a graph of multi-bit [nets](DpNet) and
+//! [modules](DpModule). Modules carry a [`DpOp`] drawn from the paper's three
+//! controllability classes plus sequential and architectural elements; nets
+//! carry a width, a [`Stage`] and a [`DpNetKind`]. Architectural state
+//! (register files and memories, which are *ISA-visible* rather than
+//! implementation state) is declared separately as [`ArchDecl`]s and accessed
+//! through read/write port modules.
+//!
+//! Use [`DpBuilder`] to construct netlists; `finish` validates widths,
+//! arities and drivers.
+
+mod builder;
+mod census;
+mod op;
+mod validate;
+
+pub use crate::stage::Stage;
+pub use builder::DpBuilder;
+pub use census::DpCensus;
+pub use op::{ArchId, DpClass, DpOp, RegSpec};
+
+use crate::error::NetlistError;
+
+/// Identifier of a datapath net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DpNetId(pub u32);
+
+/// Identifier of a datapath module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DpModId(pub u32);
+
+/// How a net is sourced, in the terminology of the paper's Figure 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum DpNetKind {
+    /// Primary data input (*DPI*): driven by the environment.
+    Input,
+    /// Control input (*CTRL*): a single-bit signal driven by the controller.
+    Ctrl,
+    /// Driven by a module inside the datapath.
+    Internal,
+}
+
+/// A reference to one connection point of a module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum PortRef {
+    /// `index`-th data input of the module.
+    Data(usize),
+    /// `index`-th control input of the module.
+    Ctrl(usize),
+}
+
+/// A word-level bus.
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DpNet {
+    /// Human-readable name (unique within the netlist).
+    pub name: String,
+    /// Bus width in bits (1..=64).
+    pub width: u32,
+    /// How the net is sourced.
+    pub kind: DpNetKind,
+    /// Pipe stage the net belongs to.
+    pub stage: Stage,
+    /// Driving module, for [`DpNetKind::Internal`] nets.
+    pub driver: Option<DpModId>,
+    /// Consumers: which module ports read this net.
+    pub fanouts: Vec<(DpModId, PortRef)>,
+}
+
+/// A word-level module instance.
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DpModule {
+    /// Human-readable instance name.
+    pub name: String,
+    /// Operation.
+    pub op: DpOp,
+    /// Data input nets, in port order.
+    pub inputs: Vec<DpNetId>,
+    /// Single-bit control input nets, in port order.
+    pub ctrls: Vec<DpNetId>,
+    /// Output net, absent for write-port sinks.
+    pub output: Option<DpNetId>,
+    /// Pipe stage the module belongs to.
+    pub stage: Stage,
+}
+
+/// Kind of architectural state object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum ArchKind {
+    /// A register file with `count` registers of `width` bits. Register 0
+    /// optionally reads as zero (hard-wired), as in DLX/MIPS.
+    RegFile {
+        /// Number of registers.
+        count: u32,
+        /// Register width.
+        width: u32,
+        /// If `true`, register 0 is hard-wired to zero.
+        zero_reg: bool,
+    },
+    /// A word-addressed memory of `width`-bit words (sparse in simulation).
+    Mem {
+        /// Word width.
+        width: u32,
+    },
+}
+
+/// Declaration of an architectural (ISA-visible) state object.
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ArchDecl {
+    /// Human-readable name.
+    pub name: String,
+    /// Kind and geometry.
+    pub kind: ArchKind,
+}
+
+impl ArchDecl {
+    /// The word width of the object.
+    pub fn width(&self) -> u32 {
+        match self.kind {
+            ArchKind::RegFile { width, .. } => width,
+            ArchKind::Mem { width } => width,
+        }
+    }
+}
+
+/// A word-level datapath netlist.
+///
+/// Construct with [`DpBuilder`]; the structure is immutable afterwards.
+#[derive(Debug, Clone, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DpNetlist {
+    /// Netlist name.
+    pub name: String,
+    nets: Vec<DpNet>,
+    modules: Vec<DpModule>,
+    archs: Vec<ArchDecl>,
+    /// Nets designated primary data outputs (*DPO*, the observables).
+    pub outputs: Vec<DpNetId>,
+    /// Nets designated status signals (*STS*, routed to the controller).
+    pub status: Vec<DpNetId>,
+}
+
+impl DpNetlist {
+    /// The nets of the netlist, indexable by [`DpNetId`].
+    pub fn nets(&self) -> &[DpNet] {
+        &self.nets
+    }
+
+    /// The modules of the netlist, indexable by [`DpModId`].
+    pub fn modules(&self) -> &[DpModule] {
+        &self.modules
+    }
+
+    /// The architectural state declarations, indexable by [`ArchId`].
+    pub fn archs(&self) -> &[ArchDecl] {
+        &self.archs
+    }
+
+    /// Access a net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn net(&self, id: DpNetId) -> &DpNet {
+        &self.nets[id.0 as usize]
+    }
+
+    /// Access a module.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn module(&self, id: DpModId) -> &DpModule {
+        &self.modules[id.0 as usize]
+    }
+
+    /// Access an architectural declaration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn arch(&self, id: ArchId) -> &ArchDecl {
+        &self.archs[id.0 as usize]
+    }
+
+    /// Number of nets.
+    pub fn net_count(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Number of modules.
+    pub fn module_count(&self) -> usize {
+        self.modules.len()
+    }
+
+    /// Iterator over `(id, net)` pairs.
+    pub fn iter_nets(&self) -> impl Iterator<Item = (DpNetId, &DpNet)> {
+        self.nets
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (DpNetId(i as u32), n))
+    }
+
+    /// Iterator over `(id, module)` pairs.
+    pub fn iter_modules(&self) -> impl Iterator<Item = (DpModId, &DpModule)> {
+        self.modules
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (DpModId(i as u32), m))
+    }
+
+    /// Looks up a net by name.
+    pub fn find_net(&self, name: &str) -> Option<DpNetId> {
+        self.iter_nets()
+            .find(|(_, n)| n.name == name)
+            .map(|(id, _)| id)
+    }
+
+    /// All control-input nets (*CTRL*), in creation order.
+    pub fn ctrl_nets(&self) -> impl Iterator<Item = DpNetId> + '_ {
+        self.iter_nets()
+            .filter(|(_, n)| n.kind == DpNetKind::Ctrl)
+            .map(|(id, _)| id)
+    }
+
+    /// All primary-input nets (*DPI*), in creation order.
+    pub fn input_nets(&self) -> impl Iterator<Item = DpNetId> + '_ {
+        self.iter_nets()
+            .filter(|(_, n)| n.kind == DpNetKind::Input)
+            .map(|(id, _)| id)
+    }
+
+    /// Validates structural well-formedness (widths, arities, drivers).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`NetlistError`] found.
+    pub fn validate(&self) -> Result<(), NetlistError> {
+        validate::validate(self)
+    }
+
+    /// Computes the signal census (state bits, tertiary nets, per-class
+    /// module counts) used by the pipeframe analysis and the paper's §VI
+    /// design description.
+    pub fn census(&self) -> DpCensus {
+        census::census(self)
+    }
+}

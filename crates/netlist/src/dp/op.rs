@@ -1,0 +1,433 @@
+//! Datapath module operations and their controllability classes.
+
+use crate::word;
+
+/// Identifier of an architectural state object ([register file] or memory)
+/// declared in a [`crate::dp::DpNetlist`].
+///
+/// [register file]: crate::dp::ArchKind::RegFile
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ArchId(pub u32);
+
+/// Controllability/observability class of a datapath module (paper §V.A).
+///
+/// * **ADD** — the output can be justified to an arbitrary value by
+///   controlling any *single* data input; if the output is observable, every
+///   input is observable.
+/// * **AND** — justifying the output requires controlling *all* inputs;
+///   observing one input requires controlling all side inputs.
+/// * **MUX** — control inputs select one data input; justification and
+///   observation go through the selected input only.
+/// * **Source** — primary/constant/architectural-read sources.
+/// * **Sink** — observable architectural-write sinks.
+/// * **Seq** — pipeline registers, which delimit pipeframes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum DpClass {
+    /// ADD class: single controlled input justifies the output.
+    Add,
+    /// AND class: all inputs must be controlled to justify the output.
+    And,
+    /// MUX class: control inputs select the justifying/observed data input.
+    Mux,
+    /// Value source (constant or architectural read).
+    Source,
+    /// Observable architectural write sink.
+    Sink,
+    /// Sequential element (pipeline register).
+    Seq,
+}
+
+/// Parameters of a pipeline register (a *DPR* in the paper's model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct RegSpec {
+    /// Reset value.
+    pub init: u64,
+    /// If `true`, the register has an active-high load-enable control input
+    /// (used to implement stalls: enable low holds the value).
+    pub has_enable: bool,
+    /// If `true`, the register has a synchronous clear control input (used to
+    /// implement squashes), with priority over the enable.
+    pub has_clear: bool,
+    /// Value loaded on clear.
+    pub clear_val: u64,
+}
+
+impl RegSpec {
+    /// A plain register with the given reset value.
+    pub const fn plain(init: u64) -> Self {
+        RegSpec {
+            init,
+            has_enable: false,
+            has_clear: false,
+            clear_val: 0,
+        }
+    }
+}
+
+/// The operation performed by a datapath module.
+///
+/// Word widths follow these rules (checked by validation):
+///
+/// * arithmetic/logic binops: both inputs and the output share one width;
+/// * shifts: first input and output share a width, the shift amount is any
+///   width;
+/// * predicates: both inputs share a width, output is 1 bit;
+/// * `Mux`: all data inputs and the output share a width, `⌈log₂ n⌉`
+///   single-bit control inputs select among `n` data inputs;
+/// * `SignExt`/`ZeroExt`: output wider than or equal to the input;
+/// * `Slice { lo }`: output covers input bits `lo .. lo + out_width`;
+/// * `Concat`: output width is the sum of the input widths (first input is
+///   least significant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[non_exhaustive]
+pub enum DpOp {
+    // --- ADD class -------------------------------------------------------
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction (`in0 - in1`).
+    Sub,
+    /// Bitwise exclusive-or.
+    Xor,
+    /// Bitwise exclusive-nor.
+    Xnor,
+    /// Bitwise complement (one input).
+    Not,
+    /// Equality predicate (1-bit output).
+    Eq,
+    /// Inequality predicate.
+    Ne,
+    /// Signed less-than predicate.
+    Lt,
+    /// Signed less-or-equal predicate.
+    Le,
+    /// Signed greater-than predicate.
+    Gt,
+    /// Signed greater-or-equal predicate.
+    Ge,
+    /// Unsigned less-than predicate.
+    LtU,
+    /// Unsigned greater-or-equal predicate.
+    GeU,
+    /// Signed addition overflow predicate.
+    AddOvf,
+    /// Signed subtraction overflow predicate.
+    SubOvf,
+
+    // --- AND class -------------------------------------------------------
+    /// Bitwise and.
+    And,
+    /// Bitwise nand.
+    Nand,
+    /// Bitwise or.
+    Or,
+    /// Bitwise nor.
+    Nor,
+    /// Logical left shift (`in0 << in1`).
+    Sll,
+    /// Logical right shift.
+    Srl,
+    /// Arithmetic right shift.
+    Sra,
+
+    // --- MUX class -------------------------------------------------------
+    /// Multiplexer: control inputs form a binary index selecting a data
+    /// input (control bit 0 is the least significant index bit).
+    Mux,
+
+    // --- structural ------------------------------------------------------
+    /// Constant source.
+    Const(u64),
+    /// Sign extension from the input width to the (wider) output width.
+    SignExt,
+    /// Zero extension from the input width to the (wider) output width.
+    ZeroExt,
+    /// Bit-field extraction starting at bit `lo`.
+    Slice {
+        /// Least significant extracted bit.
+        lo: u32,
+    },
+    /// Concatenation, first input least significant.
+    Concat,
+
+    // --- sequential / architectural ---------------------------------------
+    /// Pipeline register (*DPR*). Data input 0 is `d`; control inputs are
+    /// `[enable?][clear?]` in that order when present.
+    Reg(RegSpec),
+    /// Combinational read port of a register file: input 0 is the address.
+    RegFileRead(ArchId),
+    /// Write port of a register file: inputs `[addr, data]`, control
+    /// `[write_enable]`. Produces no output net.
+    RegFileWrite(ArchId),
+    /// Combinational read port of a memory: input 0 is the word address.
+    MemRead(ArchId),
+    /// Write port of a memory: inputs `[addr, data, byte_mask]`, control
+    /// `[write_enable]`. Produces no output net.
+    MemWrite(ArchId),
+}
+
+impl DpOp {
+    /// The controllability class of this op (paper §V.A).
+    pub fn class(&self) -> DpClass {
+        match self {
+            DpOp::Add
+            | DpOp::Sub
+            | DpOp::Xor
+            | DpOp::Xnor
+            | DpOp::Not
+            | DpOp::Eq
+            | DpOp::Ne
+            | DpOp::Lt
+            | DpOp::Le
+            | DpOp::Gt
+            | DpOp::Ge
+            | DpOp::LtU
+            | DpOp::GeU
+            | DpOp::AddOvf
+            | DpOp::SubOvf => DpClass::Add,
+            DpOp::And | DpOp::Nand | DpOp::Or | DpOp::Nor | DpOp::Sll | DpOp::Srl | DpOp::Sra => {
+                DpClass::And
+            }
+            DpOp::Mux | DpOp::RegFileRead(_) | DpOp::MemRead(_) => DpClass::Mux,
+            // Extensions, slices and concatenations behave like single-input
+            // ADD-class modules for path selection: controlling the (single
+            // relevant) input justifies the output, and observability passes
+            // straight through.
+            DpOp::SignExt | DpOp::ZeroExt | DpOp::Slice { .. } | DpOp::Concat => DpClass::Add,
+            DpOp::Const(_) => DpClass::Source,
+            DpOp::RegFileWrite(_) | DpOp::MemWrite(_) => DpClass::Sink,
+            DpOp::Reg(_) => DpClass::Seq,
+        }
+    }
+
+    /// `true` if this op is purely combinational (evaluable from its input
+    /// nets alone, without architectural state).
+    pub fn is_combinational(&self) -> bool {
+        !matches!(
+            self,
+            DpOp::Reg(_)
+                | DpOp::RegFileRead(_)
+                | DpOp::RegFileWrite(_)
+                | DpOp::MemRead(_)
+                | DpOp::MemWrite(_)
+        )
+    }
+
+    /// `true` if this op produces an output net.
+    pub fn has_output(&self) -> bool {
+        !matches!(self, DpOp::RegFileWrite(_) | DpOp::MemWrite(_))
+    }
+
+    /// `true` for predicate ops (1-bit comparison outputs).
+    pub fn is_predicate(&self) -> bool {
+        matches!(
+            self,
+            DpOp::Eq
+                | DpOp::Ne
+                | DpOp::Lt
+                | DpOp::Le
+                | DpOp::Gt
+                | DpOp::Ge
+                | DpOp::LtU
+                | DpOp::GeU
+                | DpOp::AddOvf
+                | DpOp::SubOvf
+        )
+    }
+
+    /// Evaluates a combinational op.
+    ///
+    /// `inputs` are the data-input values (already truncated to their
+    /// widths), `in_widths` the matching widths, `ctrl_index` the binary
+    /// index formed by the control inputs (0 when there are none), and
+    /// `out_width` the output width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a non-combinational op; those are evaluated by the
+    /// simulator, which owns the architectural state.
+    pub fn eval_comb(
+        &self,
+        inputs: &[u64],
+        in_widths: &[u32],
+        ctrl_index: usize,
+        out_width: u32,
+    ) -> u64 {
+        let w = out_width;
+        let bool_to_word = |b: bool| b as u64;
+        match self {
+            DpOp::Add => word::truncate(inputs[0].wrapping_add(inputs[1]), w),
+            DpOp::Sub => word::truncate(inputs[0].wrapping_sub(inputs[1]), w),
+            DpOp::Xor => inputs[0] ^ inputs[1],
+            DpOp::Xnor => word::truncate(!(inputs[0] ^ inputs[1]), w),
+            DpOp::Not => word::truncate(!inputs[0], w),
+            DpOp::Eq => bool_to_word(inputs[0] == inputs[1]),
+            DpOp::Ne => bool_to_word(inputs[0] != inputs[1]),
+            DpOp::Lt => bool_to_word(
+                word::to_signed(inputs[0], in_widths[0]) < word::to_signed(inputs[1], in_widths[1]),
+            ),
+            DpOp::Le => bool_to_word(
+                word::to_signed(inputs[0], in_widths[0])
+                    <= word::to_signed(inputs[1], in_widths[1]),
+            ),
+            DpOp::Gt => bool_to_word(
+                word::to_signed(inputs[0], in_widths[0]) > word::to_signed(inputs[1], in_widths[1]),
+            ),
+            DpOp::Ge => bool_to_word(
+                word::to_signed(inputs[0], in_widths[0])
+                    >= word::to_signed(inputs[1], in_widths[1]),
+            ),
+            DpOp::LtU => bool_to_word(inputs[0] < inputs[1]),
+            DpOp::GeU => bool_to_word(inputs[0] >= inputs[1]),
+            DpOp::AddOvf => bool_to_word(word::add_overflows(inputs[0], inputs[1], in_widths[0])),
+            DpOp::SubOvf => bool_to_word(word::sub_overflows(inputs[0], inputs[1], in_widths[0])),
+            DpOp::And => inputs[0] & inputs[1],
+            DpOp::Nand => word::truncate(!(inputs[0] & inputs[1]), w),
+            DpOp::Or => inputs[0] | inputs[1],
+            DpOp::Nor => word::truncate(!(inputs[0] | inputs[1]), w),
+            DpOp::Sll => {
+                let sh = inputs[1] as u32 % w.next_power_of_two().max(w);
+                if sh >= w {
+                    0
+                } else {
+                    word::truncate(inputs[0] << sh, w)
+                }
+            }
+            DpOp::Srl => {
+                let sh = inputs[1] as u32;
+                if sh >= w {
+                    0
+                } else {
+                    inputs[0] >> sh
+                }
+            }
+            DpOp::Sra => {
+                let sh = inputs[1] as u32;
+                let v = word::to_signed(inputs[0], in_widths[0]);
+                let sh = sh.min(63);
+                word::truncate((v >> sh) as u64, w)
+            }
+            DpOp::Mux => {
+                let idx = ctrl_index.min(inputs.len() - 1);
+                inputs[idx]
+            }
+            DpOp::Const(v) => word::truncate(*v, w),
+            DpOp::SignExt => word::sign_extend(inputs[0], in_widths[0], w),
+            DpOp::ZeroExt => inputs[0],
+            DpOp::Slice { lo } => word::truncate(inputs[0] >> lo, w),
+            DpOp::Concat => {
+                let mut out = 0u64;
+                let mut shift = 0u32;
+                for (v, iw) in inputs.iter().zip(in_widths) {
+                    out |= v << shift;
+                    shift += iw;
+                }
+                word::truncate(out, w)
+            }
+            DpOp::Reg(_)
+            | DpOp::RegFileRead(_)
+            | DpOp::RegFileWrite(_)
+            | DpOp::MemRead(_)
+            | DpOp::MemWrite(_) => {
+                panic!("eval_comb called on sequential/architectural op {self:?}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e1(op: DpOp, a: u64, w: u32) -> u64 {
+        op.eval_comb(&[a], &[w], 0, w)
+    }
+    fn e2(op: DpOp, a: u64, b: u64, w: u32) -> u64 {
+        op.eval_comb(&[a, b], &[w, w], 0, if op.is_predicate() { 1 } else { w })
+    }
+
+    #[test]
+    fn arithmetic_wraps() {
+        assert_eq!(e2(DpOp::Add, 0xffff_ffff, 1, 32), 0);
+        assert_eq!(e2(DpOp::Sub, 0, 1, 32), 0xffff_ffff);
+    }
+
+    #[test]
+    fn logic_ops() {
+        assert_eq!(e2(DpOp::And, 0b1100, 0b1010, 4), 0b1000);
+        assert_eq!(e2(DpOp::Or, 0b1100, 0b1010, 4), 0b1110);
+        assert_eq!(e2(DpOp::Nor, 0b1100, 0b1010, 4), 0b0001);
+        assert_eq!(e2(DpOp::Nand, 0b1100, 0b1010, 4), 0b0111);
+        assert_eq!(e2(DpOp::Xor, 0b1100, 0b1010, 4), 0b0110);
+        assert_eq!(e2(DpOp::Xnor, 0b1100, 0b1010, 4), 0b1001);
+        assert_eq!(e1(DpOp::Not, 0b1100, 4), 0b0011);
+    }
+
+    #[test]
+    fn predicates_signed_vs_unsigned() {
+        // 0xff is -1 signed, 255 unsigned at width 8.
+        assert_eq!(e2(DpOp::Lt, 0xff, 0x01, 8), 1);
+        assert_eq!(e2(DpOp::LtU, 0xff, 0x01, 8), 0);
+        assert_eq!(e2(DpOp::Ge, 0xff, 0x01, 8), 0);
+        assert_eq!(e2(DpOp::GeU, 0xff, 0x01, 8), 1);
+        assert_eq!(e2(DpOp::Eq, 5, 5, 8), 1);
+        assert_eq!(e2(DpOp::Ne, 5, 5, 8), 0);
+        assert_eq!(e2(DpOp::Le, 5, 5, 8), 1);
+        assert_eq!(e2(DpOp::Gt, 6, 5, 8), 1);
+    }
+
+    #[test]
+    fn shifts() {
+        assert_eq!(e2(DpOp::Sll, 0b1, 3, 8), 0b1000);
+        assert_eq!(e2(DpOp::Srl, 0x80, 7, 8), 1);
+        assert_eq!(e2(DpOp::Sra, 0x80, 7, 8), 0xff);
+        assert_eq!(e2(DpOp::Srl, 0x80, 8, 8), 0);
+    }
+
+    #[test]
+    fn mux_selects_by_ctrl_index() {
+        let op = DpOp::Mux;
+        let ins = [10u64, 20, 30];
+        let ws = [8u32, 8, 8];
+        assert_eq!(op.eval_comb(&ins, &ws, 0, 8), 10);
+        assert_eq!(op.eval_comb(&ins, &ws, 2, 8), 30);
+        // Out-of-range index clamps to the last input.
+        assert_eq!(op.eval_comb(&ins, &ws, 3, 8), 30);
+    }
+
+    #[test]
+    fn structural_ops() {
+        assert_eq!(
+            DpOp::SignExt.eval_comb(&[0x80], &[8], 0, 16),
+            0xff80,
+            "sign extend"
+        );
+        assert_eq!(DpOp::ZeroExt.eval_comb(&[0x80], &[8], 0, 16), 0x0080);
+        assert_eq!(DpOp::Slice { lo: 4 }.eval_comb(&[0xabcd], &[16], 0, 4), 0xc);
+        assert_eq!(
+            DpOp::Concat.eval_comb(&[0xcd, 0xab], &[8, 8], 0, 16),
+            0xabcd
+        );
+        assert_eq!(DpOp::Const(0x1_0000_0001).eval_comb(&[], &[], 0, 32), 1);
+    }
+
+    #[test]
+    fn classes_match_paper() {
+        assert_eq!(DpOp::Add.class(), DpClass::Add);
+        assert_eq!(DpOp::Xor.class(), DpClass::Add);
+        assert_eq!(DpOp::Eq.class(), DpClass::Add); // predicates are ADD class
+        assert_eq!(DpOp::And.class(), DpClass::And);
+        assert_eq!(DpOp::Sll.class(), DpClass::And); // shifts are AND class
+        assert_eq!(DpOp::Mux.class(), DpClass::Mux);
+        assert_eq!(DpOp::Reg(RegSpec::plain(0)).class(), DpClass::Seq);
+    }
+
+    #[test]
+    #[should_panic(expected = "eval_comb called on sequential")]
+    fn eval_comb_rejects_sequential() {
+        DpOp::Reg(RegSpec::plain(0)).eval_comb(&[0], &[8], 0, 8);
+    }
+}

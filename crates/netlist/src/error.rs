@@ -1,0 +1,82 @@
+//! Error type for netlist construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error found while building or validating a netlist or design.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// A module input/output width does not satisfy the op's width rule.
+    WidthMismatch {
+        /// Offending module or gate name.
+        module: String,
+        /// Explanation of the violated rule.
+        detail: String,
+    },
+    /// A module has the wrong number of data or control connections.
+    ArityMismatch {
+        /// Offending module or gate name.
+        module: String,
+        /// Explanation of the violated rule.
+        detail: String,
+    },
+    /// A net that requires a driver has none, or has more than one.
+    BadDriver {
+        /// Offending net name.
+        net: String,
+        /// Explanation.
+        detail: String,
+    },
+    /// The combinational portion of the netlist contains a cycle.
+    CombinationalCycle {
+        /// Name of a net on the cycle.
+        net: String,
+    },
+    /// A cross-netlist binding in a [`crate::Design`] is ill-formed.
+    BadBinding {
+        /// Explanation.
+        detail: String,
+    },
+    /// An identifier referenced something that does not exist.
+    UnknownId {
+        /// Explanation.
+        detail: String,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::WidthMismatch { module, detail } => {
+                write!(f, "width mismatch in `{module}`: {detail}")
+            }
+            NetlistError::ArityMismatch { module, detail } => {
+                write!(f, "arity mismatch in `{module}`: {detail}")
+            }
+            NetlistError::BadDriver { net, detail } => {
+                write!(f, "bad driver for net `{net}`: {detail}")
+            }
+            NetlistError::CombinationalCycle { net } => {
+                write!(f, "combinational cycle through net `{net}`")
+            }
+            NetlistError::BadBinding { detail } => write!(f, "bad binding: {detail}"),
+            NetlistError::UnknownId { detail } => write!(f, "unknown id: {detail}"),
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = NetlistError::BadBinding {
+            detail: "ctrl net unbound".into(),
+        };
+        assert_eq!(e.to_string(), "bad binding: ctrl net unbound");
+    }
+}

@@ -1,0 +1,276 @@
+//! Structural Verilog export.
+//!
+//! The paper's test vehicle is described as "1552 lines of structural
+//! Verilog code, excluding the models for library modules". This module
+//! renders a [`Design`] in the same style — one instantiation per module
+//! or gate, wires for every net — so the size of our hand-built netlists
+//! can be compared on the paper's own terms (see the `census` report
+//! binary). The output is illustrative structural Verilog: library-module
+//! bodies (adders, register files, gates) are referenced, not emitted.
+
+use crate::ctl::CtlOp;
+use crate::dp::{DpNetKind, DpOp};
+use crate::Design;
+use std::fmt::Write;
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+fn range(width: u32) -> String {
+    if width == 1 {
+        String::new()
+    } else {
+        format!("[{}:0] ", width - 1)
+    }
+}
+
+/// Renders the datapath as a structural Verilog module.
+pub fn datapath_to_verilog(design: &Design) -> String {
+    let dp = &design.dp;
+    let mut s = String::new();
+    let _ = writeln!(s, "module {} (", sanitize(&dp.name));
+    let mut ports = Vec::new();
+    for (_, net) in dp.iter_nets() {
+        match net.kind {
+            DpNetKind::Input => ports.push(format!(
+                "  input  {}{}",
+                range(net.width),
+                sanitize(&net.name)
+            )),
+            DpNetKind::Ctrl => ports.push(format!("  input  {}", sanitize(&net.name))),
+            DpNetKind::Internal => {}
+        }
+    }
+    for &o in &dp.outputs {
+        ports.push(format!(
+            "  output {}{}",
+            range(dp.net(o).width),
+            sanitize(&dp.net(o).name)
+        ));
+    }
+    for &st in &dp.status {
+        ports.push(format!("  output {}", sanitize(&dp.net(st).name)));
+    }
+    let _ = writeln!(s, "{}", ports.join(",\n"));
+    let _ = writeln!(s, ");");
+    for (_, net) in dp.iter_nets() {
+        if net.kind == DpNetKind::Internal {
+            let _ = writeln!(s, "  wire {}{};", range(net.width), sanitize(&net.name));
+        }
+    }
+    for (_, m) in dp.iter_modules() {
+        let kind = match &m.op {
+            DpOp::Add => "add".into(),
+            DpOp::Sub => "sub".into(),
+            DpOp::Xor => "wxor".into(),
+            DpOp::Xnor => "wxnor".into(),
+            DpOp::Not => "wnot".into(),
+            DpOp::And => "wand".into(),
+            DpOp::Nand => "wnand".into(),
+            DpOp::Or => "wor".into(),
+            DpOp::Nor => "wnor".into(),
+            DpOp::Sll => "shl".into(),
+            DpOp::Srl => "shr".into(),
+            DpOp::Sra => "sar".into(),
+            DpOp::Eq => "cmp_eq".into(),
+            DpOp::Ne => "cmp_ne".into(),
+            DpOp::Lt => "cmp_lt".into(),
+            DpOp::Le => "cmp_le".into(),
+            DpOp::Gt => "cmp_gt".into(),
+            DpOp::Ge => "cmp_ge".into(),
+            DpOp::LtU => "cmp_ltu".into(),
+            DpOp::GeU => "cmp_geu".into(),
+            DpOp::AddOvf => "addovf".into(),
+            DpOp::SubOvf => "subovf".into(),
+            DpOp::Mux => format!("mux{}", m.inputs.len()),
+            DpOp::Const(v) => format!("const_{v:x}"),
+            DpOp::SignExt => "sext".into(),
+            DpOp::ZeroExt => "zext".into(),
+            DpOp::Slice { lo } => format!("slice_{lo}"),
+            DpOp::Concat => "concat".into(),
+            DpOp::Reg(_) => "dpr".into(),
+            DpOp::RegFileRead(a) => format!("{}_read", sanitize(&dp.arch(*a).name)),
+            DpOp::RegFileWrite(a) => format!("{}_write", sanitize(&dp.arch(*a).name)),
+            DpOp::MemRead(a) => format!("{}_read", sanitize(&dp.arch(*a).name)),
+            DpOp::MemWrite(a) => format!("{}_write", sanitize(&dp.arch(*a).name)),
+        };
+        let mut conns = Vec::new();
+        if let Some(out) = m.output {
+            conns.push(format!(".y({})", sanitize(&dp.net(out).name)));
+        }
+        for (i, &inp) in m.inputs.iter().enumerate() {
+            conns.push(format!(".d{i}({})", sanitize(&dp.net(inp).name)));
+        }
+        for (i, &c) in m.ctrls.iter().enumerate() {
+            conns.push(format!(".c{i}({})", sanitize(&dp.net(c).name)));
+        }
+        let _ = writeln!(
+            s,
+            "  {kind} {} ({});",
+            sanitize(&m.name),
+            conns.join(", ")
+        );
+    }
+    let _ = writeln!(s, "endmodule");
+    s
+}
+
+/// Renders the controller as a structural Verilog module.
+pub fn controller_to_verilog(design: &Design) -> String {
+    let ctl = &design.ctl;
+    let mut s = String::new();
+    let _ = writeln!(s, "module {} (", sanitize(&ctl.name));
+    let mut ports = Vec::new();
+    for id in ctl.cpi_nets() {
+        ports.push(format!("  input  {}", sanitize(&ctl.net(id).name)));
+    }
+    for id in ctl.sts_nets() {
+        ports.push(format!("  input  {}", sanitize(&ctl.net(id).name)));
+    }
+    for &o in ctl.ctrl_outputs.iter().chain(ctl.cpo.iter()) {
+        ports.push(format!("  output {}", sanitize(&ctl.net(o).name)));
+    }
+    let _ = writeln!(s, "{}", ports.join(",\n"));
+    let _ = writeln!(s, ");");
+    for (_, net) in ctl.iter_nets() {
+        if !net.op.is_input() {
+            let _ = writeln!(s, "  wire {};", sanitize(&net.name));
+        }
+    }
+    for (_, net) in ctl.iter_nets() {
+        let conns: Vec<String> = std::iter::once(format!(".y({})", sanitize(&net.name)))
+            .chain(
+                net.inputs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &inp)| format!(".d{i}({})", sanitize(&ctl.net(inp).name))),
+            )
+            .collect();
+        let kind = match net.op {
+            CtlOp::Input(_) => continue,
+            CtlOp::Const(v) => {
+                let _ = writeln!(
+                    s,
+                    "  assign {} = 1'b{};",
+                    sanitize(&net.name),
+                    v as u8
+                );
+                continue;
+            }
+            CtlOp::And => "and_g",
+            CtlOp::Or => "or_g",
+            CtlOp::Nand => "nand_g",
+            CtlOp::Nor => "nor_g",
+            CtlOp::Xor => "xor_g",
+            CtlOp::Xnor => "xnor_g",
+            CtlOp::Not => "not_g",
+            CtlOp::Buf => "buf_g",
+            CtlOp::Ff(_) => "cpr",
+        };
+        let _ = writeln!(
+            s,
+            "  {kind} {}_i ({});",
+            sanitize(&net.name),
+            conns.join(", ")
+        );
+    }
+    let _ = writeln!(s, "endmodule");
+    s
+}
+
+/// Renders the complete design: datapath, controller, and a top module
+/// wiring the control/status/instruction-bit bindings.
+pub fn to_verilog(design: &Design) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "// structural export of design `{}` (library-module bodies external)",
+        design.name
+    );
+    s.push_str(&datapath_to_verilog(design));
+    s.push('\n');
+    s.push_str(&controller_to_verilog(design));
+    s.push('\n');
+    let _ = writeln!(s, "module {}_top;", sanitize(&design.name));
+    for b in &design.ctrl_binds {
+        let _ = writeln!(
+            s,
+            "  // CTRL: {} -> {}",
+            sanitize(&design.ctl.net(b.ctl).name),
+            sanitize(&design.dp.net(b.dp).name)
+        );
+    }
+    for b in &design.sts_binds {
+        let _ = writeln!(
+            s,
+            "  // STS:  {} -> {}",
+            sanitize(&design.dp.net(b.dp).name),
+            sanitize(&design.ctl.net(b.ctl).name)
+        );
+    }
+    for b in &design.cpi_binds {
+        let _ = writeln!(
+            s,
+            "  // CPI:  {}[{}] -> {}",
+            sanitize(&design.dp.net(b.dp).name),
+            b.bit,
+            sanitize(&design.ctl.net(b.ctl).name)
+        );
+    }
+    let _ = writeln!(s, "endmodule");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctl::CtlBuilder;
+    use crate::dp::DpBuilder;
+
+    fn toy() -> Design {
+        let mut b = DpBuilder::new("dp");
+        let a = b.input("a", 8);
+        let c = b.input("c", 8);
+        let sel = b.ctrl("sel");
+        let s = b.add("s", a, c);
+        let d = b.sub("d", a, c);
+        let y = b.mux("y", &[sel], &[s, d]);
+        b.mark_output(y);
+        let dp = b.finish().unwrap();
+        let mut cb = CtlBuilder::new("ctl");
+        let i = cb.cpi("i");
+        let q = cb.ff("q", i, false);
+        cb.mark_ctrl_output(q);
+        let ctl = cb.finish().unwrap();
+        let mut d = Design::new("toy", dp, ctl);
+        d.bind_ctrl("q", "sel").unwrap();
+        d
+    }
+
+    #[test]
+    fn exports_well_formed_structure() {
+        let v = to_verilog(&toy());
+        assert!(v.contains("module dp ("));
+        assert!(v.contains("module ctl ("));
+        assert!(v.contains("add s (.y(s_y)"));
+        assert!(v.contains("mux2 y"));
+        assert!(v.contains("cpr q_i"));
+        assert!(v.contains("// CTRL: q -> sel"));
+        assert!(v.contains("endmodule"));
+        // Balanced module/endmodule declarations.
+        let opens = v.lines().filter(|l| l.starts_with("module ")).count();
+        let closes = v.lines().filter(|l| l.starts_with("endmodule")).count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn line_count_scales_with_structure() {
+        let d = toy();
+        let lines = to_verilog(&d).lines().count();
+        let elements = d.dp.module_count() + d.ctl.net_count();
+        assert!(lines >= elements, "{lines} lines for {elements} elements");
+    }
+}

@@ -1,0 +1,67 @@
+//! Structured high-level model for pipelined microprocessors.
+//!
+//! This crate implements the processor model of Van Campenhout, Mudge and
+//! Hayes, *"High-Level Test Generation for Design Verification of Pipelined
+//! Microprocessors"* (DAC 1999), Section III. A processor is split into
+//!
+//! * a **datapath**, represented at the word level with multi-bit modules and
+//!   buses ([`dp::DpNetlist`]), and
+//! * a **controller**, represented at the gate level
+//!   ([`ctl::CtlNetlist`]),
+//!
+//! joined by single-bit *control* (controller → datapath) and *status*
+//! (datapath → controller) signals in a [`design::Design`].
+//!
+//! Signals at each pipe stage are classified following the paper:
+//!
+//! * **primary** — interfacing with the environment (`DPI`/`DPO`,
+//!   `CPI`/`CPO`),
+//! * **secondary** — interfacing with the stage's own pipeline registers
+//!   (`DSI`/`DSO`, `CSI`/`CSO`), and
+//! * **tertiary** — interfacing with *another* pipe stage (`DTI`/`DTO`,
+//!   `CTI`/`CTO`). Tertiary signals — stalls, squashes and bypasses — capture
+//!   the essential interaction between concurrent instructions in the
+//!   pipeline and are the decision variables of the pipeframe search.
+//!
+//! Datapath modules are grouped into the three controllability classes of the
+//! paper's Section V.A — **ADD**, **AND** and **MUX** (see
+//! [`dp::DpClass`]) — which drive the C-/O-state propagation tables used by
+//! path selection.
+//!
+//! # Example
+//!
+//! Build a two-stage toy datapath with a bypass and census its signals:
+//!
+//! ```
+//! use hltg_netlist::dp::{DpBuilder, Stage};
+//!
+//! let mut b = DpBuilder::new("toy");
+//! b.set_stage(Stage::new(0));
+//! let a = b.input("a", 8);
+//! let c = b.input("c", 8);
+//! let sum = b.add("sum", a, c);
+//! b.set_stage(Stage::new(1));
+//! let r = b.reg("r", sum);
+//! let sel = b.ctrl("bypass_sel");
+//! let fwd = b.mux("fwd", &[sel], &[r, sum]); // `sum` crosses stages: tertiary
+//! b.mark_output(fwd);
+//! let dp = b.finish().expect("valid netlist");
+//! let census = dp.census();
+//! assert_eq!(census.state_bits, 8);
+//! assert_eq!(census.tertiary_nets, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ctl;
+pub mod design;
+pub mod export;
+pub mod dp;
+pub mod error;
+pub mod stage;
+pub mod word;
+
+pub use design::Design;
+pub use error::NetlistError;
+pub use stage::Stage;

@@ -1,0 +1,86 @@
+//! Pipeline stage identifiers.
+
+use std::fmt;
+
+/// A pipeline stage index.
+///
+/// Stages are numbered from 0 (the fetch end) towards the write-back end.
+/// Every net, module and gate in a netlist is annotated with the stage it
+/// belongs to; the classification of a signal as *secondary* or *tertiary*
+/// follows from comparing the stages of its driver and its consumers.
+///
+/// # Examples
+///
+/// ```
+/// use hltg_netlist::Stage;
+/// let ex = Stage::new(2);
+/// assert_eq!(ex.index(), 2);
+/// assert_eq!(ex.next().index(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Default)]
+pub struct Stage(u8);
+
+impl Stage {
+    /// Creates a stage with the given index.
+    pub const fn new(index: u8) -> Self {
+        Stage(index)
+    }
+
+    /// The stage index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The following (older-instruction) stage.
+    pub const fn next(self) -> Self {
+        Stage(self.0 + 1)
+    }
+}
+
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+impl From<u8> for Stage {
+    fn from(value: u8) -> Self {
+        Stage(value)
+    }
+}
+
+/// The classical five-stage names, for pretty-printing DLX-like pipelines.
+pub const FIVE_STAGE_NAMES: [&str; 5] = ["IF", "ID", "EX", "MEM", "WB"];
+
+/// Returns a human-readable name for `stage` in a `depth`-stage pipeline.
+///
+/// Five-stage pipelines get the classical `IF/ID/EX/MEM/WB` names; other
+/// depths fall back to `S<i>`.
+pub fn stage_name(stage: Stage, depth: usize) -> String {
+    if depth == 5 && stage.index() < 5 {
+        FIVE_STAGE_NAMES[stage.index()].to_owned()
+    } else {
+        format!("{stage}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naming() {
+        assert_eq!(stage_name(Stage::new(2), 5), "EX");
+        assert_eq!(stage_name(Stage::new(2), 4), "S2");
+        assert_eq!(format!("{}", Stage::new(7)), "S7");
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Stage::new(0) < Stage::new(1));
+        assert_eq!(Stage::new(3).next(), Stage::new(4));
+    }
+}

@@ -1,0 +1,192 @@
+//! Word-level value helpers.
+//!
+//! Datapath buses carry words of 1 to 64 bits, stored in a `u64` and kept
+//! truncated to their declared width. These free functions implement the
+//! masking, sign handling and lane arithmetic shared by the simulator and the
+//! relaxation engine.
+
+/// Maximum supported bus width in bits.
+pub const MAX_WIDTH: u32 = 64;
+
+/// Returns the bit mask covering `width` low bits.
+///
+/// # Panics
+///
+/// Panics if `width` is zero or exceeds [`MAX_WIDTH`].
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(hltg_netlist::word::mask(8), 0xff);
+/// assert_eq!(hltg_netlist::word::mask(64), u64::MAX);
+/// ```
+#[inline]
+pub fn mask(width: u32) -> u64 {
+    assert!((1..=MAX_WIDTH).contains(&width), "invalid width {width}");
+    if width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+/// Truncates `value` to `width` bits.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(hltg_netlist::word::truncate(0x1ff, 8), 0xff);
+/// ```
+#[inline]
+pub fn truncate(value: u64, width: u32) -> u64 {
+    value & mask(width)
+}
+
+/// Returns the sign bit (most significant bit) of a `width`-bit value.
+#[inline]
+pub fn sign_bit(value: u64, width: u32) -> bool {
+    (value >> (width - 1)) & 1 == 1
+}
+
+/// Sign-extends a `width`-bit value to a full `i64`.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(hltg_netlist::word::to_signed(0x80, 8), -128);
+/// assert_eq!(hltg_netlist::word::to_signed(0x7f, 8), 127);
+/// ```
+#[inline]
+pub fn to_signed(value: u64, width: u32) -> i64 {
+    let v = truncate(value, width);
+    if sign_bit(v, width) {
+        (v | !mask(width)) as i64
+    } else {
+        v as i64
+    }
+}
+
+/// Sign-extends a `from`-bit value to `to` bits (`from <= to`).
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(hltg_netlist::word::sign_extend(0x80, 8, 16), 0xff80);
+/// ```
+#[inline]
+pub fn sign_extend(value: u64, from: u32, to: u32) -> u64 {
+    debug_assert!(from <= to);
+    truncate(to_signed(value, from) as u64, to)
+}
+
+/// Detects signed addition overflow of two `width`-bit operands.
+#[inline]
+pub fn add_overflows(a: u64, b: u64, width: u32) -> bool {
+    let sa = sign_bit(a, width);
+    let sb = sign_bit(b, width);
+    let s = sign_bit(truncate(a.wrapping_add(b), width), width);
+    sa == sb && s != sa
+}
+
+/// Detects signed subtraction overflow (`a - b`) of two `width`-bit operands.
+#[inline]
+pub fn sub_overflows(a: u64, b: u64, width: u32) -> bool {
+    let sa = sign_bit(a, width);
+    let sb = sign_bit(b, width);
+    let s = sign_bit(truncate(a.wrapping_sub(b), width), width);
+    sa != sb && s != sa
+}
+
+/// Expands a per-byte write mask into a per-bit mask for a `width`-bit word.
+///
+/// Bit `i` of `byte_mask` covers bits `8*i .. 8*i+8`. `width` need not be a
+/// multiple of 8; the final partial byte is covered by the next mask bit.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(hltg_netlist::word::byte_mask_to_bits(0b01, 32), 0x0000_00ff);
+/// assert_eq!(hltg_netlist::word::byte_mask_to_bits(0b1100, 32), 0xffff_0000);
+/// ```
+#[inline]
+pub fn byte_mask_to_bits(byte_mask: u64, width: u32) -> u64 {
+    let mut out = 0u64;
+    let lanes = width.div_ceil(8);
+    for lane in 0..lanes {
+        if (byte_mask >> lane) & 1 == 1 {
+            let lo = lane * 8;
+            let hi = ((lane + 1) * 8).min(width);
+            out |= mask(hi - lo) << lo;
+        }
+    }
+    out
+}
+
+/// Number of select bits needed to index `n` mux data inputs.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(hltg_netlist::word::select_bits(2), 1);
+/// assert_eq!(hltg_netlist::word::select_bits(3), 2);
+/// assert_eq!(hltg_netlist::word::select_bits(4), 2);
+/// ```
+#[inline]
+pub fn select_bits(n: usize) -> u32 {
+    assert!(n >= 2, "mux needs at least two data inputs");
+    usize::BITS - (n - 1).leading_zeros()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mask_bounds() {
+        assert_eq!(mask(1), 1);
+        assert_eq!(mask(32), 0xffff_ffff);
+        assert_eq!(mask(64), u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid width")]
+    fn mask_zero_panics() {
+        mask(0);
+    }
+
+    #[test]
+    fn signed_roundtrip() {
+        for w in [1u32, 5, 8, 16, 31, 32, 63, 64] {
+            for v in [0u64, 1, mask(w), mask(w) >> 1, (mask(w) >> 1) + 1] {
+                let s = to_signed(v, w);
+                assert_eq!(truncate(s as u64, w), truncate(v, w), "w={w} v={v:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn overflow_detection() {
+        // 8-bit: 127 + 1 overflows, 127 + (-1) does not.
+        assert!(add_overflows(0x7f, 0x01, 8));
+        assert!(!add_overflows(0x7f, 0xff, 8));
+        // -128 - 1 overflows.
+        assert!(sub_overflows(0x80, 0x01, 8));
+        assert!(!sub_overflows(0x80, 0xff, 8));
+    }
+
+    #[test]
+    fn byte_masks() {
+        assert_eq!(byte_mask_to_bits(0b1111, 32), 0xffff_ffff);
+        assert_eq!(byte_mask_to_bits(0b0010, 32), 0x0000_ff00);
+        // Partial final byte: width 20 has lanes 8, 8, 4.
+        assert_eq!(byte_mask_to_bits(0b100, 20), 0x000f_0000);
+    }
+
+    #[test]
+    fn select_bit_counts() {
+        assert_eq!(select_bits(2), 1);
+        assert_eq!(select_bits(5), 3);
+        assert_eq!(select_bits(8), 3);
+        assert_eq!(select_bits(9), 4);
+    }
+}

@@ -1,0 +1,193 @@
+//! Design-error injection: the bus single-stuck-line model.
+
+use hltg_netlist::dp::{DpModId, DpNetId, DpOp};
+use std::fmt;
+
+/// Stuck polarity of an injected line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Polarity {
+    /// The line is stuck at logic 0.
+    StuckAt0,
+    /// The line is stuck at logic 1.
+    StuckAt1,
+}
+
+impl fmt::Display for Polarity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Polarity::StuckAt0 => write!(f, "sa0"),
+            Polarity::StuckAt1 => write!(f, "sa1"),
+        }
+    }
+}
+
+/// A bus single-stuck-line (bus SSL) design error: one line (`bit`) of one
+/// datapath bus (`net`) permanently forced to a value.
+///
+/// This is the synthetic design-error model of Bhattacharya & Hayes used by
+/// the paper's experiments (§VI): it defines an error population linear in
+/// the size of the circuit.
+///
+/// # Examples
+///
+/// ```
+/// use hltg_sim::{Injection, Polarity};
+/// use hltg_netlist::dp::DpNetId;
+/// let inj = Injection { net: DpNetId(3), bit: 7, polarity: Polarity::StuckAt1 };
+/// assert_eq!(inj.apply(0x00), 0x80);
+/// assert_eq!(inj.apply(0xff), 0xff);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Injection {
+    /// The affected bus.
+    pub net: DpNetId,
+    /// The stuck line (bit index within the bus).
+    pub bit: u32,
+    /// Stuck polarity.
+    pub polarity: Polarity,
+}
+
+impl Injection {
+    /// Applies the stuck line to a bus value.
+    #[inline]
+    pub fn apply(&self, value: u64) -> u64 {
+        match self.polarity {
+            Polarity::StuckAt0 => value & !(1u64 << self.bit),
+            Polarity::StuckAt1 => value | (1u64 << self.bit),
+        }
+    }
+
+    /// `true` if applying the error to `value` actually changes it — i.e.
+    /// the error is *activated* by this value.
+    #[inline]
+    pub fn activated_by(&self, value: u64) -> bool {
+        self.apply(value) != value
+    }
+}
+
+/// A synthetic design error from the extended model family of Van
+/// Campenhout et al.'s error-modeling work (the paper's reference \[28\]):
+/// the bus SSL model used for Table 1, plus bus *order* errors (two lines
+/// of a bus swapped, modelling miswired buses) and module substitution
+/// errors (a module replaced by a similar one, modelling the wrong
+/// operator being instantiated).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorModel {
+    /// One line stuck (the Table 1 model).
+    BusSsl(Injection),
+    /// Two lines of a bus swapped.
+    BusOrder {
+        /// The affected bus.
+        net: DpNetId,
+        /// Lower swapped line.
+        low: u32,
+        /// Higher swapped line.
+        high: u32,
+    },
+    /// A module evaluated with a substituted (same-arity) operation.
+    ModuleSubstitution {
+        /// The affected module.
+        module: DpModId,
+        /// The wrong operation the erroneous design implements.
+        with: DpOp,
+    },
+}
+
+impl ErrorModel {
+    /// Applies a value-level effect for net-affecting models; module
+    /// substitutions return the value unchanged (they act at evaluation).
+    #[inline]
+    pub fn apply_net(&self, net: DpNetId, value: u64) -> u64 {
+        match *self {
+            ErrorModel::BusSsl(inj) if inj.net == net => inj.apply(value),
+            ErrorModel::BusOrder { net: n, low, high } if n == net => {
+                let a = (value >> low) & 1;
+                let b = (value >> high) & 1;
+                let mut v = value & !((1 << low) | (1 << high));
+                v |= a << high;
+                v |= b << low;
+                v
+            }
+            _ => value,
+        }
+    }
+
+    /// The substituted op for `module`, if this error affects it.
+    #[inline]
+    pub fn substitution(&self, module: DpModId) -> Option<DpOp> {
+        match *self {
+            ErrorModel::ModuleSubstitution { module: m, with } if m == module => Some(with),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ErrorModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ErrorModel::BusSsl(i) => write!(f, "ssl net{} [{}] {}", i.net.0, i.bit, i.polarity),
+            ErrorModel::BusOrder { net, low, high } => {
+                write!(f, "order net{} [{low}<->{high}]", net.0)
+            }
+            ErrorModel::ModuleSubstitution { module, with } => {
+                write!(f, "msub mod{} -> {with:?}", module.0)
+            }
+        }
+    }
+}
+
+impl From<Injection> for ErrorModel {
+    fn from(value: Injection) -> Self {
+        ErrorModel::BusSsl(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stuck_at_semantics() {
+        let sa0 = Injection {
+            net: DpNetId(0),
+            bit: 3,
+            polarity: Polarity::StuckAt0,
+        };
+        assert_eq!(sa0.apply(0b1111), 0b0111);
+        assert!(sa0.activated_by(0b1000));
+        assert!(!sa0.activated_by(0b0111));
+
+        let sa1 = Injection {
+            net: DpNetId(0),
+            bit: 0,
+            polarity: Polarity::StuckAt1,
+        };
+        assert_eq!(sa1.apply(0b0110), 0b0111);
+        assert!(sa1.activated_by(0));
+        assert!(!sa1.activated_by(1));
+    }
+
+    #[test]
+    fn bus_order_swaps_lines() {
+        let e = ErrorModel::BusOrder {
+            net: DpNetId(2),
+            low: 0,
+            high: 3,
+        };
+        assert_eq!(e.apply_net(DpNetId(2), 0b0001), 0b1000);
+        assert_eq!(e.apply_net(DpNetId(2), 0b1000), 0b0001);
+        assert_eq!(e.apply_net(DpNetId(2), 0b1001), 0b1001, "equal lines are silent");
+        assert_eq!(e.apply_net(DpNetId(9), 0b0001), 0b0001, "other nets untouched");
+    }
+
+    #[test]
+    fn module_substitution_resolves() {
+        let e = ErrorModel::ModuleSubstitution {
+            module: DpModId(4),
+            with: DpOp::Sub,
+        };
+        assert_eq!(e.substitution(DpModId(4)), Some(DpOp::Sub));
+        assert_eq!(e.substitution(DpModId(5)), None);
+        assert_eq!(e.apply_net(DpNetId(0), 7), 7);
+    }
+}

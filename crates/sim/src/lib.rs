@@ -1,0 +1,33 @@
+//! Cycle-accurate simulation of [`hltg_netlist::Design`]s.
+//!
+//! The simulator evaluates the word-level datapath and the gate-level
+//! controller *together*: the combined combinational graph (datapath modules,
+//! controller gates, and the control/status/instruction-bit bindings between
+//! them) is levelized once into a [`schedule::Schedule`], then each call to
+//! [`machine::Machine::step`] evaluates one clock cycle and commits all
+//! sequential state (pipe registers, control flip-flops, register files,
+//! memories).
+//!
+//! Design errors are injected with an [`inject::Injection`] that forces one
+//! bit of one datapath bus — the *bus single-stuck-line* model. The
+//! [`dual::DualSim`] runs a good and a bad machine in lockstep and reports
+//! the first observable discrepancy, which is the detection criterion for
+//! verification tests.
+//!
+//! The [`tv`] module provides the three-valued (0/1/X) logic used by the
+//! test generator's implication engine.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dual;
+pub mod inject;
+pub mod machine;
+pub mod schedule;
+pub mod tv;
+
+pub use dual::{Discrepancy, DualSim};
+pub use inject::{ErrorModel, Injection, Polarity};
+pub use machine::{Machine, MachineState, ObservedOutputs};
+pub use schedule::{Schedule, SimError};
+pub use tv::V3;

@@ -1,0 +1,547 @@
+//! Cycle-accurate machine simulation of a [`Design`].
+
+use crate::inject::{ErrorModel, Injection};
+use crate::schedule::{Node, Schedule, SimError};
+use hltg_netlist::ctl::{CtlInputKind, CtlNetId, CtlOp};
+use hltg_netlist::dp::{ArchId, ArchKind, DpModId, DpNetId, DpNetKind, DpOp};
+use hltg_netlist::{word, Design};
+use std::collections::HashMap;
+
+/// State of one architectural object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArchState {
+    /// Register file contents.
+    RegFile {
+        /// Register values (index 0 may be hard-wired to zero on read).
+        regs: Vec<u64>,
+    },
+    /// Sparse memory contents (absent words read as zero).
+    Mem {
+        /// Word-addressed contents.
+        words: HashMap<u64, u64>,
+    },
+}
+
+/// Complete sequential state of a machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MachineState {
+    /// Controller flip-flop values, in flip-flop creation order.
+    pub ctl_ffs: Vec<bool>,
+    /// Datapath pipe-register values, in register creation order.
+    pub dp_regs: Vec<u64>,
+    /// Architectural state objects, indexed by [`ArchId`].
+    pub archs: Vec<ArchState>,
+}
+
+/// Observable output values, in the order of
+/// [`hltg_netlist::dp::DpNetlist::outputs`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObservedOutputs {
+    /// One value per designated output net.
+    pub values: Vec<u64>,
+}
+
+/// A simulated instance of a design: the *machine*.
+///
+/// The machine owns all sequential state. Each [`step`](Machine::step)
+/// evaluates one clock cycle (combinational settle, then state commit).
+/// An optional [`Injection`] turns this machine into the *erroneous*
+/// implementation: one bus line is permanently stuck.
+///
+/// # Examples
+///
+/// ```
+/// # use hltg_netlist::{Design};
+/// # use hltg_netlist::dp::DpBuilder;
+/// # use hltg_netlist::ctl::CtlBuilder;
+/// use hltg_sim::Machine;
+/// let mut dpb = DpBuilder::new("dp");
+/// let a = dpb.input("a", 8);
+/// let r = dpb.reg("r", a);
+/// dpb.mark_output(r);
+/// let dp = dpb.finish()?;
+/// let ctl = CtlBuilder::new("ctl").finish()?;
+/// let design = Design::new("t", dp, ctl);
+/// let mut m = Machine::new(&design)?;
+/// m.set_input(a, 42);
+/// m.step();
+/// m.step();
+/// assert_eq!(m.dp_value(r), 42); // value appears after the register
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Machine<'d> {
+    design: &'d Design,
+    schedule: Schedule,
+    ff_ids: Vec<CtlNetId>,
+    ff_slot: HashMap<CtlNetId, usize>,
+    reg_ids: Vec<DpModId>,
+    reg_slot: HashMap<DpModId, usize>,
+    sink_ids: Vec<DpModId>,
+    sts_src: HashMap<CtlNetId, DpNetId>,
+    cpi_src: HashMap<CtlNetId, (DpNetId, u32)>,
+    state: MachineState,
+    dp_vals: Vec<u64>,
+    ctl_vals: Vec<bool>,
+    ext_inputs: Vec<u64>,
+    error: Option<ErrorModel>,
+    cycle: u64,
+}
+
+impl<'d> Machine<'d> {
+    /// Builds a machine for `design` in its reset state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::CombinationalCycle`] if the combined
+    /// combinational graph of the design is cyclic.
+    pub fn new(design: &'d Design) -> Result<Self, SimError> {
+        let schedule = Schedule::build(design)?;
+        Ok(Self::with_schedule(design, schedule))
+    }
+
+    /// Builds a machine reusing an existing [`Schedule`] (avoids
+    /// re-levelizing when creating good/bad machine pairs).
+    pub fn with_schedule(design: &'d Design, schedule: Schedule) -> Self {
+        let mut ff_ids = Vec::new();
+        let mut ff_slot = HashMap::new();
+        for id in design.ctl.ff_nets() {
+            ff_slot.insert(id, ff_ids.len());
+            ff_ids.push(id);
+        }
+        let mut reg_ids = Vec::new();
+        let mut reg_slot = HashMap::new();
+        let mut sink_ids = Vec::new();
+        for (id, m) in design.dp.iter_modules() {
+            match m.op {
+                DpOp::Reg(_) => {
+                    reg_slot.insert(id, reg_ids.len());
+                    reg_ids.push(id);
+                }
+                DpOp::RegFileWrite(_) | DpOp::MemWrite(_) => sink_ids.push(id),
+                _ => {}
+            }
+        }
+        let sts_src = design.sts_binds.iter().map(|b| (b.ctl, b.dp)).collect();
+        let cpi_src = design
+            .cpi_binds
+            .iter()
+            .map(|b| (b.ctl, (b.dp, b.bit)))
+            .collect();
+        let state = Self::reset_state(design, &ff_ids, &reg_ids);
+        let dp_vals = vec![0; design.dp.net_count()];
+        let ctl_vals = vec![false; design.ctl.net_count()];
+        let ext_inputs = vec![0; design.dp.net_count()];
+        Machine {
+            design,
+            schedule,
+            ff_ids,
+            ff_slot,
+            reg_ids,
+            reg_slot,
+            sink_ids,
+            sts_src,
+            cpi_src,
+            state,
+            dp_vals,
+            ctl_vals,
+            ext_inputs,
+            error: None,
+            cycle: 0,
+        }
+    }
+
+    fn reset_state(design: &Design, ff_ids: &[CtlNetId], reg_ids: &[DpModId]) -> MachineState {
+        let ctl_ffs = ff_ids
+            .iter()
+            .map(|&id| match design.ctl.net(id).op {
+                CtlOp::Ff(spec) => spec.init,
+                _ => unreachable!("ff_ids holds flip-flops"),
+            })
+            .collect();
+        let dp_regs = reg_ids
+            .iter()
+            .map(|&id| match design.dp.module(id).op {
+                DpOp::Reg(spec) => spec.init,
+                _ => unreachable!("reg_ids holds registers"),
+            })
+            .collect();
+        let archs = design
+            .dp
+            .archs()
+            .iter()
+            .map(|a| match a.kind {
+                ArchKind::RegFile { count, .. } => ArchState::RegFile {
+                    regs: vec![0; count as usize],
+                },
+                ArchKind::Mem { .. } => ArchState::Mem {
+                    words: HashMap::new(),
+                },
+            })
+            .collect();
+        MachineState {
+            ctl_ffs,
+            dp_regs,
+            archs,
+        }
+    }
+
+    /// Restores the reset state (registers/flip-flops to their init values,
+    /// register files zeroed, memories emptied) and resets the cycle count.
+    pub fn reset(&mut self) {
+        self.state = Self::reset_state(self.design, &self.ff_ids, &self.reg_ids);
+        self.cycle = 0;
+    }
+
+    /// Installs (or removes) a stuck-line injection, making this the
+    /// erroneous machine.
+    pub fn set_injection(&mut self, injection: Option<Injection>) {
+        self.error = injection.map(ErrorModel::BusSsl);
+    }
+
+    /// Installs (or removes) a design error from the extended model family
+    /// (bus SSL, bus order, module substitution).
+    pub fn set_error(&mut self, error: Option<ErrorModel>) {
+        self.error = error;
+    }
+
+    /// The design this machine simulates.
+    pub fn design(&self) -> &'d Design {
+        self.design
+    }
+
+    /// The machine's evaluation schedule (shareable with a twin machine).
+    pub fn schedule(&self) -> &Schedule {
+        &self.schedule
+    }
+
+    /// Cycles executed since reset.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// State-vector slot of a pipe register module, if `module` is one
+    /// (index into [`MachineState::dp_regs`]).
+    pub fn reg_index(&self, module: DpModId) -> Option<usize> {
+        self.reg_slot.get(&module).copied()
+    }
+
+    /// State-vector slot of a controller flip-flop, if `net` is one
+    /// (index into [`MachineState::ctl_ffs`]).
+    pub fn ff_index(&self, net: CtlNetId) -> Option<usize> {
+        self.ff_slot.get(&net).copied()
+    }
+
+    /// Mutable access to the sequential state (for preloading programs and
+    /// register contents).
+    pub fn state_mut(&mut self) -> &mut MachineState {
+        &mut self.state
+    }
+
+    /// Read-only access to the sequential state.
+    pub fn state(&self) -> &MachineState {
+        &self.state
+    }
+
+    /// Drives a primary data input for subsequent cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is not a primary input.
+    pub fn set_input(&mut self, net: DpNetId, value: u64) {
+        assert_eq!(
+            self.design.dp.net(net).kind,
+            DpNetKind::Input,
+            "set_input on non-input net"
+        );
+        self.ext_inputs[net.0 as usize] = word::truncate(value, self.design.dp.net(net).width);
+    }
+
+    /// Writes a word into an architectural memory (e.g. to load a program).
+    pub fn preload_mem(&mut self, mem: ArchId, word_addr: u64, value: u64) {
+        match &mut self.state.archs[mem.0 as usize] {
+            ArchState::Mem { words } => {
+                words.insert(word_addr, value);
+            }
+            ArchState::RegFile { .. } => panic!("preload_mem on a register file"),
+        }
+    }
+
+    /// Reads a word from an architectural memory.
+    pub fn read_mem(&self, mem: ArchId, word_addr: u64) -> u64 {
+        match &self.state.archs[mem.0 as usize] {
+            ArchState::Mem { words } => words.get(&word_addr).copied().unwrap_or(0),
+            ArchState::RegFile { .. } => panic!("read_mem on a register file"),
+        }
+    }
+
+    /// Writes a register of an architectural register file.
+    pub fn set_reg(&mut self, rf: ArchId, index: u32, value: u64) {
+        let width = self.design.dp.arch(rf).width();
+        match &mut self.state.archs[rf.0 as usize] {
+            ArchState::RegFile { regs } => regs[index as usize] = word::truncate(value, width),
+            ArchState::Mem { .. } => panic!("set_reg on a memory"),
+        }
+    }
+
+    /// Reads a register of an architectural register file (honours the
+    /// hard-wired zero register).
+    pub fn read_reg(&self, rf: ArchId, index: u32) -> u64 {
+        let zero = matches!(
+            self.design.dp.arch(rf).kind,
+            ArchKind::RegFile { zero_reg: true, .. }
+        ) && index == 0;
+        match &self.state.archs[rf.0 as usize] {
+            ArchState::RegFile { regs } => {
+                if zero {
+                    0
+                } else {
+                    regs[index as usize]
+                }
+            }
+            ArchState::Mem { .. } => panic!("read_reg on a memory"),
+        }
+    }
+
+    fn inject(&self, net: DpNetId, value: u64) -> u64 {
+        match self.error {
+            Some(e) => word::truncate(e.apply_net(net, value), self.design.dp.net(net).width),
+            None => value,
+        }
+    }
+
+    /// Value of a controller net after the combinational settle (flip-flops
+    /// read their cycle-start state).
+    pub fn ctl_value(&self, id: CtlNetId) -> bool {
+        if let Some(&slot) = self.ff_slot.get(&id) {
+            self.state.ctl_ffs[slot]
+        } else {
+            self.ctl_vals[id.0 as usize]
+        }
+    }
+
+    /// Value of a datapath net after the combinational settle.
+    pub fn dp_value(&self, net: DpNetId) -> u64 {
+        match self.design.dp.net(net).kind {
+            DpNetKind::Ctrl => {
+                let src = self.schedule.ctrl_of_dp[&net];
+                self.inject(net, self.ctl_value(src) as u64)
+            }
+            _ => self.dp_vals[net.0 as usize],
+        }
+    }
+
+    fn arch_read(&self, op: &DpOp, addr: u64) -> u64 {
+        match op {
+            DpOp::RegFileRead(a) => {
+                let ArchKind::RegFile {
+                    count, zero_reg, ..
+                } = self.design.dp.arch(*a).kind
+                else {
+                    unreachable!("validated")
+                };
+                let idx = (addr as u32) % count;
+                if zero_reg && idx == 0 {
+                    0
+                } else {
+                    match &self.state.archs[a.0 as usize] {
+                        ArchState::RegFile { regs } => regs[idx as usize],
+                        _ => unreachable!("validated"),
+                    }
+                }
+            }
+            DpOp::MemRead(a) => match &self.state.archs[a.0 as usize] {
+                ArchState::Mem { words } => words.get(&addr).copied().unwrap_or(0),
+                _ => unreachable!("validated"),
+            },
+            _ => unreachable!("arch_read on non-read op"),
+        }
+    }
+
+    /// Executes one clock cycle: combinational settle, output sampling,
+    /// sequential commit. Returns the observable outputs of the cycle.
+    pub fn step(&mut self) -> ObservedOutputs {
+        // Phase 1: source values — pipe-register outputs and primary inputs.
+        for (slot, &mid) in self.reg_ids.iter().enumerate() {
+            let out = self.design.dp.module(mid).output.expect("reg has output");
+            self.dp_vals[out.0 as usize] = self.inject(out, self.state.dp_regs[slot]);
+        }
+        for (id, net) in self.design.dp.iter_nets() {
+            if net.kind == DpNetKind::Input {
+                self.dp_vals[id.0 as usize] = self.inject(id, self.ext_inputs[id.0 as usize]);
+            }
+        }
+
+        // Phase 2: combinational settle in schedule order.
+        for i in 0..self.schedule.order.len() {
+            match self.schedule.order[i] {
+                Node::Ctl(id) => {
+                    let net = self.design.ctl.net(id);
+                    let v = match net.op {
+                        CtlOp::Input(CtlInputKind::Sts) => {
+                            let src = self.sts_src[&id];
+                            self.dp_value(src) & 1 == 1
+                        }
+                        CtlOp::Input(CtlInputKind::Cpi) => match self.cpi_src.get(&id) {
+                            Some(&(src, bit)) => (self.dp_value(src) >> bit) & 1 == 1,
+                            // Unbound CPIs are external; default to 0 unless
+                            // driven through `ext_inputs` of a dp net.
+                            None => false,
+                        },
+                        CtlOp::Const(v) => v,
+                        _ => {
+                            let vals: Vec<crate::tv::V3> = net
+                                .inputs
+                                .iter()
+                                .map(|&i| crate::tv::V3::from_bool(self.ctl_value(i)))
+                                .collect();
+                            crate::tv::eval_gate(net.op, &vals)
+                                .to_bool()
+                                .expect("binary eval of known inputs")
+                        }
+                    };
+                    self.ctl_vals[id.0 as usize] = v;
+                }
+                Node::Dp(mid) => {
+                    let m = self.design.dp.module(mid);
+                    let Some(out) = m.output else { continue };
+                    let v = match &m.op {
+                        DpOp::RegFileRead(_) | DpOp::MemRead(_) => {
+                            let addr = self.dp_value(m.inputs[0]);
+                            self.arch_read(&m.op, addr)
+                        }
+                        op => {
+                            let inputs: Vec<u64> =
+                                m.inputs.iter().map(|&n| self.dp_value(n)).collect();
+                            let widths: Vec<u32> = m
+                                .inputs
+                                .iter()
+                                .map(|&n| self.design.dp.net(n).width)
+                                .collect();
+                            let mut idx = 0usize;
+                            for (k, &c) in m.ctrls.iter().enumerate() {
+                                idx |= ((self.dp_value(c) & 1) as usize) << k;
+                            }
+                            // Module substitution errors evaluate the wrong
+                            // operation in the erroneous machine.
+                            let eff_op = self
+                                .error
+                                .and_then(|e| e.substitution(mid))
+                                .unwrap_or(*op);
+                            eff_op.eval_comb(&inputs, &widths, idx, self.design.dp.net(out).width)
+                        }
+                    };
+                    self.dp_vals[out.0 as usize] =
+                        self.inject(out, word::truncate(v, self.design.dp.net(out).width));
+                }
+            }
+        }
+
+        // Phase 3: sample observables.
+        let outputs = ObservedOutputs {
+            values: self
+                .design
+                .dp
+                .outputs
+                .iter()
+                .map(|&o| self.dp_value(o))
+                .collect(),
+        };
+
+        // Phase 4: sequential commit.
+        let mut next_ffs = self.state.ctl_ffs.clone();
+        for (slot, &id) in self.ff_ids.iter().enumerate() {
+            let net = self.design.ctl.net(id);
+            let CtlOp::Ff(spec) = net.op else {
+                unreachable!("ff_ids holds flip-flops")
+            };
+            let d = self.ctl_value(net.inputs[0]);
+            let mut port = 1;
+            let en = if spec.has_enable {
+                let e = self.ctl_value(net.inputs[port]);
+                port += 1;
+                e
+            } else {
+                true
+            };
+            let clr = spec.has_clear && self.ctl_value(net.inputs[port]);
+            next_ffs[slot] = if clr {
+                spec.clear_val
+            } else if en {
+                d
+            } else {
+                self.state.ctl_ffs[slot]
+            };
+        }
+        let mut next_regs = self.state.dp_regs.clone();
+        for (slot, &mid) in self.reg_ids.iter().enumerate() {
+            let m = self.design.dp.module(mid);
+            let DpOp::Reg(spec) = m.op else {
+                unreachable!("reg_ids holds registers")
+            };
+            let d = self.dp_value(m.inputs[0]);
+            let mut port = 0;
+            let en = if spec.has_enable {
+                let e = self.dp_value(m.ctrls[port]) & 1 == 1;
+                port += 1;
+                e
+            } else {
+                true
+            };
+            let clr = spec.has_clear && self.dp_value(m.ctrls[port]) & 1 == 1;
+            next_regs[slot] = if clr {
+                spec.clear_val
+            } else if en {
+                d
+            } else {
+                self.state.dp_regs[slot]
+            };
+        }
+        // Architectural writes (applied in module order).
+        for &mid in &self.sink_ids.clone() {
+            let m = self.design.dp.module(mid);
+            let we = self.dp_value(m.ctrls[0]) & 1 == 1;
+            if !we {
+                continue;
+            }
+            match m.op {
+                DpOp::RegFileWrite(a) => {
+                    let ArchKind::RegFile {
+                        count,
+                        zero_reg,
+                        width,
+                    } = self.design.dp.arch(a).kind
+                    else {
+                        unreachable!("validated")
+                    };
+                    let addr = (self.dp_value(m.inputs[0]) as u32) % count;
+                    let data = word::truncate(self.dp_value(m.inputs[1]), width);
+                    if !(zero_reg && addr == 0) {
+                        match &mut self.state.archs[a.0 as usize] {
+                            ArchState::RegFile { regs } => regs[addr as usize] = data,
+                            _ => unreachable!("validated"),
+                        }
+                    }
+                }
+                DpOp::MemWrite(a) => {
+                    let width = self.design.dp.arch(a).width();
+                    let addr = self.dp_value(m.inputs[0]);
+                    let data = self.dp_value(m.inputs[1]);
+                    let bits = word::byte_mask_to_bits(self.dp_value(m.inputs[2]), width);
+                    match &mut self.state.archs[a.0 as usize] {
+                        ArchState::Mem { words } => {
+                            let old = words.get(&addr).copied().unwrap_or(0);
+                            words.insert(addr, (old & !bits) | (data & bits));
+                        }
+                        _ => unreachable!("validated"),
+                    }
+                }
+                _ => unreachable!("sink_ids holds write ports"),
+            }
+        }
+        self.state.ctl_ffs = next_ffs;
+        self.state.dp_regs = next_regs;
+        self.cycle += 1;
+        outputs
+    }
+}

@@ -1,0 +1,263 @@
+//! Levelization of the combined combinational graph of a design.
+//!
+//! The datapath and controller interact combinationally through control,
+//! status and instruction-bit bindings, so a correct evaluation order must be
+//! computed over the *combined* graph. Sequential elements (datapath pipe
+//! registers, controller flip-flops) source their cycle-start values from
+//! state and therefore break all timing arcs.
+
+use hltg_netlist::ctl::{CtlNetId, CtlOp};
+use hltg_netlist::dp::{DpModId, DpNetKind, DpOp};
+use hltg_netlist::Design;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// A node of the combined combinational graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Node {
+    /// A controller net (gate, input or constant; flip-flops are excluded).
+    Ctl(CtlNetId),
+    /// A datapath module (pipe registers are excluded; architectural reads
+    /// are combinational and included; write sinks are included last).
+    Dp(DpModId),
+}
+
+/// Errors raised while preparing or running a simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The combined combinational graph has a cycle (e.g. a status signal
+    /// feeding control logic that feeds back into its own cone).
+    CombinationalCycle {
+        /// Human-readable description of a node on the cycle.
+        node: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::CombinationalCycle { node } => {
+                write!(f, "combinational cycle through `{node}`")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+/// A topological evaluation order for one clock cycle of a design.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    /// Nodes in dependency order.
+    pub order: Vec<Node>,
+    /// For each datapath ctrl net: the controller net bound to it.
+    pub ctrl_of_dp: HashMap<hltg_netlist::dp::DpNetId, CtlNetId>,
+}
+
+impl Schedule {
+    /// Levelizes the combined combinational graph of `design`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::CombinationalCycle`] if the cross-domain graph is
+    /// cyclic.
+    pub fn build(design: &Design) -> Result<Schedule, SimError> {
+        let nc = design.ctl.net_count();
+        let nm = design.dp.module_count();
+        let total = nc + nm;
+        let ctl_idx = |id: CtlNetId| id.0 as usize;
+        let dp_idx = |id: DpModId| nc + id.0 as usize;
+
+        let mut ctrl_of_dp = HashMap::new();
+        for b in &design.ctrl_binds {
+            ctrl_of_dp.insert(b.dp, b.ctl);
+        }
+        let mut sts_src = HashMap::new();
+        for b in &design.sts_binds {
+            sts_src.insert(b.ctl, b.dp);
+        }
+        let mut cpi_src = HashMap::new();
+        for b in &design.cpi_binds {
+            cpi_src.insert(b.ctl, b.dp);
+        }
+
+        // `active[i]`: the node participates in combinational evaluation.
+        let mut active = vec![false; total];
+        for (id, net) in design.ctl.iter_nets() {
+            active[ctl_idx(id)] = !net.op.is_ff();
+        }
+        for (id, m) in design.dp.iter_modules() {
+            active[dp_idx(id)] = !matches!(m.op, DpOp::Reg(_));
+        }
+
+        // Dependency edges: dep -> node.
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); total];
+        let mut indeg = vec![0usize; total];
+        let mut add_edge = |from: usize, to: usize, succs: &mut Vec<Vec<usize>>| {
+            succs[from].push(to);
+            indeg[to] += 1;
+        };
+
+        // A datapath net's producing node, if combinational.
+        let dp_net_dep = |net: hltg_netlist::dp::DpNetId| -> Option<usize> {
+            let n = design.dp.net(net);
+            match n.kind {
+                DpNetKind::Internal => {
+                    let d = n.driver.expect("validated");
+                    if matches!(design.dp.module(d).op, DpOp::Reg(_)) {
+                        None
+                    } else {
+                        Some(dp_idx(d))
+                    }
+                }
+                DpNetKind::Ctrl => ctrl_of_dp.get(&net).and_then(|&c| {
+                    if design.ctl.net(c).op.is_ff() {
+                        None
+                    } else {
+                        Some(ctl_idx(c))
+                    }
+                }),
+                DpNetKind::Input => None,
+            }
+        };
+
+        for (id, net) in design.ctl.iter_nets() {
+            if net.op.is_ff() {
+                continue;
+            }
+            match net.op {
+                CtlOp::Input(_) => {
+                    // CPI/STS inputs depend on their bound datapath net.
+                    let src = sts_src.get(&id).or_else(|| cpi_src.get(&id));
+                    if let Some(&dpn) = src {
+                        if let Some(dep) = dp_net_dep(dpn) {
+                            add_edge(dep, ctl_idx(id), &mut succs);
+                        }
+                    }
+                }
+                _ => {
+                    for &i in &net.inputs {
+                        if !design.ctl.net(i).op.is_ff() {
+                            add_edge(ctl_idx(i), ctl_idx(id), &mut succs);
+                        }
+                    }
+                }
+            }
+        }
+        for (id, m) in design.dp.iter_modules() {
+            if matches!(m.op, DpOp::Reg(_)) {
+                continue;
+            }
+            for &inp in m.inputs.iter().chain(m.ctrls.iter()) {
+                if let Some(dep) = dp_net_dep(inp) {
+                    add_edge(dep, dp_idx(id), &mut succs);
+                }
+            }
+        }
+
+        // Kahn's algorithm.
+        let mut queue: Vec<usize> = (0..total).filter(|&i| active[i] && indeg[i] == 0).collect();
+        let mut order = Vec::with_capacity(queue.len());
+        while let Some(i) = queue.pop() {
+            order.push(if i < nc {
+                Node::Ctl(CtlNetId(i as u32))
+            } else {
+                Node::Dp(DpModId((i - nc) as u32))
+            });
+            for &s in &succs[i] {
+                indeg[s] -= 1;
+                if indeg[s] == 0 {
+                    queue.push(s);
+                }
+            }
+        }
+        let active_total = active.iter().filter(|&&a| a).count();
+        if order.len() != active_total {
+            let bad = (0..total)
+                .find(|&i| active[i] && indeg[i] > 0)
+                .expect("cycle implies leftover");
+            let name = if bad < nc {
+                format!("ctl:{}", design.ctl.net(CtlNetId(bad as u32)).name)
+            } else {
+                format!("dp:{}", design.dp.module(DpModId((bad - nc) as u32)).name)
+            };
+            return Err(SimError::CombinationalCycle { node: name });
+        }
+        Ok(Schedule { order, ctrl_of_dp })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hltg_netlist::ctl::CtlBuilder;
+    use hltg_netlist::dp::DpBuilder;
+
+    /// dp status -> ctl -> dp ctrl chains must be ordered correctly.
+    #[test]
+    fn cross_domain_ordering() {
+        let mut dpb = DpBuilder::new("dp");
+        let a = dpb.input("a", 8);
+        let b2 = dpb.input("b", 8);
+        let z = dpb.predicate("z", hltg_netlist::dp::DpOp::Eq, a, b2);
+        let sel = dpb.ctrl("sel");
+        let y = dpb.mux("y", &[sel], &[a, b2]);
+        dpb.mark_output(y);
+        dpb.mark_status(z);
+        let dp = dpb.finish().unwrap();
+
+        let mut cb = CtlBuilder::new("ctl");
+        let zin = cb.sts("zin");
+        let nsel = cb.not(zin);
+        cb.rename(nsel, "nsel");
+        cb.mark_ctrl_output(nsel);
+        let ctl = cb.finish().unwrap();
+
+        let mut d = hltg_netlist::Design::new("t", dp, ctl);
+        d.bind_ctrl("nsel", "sel").unwrap();
+        d.bind_sts("z.y", "zin").unwrap();
+        d.validate().unwrap();
+
+        let s = Schedule::build(&d).unwrap();
+        // The Eq module must come before the sts input, which must come
+        // before the inverter, which must come before the mux.
+        let pos = |n: Node| s.order.iter().position(|&x| x == n).unwrap();
+        let eq_mod = d.dp.net(d.dp.find_net("z.y").unwrap()).driver.unwrap();
+        let mux_mod = d.dp.net(d.dp.find_net("y.y").unwrap()).driver.unwrap();
+        let zin_net = d.ctl.find_net("zin").unwrap();
+        let nsel_net = d.ctl.find_net("nsel").unwrap();
+        assert!(pos(Node::Dp(eq_mod)) < pos(Node::Ctl(zin_net)));
+        assert!(pos(Node::Ctl(zin_net)) < pos(Node::Ctl(nsel_net)));
+        assert!(pos(Node::Ctl(nsel_net)) < pos(Node::Dp(mux_mod)));
+    }
+
+    /// A status->ctrl->status loop is combinational and must be rejected.
+    #[test]
+    fn rejects_cross_domain_cycle() {
+        let mut dpb = DpBuilder::new("dp");
+        let a = dpb.input("a", 8);
+        let sel = dpb.ctrl("sel");
+        let zero = dpb.constant("k0", 8, 0);
+        let y = dpb.mux("y", &[sel], &[a, zero]);
+        let z = dpb.predicate("z", hltg_netlist::dp::DpOp::Eq, y, a);
+        dpb.mark_status(z);
+        dpb.mark_output(y);
+        let dp = dpb.finish().unwrap();
+
+        let mut cb = CtlBuilder::new("ctl");
+        let zin = cb.sts("zin");
+        let out = cb.not(zin);
+        cb.rename(out, "selsrc");
+        cb.mark_ctrl_output(out);
+        let ctl = cb.finish().unwrap();
+
+        let mut d = hltg_netlist::Design::new("t", dp, ctl);
+        d.bind_ctrl("selsrc", "sel").unwrap();
+        d.bind_sts("z.y", "zin").unwrap();
+        d.validate().unwrap(); // individually valid...
+        let err = Schedule::build(&d).unwrap_err(); // ...but cyclic combined
+        assert!(matches!(err, SimError::CombinationalCycle { .. }), "{err}");
+    }
+}

@@ -1,0 +1,173 @@
+//! Three-valued (0 / 1 / X) logic for structural implication.
+//!
+//! The controller-justification engine reasons about partially assigned
+//! gate-level circuits; `X` represents an as-yet-undetermined value. The
+//! algebra is the standard monotone extension of Boolean logic: a gate output
+//! is known as soon as its inputs force it (e.g. any 0 input forces an AND
+//! gate to 0).
+
+use hltg_netlist::ctl::CtlOp;
+use std::fmt;
+
+/// A three-valued logic level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum V3 {
+    /// Logic 0.
+    Zero,
+    /// Logic 1.
+    One,
+    /// Unknown / unassigned.
+    #[default]
+    X,
+}
+
+impl V3 {
+    /// Converts a concrete bool.
+    pub fn from_bool(b: bool) -> Self {
+        if b {
+            V3::One
+        } else {
+            V3::Zero
+        }
+    }
+
+    /// The concrete value, if known.
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            V3::Zero => Some(false),
+            V3::One => Some(true),
+            V3::X => None,
+        }
+    }
+
+    /// `true` if the value is known (0 or 1).
+    pub fn is_known(self) -> bool {
+        self != V3::X
+    }
+
+    /// Three-valued conjunction.
+    pub fn and(self, rhs: V3) -> V3 {
+        match (self, rhs) {
+            (V3::Zero, _) | (_, V3::Zero) => V3::Zero,
+            (V3::One, V3::One) => V3::One,
+            _ => V3::X,
+        }
+    }
+
+    /// Three-valued disjunction.
+    pub fn or(self, rhs: V3) -> V3 {
+        match (self, rhs) {
+            (V3::One, _) | (_, V3::One) => V3::One,
+            (V3::Zero, V3::Zero) => V3::Zero,
+            _ => V3::X,
+        }
+    }
+
+    /// Three-valued exclusive-or.
+    pub fn xor(self, rhs: V3) -> V3 {
+        match (self.to_bool(), rhs.to_bool()) {
+            (Some(a), Some(b)) => V3::from_bool(a ^ b),
+            _ => V3::X,
+        }
+    }
+
+    /// Three-valued negation.
+    #[allow(clippy::should_implement_trait)] // `v.not()` reads naturally in implication code
+    pub fn not(self) -> V3 {
+        match self {
+            V3::Zero => V3::One,
+            V3::One => V3::Zero,
+            V3::X => V3::X,
+        }
+    }
+
+    /// `true` if `self` is compatible with (refines to) `other`: X is
+    /// compatible with anything; known values only with themselves.
+    pub fn compatible(self, other: V3) -> bool {
+        self == V3::X || other == V3::X || self == other
+    }
+}
+
+impl fmt::Display for V3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = match self {
+            V3::Zero => '0',
+            V3::One => '1',
+            V3::X => 'x',
+        };
+        write!(f, "{c}")
+    }
+}
+
+impl From<bool> for V3 {
+    fn from(value: bool) -> Self {
+        V3::from_bool(value)
+    }
+}
+
+/// Evaluates a controller gate over three-valued inputs.
+///
+/// Inputs, constants and flip-flops are not evaluated here (they are sourced
+/// externally or from state); calling this on them returns `X`.
+pub fn eval_gate(op: CtlOp, inputs: &[V3]) -> V3 {
+    match op {
+        CtlOp::And => inputs.iter().copied().fold(V3::One, V3::and),
+        CtlOp::Or => inputs.iter().copied().fold(V3::Zero, V3::or),
+        CtlOp::Nand => inputs.iter().copied().fold(V3::One, V3::and).not(),
+        CtlOp::Nor => inputs.iter().copied().fold(V3::Zero, V3::or).not(),
+        CtlOp::Xor => inputs.iter().copied().fold(V3::Zero, V3::xor),
+        CtlOp::Xnor => inputs.iter().copied().fold(V3::Zero, V3::xor).not(),
+        CtlOp::Not => inputs[0].not(),
+        CtlOp::Buf => inputs[0],
+        CtlOp::Const(v) => V3::from_bool(v),
+        CtlOp::Input(_) | CtlOp::Ff(_) => V3::X,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn controlling_values_dominate_x() {
+        assert_eq!(V3::Zero.and(V3::X), V3::Zero);
+        assert_eq!(V3::X.and(V3::One), V3::X);
+        assert_eq!(V3::One.or(V3::X), V3::One);
+        assert_eq!(V3::X.or(V3::Zero), V3::X);
+        assert_eq!(V3::X.xor(V3::One), V3::X);
+        assert_eq!(V3::X.not(), V3::X);
+    }
+
+    #[test]
+    fn boolean_restriction_matches_bool() {
+        for a in [false, true] {
+            for b in [false, true] {
+                let (va, vb) = (V3::from_bool(a), V3::from_bool(b));
+                assert_eq!(va.and(vb).to_bool(), Some(a && b));
+                assert_eq!(va.or(vb).to_bool(), Some(a || b));
+                assert_eq!(va.xor(vb).to_bool(), Some(a ^ b));
+                assert_eq!(va.not().to_bool(), Some(!a));
+            }
+        }
+    }
+
+    #[test]
+    fn gate_eval_nary() {
+        use V3::{One, X, Zero};
+        assert_eq!(eval_gate(CtlOp::And, &[One, One, Zero]), Zero);
+        assert_eq!(eval_gate(CtlOp::And, &[One, X]), X);
+        assert_eq!(eval_gate(CtlOp::Nor, &[Zero, Zero]), One);
+        assert_eq!(eval_gate(CtlOp::Nor, &[Zero, X]), X);
+        assert_eq!(eval_gate(CtlOp::Xor, &[One, One, One]), One);
+        assert_eq!(eval_gate(CtlOp::Xnor, &[One, Zero]), Zero);
+        assert_eq!(eval_gate(CtlOp::Const(true), &[]), One);
+    }
+
+    #[test]
+    fn compatibility() {
+        assert!(V3::X.compatible(V3::One));
+        assert!(V3::One.compatible(V3::X));
+        assert!(V3::One.compatible(V3::One));
+        assert!(!V3::One.compatible(V3::Zero));
+    }
+}

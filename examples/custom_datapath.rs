@@ -1,0 +1,196 @@
+//! Custom datapath: the engines are not DLX-specific.
+//!
+//! Builds a small two-stage MAC-like datapath with its own controller,
+//! enumerates bus SSL errors on it, and runs the generic engines directly:
+//! `DPTRACE` path selection (with the Figure 5 C/O-state rules),
+//! `CTRLJUST` on the unrolled controller, and `DPRELAX` discrete
+//! relaxation with dual-simulation confirmation.
+//!
+//! Run with: `cargo run --release --example custom_datapath`
+
+use hltg::core::ctrljust::{self, CtrlJustConfig, Objective};
+use hltg::core::dprelax::{Activation, MemImage, RelaxEngine, RelaxGoal};
+use hltg::core::dptrace::{self, DptraceConfig};
+use hltg::core::pipeframe::SearchSpaceAnalysis;
+use hltg::core::unroll::Unrolled;
+use hltg::errors::{enumerate_all_errors, EnumPolicy, Polarity};
+use hltg::netlist::ctl::CtlBuilder;
+use hltg::netlist::dp::DpBuilder;
+use hltg::netlist::{Design, Stage};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A two-stage multiply-accumulate-ish unit: stage 0 adds or xors two
+/// memory operands (controller-selected), stage 1 accumulates into a
+/// register and writes the result out. The controller is commanded by a
+/// word stream fetched from a command memory — the same closed-loop
+/// structure as the DLX instruction fetch, so generated "tests" are
+/// command programs.
+fn build() -> Design {
+    let mut dpb = DpBuilder::new("mac_dp");
+    dpb.set_stage(Stage::new(0));
+    let mem = dpb.arch_mem("operands", 16);
+    let cmds = dpb.arch_mem("cmds", 16);
+    // Command fetch: a free-running counter addresses the command memory.
+    let counter = dpb.wire("counter", 16);
+    let k1c = dpb.constant("k1c", 16, 1);
+    let cnt_next = dpb.add("cnt_next", counter, k1c);
+    dpb.drive(
+        counter,
+        "cnt_reg",
+        hltg::netlist::dp::DpOp::Reg(hltg::netlist::dp::RegSpec::plain(0)),
+        &[cnt_next],
+        &[],
+    );
+    let _cmd = dpb.mem_read("cmd_fetch", cmds, counter);
+    let k0 = dpb.constant("k0", 4, 0);
+    let k1 = dpb.constant("k1", 4, 1);
+    let x = dpb.mem_read("x", mem, k0);
+    let y = dpb.mem_read("y", mem, k1);
+    let sum = dpb.add("sum", x, y);
+    let xor = dpb.xor("xor", x, y);
+    let f = dpb.ctrl("f_sel");
+    let stage0 = dpb.mux("stage0", &[f], &[sum, xor]);
+    dpb.set_stage(Stage::new(1));
+    let r = dpb.reg("pipe", stage0);
+    let acc_en = dpb.ctrl("acc_en");
+    let acc = dpb.wire("acc", 16);
+    let next = dpb.add("next", acc, r);
+    dpb.drive(
+        acc,
+        "acc_reg",
+        hltg::netlist::dp::DpOp::Reg(hltg::netlist::dp::RegSpec {
+            init: 0,
+            has_enable: true,
+            has_clear: false,
+            clear_val: 0,
+        }),
+        &[next],
+        &[acc_en],
+    );
+    dpb.mark_output(acc);
+    let dp = dpb.finish().expect("valid datapath");
+
+    let mut cb = CtlBuilder::new("mac_ctl");
+    cb.set_stage(Stage::new(0));
+    let mode = cb.cpi("mode");
+    let go = cb.cpi("go");
+    cb.set_stage(Stage::new(1));
+    let go_q = cb.ff("go_q", go, false);
+    cb.mark_ctrl_output(mode);
+    cb.mark_ctrl_output(go_q);
+    cb.mark_tertiary(go_q);
+    let ctl = cb.finish().expect("valid controller");
+
+    let mut design = Design::new("mac", dp, ctl);
+    design.bind_ctrl("mode", "f_sel").expect("bind");
+    design.bind_ctrl("go_q", "acc_en").expect("bind");
+    design.bind_cpi("cmd_fetch.y", 0, "mode").expect("bind");
+    design.bind_cpi("cmd_fetch.y", 1, "go").expect("bind");
+    design.validate().expect("valid design");
+    design
+}
+
+fn main() {
+    let design = build();
+    println!("design `{}` validates", design.name);
+    let analysis = SearchSpaceAnalysis::of(&design.ctl);
+    println!(
+        "pipeframe analysis: n1={} state={} tertiary={} (justify {} -> {})",
+        analysis.n1,
+        analysis.n2_total,
+        analysis.n3_total,
+        analysis.timeframe.justify,
+        analysis.pipeframe.justify
+    );
+
+    let errors = enumerate_all_errors(&design, EnumPolicy::RepresentativePerBus);
+    println!("{} bus SSL errors enumerated", errors.len());
+
+    // Target the stage-0 result bus.
+    let error = errors
+        .iter()
+        .find(|e| e.net_name == "stage0.y" && e.polarity == Polarity::StuckAt0)
+        .expect("stage0 bus enumerated");
+    println!("target: {error}");
+
+    // P1: paths.
+    let plan = dptrace::select_paths(&design, error.net, 0, DptraceConfig::default())
+        .expect("controllable and observable");
+    println!(
+        "DPTRACE: sink `{}` at t+{}, {} CTRL objectives",
+        design.dp.net(plan.sink.net).name,
+        plan.sink.time,
+        plan.ctrl_objectives.len()
+    );
+
+    // P3: controller justification in a 6-frame window, activation at 2.
+    let t = 2i32;
+    let mut unrolled = Unrolled::new(&design.ctl, 6);
+    let objectives: Vec<Objective> = plan
+        .ctrl_objectives
+        .iter()
+        .map(|o| Objective {
+            frame: (t + o.time) as usize,
+            net: design.ctrl_source(o.dp_net).expect("bound"),
+            value: o.value,
+        })
+        .collect();
+    let just = ctrljust::justify(&mut unrolled, &objectives, &[], CtrlJustConfig::default())
+        .expect("justifiable");
+    println!(
+        "CTRLJUST: {} decisions, {} backtracks",
+        just.decisions, just.backtracks
+    );
+
+    // Translate the decided CPI bits into a command program.
+    let mode = design.ctl.find_net("mode").expect("cpi exists");
+    let go = design.ctl.find_net("go").expect("cpi exists");
+    let mut cmd_words = Vec::new();
+    for f in 0..unrolled.frames() {
+        let bit = |v: hltg::sim::V3| u64::from(v.to_bool().unwrap_or(false));
+        cmd_words.push((
+            f as u64,
+            bit(unrolled.assigned(f, mode)) | (bit(unrolled.assigned(f, go)) << 1),
+        ));
+    }
+
+    // P2: values by discrete relaxation, confirmed by dual simulation.
+    let operands = hltg::netlist::dp::ArchId(0);
+    let cmds = hltg::netlist::dp::ArchId(1);
+    let mut engine = RelaxEngine::new(
+        &design,
+        error.to_injection(),
+        vec![
+            (operands, MemImage::free()),
+            (cmds, MemImage::fixed(cmd_words)),
+        ],
+    );
+    let goal = RelaxGoal {
+        activation: Activation {
+            net: error.net,
+            cycle: t as usize,
+            bit: error.bit,
+            want: true,
+        },
+        requirements: Vec::new(),
+        horizon: 8,
+    };
+    let mut rng = StdRng::seed_from_u64(42);
+    match engine.solve(&goal, &mut rng, 64) {
+        Ok(sol) => {
+            let (cycle, net) = sol.detected_at;
+            println!(
+                "DPRELAX: converged in {} iterations; discrepancy at cycle {cycle} on `{}`",
+                sol.iterations,
+                design.dp.net(net).name
+            );
+            println!(
+                "operand image: x={:#x} y={:#x}",
+                sol.images[0].1.value_of(0),
+                sol.images[0].1.value_of(1)
+            );
+        }
+        Err(e) => println!("DPRELAX failed: {e}"),
+    }
+}

@@ -1,0 +1,50 @@
+//! # hltg — High-Level Test Generation for Pipelined Microprocessors
+//!
+//! Facade crate re-exporting the whole `hltg` workspace: a reproduction of
+//! Van Campenhout, Mudge & Hayes, *"High-Level Test Generation for Design
+//! Verification of Pipelined Microprocessors"* (DAC 1999).
+//!
+//! The workspace implements:
+//!
+//! * [`netlist`] — the structured processor model: word-level datapath,
+//!   gate-level controller, primary/secondary/tertiary signal classes;
+//! * [`sim`] — cycle-accurate simulation, dual good/bad simulation and
+//!   error injection;
+//! * [`isa`] — the 44-instruction DLX ISA, assembler and architectural
+//!   reference simulator;
+//! * [`dlx`] — the five-stage pipelined DLX test vehicle (stall, squash,
+//!   bypass);
+//! * [`errors`] — the bus single-stuck-line (bus SSL) design-error model;
+//! * [`core`] — the three-part test generation algorithm: `DPTRACE` path
+//!   selection, `DPRELAX` discrete relaxation and `CTRLJUST` controller
+//!   justification, organized around the pipeframe model.
+//!
+//! # Quick start
+//!
+//! ```
+//! use hltg::dlx::DlxDesign;
+//! use hltg::errors::{BusSslError, Polarity};
+//! use hltg::core::{TestGenerator, TgConfig};
+//!
+//! // Build the DLX test vehicle and pick a design error in the EX stage.
+//! let design = DlxDesign::build();
+//! let errors = hltg::errors::enumerate_stage_errors(
+//!     &design.design,
+//!     &[hltg::netlist::Stage::new(2)],
+//!     hltg::errors::EnumPolicy::RepresentativePerBus,
+//! );
+//! let error: &BusSslError = &errors[0];
+//! assert!(matches!(error.polarity, Polarity::StuckAt0 | Polarity::StuckAt1));
+//!
+//! // Generate a verification test for it.
+//! let mut tg = TestGenerator::new(&design, TgConfig::default());
+//! let outcome = tg.generate(error);
+//! println!("{outcome:?}");
+//! ```
+
+pub use hltg_core as core;
+pub use hltg_dlx as dlx;
+pub use hltg_errors as errors;
+pub use hltg_isa as isa;
+pub use hltg_netlist as netlist;
+pub use hltg_sim as sim;

@@ -1,0 +1,168 @@
+//! Robustness and failure-injection tests: starved budgets, degenerate
+//! configurations and the extended error models must degrade gracefully —
+//! clean aborts, never panics or bogus detections.
+
+use hltg::core::ctrljust::CtrlJustConfig;
+use hltg::core::dptrace::DptraceConfig;
+use hltg::core::{Campaign, CampaignConfig, Outcome, TestGenerator, TgConfig};
+use hltg::dlx::DlxDesign;
+use hltg::errors::{
+    enumerate_bus_order_errors, enumerate_module_substitutions, enumerate_stage_errors,
+    EnumPolicy,
+};
+use hltg::isa::asm::assemble;
+use hltg::netlist::Stage;
+use hltg::sim::{ErrorModel, Machine, Schedule};
+
+fn stages() -> [Stage; 3] {
+    [Stage::new(2), Stage::new(3), Stage::new(4)]
+}
+
+/// Starved search budgets abort cleanly and never claim detection without
+/// a confirming divergence.
+#[test]
+fn starved_budgets_abort_cleanly() {
+    let dlx = DlxDesign::build();
+    let cfg = TgConfig {
+        max_variants: 1,
+        relax_iters: 1,
+        ctrljust: CtrlJustConfig { max_backtracks: 1 },
+        dptrace: DptraceConfig {
+            max_time: 2,
+            min_time: -2,
+            max_depth: 8,
+        },
+        ..TgConfig::default()
+    };
+    let mut tg = TestGenerator::new(&dlx, cfg);
+    let errors = enumerate_stage_errors(&dlx.design, &stages(), EnumPolicy::RepresentativePerBus);
+    let mut aborted = 0;
+    for e in errors.iter().take(20) {
+        match tg.generate(e) {
+            Outcome::Detected(tc) => {
+                // A detection under starvation must still be real.
+                assert!(tc.detected_cycle < tc.program.len() as usize + 32);
+            }
+            Outcome::Aborted { .. } => aborted += 1,
+        }
+    }
+    assert!(aborted > 0, "starved budgets must abort at least sometimes");
+}
+
+/// A zero-error campaign produces empty but well-formed statistics.
+#[test]
+fn empty_campaign_is_well_formed() {
+    let dlx = DlxDesign::build();
+    let campaign = Campaign::run(
+        &dlx,
+        &CampaignConfig {
+            limit: Some(0),
+            ..CampaignConfig::default()
+        },
+    );
+    let stats = campaign.stats();
+    assert_eq!(stats.errors, 0);
+    assert_eq!(stats.coverage_pct(), 0.0);
+    assert!(campaign.table1_report().contains("this run"));
+}
+
+/// Every extended-model error either diverges from the good machine or
+/// behaves identically — and the dual run itself never panics, for every
+/// enumerated instance.
+#[test]
+fn extended_models_simulate_safely() {
+    let dlx = DlxDesign::build();
+    let program = assemble(
+        0,
+        "
+        addi r1, r0, 0x29a
+        lhi  r2, 0x8000
+        add  r3, r1, r2
+        sll  r4, r1, r1
+        sw   r3, 0x100(r0)
+        lw   r5, 0x100(r0)
+        sub  r6, r5, r1
+        sw   r6, 0x104(r0)
+        ",
+    )
+    .unwrap();
+    let schedule = Schedule::build(&dlx.design).unwrap();
+    let mut models = enumerate_bus_order_errors(&dlx.design, &stages());
+    models.extend(enumerate_module_substitutions(&dlx.design, &stages()));
+    let mut divergent = 0;
+    for e in &models {
+        let mut good = Machine::with_schedule(&dlx.design, schedule.clone());
+        let mut bad = Machine::with_schedule(&dlx.design, schedule.clone());
+        bad.set_error(Some(*e));
+        for m in [&mut good, &mut bad] {
+            for (i, w) in program.encode().iter().enumerate() {
+                m.preload_mem(dlx.dp.imem, i as u64, u64::from(*w));
+            }
+        }
+        let diverged = (0..40).any(|_| good.step() != bad.step());
+        if diverged {
+            divergent += 1;
+        }
+    }
+    // A single short program only exercises a slice of the machine; the
+    // full cross-coverage experiment lives in the `ext_error_models`
+    // binary. Here the point is safety plus a sanity floor.
+    assert!(
+        divergent * 5 >= models.len() / 2,
+        "{divergent}/{} extended errors detected",
+        models.len()
+    );
+}
+
+/// A `ModuleSubstitution` that replaces an op with itself is behaviourally
+/// silent — the injection machinery adds no spurious effects.
+#[test]
+fn identity_substitution_is_silent() {
+    let dlx = DlxDesign::build();
+    let (alu_add_mod, op) = dlx
+        .design
+        .dp
+        .iter_modules()
+        .find(|(_, m)| m.name == "alu_add")
+        .map(|(id, m)| (id, m.op))
+        .expect("alu adder exists");
+    let program = assemble(0, "addi r1, r0, 7\nadd r2, r1, r1\nsw r2, 0x40(r0)").unwrap();
+    let schedule = Schedule::build(&dlx.design).unwrap();
+    let mut good = Machine::with_schedule(&dlx.design, schedule.clone());
+    let mut bad = Machine::with_schedule(&dlx.design, schedule);
+    bad.set_error(Some(ErrorModel::ModuleSubstitution {
+        module: alu_add_mod,
+        with: op,
+    }));
+    for m in [&mut good, &mut bad] {
+        for (i, w) in program.encode().iter().enumerate() {
+            m.preload_mem(dlx.dp.imem, i as u64, u64::from(*w));
+        }
+    }
+    for _ in 0..24 {
+        assert_eq!(good.step(), bad.step());
+    }
+}
+
+/// Regenerating a test for the same error is deterministic: two fresh
+/// generators produce identical programs and images.
+#[test]
+fn generation_is_deterministic() {
+    let dlx = DlxDesign::build();
+    let errors = enumerate_stage_errors(&dlx.design, &stages(), EnumPolicy::RepresentativePerBus);
+    for e in errors.iter().take(6) {
+        let a = TestGenerator::new(&dlx, TgConfig::default()).generate(e);
+        let b = TestGenerator::new(&dlx, TgConfig::default()).generate(e);
+        match (a, b) {
+            (Outcome::Detected(x), Outcome::Detected(y)) => {
+                assert_eq!(x.imem_image, y.imem_image, "{e}");
+                assert_eq!(x.dmem_image, y.dmem_image, "{e}");
+                assert_eq!(x.detected_cycle, y.detected_cycle, "{e}");
+            }
+            (Outcome::Aborted { reason: ra, .. }, Outcome::Aborted { reason: rb, .. }) => {
+                assert_eq!(ra, rb, "{e}");
+            }
+            _ => panic!("{e}: outcome differs between identical runs"),
+        }
+    }
+}
