@@ -1,37 +1,28 @@
-//! Criterion bench for Table 1: end-to-end test generation per error and
-//! over a small batch of the EX/MEM/WB population.
+//! Bench for Table 1: end-to-end test generation per error and over a
+//! small batch of the EX/MEM/WB population. Plain std harness; run with
+//! `cargo bench --bench campaign`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use hltg_bench::harness::bench;
 use hltg_core::tg::{TestGenerator, TgConfig};
 use hltg_dlx::DlxDesign;
 use hltg_errors::{enumerate_stage_errors, EnumPolicy};
 use hltg_netlist::Stage;
 use std::hint::black_box;
 
-fn bench_generate(c: &mut Criterion) {
+fn main() {
     let dlx = DlxDesign::build();
     let stages = [Stage::new(2), Stage::new(3), Stage::new(4)];
     let errors = enumerate_stage_errors(&dlx.design, &stages, EnumPolicy::RepresentativePerBus);
 
-    let mut group = c.benchmark_group("table1");
-    group.sample_size(10);
     // A typical quickly-detected error (the EX/MEM ALU bus).
-    group.bench_function("generate_single_error", |b| {
-        b.iter(|| {
-            let mut tg = TestGenerator::new(&dlx, TgConfig::default());
-            black_box(tg.generate(&errors[0]))
-        })
+    bench("generate_single_error", || {
+        let mut tg = TestGenerator::new(&dlx, TgConfig::default());
+        black_box(tg.generate(&errors[0]))
     });
-    group.bench_function("generate_batch_of_8", |b| {
-        b.iter(|| {
-            let mut tg = TestGenerator::new(&dlx, TgConfig::default());
-            for e in errors.iter().take(8) {
-                black_box(tg.generate(e));
-            }
-        })
+    bench("generate_batch_of_8", || {
+        let mut tg = TestGenerator::new(&dlx, TgConfig::default());
+        for e in errors.iter().take(8) {
+            black_box(tg.generate(e));
+        }
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_generate);
-criterion_main!(benches);

@@ -1,14 +1,14 @@
-//! Criterion bench for DPRELAX: discrete-relaxation convergence on a
-//! masked-adder value-selection problem (the §V.B engine in isolation).
+//! Bench for DPRELAX: discrete-relaxation convergence on a masked-adder
+//! value-selection problem (the §V.B engine in isolation). Plain std
+//! harness; run with `cargo bench --bench dprelax`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use hltg_bench::harness::bench;
 use hltg_core::dprelax::{Activation, MemImage, RelaxEngine, RelaxGoal};
+use hltg_core::SplitMix64;
 use hltg_netlist::ctl::CtlBuilder;
 use hltg_netlist::dp::DpBuilder;
 use hltg_netlist::{Design, Stage};
 use hltg_sim::{Injection, Polarity};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::hint::black_box;
 
 fn masked_adder() -> (Design, hltg_netlist::dp::ArchId, hltg_netlist::dp::DpNetId) {
@@ -30,31 +30,26 @@ fn masked_adder() -> (Design, hltg_netlist::dp::ArchId, hltg_netlist::dp::DpNetI
     (Design::new("t", dp, ctl), mem, sum)
 }
 
-fn bench_relax(c: &mut Criterion) {
+fn main() {
     let (design, mem, sum) = masked_adder();
     let inj = Injection {
         net: sum,
         bit: 7,
         polarity: Polarity::StuckAt0,
     };
-    c.bench_function("dprelax_masked_adder", |b| {
-        b.iter(|| {
-            let mut engine = RelaxEngine::new(&design, inj, vec![(mem, MemImage::free())]);
-            let goal = RelaxGoal {
-                activation: Activation {
-                    net: sum,
-                    cycle: 0,
-                    bit: 7,
-                    want: true,
-                },
-                requirements: Vec::new(),
-                horizon: 4,
-            };
-            let mut rng = StdRng::seed_from_u64(7);
-            black_box(engine.solve(&goal, &mut rng, 64).unwrap())
-        })
+    bench("dprelax_masked_adder", || {
+        let mut engine = RelaxEngine::new(&design, inj, vec![(mem, MemImage::free())]);
+        let goal = RelaxGoal {
+            activation: Activation {
+                net: sum,
+                cycle: 0,
+                bit: 7,
+                want: true,
+            },
+            requirements: Vec::new(),
+            horizon: 4,
+        };
+        let mut rng = SplitMix64::seed_from_u64(7);
+        black_box(engine.solve(&goal, &mut rng, 64).unwrap())
     });
 }
-
-criterion_group!(benches, bench_relax);
-criterion_main!(benches);

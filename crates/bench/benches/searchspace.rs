@@ -1,15 +1,15 @@
-//! Criterion bench for the §IV comparison: pipeframe-organized CTRLJUST vs
-//! the conventional timeframe-organized justification on the same
-//! controller objectives.
+//! Bench for the §IV comparison: pipeframe-organized CTRLJUST vs the
+//! conventional timeframe-organized justification on the same controller
+//! objectives. Plain std harness; run with `cargo bench --bench searchspace`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use hltg_bench::harness::bench;
 use hltg_core::ctrljust::{self, CtrlJustConfig, Objective};
 use hltg_core::timeframe::justify_timeframe;
 use hltg_core::unroll::Unrolled;
 use hltg_dlx::DlxDesign;
 use std::hint::black_box;
 
-fn bench_organizations(c: &mut Criterion) {
+fn main() {
     let dlx = DlxDesign::build();
     let objs = [Objective {
         frame: 5,
@@ -17,18 +17,11 @@ fn bench_organizations(c: &mut Criterion) {
         value: true,
     }];
 
-    let mut group = c.benchmark_group("fig2_searchspace");
-    group.bench_function("pipeframe_ctrljust_store", |b| {
-        b.iter(|| {
-            let mut u = Unrolled::new(&dlx.design.ctl, 8);
-            black_box(ctrljust::justify(&mut u, &objs, &[], CtrlJustConfig::default()).unwrap())
-        })
+    bench("pipeframe_ctrljust_store", || {
+        let mut u = Unrolled::new(&dlx.design.ctl, 8);
+        black_box(ctrljust::justify(&mut u, &objs, &[], CtrlJustConfig::default()).unwrap())
     });
-    group.bench_function("timeframe_baseline_store", |b| {
-        b.iter(|| black_box(justify_timeframe(&dlx.design.ctl, &objs, 5000)))
+    bench("timeframe_baseline_store", || {
+        black_box(justify_timeframe(&dlx.design.ctl, &objs, 5000))
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_organizations);
-criterion_main!(benches);

@@ -1,13 +1,14 @@
-//! Criterion bench for the simulation substrate: cycle throughput of the
-//! DLX machine and of the dual good/bad pair that confirms detections.
+//! Bench for the simulation substrate: cycle throughput of the DLX
+//! machine and of the dual good/bad pair that confirms detections.
+//! Plain std harness; run with `cargo bench --bench sim`.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hltg_bench::harness::bench_throughput;
 use hltg_dlx::DlxDesign;
 use hltg_isa::asm::assemble;
 use hltg_sim::{DualSim, Injection, Machine, Polarity};
 use std::hint::black_box;
 
-fn bench_sim(c: &mut Criterion) {
+fn main() {
     let dlx = DlxDesign::build();
     let program = assemble(
         0,
@@ -22,37 +23,28 @@ fn bench_sim(c: &mut Criterion) {
     .unwrap();
     let words = program.encode();
 
-    let mut group = c.benchmark_group("sim");
-    group.throughput(Throughput::Elements(256));
-    group.bench_function("dlx_machine_256_cycles", |b| {
-        b.iter(|| {
-            let mut m = Machine::new(&dlx.design).unwrap();
+    bench_throughput("dlx_machine_256_cycles", 256, || {
+        let mut m = Machine::new(&dlx.design).unwrap();
+        for (i, &w) in words.iter().enumerate() {
+            m.preload_mem(dlx.dp.imem, i as u64, u64::from(w));
+        }
+        for _ in 0..256 {
+            black_box(m.step());
+        }
+    });
+
+    let inj = Injection {
+        net: dlx.dp.alu_out,
+        bit: 3,
+        polarity: Polarity::StuckAt1,
+    };
+    bench_throughput("dual_sim_256_cycles", 256, || {
+        let mut dual = DualSim::new(&dlx.design, inj).unwrap();
+        dual.with_both(|m| {
             for (i, &w) in words.iter().enumerate() {
                 m.preload_mem(dlx.dp.imem, i as u64, u64::from(w));
             }
-            for _ in 0..256 {
-                black_box(m.step());
-            }
-        })
+        });
+        black_box(dual.run(256))
     });
-    group.bench_function("dual_sim_256_cycles", |b| {
-        let inj = Injection {
-            net: dlx.dp.alu_out,
-            bit: 3,
-            polarity: Polarity::StuckAt1,
-        };
-        b.iter(|| {
-            let mut dual = DualSim::new(&dlx.design, inj).unwrap();
-            dual.with_both(|m| {
-                for (i, &w) in words.iter().enumerate() {
-                    m.preload_mem(dlx.dp.imem, i as u64, u64::from(w));
-                }
-            });
-            black_box(dual.run(256))
-        })
-    });
-    group.finish();
 }
-
-criterion_group!(benches, bench_sim);
-criterion_main!(benches);

@@ -18,8 +18,7 @@ use hltg_netlist::ctl::CtlBuilder;
 use hltg_netlist::dp::{ArchId, DpBuilder, DpNetId};
 use hltg_netlist::{Design, Stage};
 use hltg_sim::{Injection, Polarity};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use hltg_core::SplitMix64;
 
 /// Builds the masking chain; returns the design, its memory, and the
 /// error site (the innermost sum).
@@ -85,7 +84,7 @@ fn main() {
                     requirements: Vec::new(),
                     horizon: 3,
                 };
-                let mut rng = StdRng::seed_from_u64(seed as u64 * 7919 + depth as u64);
+                let mut rng = SplitMix64::seed_from_u64(seed as u64 * 7919 + depth as u64);
                 match engine.solve(&goal, &mut rng, 96) {
                     Ok(sol) => {
                         converged += 1;

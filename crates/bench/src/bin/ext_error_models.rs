@@ -4,7 +4,12 @@
 //! grades it against the other models of that family — bus order errors and
 //! module substitution errors — by dual simulation.
 //!
-//! Usage: `cargo run --release -p hltg-bench --bin ext_error_models`
+//! Usage: `cargo run --release -p hltg-bench --bin ext_error_models [--json]`
+//!
+//! `--json` emits a machine-readable object: the generating campaign's
+//! [`hltg_core::CampaignReport`] (stats plus per-phase instrumentation
+//! counters) under `"campaign"`, and the cross-coverage figures under
+//! `"cross_coverage"`.
 
 use hltg_core::tg::Outcome;
 use hltg_core::{Campaign, CampaignConfig};
@@ -14,11 +19,12 @@ use hltg_netlist::Stage;
 use hltg_sim::{ErrorModel, Machine, Schedule};
 
 fn main() {
+    let json = std::env::args().any(|a| a == "--json");
     let dlx = DlxDesign::build();
     let stages = [Stage::new(2), Stage::new(3), Stage::new(4)];
 
     eprintln!("generating the compacted bus-SSL test set...");
-    let campaign = Campaign::run(
+    let (campaign, report) = Campaign::run_with_report(
         &dlx,
         &CampaignConfig {
             error_simulation: true,
@@ -35,11 +41,13 @@ fn main() {
             _ => None,
         })
         .collect();
-    println!("bus-SSL test set: {} tests", tests.len());
+    if !json {
+        println!("bus-SSL test set: {} tests", tests.len());
+    }
 
     let schedule = Schedule::build(&dlx.design).expect("levelizes");
-    let grade = |errors: &[ErrorModel], name: &str| {
-        let mut detected = 0;
+    let grade = |errors: &[ErrorModel]| {
+        let mut detected = 0usize;
         for &e in errors {
             let hit = tests.iter().any(|tc| {
                 let mut good = Machine::with_schedule(&dlx.design, schedule.clone());
@@ -59,20 +67,39 @@ fn main() {
                 detected += 1;
             }
         }
-        println!(
-            "{name:<28} {:>4}/{:<4} = {:>5.1}%",
-            detected,
-            errors.len(),
-            100.0 * detected as f64 / errors.len().max(1) as f64
-        );
         detected
     };
 
-    println!("\ncross coverage of the bus-SSL test set:");
     let order = enumerate_bus_order_errors(&dlx.design, &stages);
     let subs = enumerate_module_substitutions(&dlx.design, &stages);
-    grade(&order, "bus order errors");
-    grade(&subs, "module substitution errors");
+    let order_hit = grade(&order);
+    let subs_hit = grade(&subs);
+
+    if json {
+        println!(
+            "{{\"campaign\": {}, \"cross_coverage\": {{\
+             \"test_set_size\": {}, \
+             \"bus_order\": {{\"detected\": {}, \"total\": {}}}, \
+             \"module_substitution\": {{\"detected\": {}, \"total\": {}}}}}}}",
+            report.to_json(),
+            tests.len(),
+            order_hit,
+            order.len(),
+            subs_hit,
+            subs.len()
+        );
+        return;
+    }
+
+    let show = |name: &str, detected: usize, total: usize| {
+        println!(
+            "{name:<28} {detected:>4}/{total:<4} = {:>5.1}%",
+            100.0 * detected as f64 / total.max(1) as f64
+        );
+    };
+    println!("\ncross coverage of the bus-SSL test set:");
+    show("bus order errors", order_hit, order.len());
+    show("module substitution errors", subs_hit, subs.len());
     println!(
         "\n(The bus-SSL tests were generated without knowledge of these models;\n\
          high incidental coverage is the classical argument for the model's use\n\

@@ -1,22 +1,56 @@
 //! Reproduces **Table 1**: test generation for bus SSL errors in the
 //! execute, memory and write-back stages of the DLX datapath.
 //!
-//! Usage: `cargo run --release -p hltg-bench --bin table1 [limit]`
+//! Usage: `cargo run --release -p hltg-bench --bin table1 [limit]
+//!         [--error-sim] [--threads N] [--json]`
+//!
+//! `--threads N` shards the campaign over N worker threads (default: all
+//! available cores; results are identical for any N). `--json` emits the
+//! machine-readable [`hltg_core::CampaignReport`] — stats plus the
+//! per-phase DPTRACE/CTRLJUST/DPRELAX instrumentation counters — instead
+//! of the human-readable table.
 
 use hltg_core::{Campaign, CampaignConfig};
 use hltg_dlx::DlxDesign;
 
 fn main() {
-    let limit: Option<usize> = std::env::args().nth(1).and_then(|s| s.parse().ok());
-    let error_simulation = std::env::args().any(|a| a == "--error-sim");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let error_simulation = args.iter().any(|a| a == "--error-sim");
+    let json = args.iter().any(|a| a == "--json");
+    let threads_pos = args.iter().position(|a| a == "--threads");
+    let num_threads: Option<usize> = threads_pos
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok());
+    // The limit is the first positional argument: not a flag, and not the
+    // value consumed by `--threads`.
+    let limit: Option<usize> = args
+        .iter()
+        .enumerate()
+        .filter(|(i, a)| !a.starts_with("--") && Some(i.wrapping_sub(1)) != threads_pos)
+        .find_map(|(_, s)| s.parse().ok());
+
     let dlx = DlxDesign::build();
-    let config = CampaignConfig {
+    let mut config = CampaignConfig {
         limit,
         error_simulation,
         ..CampaignConfig::default()
     };
-    eprintln!("running the EX/MEM/WB bus-SSL campaign...");
-    let campaign = Campaign::run(&dlx, &config);
+    if let Some(n) = num_threads {
+        config.num_threads = n;
+    }
+
+    eprintln!(
+        "running the EX/MEM/WB bus-SSL campaign ({} thread{})...",
+        config.num_threads.max(1),
+        if config.num_threads.max(1) == 1 { "" } else { "s" }
+    );
+    let (campaign, report) = Campaign::run_with_report(&dlx, &config);
+
+    if json {
+        println!("{}", report.to_json());
+        return;
+    }
+
     println!("{}", campaign.table1_report());
 
     let stats = campaign.stats();

@@ -1,0 +1,97 @@
+//! Minimal std-only micro-benchmark harness.
+//!
+//! Replaces the former Criterion dependency so the workspace builds with
+//! `cargo build --offline` on a cold registry. Each bench target is a plain
+//! `harness = false` binary that calls [`bench`] per named case; output is
+//! one line per bench with min / median / mean wall-clock time.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export so bench targets only need `use hltg_bench::harness::*;`.
+pub use std::hint::black_box as bb;
+
+/// Number of timed samples per bench.
+const SAMPLES: usize = 10;
+
+/// Measurement of one bench: per-sample wall-clock durations.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Bench name as printed in the report line.
+    pub name: String,
+    /// One duration per timed sample, in collection order.
+    pub samples: Vec<Duration>,
+}
+
+impl Measurement {
+    fn sorted(&self) -> Vec<Duration> {
+        let mut s = self.samples.clone();
+        s.sort_unstable();
+        s
+    }
+
+    /// Fastest sample.
+    pub fn min(&self) -> Duration {
+        self.sorted()[0]
+    }
+
+    /// Middle sample (lower median for even counts).
+    pub fn median(&self) -> Duration {
+        let s = self.sorted();
+        s[s.len() / 2]
+    }
+
+    /// Arithmetic mean of all samples.
+    pub fn mean(&self) -> Duration {
+        self.samples.iter().sum::<Duration>() / self.samples.len().max(1) as u32
+    }
+}
+
+fn fmt(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Times `f` for [`SAMPLES`] samples (after one untimed warm-up call),
+/// prints a `name  min/median/mean` report line, and returns the raw
+/// measurement. The closure's result is passed through [`black_box`] so
+/// the benched computation is not optimised away.
+pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) -> Measurement {
+    black_box(f()); // warm-up
+    let samples: Vec<Duration> = (0..SAMPLES)
+        .map(|_| {
+            let t0 = Instant::now();
+            black_box(f());
+            t0.elapsed()
+        })
+        .collect();
+    let m = Measurement {
+        name: name.to_string(),
+        samples,
+    };
+    println!(
+        "{:<32} min {:>10}   median {:>10}   mean {:>10}",
+        m.name,
+        fmt(m.min()),
+        fmt(m.median()),
+        fmt(m.mean())
+    );
+    m
+}
+
+/// Like [`bench`] but also reports per-element throughput for benches
+/// that process `elements` items per iteration.
+pub fn bench_throughput<T>(name: &str, elements: u64, f: impl FnMut() -> T) -> Measurement {
+    let m = bench(name, f);
+    let per = m.median().as_nanos() as f64 / elements.max(1) as f64;
+    println!("{:<32} {per:.1} ns/element ({elements} elements)", "");
+    m
+}

@@ -1,8 +1,8 @@
 //! Benchmark harness for the `hltg` workspace.
 //!
 //! Each table and figure of the paper's evaluation has a report binary
-//! (`src/bin/`) that regenerates it, plus Criterion benches (`benches/`)
-//! measuring the underlying engines:
+//! (`src/bin/`) that regenerates it, plus std-only micro-benches
+//! (`benches/`, see [`harness`]) measuring the underlying engines:
 //!
 //! | target | reproduces |
 //! |---|---|
@@ -12,3 +12,5 @@
 //! | `census` | §VI design census (state/tertiary/CTRL counts) |
 //! | `ablation_relax` | §V.B relaxation-heuristics ablation |
 //! | `tg_debug <id>` | single-error generation with step tracing |
+
+pub mod harness;

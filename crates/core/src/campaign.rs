@@ -1,12 +1,15 @@
 //! Campaign runner: test generation over a whole error population, with
 //! the statistics of the paper's Table 1.
 
+use crate::instrument::{json_f64, CounterSnapshot, Counters, Probe, NO_PROBE};
 use crate::tg::{AbortReason, Outcome, TestCase, TestGenerator, TgConfig};
 use hltg_dlx::DlxDesign;
 use hltg_errors::{enumerate_stage_errors, is_structurally_redundant, BusSslError, EnumPolicy};
 use hltg_netlist::Stage;
 use hltg_sim::{Machine, Schedule};
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, RwLock};
 use std::time::Instant;
 
 /// Campaign configuration.
@@ -25,6 +28,13 @@ pub struct CampaignConfig {
     /// The paper's §VI notes its prototype did *not* do this and predicts
     /// large run-time improvements from it; this flag measures that claim.
     pub error_simulation: bool,
+    /// Worker threads for the sharded campaign. `1` runs the classic
+    /// sequential loop; the default is the machine's available parallelism.
+    /// Per-error generation is a pure function of the seed and the error,
+    /// and records are merged back into enumeration order, so every value
+    /// produces identical records, statistics and reports (`0` is treated
+    /// as `1`).
+    pub num_threads: usize,
 }
 
 impl Default for CampaignConfig {
@@ -35,6 +45,9 @@ impl Default for CampaignConfig {
             tg: TgConfig::default(),
             limit: None,
             error_simulation: false,
+            num_threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
         }
     }
 }
@@ -56,7 +69,7 @@ pub struct ErrorRecord {
 }
 
 /// Aggregated Table 1 statistics.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct CampaignStats {
     /// Errors targeted.
     pub errors: usize,
@@ -152,17 +165,67 @@ pub struct Campaign {
     pub records: Vec<ErrorRecord>,
 }
 
+/// Phase-1 result for one error, produced by a worker thread.
+struct WorkItem {
+    redundant: bool,
+    seconds: f64,
+    /// `None` when the worker screened the error against the shared test
+    /// pool and skipped generation.
+    outcome: Option<Outcome>,
+}
+
 impl Campaign {
     /// Runs test generation for every enumerated error.
     pub fn run(dlx: &DlxDesign, config: &CampaignConfig) -> Campaign {
+        Self::run_probed(dlx, config, &NO_PROBE)
+    }
+
+    /// Runs the campaign and returns it together with a machine-readable
+    /// [`CampaignReport`] carrying the engine instrumentation counters.
+    pub fn run_with_report(dlx: &DlxDesign, config: &CampaignConfig) -> (Campaign, CampaignReport) {
+        let counters = Counters::new();
+        let t0 = Instant::now();
+        let campaign = Self::run_probed(dlx, config, &counters);
+        let report = CampaignReport {
+            stats: campaign.stats(),
+            counters: counters.snapshot(),
+            wall_seconds: t0.elapsed().as_secs_f64(),
+            num_threads: config.num_threads.max(1),
+        };
+        (campaign, report)
+    }
+
+    /// Runs the campaign, reporting engine events to `probe`.
+    ///
+    /// With `num_threads <= 1` this is the classic sequential loop. With
+    /// more threads the error list is sharded over a scoped worker pool
+    /// (shared atomic cursor, so the faster workers steal the remaining
+    /// errors); per-error generation is deterministic, and a sequential
+    /// merge pass reorders the results by error index and replays the
+    /// error-simulation covering order, so the resulting records are
+    /// identical to the sequential run for every thread count.
+    pub fn run_probed(dlx: &DlxDesign, config: &CampaignConfig, probe: &dyn Probe) -> Campaign {
         let errors = enumerate_stage_errors(&dlx.design, &config.stages, config.policy);
         let take = config.limit.unwrap_or(errors.len());
-        let mut tg = TestGenerator::new(dlx, config.tg.clone());
-        let schedule = Schedule::build(&dlx.design).expect("dlx levelizes");
-        let mut records: Vec<Option<ErrorRecord>> = (0..take.min(errors.len()))
-            .map(|_| None)
-            .collect();
         let errors: Vec<BusSslError> = errors.into_iter().take(take).collect();
+        let schedule = Schedule::build(&dlx.design).expect("dlx levelizes");
+        let threads = config.num_threads.max(1).min(errors.len().max(1));
+        if threads <= 1 {
+            Self::run_serial(dlx, config, probe, &errors, &schedule)
+        } else {
+            Self::run_sharded(dlx, config, probe, &errors, &schedule, threads)
+        }
+    }
+
+    fn run_serial(
+        dlx: &DlxDesign,
+        config: &CampaignConfig,
+        probe: &dyn Probe,
+        errors: &[BusSslError],
+        schedule: &Schedule,
+    ) -> Campaign {
+        let mut tg = TestGenerator::with_probe(dlx, config.tg.clone(), probe);
+        let mut records: Vec<Option<ErrorRecord>> = vec![None; errors.len()];
         for i in 0..errors.len() {
             if records[i].is_some() {
                 continue; // already covered by error simulation
@@ -180,7 +243,7 @@ impl Campaign {
                             continue;
                         }
                         let t1 = Instant::now();
-                        if simulate_test(dlx, &schedule, tc, other) {
+                        if simulate_test(dlx, schedule, tc, other) {
                             records[j] = Some(ErrorRecord {
                                 error: other.clone(),
                                 outcome: outcome.clone(),
@@ -198,6 +261,135 @@ impl Campaign {
                 redundant,
                 by_simulation: false,
                 seconds: t0.elapsed().as_secs_f64(),
+            });
+        }
+        Campaign {
+            records: records.into_iter().flatten().collect(),
+        }
+    }
+
+    fn run_sharded(
+        dlx: &DlxDesign,
+        config: &CampaignConfig,
+        probe: &dyn Probe,
+        errors: &[BusSslError],
+        schedule: &Schedule,
+        threads: usize,
+    ) -> Campaign {
+        let n = errors.len();
+        let cursor = AtomicUsize::new(0);
+        // Tests already generated, tagged with their error index. Workers
+        // screen their next error against tests of *earlier* errors: if one
+        // already detects it, the (expensive) generation can be skipped —
+        // the merge pass below re-checks the skip against exact sequential
+        // semantics.
+        let pool: RwLock<Vec<(usize, TestCase)>> = RwLock::new(Vec::new());
+        let (tx, rx) = mpsc::channel::<(usize, WorkItem)>();
+        let mut slots: Vec<Option<WorkItem>> = Vec::new();
+        slots.resize_with(n, || None);
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                let tx = tx.clone();
+                let (cursor, pool) = (&cursor, &pool);
+                s.spawn(move || {
+                    let mut tg = TestGenerator::with_probe(dlx, config.tg.clone(), probe);
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let error = &errors[i];
+                        let t0 = Instant::now();
+                        let redundant = is_structurally_redundant(&dlx.design, error);
+                        if config.error_simulation {
+                            let screened = {
+                                let pool = pool.read().expect("pool lock");
+                                pool.iter().any(|(k, tc)| {
+                                    *k < i && simulate_test(dlx, schedule, tc, error)
+                                })
+                            };
+                            if screened {
+                                let item = WorkItem {
+                                    redundant,
+                                    seconds: t0.elapsed().as_secs_f64(),
+                                    outcome: None,
+                                };
+                                let _ = tx.send((i, item));
+                                continue;
+                            }
+                        }
+                        let outcome = tg.generate(error);
+                        if config.error_simulation {
+                            if let Outcome::Detected(tc) = &outcome {
+                                pool.write().expect("pool lock").push((i, (**tc).clone()));
+                            }
+                        }
+                        let item = WorkItem {
+                            redundant,
+                            seconds: t0.elapsed().as_secs_f64(),
+                            outcome: Some(outcome),
+                        };
+                        let _ = tx.send((i, item));
+                    }
+                });
+            }
+            drop(tx);
+            for (i, item) in rx {
+                slots[i] = Some(item);
+            }
+        });
+
+        // Deterministic merge: replay the sequential covering order over
+        // the precomputed outcomes. Generation is a pure function of the
+        // seed and the error, so a precomputed outcome equals what the
+        // sequential loop would have computed at this point.
+        let mut records: Vec<Option<ErrorRecord>> = vec![None; n];
+        let mut tg = TestGenerator::with_probe(dlx, config.tg.clone(), probe);
+        for i in 0..n {
+            if records[i].is_some() {
+                continue; // covered by an earlier kept test
+            }
+            let item = slots[i].take().expect("every error was processed");
+            let (outcome, seconds) = match item.outcome {
+                Some(o) => (o, item.seconds),
+                None => {
+                    // The parallel screen relied on a pooled test whose own
+                    // error turned out to be covered sequentially (its test
+                    // is not in the sequential test set). Rare; regenerate
+                    // to keep the sequential semantics exact.
+                    let t0 = Instant::now();
+                    let o = tg.generate(&errors[i]);
+                    (o, item.seconds + t0.elapsed().as_secs_f64())
+                }
+            };
+            if config.error_simulation {
+                if let Outcome::Detected(tc) = &outcome {
+                    for (j, other) in errors.iter().enumerate().skip(i + 1) {
+                        if records[j].is_some() {
+                            continue;
+                        }
+                        let t1 = Instant::now();
+                        if simulate_test(dlx, schedule, tc, other) {
+                            records[j] = Some(ErrorRecord {
+                                error: other.clone(),
+                                outcome: outcome.clone(),
+                                redundant: slots[j]
+                                    .as_ref()
+                                    .map(|w| w.redundant)
+                                    .expect("every error was processed"),
+                                by_simulation: true,
+                                seconds: t1.elapsed().as_secs_f64(),
+                            });
+                        }
+                    }
+                }
+            }
+            records[i] = Some(ErrorRecord {
+                error: errors[i].clone(),
+                outcome,
+                redundant: item.redundant,
+                by_simulation: false,
+                seconds,
             });
         }
         Campaign {
@@ -317,6 +509,78 @@ impl Campaign {
                 s.detected_by_simulation, s.detected, s.test_set_size
             );
         }
+        out
+    }
+}
+
+/// Machine-readable campaign summary: the Table 1 aggregates plus the
+/// engine instrumentation counters and per-phase timings.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// Aggregated statistics.
+    pub stats: CampaignStats,
+    /// Engine counters and per-phase wall-clock, summed across workers.
+    pub counters: CounterSnapshot,
+    /// End-to-end wall-clock seconds (not summed across workers).
+    pub wall_seconds: f64,
+    /// Worker threads configured for the run.
+    pub num_threads: usize,
+}
+
+impl CampaignReport {
+    /// Renders the report as a single JSON object (hand-rolled; the
+    /// workspace deliberately has no external dependencies).
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write;
+        let s = &self.stats;
+        let mut out = String::from("{");
+        let _ = write!(
+            out,
+            "\"errors\": {}, \"detected\": {}, \"aborted\": {}, \
+             \"aborted_redundant\": {}, \"aborted_no_path\": {}, ",
+            s.errors, s.detected, s.aborted, s.aborted_redundant, s.aborted_no_path
+        );
+        let _ = write!(
+            out,
+            "\"avg_length\": {}, \"avg_core_length\": {}, \
+             \"backtracks_detected\": {}, \"detected_by_simulation\": {}, \
+             \"test_set_size\": {}, ",
+            json_f64(s.avg_length),
+            json_f64(s.avg_core_length),
+            s.backtracks_detected,
+            s.detected_by_simulation,
+            s.test_set_size
+        );
+        let _ = write!(
+            out,
+            "\"coverage_pct\": {}, \"testable_coverage_pct\": {}, \
+             \"seconds\": {}, \"wall_seconds\": {}, \"num_threads\": {}, ",
+            json_f64(s.coverage_pct()),
+            json_f64(s.testable_coverage_pct()),
+            json_f64(s.seconds),
+            json_f64(self.wall_seconds),
+            self.num_threads
+        );
+        out.push_str("\"length_histogram\": [");
+        for (i, &c) in s.length_histogram.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{c}");
+        }
+        out.push_str("], \"by_stage\": [");
+        for (i, &(stage, errors, detected)) in s.by_stage.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(
+                out,
+                "{{\"stage\": {stage}, \"errors\": {errors}, \"detected\": {detected}}}"
+            );
+        }
+        out.push_str("], ");
+        out.push_str(&self.counters.to_json_fields());
+        out.push('}');
         out
     }
 }

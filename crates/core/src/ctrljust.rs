@@ -57,6 +57,8 @@ pub struct Justification {
     pub backtracks: usize,
     /// Decisions made (including flipped ones).
     pub decisions: usize,
+    /// Three-valued implication passes over the unrolled model.
+    pub implications: usize,
 }
 
 impl Justification {
@@ -125,9 +127,11 @@ pub fn justify(
     let mut stack: Vec<Decision> = Vec::new();
     let mut backtracks = 0usize;
     let mut decisions = 0usize;
+    let mut implications = 0usize;
 
     loop {
         u.propagate();
+        implications += 1;
         // Check objectives: conflict if any is known-wrong.
         let mut pending = None;
         let mut conflict = false;
@@ -180,6 +184,7 @@ pub fn justify(
                 assignments,
                 backtracks,
                 decisions,
+                implications,
             });
         };
 

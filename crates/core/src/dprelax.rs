@@ -27,7 +27,7 @@
 use hltg_netlist::dp::{ArchId, DpModId, DpNetId, DpNetKind, DpOp};
 use hltg_netlist::{word, Design};
 use hltg_sim::{Injection, Machine, Schedule};
-use rand::Rng;
+use crate::rng::SplitMix64;
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
@@ -132,6 +132,8 @@ pub struct RelaxSolution {
     pub images: Vec<(ArchId, MemImage)>,
     /// Iterations used.
     pub iterations: usize,
+    /// Random perturbations applied along the way.
+    pub perturbations: usize,
     /// First cycle and output net at which the good/bad machines diverged.
     pub detected_at: (usize, DpNetId),
 }
@@ -141,6 +143,8 @@ pub struct RelaxSolution {
 pub struct RelaxExhausted {
     /// Iterations performed.
     pub iterations: usize,
+    /// Random perturbations applied along the way.
+    pub perturbations: usize,
     /// Whether activation was ever achieved.
     pub activated: bool,
 }
@@ -168,6 +172,7 @@ pub struct RelaxEngine<'d> {
     /// Recorded per-cycle values: `good[t][net]`, `bad[t][net]`.
     good: Vec<Vec<u64>>,
     bad: Vec<Vec<u64>>,
+    perturbations: usize,
 }
 
 impl<'d> RelaxEngine<'d> {
@@ -187,6 +192,7 @@ impl<'d> RelaxEngine<'d> {
             images,
             good: Vec::new(),
             bad: Vec::new(),
+            perturbations: 0,
         }
     }
 
@@ -276,11 +282,12 @@ impl<'d> RelaxEngine<'d> {
     pub fn solve(
         &mut self,
         goal: &RelaxGoal,
-        rng: &mut impl Rng,
+        rng: &mut SplitMix64,
         max_iters: usize,
     ) -> Result<RelaxSolution, RelaxExhausted> {
         let mut ever_activated = false;
         let mut prev_unmet: Option<(DpNetId, usize, u64)> = None;
+        self.perturbations = 0;
         for iter in 0..max_iters {
             self.run(goal.horizon);
             // STS-justifying value requirements come first: they establish
@@ -307,6 +314,7 @@ impl<'d> RelaxEngine<'d> {
                 return Ok(RelaxSolution {
                     images: self.images.clone(),
                     iterations: iter,
+                    perturbations: self.perturbations,
                     detected_at: found,
                 });
             }
@@ -329,24 +337,30 @@ impl<'d> RelaxEngine<'d> {
         }
         Err(RelaxExhausted {
             iterations: max_iters,
+            perturbations: self.perturbations,
             activated: ever_activated,
         })
     }
 
     /// Randomly reassigns some free source bits (the restart heuristic).
-    fn perturb(&mut self, rng: &mut impl Rng) {
+    fn perturb(&mut self, rng: &mut SplitMix64) {
+        self.perturbations += 1;
         for (_, image) in &mut self.images {
-            let addrs: Vec<u64> = image
+            // Sort for a deterministic draw order: `HashMap` iteration
+            // order varies between processes and would otherwise make the
+            // RNG stream — and hence the whole campaign — irreproducible.
+            let mut addrs: Vec<u64> = image
                 .words
                 .keys()
                 .copied()
                 .filter(|&a| image.free_mask.get(&a).copied().unwrap_or(0) != 0)
                 .collect();
+            addrs.sort_unstable();
             for a in addrs {
                 if rng.gen_bool(0.5) {
                     let mask = image.free_mask[&a];
                     let cur = image.value_of(a);
-                    let noise: u64 = rng.gen::<u64>() & mask;
+                    let noise: u64 = rng.next_u64() & mask;
                     image.words.insert(a, (cur & !mask) | noise);
                 }
             }
@@ -742,7 +756,7 @@ impl<'d> RelaxEngine<'d> {
     /// Finds the first module on the difference frontier that absorbs the
     /// difference and applies a class-specific unmasking fix. Returns
     /// `true` if a fix was applied.
-    fn fix_masking(&mut self, act: &Activation, _rng: &mut impl Rng) -> bool {
+    fn fix_masking(&mut self, act: &Activation, _rng: &mut SplitMix64) -> bool {
         // Walk cycles from activation; at each cycle examine modules with a
         // differing input but an equal output.
         for t in act.cycle..self.good.len() {
@@ -811,8 +825,6 @@ mod tests {
     use hltg_netlist::ctl::CtlBuilder;
     use hltg_netlist::dp::DpBuilder;
     use hltg_sim::Polarity;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     /// y = (mem[0] + mem[1]) & mem[2], registered, observable. An error on
     /// the adder output must be activated and unmasked through the AND.
@@ -853,7 +865,7 @@ mod tests {
             requirements: Vec::new(),
             horizon: 4,
         };
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = SplitMix64::seed_from_u64(7);
         let sol = eng.solve(&goal, &mut rng, 64).expect("converges");
         // The solution image must produce a detected difference.
         assert!(sol.iterations < 64);
@@ -882,7 +894,7 @@ mod tests {
             requirements: Vec::new(),
             horizon: 4,
         };
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = SplitMix64::seed_from_u64(3);
         let sol = eng.solve(&goal, &mut rng, 64).expect("converges");
         let img = &sol.images[0].1;
         let sum_val = (img.value_of(0) + img.value_of(1)) & 0xffff;
@@ -914,7 +926,7 @@ mod tests {
             requirements: Vec::new(),
             horizon: 4,
         };
-        let mut rng = StdRng::seed_from_u64(9);
+        let mut rng = SplitMix64::seed_from_u64(9);
         let err = eng.solve(&goal, &mut rng, 32).unwrap_err();
         assert!(err.activated, "activation is reachable");
     }

@@ -83,6 +83,8 @@ pub struct PathPlan {
     pub max_time: i32,
     /// Modules traversed (both paths).
     pub modules_on_path: usize,
+    /// Recursion steps taken by the search (justification + propagation).
+    pub steps: usize,
 }
 
 /// Path-selection failure.
@@ -137,6 +139,7 @@ struct Ctx<'d> {
     visited_j: Vec<(DpNetId, i32)>,
     visited_p: Vec<(DpNetId, i32)>,
     modules: usize,
+    steps: usize,
 }
 
 #[derive(Clone, Copy)]
@@ -264,6 +267,7 @@ impl<'d> Ctx<'d> {
 
     /// Justification: make `net` controllable (C4) at `time`.
     fn justify(&mut self, net: DpNetId, time: i32, depth: usize) -> bool {
+        self.steps += 1;
         if time < self.cfg.min_time || depth > self.cfg.max_depth {
             return false;
         }
@@ -374,6 +378,7 @@ impl<'d> Ctx<'d> {
     /// Propagation: expose a difference on `net` at `time` at an
     /// observable point.
     fn propagate(&mut self, net: DpNetId, time: i32, depth: usize) -> Option<SinkInfo> {
+        self.steps += 1;
         if time > self.cfg.max_time || depth > self.cfg.max_depth {
             return None;
         }
@@ -517,6 +522,7 @@ pub fn select_paths(
         visited_j: Vec::new(),
         visited_p: Vec::new(),
         modules: 0,
+        steps: 0,
     };
     if !ctx.justify(net, 0, 0) {
         return Err(DptraceError::NotControllable);
@@ -557,6 +563,7 @@ pub fn select_paths(
         min_time,
         max_time,
         modules_on_path: ctx.modules,
+        steps: ctx.steps,
     })
 }
 

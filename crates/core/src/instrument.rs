@@ -1,0 +1,349 @@
+//! Structured instrumentation for the test-generation engines.
+//!
+//! The campaign engine wants to know where time goes: how many decisions
+//! and backtracks `CTRLJUST` makes, how many relaxation iterations
+//! `DPRELAX` burns, how much wall-clock each phase costs. This module
+//! provides that as a zero-cost-by-default probe:
+//!
+//! * [`Probe`] — the hook trait. Every method has a no-op default body, so
+//!   a generator built over [`NO_PROBE`] compiles the hooks away.
+//! * [`Counters`] — an atomic implementation safe to share across the
+//!   campaign worker threads.
+//! * [`CounterSnapshot`] — a plain-value copy for reporting, with a
+//!   hand-rolled JSON emitter (the workspace is deliberately free of
+//!   external dependencies, `serde` included).
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// The three engine phases of the paper's Figure 3 loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// P1 — path selection in the datapath.
+    Dptrace,
+    /// P3 — justification in the controller.
+    Ctrljust,
+    /// P2 — value selection by discrete relaxation.
+    Dprelax,
+}
+
+/// All phases, in reporting order.
+pub const PHASES: [Phase; 3] = [Phase::Dptrace, Phase::Ctrljust, Phase::Dprelax];
+
+impl Phase {
+    /// Stable lowercase name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Dptrace => "dptrace",
+            Phase::Ctrljust => "ctrljust",
+            Phase::Dprelax => "dprelax",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Phase::Dptrace => 0,
+            Phase::Ctrljust => 1,
+            Phase::Dprelax => 2,
+        }
+    }
+}
+
+/// Cheap event counters maintained by the engines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Counter {
+    /// `DPTRACE` invocations (one per attempted variant).
+    DptraceCalls,
+    /// Recursion steps taken by the `DPTRACE` path search.
+    DptraceSteps,
+    /// Modules on accepted justification/propagation paths.
+    DptraceModulesOnPath,
+    /// `CTRLJUST` invocations.
+    CtrljustCalls,
+    /// PODEM decisions (including flipped ones).
+    CtrljustDecisions,
+    /// PODEM backtracks.
+    CtrljustBacktracks,
+    /// Three-valued implication passes over the unrolled controller.
+    CtrljustImplications,
+    /// `DPRELAX` invocations.
+    DprelaxCalls,
+    /// Relaxation iterations (good/bad simulation runs).
+    DprelaxIterations,
+    /// Random-restart perturbations applied.
+    DprelaxPerturbations,
+    /// Path-selection variants attempted across all errors.
+    Variants,
+    /// Counterexample-guided STS refinements.
+    Refinements,
+    /// Tests generated (simulation-confirmed detections).
+    TestsGenerated,
+    /// Errors aborted after exhausting the variant budget.
+    Aborts,
+}
+
+/// All counters, in reporting order.
+pub const COUNTERS: [Counter; 14] = [
+    Counter::DptraceCalls,
+    Counter::DptraceSteps,
+    Counter::DptraceModulesOnPath,
+    Counter::CtrljustCalls,
+    Counter::CtrljustDecisions,
+    Counter::CtrljustBacktracks,
+    Counter::CtrljustImplications,
+    Counter::DprelaxCalls,
+    Counter::DprelaxIterations,
+    Counter::DprelaxPerturbations,
+    Counter::Variants,
+    Counter::Refinements,
+    Counter::TestsGenerated,
+    Counter::Aborts,
+];
+
+impl Counter {
+    /// Stable snake_case name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::DptraceCalls => "dptrace_calls",
+            Counter::DptraceSteps => "dptrace_steps",
+            Counter::DptraceModulesOnPath => "dptrace_modules_on_path",
+            Counter::CtrljustCalls => "ctrljust_calls",
+            Counter::CtrljustDecisions => "ctrljust_decisions",
+            Counter::CtrljustBacktracks => "ctrljust_backtracks",
+            Counter::CtrljustImplications => "ctrljust_implications",
+            Counter::DprelaxCalls => "dprelax_calls",
+            Counter::DprelaxIterations => "dprelax_iterations",
+            Counter::DprelaxPerturbations => "dprelax_perturbations",
+            Counter::Variants => "variants",
+            Counter::Refinements => "refinements",
+            Counter::TestsGenerated => "tests_generated",
+            Counter::Aborts => "aborts",
+        }
+    }
+
+    fn index(self) -> usize {
+        COUNTERS
+            .iter()
+            .position(|&c| c == self)
+            .expect("counter is enumerated")
+    }
+}
+
+/// Instrumentation hooks threaded through the test generator.
+///
+/// Implementations must be [`Sync`]: the campaign shares one probe across
+/// its worker threads. Every method defaults to a no-op so the
+/// uninstrumented path costs nothing beyond a virtual call that inlines
+/// away against [`NO_PROBE`].
+pub trait Probe: Sync {
+    /// Adds `n` to counter `c`.
+    fn add(&self, c: Counter, n: u64) {
+        let _ = (c, n);
+    }
+
+    /// Records wall-clock time spent inside phase `p`.
+    fn phase_time(&self, p: Phase, d: Duration) {
+        let _ = (p, d);
+    }
+}
+
+/// The do-nothing probe.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoProbe;
+
+impl Probe for NoProbe {}
+
+/// A shared instance of [`NoProbe`] for uninstrumented generators.
+pub static NO_PROBE: NoProbe = NoProbe;
+
+const N_COUNTERS: usize = COUNTERS.len();
+const N_PHASES: usize = PHASES.len();
+
+/// Atomic counter/timer store implementing [`Probe`].
+#[derive(Debug, Default)]
+pub struct Counters {
+    counts: [AtomicU64; N_COUNTERS],
+    phase_nanos: [AtomicU64; N_PHASES],
+    phase_calls: [AtomicU64; N_PHASES],
+}
+
+impl Counters {
+    /// A zeroed counter store.
+    pub fn new() -> Self {
+        Counters::default()
+    }
+
+    /// The current value of one counter.
+    pub fn get(&self, c: Counter) -> u64 {
+        self.counts[c.index()].load(Ordering::Relaxed)
+    }
+
+    /// A plain-value copy of every counter and timer.
+    pub fn snapshot(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            counts: COUNTERS
+                .iter()
+                .map(|&c| (c.name(), self.get(c)))
+                .collect(),
+            phases: PHASES
+                .iter()
+                .map(|&p| PhaseSnapshot {
+                    name: p.name(),
+                    seconds: self.phase_nanos[p.index()].load(Ordering::Relaxed) as f64 / 1e9,
+                    calls: self.phase_calls[p.index()].load(Ordering::Relaxed),
+                })
+                .collect(),
+        }
+    }
+}
+
+impl Probe for Counters {
+    fn add(&self, c: Counter, n: u64) {
+        self.counts[c.index()].fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn phase_time(&self, p: Phase, d: Duration) {
+        self.phase_nanos[p.index()].fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+        self.phase_calls[p.index()].fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Accumulated wall-clock for one phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseSnapshot {
+    /// Phase name (`dptrace` / `ctrljust` / `dprelax`).
+    pub name: &'static str,
+    /// Total seconds across all calls and threads.
+    pub seconds: f64,
+    /// Number of calls timed.
+    pub calls: u64,
+}
+
+/// Plain-value snapshot of a [`Counters`] store.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CounterSnapshot {
+    /// `(name, value)` for every counter, in [`COUNTERS`] order.
+    pub counts: Vec<(&'static str, u64)>,
+    /// Per-phase timing, in [`PHASES`] order.
+    pub phases: Vec<PhaseSnapshot>,
+}
+
+impl CounterSnapshot {
+    /// The value of a counter by name (0 when absent).
+    pub fn count(&self, name: &str) -> u64 {
+        self.counts
+            .iter()
+            .find(|&&(n, _)| n == name)
+            .map(|&(_, v)| v)
+            .unwrap_or(0)
+    }
+}
+
+/// Formats an `f64` as a JSON number (JSON has no NaN/inf; they clamp to 0).
+pub fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        // `{:?}` prints a round-trippable literal with a decimal point or
+        // exponent, which is always a valid JSON number.
+        format!("{v:?}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// Escapes a string for inclusion in a JSON document.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl CounterSnapshot {
+    /// Renders the snapshot as a JSON object fragment:
+    /// `{"counters": {...}, "phases": {...}}` without surrounding braces,
+    /// for embedding in a larger report.
+    pub fn to_json_fields(&self) -> String {
+        let mut out = String::new();
+        out.push_str("\"counters\": {");
+        for (i, &(name, v)) in self.counts.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "\"{name}\": {v}");
+        }
+        out.push_str("}, \"phases\": {");
+        for (i, p) in self.phases.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(
+                out,
+                "\"{}\": {{\"seconds\": {}, \"calls\": {}}}",
+                p.name,
+                json_f64(p.seconds),
+                p.calls
+            );
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let c = Counters::new();
+        c.add(Counter::CtrljustBacktracks, 3);
+        c.add(Counter::CtrljustBacktracks, 4);
+        c.phase_time(Phase::Dprelax, Duration::from_millis(250));
+        assert_eq!(c.get(Counter::CtrljustBacktracks), 7);
+        let snap = c.snapshot();
+        assert_eq!(snap.count("ctrljust_backtracks"), 7);
+        let relax = snap.phases.iter().find(|p| p.name == "dprelax").unwrap();
+        assert!((relax.seconds - 0.25).abs() < 1e-9);
+        assert_eq!(relax.calls, 1);
+    }
+
+    #[test]
+    fn no_probe_is_silent() {
+        // Compiles and does nothing — the default bodies.
+        NO_PROBE.add(Counter::Variants, 99);
+        NO_PROBE.phase_time(Phase::Dptrace, Duration::from_secs(1));
+    }
+
+    #[test]
+    fn json_fragment_is_well_formed() {
+        let c = Counters::new();
+        c.add(Counter::TestsGenerated, 2);
+        let json = format!("{{{}}}", c.snapshot().to_json_fields());
+        assert!(json.contains("\"tests_generated\": 2"));
+        assert!(json.contains("\"dptrace\": {\"seconds\": 0.0, \"calls\": 0}"));
+        // Balanced braces.
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn escaping_and_numbers() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_f64(1.5), "1.5");
+        assert_eq!(json_f64(f64::NAN), "0");
+        assert_eq!(json_f64(2.0), "2.0");
+    }
+}

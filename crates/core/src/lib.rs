@@ -33,6 +33,8 @@
 
 pub mod campaign;
 pub mod costate;
+pub mod instrument;
+pub mod rng;
 pub mod testability;
 pub mod tg;
 pub mod timeframe;
@@ -42,5 +44,7 @@ pub mod ctrljust;
 pub mod pipeframe;
 pub mod unroll;
 
-pub use campaign::{Campaign, CampaignConfig, CampaignStats};
+pub use campaign::{Campaign, CampaignConfig, CampaignReport, CampaignStats};
+pub use instrument::{Counter, Counters, Phase, Probe, NO_PROBE};
+pub use rng::SplitMix64;
 pub use tg::{Outcome, TestGenerator, TgConfig};

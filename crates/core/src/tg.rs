@@ -31,6 +31,8 @@
 use crate::ctrljust::{self, CtrlJustConfig, Objective};
 use crate::dprelax::{Activation, MemImage, RelaxEngine, RelaxGoal};
 use crate::dptrace::{self, DptraceConfig, PathPlan};
+use crate::instrument::{Counter, Phase, Probe, NO_PROBE};
+use crate::rng::SplitMix64;
 use crate::unroll::Unrolled;
 use hltg_dlx::DlxDesign;
 use hltg_errors::BusSslError;
@@ -39,9 +41,8 @@ use hltg_isa::instr::{ALL_OPCODES, Format};
 use hltg_isa::{Instr, Opcode};
 use hltg_netlist::ctl::CtlNetId;
 use hltg_sim::{Polarity, V3};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// Configuration of the test generator.
 #[derive(Debug, Clone)]
@@ -162,16 +163,23 @@ fn image_addr(k: u32) -> i32 {
 }
 
 /// The test generator, reusable across errors of one design.
-#[derive(Debug)]
 pub struct TestGenerator<'d> {
     dlx: &'d DlxDesign,
     cfg: TgConfig,
+    probe: &'d dyn Probe,
 }
 
 impl<'d> TestGenerator<'d> {
     /// Creates a generator for the DLX test vehicle.
     pub fn new(dlx: &'d DlxDesign, cfg: TgConfig) -> Self {
-        TestGenerator { dlx, cfg }
+        Self::with_probe(dlx, cfg, &NO_PROBE)
+    }
+
+    /// Creates a generator reporting engine events to `probe`. The probe
+    /// may be shared across threads (it is `Sync`); the campaign engine
+    /// hands every worker the same counter store.
+    pub fn with_probe(dlx: &'d DlxDesign, cfg: TgConfig, probe: &'d dyn Probe) -> Self {
+        TestGenerator { dlx, cfg, probe }
     }
 
     /// Generates (and confirms) a test for `error`, or reports an abort.
@@ -179,18 +187,23 @@ impl<'d> TestGenerator<'d> {
         let mut total_backtracks = 0usize;
         let mut last_reason = AbortReason::NoPath;
         for variant in 0..self.cfg.max_variants {
+            self.probe.add(Counter::Variants, 1);
             // Counterexample-guided refinement: a status decision that the
             // assembled instruction stream contradicts is re-assumed at its
             // actual value and the controller search repeated.
             let mut assumptions: Vec<(usize, CtlNetId, bool)> = Vec::new();
             for _refine in 0..4 {
                 match self.attempt(error, variant, &assumptions, &mut total_backtracks) {
-                    Ok(test) => return Outcome::Detected(Box::new(test)),
+                    Ok(test) => {
+                        self.probe.add(Counter::TestsGenerated, 1);
+                        return Outcome::Detected(Box::new(test));
+                    }
                     Err((reason, Some((frame, net, actual)))) => {
                         last_reason = reason;
                         if assumptions.iter().any(|&(f, n, _)| f == frame && n == net) {
                             break; // refinement loop detected
                         }
+                        self.probe.add(Counter::Refinements, 1);
                         assumptions.push((frame, net, actual));
                     }
                     Err((reason, None)) => {
@@ -200,6 +213,7 @@ impl<'d> TestGenerator<'d> {
                 }
             }
         }
+        self.probe.add(Counter::Aborts, 1);
         Outcome::Aborted {
             reason: last_reason,
             backtracks: total_backtracks,
@@ -215,8 +229,14 @@ impl<'d> TestGenerator<'d> {
         total_backtracks: &mut usize,
     ) -> Result<TestCase, (AbortReason, Option<(usize, CtlNetId, bool)>)> {
         let design = &self.dlx.design;
-        let plan = dptrace::select_paths(design, error.net, variant, self.cfg.dptrace)
-            .map_err(|_| (AbortReason::NoPath, None))?;
+        let t_dptrace = Instant::now();
+        self.probe.add(Counter::DptraceCalls, 1);
+        let plan = dptrace::select_paths(design, error.net, variant, self.cfg.dptrace);
+        self.probe.phase_time(Phase::Dptrace, t_dptrace.elapsed());
+        let plan = plan.map_err(|_| (AbortReason::NoPath, None))?;
+        self.probe.add(Counter::DptraceSteps, plan.steps as u64);
+        self.probe
+            .add(Counter::DptraceModulesOnPath, plan.modules_on_path as u64);
         if self.cfg.debug {
             eprintln!(
                 "[tg v{variant}] plan: sink={}@t{} objectives={:?} sels={:?} sources={:?}",
@@ -264,12 +284,21 @@ impl<'d> TestGenerator<'d> {
         let (objectives, monitors) = self
             .build_objectives(&plan, activation_cycle, frames)
             .map_err(|e| (e, None))?;
-        let just = ctrljust::justify(&mut u, &objectives, &monitors, self.cfg.ctrljust).map_err(|e| {
+        let t_just = Instant::now();
+        self.probe.add(Counter::CtrljustCalls, 1);
+        let just = ctrljust::justify(&mut u, &objectives, &monitors, self.cfg.ctrljust);
+        self.probe.phase_time(Phase::Ctrljust, t_just.elapsed());
+        let just = just.map_err(|e| {
             if self.cfg.debug {
                 eprintln!("[tg v{variant}] ctrljust failed: {e}");
             }
             (AbortReason::ControlJustification, None)
         })?;
+        self.probe.add(Counter::CtrljustDecisions, just.decisions as u64);
+        self.probe
+            .add(Counter::CtrljustBacktracks, just.backtracks as u64);
+        self.probe
+            .add(Counter::CtrljustImplications, just.implications as u64);
         *total_backtracks += just.backtracks;
 
         // --- Opcode completion ----------------------------------------------
@@ -422,16 +451,31 @@ impl<'d> TestGenerator<'d> {
             requirements,
             horizon: frames + 2,
         };
-        let mut rng =
-            StdRng::seed_from_u64(self.cfg.seed ^ ((variant as u64) << 32) ^ u64::from(error.id.0));
-        let sol = engine
-            .solve(&goal, &mut rng, self.cfg.relax_iters)
-            .map_err(|e| {
-                if self.cfg.debug {
-                    eprintln!("[tg v{variant}] relaxation failed: {e}");
-                }
-                (AbortReason::ValueSelection, None)
-            })?;
+        let mut rng = SplitMix64::seed_from_u64(
+            self.cfg.seed ^ ((variant as u64) << 32) ^ u64::from(error.id.0),
+        );
+        let t_relax = Instant::now();
+        self.probe.add(Counter::DprelaxCalls, 1);
+        let sol = engine.solve(&goal, &mut rng, self.cfg.relax_iters);
+        self.probe.phase_time(Phase::Dprelax, t_relax.elapsed());
+        match &sol {
+            Ok(s) => {
+                self.probe.add(Counter::DprelaxIterations, s.iterations as u64);
+                self.probe
+                    .add(Counter::DprelaxPerturbations, s.perturbations as u64);
+            }
+            Err(e) => {
+                self.probe.add(Counter::DprelaxIterations, e.iterations as u64);
+                self.probe
+                    .add(Counter::DprelaxPerturbations, e.perturbations as u64);
+            }
+        }
+        let sol = sol.map_err(|e| {
+            if self.cfg.debug {
+                eprintln!("[tg v{variant}] relaxation failed: {e}");
+            }
+            (AbortReason::ValueSelection, None)
+        })?;
 
         // --- Extract the confirmed test --------------------------------------
         let final_imem = &sol.images[0].1;

@@ -1,13 +1,13 @@
 //! Property-based tests of the search engines on the real DLX controller
-//! and datapath.
+//! and datapath, driven by deterministic seeded-PRNG case loops.
 
 use hltg_core::ctrljust::{self, CtrlJustConfig, Objective};
 use hltg_core::dptrace::{self, DptraceConfig};
 use hltg_core::unroll::Unrolled;
+use hltg_core::SplitMix64;
 use hltg_dlx::DlxDesign;
 use hltg_netlist::ctl::CtlNetId;
 use hltg_sim::V3;
-use proptest::prelude::*;
 use std::sync::OnceLock;
 
 fn dlx() -> &'static DlxDesign {
@@ -15,18 +15,22 @@ fn dlx() -> &'static DlxDesign {
     DLX.get_or_init(DlxDesign::build)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+const CASES: usize = 32;
 
-    /// Forward implication over the unrolled controller is monotone: adding
-    /// input assignments never flips a value that was already known.
-    #[test]
-    fn unrolled_propagation_is_monotone(
-        assigns in prop::collection::vec((0usize..6, 0usize..12, any::<bool>()), 0..10),
-        extra in (0usize..6, 0usize..12, any::<bool>()),
-    ) {
-        let dlx = dlx();
-        let cpis: Vec<CtlNetId> = dlx.design.ctl.cpi_nets().collect();
+/// Forward implication over the unrolled controller is monotone: adding
+/// input assignments never flips a value that was already known.
+#[test]
+fn unrolled_propagation_is_monotone() {
+    let dlx = dlx();
+    let cpis: Vec<CtlNetId> = dlx.design.ctl.cpi_nets().collect();
+    let mut rng = SplitMix64::new(0xEA57_0001);
+    for _case in 0..CASES {
+        let n_assigns = rng.gen_index(10);
+        let assigns: Vec<(usize, usize, bool)> = (0..n_assigns)
+            .map(|_| (rng.gen_index(6), rng.gen_index(12), rng.gen_bool(0.5)))
+            .collect();
+        let extra = (rng.gen_index(6), rng.gen_index(12), rng.gen_bool(0.5));
+
         let mut u = Unrolled::new(&dlx.design.ctl, 6);
         for &(f, i, v) in &assigns {
             u.assign(f, cpis[i], v);
@@ -47,7 +51,7 @@ proptest! {
                 for (n, &was) in row.iter().enumerate() {
                     if let Some(known) = was.to_bool() {
                         let now = u.value(frame, CtlNetId(n as u32));
-                        prop_assert_eq!(
+                        assert_eq!(
                             now.to_bool(),
                             Some(known),
                             "net {} at frame {} flipped",
@@ -59,54 +63,65 @@ proptest! {
             }
         }
     }
+}
 
-    /// CTRLJUST soundness: whatever objective it claims to satisfy is
-    /// implied (known correct) under its returned assignment.
-    #[test]
-    fn ctrljust_results_are_implied(
-        which in 0usize..4,
-        frame in 4usize..7,
-    ) {
-        let dlx = dlx();
-        let nets = [
-            dlx.ctl.c_mem_we,
-            dlx.ctl.c_rf_we,
-            dlx.ctl.c_alu_b_imm,
-            dlx.ctl.c_wb_sel[1],
-        ];
-        let obj = Objective { frame, net: nets[which], value: true };
+/// CTRLJUST soundness: whatever objective it claims to satisfy is
+/// implied (known correct) under its returned assignment.
+#[test]
+fn ctrljust_results_are_implied() {
+    let dlx = dlx();
+    let nets = [
+        dlx.ctl.c_mem_we,
+        dlx.ctl.c_rf_we,
+        dlx.ctl.c_alu_b_imm,
+        dlx.ctl.c_wb_sel[1],
+    ];
+    let mut rng = SplitMix64::new(0xEA57_0002);
+    for _case in 0..CASES {
+        let which = rng.gen_index(4);
+        let frame = 4 + rng.gen_index(3);
+        let obj = Objective {
+            frame,
+            net: nets[which],
+            value: true,
+        };
         let mut u = Unrolled::new(&dlx.design.ctl, frame + 2);
         if ctrljust::justify(&mut u, &[obj], &[], CtrlJustConfig::default()).is_ok() {
-            prop_assert_eq!(u.value(obj.frame, obj.net), V3::One);
+            assert_eq!(u.value(obj.frame, obj.net), V3::One);
         }
     }
+}
 
-    /// DPTRACE plans are internally consistent for every variant: no two
-    /// objectives contradict, and the sink lies within the window.
-    #[test]
-    fn dptrace_plans_are_consistent(variant in 0usize..32, which in 0usize..6) {
-        let dlx = dlx();
-        let nets = [
-            dlx.dp.alu_out,
-            dlx.dp.exmem_alu,
-            dlx.dp.b_fwd,
-            dlx.dp.load_val,
-            dlx.dp.wb_value,
-            dlx.dp.store_data,
-        ];
+/// DPTRACE plans are internally consistent for every variant: no two
+/// objectives contradict, and the sink lies within the window.
+#[test]
+fn dptrace_plans_are_consistent() {
+    let dlx = dlx();
+    let nets = [
+        dlx.dp.alu_out,
+        dlx.dp.exmem_alu,
+        dlx.dp.b_fwd,
+        dlx.dp.load_val,
+        dlx.dp.wb_value,
+        dlx.dp.store_data,
+    ];
+    let mut rng = SplitMix64::new(0xEA57_0003);
+    for _case in 0..CASES {
+        let variant = rng.gen_index(32);
+        let which = rng.gen_index(6);
         let cfg = DptraceConfig::default();
         if let Ok(plan) = dptrace::select_paths(&dlx.design, nets[which], variant, cfg) {
             for (i, a) in plan.ctrl_objectives.iter().enumerate() {
                 for b in &plan.ctrl_objectives[i + 1..] {
-                    prop_assert!(
+                    assert!(
                         !(a.dp_net == b.dp_net && a.time == b.time && a.value != b.value),
                         "conflicting objectives on {}",
                         dlx.design.dp.net(a.dp_net).name
                     );
                 }
             }
-            prop_assert!(plan.sink.time >= cfg.min_time && plan.sink.time <= cfg.max_time);
-            prop_assert!(plan.min_time <= 0 && plan.max_time >= 0);
+            assert!(plan.sink.time >= cfg.min_time && plan.sink.time <= cfg.max_time);
+            assert!(plan.min_time <= 0 && plan.max_time >= 0);
         }
     }
 }

@@ -7,12 +7,11 @@
 //! quiesces; NOPs have no architectural effect, so final-state comparison is
 //! exact.
 
+use hltg_core::SplitMix64;
 use hltg_dlx::{runner, DlxDesign};
 use hltg_isa::asm::{assemble, Program};
 use hltg_isa::ref_sim::ArchSim;
 use hltg_isa::{Instr, Opcode, Reg};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Runs `program` on both models and asserts equal architectural state.
 /// `arch_steps` bounds the reference run; the pipeline runs 3× that plus
@@ -292,7 +291,7 @@ fn r0_writes_are_discarded_in_pipeline() {
 #[test]
 fn random_cosim_hazard_dense() {
     let dlx = DlxDesign::build();
-    let mut rng = StdRng::seed_from_u64(0xD1_5EED);
+    let mut rng = SplitMix64::seed_from_u64(0xD1_5EED);
     for trial in 0..40 {
         let p = random_program(&mut rng, 24);
         let steps = p.len() * 4 + 16;
@@ -302,9 +301,9 @@ fn random_cosim_hazard_dense() {
     }
 }
 
-fn random_program(rng: &mut StdRng, len: usize) -> Program {
+fn random_program(rng: &mut SplitMix64, len: usize) -> Program {
     let mut p = Program::new();
-    let reg = |rng: &mut StdRng| Reg(rng.gen_range(0..6)); // dense reuse, incl. r0
+    let reg = |rng: &mut SplitMix64| Reg(rng.gen_range(0..6) as u8); // dense reuse, incl. r0
     for i in 0..len {
         let remaining = len - i;
         let pick = rng.gen_range(0..100);
@@ -326,7 +325,7 @@ fn random_program(rng: &mut StdRng, len: usize) -> Program {
                 Opcode::Sle,
                 Opcode::Sge,
             ];
-            let op = ops[rng.gen_range(0..ops.len())];
+            let op = ops[rng.gen_index(ops.len())];
             Instr {
                 op,
                 rd: reg(rng),
@@ -347,11 +346,11 @@ fn random_program(rng: &mut StdRng, len: usize) -> Program {
                 Opcode::Seqi,
                 Opcode::Snei,
             ];
-            let op = ops[rng.gen_range(0..ops.len())];
+            let op = ops[rng.gen_index(ops.len())];
             let imm = if op.imm_is_signed() {
-                rng.gen_range(-128..128)
+                rng.gen_range_i64(-128..128) as i32
             } else {
-                rng.gen_range(0..256)
+                rng.gen_range(0..256) as i32
             };
             Instr {
                 op,
@@ -361,30 +360,31 @@ fn random_program(rng: &mut StdRng, len: usize) -> Program {
                 imm,
             }
         } else if pick < 70 {
-            Instr::lhi(reg(rng), rng.gen_range(0..0x10000))
+            Instr::lhi(reg(rng), rng.gen_range(0..0x10000) as i32)
         } else if pick < 82 {
             // Load from the small scratch region (word aligned to keep
             // byte/half lanes exercised via dedicated tests).
             let ops = [Opcode::Lw, Opcode::Lb, Opcode::Lbu, Opcode::Lh, Opcode::Lhu];
-            let op = ops[rng.gen_range(0..ops.len())];
+            let op = ops[rng.gen_index(ops.len())];
             let align = match op {
                 Opcode::Lw => !3,
                 Opcode::Lh | Opcode::Lhu => !1,
                 _ => !0,
             };
-            Instr::load(op, reg(rng), Reg(0), (0x100 + rng.gen_range(0..64)) & align)
+            Instr::load(op, reg(rng), Reg(0), (0x100 + rng.gen_range(0..64) as i32) & align)
         } else if pick < 92 {
             let ops = [Opcode::Sw, Opcode::Sh, Opcode::Sb];
-            let op = ops[rng.gen_range(0..ops.len())];
+            let op = ops[rng.gen_index(ops.len())];
             let align = match op {
                 Opcode::Sw => !3,
                 Opcode::Sh => !1,
                 _ => !0,
             };
-            Instr::store(op, Reg(0), (0x100 + rng.gen_range(0..64)) & align, reg(rng))
+            Instr::store(op, Reg(0), (0x100 + rng.gen_range(0..64) as i32) & align, reg(rng))
         } else if remaining > 3 {
             // Forward branch over 1..3 instructions (no infinite loops).
-            let skip = rng.gen_range(1..=3.min(remaining as i32 - 1));
+            let hi = 3.min(remaining as i64 - 1);
+            let skip = rng.gen_range_i64(1..hi + 1) as i32;
             let off = skip * 4;
             if rng.gen_bool(0.5) {
                 Instr::beqz(reg(rng), off)

@@ -1,105 +1,125 @@
 //! Property-based tests of the ISA layer: encoding, assembly-syntax and
-//! reference-simulator invariants.
+//! reference-simulator invariants, driven by deterministic seeded-PRNG
+//! case loops.
 
+use hltg_core::SplitMix64;
 use hltg_isa::asm::{assemble, Program};
 use hltg_isa::instr::{Format, ALL_OPCODES};
 use hltg_isa::ref_sim::ArchSim;
 use hltg_isa::{Instr, Opcode, Reg};
-use proptest::prelude::*;
 
-fn arb_reg() -> impl Strategy<Value = Reg> {
-    (0u8..32).prop_map(Reg)
+const CASES: usize = 256;
+
+fn arb_reg(rng: &mut SplitMix64) -> Reg {
+    Reg(rng.gen_range(0..32) as u8)
 }
 
-fn arb_instr() -> impl Strategy<Value = Instr> {
-    (0usize..ALL_OPCODES.len(), arb_reg(), arb_reg(), arb_reg(), any::<i16>())
-        .prop_map(|(k, a, b, c, imm)| {
-            let op = ALL_OPCODES[k];
-            match op.format() {
-                Format::RType => Instr {
-                    op,
-                    rd: a,
-                    rs1: b,
-                    rs2: c,
-                    imm: 0,
-                },
-                Format::JType => Instr {
-                    op,
-                    rs1: Reg(0),
-                    rs2: Reg(0),
-                    rd: if op == Opcode::Jal { Reg(31) } else { Reg(0) },
-                    // 26-bit signed offset; i16 keeps it in range.
-                    imm: i32::from(imm),
-                },
-                Format::IType => {
-                    let imm = if op.imm_is_signed() {
-                        i32::from(imm)
-                    } else {
-                        i32::from(imm as u16)
-                    };
-                    let mut i = Instr {
-                        op,
-                        rs1: b,
-                        rs2: Reg(0),
-                        rd: a,
-                        imm,
-                    };
-                    if op.is_store() {
-                        i.rs2 = c;
-                        i.rd = Reg(0);
-                    }
-                    if matches!(op, Opcode::Jr | Opcode::Jalr) {
-                        i.rd = if op == Opcode::Jalr { Reg(31) } else { Reg(0) };
-                        i.imm = 0;
-                    }
-                    if matches!(op, Opcode::Beqz | Opcode::Bnez) {
-                        i.rd = Reg(0);
-                    }
-                    if op == Opcode::Lhi {
-                        i.rs1 = Reg(0);
-                        i.imm = i32::from(imm as u16);
-                    }
-                    i
-                }
+fn arb_instr(rng: &mut SplitMix64) -> Instr {
+    let op = ALL_OPCODES[rng.gen_index(ALL_OPCODES.len())];
+    let (a, b, c) = (arb_reg(rng), arb_reg(rng), arb_reg(rng));
+    let imm = rng.next_u64() as i16;
+    match op.format() {
+        Format::RType => Instr {
+            op,
+            rd: a,
+            rs1: b,
+            rs2: c,
+            imm: 0,
+        },
+        Format::JType => Instr {
+            op,
+            rs1: Reg(0),
+            rs2: Reg(0),
+            rd: if op == Opcode::Jal { Reg(31) } else { Reg(0) },
+            // 26-bit signed offset; i16 keeps it in range.
+            imm: i32::from(imm),
+        },
+        Format::IType => {
+            let imm_v = if op.imm_is_signed() {
+                i32::from(imm)
+            } else {
+                i32::from(imm as u16)
+            };
+            let mut i = Instr {
+                op,
+                rs1: b,
+                rs2: Reg(0),
+                rd: a,
+                imm: imm_v,
+            };
+            if op.is_store() {
+                i.rs2 = c;
+                i.rd = Reg(0);
             }
-        })
+            if matches!(op, Opcode::Jr | Opcode::Jalr) {
+                i.rd = if op == Opcode::Jalr { Reg(31) } else { Reg(0) };
+                i.imm = 0;
+            }
+            if matches!(op, Opcode::Beqz | Opcode::Bnez) {
+                i.rd = Reg(0);
+            }
+            if op == Opcode::Lhi {
+                i.rs1 = Reg(0);
+                i.imm = i32::from(imm as u16);
+            }
+            i
+        }
+    }
 }
 
-proptest! {
-    /// decode(encode(i)) is the identity on every architected instruction.
-    #[test]
-    fn encode_decode_roundtrip(instr in arb_instr()) {
+/// decode(encode(i)) is the identity on every architected instruction.
+#[test]
+fn encode_decode_roundtrip() {
+    let mut rng = SplitMix64::new(0x15A_0001);
+    for _ in 0..CASES {
+        let instr = arb_instr(&mut rng);
         let word = instr.encode();
         let back = Instr::decode(word).expect("architected word decodes");
-        prop_assert_eq!(back, instr, "word {:#010x}", word);
+        assert_eq!(back, instr, "word {word:#010x}");
     }
+}
 
-    /// The printed assembly of any instruction re-assembles to itself: the
-    /// `Display` syntax and the assembler grammar agree.
-    #[test]
-    fn display_assembles_back(instr in arb_instr()) {
+/// The printed assembly of any instruction re-assembles to itself: the
+/// `Display` syntax and the assembler grammar agree.
+#[test]
+fn display_assembles_back() {
+    let mut rng = SplitMix64::new(0x15A_0002);
+    for _ in 0..CASES {
+        let instr = arb_instr(&mut rng);
         let text = instr.to_string();
-        let program = assemble(0, &text)
-            .unwrap_or_else(|e| panic!("`{text}` does not assemble: {e}"));
-        prop_assert_eq!(program.instrs.len(), 1);
-        prop_assert_eq!(program.instrs[0], instr, "text `{}`", text);
+        let program =
+            assemble(0, &text).unwrap_or_else(|e| panic!("`{text}` does not assemble: {e}"));
+        assert_eq!(program.instrs.len(), 1);
+        assert_eq!(program.instrs[0], instr, "text `{text}`");
     }
+}
 
-    /// r0 is invariantly zero in the reference simulator, whatever runs.
-    #[test]
-    fn r0_stays_zero(instrs in prop::collection::vec(arb_instr(), 1..20)) {
+/// r0 is invariantly zero in the reference simulator, whatever runs.
+#[test]
+fn r0_stays_zero() {
+    let mut rng = SplitMix64::new(0x15A_0003);
+    for _ in 0..CASES {
+        let instrs: Vec<Instr> = (0..1 + rng.gen_index(19))
+            .map(|_| arb_instr(&mut rng))
+            .collect();
         let program = Program { base: 0, instrs };
         let mut sim = ArchSim::new();
         sim.load_program(0, &program.encode());
         for _ in 0..program.len() {
             let _ = sim.step();
-            prop_assert_eq!(sim.reg(Reg(0)), 0);
+            assert_eq!(sim.reg(Reg(0)), 0);
         }
     }
+}
 
-    /// The reference simulator is deterministic.
-    #[test]
-    fn reference_simulator_is_deterministic(instrs in prop::collection::vec(arb_instr(), 1..16)) {
+/// The reference simulator is deterministic.
+#[test]
+fn reference_simulator_is_deterministic() {
+    let mut rng = SplitMix64::new(0x15A_0004);
+    for _ in 0..CASES {
+        let instrs: Vec<Instr> = (0..1 + rng.gen_index(15))
+            .map(|_| arb_instr(&mut rng))
+            .collect();
         let program = Program { base: 0, instrs };
         let run = |steps: usize| {
             let mut sim = ArchSim::new();
@@ -108,6 +128,6 @@ proptest! {
             let regs: Vec<u32> = (0..32).map(|r| sim.reg(Reg(r))).collect();
             (regs, sim.pc())
         };
-        prop_assert_eq!(run(12), run(12));
+        assert_eq!(run(12), run(12));
     }
 }

@@ -32,12 +32,10 @@ use crate::error::NetlistError;
 
 /// Identifier of a controller net (each net has exactly one driving gate).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CtlNetId(pub u32);
 
 /// What sources a controller input net.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum CtlInputKind {
     /// Primary input (*CPI*): instruction bits, reset, environment.
     Cpi,
@@ -47,7 +45,6 @@ pub enum CtlInputKind {
 
 /// Parameters of a control pipe register (CPR) flip-flop.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct FfSpec {
     /// Reset value.
     pub init: bool,
@@ -73,7 +70,6 @@ impl FfSpec {
 
 /// The operation driving a controller net.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum CtlOp {
     /// External input.
     Input(CtlInputKind),
@@ -113,7 +109,6 @@ impl CtlOp {
 
 /// A single-bit controller net together with its driving gate.
 #[derive(Debug, Clone)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CtlNet {
     /// Human-readable name.
     pub name: String,
@@ -129,7 +124,6 @@ pub struct CtlNet {
 
 /// A gate-level controller netlist.
 #[derive(Debug, Clone, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CtlNetlist {
     /// Netlist name.
     pub name: String,

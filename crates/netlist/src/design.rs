@@ -6,7 +6,6 @@ use crate::error::NetlistError;
 
 /// Connects a controller CTRL output to a datapath control-input net.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CtrlBind {
     /// Controller net (must be listed in [`CtlNetlist::ctrl_outputs`]).
     pub ctl: CtlNetId,
@@ -16,7 +15,6 @@ pub struct CtrlBind {
 
 /// Connects one bit of a datapath status net to a controller STS input.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct StsBind {
     /// Datapath net (single-bit, listed in [`DpNetlist::status`]).
     pub dp: DpNetId,
@@ -29,7 +27,6 @@ pub struct StsBind {
 /// "environment" instruction stream enters the controller through the
 /// instruction memory read port of the datapath.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CpiBind {
     /// Datapath net carrying the instruction word.
     pub dp: DpNetId,
@@ -71,7 +68,6 @@ pub struct CpiBind {
 /// # Ok::<(), hltg_netlist::NetlistError>(())
 /// ```
 #[derive(Debug, Clone)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Design {
     /// Design name.
     pub name: String,

@@ -25,17 +25,14 @@ use crate::error::NetlistError;
 
 /// Identifier of a datapath net.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DpNetId(pub u32);
 
 /// Identifier of a datapath module.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DpModId(pub u32);
 
 /// How a net is sourced, in the terminology of the paper's Figure 1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum DpNetKind {
     /// Primary data input (*DPI*): driven by the environment.
     Input,
@@ -47,7 +44,6 @@ pub enum DpNetKind {
 
 /// A reference to one connection point of a module.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum PortRef {
     /// `index`-th data input of the module.
     Data(usize),
@@ -57,7 +53,6 @@ pub enum PortRef {
 
 /// A word-level bus.
 #[derive(Debug, Clone)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DpNet {
     /// Human-readable name (unique within the netlist).
     pub name: String,
@@ -75,7 +70,6 @@ pub struct DpNet {
 
 /// A word-level module instance.
 #[derive(Debug, Clone)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DpModule {
     /// Human-readable instance name.
     pub name: String,
@@ -93,7 +87,6 @@ pub struct DpModule {
 
 /// Kind of architectural state object.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum ArchKind {
     /// A register file with `count` registers of `width` bits. Register 0
     /// optionally reads as zero (hard-wired), as in DLX/MIPS.
@@ -114,7 +107,6 @@ pub enum ArchKind {
 
 /// Declaration of an architectural (ISA-visible) state object.
 #[derive(Debug, Clone)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ArchDecl {
     /// Human-readable name.
     pub name: String,
@@ -136,7 +128,6 @@ impl ArchDecl {
 ///
 /// Construct with [`DpBuilder`]; the structure is immutable afterwards.
 #[derive(Debug, Clone, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DpNetlist {
     /// Netlist name.
     pub name: String,

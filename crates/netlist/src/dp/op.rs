@@ -7,7 +7,6 @@ use crate::word;
 ///
 /// [register file]: crate::dp::ArchKind::RegFile
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ArchId(pub u32);
 
 /// Controllability/observability class of a datapath module (paper §V.A).
@@ -23,7 +22,6 @@ pub struct ArchId(pub u32);
 /// * **Sink** — observable architectural-write sinks.
 /// * **Seq** — pipeline registers, which delimit pipeframes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum DpClass {
     /// ADD class: single controlled input justifies the output.
     Add,
@@ -41,7 +39,6 @@ pub enum DpClass {
 
 /// Parameters of a pipeline register (a *DPR* in the paper's model).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RegSpec {
     /// Reset value.
     pub init: u64,
@@ -82,7 +79,6 @@ impl RegSpec {
 /// * `Concat`: output width is the sum of the input widths (first input is
 ///   least significant).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[non_exhaustive]
 pub enum DpOp {
     // --- ADD class -------------------------------------------------------

@@ -18,7 +18,6 @@ use std::fmt;
 /// assert_eq!(ex.next().index(), 3);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Default)]
 pub struct Stage(u8);
 

@@ -1,11 +1,15 @@
-//! Property-based tests of the word-level operator semantics.
+//! Property-based tests of the word-level operator semantics, driven by
+//! deterministic seeded-PRNG case loops.
 
+use hltg_core::SplitMix64;
 use hltg_netlist::dp::DpOp;
 use hltg_netlist::word;
-use proptest::prelude::*;
 
-fn widths() -> impl Strategy<Value = u32> {
-    prop_oneof![Just(1u32), Just(5), Just(8), Just(16), Just(32), Just(64)]
+const CASES: usize = 256;
+const WIDTHS: [u32; 6] = [1, 5, 8, 16, 32, 64];
+
+fn width(rng: &mut SplitMix64) -> u32 {
+    WIDTHS[rng.gen_index(WIDTHS.len())]
 }
 
 fn e2(op: DpOp, a: u64, b: u64, w: u32) -> u64 {
@@ -13,43 +17,69 @@ fn e2(op: DpOp, a: u64, b: u64, w: u32) -> u64 {
     op.eval_comb(&[a, b], &[w, w], 0, ow)
 }
 
-proptest! {
-    /// Add and Sub are inverses at every width.
-    #[test]
-    fn add_sub_inverse(w in widths(), (a, b) in (any::<u64>(), any::<u64>())) {
-        let (a, b) = (word::truncate(a, w), word::truncate(b, w));
+/// Add and Sub are inverses at every width.
+#[test]
+fn add_sub_inverse() {
+    let mut rng = SplitMix64::new(0x0b5_0001);
+    for _ in 0..CASES {
+        let w = width(&mut rng);
+        let (a, b) = (
+            word::truncate(rng.next_u64(), w),
+            word::truncate(rng.next_u64(), w),
+        );
         let s = e2(DpOp::Add, a, b, w);
-        prop_assert_eq!(e2(DpOp::Sub, s, b, w), a);
-        prop_assert_eq!(e2(DpOp::Sub, s, a, w), b);
+        assert_eq!(e2(DpOp::Sub, s, b, w), a);
+        assert_eq!(e2(DpOp::Sub, s, a, w), b);
     }
+}
 
-    /// Xor is its own inverse; Xnor is its complement.
-    #[test]
-    fn xor_involution(w in widths(), (a, b) in (any::<u64>(), any::<u64>())) {
-        let (a, b) = (word::truncate(a, w), word::truncate(b, w));
+/// Xor is its own inverse; Xnor is its complement.
+#[test]
+fn xor_involution() {
+    let mut rng = SplitMix64::new(0x0b5_0002);
+    for _ in 0..CASES {
+        let w = width(&mut rng);
+        let (a, b) = (
+            word::truncate(rng.next_u64(), w),
+            word::truncate(rng.next_u64(), w),
+        );
         let x = e2(DpOp::Xor, a, b, w);
-        prop_assert_eq!(e2(DpOp::Xor, x, b, w), a);
-        prop_assert_eq!(e2(DpOp::Xnor, a, b, w), word::truncate(!x, w));
+        assert_eq!(e2(DpOp::Xor, x, b, w), a);
+        assert_eq!(e2(DpOp::Xnor, a, b, w), word::truncate(!x, w));
     }
+}
 
-    /// De Morgan: nand = not(and), nor = not(or).
-    #[test]
-    fn de_morgan(w in widths(), (a, b) in (any::<u64>(), any::<u64>())) {
-        let (a, b) = (word::truncate(a, w), word::truncate(b, w));
-        prop_assert_eq!(
+/// De Morgan: nand = not(and), nor = not(or).
+#[test]
+fn de_morgan() {
+    let mut rng = SplitMix64::new(0x0b5_0003);
+    for _ in 0..CASES {
+        let w = width(&mut rng);
+        let (a, b) = (
+            word::truncate(rng.next_u64(), w),
+            word::truncate(rng.next_u64(), w),
+        );
+        assert_eq!(
             e2(DpOp::Nand, a, b, w),
             word::truncate(!e2(DpOp::And, a, b, w), w)
         );
-        prop_assert_eq!(
+        assert_eq!(
             e2(DpOp::Nor, a, b, w),
             word::truncate(!e2(DpOp::Or, a, b, w), w)
         );
     }
+}
 
-    /// The signed comparison predicates form a consistent total order.
-    #[test]
-    fn signed_order_consistency(w in widths(), (a, b) in (any::<u64>(), any::<u64>())) {
-        let (a, b) = (word::truncate(a, w), word::truncate(b, w));
+/// The signed comparison predicates form a consistent total order.
+#[test]
+fn signed_order_consistency() {
+    let mut rng = SplitMix64::new(0x0b5_0004);
+    for _ in 0..CASES {
+        let w = width(&mut rng);
+        let (a, b) = (
+            word::truncate(rng.next_u64(), w),
+            word::truncate(rng.next_u64(), w),
+        );
         let lt = e2(DpOp::Lt, a, b, w) == 1;
         let gt = e2(DpOp::Gt, a, b, w) == 1;
         let eq = e2(DpOp::Eq, a, b, w) == 1;
@@ -57,78 +87,113 @@ proptest! {
         let ge = e2(DpOp::Ge, a, b, w) == 1;
         let ne = e2(DpOp::Ne, a, b, w) == 1;
         // Trichotomy.
-        prop_assert_eq!(u32::from(lt) + u32::from(gt) + u32::from(eq), 1);
-        prop_assert_eq!(le, lt || eq);
-        prop_assert_eq!(ge, gt || eq);
-        prop_assert_eq!(ne, !eq);
+        assert_eq!(u32::from(lt) + u32::from(gt) + u32::from(eq), 1);
+        assert_eq!(le, lt || eq);
+        assert_eq!(ge, gt || eq);
+        assert_eq!(ne, !eq);
         // Signed semantics agree with i64 interpretation.
-        prop_assert_eq!(lt, word::to_signed(a, w) < word::to_signed(b, w));
+        assert_eq!(lt, word::to_signed(a, w) < word::to_signed(b, w));
     }
+}
 
-    /// Unsigned comparisons are ordinary u64 comparisons.
-    #[test]
-    fn unsigned_comparisons(w in widths(), (a, b) in (any::<u64>(), any::<u64>())) {
-        let (a, b) = (word::truncate(a, w), word::truncate(b, w));
-        prop_assert_eq!(e2(DpOp::LtU, a, b, w) == 1, a < b);
-        prop_assert_eq!(e2(DpOp::GeU, a, b, w) == 1, a >= b);
+/// Unsigned comparisons are ordinary u64 comparisons.
+#[test]
+fn unsigned_comparisons() {
+    let mut rng = SplitMix64::new(0x0b5_0005);
+    for _ in 0..CASES {
+        let w = width(&mut rng);
+        let (a, b) = (
+            word::truncate(rng.next_u64(), w),
+            word::truncate(rng.next_u64(), w),
+        );
+        assert_eq!(e2(DpOp::LtU, a, b, w) == 1, a < b);
+        assert_eq!(e2(DpOp::GeU, a, b, w) == 1, a >= b);
     }
+}
 
-    /// Slice inverts Concat.
-    #[test]
-    fn concat_slice_roundtrip(a in any::<u64>(), b in any::<u64>()) {
-        let (a, b) = (word::truncate(a, 16), word::truncate(b, 16));
+/// Slice inverts Concat.
+#[test]
+fn concat_slice_roundtrip() {
+    let mut rng = SplitMix64::new(0x0b5_0006);
+    for _ in 0..CASES {
+        let (a, b) = (
+            word::truncate(rng.next_u64(), 16),
+            word::truncate(rng.next_u64(), 16),
+        );
         let cat = DpOp::Concat.eval_comb(&[a, b], &[16, 16], 0, 32);
         let lo = DpOp::Slice { lo: 0 }.eval_comb(&[cat], &[32], 0, 16);
         let hi = DpOp::Slice { lo: 16 }.eval_comb(&[cat], &[32], 0, 16);
-        prop_assert_eq!(lo, a);
-        prop_assert_eq!(hi, b);
+        assert_eq!(lo, a);
+        assert_eq!(hi, b);
     }
+}
 
-    /// Sign extension preserves signed value; zero extension preserves
-    /// unsigned value.
-    #[test]
-    fn extensions_preserve_value(v in any::<u64>(), from in 1u32..32, extra in 1u32..32) {
+/// Sign extension preserves signed value; zero extension preserves
+/// unsigned value.
+#[test]
+fn extensions_preserve_value() {
+    let mut rng = SplitMix64::new(0x0b5_0007);
+    for _ in 0..CASES {
+        let from = 1 + rng.gen_range(0..31) as u32;
+        let extra = 1 + rng.gen_range(0..31) as u32;
         let to = from + extra;
-        let v = word::truncate(v, from);
+        let v = word::truncate(rng.next_u64(), from);
         let se = DpOp::SignExt.eval_comb(&[v], &[from], 0, to);
         let ze = DpOp::ZeroExt.eval_comb(&[v], &[from], 0, to);
-        prop_assert_eq!(word::to_signed(se, to), word::to_signed(v, from));
-        prop_assert_eq!(ze, v);
+        assert_eq!(word::to_signed(se, to), word::to_signed(v, from));
+        assert_eq!(ze, v);
     }
+}
 
-    /// Shifting left then logically right by the same in-range amount
-    /// recovers the bits that survived.
-    #[test]
-    fn shift_roundtrip(v in any::<u64>(), sh in 0u32..31) {
+/// Shifting left then logically right by the same in-range amount
+/// recovers the bits that survived.
+#[test]
+fn shift_roundtrip() {
+    let mut rng = SplitMix64::new(0x0b5_0008);
+    for _ in 0..CASES {
         let w = 32u32;
-        let v = word::truncate(v, w);
+        let sh = rng.gen_range(0..31) as u32;
+        let v = word::truncate(rng.next_u64(), w);
         let l = e2(DpOp::Sll, v, u64::from(sh), w);
         let back = e2(DpOp::Srl, l, u64::from(sh), w);
-        prop_assert_eq!(back, word::truncate(v << sh, w) >> sh);
+        assert_eq!(back, word::truncate(v << sh, w) >> sh);
         // Arithmetic shift of a non-negative value equals logical shift.
         let pos = v >> 1; // clear the sign bit
-        prop_assert_eq!(e2(DpOp::Sra, pos, u64::from(sh), w), e2(DpOp::Srl, pos, u64::from(sh), w));
+        assert_eq!(
+            e2(DpOp::Sra, pos, u64::from(sh), w),
+            e2(DpOp::Srl, pos, u64::from(sh), w)
+        );
     }
+}
 
-    /// Overflow predicates match i64 arithmetic out-of-range checks.
-    #[test]
-    fn overflow_predicates(w in prop_oneof![Just(8u32), Just(16), Just(32)],
-                           (a, b) in (any::<u64>(), any::<u64>())) {
-        let (a, b) = (word::truncate(a, w), word::truncate(b, w));
+/// Overflow predicates match i64 arithmetic out-of-range checks.
+#[test]
+fn overflow_predicates() {
+    let mut rng = SplitMix64::new(0x0b5_0009);
+    for _ in 0..CASES {
+        let w = [8u32, 16, 32][rng.gen_index(3)];
+        let (a, b) = (
+            word::truncate(rng.next_u64(), w),
+            word::truncate(rng.next_u64(), w),
+        );
         let (sa, sb) = (word::to_signed(a, w), word::to_signed(b, w));
         let lo = -(1i64 << (w - 1));
         let hi = (1i64 << (w - 1)) - 1;
         let sum = sa + sb;
         let dif = sa - sb;
-        prop_assert_eq!(e2(DpOp::AddOvf, a, b, w) == 1, sum < lo || sum > hi);
-        prop_assert_eq!(e2(DpOp::SubOvf, a, b, w) == 1, dif < lo || dif > hi);
+        assert_eq!(e2(DpOp::AddOvf, a, b, w) == 1, sum < lo || sum > hi);
+        assert_eq!(e2(DpOp::SubOvf, a, b, w) == 1, dif < lo || dif > hi);
     }
+}
 
-    /// A mux output always equals one of its data inputs.
-    #[test]
-    fn mux_selects_an_input(idx in 0usize..4, vals in prop::array::uniform4(any::<u64>())) {
-        let vals: Vec<u64> = vals.iter().map(|&v| word::truncate(v, 32)).collect();
+/// A mux output always equals one of its data inputs.
+#[test]
+fn mux_selects_an_input() {
+    let mut rng = SplitMix64::new(0x0b5_000a);
+    for _ in 0..CASES {
+        let idx = rng.gen_index(4);
+        let vals: Vec<u64> = (0..4).map(|_| word::truncate(rng.next_u64(), 32)).collect();
         let out = DpOp::Mux.eval_comb(&vals, &[32; 4], idx, 32);
-        prop_assert_eq!(out, vals[idx]);
+        assert_eq!(out, vals[idx]);
     }
 }

@@ -1,24 +1,30 @@
 //! Property-based tests of the three-valued algebra: soundness of `X` as
 //! "either value" — the property the implication engine's correctness
-//! rests on.
+//! rests on. Driven by deterministic seeded-PRNG case loops.
 
+use hltg_core::SplitMix64;
 use hltg_netlist::ctl::CtlOp;
 use hltg_sim::tv::{eval_gate, V3};
-use proptest::prelude::*;
 
-fn v3() -> impl Strategy<Value = V3> {
-    prop_oneof![Just(V3::Zero), Just(V3::One), Just(V3::X)]
+const CASES: usize = 256;
+
+const V3S: [V3; 3] = [V3::Zero, V3::One, V3::X];
+
+const GATES: [CtlOp; 6] = [
+    CtlOp::And,
+    CtlOp::Or,
+    CtlOp::Nand,
+    CtlOp::Nor,
+    CtlOp::Xor,
+    CtlOp::Xnor,
+];
+
+fn v3(rng: &mut SplitMix64) -> V3 {
+    V3S[rng.gen_index(V3S.len())]
 }
 
-fn gates() -> impl Strategy<Value = CtlOp> {
-    prop_oneof![
-        Just(CtlOp::And),
-        Just(CtlOp::Or),
-        Just(CtlOp::Nand),
-        Just(CtlOp::Nor),
-        Just(CtlOp::Xor),
-        Just(CtlOp::Xnor),
-    ]
+fn inputs(rng: &mut SplitMix64) -> Vec<V3> {
+    (0..1 + rng.gen_index(4)).map(|_| v3(rng)).collect()
 }
 
 /// All boolean completions of a three-valued input vector.
@@ -43,33 +49,35 @@ fn completions(inputs: &[V3]) -> Vec<Vec<V3>> {
     out
 }
 
-proptest! {
-    /// Soundness: if the three-valued evaluation is known, every boolean
-    /// completion of the inputs evaluates to that value.
-    #[test]
-    fn known_outputs_hold_for_all_completions(
-        op in gates(),
-        inputs in prop::collection::vec(v3(), 1..5),
-    ) {
+/// Soundness: if the three-valued evaluation is known, every boolean
+/// completion of the inputs evaluates to that value.
+#[test]
+fn known_outputs_hold_for_all_completions() {
+    let mut rng = SplitMix64::new(0x7e57_0001);
+    for _ in 0..CASES {
+        let op = GATES[rng.gen_index(GATES.len())];
+        let inputs = inputs(&mut rng);
         let abstract_out = eval_gate(op, &inputs);
         if let Some(expected) = abstract_out.to_bool() {
             for completion in completions(&inputs) {
                 let concrete = eval_gate(op, &completion)
                     .to_bool()
                     .expect("fully known inputs give a known output");
-                prop_assert_eq!(concrete, expected, "{:?} {:?}", op, completion);
+                assert_eq!(concrete, expected, "{op:?} {completion:?}");
             }
         }
     }
+}
 
-    /// Precision: if every completion agrees, the three-valued evaluation
-    /// is allowed to be X only when completions disagree — and for the
-    /// and/or family it is exact (returns known whenever possible).
-    #[test]
-    fn and_or_family_is_exact(
-        op in prop_oneof![Just(CtlOp::And), Just(CtlOp::Or), Just(CtlOp::Nand), Just(CtlOp::Nor)],
-        inputs in prop::collection::vec(v3(), 1..5),
-    ) {
+/// Precision: if every completion agrees, the three-valued evaluation
+/// is allowed to be X only when completions disagree — and for the
+/// and/or family it is exact (returns known whenever possible).
+#[test]
+fn and_or_family_is_exact() {
+    let mut rng = SplitMix64::new(0x7e57_0002);
+    for _ in 0..CASES {
+        let op = [CtlOp::And, CtlOp::Or, CtlOp::Nand, CtlOp::Nor][rng.gen_index(4)];
+        let inputs = inputs(&mut rng);
         let outs: Vec<bool> = completions(&inputs)
             .into_iter()
             .map(|c| eval_gate(op, &c).to_bool().expect("known"))
@@ -77,38 +85,43 @@ proptest! {
         let all_same = outs.iter().all(|&b| b == outs[0]);
         let abstract_out = eval_gate(op, &inputs);
         if all_same {
-            prop_assert_eq!(abstract_out.to_bool(), Some(outs[0]));
+            assert_eq!(abstract_out.to_bool(), Some(outs[0]));
         } else {
-            prop_assert_eq!(abstract_out, V3::X);
+            assert_eq!(abstract_out, V3::X);
         }
     }
+}
 
-    /// Monotonicity: refining an X input never changes a known output.
-    #[test]
-    fn refinement_is_monotone(
-        op in gates(),
-        inputs in prop::collection::vec(v3(), 1..5),
-        pick in any::<prop::sample::Index>(),
-        to in any::<bool>(),
-    ) {
+/// Monotonicity: refining an X input never changes a known output.
+#[test]
+fn refinement_is_monotone() {
+    let mut rng = SplitMix64::new(0x7e57_0003);
+    for _ in 0..CASES {
+        let op = GATES[rng.gen_index(GATES.len())];
+        let inputs = inputs(&mut rng);
+        let i = rng.gen_index(inputs.len());
+        let to = rng.gen_bool(0.5);
         let before = eval_gate(op, &inputs);
-        let i = pick.index(inputs.len());
         if inputs[i] == V3::X {
             let mut refined = inputs.clone();
             refined[i] = V3::from_bool(to);
             let after = eval_gate(op, &refined);
             if let Some(v) = before.to_bool() {
-                prop_assert_eq!(after.to_bool(), Some(v));
+                assert_eq!(after.to_bool(), Some(v));
             }
         }
     }
+}
 
-    /// The V3 operators agree with bool on known values and are commutative.
-    #[test]
-    fn operators_commute(a in v3(), b in v3()) {
-        prop_assert_eq!(a.and(b), b.and(a));
-        prop_assert_eq!(a.or(b), b.or(a));
-        prop_assert_eq!(a.xor(b), b.xor(a));
-        prop_assert_eq!(a.not().not(), a);
+/// The V3 operators agree with bool on known values and are commutative.
+#[test]
+fn operators_commute() {
+    for a in V3S {
+        for b in V3S {
+            assert_eq!(a.and(b), b.and(a));
+            assert_eq!(a.or(b), b.or(a));
+            assert_eq!(a.xor(b), b.xor(a));
+            assert_eq!(a.not().not(), a);
+        }
     }
 }

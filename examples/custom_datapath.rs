@@ -17,8 +17,7 @@ use hltg::errors::{enumerate_all_errors, EnumPolicy, Polarity};
 use hltg::netlist::ctl::CtlBuilder;
 use hltg::netlist::dp::DpBuilder;
 use hltg::netlist::{Design, Stage};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use hltg::core::SplitMix64;
 
 /// A two-stage multiply-accumulate-ish unit: stage 0 adds or xors two
 /// memory operands (controller-selected), stage 1 accumulates into a
@@ -176,7 +175,7 @@ fn main() {
         requirements: Vec::new(),
         horizon: 8,
     };
-    let mut rng = StdRng::seed_from_u64(42);
+    let mut rng = SplitMix64::seed_from_u64(42);
     match engine.solve(&goal, &mut rng, 64) {
         Ok(sol) => {
             let (cycle, net) = sol.detected_at;

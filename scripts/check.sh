@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Tier-1 gate for the workspace. Everything runs --offline: the tree has
+# zero external dependencies and must stay buildable on a cold registry.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release --offline --workspace"
+cargo build --release --offline --workspace
+
+echo "== cargo test -q --offline --workspace"
+cargo test -q --offline --workspace
+
+echo "== cargo clippy -- -D warnings"
+cargo clippy --offline --all-targets -- -D warnings
+
+echo "== OK"

@@ -138,7 +138,7 @@ fn all_bit_positions_are_generatable() {
     let all = enumerate_stage_errors(&dlx.design, &ex_mem_wb(), EnumPolicy::AllBits);
     let mut checked = 0;
     for error in all.iter().filter(|e| {
-        dlx.design.dp.net(e.net) as *const _ == dlx.design.dp.net(dlx.dp.alu_out) as *const _
+        std::ptr::eq(dlx.design.dp.net(e.net), dlx.design.dp.net(dlx.dp.alu_out))
             && matches!(e.bit, 0 | 15 | 31)
     }) {
         let outcome = tg.generate(error);

@@ -1,0 +1,69 @@
+//! The sharded campaign runner is deterministic: any thread count yields
+//! bit-for-bit identical statistics and Table 1 report, with and without
+//! error-simulation compaction.
+
+use hltg::core::{Campaign, CampaignConfig, CampaignStats};
+use hltg::dlx::DlxDesign;
+
+/// Stats with the wall-clock field zeroed: `seconds` is the only
+/// legitimately run-dependent quantity.
+fn stats_sans_time(c: &Campaign) -> CampaignStats {
+    let mut s = c.stats();
+    s.seconds = 0.0;
+    s
+}
+
+/// The Table 1 report with its timing line removed.
+fn report_sans_time(c: &Campaign) -> String {
+    c.table1_report()
+        .lines()
+        .filter(|l| !l.contains("CPU time"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn run_at(dlx: &DlxDesign, num_threads: usize, error_simulation: bool) -> Campaign {
+    Campaign::run(
+        dlx,
+        &CampaignConfig {
+            limit: Some(16),
+            error_simulation,
+            num_threads,
+            ..CampaignConfig::default()
+        },
+    )
+}
+
+#[test]
+fn thread_count_does_not_change_results() {
+    let dlx = DlxDesign::build();
+    for error_simulation in [false, true] {
+        let base = run_at(&dlx, 1, error_simulation);
+        let base_stats = stats_sans_time(&base);
+        let base_report = report_sans_time(&base);
+        assert!(base_stats.errors > 0, "campaign targeted no errors");
+        for threads in [2, 8] {
+            let sharded = run_at(&dlx, threads, error_simulation);
+            assert_eq!(
+                stats_sans_time(&sharded),
+                base_stats,
+                "stats diverge at num_threads={threads} (error_simulation={error_simulation})"
+            );
+            assert_eq!(
+                report_sans_time(&sharded),
+                base_report,
+                "table1_report diverges at num_threads={threads} \
+                 (error_simulation={error_simulation})"
+            );
+        }
+    }
+}
+
+/// `num_threads: 0` is treated as 1 rather than panicking.
+#[test]
+fn zero_threads_falls_back_to_serial() {
+    let dlx = DlxDesign::build();
+    let a = run_at(&dlx, 0, false);
+    let b = run_at(&dlx, 1, false);
+    assert_eq!(stats_sans_time(&a), stats_sans_time(&b));
+}

@@ -1,10 +1,11 @@
-//! Property-based integration tests (proptest) across the workspace.
+//! Property-based integration tests across the workspace, driven by
+//! deterministic seeded-PRNG case loops.
 
+use hltg::core::SplitMix64;
 use hltg::dlx::{runner, DlxDesign};
 use hltg::isa::asm::Program;
 use hltg::isa::ref_sim::ArchSim;
 use hltg::isa::{Instr, Opcode, Reg};
-use proptest::prelude::*;
 use std::sync::OnceLock;
 
 /// The DLX is expensive to build; share one instance across cases.
@@ -13,144 +14,155 @@ fn dlx() -> &'static DlxDesign {
     DLX.get_or_init(DlxDesign::build)
 }
 
-/// Strategy: one random architected instruction over a small register
-/// window, with loads/stores confined to an aligned scratch region and
-/// only forward branches (no unbounded loops).
-fn arb_instr(remaining: usize) -> impl Strategy<Value = Instr> {
-    let reg = || (0u8..8).prop_map(Reg);
-    let rtype = (reg(), reg(), reg(), 0usize..14).prop_map(|(rd, rs1, rs2, k)| {
-        let ops = [
-            Opcode::Add,
-            Opcode::Sub,
-            Opcode::And,
-            Opcode::Or,
-            Opcode::Xor,
-            Opcode::Sll,
-            Opcode::Srl,
-            Opcode::Sra,
-            Opcode::Slt,
-            Opcode::Sgt,
-            Opcode::Sle,
-            Opcode::Sge,
-            Opcode::Seq,
-            Opcode::Sne,
-        ];
-        Instr {
-            op: ops[k],
-            rd,
-            rs1,
-            rs2,
-            imm: 0,
+/// One random architected instruction over a small register window, with
+/// loads/stores confined to an aligned scratch region and only forward
+/// branches (no unbounded loops).
+fn arb_instr(rng: &mut SplitMix64, remaining: usize) -> Instr {
+    let reg = |rng: &mut SplitMix64| Reg(rng.gen_range(0..8) as u8);
+    // Weighted family pick: 4 rtype, 4 itype, 1 lhi, 2 mem, 1 branch.
+    match rng.gen_range(0..12) {
+        0..=3 => {
+            let ops = [
+                Opcode::Add,
+                Opcode::Sub,
+                Opcode::And,
+                Opcode::Or,
+                Opcode::Xor,
+                Opcode::Sll,
+                Opcode::Srl,
+                Opcode::Sra,
+                Opcode::Slt,
+                Opcode::Sgt,
+                Opcode::Sle,
+                Opcode::Sge,
+                Opcode::Seq,
+                Opcode::Sne,
+            ];
+            Instr {
+                op: ops[rng.gen_index(ops.len())],
+                rd: reg(rng),
+                rs1: reg(rng),
+                rs2: reg(rng),
+                imm: 0,
+            }
         }
-    });
-    let itype = (reg(), reg(), -200i32..200, 0usize..7).prop_map(|(rd, rs1, imm, k)| {
-        let ops = [
-            Opcode::Addi,
-            Opcode::Subi,
-            Opcode::Andi,
-            Opcode::Ori,
-            Opcode::Xori,
-            Opcode::Slti,
-            Opcode::Snei,
-        ];
-        let imm = if ops[k].imm_is_signed() { imm } else { imm.abs() };
-        Instr {
-            op: ops[k],
-            rd,
-            rs1,
-            rs2: Reg(0),
-            imm,
+        4..=7 => {
+            let ops = [
+                Opcode::Addi,
+                Opcode::Subi,
+                Opcode::Andi,
+                Opcode::Ori,
+                Opcode::Xori,
+                Opcode::Slti,
+                Opcode::Snei,
+            ];
+            let op = ops[rng.gen_index(ops.len())];
+            let imm = rng.gen_range_i64(-200..200) as i32;
+            let imm = if op.imm_is_signed() { imm } else { imm.abs() };
+            Instr {
+                op,
+                rd: reg(rng),
+                rs1: reg(rng),
+                rs2: Reg(0),
+                imm,
+            }
         }
-    });
-    let lhi = (reg(), 0i32..0x1_0000).prop_map(|(rd, imm)| Instr::lhi(rd, imm));
-    let mem = (reg(), 0u32..16, prop::bool::ANY).prop_map(|(r, slot, load)| {
-        let addr = 0x200 + 4 * slot as i32;
-        if load {
-            Instr::lw(r, Reg(0), addr)
-        } else {
-            Instr::sw(Reg(0), addr, r)
+        8 => Instr::lhi(reg(rng), rng.gen_range(0..0x1_0000) as i32),
+        9..=10 => {
+            let addr = 0x200 + 4 * rng.gen_range(0..16) as i32;
+            if rng.gen_bool(0.5) {
+                Instr::lw(reg(rng), Reg(0), addr)
+            } else {
+                Instr::sw(Reg(0), addr, reg(rng))
+            }
         }
-    });
-    let max_skip = remaining.saturating_sub(1).min(3) as i32;
-    let branch = (reg(), 1i32..=1.max(max_skip), prop::bool::ANY).prop_map(|(r, skip, eq)| {
-        if eq {
-            Instr::beqz(r, 4 * skip)
-        } else {
-            Instr::bnez(r, 4 * skip)
+        _ => {
+            let max_skip = remaining.saturating_sub(1).clamp(1, 3) as i64;
+            let skip = rng.gen_range_i64(1..max_skip + 1) as i32;
+            if rng.gen_bool(0.5) {
+                Instr::beqz(reg(rng), 4 * skip)
+            } else {
+                Instr::bnez(reg(rng), 4 * skip)
+            }
         }
-    });
-    prop_oneof![
-        4 => rtype,
-        4 => itype,
-        1 => lhi,
-        2 => mem,
-        1 => branch,
-    ]
+    }
 }
 
-fn arb_program(len: usize) -> impl Strategy<Value = Program> {
-    let slots: Vec<_> = (0..len).map(|i| arb_instr(len - i)).collect();
-    slots.prop_map(|instrs| Program { base: 0, instrs })
+fn arb_program(rng: &mut SplitMix64, len: usize) -> Program {
+    Program {
+        base: 0,
+        instrs: (0..len).map(|i| arb_instr(rng, len - i)).collect(),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
-
-    /// The pipelined implementation is architecturally equivalent to the
-    /// ISA reference on arbitrary hazard-dense programs.
-    #[test]
-    fn pipeline_equals_isa_reference(program in arb_program(16)) {
-        let dlx = dlx();
+/// The pipelined implementation is architecturally equivalent to the
+/// ISA reference on arbitrary hazard-dense programs.
+#[test]
+fn pipeline_equals_isa_reference() {
+    let dlx = dlx();
+    let mut rng = SplitMix64::new(0x1f7e_0001);
+    for _case in 0..48 {
+        let program = arb_program(&mut rng, 16);
         let mut spec = ArchSim::new();
         spec.load_program(0, &program.encode());
         spec.run(64);
         let result = runner::run_program(dlx, &program, 128);
         for r in 0..16u8 {
-            prop_assert_eq!(
+            assert_eq!(
                 result.reg(Reg(r)),
                 u64::from(spec.reg(Reg(r))),
-                "r{} mismatch in\n{}", r, program.listing()
+                "r{} mismatch in\n{}",
+                r,
+                program.listing()
             );
         }
         for &(word_addr, value) in &result.dmem {
-            prop_assert_eq!(
+            assert_eq!(
                 value,
                 u64::from(spec.mem_word(word_addr as u32 * 4)),
-                "mem[{:#x}] mismatch in\n{}", word_addr * 4, program.listing()
+                "mem[{:#x}] mismatch in\n{}",
+                word_addr * 4,
+                program.listing()
             );
         }
     }
+}
 
-    /// Binary encode/decode is the identity on architected instructions.
-    #[test]
-    fn instruction_encoding_roundtrips(instr in arb_instr(8)) {
+/// Binary encode/decode is the identity on architected instructions.
+#[test]
+fn instruction_encoding_roundtrips() {
+    let mut rng = SplitMix64::new(0x1f7e_0002);
+    for _case in 0..48 {
+        let instr = arb_instr(&mut rng, 8);
         let decoded = Instr::decode(instr.encode()).expect("architected instruction decodes");
-        prop_assert_eq!(decoded, instr);
-    }
-
-    /// The machine is deterministic: two runs of the same program from
-    /// reset produce identical architectural state.
-    #[test]
-    fn machine_is_deterministic(program in arb_program(10)) {
-        let dlx = dlx();
-        let a = runner::run_program(dlx, &program, 64);
-        let b = runner::run_program(dlx, &program, 64);
-        prop_assert_eq!(a.regs, b.regs);
-        prop_assert_eq!(a.dmem, b.dmem);
-        prop_assert_eq!(a.pc_trace, b.pc_trace);
+        assert_eq!(decoded, instr);
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+/// The machine is deterministic: two runs of the same program from
+/// reset produce identical architectural state.
+#[test]
+fn machine_is_deterministic() {
+    let dlx = dlx();
+    let mut rng = SplitMix64::new(0x1f7e_0003);
+    for _case in 0..48 {
+        let program = arb_program(&mut rng, 10);
+        let a = runner::run_program(dlx, &program, 64);
+        let b = runner::run_program(dlx, &program, 64);
+        assert_eq!(a.regs, b.regs);
+        assert_eq!(a.dmem, b.dmem);
+        assert_eq!(a.pc_trace, b.pc_trace);
+    }
+}
 
-    /// An injected stuck line never causes a discrepancy when its bus never
-    /// carries the opposite value (soundness of the injection model): on an
-    /// all-NOP stream, buses hold their reset values, so a stuck line that
-    /// matches the reset value is silent.
-    #[test]
-    fn silent_injection_on_idle_machine(bit in 0u32..32) {
-        let dlx = dlx();
+/// An injected stuck line never causes a discrepancy when its bus never
+/// carries the opposite value (soundness of the injection model): on an
+/// all-NOP stream, buses hold their reset values, so a stuck line that
+/// matches the reset value is silent.
+#[test]
+fn silent_injection_on_idle_machine() {
+    let dlx = dlx();
+    for bit in 0u32..32 {
         // On an idle machine every 32-bit datapath bus except the PC chain
         // stays at reset; a stuck-at-0 on the ALU output is only visible if
         // the ALU computes something non-zero.
@@ -160,6 +172,9 @@ proptest! {
             polarity: hltg::sim::Polarity::StuckAt0,
         };
         let mut dual = hltg::sim::DualSim::new(&dlx.design, inj).expect("levelizes");
-        prop_assert!(dual.run(32).is_none(), "idle machine must not expose sa0 on a zero bus");
+        assert!(
+            dual.run(32).is_none(),
+            "idle machine must not expose sa0 on a zero bus"
+        );
     }
 }

@@ -41,7 +41,7 @@ fn starved_budgets_abort_cleanly() {
         match tg.generate(e) {
             Outcome::Detected(tc) => {
                 // A detection under starvation must still be real.
-                assert!(tc.detected_cycle < tc.program.len() as usize + 32);
+                assert!(tc.detected_cycle < tc.program.len() + 32);
             }
             Outcome::Aborted { .. } => aborted += 1,
         }
