@@ -2,7 +2,7 @@
 //! small batch of the EX/MEM/WB population. Plain std harness; run with
 //! `cargo bench --bench campaign`.
 
-use hltg_bench::harness::bench;
+use hltg_bench::harness::{bench, write_json_report};
 use hltg_core::tg::{TestGenerator, TgConfig};
 use hltg_dlx::DlxDesign;
 use hltg_errors::{enumerate_stage_errors, EnumPolicy};
@@ -14,15 +14,17 @@ fn main() {
     let stages = [Stage::new(2), Stage::new(3), Stage::new(4)];
     let errors = enumerate_stage_errors(&dlx.design, &stages, EnumPolicy::RepresentativePerBus);
 
+    let mut results = Vec::new();
     // A typical quickly-detected error (the EX/MEM ALU bus).
-    bench("generate_single_error", || {
+    results.push(bench("generate_single_error", || {
         let mut tg = TestGenerator::new(&dlx, TgConfig::default());
         black_box(tg.generate(&errors[0]))
-    });
-    bench("generate_batch_of_8", || {
+    }));
+    results.push(bench("generate_batch_of_8", || {
         let mut tg = TestGenerator::new(&dlx, TgConfig::default());
         for e in errors.iter().take(8) {
             black_box(tg.generate(e));
         }
-    });
+    }));
+    write_json_report("campaign", &results);
 }

@@ -2,7 +2,7 @@
 //! value-selection problem (the §V.B engine in isolation). Plain std
 //! harness; run with `cargo bench --bench dprelax`.
 
-use hltg_bench::harness::bench;
+use hltg_bench::harness::{bench, write_json_report};
 use hltg_core::dprelax::{Activation, MemImage, RelaxEngine, RelaxGoal};
 use hltg_core::SplitMix64;
 use hltg_netlist::ctl::CtlBuilder;
@@ -37,7 +37,7 @@ fn main() {
         bit: 7,
         polarity: Polarity::StuckAt0,
     };
-    bench("dprelax_masked_adder", || {
+    let results = vec![bench("dprelax_masked_adder", || {
         let mut engine = RelaxEngine::new(&design, inj, vec![(mem, MemImage::free())]);
         let goal = RelaxGoal {
             activation: Activation {
@@ -51,5 +51,6 @@ fn main() {
         };
         let mut rng = SplitMix64::seed_from_u64(7);
         black_box(engine.solve(&goal, &mut rng, 64).unwrap())
-    });
+    })];
+    write_json_report("dprelax", &results);
 }

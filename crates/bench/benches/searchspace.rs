@@ -2,7 +2,7 @@
 //! conventional timeframe-organized justification on the same controller
 //! objectives. Plain std harness; run with `cargo bench --bench searchspace`.
 
-use hltg_bench::harness::bench;
+use hltg_bench::harness::{bench, write_json_report};
 use hltg_core::ctrljust::{self, CtrlJustConfig, Objective};
 use hltg_core::timeframe::justify_timeframe;
 use hltg_core::unroll::Unrolled;
@@ -17,11 +17,13 @@ fn main() {
         value: true,
     }];
 
-    bench("pipeframe_ctrljust_store", || {
+    let mut results = Vec::new();
+    results.push(bench("pipeframe_ctrljust_store", || {
         let mut u = Unrolled::new(&dlx.design.ctl, 8);
         black_box(ctrljust::justify(&mut u, &objs, &[], CtrlJustConfig::default()).unwrap())
-    });
-    bench("timeframe_baseline_store", || {
+    }));
+    results.push(bench("timeframe_baseline_store", || {
         black_box(justify_timeframe(&dlx.design.ctl, &objs, 5000))
-    });
+    }));
+    write_json_report("searchspace", &results);
 }

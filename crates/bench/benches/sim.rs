@@ -2,7 +2,7 @@
 //! machine and of the dual good/bad pair that confirms detections.
 //! Plain std harness; run with `cargo bench --bench sim`.
 
-use hltg_bench::harness::bench_throughput;
+use hltg_bench::harness::{bench_throughput, write_json_report};
 use hltg_dlx::DlxDesign;
 use hltg_isa::asm::assemble;
 use hltg_sim::{DualSim, Injection, Machine, Polarity};
@@ -23,7 +23,8 @@ fn main() {
     .unwrap();
     let words = program.encode();
 
-    bench_throughput("dlx_machine_256_cycles", 256, || {
+    let mut results = Vec::new();
+    results.push(bench_throughput("dlx_machine_256_cycles", 256, || {
         let mut m = Machine::new(&dlx.design).unwrap();
         for (i, &w) in words.iter().enumerate() {
             m.preload_mem(dlx.dp.imem, i as u64, u64::from(w));
@@ -31,14 +32,14 @@ fn main() {
         for _ in 0..256 {
             black_box(m.step());
         }
-    });
+    }));
 
     let inj = Injection {
         net: dlx.dp.alu_out,
         bit: 3,
         polarity: Polarity::StuckAt1,
     };
-    bench_throughput("dual_sim_256_cycles", 256, || {
+    results.push(bench_throughput("dual_sim_256_cycles", 256, || {
         let mut dual = DualSim::new(&dlx.design, inj).unwrap();
         dual.with_both(|m| {
             for (i, &w) in words.iter().enumerate() {
@@ -46,5 +47,6 @@ fn main() {
             }
         });
         black_box(dual.run(256))
-    });
+    }));
+    write_json_report("sim", &results);
 }

@@ -4,33 +4,56 @@
 //! grades it against the other models of that family — bus order errors and
 //! module substitution errors — by dual simulation.
 //!
-//! Usage: `cargo run --release -p hltg-bench --bin ext_error_models [--json]`
+//! Usage: `cargo run --release -p hltg-bench --bin ext_error_models
+//!         [--json] [--trace-out PATH] [--progress]`
 //!
 //! `--json` emits a machine-readable object: the generating campaign's
 //! [`hltg_core::CampaignReport`] (stats plus per-phase instrumentation
 //! counters) under `"campaign"`, and the cross-coverage figures under
-//! `"cross_coverage"`.
+//! `"cross_coverage"`. `--trace-out PATH` writes the generating campaign's
+//! structured JSONL trace (per-error spans, per-phase histograms) to
+//! `PATH`; `--progress` prints a periodic stderr progress line.
 
 use hltg_core::tg::Outcome;
-use hltg_core::{Campaign, CampaignConfig};
+use hltg_core::{Campaign, CampaignConfig, ObserveOptions};
 use hltg_dlx::DlxDesign;
 use hltg_errors::{enumerate_bus_order_errors, enumerate_module_substitutions};
 use hltg_netlist::Stage;
 use hltg_sim::{ErrorModel, Machine, Schedule};
 
 fn main() {
-    let json = std::env::args().any(|a| a == "--json");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let progress = args.iter().any(|a| a == "--progress");
+    let trace_pos = args.iter().position(|a| a == "--trace-out");
+    let trace_out: Option<String> = trace_pos.and_then(|i| args.get(i + 1)).cloned();
+    if trace_pos.is_some() && trace_out.is_none() {
+        eprintln!("--trace-out requires a path argument");
+        std::process::exit(2);
+    }
     let dlx = DlxDesign::build();
     let stages = [Stage::new(2), Stage::new(3), Stage::new(4)];
 
     eprintln!("generating the compacted bus-SSL test set...");
-    let (campaign, report) = Campaign::run_with_report(
+    let run = Campaign::run_observed(
         &dlx,
         &CampaignConfig {
             error_simulation: true,
             ..CampaignConfig::default()
         },
+        &ObserveOptions {
+            trace: trace_out.is_some(),
+            progress,
+        },
     );
+    let (campaign, report) = (run.campaign, run.report);
+    if let (Some(path), Some(trace)) = (&trace_out, &run.trace) {
+        if let Err(e) = std::fs::write(path, trace.to_jsonl()) {
+            eprintln!("failed to write trace to {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {} spans to {path}", trace.spans.len());
+    }
     // Distinct generated tests only.
     let tests: Vec<_> = campaign
         .records

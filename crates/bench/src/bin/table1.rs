@@ -2,31 +2,46 @@
 //! execute, memory and write-back stages of the DLX datapath.
 //!
 //! Usage: `cargo run --release -p hltg-bench --bin table1 [limit]
-//!         [--error-sim] [--threads N] [--json]`
+//!         [--error-sim] [--threads N] [--json] [--trace-out PATH]
+//!         [--progress]`
 //!
 //! `--threads N` shards the campaign over N worker threads (default: all
 //! available cores; results are identical for any N). `--json` emits the
 //! machine-readable [`hltg_core::CampaignReport`] — stats plus the
 //! per-phase DPTRACE/CTRLJUST/DPRELAX instrumentation counters — instead
-//! of the human-readable table.
+//! of the human-readable table. `--trace-out PATH` writes the structured
+//! JSONL trace (per-error spans, per-phase histograms; see DESIGN.md
+//! §Observability) to `PATH`, and `--progress` prints a periodic stderr
+//! progress line with per-phase p50/p99 latency and an ETA.
 
-use hltg_core::{Campaign, CampaignConfig};
+use hltg_core::{Campaign, CampaignConfig, ObserveOptions};
 use hltg_dlx::DlxDesign;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let error_simulation = args.iter().any(|a| a == "--error-sim");
     let json = args.iter().any(|a| a == "--json");
+    let progress = args.iter().any(|a| a == "--progress");
     let threads_pos = args.iter().position(|a| a == "--threads");
     let num_threads: Option<usize> = threads_pos
         .and_then(|i| args.get(i + 1))
         .and_then(|s| s.parse().ok());
-    // The limit is the first positional argument: not a flag, and not the
-    // value consumed by `--threads`.
+    let trace_pos = args.iter().position(|a| a == "--trace-out");
+    let trace_out: Option<String> = trace_pos.and_then(|i| args.get(i + 1)).cloned();
+    if trace_pos.is_some() && trace_out.is_none() {
+        eprintln!("--trace-out requires a path argument");
+        std::process::exit(2);
+    }
+    // The limit is the first positional argument: not a flag, and not a
+    // value consumed by `--threads` / `--trace-out`.
     let limit: Option<usize> = args
         .iter()
         .enumerate()
-        .filter(|(i, a)| !a.starts_with("--") && Some(i.wrapping_sub(1)) != threads_pos)
+        .filter(|(i, a)| {
+            !a.starts_with("--")
+                && Some(i.wrapping_sub(1)) != threads_pos
+                && Some(i.wrapping_sub(1)) != trace_pos
+        })
         .find_map(|(_, s)| s.parse().ok());
 
     let dlx = DlxDesign::build();
@@ -44,7 +59,22 @@ fn main() {
         config.num_threads.max(1),
         if config.num_threads.max(1) == 1 { "" } else { "s" }
     );
-    let (campaign, report) = Campaign::run_with_report(&dlx, &config);
+    let opts = ObserveOptions {
+        trace: trace_out.is_some(),
+        progress,
+    };
+    let run = Campaign::run_observed(&dlx, &config, &opts);
+    let (campaign, report) = (run.campaign, run.report);
+    if let (Some(path), Some(trace)) = (&trace_out, &run.trace) {
+        if let Err(e) = std::fs::write(path, trace.to_jsonl()) {
+            eprintln!("failed to write trace to {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "wrote {} spans to {path}",
+            trace.spans.len()
+        );
+    }
 
     if json {
         println!("{}", report.to_json());

@@ -3,9 +3,14 @@
 //! Replaces the former Criterion dependency so the workspace builds with
 //! `cargo build --offline` on a cold registry. Each bench target is a plain
 //! `harness = false` binary that calls [`bench`] per named case; output is
-//! one line per bench with min / median / mean wall-clock time.
+//! one line per bench with min / median / mean wall-clock time. A bench
+//! set finishes with [`write_json_report`], which drops a machine-readable
+//! `BENCH_<set>.json` at the repo root so the perf trajectory is tracked
+//! across PRs.
 
+use hltg_core::instrument::json_escape;
 use std::hint::black_box;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 /// Re-export so bench targets only need `use hltg_bench::harness::*;`.
@@ -39,6 +44,12 @@ impl Measurement {
     pub fn median(&self) -> Duration {
         let s = self.sorted();
         s[s.len() / 2]
+    }
+
+    /// Slowest sample.
+    #[must_use]
+    pub fn max(&self) -> Duration {
+        *self.sorted().last().expect("at least one sample")
     }
 
     /// Arithmetic mean of all samples.
@@ -94,4 +105,39 @@ pub fn bench_throughput<T>(name: &str, elements: u64, f: impl FnMut() -> T) -> M
     let per = m.median().as_nanos() as f64 / elements.max(1) as f64;
     println!("{:<32} {per:.1} ns/element ({elements} elements)", "");
     m
+}
+
+/// Writes `BENCH_<set_name>.json` at the repository root: one object per
+/// measurement with `median_ns` / `min_ns` / `max_ns` / `mean_ns`, so the
+/// perf trajectory is machine-readable across PRs. Failures are reported
+/// on stderr but do not abort the bench run.
+pub fn write_json_report(set_name: &str, measurements: &[Measurement]) {
+    let mut out = String::from("{");
+    out.push_str(&format!(
+        "\"bench_set\": \"{}\", \"samples\": {SAMPLES}, \"benches\": [",
+        json_escape(set_name)
+    ));
+    for (i, m) in measurements.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!(
+            "{{\"name\": \"{}\", \"median_ns\": {}, \"min_ns\": {}, \
+             \"max_ns\": {}, \"mean_ns\": {}}}",
+            json_escape(&m.name),
+            m.median().as_nanos(),
+            m.min().as_nanos(),
+            m.max().as_nanos(),
+            m.mean().as_nanos()
+        ));
+    }
+    out.push_str("]}\n");
+    // crates/bench -> workspace root.
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(format!("BENCH_{set_name}.json"));
+    match std::fs::write(&path, &out) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
 }

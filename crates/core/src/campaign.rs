@@ -1,16 +1,17 @@
 //! Campaign runner: test generation over a whole error population, with
 //! the statistics of the paper's Table 1.
 
-use crate::instrument::{json_f64, CounterSnapshot, Counters, Probe, NO_PROBE};
+use crate::instrument::{json_f64, CounterSnapshot, Counters, MultiProbe, Probe, NO_PROBE};
 use crate::tg::{AbortReason, Outcome, TestCase, TestGenerator, TgConfig};
+use crate::trace::{TraceSnapshot, Tracer};
 use hltg_dlx::DlxDesign;
 use hltg_errors::{enumerate_stage_errors, is_structurally_redundant, BusSslError, EnumPolicy};
 use hltg_netlist::Stage;
 use hltg_sim::{Machine, Schedule};
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, RwLock};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Campaign configuration.
 #[derive(Debug, Clone)]
@@ -102,6 +103,7 @@ pub struct CampaignStats {
 
 impl CampaignStats {
     /// Detection rate in percent.
+    #[must_use]
     pub fn coverage_pct(&self) -> f64 {
         if self.errors == 0 {
             0.0
@@ -112,6 +114,7 @@ impl CampaignStats {
 
     /// Coverage over the *testable* population (excluding provably
     /// redundant errors), the fairer comparison point.
+    #[must_use]
     pub fn testable_coverage_pct(&self) -> f64 {
         let testable = self.errors - self.aborted_redundant;
         if testable == 0 {
@@ -165,6 +168,29 @@ pub struct Campaign {
     pub records: Vec<ErrorRecord>,
 }
 
+/// What [`Campaign::run_observed`] records beyond the counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ObserveOptions {
+    /// Record per-error spans and phase histograms into a
+    /// [`TraceSnapshot`].
+    pub trace: bool,
+    /// Print a periodic progress line (errors done/total, detect rate,
+    /// per-phase p50/p99, ETA) to stderr while the campaign runs.
+    pub progress: bool,
+}
+
+/// The result of [`Campaign::run_observed`].
+#[derive(Debug)]
+pub struct CampaignRun {
+    /// The finished campaign.
+    pub campaign: Campaign,
+    /// The machine-readable report (stats + counters).
+    pub report: CampaignReport,
+    /// The merged deterministic trace, when [`ObserveOptions::trace`] was
+    /// set.
+    pub trace: Option<TraceSnapshot>,
+}
+
 /// Phase-1 result for one error, produced by a worker thread.
 struct WorkItem {
     redundant: bool,
@@ -183,16 +209,72 @@ impl Campaign {
     /// Runs the campaign and returns it together with a machine-readable
     /// [`CampaignReport`] carrying the engine instrumentation counters.
     pub fn run_with_report(dlx: &DlxDesign, config: &CampaignConfig) -> (Campaign, CampaignReport) {
+        let run = Self::run_observed(dlx, config, &ObserveOptions::default());
+        (run.campaign, run.report)
+    }
+
+    /// Runs the campaign with full observability: counters always, plus —
+    /// per `opts` — a merged deterministic [`TraceSnapshot`] and/or a
+    /// periodic progress line on stderr. `Counters` and `Tracer` are
+    /// composed with a [`MultiProbe`], so the report is identical to a
+    /// [`Campaign::run_with_report`] run.
+    pub fn run_observed(
+        dlx: &DlxDesign,
+        config: &CampaignConfig,
+        opts: &ObserveOptions,
+    ) -> CampaignRun {
         let counters = Counters::new();
         let t0 = Instant::now();
-        let campaign = Self::run_probed(dlx, config, &counters);
+        let (campaign, trace) = if opts.trace || opts.progress {
+            let tracer = Tracer::new();
+            let probe = MultiProbe::new(vec![&counters, &tracer]);
+            let campaign = if opts.progress {
+                let stop = AtomicBool::new(false);
+                std::thread::scope(|s| {
+                    let (stop, tracer) = (&stop, &tracer);
+                    s.spawn(move || {
+                        let mut ticks = 0u32;
+                        while !stop.load(Ordering::Relaxed) {
+                            std::thread::sleep(Duration::from_millis(100));
+                            ticks += 1;
+                            if ticks.is_multiple_of(5) && !stop.load(Ordering::Relaxed) {
+                                eprintln!("{}", tracer.progress_line());
+                            }
+                        }
+                    });
+                    let campaign = Self::run_probed(dlx, config, &probe);
+                    stop.store(true, Ordering::Relaxed);
+                    campaign
+                })
+            } else {
+                Self::run_probed(dlx, config, &probe)
+            };
+            if opts.progress {
+                eprintln!("{}", tracer.progress_line());
+            }
+            // Mirror the deterministic record merge: keep exactly the spans
+            // of errors that sequential semantics generated, in order.
+            let kept = campaign
+                .records
+                .iter()
+                .filter(|r| !r.by_simulation)
+                .map(|r| u64::from(r.error.id.0));
+            let snapshot = tracer.finish(kept);
+            (campaign, opts.trace.then_some(snapshot))
+        } else {
+            (Self::run_probed(dlx, config, &counters), None)
+        };
         let report = CampaignReport {
             stats: campaign.stats(),
             counters: counters.snapshot(),
             wall_seconds: t0.elapsed().as_secs_f64(),
             num_threads: config.num_threads.max(1),
         };
-        (campaign, report)
+        CampaignRun {
+            campaign,
+            report,
+            trace,
+        }
     }
 
     /// Runs the campaign, reporting engine events to `probe`.
@@ -208,6 +290,7 @@ impl Campaign {
         let errors = enumerate_stage_errors(&dlx.design, &config.stages, config.policy);
         let take = config.limit.unwrap_or(errors.len());
         let errors: Vec<BusSslError> = errors.into_iter().take(take).collect();
+        probe.campaign_begin(errors.len());
         let schedule = Schedule::build(&dlx.design).expect("dlx levelizes");
         let threads = config.num_threads.max(1).min(errors.len().max(1));
         if threads <= 1 {
@@ -244,6 +327,7 @@ impl Campaign {
                         }
                         let t1 = Instant::now();
                         if simulate_test(dlx, schedule, tc, other) {
+                            probe.error_screened(u64::from(other.id.0), true);
                             records[j] = Some(ErrorRecord {
                                 error: other.clone(),
                                 outcome: outcome.clone(),
@@ -309,6 +393,7 @@ impl Campaign {
                                 })
                             };
                             if screened {
+                                probe.error_screened(u64::from(error.id.0), true);
                                 let item = WorkItem {
                                     redundant,
                                     seconds: t0.elapsed().as_secs_f64(),
@@ -530,6 +615,7 @@ pub struct CampaignReport {
 impl CampaignReport {
     /// Renders the report as a single JSON object (hand-rolled; the
     /// workspace deliberately has no external dependencies).
+    #[must_use]
     pub fn to_json(&self) -> String {
         use std::fmt::Write;
         let s = &self.stats;

@@ -14,11 +14,13 @@
 //! hand them to `DPRELAX` for justification by the datapath — the paper's
 //! Figure 4 interaction.
 
+use crate::instrument::{Counter, Phase, Probe, NO_PROBE};
 use crate::unroll::Unrolled;
 use hltg_netlist::ctl::{CtlInputKind, CtlNetId, CtlOp};
 use hltg_sim::V3;
 use std::error::Error;
 use std::fmt;
+use std::time::Instant;
 
 /// A required value on a controller net at a frame.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -124,14 +126,69 @@ pub fn justify(
     monitors: &[Objective],
     cfg: CtrlJustConfig,
 ) -> Result<Justification, JustifyError> {
+    justify_probed(u, objectives, monitors, cfg, &NO_PROBE, 0)
+}
+
+/// [`justify`] with instrumentation: counts the call, times the phase, and
+/// — when `probe.wants_events()` — emits per-decision and per-backtrack
+/// events tagged with `error_id`. The implication-pass count is reported
+/// as the phase's deterministic cost even on failure.
+///
+/// # Errors
+///
+/// Same as [`justify`].
+pub fn justify_probed(
+    u: &mut Unrolled<'_>,
+    objectives: &[Objective],
+    monitors: &[Objective],
+    cfg: CtrlJustConfig,
+    probe: &dyn Probe,
+    error_id: u64,
+) -> Result<Justification, JustifyError> {
+    probe.add(Counter::CtrljustCalls, 1);
+    probe.phase_enter(error_id, Phase::Ctrljust);
+    let started = Instant::now();
+    let mut stats = SearchStats::default();
+    let result = search(u, objectives, monitors, cfg, probe, error_id, &mut stats);
+    let elapsed = started.elapsed();
+    probe.phase_time(Phase::Ctrljust, elapsed);
+    probe.phase_exit(error_id, Phase::Ctrljust, stats.implications as u64, elapsed);
+    if result.is_ok() {
+        probe.add(Counter::CtrljustDecisions, stats.decisions as u64);
+        probe.add(Counter::CtrljustBacktracks, stats.backtracks as u64);
+        probe.add(Counter::CtrljustImplications, stats.implications as u64);
+    }
+    result.map(|assignments| Justification {
+        assignments,
+        backtracks: stats.backtracks,
+        decisions: stats.decisions,
+        implications: stats.implications,
+    })
+}
+
+#[derive(Debug, Default)]
+struct SearchStats {
+    backtracks: usize,
+    decisions: usize,
+    implications: usize,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn search(
+    u: &mut Unrolled<'_>,
+    objectives: &[Objective],
+    monitors: &[Objective],
+    cfg: CtrlJustConfig,
+    probe: &dyn Probe,
+    error_id: u64,
+    stats: &mut SearchStats,
+) -> Result<Vec<(usize, CtlNetId, bool)>, JustifyError> {
+    let events = probe.wants_events();
     let mut stack: Vec<Decision> = Vec::new();
-    let mut backtracks = 0usize;
-    let mut decisions = 0usize;
-    let mut implications = 0usize;
 
     loop {
         u.propagate();
-        implications += 1;
+        stats.implications += 1;
         // Check objectives: conflict if any is known-wrong.
         let mut pending = None;
         let mut conflict = false;
@@ -162,9 +219,12 @@ pub fn justify(
 
         if conflict {
             match unwind(u, &mut stack) {
-                Some(()) => {
-                    backtracks += 1;
-                    if backtracks > cfg.max_backtracks {
+                Some(frame) => {
+                    stats.backtracks += 1;
+                    if events {
+                        probe.backtrack(error_id, frame, stack.len());
+                    }
+                    if stats.backtracks > cfg.max_backtracks {
                         undo_all(u, &mut stack);
                         return Err(JustifyError::BacktrackLimit);
                     }
@@ -176,23 +236,17 @@ pub fn justify(
 
         let Some(obj) = pending else {
             // All objectives satisfied.
-            let assignments = stack
-                .iter()
-                .map(|d| (d.frame, d.net, d.value))
-                .collect();
-            return Ok(Justification {
-                assignments,
-                backtracks,
-                decisions,
-                implications,
-            });
+            return Ok(stack.iter().map(|d| (d.frame, d.net, d.value)).collect());
         };
 
         // Backtrace the pending objective to a free input.
         match backtrace(u, obj.frame, obj.net, obj.value) {
             Some((frame, net, value)) => {
                 u.assign(frame, net, value);
-                decisions += 1;
+                stats.decisions += 1;
+                if events {
+                    probe.decision(error_id, frame, value);
+                }
                 stack.push(Decision {
                     frame,
                     net,
@@ -204,9 +258,12 @@ pub fn justify(
                 // No path to an input: the objective is blocked under the
                 // current decisions.
                 match unwind(u, &mut stack) {
-                    Some(()) => {
-                        backtracks += 1;
-                        if backtracks > cfg.max_backtracks {
+                    Some(frame) => {
+                        stats.backtracks += 1;
+                        if events {
+                            probe.backtrack(error_id, frame, stack.len());
+                        }
+                        if stats.backtracks > cfg.max_backtracks {
                             undo_all(u, &mut stack);
                             return Err(JustifyError::BacktrackLimit);
                         }
@@ -225,9 +282,10 @@ fn undo_all(u: &mut Unrolled<'_>, stack: &mut Vec<Decision>) {
     u.propagate();
 }
 
-/// Pops flipped decisions, then flips the newest unflipped one. Returns
-/// `None` when the stack is exhausted.
-fn unwind(u: &mut Unrolled<'_>, stack: &mut Vec<Decision>) -> Option<()> {
+/// Pops flipped decisions, then flips the newest unflipped one, returning
+/// the frame of the flipped decision. Returns `None` when the stack is
+/// exhausted.
+fn unwind(u: &mut Unrolled<'_>, stack: &mut Vec<Decision>) -> Option<usize> {
     while let Some(d) = stack.last_mut() {
         if d.flipped {
             u.unassign(d.frame, d.net);
@@ -237,7 +295,7 @@ fn unwind(u: &mut Unrolled<'_>, stack: &mut Vec<Decision>) -> Option<()> {
             d.flipped = true;
             let (f, n, v) = (d.frame, d.net, d.value);
             u.assign(f, n, v);
-            return Some(());
+            return Some(f);
         }
     }
     None

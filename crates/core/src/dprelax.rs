@@ -24,13 +24,15 @@
 //! re-runs a good/bad [`Machine`] pair over the window, so a convergent
 //! solution is by construction a *simulation-confirmed* test.
 
+use crate::instrument::{Counter, Phase, Probe, NO_PROBE};
+use crate::rng::SplitMix64;
 use hltg_netlist::dp::{ArchId, DpModId, DpNetId, DpNetKind, DpOp};
 use hltg_netlist::{word, Design};
 use hltg_sim::{Injection, Machine, Schedule};
-use crate::rng::SplitMix64;
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
+use std::time::Instant;
 
 /// What the relaxation must achieve.
 #[derive(Debug, Clone)]
@@ -285,10 +287,57 @@ impl<'d> RelaxEngine<'d> {
         rng: &mut SplitMix64,
         max_iters: usize,
     ) -> Result<RelaxSolution, RelaxExhausted> {
+        self.solve_probed(goal, rng, max_iters, &NO_PROBE, 0)
+    }
+
+    /// [`RelaxEngine::solve`] with instrumentation: counts the call, times
+    /// the phase, and — when `probe.wants_events()` — emits one
+    /// `relax_step` event per iteration (flagging whether the error is
+    /// activated) plus a `relax_perturb` event per random restart, all
+    /// tagged with `error_id`. The iteration count is reported as the
+    /// phase's deterministic cost.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`RelaxEngine::solve`].
+    pub fn solve_probed(
+        &mut self,
+        goal: &RelaxGoal,
+        rng: &mut SplitMix64,
+        max_iters: usize,
+        probe: &dyn Probe,
+        error_id: u64,
+    ) -> Result<RelaxSolution, RelaxExhausted> {
+        probe.add(Counter::DprelaxCalls, 1);
+        probe.phase_enter(error_id, Phase::Dprelax);
+        let started = Instant::now();
+        let result = self.relax_loop(goal, rng, max_iters, probe, error_id);
+        let elapsed = started.elapsed();
+        probe.phase_time(Phase::Dprelax, elapsed);
+        let (iterations, perturbations) = match &result {
+            Ok(s) => (s.iterations, s.perturbations),
+            Err(e) => (e.iterations, e.perturbations),
+        };
+        probe.phase_exit(error_id, Phase::Dprelax, iterations as u64, elapsed);
+        probe.add(Counter::DprelaxIterations, iterations as u64);
+        probe.add(Counter::DprelaxPerturbations, perturbations as u64);
+        result
+    }
+
+    fn relax_loop(
+        &mut self,
+        goal: &RelaxGoal,
+        rng: &mut SplitMix64,
+        max_iters: usize,
+        probe: &dyn Probe,
+        error_id: u64,
+    ) -> Result<RelaxSolution, RelaxExhausted> {
+        let events = probe.wants_events();
         let mut ever_activated = false;
         let mut prev_unmet: Option<(DpNetId, usize, u64)> = None;
         self.perturbations = 0;
         for iter in 0..max_iters {
+            let perturbs_before = self.perturbations;
             self.run(goal.horizon);
             // STS-justifying value requirements come first: they establish
             // the control flow the rest of the plan assumes.
@@ -306,6 +355,12 @@ impl<'d> RelaxEngine<'d> {
                     || !self.solve_value(net, cycle as i64, v, 0)
                 {
                     self.perturb(rng);
+                }
+                if events {
+                    probe.relax_step(error_id, iter, false);
+                    for _ in perturbs_before..self.perturbations {
+                        probe.relax_perturb(error_id, iter);
+                    }
                 }
                 continue;
             }
@@ -332,6 +387,12 @@ impl<'d> RelaxEngine<'d> {
                 // module on the difference frontier, else perturb.
                 if !self.heuristics || !self.fix_masking(act, rng) {
                     self.perturb(rng);
+                }
+            }
+            if events {
+                probe.relax_step(error_id, iter, ever_activated);
+                for _ in perturbs_before..self.perturbations {
+                    probe.relax_perturb(error_id, iter);
                 }
             }
         }

@@ -24,11 +24,13 @@
 //! simulation confirmation) can request a different set of paths — the
 //! re-selection loop of the paper's Figure 3/4.
 
+use crate::instrument::{Counter, Phase, Probe, NO_PROBE};
 use crate::testability::Testability;
 use hltg_netlist::dp::{DpModId, DpModule, DpNetId, DpNetKind, DpNetlist, DpOp, PortRef};
 use hltg_netlist::Design;
 use std::error::Error;
 use std::fmt;
+use std::time::Instant;
 
 /// A required value on a datapath CTRL net at a time relative to the error
 /// activation cycle (time 0 = the cycle the error bus carries the
@@ -511,6 +513,44 @@ pub fn select_paths(
     variant: usize,
     cfg: DptraceConfig,
 ) -> Result<PathPlan, DptraceError> {
+    select_paths_probed(design, net, variant, cfg, &NO_PROBE, 0)
+}
+
+/// [`select_paths`] with instrumentation: counts the call, times the
+/// phase, and reports the search-step count as the phase's deterministic
+/// cost (even on failure), tagged with `error_id`.
+///
+/// # Errors
+///
+/// Same as [`select_paths`].
+pub fn select_paths_probed(
+    design: &Design,
+    net: DpNetId,
+    variant: usize,
+    cfg: DptraceConfig,
+    probe: &dyn Probe,
+    error_id: u64,
+) -> Result<PathPlan, DptraceError> {
+    probe.add(Counter::DptraceCalls, 1);
+    probe.phase_enter(error_id, Phase::Dptrace);
+    let started = Instant::now();
+    let (result, steps) = select_inner(design, net, variant, cfg);
+    let elapsed = started.elapsed();
+    probe.phase_time(Phase::Dptrace, elapsed);
+    probe.phase_exit(error_id, Phase::Dptrace, steps, elapsed);
+    if let Ok(plan) = &result {
+        probe.add(Counter::DptraceSteps, plan.steps as u64);
+        probe.add(Counter::DptraceModulesOnPath, plan.modules_on_path as u64);
+    }
+    result
+}
+
+fn select_inner(
+    design: &Design,
+    net: DpNetId,
+    variant: usize,
+    cfg: DptraceConfig,
+) -> (Result<PathPlan, DptraceError>, u64) {
     let mut ctx = Ctx {
         design,
         cfg,
@@ -525,11 +565,11 @@ pub fn select_paths(
         steps: 0,
     };
     if !ctx.justify(net, 0, 0) {
-        return Err(DptraceError::NotControllable);
+        return (Err(DptraceError::NotControllable), ctx.steps as u64);
     }
-    let sink = ctx
-        .propagate(net, 0, 0)
-        .ok_or(DptraceError::NotObservable)?;
+    let Some(sink) = ctx.propagate(net, 0, 0) else {
+        return (Err(DptraceError::NotObservable), ctx.steps as u64);
+    };
     let min_time = ctx
         .objectives
         .iter()
@@ -547,24 +587,28 @@ pub fn select_paths(
         .max()
         .unwrap_or(0)
         .max(sink.time);
-    Ok(PathPlan {
-        ctrl_objectives: ctx
-            .objectives
-            .iter()
-            .map(|&(n, t, v)| CtrlObjective {
-                dp_net: n,
-                value: v,
-                time: t,
-            })
-            .collect(),
-        sel_requirements: ctx.sel_requirements,
-        sources: ctx.sources,
-        sink,
-        min_time,
-        max_time,
-        modules_on_path: ctx.modules,
-        steps: ctx.steps,
-    })
+    let steps = ctx.steps as u64;
+    (
+        Ok(PathPlan {
+            ctrl_objectives: ctx
+                .objectives
+                .iter()
+                .map(|&(n, t, v)| CtrlObjective {
+                    dp_net: n,
+                    value: v,
+                    time: t,
+                })
+                .collect(),
+            sel_requirements: ctx.sel_requirements,
+            sources: ctx.sources,
+            sink,
+            min_time,
+            max_time,
+            modules_on_path: ctx.modules,
+            steps: ctx.steps,
+        }),
+        steps,
+    )
 }
 
 #[cfg(test)]

@@ -6,13 +6,22 @@
 //! provides that as a zero-cost-by-default probe:
 //!
 //! * [`Probe`] — the hook trait. Every method has a no-op default body, so
-//!   a generator built over [`NO_PROBE`] compiles the hooks away.
+//!   a generator built over [`NO_PROBE`] compiles the hooks away. Besides
+//!   the flat counters it carries *structured* hooks: per-error spans
+//!   (`error_begin`/`error_end`), per-variant and per-phase boundaries,
+//!   and fine-grained engine events (decisions, backtracks, relaxation
+//!   steps) carrying the error id and pipeframe index. Hot-loop events are
+//!   gated on [`Probe::wants_events`] so the uninstrumented path stays a
+//!   cached-boolean branch.
 //! * [`Counters`] — an atomic implementation safe to share across the
 //!   campaign worker threads.
+//! * [`MultiProbe`] — fans every hook out to several probes, so counters
+//!   and the [`crate::trace::Tracer`] compose in one campaign run.
 //! * [`CounterSnapshot`] — a plain-value copy for reporting, with a
 //!   hand-rolled JSON emitter (the workspace is deliberately free of
 //!   external dependencies, `serde` included).
 
+use hltg_errors::BusSslError;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -41,7 +50,7 @@ impl Phase {
         }
     }
 
-    fn index(self) -> usize {
+    pub(crate) fn index(self) -> usize {
         match self {
             Phase::Dptrace => 0,
             Phase::Ctrljust => 1,
@@ -130,12 +139,42 @@ impl Counter {
     }
 }
 
+/// How a per-error generation span ended, reported via
+/// [`Probe::error_end`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanEnd {
+    /// A simulation-confirmed test was generated.
+    pub detected: bool,
+    /// Abort-reason name (`""` when detected).
+    pub reason: &'static str,
+    /// Name of the phase that exhausted the budget (`""` when detected).
+    pub failed_phase: &'static str,
+    /// Generated test length (`0` when aborted).
+    pub test_length: usize,
+    /// Cycle of first observable discrepancy (`0` when aborted).
+    pub detected_cycle: usize,
+    /// Total CTRLJUST backtracks across all variants.
+    pub backtracks: usize,
+}
+
 /// Instrumentation hooks threaded through the test generator.
 ///
 /// Implementations must be [`Sync`]: the campaign shares one probe across
 /// its worker threads. Every method defaults to a no-op so the
 /// uninstrumented path costs nothing beyond a virtual call that inlines
 /// away against [`NO_PROBE`].
+///
+/// Hook tiers:
+///
+/// * **Counters / timers** (`add`, `phase_time`) — always delivered.
+/// * **Span hooks** (`campaign_begin`, `error_begin`/`error_end`,
+///   `error_screened`, `variant_begin`/`variant_end`,
+///   `phase_enter`/`phase_exit`, `refinement`) — a handful per error;
+///   always delivered.
+/// * **Engine events** (`decision`, `backtrack`, `relax_step`,
+///   `relax_perturb`) — per search step; delivered only when
+///   [`Probe::wants_events`] returns `true`. The engines cache that flag
+///   once per invocation, so the uninstrumented hot loop pays one branch.
 pub trait Probe: Sync {
     /// Adds `n` to counter `c`.
     fn add(&self, c: Counter, n: u64) {
@@ -145,6 +184,85 @@ pub trait Probe: Sync {
     /// Records wall-clock time spent inside phase `p`.
     fn phase_time(&self, p: Phase, d: Duration) {
         let _ = (p, d);
+    }
+
+    /// `true` when the probe consumes the fine-grained engine events.
+    fn wants_events(&self) -> bool {
+        false
+    }
+
+    /// A campaign is starting over `total_errors` enumerated errors.
+    fn campaign_begin(&self, total_errors: usize) {
+        let _ = total_errors;
+    }
+
+    /// Test generation for `error` begins (opens its span).
+    fn error_begin(&self, error: &BusSslError) {
+        let _ = error;
+    }
+
+    /// The span for error `id` ends with `end`.
+    fn error_end(&self, id: u64, end: SpanEnd) {
+        let _ = (id, end);
+    }
+
+    /// Error `id` was covered by simulating an earlier test; no
+    /// generation ran (no span is opened).
+    fn error_screened(&self, id: u64, detected: bool) {
+        let _ = (id, detected);
+    }
+
+    /// Path-selection variant `variant` for error `id` begins.
+    fn variant_begin(&self, id: u64, variant: usize) {
+        let _ = (id, variant);
+    }
+
+    /// Variant `variant` for error `id` ended; on failure `failed_phase`
+    /// names the engine phase that rejected it.
+    fn variant_end(&self, id: u64, variant: usize, ok: bool, failed_phase: &'static str) {
+        let _ = (id, variant, ok, failed_phase);
+    }
+
+    /// Engine phase `p` begins for error `id`.
+    fn phase_enter(&self, id: u64, p: Phase) {
+        let _ = (id, p);
+    }
+
+    /// Engine phase `p` for error `id` ended after wall-clock `d`, having
+    /// performed `cost` deterministic work units (DPTRACE recursion steps,
+    /// CTRLJUST implication passes, DPRELAX iterations).
+    fn phase_exit(&self, id: u64, p: Phase, cost: u64, d: Duration) {
+        let _ = (id, p, cost, d);
+    }
+
+    /// A counterexample-guided STS refinement at pipeframe `frame`.
+    fn refinement(&self, id: u64, frame: usize) {
+        let _ = (id, frame);
+    }
+
+    /// CTRLJUST made a decision at pipeframe `frame` (gated on
+    /// [`Probe::wants_events`]).
+    fn decision(&self, id: u64, frame: usize, value: bool) {
+        let _ = (id, frame, value);
+    }
+
+    /// CTRLJUST backtracked at pipeframe `frame` with `depth` decisions
+    /// on the stack (gated on [`Probe::wants_events`]).
+    fn backtrack(&self, id: u64, frame: usize, depth: usize) {
+        let _ = (id, frame, depth);
+    }
+
+    /// DPRELAX completed relaxation iteration `iteration`; `activated` is
+    /// the error-activation state after it (gated on
+    /// [`Probe::wants_events`]).
+    fn relax_step(&self, id: u64, iteration: usize, activated: bool) {
+        let _ = (id, iteration, activated);
+    }
+
+    /// DPRELAX applied a random-restart perturbation during iteration
+    /// `iteration` (gated on [`Probe::wants_events`]).
+    fn relax_perturb(&self, id: u64, iteration: usize) {
+        let _ = (id, iteration);
     }
 }
 
@@ -156,6 +274,107 @@ impl Probe for NoProbe {}
 
 /// A shared instance of [`NoProbe`] for uninstrumented generators.
 pub static NO_PROBE: NoProbe = NoProbe;
+
+/// Fans every hook out to a list of probes, so [`Counters`] and
+/// [`crate::trace::Tracer`] can observe one campaign simultaneously.
+pub struct MultiProbe<'a> {
+    probes: Vec<&'a dyn Probe>,
+}
+
+impl<'a> MultiProbe<'a> {
+    /// A fan-out over `probes`, invoked in order.
+    #[must_use]
+    pub fn new(probes: Vec<&'a dyn Probe>) -> Self {
+        MultiProbe { probes }
+    }
+}
+
+impl std::fmt::Debug for MultiProbe<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "MultiProbe({} probes)", self.probes.len())
+    }
+}
+
+impl Probe for MultiProbe<'_> {
+    fn add(&self, c: Counter, n: u64) {
+        for p in &self.probes {
+            p.add(c, n);
+        }
+    }
+    fn phase_time(&self, p: Phase, d: Duration) {
+        for pr in &self.probes {
+            pr.phase_time(p, d);
+        }
+    }
+    fn wants_events(&self) -> bool {
+        self.probes.iter().any(|p| p.wants_events())
+    }
+    fn campaign_begin(&self, total_errors: usize) {
+        for p in &self.probes {
+            p.campaign_begin(total_errors);
+        }
+    }
+    fn error_begin(&self, error: &BusSslError) {
+        for p in &self.probes {
+            p.error_begin(error);
+        }
+    }
+    fn error_end(&self, id: u64, end: SpanEnd) {
+        for p in &self.probes {
+            p.error_end(id, end);
+        }
+    }
+    fn error_screened(&self, id: u64, detected: bool) {
+        for p in &self.probes {
+            p.error_screened(id, detected);
+        }
+    }
+    fn variant_begin(&self, id: u64, variant: usize) {
+        for p in &self.probes {
+            p.variant_begin(id, variant);
+        }
+    }
+    fn variant_end(&self, id: u64, variant: usize, ok: bool, failed_phase: &'static str) {
+        for p in &self.probes {
+            p.variant_end(id, variant, ok, failed_phase);
+        }
+    }
+    fn phase_enter(&self, id: u64, p: Phase) {
+        for pr in &self.probes {
+            pr.phase_enter(id, p);
+        }
+    }
+    fn phase_exit(&self, id: u64, p: Phase, cost: u64, d: Duration) {
+        for pr in &self.probes {
+            pr.phase_exit(id, p, cost, d);
+        }
+    }
+    fn refinement(&self, id: u64, frame: usize) {
+        for p in &self.probes {
+            p.refinement(id, frame);
+        }
+    }
+    fn decision(&self, id: u64, frame: usize, value: bool) {
+        for p in &self.probes {
+            p.decision(id, frame, value);
+        }
+    }
+    fn backtrack(&self, id: u64, frame: usize, depth: usize) {
+        for p in &self.probes {
+            p.backtrack(id, frame, depth);
+        }
+    }
+    fn relax_step(&self, id: u64, iteration: usize, activated: bool) {
+        for p in &self.probes {
+            p.relax_step(id, iteration, activated);
+        }
+    }
+    fn relax_perturb(&self, id: u64, iteration: usize) {
+        for p in &self.probes {
+            p.relax_perturb(id, iteration);
+        }
+    }
+}
 
 const N_COUNTERS: usize = COUNTERS.len();
 const N_PHASES: usize = PHASES.len();

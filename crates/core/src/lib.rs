@@ -27,6 +27,12 @@
 //! an observation instruction when needed, and a NOP flush), and *confirms*
 //! every generated test by dual good/bad simulation. [`campaign`] runs the
 //! whole error population and produces the Table 1 statistics.
+//!
+//! Observability is layered on the [`instrument::Probe`] trait: the
+//! zero-cost [`NO_PROBE`] default, atomic [`Counters`], the span-recording
+//! [`trace::Tracer`] (JSONL emission, per-phase histograms), and the
+//! [`instrument::MultiProbe`] fan-out composing them. [`jsonv`] is the
+//! matching std-only JSON reader used to validate emitted output.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,17 +40,22 @@
 pub mod campaign;
 pub mod costate;
 pub mod instrument;
+pub mod jsonv;
 pub mod rng;
 pub mod testability;
 pub mod tg;
 pub mod timeframe;
+pub mod trace;
 pub mod dprelax;
 pub mod dptrace;
 pub mod ctrljust;
 pub mod pipeframe;
 pub mod unroll;
 
-pub use campaign::{Campaign, CampaignConfig, CampaignReport, CampaignStats};
-pub use instrument::{Counter, Counters, Phase, Probe, NO_PROBE};
+pub use campaign::{
+    Campaign, CampaignConfig, CampaignReport, CampaignRun, CampaignStats, ObserveOptions,
+};
+pub use instrument::{Counter, Counters, MultiProbe, Phase, Probe, SpanEnd, NO_PROBE};
 pub use rng::SplitMix64;
 pub use tg::{Outcome, TestGenerator, TgConfig};
+pub use trace::{LogHistogram, TraceSnapshot, Tracer};

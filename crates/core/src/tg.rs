@@ -31,7 +31,7 @@
 use crate::ctrljust::{self, CtrlJustConfig, Objective};
 use crate::dprelax::{Activation, MemImage, RelaxEngine, RelaxGoal};
 use crate::dptrace::{self, DptraceConfig, PathPlan};
-use crate::instrument::{Counter, Phase, Probe, NO_PROBE};
+use crate::instrument::{Counter, Probe, SpanEnd, NO_PROBE};
 use crate::rng::SplitMix64;
 use crate::unroll::Unrolled;
 use hltg_dlx::DlxDesign;
@@ -42,7 +42,6 @@ use hltg_isa::{Instr, Opcode};
 use hltg_netlist::ctl::CtlNetId;
 use hltg_sim::{Polarity, V3};
 use std::collections::HashMap;
-use std::time::Instant;
 
 /// Configuration of the test generator.
 #[derive(Debug, Clone)]
@@ -131,6 +130,32 @@ pub enum AbortReason {
     ValueSelection,
 }
 
+impl AbortReason {
+    /// Stable snake_case name used in reports and trace events.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            AbortReason::NoPath => "no_path",
+            AbortReason::ControlJustification => "control_justification",
+            AbortReason::Assembly => "assembly",
+            AbortReason::ValueSelection => "value_selection",
+        }
+    }
+
+    /// The pipeline phase that exhausted its budget, as named in trace
+    /// events (`assembly` covers the opcode/register/model-check steps
+    /// between CTRLJUST and DPRELAX).
+    #[must_use]
+    pub fn phase_name(self) -> &'static str {
+        match self {
+            AbortReason::NoPath => "dptrace",
+            AbortReason::ControlJustification => "ctrljust",
+            AbortReason::Assembly => "assembly",
+            AbortReason::ValueSelection => "dprelax",
+        }
+    }
+}
+
 /// The result of test generation for one error.
 #[derive(Debug, Clone)]
 pub enum Outcome {
@@ -184,10 +209,13 @@ impl<'d> TestGenerator<'d> {
 
     /// Generates (and confirms) a test for `error`, or reports an abort.
     pub fn generate(&mut self, error: &BusSslError) -> Outcome {
+        let id = u64::from(error.id.0);
+        self.probe.error_begin(error);
         let mut total_backtracks = 0usize;
         let mut last_reason = AbortReason::NoPath;
         for variant in 0..self.cfg.max_variants {
             self.probe.add(Counter::Variants, 1);
+            self.probe.variant_begin(id, variant);
             // Counterexample-guided refinement: a status decision that the
             // assembled instruction stream contradicts is re-assumed at its
             // actual value and the controller search repeated.
@@ -196,6 +224,18 @@ impl<'d> TestGenerator<'d> {
                 match self.attempt(error, variant, &assumptions, &mut total_backtracks) {
                     Ok(test) => {
                         self.probe.add(Counter::TestsGenerated, 1);
+                        self.probe.variant_end(id, variant, true, "");
+                        self.probe.error_end(
+                            id,
+                            SpanEnd {
+                                detected: true,
+                                reason: "",
+                                failed_phase: "",
+                                test_length: test.length,
+                                detected_cycle: test.detected_cycle,
+                                backtracks: total_backtracks,
+                            },
+                        );
                         return Outcome::Detected(Box::new(test));
                     }
                     Err((reason, Some((frame, net, actual)))) => {
@@ -204,6 +244,7 @@ impl<'d> TestGenerator<'d> {
                             break; // refinement loop detected
                         }
                         self.probe.add(Counter::Refinements, 1);
+                        self.probe.refinement(id, frame);
                         assumptions.push((frame, net, actual));
                     }
                     Err((reason, None)) => {
@@ -212,8 +253,21 @@ impl<'d> TestGenerator<'d> {
                     }
                 }
             }
+            self.probe
+                .variant_end(id, variant, false, last_reason.phase_name());
         }
         self.probe.add(Counter::Aborts, 1);
+        self.probe.error_end(
+            id,
+            SpanEnd {
+                detected: false,
+                reason: last_reason.name(),
+                failed_phase: last_reason.phase_name(),
+                test_length: 0,
+                detected_cycle: 0,
+                backtracks: total_backtracks,
+            },
+        );
         Outcome::Aborted {
             reason: last_reason,
             backtracks: total_backtracks,
@@ -229,14 +283,16 @@ impl<'d> TestGenerator<'d> {
         total_backtracks: &mut usize,
     ) -> Result<TestCase, (AbortReason, Option<(usize, CtlNetId, bool)>)> {
         let design = &self.dlx.design;
-        let t_dptrace = Instant::now();
-        self.probe.add(Counter::DptraceCalls, 1);
-        let plan = dptrace::select_paths(design, error.net, variant, self.cfg.dptrace);
-        self.probe.phase_time(Phase::Dptrace, t_dptrace.elapsed());
-        let plan = plan.map_err(|_| (AbortReason::NoPath, None))?;
-        self.probe.add(Counter::DptraceSteps, plan.steps as u64);
-        self.probe
-            .add(Counter::DptraceModulesOnPath, plan.modules_on_path as u64);
+        let id = u64::from(error.id.0);
+        let plan = dptrace::select_paths_probed(
+            design,
+            error.net,
+            variant,
+            self.cfg.dptrace,
+            self.probe,
+            id,
+        )
+        .map_err(|_| (AbortReason::NoPath, None))?;
         if self.cfg.debug {
             eprintln!(
                 "[tg v{variant}] plan: sink={}@t{} objectives={:?} sels={:?} sources={:?}",
@@ -284,21 +340,20 @@ impl<'d> TestGenerator<'d> {
         let (objectives, monitors) = self
             .build_objectives(&plan, activation_cycle, frames)
             .map_err(|e| (e, None))?;
-        let t_just = Instant::now();
-        self.probe.add(Counter::CtrljustCalls, 1);
-        let just = ctrljust::justify(&mut u, &objectives, &monitors, self.cfg.ctrljust);
-        self.probe.phase_time(Phase::Ctrljust, t_just.elapsed());
-        let just = just.map_err(|e| {
+        let just = ctrljust::justify_probed(
+            &mut u,
+            &objectives,
+            &monitors,
+            self.cfg.ctrljust,
+            self.probe,
+            id,
+        )
+        .map_err(|e| {
             if self.cfg.debug {
                 eprintln!("[tg v{variant}] ctrljust failed: {e}");
             }
             (AbortReason::ControlJustification, None)
         })?;
-        self.probe.add(Counter::CtrljustDecisions, just.decisions as u64);
-        self.probe
-            .add(Counter::CtrljustBacktracks, just.backtracks as u64);
-        self.probe
-            .add(Counter::CtrljustImplications, just.implications as u64);
         *total_backtracks += just.backtracks;
 
         // --- Opcode completion ----------------------------------------------
@@ -454,28 +509,14 @@ impl<'d> TestGenerator<'d> {
         let mut rng = SplitMix64::seed_from_u64(
             self.cfg.seed ^ ((variant as u64) << 32) ^ u64::from(error.id.0),
         );
-        let t_relax = Instant::now();
-        self.probe.add(Counter::DprelaxCalls, 1);
-        let sol = engine.solve(&goal, &mut rng, self.cfg.relax_iters);
-        self.probe.phase_time(Phase::Dprelax, t_relax.elapsed());
-        match &sol {
-            Ok(s) => {
-                self.probe.add(Counter::DprelaxIterations, s.iterations as u64);
-                self.probe
-                    .add(Counter::DprelaxPerturbations, s.perturbations as u64);
-            }
-            Err(e) => {
-                self.probe.add(Counter::DprelaxIterations, e.iterations as u64);
-                self.probe
-                    .add(Counter::DprelaxPerturbations, e.perturbations as u64);
-            }
-        }
-        let sol = sol.map_err(|e| {
-            if self.cfg.debug {
-                eprintln!("[tg v{variant}] relaxation failed: {e}");
-            }
-            (AbortReason::ValueSelection, None)
-        })?;
+        let sol = engine
+            .solve_probed(&goal, &mut rng, self.cfg.relax_iters, self.probe, id)
+            .map_err(|e| {
+                if self.cfg.debug {
+                    eprintln!("[tg v{variant}] relaxation failed: {e}");
+                }
+                (AbortReason::ValueSelection, None)
+            })?;
 
         // --- Extract the confirmed test --------------------------------------
         let final_imem = &sol.images[0].1;

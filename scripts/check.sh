@@ -13,4 +13,11 @@ cargo test -q --offline --workspace
 echo "== cargo clippy -- -D warnings"
 cargo clippy --offline --all-targets -- -D warnings
 
+echo "== trace/report smoke (table1 --json --trace-out on a tiny sample)"
+./target/release/table1 6 --json --threads 2 \
+    --trace-out target/trace_smoke.jsonl > target/report_smoke.json
+./target/release/profile_report --check target/trace_smoke.jsonl \
+    --report target/report_smoke.json
+./target/release/profile_report target/trace_smoke.jsonl > /dev/null
+
 echo "== OK"

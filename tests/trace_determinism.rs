@@ -1,0 +1,93 @@
+//! The merged `Tracer` output is deterministic: for any worker-thread
+//! count, the kept per-error spans, the per-phase cost histograms and the
+//! backtrack-depth distribution are bit-for-bit identical (the JSONL in
+//! its deterministic form is byte-equal), mirroring
+//! `tests/parallel_determinism.rs` for the trace subsystem.
+
+use hltg::core::{Campaign, CampaignConfig, ObserveOptions, TraceSnapshot};
+use hltg::dlx::DlxDesign;
+
+fn traced_run(dlx: &DlxDesign, num_threads: usize, error_simulation: bool) -> TraceSnapshot {
+    let run = Campaign::run_observed(
+        dlx,
+        &CampaignConfig {
+            limit: Some(16),
+            error_simulation,
+            num_threads,
+            ..CampaignConfig::default()
+        },
+        &ObserveOptions {
+            trace: true,
+            progress: false,
+        },
+    );
+    run.trace.expect("trace requested")
+}
+
+#[test]
+fn thread_count_does_not_change_the_trace() {
+    let dlx = DlxDesign::build();
+    for error_simulation in [false, true] {
+        let base = traced_run(&dlx, 1, error_simulation);
+        assert!(!base.spans.is_empty(), "campaign produced no spans");
+        let base_jsonl = base.to_jsonl_deterministic();
+        for threads in [2, 8] {
+            let sharded = traced_run(&dlx, threads, error_simulation);
+            assert_eq!(
+                sharded.to_jsonl_deterministic(),
+                base_jsonl,
+                "deterministic trace diverges at num_threads={threads} \
+                 (error_simulation={error_simulation})"
+            );
+            // The structured form agrees too: spans (minus wall-clock) and
+            // the deterministic histograms.
+            assert_eq!(sharded.spans.len(), base.spans.len());
+            for (a, b) in sharded.spans.iter().zip(base.spans.iter()) {
+                assert_eq!(a.id, b.id);
+                assert_eq!(a.detected, b.detected);
+                assert_eq!(a.decisions, b.decisions);
+                assert_eq!(a.backtracks, b.backtracks);
+                assert_eq!(a.depth_hist, b.depth_hist);
+            }
+            assert_eq!(sharded.cost_hist, base.cost_hist);
+            assert_eq!(sharded.backtrack_depth_hist, base.backtrack_depth_hist);
+        }
+    }
+}
+
+/// Spans line up one-to-one with the generated (non-screened) records, in
+/// enumeration order, and the detected flags agree record-by-record.
+#[test]
+fn spans_mirror_generated_records()  {
+    let dlx = DlxDesign::build();
+    let run = Campaign::run_observed(
+        &dlx,
+        &CampaignConfig {
+            limit: Some(12),
+            error_simulation: true,
+            num_threads: 4,
+            ..CampaignConfig::default()
+        },
+        &ObserveOptions {
+            trace: true,
+            progress: false,
+        },
+    );
+    let trace = run.trace.expect("trace requested");
+    let generated: Vec<_> = run
+        .campaign
+        .records
+        .iter()
+        .filter(|r| !r.by_simulation)
+        .collect();
+    assert_eq!(trace.spans.len(), generated.len());
+    assert_eq!(
+        trace.screened,
+        run.campaign.records.len() - generated.len()
+    );
+    for (span, record) in trace.spans.iter().zip(generated.iter()) {
+        assert_eq!(span.id, u64::from(record.error.id.0));
+        assert_eq!(span.detected, record.outcome.is_detected());
+        assert!(span.phase_calls.iter().any(|c| c.ns > 0) || span.phase_calls.is_empty());
+    }
+}
