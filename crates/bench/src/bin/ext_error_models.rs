@@ -5,7 +5,7 @@
 //! module substitution errors — by dual simulation.
 //!
 //! Usage: `cargo run --release -p hltg-bench --bin ext_error_models
-//!         [--json] [--trace-out PATH] [--progress]`
+//!         [--json] [--trace-out PATH] [--progress] [--resume PATH]`
 //!
 //! `--json` emits a machine-readable object: the generating campaign's
 //! [`hltg_core::CampaignReport`] (stats plus per-phase instrumentation
@@ -13,6 +13,10 @@
 //! `"cross_coverage"`. `--trace-out PATH` writes the generating campaign's
 //! structured JSONL trace (per-error spans, per-phase histograms) to
 //! `PATH`; `--progress` prints a periodic stderr progress line.
+//! `--resume PATH` checkpoints the generating campaign to a JSONL file
+//! and, on re-run, skips the errors the file already holds (see DESIGN.md
+//! §Resilience) — the cross-coverage grading then reuses the restored
+//! test set and reproduces the identical report.
 
 use hltg_core::tg::Outcome;
 use hltg_core::{Campaign, CampaignConfig, ObserveOptions};
@@ -31,6 +35,12 @@ fn main() {
         eprintln!("--trace-out requires a path argument");
         std::process::exit(2);
     }
+    let resume_pos = args.iter().position(|a| a == "--resume");
+    let resume: Option<String> = resume_pos.and_then(|i| args.get(i + 1)).cloned();
+    if resume_pos.is_some() && resume.is_none() {
+        eprintln!("--resume requires a path argument");
+        std::process::exit(2);
+    }
     let dlx = DlxDesign::build();
     let stages = [Stage::new(2), Stage::new(3), Stage::new(4)];
 
@@ -39,6 +49,7 @@ fn main() {
         &dlx,
         &CampaignConfig {
             error_simulation: true,
+            checkpoint: resume.map(std::path::PathBuf::from),
             ..CampaignConfig::default()
         },
         &ObserveOptions {

@@ -333,7 +333,11 @@ fn render(events: &[Event]) {
     if aborted.is_empty() {
         println!("  (none)");
     }
-    for &phase in &["dptrace", "ctrljust", "assembly", "dprelax"] {
+    // "generate"/"campaign"/"unknown" are the isolation layers a panic or
+    // step-budget abort can be attributed to (DESIGN.md §Resilience).
+    for &phase in &[
+        "dptrace", "ctrljust", "assembly", "dprelax", "generate", "campaign", "unknown",
+    ] {
         let in_phase: Vec<&&&Value> = aborted
             .iter()
             .filter(|s| s.get_str("failed_phase") == Some(phase))

@@ -3,7 +3,9 @@
 //!
 //! Usage: `cargo run --release -p hltg-bench --bin table1 [limit]
 //!         [--error-sim] [--threads N] [--json] [--trace-out PATH]
-//!         [--progress]`
+//!         [--progress] [--resume PATH] [--retry N] [--max-steps N]
+//!         [--soft-deadline-ms MS] [--chaos-panic PERMILLE]
+//!         [--chaos-seed S]`
 //!
 //! `--threads N` shards the campaign over N worker threads (default: all
 //! available cores; results are identical for any N). `--json` emits the
@@ -13,35 +15,67 @@
 //! JSONL trace (per-error spans, per-phase histograms; see DESIGN.md
 //! §Observability) to `PATH`, and `--progress` prints a periodic stderr
 //! progress line with per-phase p50/p99 latency and an ETA.
+//!
+//! Resilience flags (see DESIGN.md §Resilience): `--resume PATH`
+//! checkpoints every finished error to a JSONL file and skips errors the
+//! file already holds, so a killed campaign resumes instead of starting
+//! over; `--retry N` re-runs aborted errors for up to N escalated rounds;
+//! `--max-steps N` sets the deterministic per-error step budget;
+//! `--soft-deadline-ms MS` stops workers *claiming* new errors past the
+//! deadline (outcomes are unaffected); `--chaos-panic PERMILLE` (with
+//! `--chaos-seed S`) deterministically injects panics into the engine
+//! phases to exercise the isolation machinery.
 
-use hltg_core::{Campaign, CampaignConfig, ObserveOptions};
+use hltg_core::{Campaign, CampaignConfig, ChaosConfig, ObserveOptions};
 use hltg_dlx::DlxDesign;
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn parse_or_exit<T: std::str::FromStr>(flag: &str, value: &str) -> T {
+    value.parse().unwrap_or_else(|_| {
+        eprintln!("{flag}: cannot parse {value:?}");
+        std::process::exit(2);
+    })
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let error_simulation = args.iter().any(|a| a == "--error-sim");
     let json = args.iter().any(|a| a == "--json");
     let progress = args.iter().any(|a| a == "--progress");
-    let threads_pos = args.iter().position(|a| a == "--threads");
-    let num_threads: Option<usize> = threads_pos
-        .and_then(|i| args.get(i + 1))
-        .and_then(|s| s.parse().ok());
-    let trace_pos = args.iter().position(|a| a == "--trace-out");
-    let trace_out: Option<String> = trace_pos.and_then(|i| args.get(i + 1)).cloned();
-    if trace_pos.is_some() && trace_out.is_none() {
-        eprintln!("--trace-out requires a path argument");
-        std::process::exit(2);
-    }
+    // Value-carrying flags: record the value's position so the positional
+    // limit scan below can skip it.
+    let mut value_positions: Vec<usize> = Vec::new();
+    let mut value_of = |name: &str| -> Option<String> {
+        let i = args.iter().position(|a| a == name)?;
+        value_positions.push(i + 1);
+        match args.get(i + 1) {
+            Some(v) => Some(v.clone()),
+            None => {
+                eprintln!("{name} requires a value argument");
+                std::process::exit(2);
+            }
+        }
+    };
+    let num_threads: Option<usize> =
+        value_of("--threads").map(|v| parse_or_exit("--threads", &v));
+    let trace_out: Option<String> = value_of("--trace-out");
+    let resume: Option<String> = value_of("--resume");
+    let retry: Option<u32> = value_of("--retry").map(|v| parse_or_exit("--retry", &v));
+    let max_steps: Option<u64> =
+        value_of("--max-steps").map(|v| parse_or_exit("--max-steps", &v));
+    let soft_deadline_ms: Option<u64> =
+        value_of("--soft-deadline-ms").map(|v| parse_or_exit("--soft-deadline-ms", &v));
+    let chaos_panic: Option<u32> =
+        value_of("--chaos-panic").map(|v| parse_or_exit("--chaos-panic", &v));
+    let chaos_seed: Option<u64> =
+        value_of("--chaos-seed").map(|v| parse_or_exit("--chaos-seed", &v));
     // The limit is the first positional argument: not a flag, and not a
-    // value consumed by `--threads` / `--trace-out`.
+    // value consumed by one.
     let limit: Option<usize> = args
         .iter()
         .enumerate()
-        .filter(|(i, a)| {
-            !a.starts_with("--")
-                && Some(i.wrapping_sub(1)) != threads_pos
-                && Some(i.wrapping_sub(1)) != trace_pos
-        })
+        .filter(|(i, a)| !a.starts_with("--") && !value_positions.contains(i))
         .find_map(|(_, s)| s.parse().ok());
 
     let dlx = DlxDesign::build();
@@ -53,11 +87,33 @@ fn main() {
     if let Some(n) = num_threads {
         config.num_threads = n;
     }
+    if let Some(n) = max_steps {
+        config.tg.max_steps = Some(n);
+    }
+    if let Some(rounds) = retry {
+        config.retry.rounds = rounds;
+    }
+    if let Some(path) = resume {
+        config.checkpoint = Some(PathBuf::from(path));
+    }
+    if let Some(ms) = soft_deadline_ms {
+        config.soft_deadline = Some(Duration::from_millis(ms));
+    }
+    if chaos_panic.is_some() || chaos_seed.is_some() {
+        let mut chaos = ChaosConfig::default();
+        if let Some(p) = chaos_panic {
+            chaos.panic_permille = p;
+        }
+        if let Some(s) = chaos_seed {
+            chaos.seed = s;
+        }
+        config.chaos = Some(chaos);
+    }
 
     eprintln!(
         "running the EX/MEM/WB bus-SSL campaign ({} thread{})...",
-        config.num_threads.max(1),
-        if config.num_threads.max(1) == 1 { "" } else { "s" }
+        config.effective_threads(),
+        if config.effective_threads() == 1 { "" } else { "s" }
     );
     let opts = ObserveOptions {
         trace: trace_out.is_some(),

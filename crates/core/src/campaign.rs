@@ -1,14 +1,17 @@
 //! Campaign runner: test generation over a whole error population, with
 //! the statistics of the paper's Table 1.
 
+use crate::chaos::{ChaosConfig, ChaosProbe};
+use crate::checkpoint::{CheckpointEntry, CheckpointLog};
 use crate::instrument::{json_f64, CounterSnapshot, Counters, MultiProbe, Probe, NO_PROBE};
-use crate::tg::{AbortReason, Outcome, TestCase, TestGenerator, TgConfig};
+use crate::tg::{panic_payload, AbortReason, Outcome, TestCase, TestGenerator, TgConfig};
 use crate::trace::{TraceSnapshot, Tracer};
 use hltg_dlx::DlxDesign;
 use hltg_errors::{enumerate_stage_errors, is_structurally_redundant, BusSslError, EnumPolicy};
 use hltg_netlist::Stage;
 use hltg_sim::{Machine, Schedule};
 use std::fmt;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, RwLock};
 use std::time::{Duration, Instant};
@@ -33,9 +36,25 @@ pub struct CampaignConfig {
     /// sequential loop; the default is the machine's available parallelism.
     /// Per-error generation is a pure function of the seed and the error,
     /// and records are merged back into enumeration order, so every value
-    /// produces identical records, statistics and reports (`0` is treated
-    /// as `1`).
+    /// produces identical records, statistics and reports. `0` is
+    /// normalized to `1` by [`CampaignConfig::effective_threads`], the one
+    /// place that interprets this field.
     pub num_threads: usize,
+    /// Retry-with-escalation for aborted errors (default: no retries).
+    pub retry: RetryPolicy,
+    /// Wall-clock soft deadline for the sharded worker pool. Past the
+    /// deadline, workers stop *claiming* new errors; the deterministic
+    /// merge pass generates whatever remains, so recorded outcomes are
+    /// unaffected — only the parallel schedule is cut short.
+    pub soft_deadline: Option<Duration>,
+    /// Per-error JSONL checkpoint file. Completed errors found in it are
+    /// skipped on resume; newly completed errors are appended. A file
+    /// written under a different configuration is refused — the campaign
+    /// then warns on stderr and runs without persistence.
+    pub checkpoint: Option<PathBuf>,
+    /// Deterministic fault injection into the generator itself (used by
+    /// the robustness tests and the chaos smoke run).
+    pub chaos: Option<ChaosConfig>,
 }
 
 impl Default for CampaignConfig {
@@ -49,7 +68,68 @@ impl Default for CampaignConfig {
             num_threads: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1),
+            retry: RetryPolicy::default(),
+            soft_deadline: None,
+            checkpoint: None,
+            chaos: None,
         }
+    }
+}
+
+impl CampaignConfig {
+    /// The worker-thread count actually used: [`CampaignConfig::num_threads`]
+    /// with `0` normalized to `1`.
+    #[must_use]
+    pub fn effective_threads(&self) -> usize {
+        self.num_threads.max(1)
+    }
+}
+
+/// Retry-with-escalation for aborted errors.
+///
+/// After the main pass, every still-aborted, non-redundant error is
+/// retried for up to `rounds` additional rounds. Round `r` multiplies the
+/// generator's search budgets (`max_variants`, `CTRLJUST` backtracks,
+/// `relax_iters`, and `max_steps` when set) by `escalate^r` and derives a
+/// fresh RNG seed from the base seed and the round, so each retry is a
+/// genuinely different, larger search rather than a replay. A retried
+/// outcome replaces the original record (with the wall-clock summed) and
+/// the record is tagged with the round that produced it. Retried tests
+/// never feed the error-simulation screening pool; rounds run after the
+/// main merge, so retries leave the thread-count invariance of the
+/// records intact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Extra rounds after the main pass (`0` disables retries).
+    pub rounds: u32,
+    /// Geometric budget escalation per round (values below 2 are clamped
+    /// to 2, so escalation is real).
+    pub escalate: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            rounds: 0,
+            escalate: 2,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The generator configuration for retry round `round` (1-based; the
+    /// main pass is round 0 and uses `base` untouched).
+    #[must_use]
+    pub fn tg_for_round(&self, base: &TgConfig, round: u32) -> TgConfig {
+        let mut cfg = base.clone();
+        let m = u64::from(self.escalate.max(2)).saturating_pow(round);
+        let mul = |v: usize| (v as u64).saturating_mul(m).min(1 << 30) as usize;
+        cfg.max_variants = mul(base.max_variants);
+        cfg.ctrljust.max_backtracks = mul(base.ctrljust.max_backtracks);
+        cfg.relax_iters = mul(base.relax_iters);
+        cfg.max_steps = base.max_steps.map(|s| s.saturating_mul(m));
+        cfg.seed = base.seed ^ u64::from(round).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        cfg
     }
 }
 
@@ -65,8 +145,10 @@ pub struct ErrorRecord {
     /// Detected by simulating a test generated for an *earlier* error
     /// (only with [`CampaignConfig::error_simulation`]); no generation ran.
     pub by_simulation: bool,
-    /// Wall-clock seconds spent on this error.
+    /// Wall-clock seconds spent on this error (summed over retry rounds).
     pub seconds: f64,
+    /// Retry round that produced `outcome` (`0` = the main pass).
+    pub round: u32,
 }
 
 /// Aggregated Table 1 statistics.
@@ -83,6 +165,13 @@ pub struct CampaignStats {
     /// Of the aborted: no datapath propagation path (observable only
     /// through the controller).
     pub aborted_no_path: usize,
+    /// Of the aborted: a panic (injected or genuine) was isolated and
+    /// recorded instead of killing the campaign.
+    pub aborted_panicked: usize,
+    /// Of the aborted: the deterministic step budget ran out.
+    pub aborted_step_budget: usize,
+    /// Errors detected only by an escalated retry round.
+    pub detected_after_retry: usize,
     /// Mean test-sequence length over detected errors.
     pub avg_length: f64,
     /// Mean core (non-NOP) length over detected errors.
@@ -140,6 +229,27 @@ impl fmt::Display for CampaignStats {
             "    of which control-path only   {:>8}",
             self.aborted_no_path
         )?;
+        if self.aborted_panicked > 0 {
+            writeln!(
+                f,
+                "    of which panicked (isolated) {:>8}",
+                self.aborted_panicked
+            )?;
+        }
+        if self.aborted_step_budget > 0 {
+            writeln!(
+                f,
+                "    of which step-budget         {:>8}",
+                self.aborted_step_budget
+            )?;
+        }
+        if self.detected_after_retry > 0 {
+            writeln!(
+                f,
+                "Detected only after retry        {:>8}",
+                self.detected_after_retry
+            )?;
+        }
         writeln!(f, "Average test sequence length     {:>8.1}", self.avg_length)?;
         writeln!(
             f,
@@ -268,7 +378,7 @@ impl Campaign {
             stats: campaign.stats(),
             counters: counters.snapshot(),
             wall_seconds: t0.elapsed().as_secs_f64(),
-            num_threads: config.num_threads.max(1),
+            num_threads: config.effective_threads(),
         };
         CampaignRun {
             campaign,
@@ -287,17 +397,125 @@ impl Campaign {
     /// error-simulation covering order, so the resulting records are
     /// identical to the sequential run for every thread count.
     pub fn run_probed(dlx: &DlxDesign, config: &CampaignConfig, probe: &dyn Probe) -> Campaign {
+        match &config.chaos {
+            Some(chaos) => {
+                let chaos = ChaosProbe::new(chaos.clone());
+                // Chaos composes *last*, so the observability probes have
+                // finished each hook before an injected panic unwinds.
+                let multi = MultiProbe::new(vec![probe, &chaos]);
+                Self::run_resilient(dlx, config, &multi)
+            }
+            None => Self::run_resilient(dlx, config, probe),
+        }
+    }
+
+    fn run_resilient(dlx: &DlxDesign, config: &CampaignConfig, probe: &dyn Probe) -> Campaign {
         let errors = enumerate_stage_errors(&dlx.design, &config.stages, config.policy);
         let take = config.limit.unwrap_or(errors.len());
         let errors: Vec<BusSslError> = errors.into_iter().take(take).collect();
         probe.campaign_begin(errors.len());
         let schedule = Schedule::build(&dlx.design).expect("dlx levelizes");
-        let threads = config.num_threads.max(1).min(errors.len().max(1));
-        if threads <= 1 {
-            Self::run_serial(dlx, config, probe, &errors, &schedule)
+        let ckpt = Self::open_checkpoint(config);
+        let ckpt = ckpt.as_ref();
+        let threads = config.effective_threads().min(errors.len().max(1));
+        let mut campaign = if threads <= 1 {
+            Self::run_serial(dlx, config, probe, &errors, &schedule, ckpt)
         } else {
-            Self::run_sharded(dlx, config, probe, &errors, &schedule, threads)
+            Self::run_sharded(dlx, config, probe, &errors, &schedule, threads, ckpt)
+        };
+        Self::run_retries(dlx, config, probe, threads, &mut campaign, ckpt);
+        campaign
+    }
+
+    /// Opens the configured checkpoint log, if any. An unusable file
+    /// (unreadable, or written under a different configuration) is *not*
+    /// clobbered: the campaign warns and runs without persistence.
+    fn open_checkpoint(config: &CampaignConfig) -> Option<CheckpointLog> {
+        let path = config.checkpoint.as_ref()?;
+        match CheckpointLog::open(path, &Self::checkpoint_fingerprint(config)) {
+            Ok(log) => {
+                if log.resumed() > 0 || log.skipped_lines() > 0 {
+                    eprintln!(
+                        "checkpoint: resuming {} completed errors from {} \
+                         ({} unusable lines skipped)",
+                        log.resumed(),
+                        path.display(),
+                        log.skipped_lines()
+                    );
+                }
+                Some(log)
+            }
+            Err(e) => {
+                eprintln!(
+                    "checkpoint: {} is unusable ({e}); running without persistence",
+                    path.display()
+                );
+                None
+            }
         }
+    }
+
+    /// The configuration fingerprint stored in the checkpoint header. Two
+    /// campaigns share a checkpoint only when everything that influences
+    /// per-error generation matches; `limit` is deliberately excluded —
+    /// error ids are stable across runs, so a short run's checkpoint can
+    /// seed a longer one.
+    fn checkpoint_fingerprint(config: &CampaignConfig) -> String {
+        format!(
+            "v1 stages={:?} policy={:?} sim={} tg={:?} retry={}x{} chaos={:?}",
+            config.stages,
+            config.policy,
+            config.error_simulation,
+            config.tg,
+            config.retry.rounds,
+            config.retry.escalate,
+            config.chaos,
+        )
+    }
+
+    /// Generates a test for one error with worker-level isolation: a
+    /// checkpoint hit skips generation entirely; a panic that escapes the
+    /// generator's own per-phase isolation (e.g. from a probe hook) is
+    /// caught here and recorded as an aborted outcome, so the worker and
+    /// its pool survive. Returns the outcome and the generation seconds
+    /// (the value persisted to the checkpoint, so a resumed record equals
+    /// the original byte for byte).
+    fn generate_checkpointed(
+        tg: &mut TestGenerator<'_>,
+        error: &BusSslError,
+        ckpt: Option<&CheckpointLog>,
+        round: u32,
+        redundant: bool,
+    ) -> (Outcome, f64) {
+        let id = u64::from(error.id.0);
+        if let Some(entry) = ckpt.and_then(|log| log.lookup(id, round)) {
+            return (entry.outcome.clone(), entry.seconds);
+        }
+        let t0 = Instant::now();
+        let outcome =
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| tg.generate(error))) {
+                Ok(outcome) => outcome,
+                Err(payload) => Outcome::Aborted {
+                    reason: AbortReason::Panicked {
+                        phase: "campaign",
+                        payload: panic_payload(payload.as_ref()),
+                    },
+                    backtracks: 0,
+                },
+            };
+        let seconds = t0.elapsed().as_secs_f64();
+        if let Some(log) = ckpt {
+            log.record(
+                id,
+                round,
+                &CheckpointEntry {
+                    outcome: outcome.clone(),
+                    redundant,
+                    seconds,
+                },
+            );
+        }
+        (outcome, seconds)
     }
 
     fn run_serial(
@@ -306,6 +524,7 @@ impl Campaign {
         probe: &dyn Probe,
         errors: &[BusSslError],
         schedule: &Schedule,
+        ckpt: Option<&CheckpointLog>,
     ) -> Campaign {
         let mut tg = TestGenerator::with_probe(dlx, config.tg.clone(), probe);
         let mut records: Vec<Option<ErrorRecord>> = vec![None; errors.len()];
@@ -314,9 +533,16 @@ impl Campaign {
                 continue; // already covered by error simulation
             }
             let error = errors[i].clone();
-            let redundant = is_structurally_redundant(&dlx.design, &error);
-            let t0 = Instant::now();
-            let outcome = tg.generate(&error);
+            let id = u64::from(error.id.0);
+            let (redundant, outcome, seconds) = match ckpt.and_then(|log| log.lookup(id, 0)) {
+                Some(entry) => (entry.redundant, entry.outcome.clone(), entry.seconds),
+                None => {
+                    let redundant = is_structurally_redundant(&dlx.design, &error);
+                    let (outcome, seconds) =
+                        Self::generate_checkpointed(&mut tg, &error, ckpt, 0, redundant);
+                    (redundant, outcome, seconds)
+                }
+            };
             if config.error_simulation {
                 if let Outcome::Detected(tc) = &outcome {
                     // Simulate every remaining error against the new test;
@@ -334,6 +560,7 @@ impl Campaign {
                                 redundant: is_structurally_redundant(&dlx.design, other),
                                 by_simulation: true,
                                 seconds: t1.elapsed().as_secs_f64(),
+                                round: 0,
                             });
                         }
                     }
@@ -344,7 +571,8 @@ impl Campaign {
                 outcome,
                 redundant,
                 by_simulation: false,
-                seconds: t0.elapsed().as_secs_f64(),
+                seconds,
+                round: 0,
             });
         }
         Campaign {
@@ -352,6 +580,7 @@ impl Campaign {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn run_sharded(
         dlx: &DlxDesign,
         config: &CampaignConfig,
@@ -359,9 +588,11 @@ impl Campaign {
         errors: &[BusSslError],
         schedule: &Schedule,
         threads: usize,
+        ckpt: Option<&CheckpointLog>,
     ) -> Campaign {
         let n = errors.len();
         let cursor = AtomicUsize::new(0);
+        let started = Instant::now();
         // Tests already generated, tagged with their error index. Workers
         // screen their next error against tests of *earlier* errors: if one
         // already detects it, the (expensive) generation can be skipped —
@@ -378,14 +609,23 @@ impl Campaign {
                 s.spawn(move || {
                     let mut tg = TestGenerator::with_probe(dlx, config.tg.clone(), probe);
                     loop {
+                        if config
+                            .soft_deadline
+                            .is_some_and(|d| started.elapsed() >= d)
+                        {
+                            // Scheduling only: stop claiming work. The merge
+                            // pass generates whatever is left, so recorded
+                            // outcomes are unaffected by the deadline.
+                            break;
+                        }
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         if i >= n {
                             break;
                         }
                         let error = &errors[i];
-                        let t0 = Instant::now();
                         let redundant = is_structurally_redundant(&dlx.design, error);
                         if config.error_simulation {
+                            let t0 = Instant::now();
                             let screened = {
                                 let pool = pool.read().expect("pool lock");
                                 pool.iter().any(|(k, tc)| {
@@ -403,7 +643,8 @@ impl Campaign {
                                 continue;
                             }
                         }
-                        let outcome = tg.generate(error);
+                        let (outcome, seconds) =
+                            Self::generate_checkpointed(&mut tg, error, ckpt, 0, redundant);
                         if config.error_simulation {
                             if let Outcome::Detected(tc) = &outcome {
                                 pool.write().expect("pool lock").push((i, (**tc).clone()));
@@ -411,7 +652,7 @@ impl Campaign {
                         }
                         let item = WorkItem {
                             redundant,
-                            seconds: t0.elapsed().as_secs_f64(),
+                            seconds,
                             outcome: Some(outcome),
                         };
                         let _ = tx.send((i, item));
@@ -434,17 +675,27 @@ impl Campaign {
             if records[i].is_some() {
                 continue; // covered by an earlier kept test
             }
-            let item = slots[i].take().expect("every error was processed");
+            // A missing slot means no worker finished this error — it was
+            // never claimed (soft deadline) or its worker died before
+            // sending (a panic that escaped every isolation layer).
+            // Generation is pure, so generating here yields exactly what
+            // the worker would have produced.
+            let item = slots[i].take().unwrap_or_else(|| WorkItem {
+                redundant: is_structurally_redundant(&dlx.design, &errors[i]),
+                seconds: 0.0,
+                outcome: None,
+            });
             let (outcome, seconds) = match item.outcome {
                 Some(o) => (o, item.seconds),
                 None => {
-                    // The parallel screen relied on a pooled test whose own
-                    // error turned out to be covered sequentially (its test
-                    // is not in the sequential test set). Rare; regenerate
-                    // to keep the sequential semantics exact.
-                    let t0 = Instant::now();
-                    let o = tg.generate(&errors[i]);
-                    (o, item.seconds + t0.elapsed().as_secs_f64())
+                    // Also reached when the parallel screen relied on a
+                    // pooled test whose own error turned out to be covered
+                    // sequentially (its test is not in the sequential test
+                    // set). Rare; regenerate to keep the sequential
+                    // semantics exact.
+                    let (o, s) =
+                        Self::generate_checkpointed(&mut tg, &errors[i], ckpt, 0, item.redundant);
+                    (o, item.seconds + s)
                 }
             };
             if config.error_simulation {
@@ -458,12 +709,12 @@ impl Campaign {
                             records[j] = Some(ErrorRecord {
                                 error: other.clone(),
                                 outcome: outcome.clone(),
-                                redundant: slots[j]
-                                    .as_ref()
-                                    .map(|w| w.redundant)
-                                    .expect("every error was processed"),
+                                redundant: slots[j].as_ref().map(|w| w.redundant).unwrap_or_else(
+                                    || is_structurally_redundant(&dlx.design, other),
+                                ),
                                 by_simulation: true,
                                 seconds: t1.elapsed().as_secs_f64(),
+                                round: 0,
                             });
                         }
                     }
@@ -475,11 +726,111 @@ impl Campaign {
                 redundant: item.redundant,
                 by_simulation: false,
                 seconds,
+                round: 0,
             });
         }
         Campaign {
             records: records.into_iter().flatten().collect(),
         }
+    }
+
+    /// Re-runs still-aborted, non-redundant errors with escalated budgets
+    /// per [`RetryPolicy`]. Rounds are sequential; within a round, errors
+    /// shard over the worker pool (per-round generation stays pure, so
+    /// the records remain identical for every thread count). Rounds stop
+    /// early once nothing is left to retry.
+    fn run_retries(
+        dlx: &DlxDesign,
+        config: &CampaignConfig,
+        probe: &dyn Probe,
+        threads: usize,
+        campaign: &mut Campaign,
+        ckpt: Option<&CheckpointLog>,
+    ) {
+        for round in 1..=config.retry.rounds {
+            let targets: Vec<usize> = campaign
+                .records
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| !r.redundant && !r.outcome.is_detected())
+                .map(|(i, _)| i)
+                .collect();
+            if targets.is_empty() {
+                break;
+            }
+            let tg_cfg = config.retry.tg_for_round(&config.tg, round);
+            let retry_errors: Vec<BusSslError> = targets
+                .iter()
+                .map(|&i| campaign.records[i].error.clone())
+                .collect();
+            let results =
+                Self::generate_batch(dlx, &tg_cfg, probe, &retry_errors, threads, ckpt, round);
+            for (&i, (outcome, seconds)) in targets.iter().zip(&results) {
+                let record = &mut campaign.records[i];
+                record.seconds += seconds;
+                record.outcome = outcome.clone();
+                record.round = round;
+            }
+        }
+    }
+
+    /// Generates tests for `errors` under `tg_cfg`, sharding over up to
+    /// `threads` workers. Results come back in input order; a dead
+    /// worker's slots are regenerated inline, exactly as in the main
+    /// merge pass.
+    fn generate_batch(
+        dlx: &DlxDesign,
+        tg_cfg: &TgConfig,
+        probe: &dyn Probe,
+        errors: &[BusSslError],
+        threads: usize,
+        ckpt: Option<&CheckpointLog>,
+        round: u32,
+    ) -> Vec<(Outcome, f64)> {
+        let n = errors.len();
+        if threads.min(n) <= 1 {
+            let mut tg = TestGenerator::with_probe(dlx, tg_cfg.clone(), probe);
+            return errors
+                .iter()
+                .map(|e| Self::generate_checkpointed(&mut tg, e, ckpt, round, false))
+                .collect();
+        }
+        let cursor = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, (Outcome, f64))>();
+        let mut slots: Vec<Option<(Outcome, f64)>> = Vec::new();
+        slots.resize_with(n, || None);
+        std::thread::scope(|s| {
+            for _ in 0..threads.min(n) {
+                let tx = tx.clone();
+                let cursor = &cursor;
+                s.spawn(move || {
+                    let mut tg = TestGenerator::with_probe(dlx, tg_cfg.clone(), probe);
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let result =
+                            Self::generate_checkpointed(&mut tg, &errors[i], ckpt, round, false);
+                        let _ = tx.send((i, result));
+                    }
+                });
+            }
+            drop(tx);
+            for (i, result) in rx {
+                slots[i] = Some(result);
+            }
+        });
+        slots
+            .into_iter()
+            .enumerate()
+            .map(|(i, slot)| {
+                slot.unwrap_or_else(|| {
+                    let mut tg = TestGenerator::with_probe(dlx, tg_cfg.clone(), probe);
+                    Self::generate_checkpointed(&mut tg, &errors[i], ckpt, round, false)
+                })
+            })
+            .collect()
     }
 
     /// Aggregates Table 1 statistics.
@@ -503,6 +854,9 @@ impl Campaign {
             match &r.outcome {
                 Outcome::Detected(tc) => {
                     s.detected += 1;
+                    if r.round > 0 {
+                        s.detected_after_retry += 1;
+                    }
                     total_len += tc.length;
                     total_core += tc.core_len;
                     s.length_histogram[tc.length.min(32)] += 1;
@@ -515,6 +869,11 @@ impl Campaign {
                 }
                 Outcome::Aborted { reason, .. } => {
                     s.aborted += 1;
+                    match reason {
+                        AbortReason::Panicked { .. } => s.aborted_panicked += 1,
+                        AbortReason::StepBudget { .. } => s.aborted_step_budget += 1,
+                        _ => {}
+                    }
                     if r.redundant {
                         s.aborted_redundant += 1;
                     } else if *reason == AbortReason::NoPath {
@@ -594,6 +953,14 @@ impl Campaign {
                 s.detected_by_simulation, s.detected, s.test_set_size
             );
         }
+        if s.aborted_panicked > 0 || s.aborted_step_budget > 0 || s.detected_after_retry > 0 {
+            let _ = writeln!(
+                out,
+                "resilience: {} panics isolated, {} step-budget aborts, \
+                 {} detected only after retry",
+                s.aborted_panicked, s.aborted_step_budget, s.detected_after_retry
+            );
+        }
         out
     }
 }
@@ -623,8 +990,17 @@ impl CampaignReport {
         let _ = write!(
             out,
             "\"errors\": {}, \"detected\": {}, \"aborted\": {}, \
-             \"aborted_redundant\": {}, \"aborted_no_path\": {}, ",
-            s.errors, s.detected, s.aborted, s.aborted_redundant, s.aborted_no_path
+             \"aborted_redundant\": {}, \"aborted_no_path\": {}, \
+             \"aborted_panicked\": {}, \"aborted_step_budget\": {}, \
+             \"detected_after_retry\": {}, ",
+            s.errors,
+            s.detected,
+            s.aborted,
+            s.aborted_redundant,
+            s.aborted_no_path,
+            s.aborted_panicked,
+            s.aborted_step_budget,
+            s.detected_after_retry
         );
         let _ = write!(
             out,

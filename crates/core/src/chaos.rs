@@ -1,0 +1,315 @@
+//! Deterministic chaos injection for the campaign's *own* pipeline.
+//!
+//! The paper injects errors into the DUT and asks whether the generator
+//! finds them; this module turns the same discipline on the generator
+//! itself. [`ChaosProbe`] rides the [`Probe`] hooks and — driven by a
+//! seeded [`SplitMix64`], never by wall-clock or thread timing — injects
+//! three fault kinds into chosen engine phases:
+//!
+//! * **panics** at `phase_enter`, exercising the per-phase
+//!   `catch_unwind` isolation in [`crate::tg::TestGenerator::generate`]
+//!   and the worker-level isolation in the campaign runner;
+//! * **spurious backtracks** via [`Probe::spurious_backtrack`],
+//!   exercising `CTRLJUST`'s budget handling under wasted work;
+//! * **stalls** (deterministic busy-spins) at `phase_exit`, exercising
+//!   scheduling-only mechanisms such as the campaign's wall-clock soft
+//!   deadline without perturbing any recorded outcome.
+//!
+//! Every injection decision is a pure function of `(seed, error id,
+//! site, visit count)`, so a chaos campaign remains byte-identical
+//! across worker-thread counts — the property the robustness tests pin.
+//!
+//! Injected panic messages start with `"chaos("`; the first
+//! [`ChaosProbe`] constructed in a process installs a panic hook that
+//! swallows exactly those messages (all other panics are forwarded to
+//! the previously installed hook), so a chaos campaign does not flood
+//! stderr with hundreds of expected backtraces.
+
+use crate::instrument::{Phase, Probe};
+use crate::rng::SplitMix64;
+use hltg_errors::BusSslError;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, Once};
+use std::time::Duration;
+
+/// What [`ChaosProbe`] injects, and where.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosConfig {
+    /// Seed for the injection decisions (independent of the generator's
+    /// own RNG seed).
+    pub seed: u64,
+    /// Probability, in permille, of panicking at a targeted
+    /// `phase_enter`.
+    pub panic_permille: u32,
+    /// Probability, in permille, of forcing a spurious `CTRLJUST`
+    /// backtrack at an implication pass.
+    pub spurious_backtrack_permille: u32,
+    /// Probability, in permille, of busy-spinning at a targeted
+    /// `phase_exit` (wall-clock only; never changes an outcome).
+    pub stall_permille: u32,
+    /// Restrict panic/stall injection to one engine phase (`None`
+    /// targets all three).
+    pub phase: Option<Phase>,
+    /// Restrict injection to errors of one pipe stage index (`None`
+    /// targets every error).
+    pub stage: Option<usize>,
+    /// Inject only on the *first* visit of each `(error, phase)` site,
+    /// so an escalated retry of the same error runs clean — the
+    /// recovery scenario the retry tests pin.
+    pub first_attempt_only: bool,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            seed: 0xC4A0_5C4A,
+            panic_permille: 0,
+            spurious_backtrack_permille: 0,
+            stall_permille: 0,
+            phase: None,
+            stage: None,
+            first_attempt_only: false,
+        }
+    }
+}
+
+/// Injection counters of one chaos campaign (all zero without chaos).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChaosTally {
+    /// Panics injected at `phase_enter`.
+    pub panics: u64,
+    /// Spurious backtracks forced in `CTRLJUST`.
+    pub spurious_backtracks: u64,
+    /// Busy-spin stalls injected at `phase_exit`.
+    pub stalls: u64,
+}
+
+/// A [`Probe`] that deterministically injects faults into the engines.
+///
+/// Compose it *last* in a [`crate::instrument::MultiProbe`], so the
+/// observability probes have finished handling each hook before a chaos
+/// panic unwinds through it.
+#[derive(Debug)]
+pub struct ChaosProbe {
+    cfg: ChaosConfig,
+    /// Error id → pipe stage index, learned at `error_begin`.
+    stages: Mutex<HashMap<u64, usize>>,
+    /// `(error id, site)` → visits so far; the visit count feeds the
+    /// decision hash so repeated visits (variants, retry rounds) draw
+    /// independently.
+    visits: Mutex<HashMap<(u64, u64), u64>>,
+    panics: AtomicU64,
+    spurious: AtomicU64,
+    stalls: AtomicU64,
+}
+
+/// Distinct site kinds for the decision hash.
+const SITE_PHASE_ENTER: u64 = 1; // + phase index
+const SITE_PHASE_EXIT: u64 = 11; // + phase index
+const SITE_BACKTRACK: u64 = 21;
+
+static SILENCE_HOOK: Once = Once::new();
+
+/// Installs (once per process) a panic hook that swallows chaos-injected
+/// panics — messages starting with `"chaos("` — and forwards everything
+/// else to the previously installed hook.
+fn silence_chaos_panics() {
+    SILENCE_HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let payload = info.payload();
+            let msg = payload
+                .downcast_ref::<&str>()
+                .copied()
+                .map(str::to_string)
+                .or_else(|| payload.downcast_ref::<String>().cloned());
+            if msg.as_deref().is_some_and(|m| m.starts_with("chaos(")) {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+impl ChaosProbe {
+    /// A probe injecting per `cfg`. Also installs the process-wide
+    /// chaos-panic silencer (idempotent).
+    #[must_use]
+    pub fn new(cfg: ChaosConfig) -> Self {
+        if cfg.panic_permille > 0 {
+            silence_chaos_panics();
+        }
+        ChaosProbe {
+            cfg,
+            stages: Mutex::new(HashMap::new()),
+            visits: Mutex::new(HashMap::new()),
+            panics: AtomicU64::new(0),
+            spurious: AtomicU64::new(0),
+            stalls: AtomicU64::new(0),
+        }
+    }
+
+    /// The injection counts so far.
+    pub fn tally(&self) -> ChaosTally {
+        ChaosTally {
+            panics: self.panics.load(Ordering::Relaxed),
+            spurious_backtracks: self.spurious.load(Ordering::Relaxed),
+            stalls: self.stalls.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Bumps and returns the previous visit count of `(id, site)`.
+    fn visit(&self, id: u64, site: u64) -> u64 {
+        let mut visits = self.visits.lock().expect("chaos visit map");
+        let n = visits.entry((id, site)).or_insert(0);
+        let prev = *n;
+        *n += 1;
+        prev
+    }
+
+    /// A uniform draw in `0..1000`, pure in `(seed, site, id, visit)`.
+    fn roll(&self, site: u64, id: u64, visit: u64) -> u64 {
+        let mut rng = SplitMix64::new(
+            self.cfg
+                .seed
+                .wrapping_add(site.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                ^ id.rotate_left(24)
+                ^ visit.rotate_left(48),
+        );
+        rng.next_u64() % 1000
+    }
+
+    /// Phase/stage targeting for panic and stall sites.
+    fn targeted(&self, id: u64, p: Phase) -> bool {
+        if self.cfg.phase.is_some_and(|want| want != p) {
+            return false;
+        }
+        match self.cfg.stage {
+            None => true,
+            Some(want) => self
+                .stages
+                .lock()
+                .expect("chaos stage map")
+                .get(&id)
+                .is_some_and(|&s| s == want),
+        }
+    }
+}
+
+impl Probe for ChaosProbe {
+    fn wants_events(&self) -> bool {
+        self.cfg.spurious_backtrack_permille > 0
+    }
+
+    fn error_begin(&self, error: &BusSslError) {
+        self.stages
+            .lock()
+            .expect("chaos stage map")
+            .insert(u64::from(error.id.0), error.stage.index());
+    }
+
+    fn phase_enter(&self, id: u64, p: Phase) {
+        if self.cfg.panic_permille == 0 || !self.targeted(id, p) {
+            return;
+        }
+        let site = SITE_PHASE_ENTER + p.index() as u64;
+        let visit = self.visit(id, site);
+        if self.cfg.first_attempt_only && visit > 0 {
+            return;
+        }
+        if self.roll(site, id, visit) < u64::from(self.cfg.panic_permille) {
+            self.panics.fetch_add(1, Ordering::Relaxed);
+            // No chaos lock is held here: the guards above have dropped,
+            // so the unwind cannot poison this probe.
+            panic!(
+                "chaos({}): injected panic for error {id}, visit {visit}",
+                p.name()
+            );
+        }
+    }
+
+    fn phase_exit(&self, id: u64, p: Phase, _cost: u64, _d: Duration) {
+        if self.cfg.stall_permille == 0 || !self.targeted(id, p) {
+            return;
+        }
+        let site = SITE_PHASE_EXIT + p.index() as u64;
+        let visit = self.visit(id, site);
+        if self.cfg.first_attempt_only && visit > 0 {
+            return;
+        }
+        let roll = self.roll(site, id, visit);
+        if roll < u64::from(self.cfg.stall_permille) {
+            self.stalls.fetch_add(1, Ordering::Relaxed);
+            // Wall-clock only: a bounded busy-spin. Nothing downstream
+            // observes it except schedulers (e.g. the soft deadline).
+            for _ in 0..(roll + 1) * 20_000 {
+                std::hint::spin_loop();
+            }
+        }
+    }
+
+    fn spurious_backtrack(&self, id: u64, _decisions: usize) -> bool {
+        if self.cfg.spurious_backtrack_permille == 0 || !self.targeted(id, Phase::Ctrljust) {
+            return false;
+        }
+        let visit = self.visit(id, SITE_BACKTRACK);
+        if self.roll(SITE_BACKTRACK, id, visit) < u64::from(self.cfg.spurious_backtrack_permille) {
+            self.spurious.fetch_add(1, Ordering::Relaxed);
+            return true;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_pure_functions_of_the_site() {
+        let probe = ChaosProbe::new(ChaosConfig {
+            seed: 7,
+            ..ChaosConfig::default()
+        });
+        let twin = ChaosProbe::new(ChaosConfig {
+            seed: 7,
+            ..ChaosConfig::default()
+        });
+        for id in 0..64 {
+            for visit in 0..4 {
+                assert_eq!(probe.roll(SITE_BACKTRACK, id, visit), twin.roll(SITE_BACKTRACK, id, visit));
+            }
+        }
+        // Different seeds draw differently somewhere.
+        let other = ChaosProbe::new(ChaosConfig {
+            seed: 8,
+            ..ChaosConfig::default()
+        });
+        assert!((0..64).any(|id| probe.roll(SITE_BACKTRACK, id, 0) != other.roll(SITE_BACKTRACK, id, 0)));
+    }
+
+    #[test]
+    fn visit_counts_advance_per_site() {
+        let probe = ChaosProbe::new(ChaosConfig::default());
+        assert_eq!(probe.visit(3, SITE_PHASE_ENTER), 0);
+        assert_eq!(probe.visit(3, SITE_PHASE_ENTER), 1);
+        assert_eq!(probe.visit(3, SITE_PHASE_EXIT), 0);
+        assert_eq!(probe.visit(4, SITE_PHASE_ENTER), 0);
+    }
+
+    #[test]
+    fn injected_panic_is_catchable_and_named() {
+        let probe = ChaosProbe::new(ChaosConfig {
+            panic_permille: 1000,
+            ..ChaosConfig::default()
+        });
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            probe.phase_enter(9, Phase::Dptrace);
+        }))
+        .expect_err("certain injection must panic");
+        let msg = crate::tg::panic_payload(err.as_ref());
+        assert!(msg.starts_with("chaos(dptrace)"), "got: {msg}");
+        assert_eq!(probe.tally().panics, 1);
+    }
+}

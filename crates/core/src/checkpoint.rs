@@ -1,0 +1,400 @@
+//! Per-error campaign checkpointing: crash-safe JSONL, resume-aware.
+//!
+//! A campaign configured with [`crate::campaign::CampaignConfig::checkpoint`]
+//! appends one JSON line per finished per-error generation (detected or
+//! aborted, tagged with the retry round). Killing the campaign loses at
+//! most the in-flight errors; re-running it with the same path *resumes*:
+//! completed errors are looked up instead of regenerated, and because
+//! per-error generation is a pure function of the seed and the error, the
+//! resumed campaign's final report is identical to an uninterrupted run.
+//!
+//! The format is deliberately dumb — self-contained lines, written via
+//! [`crate::instrument::json_escape`]/[`crate::instrument::json_f64`] and
+//! read back with the in-tree [`crate::jsonv`] parser:
+//!
+//! ```text
+//! {"ck": 1, "fingerprint": "<config fingerprint>"}
+//! {"ck": 1, "id": 17, "round": 0, "redundant": false, "seconds": 0.04,
+//!  "outcome": "detected", "length": 9, "core_len": 5, ...,
+//!  "program": [word, ...], "imem": [[addr, word], ...], "dmem": [[addr, value], ...]}
+//! {"ck": 1, "id": 18, "round": 0, "redundant": true, "seconds": 0.01,
+//!  "outcome": "aborted", "reason": "no_path", "failed_phase": "dptrace",
+//!  "payload": "", "backtracks": 0}
+//! ```
+//!
+//! Robustness properties:
+//!
+//! * a truncated final line (the kill arrived mid-write) is skipped, not
+//!   fatal;
+//! * a fingerprint mismatch (the checkpoint belongs to a different
+//!   configuration) refuses to open rather than mixing incompatible
+//!   records;
+//! * write failures degrade to an un-checkpointed campaign with a single
+//!   warning — persistence is best-effort, results are not.
+
+use crate::instrument::{json_escape, json_f64, Phase};
+use crate::jsonv::{self, Value};
+use crate::tg::{AbortReason, Outcome, TestCase};
+use hltg_isa::asm::Program;
+use hltg_isa::Instr;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// One checkpointed per-error result.
+#[derive(Debug, Clone)]
+pub struct CheckpointEntry {
+    /// The generation outcome (reconstructed exactly on load).
+    pub outcome: Outcome,
+    /// Structural-redundancy verdict at generation time.
+    pub redundant: bool,
+    /// Wall-clock seconds the original generation spent.
+    pub seconds: f64,
+}
+
+/// An append-only JSONL checkpoint, shared across campaign workers.
+#[derive(Debug)]
+pub struct CheckpointLog {
+    file: Mutex<File>,
+    entries: HashMap<(u64, u32), CheckpointEntry>,
+    skipped: usize,
+    warned: AtomicBool,
+}
+
+impl CheckpointLog {
+    /// Opens (creating if absent) the checkpoint at `path` and loads any
+    /// completed entries. `fingerprint` names the campaign configuration;
+    /// a non-empty file whose header carries a different fingerprint is
+    /// refused with [`io::ErrorKind::InvalidData`], so a stale checkpoint
+    /// can never silently contaminate a differently-configured run.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors opening or reading the file, plus the fingerprint
+    /// mismatch above.
+    pub fn open(path: &Path, fingerprint: &str) -> io::Result<CheckpointLog> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .create(true)
+            .append(true)
+            .open(path)?;
+        let mut content = String::new();
+        file.read_to_string(&mut content)?;
+        let mut entries = HashMap::new();
+        let mut skipped = 0usize;
+        let mut saw_header = false;
+        for line in content.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match jsonv::parse(line) {
+                Ok(v) if v.get_u64("ck") == Some(1) => {
+                    if let Some(found) = v.get_str("fingerprint") {
+                        if found != fingerprint {
+                            return Err(io::Error::new(
+                                io::ErrorKind::InvalidData,
+                                format!(
+                                    "checkpoint fingerprint mismatch: file has {found:?}, \
+                                     campaign needs {fingerprint:?}"
+                                ),
+                            ));
+                        }
+                        saw_header = true;
+                    } else if let Some((key, entry)) = entry_from_json(&v) {
+                        entries.insert(key, entry);
+                    } else {
+                        skipped += 1;
+                    }
+                }
+                // Unparseable or foreign line: typically the torn tail of
+                // a killed run. Tolerate and move on.
+                _ => skipped += 1,
+            }
+        }
+        if !saw_header {
+            writeln!(
+                file,
+                "{{\"ck\": 1, \"fingerprint\": \"{}\"}}",
+                json_escape(fingerprint)
+            )?;
+        }
+        Ok(CheckpointLog {
+            file: Mutex::new(file),
+            entries,
+            skipped,
+            warned: AtomicBool::new(false),
+        })
+    }
+
+    /// Number of completed entries loaded at open.
+    #[must_use]
+    pub fn resumed(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Corrupt/torn lines skipped at open.
+    #[must_use]
+    pub fn skipped_lines(&self) -> usize {
+        self.skipped
+    }
+
+    /// The stored result of `(error id, retry round)`, when completed.
+    #[must_use]
+    pub fn lookup(&self, id: u64, round: u32) -> Option<&CheckpointEntry> {
+        self.entries.get(&(id, round))
+    }
+
+    /// Appends one completed per-error result. Best-effort: an I/O error
+    /// warns once and the campaign carries on un-persisted.
+    pub fn record(&self, id: u64, round: u32, entry: &CheckpointEntry) {
+        let line = entry_to_json(id, round, entry);
+        let mut file = self.file.lock().expect("checkpoint file");
+        if writeln!(file, "{line}").and_then(|()| file.flush()).is_err()
+            && !self.warned.swap(true, Ordering::Relaxed)
+        {
+            eprintln!("checkpoint: write failed; campaign continues without persistence");
+        }
+    }
+}
+
+fn entry_to_json(id: u64, round: u32, e: &CheckpointEntry) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"ck\": 1, \"id\": {id}, \"round\": {round}, \"redundant\": {}, \"seconds\": {}, ",
+        e.redundant,
+        json_f64(e.seconds)
+    );
+    match &e.outcome {
+        Outcome::Detected(tc) => {
+            let _ = write!(
+                out,
+                "\"outcome\": \"detected\", \"length\": {}, \"core_len\": {}, \
+                 \"detected_cycle\": {}, \"backtracks\": {}, \"variant\": {}, \
+                 \"relax_iterations\": {}, \"program\": [",
+                tc.length,
+                tc.core_len,
+                tc.detected_cycle,
+                tc.backtracks,
+                tc.variant,
+                tc.relax_iterations
+            );
+            for (i, w) in tc.program.encode().iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "{w}");
+            }
+            out.push_str("], \"imem\": [");
+            for (i, &(a, w)) in tc.imem_image.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "[{a}, {w}]");
+            }
+            out.push_str("], \"dmem\": [");
+            for (i, &(a, v)) in tc.dmem_image.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "[{a}, {v}]");
+            }
+            out.push_str("]}");
+        }
+        Outcome::Aborted { reason, backtracks } => {
+            let _ = write!(
+                out,
+                "\"outcome\": \"aborted\", \"reason\": \"{}\", \"failed_phase\": \"{}\", \
+                 \"payload\": \"{}\", \"backtracks\": {backtracks}}}",
+                reason.name(),
+                reason.phase_name(),
+                json_escape(match reason {
+                    AbortReason::Panicked { payload, .. } => payload,
+                    _ => "",
+                }),
+            );
+        }
+    }
+    out
+}
+
+fn entry_from_json(v: &Value) -> Option<((u64, u32), CheckpointEntry)> {
+    let id = v.get_u64("id")?;
+    let round = u32::try_from(v.get_u64("round")?).ok()?;
+    let redundant = v.get("redundant")?.as_bool()?;
+    let seconds = v.get_f64("seconds")?;
+    let outcome = match v.get_str("outcome")? {
+        "detected" => Outcome::Detected(Box::new(test_case_from_json(v)?)),
+        "aborted" => Outcome::Aborted {
+            reason: reason_from_json(v)?,
+            backtracks: v.get_u64("backtracks")? as usize,
+        },
+        _ => return None,
+    };
+    Some((
+        (id, round),
+        CheckpointEntry {
+            outcome,
+            redundant,
+            seconds,
+        },
+    ))
+}
+
+fn test_case_from_json(v: &Value) -> Option<TestCase> {
+    let words: Vec<u32> = v
+        .get("program")?
+        .as_arr()?
+        .iter()
+        .map(|w| w.as_u64().and_then(|w| u32::try_from(w).ok()))
+        .collect::<Option<_>>()?;
+    let instrs: Vec<Instr> = words
+        .iter()
+        .map(|&w| Instr::decode(w).ok())
+        .collect::<Option<_>>()?;
+    let pair = |x: &Value| -> Option<(u64, u64)> {
+        let a = x.as_arr()?;
+        match a {
+            [addr, val] => Some((addr.as_u64()?, val.as_u64()?)),
+            _ => None,
+        }
+    };
+    let imem_image: Vec<(u64, u32)> = v
+        .get("imem")?
+        .as_arr()?
+        .iter()
+        .map(|x| {
+            let (a, w) = pair(x)?;
+            Some((a, u32::try_from(w).ok()?))
+        })
+        .collect::<Option<_>>()?;
+    let dmem_image: Vec<(u64, u64)> = v
+        .get("dmem")?
+        .as_arr()?
+        .iter()
+        .map(pair)
+        .collect::<Option<_>>()?;
+    Some(TestCase {
+        program: Program { base: 0, instrs },
+        imem_image,
+        dmem_image,
+        core_len: v.get_u64("core_len")? as usize,
+        length: v.get_u64("length")? as usize,
+        detected_cycle: v.get_u64("detected_cycle")? as usize,
+        backtracks: v.get_u64("backtracks")? as usize,
+        variant: v.get_u64("variant")? as usize,
+        relax_iterations: v.get_u64("relax_iterations")? as usize,
+    })
+}
+
+fn reason_from_json(v: &Value) -> Option<AbortReason> {
+    let phase = v.get_str("failed_phase").unwrap_or("");
+    Some(match v.get_str("reason")? {
+        "no_path" => AbortReason::NoPath,
+        "control_justification" => AbortReason::ControlJustification,
+        "assembly" => AbortReason::Assembly,
+        "value_selection" => AbortReason::ValueSelection,
+        "bad_encoding" => AbortReason::BadEncoding,
+        "step_budget" => AbortReason::StepBudget {
+            phase: match phase {
+                "ctrljust" => Phase::Ctrljust,
+                "dprelax" => Phase::Dprelax,
+                _ => Phase::Dptrace,
+            },
+        },
+        "panicked" => AbortReason::Panicked {
+            phase: static_phase(phase),
+            payload: v.get_str("payload").unwrap_or("").to_string(),
+        },
+        _ => return None,
+    })
+}
+
+/// Maps a stored phase name back onto the static strings the live
+/// generator uses, so a resumed record compares equal to a fresh one.
+fn static_phase(s: &str) -> &'static str {
+    match s {
+        "dptrace" => "dptrace",
+        "ctrljust" => "ctrljust",
+        "assembly" => "assembly",
+        "dprelax" => "dprelax",
+        "generate" => "generate",
+        "campaign" => "campaign",
+        _ => "unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_abort() -> CheckpointEntry {
+        CheckpointEntry {
+            outcome: Outcome::Aborted {
+                reason: AbortReason::Panicked {
+                    phase: "ctrljust",
+                    payload: "chaos(ctrljust): injected \"panic\"".to_string(),
+                },
+                backtracks: 7,
+            },
+            redundant: false,
+            seconds: 0.125,
+        }
+    }
+
+    #[test]
+    fn abort_roundtrips_through_json() {
+        let entry = sample_abort();
+        let line = entry_to_json(42, 1, &entry);
+        let v = jsonv::parse(&line).expect("line parses");
+        let ((id, round), back) = entry_from_json(&v).expect("entry loads");
+        assert_eq!((id, round), (42, 1));
+        assert_eq!(back.redundant, entry.redundant);
+        assert_eq!(back.seconds, entry.seconds);
+        match (&back.outcome, &entry.outcome) {
+            (
+                Outcome::Aborted {
+                    reason: a,
+                    backtracks: ab,
+                },
+                Outcome::Aborted {
+                    reason: b,
+                    backtracks: bb,
+                },
+            ) => {
+                assert_eq!(a, b);
+                assert_eq!(ab, bb);
+            }
+            _ => panic!("outcome kind changed"),
+        }
+    }
+
+    #[test]
+    fn torn_tail_and_foreign_lines_are_skipped() {
+        let dir = std::env::temp_dir().join("hltg_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("torn.jsonl");
+        let _ = std::fs::remove_file(&path);
+        {
+            let log = CheckpointLog::open(&path, "fp-1").unwrap();
+            log.record(1, 0, &sample_abort());
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            // A kill mid-write leaves a torn line; a stray non-checkpoint
+            // line must not confuse the loader either.
+            write!(f, "not json at all\n{{\"ck\": 1, \"id\": 2, \"rou").unwrap();
+        }
+        let log = CheckpointLog::open(&path, "fp-1").unwrap();
+        assert_eq!(log.resumed(), 1);
+        assert_eq!(log.skipped_lines(), 2);
+        assert!(log.lookup(1, 0).is_some());
+        assert!(log.lookup(2, 0).is_none());
+        // And a different fingerprint refuses to open.
+        let err = CheckpointLog::open(&path, "fp-2").expect_err("mismatch");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -14,7 +14,7 @@
 //! hand them to `DPRELAX` for justification by the datapath — the paper's
 //! Figure 4 interaction.
 
-use crate::instrument::{Counter, Phase, Probe, NO_PROBE};
+use crate::instrument::{Counter, Phase, Probe, StepBudget, NO_PROBE};
 use crate::unroll::Unrolled;
 use hltg_netlist::ctl::{CtlInputKind, CtlNetId, CtlOp};
 use hltg_sim::V3;
@@ -82,6 +82,8 @@ pub enum JustifyError {
     Unsatisfiable,
     /// The backtrack limit was hit.
     BacktrackLimit,
+    /// The caller's deterministic step budget ran out mid-search.
+    StepBudget,
 }
 
 impl fmt::Display for JustifyError {
@@ -89,6 +91,7 @@ impl fmt::Display for JustifyError {
         match self {
             JustifyError::Unsatisfiable => write!(f, "objectives unsatisfiable in window"),
             JustifyError::BacktrackLimit => write!(f, "backtrack limit exceeded"),
+            JustifyError::StepBudget => write!(f, "step budget exhausted during search"),
         }
     }
 }
@@ -145,11 +148,32 @@ pub fn justify_probed(
     probe: &dyn Probe,
     error_id: u64,
 ) -> Result<Justification, JustifyError> {
+    justify_budgeted(u, objectives, monitors, cfg, probe, error_id, &StepBudget::unlimited())
+}
+
+/// [`justify_probed`] under a caller-supplied deterministic
+/// [`StepBudget`]: every implication pass charges one unit, and an
+/// exhausted budget unwinds all decisions and aborts with
+/// [`JustifyError::StepBudget`] at the same pass for any thread count.
+///
+/// # Errors
+///
+/// Same as [`justify`], plus [`JustifyError::StepBudget`].
+#[allow(clippy::too_many_arguments)]
+pub fn justify_budgeted(
+    u: &mut Unrolled<'_>,
+    objectives: &[Objective],
+    monitors: &[Objective],
+    cfg: CtrlJustConfig,
+    probe: &dyn Probe,
+    error_id: u64,
+    budget: &StepBudget,
+) -> Result<Justification, JustifyError> {
     probe.add(Counter::CtrljustCalls, 1);
     probe.phase_enter(error_id, Phase::Ctrljust);
     let started = Instant::now();
     let mut stats = SearchStats::default();
-    let result = search(u, objectives, monitors, cfg, probe, error_id, &mut stats);
+    let result = search(u, objectives, monitors, cfg, probe, error_id, budget, &mut stats);
     let elapsed = started.elapsed();
     probe.phase_time(Phase::Ctrljust, elapsed);
     probe.phase_exit(error_id, Phase::Ctrljust, stats.implications as u64, elapsed);
@@ -181,6 +205,7 @@ fn search(
     cfg: CtrlJustConfig,
     probe: &dyn Probe,
     error_id: u64,
+    budget: &StepBudget,
     stats: &mut SearchStats,
 ) -> Result<Vec<(usize, CtlNetId, bool)>, JustifyError> {
     let events = probe.wants_events();
@@ -189,6 +214,10 @@ fn search(
     loop {
         u.propagate();
         stats.implications += 1;
+        if !budget.charge(1) {
+            undo_all(u, &mut stack);
+            return Err(JustifyError::StepBudget);
+        }
         // Check objectives: conflict if any is known-wrong.
         let mut pending = None;
         let mut conflict = false;
@@ -215,6 +244,16 @@ fn search(
                     }
                 }
             }
+        }
+        // Fault injection (chaos testing): a probe may declare a spurious
+        // conflict here, forcing an unnecessary backtrack. Decisions are
+        // only discarded, never corrupted, so the search stays sound.
+        if !conflict
+            && events
+            && !stack.is_empty()
+            && probe.spurious_backtrack(error_id, stats.decisions)
+        {
+            conflict = true;
         }
 
         if conflict {

@@ -24,7 +24,7 @@
 //! re-runs a good/bad [`Machine`] pair over the window, so a convergent
 //! solution is by construction a *simulation-confirmed* test.
 
-use crate::instrument::{Counter, Phase, Probe, NO_PROBE};
+use crate::instrument::{Counter, Phase, Probe, StepBudget, NO_PROBE};
 use crate::rng::SplitMix64;
 use hltg_netlist::dp::{ArchId, DpModId, DpNetId, DpNetKind, DpOp};
 use hltg_netlist::{word, Design};
@@ -149,14 +149,23 @@ pub struct RelaxExhausted {
     pub perturbations: usize,
     /// Whether activation was ever achieved.
     pub activated: bool,
+    /// The caller's global deterministic step budget (not the per-call
+    /// `max_iters`) ran out mid-relaxation.
+    pub budget_exhausted: bool,
 }
 
 impl fmt::Display for RelaxExhausted {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "relaxation did not converge after {} iterations (activated: {})",
-            self.iterations, self.activated
+            "relaxation did not converge after {} iterations (activated: {}{})",
+            self.iterations,
+            self.activated,
+            if self.budget_exhausted {
+                ", step budget exhausted"
+            } else {
+                ""
+            }
         )
     }
 }
@@ -308,10 +317,31 @@ impl<'d> RelaxEngine<'d> {
         probe: &dyn Probe,
         error_id: u64,
     ) -> Result<RelaxSolution, RelaxExhausted> {
+        self.solve_budgeted(goal, rng, max_iters, probe, error_id, &StepBudget::unlimited())
+    }
+
+    /// [`RelaxEngine::solve_probed`] under a caller-supplied deterministic
+    /// [`StepBudget`]: every relaxation iteration charges one unit, and an
+    /// exhausted budget stops the loop with
+    /// [`RelaxExhausted::budget_exhausted`] set, at the same iteration for
+    /// any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`RelaxEngine::solve`].
+    pub fn solve_budgeted(
+        &mut self,
+        goal: &RelaxGoal,
+        rng: &mut SplitMix64,
+        max_iters: usize,
+        probe: &dyn Probe,
+        error_id: u64,
+        budget: &StepBudget,
+    ) -> Result<RelaxSolution, RelaxExhausted> {
         probe.add(Counter::DprelaxCalls, 1);
         probe.phase_enter(error_id, Phase::Dprelax);
         let started = Instant::now();
-        let result = self.relax_loop(goal, rng, max_iters, probe, error_id);
+        let result = self.relax_loop(goal, rng, max_iters, probe, error_id, budget);
         let elapsed = started.elapsed();
         probe.phase_time(Phase::Dprelax, elapsed);
         let (iterations, perturbations) = match &result {
@@ -324,6 +354,7 @@ impl<'d> RelaxEngine<'d> {
         result
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn relax_loop(
         &mut self,
         goal: &RelaxGoal,
@@ -331,12 +362,21 @@ impl<'d> RelaxEngine<'d> {
         max_iters: usize,
         probe: &dyn Probe,
         error_id: u64,
+        budget: &StepBudget,
     ) -> Result<RelaxSolution, RelaxExhausted> {
         let events = probe.wants_events();
         let mut ever_activated = false;
         let mut prev_unmet: Option<(DpNetId, usize, u64)> = None;
         self.perturbations = 0;
         for iter in 0..max_iters {
+            if !budget.charge(1) {
+                return Err(RelaxExhausted {
+                    iterations: iter,
+                    perturbations: self.perturbations,
+                    activated: ever_activated,
+                    budget_exhausted: true,
+                });
+            }
             let perturbs_before = self.perturbations;
             self.run(goal.horizon);
             // STS-justifying value requirements come first: they establish
@@ -400,6 +440,7 @@ impl<'d> RelaxEngine<'d> {
             iterations: max_iters,
             perturbations: self.perturbations,
             activated: ever_activated,
+            budget_exhausted: false,
         })
     }
 

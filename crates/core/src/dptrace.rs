@@ -24,7 +24,7 @@
 //! simulation confirmation) can request a different set of paths — the
 //! re-selection loop of the paper's Figure 3/4.
 
-use crate::instrument::{Counter, Phase, Probe, NO_PROBE};
+use crate::instrument::{Counter, Phase, Probe, StepBudget, NO_PROBE};
 use crate::testability::Testability;
 use hltg_netlist::dp::{DpModId, DpModule, DpNetId, DpNetKind, DpNetlist, DpOp, PortRef};
 use hltg_netlist::Design;
@@ -96,6 +96,8 @@ pub enum DptraceError {
     NotControllable,
     /// No propagation path: the error site is not observable.
     NotObservable,
+    /// The caller's deterministic step budget ran out mid-search.
+    StepBudget,
 }
 
 impl fmt::Display for DptraceError {
@@ -103,6 +105,7 @@ impl fmt::Display for DptraceError {
         match self {
             DptraceError::NotControllable => write!(f, "error site not controllable"),
             DptraceError::NotObservable => write!(f, "error site not observable"),
+            DptraceError::StepBudget => write!(f, "step budget exhausted during path search"),
         }
     }
 }
@@ -133,6 +136,7 @@ impl Default for DptraceConfig {
 struct Ctx<'d> {
     design: &'d Design,
     cfg: DptraceConfig,
+    budget: &'d StepBudget,
     meas: Testability,
     seed: usize,
     objectives: Vec<(DpNetId, i32, bool)>,
@@ -270,6 +274,9 @@ impl<'d> Ctx<'d> {
     /// Justification: make `net` controllable (C4) at `time`.
     fn justify(&mut self, net: DpNetId, time: i32, depth: usize) -> bool {
         self.steps += 1;
+        if !self.budget.charge(1) {
+            return false;
+        }
         if time < self.cfg.min_time || depth > self.cfg.max_depth {
             return false;
         }
@@ -381,6 +388,9 @@ impl<'d> Ctx<'d> {
     /// observable point.
     fn propagate(&mut self, net: DpNetId, time: i32, depth: usize) -> Option<SinkInfo> {
         self.steps += 1;
+        if !self.budget.charge(1) {
+            return None;
+        }
         if time > self.cfg.max_time || depth > self.cfg.max_depth {
             return None;
         }
@@ -531,10 +541,31 @@ pub fn select_paths_probed(
     probe: &dyn Probe,
     error_id: u64,
 ) -> Result<PathPlan, DptraceError> {
+    select_paths_budgeted(design, net, variant, cfg, probe, error_id, &StepBudget::unlimited())
+}
+
+/// [`select_paths_probed`] under a caller-supplied deterministic
+/// [`StepBudget`]: every recursion step charges one unit, and an
+/// exhausted budget aborts the search with [`DptraceError::StepBudget`]
+/// at the same point for any thread count.
+///
+/// # Errors
+///
+/// Same as [`select_paths`], plus [`DptraceError::StepBudget`].
+#[allow(clippy::too_many_arguments)]
+pub fn select_paths_budgeted(
+    design: &Design,
+    net: DpNetId,
+    variant: usize,
+    cfg: DptraceConfig,
+    probe: &dyn Probe,
+    error_id: u64,
+    budget: &StepBudget,
+) -> Result<PathPlan, DptraceError> {
     probe.add(Counter::DptraceCalls, 1);
     probe.phase_enter(error_id, Phase::Dptrace);
     let started = Instant::now();
-    let (result, steps) = select_inner(design, net, variant, cfg);
+    let (result, steps) = select_inner(design, net, variant, cfg, budget);
     let elapsed = started.elapsed();
     probe.phase_time(Phase::Dptrace, elapsed);
     probe.phase_exit(error_id, Phase::Dptrace, steps, elapsed);
@@ -545,15 +576,17 @@ pub fn select_paths_probed(
     result
 }
 
-fn select_inner(
-    design: &Design,
+fn select_inner<'d>(
+    design: &'d Design,
     net: DpNetId,
     variant: usize,
     cfg: DptraceConfig,
+    budget: &'d StepBudget,
 ) -> (Result<PathPlan, DptraceError>, u64) {
     let mut ctx = Ctx {
         design,
         cfg,
+        budget,
         meas: Testability::compute(design),
         seed: variant,
         objectives: Vec::new(),
@@ -565,10 +598,20 @@ fn select_inner(
         steps: 0,
     };
     if !ctx.justify(net, 0, 0) {
-        return (Err(DptraceError::NotControllable), ctx.steps as u64);
+        let e = if budget.exhausted() {
+            DptraceError::StepBudget
+        } else {
+            DptraceError::NotControllable
+        };
+        return (Err(e), ctx.steps as u64);
     }
     let Some(sink) = ctx.propagate(net, 0, 0) else {
-        return (Err(DptraceError::NotObservable), ctx.steps as u64);
+        let e = if budget.exhausted() {
+            DptraceError::StepBudget
+        } else {
+            DptraceError::NotObservable
+        };
+        return (Err(e), ctx.steps as u64);
     };
     let min_time = ctx
         .objectives

@@ -22,9 +22,69 @@
 //!   external dependencies, `serde` included).
 
 use hltg_errors::BusSslError;
+use std::cell::Cell;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
+
+/// A deterministic work-unit budget shared by the engine phases of one
+/// per-error generation run.
+///
+/// The budget counts the same *deterministic* units the [`Probe`]
+/// phase hooks already report as `cost` — `DPTRACE` recursion steps,
+/// `CTRLJUST` implication passes, `DPRELAX` iterations — never
+/// wall-clock, so exhaustion happens at exactly the same point in the
+/// search for every worker-thread count, machine and run. One instance
+/// is created per error; it is deliberately single-threaded (`Cell`),
+/// since a per-error budget belongs to exactly one worker.
+#[derive(Debug)]
+pub struct StepBudget {
+    limit: u64,
+    used: Cell<u64>,
+    tripped: Cell<bool>,
+}
+
+impl StepBudget {
+    /// A budget of `limit` deterministic work units.
+    #[must_use]
+    pub fn limited(limit: u64) -> Self {
+        StepBudget {
+            limit,
+            used: Cell::new(0),
+            tripped: Cell::new(false),
+        }
+    }
+
+    /// A budget that never exhausts.
+    #[must_use]
+    pub fn unlimited() -> Self {
+        Self::limited(u64::MAX)
+    }
+
+    /// Consumes `n` units; `false` once the budget is exhausted. Charging
+    /// past the limit saturates (the overshoot is not recorded), so the
+    /// abort point is the first charge that would cross the limit.
+    pub fn charge(&self, n: u64) -> bool {
+        let used = self.used.get().saturating_add(n);
+        self.used.set(used.min(self.limit));
+        if used > self.limit {
+            self.tripped.set(true);
+        }
+        !self.tripped.get()
+    }
+
+    /// `true` once a [`StepBudget::charge`] has failed.
+    #[must_use]
+    pub fn exhausted(&self) -> bool {
+        self.tripped.get()
+    }
+
+    /// Units consumed so far (clamped at the limit).
+    #[must_use]
+    pub fn used(&self) -> u64 {
+        self.used.get()
+    }
+}
 
 /// The three engine phases of the paper's Figure 3 loop.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -264,6 +324,16 @@ pub trait Probe: Sync {
     fn relax_perturb(&self, id: u64, iteration: usize) {
         let _ = (id, iteration);
     }
+
+    /// Fault-injection hook (gated on [`Probe::wants_events`]): `true`
+    /// asks CTRLJUST to treat its current state as a conflict and
+    /// backtrack even though no objective failed. Only
+    /// [`crate::chaos::ChaosProbe`] ever returns `true`; the default (and
+    /// every observability probe) keeps the search untouched.
+    fn spurious_backtrack(&self, id: u64, decisions: usize) -> bool {
+        let _ = (id, decisions);
+        false
+    }
 }
 
 /// The do-nothing probe.
@@ -373,6 +443,11 @@ impl Probe for MultiProbe<'_> {
         for p in &self.probes {
             p.relax_perturb(id, iteration);
         }
+    }
+    fn spurious_backtrack(&self, id: u64, decisions: usize) -> bool {
+        self.probes
+            .iter()
+            .any(|p| p.spurious_backtrack(id, decisions))
     }
 }
 
@@ -556,6 +631,22 @@ mod tests {
         let opens = json.matches('{').count();
         let closes = json.matches('}').count();
         assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn step_budget_trips_exactly_at_the_limit() {
+        let b = StepBudget::limited(3);
+        assert!(b.charge(2));
+        assert!(b.charge(1)); // lands exactly on the limit: still allowed
+        assert!(!b.exhausted());
+        assert!(!b.charge(1)); // first crossing charge fails
+        assert!(b.exhausted());
+        assert!(!b.charge(0)); // and the trip latches
+        assert_eq!(b.used(), 3);
+
+        let u = StepBudget::unlimited();
+        assert!(u.charge(u64::MAX / 2));
+        assert!(!u.exhausted());
     }
 
     #[test]

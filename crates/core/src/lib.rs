@@ -38,6 +38,8 @@
 #![warn(missing_docs)]
 
 pub mod campaign;
+pub mod chaos;
+pub mod checkpoint;
 pub mod costate;
 pub mod instrument;
 pub mod jsonv;
@@ -54,8 +56,11 @@ pub mod unroll;
 
 pub use campaign::{
     Campaign, CampaignConfig, CampaignReport, CampaignRun, CampaignStats, ObserveOptions,
+    RetryPolicy,
 };
-pub use instrument::{Counter, Counters, MultiProbe, Phase, Probe, SpanEnd, NO_PROBE};
+pub use chaos::{ChaosConfig, ChaosProbe, ChaosTally};
+pub use checkpoint::{CheckpointEntry, CheckpointLog};
+pub use instrument::{Counter, Counters, MultiProbe, Phase, Probe, SpanEnd, StepBudget, NO_PROBE};
 pub use rng::SplitMix64;
-pub use tg::{Outcome, TestGenerator, TgConfig};
+pub use tg::{AbortReason, Outcome, TestGenerator, TgConfig};
 pub use trace::{LogHistogram, TraceSnapshot, Tracer};

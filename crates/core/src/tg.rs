@@ -31,7 +31,7 @@
 use crate::ctrljust::{self, CtrlJustConfig, Objective};
 use crate::dprelax::{Activation, MemImage, RelaxEngine, RelaxGoal};
 use crate::dptrace::{self, DptraceConfig, PathPlan};
-use crate::instrument::{Counter, Probe, SpanEnd, NO_PROBE};
+use crate::instrument::{Counter, Phase, Probe, SpanEnd, StepBudget, NO_PROBE};
 use crate::rng::SplitMix64;
 use crate::unroll::Unrolled;
 use hltg_dlx::DlxDesign;
@@ -54,6 +54,13 @@ pub struct TgConfig {
     pub dptrace: DptraceConfig,
     /// Discrete-relaxation iteration budget per variant.
     pub relax_iters: usize,
+    /// Global deterministic step budget per error, across all variants
+    /// and phases: `DPTRACE` recursion steps + `CTRLJUST` implication
+    /// passes + `DPRELAX` iterations. Counts work units, never
+    /// wall-clock, so an exhausted budget aborts at a byte-identical
+    /// point for any worker-thread count. `None` (the default) is
+    /// unlimited.
+    pub max_steps: Option<u64>,
     /// RNG seed for relaxation heuristics.
     pub seed: u64,
     /// Emit step-by-step tracing on stderr (debugging aid).
@@ -67,6 +74,7 @@ impl Default for TgConfig {
             ctrljust: CtrlJustConfig::default(),
             dptrace: DptraceConfig::default(),
             relax_iters: 48,
+            max_steps: None,
             seed: 0x5eed_1999,
             debug: false,
         }
@@ -117,7 +125,7 @@ enum StsFailure {
 }
 
 /// Why a test could not be generated.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum AbortReason {
     /// `DPTRACE` found no justification/propagation path in any variant
     /// (typically buses observable only through the controller).
@@ -128,17 +136,40 @@ pub enum AbortReason {
     Assembly,
     /// `DPRELAX` did not converge.
     ValueSelection,
+    /// A confirmed test's instruction word failed to decode: the memory
+    /// image activates the error through a word that is not a valid
+    /// instruction, so the test cannot be reported as a program.
+    BadEncoding,
+    /// The global [`TgConfig::max_steps`] budget ran out (deterministic
+    /// work units, identical abort point for any thread count).
+    StepBudget {
+        /// The engine phase that consumed the final unit.
+        phase: Phase,
+    },
+    /// Generation panicked; the panic was isolated by the per-phase
+    /// `catch_unwind` and converted into this abort.
+    Panicked {
+        /// Name of the pipeline phase (or `"generate"` for panics
+        /// outside the three engines, `"campaign"` for panics outside
+        /// the generator) that panicked.
+        phase: &'static str,
+        /// The panic payload, when it was a string.
+        payload: String,
+    },
 }
 
 impl AbortReason {
     /// Stable snake_case name used in reports and trace events.
     #[must_use]
-    pub fn name(self) -> &'static str {
+    pub fn name(&self) -> &'static str {
         match self {
             AbortReason::NoPath => "no_path",
             AbortReason::ControlJustification => "control_justification",
             AbortReason::Assembly => "assembly",
             AbortReason::ValueSelection => "value_selection",
+            AbortReason::BadEncoding => "bad_encoding",
+            AbortReason::StepBudget { .. } => "step_budget",
+            AbortReason::Panicked { .. } => "panicked",
         }
     }
 
@@ -146,12 +177,14 @@ impl AbortReason {
     /// events (`assembly` covers the opcode/register/model-check steps
     /// between CTRLJUST and DPRELAX).
     #[must_use]
-    pub fn phase_name(self) -> &'static str {
+    pub fn phase_name(&self) -> &'static str {
         match self {
             AbortReason::NoPath => "dptrace",
             AbortReason::ControlJustification => "ctrljust",
-            AbortReason::Assembly => "assembly",
+            AbortReason::Assembly | AbortReason::BadEncoding => "assembly",
             AbortReason::ValueSelection => "dprelax",
+            AbortReason::StepBudget { phase } => phase.name(),
+            AbortReason::Panicked { phase, .. } => phase,
         }
     }
 }
@@ -174,6 +207,39 @@ impl Outcome {
     /// `true` for [`Outcome::Detected`].
     pub fn is_detected(&self) -> bool {
         matches!(self, Outcome::Detected(_))
+    }
+}
+
+/// Catches a panic in `f` and converts it into an
+/// [`AbortReason::Panicked`] abort naming `phase`. Any state `f` touched
+/// is abandoned by the caller (the whole attempt — or error — is given
+/// up), so the `AssertUnwindSafe` is sound: nothing partially mutated is
+/// ever observed again.
+#[allow(clippy::type_complexity)]
+fn catch_phase<T>(
+    phase: &'static str,
+    f: impl FnOnce() -> T,
+) -> Result<T, (AbortReason, Option<(usize, CtlNetId, bool)>)> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+        Ok(v) => Ok(v),
+        Err(payload) => Err((
+            AbortReason::Panicked {
+                phase,
+                payload: panic_payload(payload.as_ref()),
+            },
+            None,
+        )),
+    }
+}
+
+/// Best-effort extraction of a panic message from a payload.
+pub(crate) fn panic_payload(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
     }
 }
 
@@ -208,12 +274,22 @@ impl<'d> TestGenerator<'d> {
     }
 
     /// Generates (and confirms) a test for `error`, or reports an abort.
+    ///
+    /// Resilient by construction: a panic anywhere in the attempt is
+    /// caught (per engine phase, so the abort names the phase that
+    /// panicked) and becomes [`AbortReason::Panicked`]; the probe span is
+    /// closed normally either way, so a panicking error never corrupts
+    /// the campaign trace or kills a worker thread.
     pub fn generate(&mut self, error: &BusSslError) -> Outcome {
         let id = u64::from(error.id.0);
         self.probe.error_begin(error);
+        let budget = match self.cfg.max_steps {
+            Some(limit) => StepBudget::limited(limit),
+            None => StepBudget::unlimited(),
+        };
         let mut total_backtracks = 0usize;
         let mut last_reason = AbortReason::NoPath;
-        for variant in 0..self.cfg.max_variants {
+        'variants: for variant in 0..self.cfg.max_variants {
             self.probe.add(Counter::Variants, 1);
             self.probe.variant_begin(id, variant);
             // Counterexample-guided refinement: a status decision that the
@@ -221,7 +297,13 @@ impl<'d> TestGenerator<'d> {
             // actual value and the controller search repeated.
             let mut assumptions: Vec<(usize, CtlNetId, bool)> = Vec::new();
             for _refine in 0..4 {
-                match self.attempt(error, variant, &assumptions, &mut total_backtracks) {
+                let attempted = match catch_phase("generate", || {
+                    self.attempt(error, variant, &assumptions, &mut total_backtracks, &budget)
+                }) {
+                    Ok(inner) => inner,
+                    Err(caught) => Err(caught),
+                };
+                match attempted {
                     Ok(test) => {
                         self.probe.add(Counter::TestsGenerated, 1);
                         self.probe.variant_end(id, variant, true, "");
@@ -248,7 +330,20 @@ impl<'d> TestGenerator<'d> {
                         assumptions.push((frame, net, actual));
                     }
                     Err((reason, None)) => {
+                        // A panic or an exhausted global budget ends the
+                        // whole error, not just this variant: the budget
+                        // spans variants, and a panicking phase must not
+                        // be re-entered on state it may have corrupted.
+                        let fatal = matches!(
+                            reason,
+                            AbortReason::Panicked { .. } | AbortReason::StepBudget { .. }
+                        );
                         last_reason = reason;
+                        if fatal {
+                            self.probe
+                                .variant_end(id, variant, false, last_reason.phase_name());
+                            break 'variants;
+                        }
                         break;
                     }
                 }
@@ -281,18 +376,30 @@ impl<'d> TestGenerator<'d> {
         variant: usize,
         assumptions: &[(usize, CtlNetId, bool)],
         total_backtracks: &mut usize,
+        budget: &StepBudget,
     ) -> Result<TestCase, (AbortReason, Option<(usize, CtlNetId, bool)>)> {
         let design = &self.dlx.design;
         let id = u64::from(error.id.0);
-        let plan = dptrace::select_paths_probed(
-            design,
-            error.net,
-            variant,
-            self.cfg.dptrace,
-            self.probe,
-            id,
-        )
-        .map_err(|_| (AbortReason::NoPath, None))?;
+        let plan = catch_phase("dptrace", || {
+            dptrace::select_paths_budgeted(
+                design,
+                error.net,
+                variant,
+                self.cfg.dptrace,
+                self.probe,
+                id,
+                budget,
+            )
+        })?
+        .map_err(|e| match e {
+            dptrace::DptraceError::StepBudget => (
+                AbortReason::StepBudget {
+                    phase: Phase::Dptrace,
+                },
+                None,
+            ),
+            _ => (AbortReason::NoPath, None),
+        })?;
         if self.cfg.debug {
             eprintln!(
                 "[tg v{variant}] plan: sink={}@t{} objectives={:?} sels={:?} sources={:?}",
@@ -340,19 +447,30 @@ impl<'d> TestGenerator<'d> {
         let (objectives, monitors) = self
             .build_objectives(&plan, activation_cycle, frames)
             .map_err(|e| (e, None))?;
-        let just = ctrljust::justify_probed(
-            &mut u,
-            &objectives,
-            &monitors,
-            self.cfg.ctrljust,
-            self.probe,
-            id,
-        )
+        let just = catch_phase("ctrljust", || {
+            ctrljust::justify_budgeted(
+                &mut u,
+                &objectives,
+                &monitors,
+                self.cfg.ctrljust,
+                self.probe,
+                id,
+                budget,
+            )
+        })?
         .map_err(|e| {
             if self.cfg.debug {
                 eprintln!("[tg v{variant}] ctrljust failed: {e}");
             }
-            (AbortReason::ControlJustification, None)
+            match e {
+                ctrljust::JustifyError::StepBudget => (
+                    AbortReason::StepBudget {
+                        phase: Phase::Ctrljust,
+                    },
+                    None,
+                ),
+                _ => (AbortReason::ControlJustification, None),
+            }
         })?;
         *total_backtracks += just.backtracks;
 
@@ -509,14 +627,24 @@ impl<'d> TestGenerator<'d> {
         let mut rng = SplitMix64::seed_from_u64(
             self.cfg.seed ^ ((variant as u64) << 32) ^ u64::from(error.id.0),
         );
-        let sol = engine
-            .solve_probed(&goal, &mut rng, self.cfg.relax_iters, self.probe, id)
-            .map_err(|e| {
-                if self.cfg.debug {
-                    eprintln!("[tg v{variant}] relaxation failed: {e}");
-                }
+        let sol = catch_phase("dprelax", || {
+            engine.solve_budgeted(&goal, &mut rng, self.cfg.relax_iters, self.probe, id, budget)
+        })?
+        .map_err(|e| {
+            if self.cfg.debug {
+                eprintln!("[tg v{variant}] relaxation failed: {e}");
+            }
+            if e.budget_exhausted {
+                (
+                    AbortReason::StepBudget {
+                        phase: Phase::Dprelax,
+                    },
+                    None,
+                )
+            } else {
                 (AbortReason::ValueSelection, None)
-            })?;
+            }
+        })?;
 
         // --- Extract the confirmed test --------------------------------------
         let final_imem = &sol.images[0].1;
@@ -531,13 +659,18 @@ impl<'d> TestGenerator<'d> {
             .unwrap_or(0);
         let length = (sol.detected_at.0 + 1).min(words.len());
         words.truncate(length.max(core_len));
-        let program = Program {
-            base: 0,
-            instrs: words
-                .iter()
-                .map(|&w| Instr::decode(w).unwrap_or_default())
-                .collect(),
-        };
+        // Every word of the confirmed stream must decode: a detection that
+        // rides on an undecodable word is not a reportable *program*, and
+        // silently substituting a NOP would hand the user a test whose
+        // listing disagrees with the memory image that actually ran.
+        let mut instrs = Vec::with_capacity(words.len());
+        for &w in &words {
+            match Instr::decode(w) {
+                Ok(i) => instrs.push(i),
+                Err(_) => return Err((AbortReason::BadEncoding, None)),
+            }
+        }
+        let program = Program { base: 0, instrs };
         let mut dmem_image: Vec<(u64, u64)> =
             sol.images[1].1.words.iter().map(|(&a, &v)| (a, v)).collect();
         dmem_image.sort_unstable();

@@ -20,4 +20,27 @@ echo "== trace/report smoke (table1 --json --trace-out on a tiny sample)"
     --report target/report_smoke.json
 ./target/release/profile_report target/trace_smoke.jsonl > /dev/null
 
+echo "== resilience smoke (checkpoint resume round-trip + chaos panics)"
+rm -f target/ckpt_smoke.jsonl
+./target/release/table1 6 --threads 2 --resume target/ckpt_smoke.jsonl \
+    --json > /dev/null
+./target/release/table1 12 --threads 2 --resume target/ckpt_smoke.jsonl \
+    --json > target/resume_smoke.json
+./target/release/table1 12 --threads 2 --json > target/fresh_smoke.json
+# The resumed run must reproduce the fresh run's deterministic stats.
+stats_of() { grep -o '"errors": [0-9]*, "detected": [0-9]*, "aborted": [0-9]*' "$1"; }
+a="$(stats_of target/resume_smoke.json)"
+b="$(stats_of target/fresh_smoke.json)"
+[ -n "$a" ] && [ "$a" = "$b" ] || {
+    echo "checkpoint resume diverged: '$a' vs '$b'" >&2
+    exit 1
+}
+# Chaos campaign: injected panics must not stop the run, and its trace
+# and report must still validate.
+./target/release/table1 12 --threads 2 --chaos-panic 400 --chaos-seed 7 \
+    --retry 1 --trace-out target/chaos_smoke.jsonl \
+    --json > target/chaos_smoke.json
+./target/release/profile_report --check target/chaos_smoke.jsonl \
+    --report target/chaos_smoke.json
+
 echo "== OK"

@@ -4,7 +4,10 @@
 
 use hltg::core::ctrljust::CtrlJustConfig;
 use hltg::core::dptrace::DptraceConfig;
-use hltg::core::{Campaign, CampaignConfig, Outcome, TestGenerator, TgConfig};
+use hltg::core::{
+    AbortReason, Campaign, CampaignConfig, CampaignStats, ChaosConfig, Outcome, Phase,
+    TestGenerator, TgConfig,
+};
 use hltg::dlx::DlxDesign;
 use hltg::errors::{
     enumerate_bus_order_errors, enumerate_module_substitutions, enumerate_stage_errors,
@@ -13,9 +16,34 @@ use hltg::errors::{
 use hltg::isa::asm::assemble;
 use hltg::netlist::Stage;
 use hltg::sim::{ErrorModel, Machine, Schedule};
+use std::time::Duration;
 
 fn stages() -> [Stage; 3] {
     [Stage::new(2), Stage::new(3), Stage::new(4)]
+}
+
+/// Stats with the wall-clock field zeroed: `seconds` is the only
+/// legitimately run-dependent quantity.
+fn stats_sans_time(c: &Campaign) -> CampaignStats {
+    let mut s = c.stats();
+    s.seconds = 0.0;
+    s
+}
+
+/// The Table 1 report with its timing line removed.
+fn report_sans_time(c: &Campaign) -> String {
+    c.table1_report()
+        .lines()
+        .filter(|l| !l.contains("CPU time"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// A unique temp path for checkpoint files (tests run concurrently).
+fn temp_checkpoint(name: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("hltg_robustness_{name}.jsonl"));
+    let _ = std::fs::remove_file(&path);
+    path
 }
 
 /// Starved search budgets abort cleanly and never claim detection without
@@ -142,6 +170,315 @@ fn identity_substitution_is_silent() {
     for _ in 0..24 {
         assert_eq!(good.step(), bad.step());
     }
+}
+
+/// Chaos-injected panics — in every engine phase, targeted or not — are
+/// isolated into `Aborted` records: the campaign completes, every error
+/// is accounted for, no worker dies uncounted, and the statistics are
+/// byte-identical across thread counts.
+#[test]
+fn chaos_panics_are_isolated_and_deterministic() {
+    let dlx = DlxDesign::build();
+    let phases = [
+        None,
+        Some(Phase::Dptrace),
+        Some(Phase::Ctrljust),
+        Some(Phase::Dprelax),
+    ];
+    for phase in phases {
+        let config_at = |num_threads: usize| CampaignConfig {
+            limit: Some(10),
+            num_threads,
+            chaos: Some(ChaosConfig {
+                seed: 0xDEAD_BEEF,
+                panic_permille: 500,
+                phase,
+                ..ChaosConfig::default()
+            }),
+            ..CampaignConfig::default()
+        };
+        // Through the full observed path: counters and report survive
+        // chaos too.
+        let run = Campaign::run_observed(&dlx, &config_at(1), &Default::default());
+        assert_eq!(run.report.stats.errors, 10);
+        let serial = run.campaign;
+        let stats = serial.stats();
+        assert_eq!(serial.records.len(), 10, "campaign must complete ({phase:?})");
+        assert_eq!(
+            stats.detected + stats.aborted,
+            stats.errors,
+            "every error accounted ({phase:?})"
+        );
+        assert!(
+            stats.aborted_panicked >= 1,
+            "injection rate 50% must panic somewhere ({phase:?})"
+        );
+        // Panic records carry the phase they unwound from.
+        for r in &serial.records {
+            if let Outcome::Aborted {
+                reason: AbortReason::Panicked { phase: at, payload },
+                ..
+            } = &r.outcome
+            {
+                assert!(payload.starts_with("chaos("), "payload: {payload}");
+                if let Some(want) = phase {
+                    assert_eq!(*at, want.name(), "panic attributed to the injected phase");
+                }
+            }
+        }
+        let sharded = Campaign::run(&dlx, &config_at(4));
+        assert_eq!(
+            stats_sans_time(&sharded),
+            stats_sans_time(&serial),
+            "chaos stats diverge between 1 and 4 threads ({phase:?})"
+        );
+        assert_eq!(
+            report_sans_time(&sharded),
+            report_sans_time(&serial),
+            "chaos report diverges between 1 and 4 threads ({phase:?})"
+        );
+    }
+}
+
+/// Stage targeting: chaos aimed at a stage with no enumerated errors is
+/// vacuous — the campaign equals a clean run — while chaos aimed at a
+/// populated stage injects.
+#[test]
+fn chaos_stage_targeting_is_respected() {
+    let dlx = DlxDesign::build();
+    let base = CampaignConfig {
+        limit: Some(8),
+        num_threads: 1,
+        ..CampaignConfig::default()
+    };
+    let clean = Campaign::run(&dlx, &base);
+    let populated_stage = clean.records[0].error.stage.index();
+    let hit = Campaign::run(
+        &dlx,
+        &CampaignConfig {
+            chaos: Some(ChaosConfig {
+                panic_permille: 1000,
+                stage: Some(populated_stage),
+                ..ChaosConfig::default()
+            }),
+            ..base.clone()
+        },
+    );
+    assert!(hit.stats().aborted_panicked >= 1);
+    let vacuous = Campaign::run(
+        &dlx,
+        &CampaignConfig {
+            chaos: Some(ChaosConfig {
+                panic_permille: 1000,
+                stage: Some(99),
+                ..ChaosConfig::default()
+            }),
+            ..base.clone()
+        },
+    );
+    assert_eq!(stats_sans_time(&vacuous), stats_sans_time(&clean));
+}
+
+/// Chaos spurious backtracks waste CTRLJUST work but never corrupt an
+/// outcome: detections stay confirmed and the campaign stays
+/// thread-count deterministic.
+#[test]
+fn chaos_spurious_backtracks_stay_sound() {
+    let dlx = DlxDesign::build();
+    let config_at = |num_threads: usize| CampaignConfig {
+        limit: Some(8),
+        num_threads,
+        chaos: Some(ChaosConfig {
+            spurious_backtrack_permille: 200,
+            ..ChaosConfig::default()
+        }),
+        ..CampaignConfig::default()
+    };
+    let serial = Campaign::run(&dlx, &config_at(1));
+    let stats = serial.stats();
+    assert_eq!(stats.detected + stats.aborted, stats.errors);
+    for r in &serial.records {
+        if let Outcome::Detected(tc) = &r.outcome {
+            assert!(tc.detected_cycle < tc.program.len() + 32);
+        }
+    }
+    let sharded = Campaign::run(&dlx, &config_at(4));
+    assert_eq!(stats_sans_time(&sharded), stats_sans_time(&serial));
+}
+
+/// Retry-with-escalation recovers errors whose first attempt was killed
+/// by an injected panic: `first_attempt_only` chaos panics every error
+/// once, the escalated round runs clean, and the final statistics show
+/// the recovery (and stay thread-count deterministic).
+#[test]
+fn retry_recovers_panicked_errors() {
+    let dlx = DlxDesign::build();
+    let config_at = |num_threads: usize| {
+        let mut config = CampaignConfig {
+            limit: Some(6),
+            num_threads,
+            chaos: Some(ChaosConfig {
+                panic_permille: 1000,
+                phase: Some(Phase::Dptrace),
+                first_attempt_only: true,
+                ..ChaosConfig::default()
+            }),
+            ..CampaignConfig::default()
+        };
+        config.retry.rounds = 1;
+        config
+    };
+    let campaign = Campaign::run(&dlx, &config_at(1));
+    let stats = campaign.stats();
+    assert_eq!(stats.detected + stats.aborted, stats.errors);
+    assert!(
+        stats.detected_after_retry >= 1,
+        "retry must recover panicked errors: {stats:?}"
+    );
+    assert_eq!(
+        stats.aborted_panicked, 0,
+        "the clean retry round replaces every panic record: {stats:?}"
+    );
+    for r in &campaign.records {
+        if r.outcome.is_detected() && !r.by_simulation {
+            assert_eq!(r.round, 1, "recovered records are tagged with their round");
+        }
+    }
+    let sharded = Campaign::run(&dlx, &config_at(4));
+    assert_eq!(stats_sans_time(&sharded), stats_sans_time(&campaign));
+}
+
+/// The deterministic step budget aborts with a phase-attributed reason at
+/// byte-identical points for every thread count, and never fabricates a
+/// detection.
+#[test]
+fn step_budget_aborts_deterministically() {
+    let dlx = DlxDesign::build();
+    let config_at = |num_threads: usize| {
+        let mut config = CampaignConfig {
+            limit: Some(10),
+            num_threads,
+            ..CampaignConfig::default()
+        };
+        config.tg.max_steps = Some(40);
+        config
+    };
+    let serial = Campaign::run(&dlx, &config_at(1));
+    let stats = serial.stats();
+    assert_eq!(stats.detected + stats.aborted, stats.errors);
+    assert!(
+        stats.aborted_step_budget >= 1,
+        "a 40-step budget must starve some error: {stats:?}"
+    );
+    for r in &serial.records {
+        if let Outcome::Aborted {
+            reason: AbortReason::StepBudget { .. },
+            ..
+        } = &r.outcome
+        {
+            continue;
+        }
+        if let Outcome::Detected(tc) = &r.outcome {
+            assert!(tc.detected_cycle < tc.program.len() + 32);
+        }
+    }
+    for threads in [4, 8] {
+        let sharded = Campaign::run(&dlx, &config_at(threads));
+        assert_eq!(
+            stats_sans_time(&sharded),
+            stats_sans_time(&serial),
+            "step-budget abort points diverge at num_threads={threads}"
+        );
+        assert_eq!(report_sans_time(&sharded), report_sans_time(&serial));
+    }
+}
+
+/// Checkpoint/resume: a short run's checkpoint seeds a longer one, and
+/// the resumed campaign reproduces the uninterrupted report — including,
+/// on a full resume, the recorded CPU time, byte for byte.
+#[test]
+fn checkpoint_resume_reproduces_the_report() {
+    let dlx = DlxDesign::build();
+    let path = temp_checkpoint("resume");
+    let config = |limit: usize, checkpoint: bool, num_threads: usize| CampaignConfig {
+        limit: Some(limit),
+        num_threads,
+        checkpoint: checkpoint.then(|| path.clone()),
+        ..CampaignConfig::default()
+    };
+    // An uninterrupted reference run, no persistence.
+    let uninterrupted = Campaign::run(&dlx, &config(12, false, 1));
+    // A "killed midway" run: only the first half completes.
+    let partial = Campaign::run(&dlx, &config(6, true, 1));
+    assert_eq!(partial.records.len(), 6);
+    // Resuming finishes the remaining errors and reproduces the report.
+    let resumed = Campaign::run(&dlx, &config(12, true, 1));
+    assert_eq!(stats_sans_time(&resumed), stats_sans_time(&uninterrupted));
+    assert_eq!(report_sans_time(&resumed), report_sans_time(&uninterrupted));
+    // A full resume restores every record — the report matches the run
+    // that wrote the checkpoint byte for byte, CPU time included, for
+    // any thread count.
+    for threads in [1, 4] {
+        let replayed = Campaign::run(&dlx, &config(12, true, threads));
+        assert_eq!(replayed.table1_report(), resumed.table1_report());
+        assert_eq!(stats_sans_time(&replayed), stats_sans_time(&resumed));
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+/// A checkpoint written under a different configuration is refused, not
+/// silently mixed in: the campaign warns, runs without persistence, and
+/// produces the same results as an unpersisted run.
+#[test]
+fn mismatched_checkpoint_is_refused_not_mixed() {
+    let dlx = DlxDesign::build();
+    let path = temp_checkpoint("mismatch");
+    let mut starved = CampaignConfig {
+        limit: Some(4),
+        num_threads: 1,
+        checkpoint: Some(path.clone()),
+        ..CampaignConfig::default()
+    };
+    starved.tg.max_steps = Some(40);
+    let _ = Campaign::run(&dlx, &starved);
+    // Same path, different generator configuration: must not resume.
+    let clean_cfg = CampaignConfig {
+        limit: Some(4),
+        num_threads: 1,
+        checkpoint: Some(path.clone()),
+        ..CampaignConfig::default()
+    };
+    let unpersisted = CampaignConfig {
+        checkpoint: None,
+        ..clean_cfg.clone()
+    };
+    let a = Campaign::run(&dlx, &clean_cfg);
+    let b = Campaign::run(&dlx, &unpersisted);
+    assert_eq!(stats_sans_time(&a), stats_sans_time(&b));
+    let _ = std::fs::remove_file(&path);
+}
+
+/// The wall-clock soft deadline only reschedules work — an immediately
+/// expired deadline forces the merge pass to generate everything, with
+/// outcomes identical to an undeadlined run.
+#[test]
+fn soft_deadline_never_changes_outcomes() {
+    let dlx = DlxDesign::build();
+    let base = CampaignConfig {
+        limit: Some(8),
+        num_threads: 4,
+        ..CampaignConfig::default()
+    };
+    let plain = Campaign::run(&dlx, &base);
+    let deadlined = Campaign::run(
+        &dlx,
+        &CampaignConfig {
+            soft_deadline: Some(Duration::ZERO),
+            ..base.clone()
+        },
+    );
+    assert_eq!(stats_sans_time(&deadlined), stats_sans_time(&plain));
+    assert_eq!(report_sans_time(&deadlined), report_sans_time(&plain));
 }
 
 /// Regenerating a test for the same error is deterministic: two fresh
