@@ -1,0 +1,92 @@
+//! Benches for the campaign reuse subsystem: the `CTRLJUST` search memo
+//! and the shared-prefix simulation cache. Plain std harness; run with
+//! `cargo bench --bench cache`.
+//!
+//! The memo pair mirrors `generate_batch_of_8` from the campaign set with
+//! the memo forced on/off, so the two sets stay comparable. The screen
+//! pair replays one generated test against a 64-error `AllBits` slice,
+//! either through a [`BatchScreen`] (one recorded good run, faulty replay
+//! per error) or through a fresh good/bad machine pair per error (what
+//! the campaign's screening loops did before the cache).
+
+use hltg_bench::harness::{bench, write_json_report};
+use hltg_core::tg::{Outcome, TestCase, TestGenerator, TgConfig};
+use hltg_dlx::DlxDesign;
+use hltg_errors::{enumerate_stage_errors, EnumPolicy};
+use hltg_netlist::Stage;
+use hltg_sim::{BatchScreen, Machine, Schedule};
+use std::hint::black_box;
+
+fn preload(m: &mut Machine<'_>, dlx: &DlxDesign, test: &TestCase) {
+    for &(addr, word) in &test.imem_image {
+        m.preload_mem(dlx.dp.imem, addr, u64::from(word));
+    }
+    for &(addr, value) in &test.dmem_image {
+        m.preload_mem(dlx.dp.dmem, addr, value);
+    }
+}
+
+fn main() {
+    let dlx = DlxDesign::build();
+    let stages = [Stage::new(2), Stage::new(3), Stage::new(4)];
+    let errors = enumerate_stage_errors(&dlx.design, &stages, EnumPolicy::RepresentativePerBus);
+    let all_bits = enumerate_stage_errors(&dlx.design, &stages, EnumPolicy::AllBits);
+    let schedule = Schedule::build(&dlx.design).expect("dlx levelizes");
+
+    // One confirmed test to screen the population against.
+    let mut tg = TestGenerator::new(&dlx, TgConfig::default());
+    let Outcome::Detected(test) = tg.generate(&errors[0]) else {
+        panic!("errors[0] is detectable");
+    };
+    let horizon = test.program.len() as u64 + 16;
+
+    let mut results = Vec::new();
+    for (name, memo) in [
+        ("ctrljust_memo_batch_of_8", true),
+        ("ctrljust_nomemo_batch_of_8", false),
+    ] {
+        let cfg = TgConfig {
+            ctrljust_memo: memo,
+            ..TgConfig::default()
+        };
+        results.push(bench(name, || {
+            let mut tg = TestGenerator::new(&dlx, cfg.clone());
+            for e in errors.iter().take(8) {
+                black_box(tg.generate(e));
+            }
+        }));
+    }
+    results.push(bench("batch_screen_64_errors", || {
+        let mut screen = BatchScreen::new(
+            &dlx.design,
+            schedule.clone(),
+            |m| preload(m, &dlx, &test),
+            horizon,
+        );
+        let mut hits = 0usize;
+        for e in all_bits.iter().take(64) {
+            if screen.detects(e.to_injection()) {
+                hits += 1;
+            }
+        }
+        black_box(hits)
+    }));
+    results.push(bench("dual_pair_screen_64_errors", || {
+        let mut hits = 0usize;
+        for e in all_bits.iter().take(64) {
+            let mut good = Machine::with_schedule(&dlx.design, schedule.clone());
+            let mut bad = Machine::with_schedule(&dlx.design, schedule.clone());
+            bad.set_injection(Some(e.to_injection()));
+            preload(&mut good, &dlx, &test);
+            preload(&mut bad, &dlx, &test);
+            for _ in 0..horizon {
+                if good.step() != bad.step() {
+                    hits += 1;
+                    break;
+                }
+            }
+        }
+        black_box(hits)
+    }));
+    write_json_report("cache", &results);
+}

@@ -29,6 +29,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
     let progress = args.iter().any(|a| a == "--progress");
+    let no_sim_cache = args.iter().any(|a| a == "--no-sim-cache");
     let trace_pos = args.iter().position(|a| a == "--trace-out");
     let trace_out: Option<String> = trace_pos.and_then(|i| args.get(i + 1)).cloned();
     if trace_pos.is_some() && trace_out.is_none() {
@@ -49,6 +50,7 @@ fn main() {
         &dlx,
         &CampaignConfig {
             error_simulation: true,
+            sim_cache: !no_sim_cache,
             checkpoint: resume.map(std::path::PathBuf::from),
             ..CampaignConfig::default()
         },

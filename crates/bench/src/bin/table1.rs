@@ -2,10 +2,10 @@
 //! execute, memory and write-back stages of the DLX datapath.
 //!
 //! Usage: `cargo run --release -p hltg-bench --bin table1 [limit]
-//!         [--error-sim] [--threads N] [--json] [--trace-out PATH]
-//!         [--progress] [--resume PATH] [--retry N] [--max-steps N]
-//!         [--soft-deadline-ms MS] [--chaos-panic PERMILLE]
-//!         [--chaos-seed S]`
+//!         [--error-sim] [--no-collapse] [--no-sim-cache] [--threads N]
+//!         [--json] [--trace-out PATH] [--progress] [--resume PATH]
+//!         [--retry N] [--max-steps N] [--soft-deadline-ms MS]
+//!         [--chaos-panic PERMILLE] [--chaos-seed S]`
 //!
 //! `--threads N` shards the campaign over N worker threads (default: all
 //! available cores; results are identical for any N). `--json` emits the
@@ -25,6 +25,13 @@
 //! deadline (outcomes are unaffected); `--chaos-panic PERMILLE` (with
 //! `--chaos-seed S`) deterministically injects panics into the engine
 //! phases to exercise the isolation machinery.
+//!
+//! Reuse flags (see DESIGN.md §Campaign-level reuse): this binary runs
+//! with error-class collapsing on by default — `--no-collapse` restores
+//! the classic one-generation-per-error loop, and `--no-sim-cache`
+//! disables both the shared-prefix simulation cache and the `CTRLJUST`
+//! memo (the screening verdicts and the report are identical either way;
+//! only run time and the `*_cache`/`*_memo` counters move).
 
 use hltg_core::{Campaign, CampaignConfig, ChaosConfig, ObserveOptions};
 use hltg_dlx::DlxDesign;
@@ -41,6 +48,8 @@ fn parse_or_exit<T: std::str::FromStr>(flag: &str, value: &str) -> T {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let error_simulation = args.iter().any(|a| a == "--error-sim");
+    let no_collapse = args.iter().any(|a| a == "--no-collapse");
+    let no_sim_cache = args.iter().any(|a| a == "--no-sim-cache");
     let json = args.iter().any(|a| a == "--json");
     let progress = args.iter().any(|a| a == "--progress");
     // Value-carrying flags: record the value's position so the positional
@@ -82,8 +91,11 @@ fn main() {
     let mut config = CampaignConfig {
         limit,
         error_simulation,
+        collapse: !no_collapse,
+        sim_cache: !no_sim_cache,
         ..CampaignConfig::default()
     };
+    config.tg.ctrljust_memo = !no_sim_cache;
     if let Some(n) = num_threads {
         config.num_threads = n;
     }

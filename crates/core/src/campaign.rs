@@ -3,13 +3,15 @@
 
 use crate::chaos::{ChaosConfig, ChaosProbe};
 use crate::checkpoint::{CheckpointEntry, CheckpointLog};
-use crate::instrument::{json_f64, CounterSnapshot, Counters, MultiProbe, Probe, NO_PROBE};
+use crate::instrument::{json_f64, Counter, CounterSnapshot, Counters, MultiProbe, Probe, NO_PROBE};
 use crate::tg::{panic_payload, AbortReason, Outcome, TestCase, TestGenerator, TgConfig};
 use crate::trace::{TraceSnapshot, Tracer};
 use hltg_dlx::DlxDesign;
-use hltg_errors::{enumerate_stage_errors, is_structurally_redundant, BusSslError, EnumPolicy};
+use hltg_errors::{
+    collapse_errors, enumerate_stage_errors, is_structurally_redundant, BusSslError, EnumPolicy,
+};
 use hltg_netlist::Stage;
-use hltg_sim::{Machine, Schedule};
+use hltg_sim::{BatchScreen, Machine, Schedule};
 use std::fmt;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -32,6 +34,24 @@ pub struct CampaignConfig {
     /// The paper's §VI notes its prototype did *not* do this and predicts
     /// large run-time improvements from it; this flag measures that claim.
     pub error_simulation: bool,
+    /// Error-class collapsing: group errors whose sites canonicalize to
+    /// the same underlying bus line (pass-through aliases, adjacent bits
+    /// of one net) with the same polarity, run full generation only for
+    /// class representatives, and screen the remaining members by *exact*
+    /// simulation of an already-kept class test. A member the screen does
+    /// not detect falls back to full generation, so collapsing never
+    /// loses a detection — like [`CampaignConfig::error_simulation`] it
+    /// only changes *which* errors are covered by simulation instead of
+    /// dedicated generation. Off by default (the classic per-error loop);
+    /// the `table1` binary turns it on.
+    pub collapse: bool,
+    /// Shared-prefix simulation cache for the screening loops: record the
+    /// good machine's observable trace once per screened test and replay
+    /// only the faulty machine per candidate error, instead of stepping a
+    /// fresh good/bad pair for every (test, error) pair. Results are
+    /// bit-identical to the uncached screen — only wall-clock and the
+    /// `sim_cache_*` counters change.
+    pub sim_cache: bool,
     /// Worker threads for the sharded campaign. `1` runs the classic
     /// sequential loop; the default is the machine's available parallelism.
     /// Per-error generation is a pure function of the seed and the error,
@@ -65,6 +85,8 @@ impl Default for CampaignConfig {
             tg: TgConfig::default(),
             limit: None,
             error_simulation: false,
+            collapse: false,
+            sim_cache: true,
             num_threads: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1),
@@ -123,11 +145,15 @@ impl RetryPolicy {
     pub fn tg_for_round(&self, base: &TgConfig, round: u32) -> TgConfig {
         let mut cfg = base.clone();
         let m = u64::from(self.escalate.max(2)).saturating_pow(round);
-        let mul = |v: usize| (v as u64).saturating_mul(m).min(1 << 30) as usize;
+        // One clamp for every escalated budget, in u64 *before* any cast:
+        // `usize` budgets and the u64 `max_steps` saturate at the same
+        // ceiling, so no escalation overflows or wraps on 32-bit targets.
+        let clamp = |v: u64| v.min(1 << 30);
+        let mul = |v: usize| clamp((v as u64).saturating_mul(m)) as usize;
         cfg.max_variants = mul(base.max_variants);
         cfg.ctrljust.max_backtracks = mul(base.ctrljust.max_backtracks);
         cfg.relax_iters = mul(base.relax_iters);
-        cfg.max_steps = base.max_steps.map(|s| s.saturating_mul(m));
+        cfg.max_steps = base.max_steps.map(|s| clamp(s.saturating_mul(m)));
         cfg.seed = base.seed ^ u64::from(round).wrapping_mul(0x9E37_79B9_7F4A_7C15);
         cfg
     }
@@ -410,18 +436,39 @@ impl Campaign {
     }
 
     fn run_resilient(dlx: &DlxDesign, config: &CampaignConfig, probe: &dyn Probe) -> Campaign {
+        let mut config = config.clone();
+        if config.chaos.is_some() {
+            // Chaos spurious backtracks depend on global visit counts that
+            // a memo replay would not advance; replay-exactness no longer
+            // holds, so the memo sits out chaos runs entirely.
+            config.tg.ctrljust_memo = false;
+        }
+        let config = &config;
         let errors = enumerate_stage_errors(&dlx.design, &config.stages, config.policy);
         let take = config.limit.unwrap_or(errors.len());
         let errors: Vec<BusSslError> = errors.into_iter().take(take).collect();
         probe.campaign_begin(errors.len());
+        // Class representative of every error (its own index when
+        // collapsing is off or the error stands alone).
+        let class_of: Vec<usize> = if config.collapse {
+            let mut map: Vec<usize> = (0..errors.len()).collect();
+            for class in collapse_errors(&dlx.design, &errors) {
+                for member in class.members {
+                    map[member] = class.representative;
+                }
+            }
+            map
+        } else {
+            (0..errors.len()).collect()
+        };
         let schedule = Schedule::build(&dlx.design).expect("dlx levelizes");
         let ckpt = Self::open_checkpoint(config);
         let ckpt = ckpt.as_ref();
         let threads = config.effective_threads().min(errors.len().max(1));
         let mut campaign = if threads <= 1 {
-            Self::run_serial(dlx, config, probe, &errors, &schedule, ckpt)
+            Self::run_serial(dlx, config, probe, &errors, &class_of, &schedule, ckpt)
         } else {
-            Self::run_sharded(dlx, config, probe, &errors, &schedule, threads, ckpt)
+            Self::run_sharded(dlx, config, probe, &errors, &class_of, &schedule, threads, ckpt)
         };
         Self::run_retries(dlx, config, probe, threads, &mut campaign, ckpt);
         campaign
@@ -462,10 +509,13 @@ impl Campaign {
     /// seed a longer one.
     fn checkpoint_fingerprint(config: &CampaignConfig) -> String {
         format!(
-            "v1 stages={:?} policy={:?} sim={} tg={:?} retry={}x{} chaos={:?}",
+            "v2 stages={:?} policy={:?} sim={} collapse={} simcache={} tg={:?} \
+             retry={}x{} chaos={:?}",
             config.stages,
             config.policy,
             config.error_simulation,
+            config.collapse,
+            config.sim_cache,
             config.tg,
             config.retry.rounds,
             config.retry.escalate,
@@ -518,11 +568,13 @@ impl Campaign {
         (outcome, seconds)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn run_serial(
         dlx: &DlxDesign,
         config: &CampaignConfig,
         probe: &dyn Probe,
         errors: &[BusSslError],
+        class_of: &[usize],
         schedule: &Schedule,
         ckpt: Option<&CheckpointLog>,
     ) -> Campaign {
@@ -543,17 +595,33 @@ impl Campaign {
                     (redundant, outcome, seconds)
                 }
             };
-            if config.error_simulation {
+            if config.error_simulation || config.collapse {
                 if let Outcome::Detected(tc) = &outcome {
-                    // Simulate every remaining error against the new test;
-                    // each one it detects needs no generation of its own.
+                    // Simulate the remaining screening candidates against
+                    // the new test — every later error with error
+                    // simulation on, otherwise the later members of this
+                    // error's class; each one it detects needs no
+                    // generation of its own.
+                    let mut slot: Option<BatchScreen<'_>> = None;
                     for (j, other) in errors.iter().enumerate().skip(i + 1) {
-                        if records[j].is_some() {
+                        let same_class = config.collapse && class_of[j] == class_of[i];
+                        if records[j].is_some() || !(config.error_simulation || same_class) {
                             continue;
                         }
                         let t1 = Instant::now();
-                        if simulate_test(dlx, schedule, tc, other) {
+                        if screen_test(
+                            dlx,
+                            schedule,
+                            probe,
+                            config.sim_cache,
+                            &mut slot,
+                            tc,
+                            other,
+                        ) {
                             probe.error_screened(u64::from(other.id.0), true);
+                            if same_class {
+                                probe.add(Counter::CollapseScreened, 1);
+                            }
                             records[j] = Some(ErrorRecord {
                                 error: other.clone(),
                                 outcome: outcome.clone(),
@@ -586,6 +654,7 @@ impl Campaign {
         config: &CampaignConfig,
         probe: &dyn Probe,
         errors: &[BusSslError],
+        class_of: &[usize],
         schedule: &Schedule,
         threads: usize,
         ckpt: Option<&CheckpointLog>,
@@ -608,6 +677,12 @@ impl Campaign {
                 let (cursor, pool) = (&cursor, &pool);
                 s.spawn(move || {
                     let mut tg = TestGenerator::with_probe(dlx, config.tg.clone(), probe);
+                    // Per-worker view of the shared pool: the pool is
+                    // append-only, so entries past `screens.len()` are new.
+                    // Each entry carries this worker's lazily built
+                    // `BatchScreen`, so one worker records each pooled
+                    // test's good run at most once.
+                    let mut screens: Vec<(usize, TestCase, Option<BatchScreen<'_>>)> = Vec::new();
                     loop {
                         if config
                             .soft_deadline
@@ -624,14 +699,28 @@ impl Campaign {
                         }
                         let error = &errors[i];
                         let redundant = is_structurally_redundant(&dlx.design, error);
-                        if config.error_simulation {
+                        if config.error_simulation || config.collapse {
                             let t0 = Instant::now();
-                            let screened = {
+                            {
                                 let pool = pool.read().expect("pool lock");
-                                pool.iter().any(|(k, tc)| {
-                                    *k < i && simulate_test(dlx, schedule, tc, error)
-                                })
-                            };
+                                for (k, tc) in pool.iter().skip(screens.len()) {
+                                    screens.push((*k, tc.clone(), None));
+                                }
+                            }
+                            let screened = screens.iter_mut().any(|(k, tc, slot)| {
+                                *k < i
+                                    && (config.error_simulation
+                                        || (config.collapse && class_of[*k] == class_of[i]))
+                                    && screen_test(
+                                        dlx,
+                                        schedule,
+                                        probe,
+                                        config.sim_cache,
+                                        slot,
+                                        tc,
+                                        error,
+                                    )
+                            });
                             if screened {
                                 probe.error_screened(u64::from(error.id.0), true);
                                 let item = WorkItem {
@@ -645,7 +734,7 @@ impl Campaign {
                         }
                         let (outcome, seconds) =
                             Self::generate_checkpointed(&mut tg, error, ckpt, 0, redundant);
-                        if config.error_simulation {
+                        if config.error_simulation || config.collapse {
                             if let Outcome::Detected(tc) = &outcome {
                                 pool.write().expect("pool lock").push((i, (**tc).clone()));
                             }
@@ -698,14 +787,27 @@ impl Campaign {
                     (o, item.seconds + s)
                 }
             };
-            if config.error_simulation {
+            if config.error_simulation || config.collapse {
                 if let Outcome::Detected(tc) = &outcome {
+                    let mut slot: Option<BatchScreen<'_>> = None;
                     for (j, other) in errors.iter().enumerate().skip(i + 1) {
-                        if records[j].is_some() {
+                        let same_class = config.collapse && class_of[j] == class_of[i];
+                        if records[j].is_some() || !(config.error_simulation || same_class) {
                             continue;
                         }
                         let t1 = Instant::now();
-                        if simulate_test(dlx, schedule, tc, other) {
+                        if screen_test(
+                            dlx,
+                            schedule,
+                            probe,
+                            config.sim_cache,
+                            &mut slot,
+                            tc,
+                            other,
+                        ) {
+                            if same_class {
+                                probe.add(Counter::CollapseScreened, 1);
+                            }
                             records[j] = Some(ErrorRecord {
                                 error: other.clone(),
                                 outcome: outcome.clone(),
@@ -980,13 +1082,12 @@ pub struct CampaignReport {
 }
 
 impl CampaignReport {
-    /// Renders the report as a single JSON object (hand-rolled; the
-    /// workspace deliberately has no external dependencies).
-    #[must_use]
-    pub fn to_json(&self) -> String {
+    /// The deterministic aggregate fields (everything except wall-clock,
+    /// thread count and engine counters), without enclosing braces.
+    fn deterministic_json_fields(&self) -> String {
         use std::fmt::Write;
         let s = &self.stats;
-        let mut out = String::from("{");
+        let mut out = String::new();
         let _ = write!(
             out,
             "\"errors\": {}, \"detected\": {}, \"aborted\": {}, \
@@ -1015,13 +1116,9 @@ impl CampaignReport {
         );
         let _ = write!(
             out,
-            "\"coverage_pct\": {}, \"testable_coverage_pct\": {}, \
-             \"seconds\": {}, \"wall_seconds\": {}, \"num_threads\": {}, ",
+            "\"coverage_pct\": {}, \"testable_coverage_pct\": {}, ",
             json_f64(s.coverage_pct()),
             json_f64(s.testable_coverage_pct()),
-            json_f64(s.seconds),
-            json_f64(self.wall_seconds),
-            self.num_threads
         );
         out.push_str("\"length_histogram\": [");
         for (i, &c) in s.length_histogram.iter().enumerate() {
@@ -1040,11 +1137,59 @@ impl CampaignReport {
                 "{{\"stage\": {stage}, \"errors\": {errors}, \"detected\": {detected}}}"
             );
         }
-        out.push_str("], ");
+        out.push(']');
+        out
+    }
+
+    /// Renders the report as a single JSON object (hand-rolled; the
+    /// workspace deliberately has no external dependencies).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::from("{");
+        out.push_str(&self.deterministic_json_fields());
+        let _ = write!(
+            out,
+            ", \"seconds\": {}, \"wall_seconds\": {}, \"num_threads\": {}, ",
+            json_f64(self.stats.seconds),
+            json_f64(self.wall_seconds),
+            self.num_threads
+        );
         out.push_str(&self.counters.to_json_fields());
         out.push('}');
         out
     }
+
+    /// Renders only the machine-invariant part of the report: the full
+    /// aggregate statistics minus CPU/wall seconds, thread count and the
+    /// engine counters. Two runs of the same campaign configuration must
+    /// produce byte-identical output from this method regardless of
+    /// thread count, and regardless of the pure caches
+    /// ([`TgConfig::ctrljust_memo`], [`CampaignConfig::sim_cache`]) being
+    /// on or off — the determinism tests and the `check.sh`
+    /// cache-consistency smoke hold it to that.
+    #[must_use]
+    pub fn to_json_deterministic(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&self.deterministic_json_fields());
+        out.push('}');
+        out
+    }
+}
+
+/// Loads a test's memory images into a machine (good or faulty alike).
+fn preload_test(m: &mut Machine<'_>, dlx: &DlxDesign, test: &TestCase) {
+    for &(addr, word) in &test.imem_image {
+        m.preload_mem(dlx.dp.imem, addr, u64::from(word));
+    }
+    for &(addr, value) in &test.dmem_image {
+        m.preload_mem(dlx.dp.dmem, addr, value);
+    }
+}
+
+/// Detection horizon used by every screening path for `test`.
+fn screen_horizon(test: &TestCase) -> u64 {
+    test.program.len() as u64 + 16
 }
 
 /// Replays `test` against `error` on a fresh dual pair; `true` when the
@@ -1059,15 +1204,9 @@ fn simulate_test(
     let mut bad = Machine::with_schedule(&dlx.design, schedule.clone());
     bad.set_injection(Some(error.to_injection()));
     for m in [&mut good, &mut bad] {
-        for &(addr, word) in &test.imem_image {
-            m.preload_mem(dlx.dp.imem, addr, u64::from(word));
-        }
-        for &(addr, value) in &test.dmem_image {
-            m.preload_mem(dlx.dp.dmem, addr, value);
-        }
+        preload_test(m, dlx, test);
     }
-    let horizon = test.program.len() as u64 + 16;
-    for _ in 0..horizon {
+    for _ in 0..screen_horizon(test) {
         let go = good.step();
         let bo = bad.step();
         if go != bo {
@@ -1075,6 +1214,37 @@ fn simulate_test(
         }
     }
     false
+}
+
+/// Screens `error` against `test`, through the shared-prefix simulation
+/// cache when it is enabled. `slot` holds the lazily built [`BatchScreen`]
+/// for this test — the good machine runs once when the slot first fills,
+/// and every further screen replays only the faulty machine against the
+/// recorded observable trace. The returned verdict is bit-identical to
+/// [`simulate_test`] either way.
+fn screen_test<'d>(
+    dlx: &'d DlxDesign,
+    schedule: &Schedule,
+    probe: &dyn Probe,
+    sim_cache: bool,
+    slot: &mut Option<BatchScreen<'d>>,
+    test: &TestCase,
+    error: &BusSslError,
+) -> bool {
+    if !sim_cache {
+        return simulate_test(dlx, schedule, test, error);
+    }
+    let screen = slot.get_or_insert_with(|| {
+        probe.add(Counter::SimCacheGoodRuns, 1);
+        BatchScreen::new(
+            &dlx.design,
+            schedule.clone(),
+            |m| preload_test(m, dlx, test),
+            screen_horizon(test),
+        )
+    });
+    probe.add(Counter::SimCacheScreens, 1);
+    screen.detects(error.to_injection())
 }
 
 #[cfg(test)]
@@ -1096,6 +1266,96 @@ mod tests {
         let report = campaign.table1_report();
         assert!(report.contains("paper"));
         assert!(report.contains("298"));
+    }
+
+    #[test]
+    fn retry_escalation_clamps_all_budgets_alike() {
+        let policy = RetryPolicy {
+            rounds: 40,
+            escalate: u32::MAX,
+        };
+        let base = TgConfig {
+            max_steps: Some(u64::MAX / 2),
+            ..TgConfig::default()
+        };
+        let cfg = policy.tg_for_round(&base, 7);
+        // Every budget — the usize ones and the u64 step budget — hits
+        // the same ceiling instead of saturating at type-dependent maxima.
+        assert_eq!(cfg.max_variants, 1 << 30);
+        assert_eq!(cfg.ctrljust.max_backtracks, 1 << 30);
+        assert_eq!(cfg.relax_iters, 1 << 30);
+        assert_eq!(cfg.max_steps, Some(1 << 30));
+    }
+
+    #[test]
+    fn checkpoint_fingerprint_covers_cache_settings() {
+        let base = CampaignConfig::default();
+        let fp = Campaign::checkpoint_fingerprint(&base);
+        assert!(fp.starts_with("v2 "), "fingerprint version bumped: {fp}");
+        let collapse = CampaignConfig {
+            collapse: true,
+            ..base.clone()
+        };
+        let no_sim_cache = CampaignConfig {
+            sim_cache: false,
+            ..base.clone()
+        };
+        let mut no_memo = base.clone();
+        no_memo.tg.ctrljust_memo = false;
+        for other in [&collapse, &no_sim_cache, &no_memo] {
+            assert_ne!(
+                fp,
+                Campaign::checkpoint_fingerprint(other),
+                "cache settings must invalidate foreign checkpoints"
+            );
+        }
+    }
+
+    /// Collapsing screens class members by exact simulation and falls
+    /// back to full generation otherwise, so against the plain run it can
+    /// only shrink the generated test set — never the coverage.
+    #[test]
+    fn collapse_screens_class_members_without_losing_detections() {
+        let dlx = DlxDesign::build();
+        let base = CampaignConfig {
+            policy: EnumPolicy::AllBits,
+            limit: Some(12),
+            num_threads: 1,
+            ..CampaignConfig::default()
+        };
+        let collapsed_cfg = CampaignConfig {
+            collapse: true,
+            ..base.clone()
+        };
+        let plain = Campaign::run(&dlx, &base).stats();
+        let (campaign, report) = Campaign::run_with_report(&dlx, &collapsed_cfg);
+        let collapsed = campaign.stats();
+        assert_eq!(plain.errors, collapsed.errors);
+        assert!(
+            collapsed.detected >= plain.detected,
+            "collapsing lost detections: {} vs {}",
+            collapsed.detected,
+            plain.detected
+        );
+        assert!(
+            collapsed.test_set_size < plain.test_set_size,
+            "adjacent bits of one bus must share a class test: {} vs {}",
+            collapsed.test_set_size,
+            plain.test_set_size
+        );
+        assert!(collapsed.detected_by_simulation > 0);
+        // Every simulation detection here is a collapse screen (error
+        // simulation itself is off), and the counter agrees.
+        assert_eq!(
+            report.counters.count("collapse_screened"),
+            collapsed.detected_by_simulation as u64
+        );
+        // Screened members share their representative's recorded outcome.
+        for r in &campaign.records {
+            if r.by_simulation {
+                assert!(r.outcome.is_detected());
+            }
+        }
     }
 
     #[test]

@@ -18,9 +18,11 @@ use crate::instrument::{Counter, Phase, Probe, StepBudget, NO_PROBE};
 use crate::unroll::Unrolled;
 use hltg_netlist::ctl::{CtlInputKind, CtlNetId, CtlOp};
 use hltg_sim::V3;
+use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
-use std::time::Instant;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 /// A required value on a controller net at a frame.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -195,6 +197,303 @@ struct SearchStats {
     backtracks: usize,
     decisions: usize,
     implications: usize,
+}
+
+/// One recorded search event, for replaying a memoized run through the
+/// probe exactly as the original search emitted it.
+#[derive(Debug, Clone, Copy)]
+enum MemoEvent {
+    Decision { frame: usize, value: bool },
+    Backtrack { frame: usize, depth: usize },
+}
+
+/// Everything observable about one completed (non-budget-tripped) search.
+#[derive(Debug, Clone)]
+struct MemoEntry {
+    result: Result<Vec<(usize, CtlNetId, bool)>, JustifyError>,
+    decisions: usize,
+    backtracks: usize,
+    implications: usize,
+    events: Vec<MemoEvent>,
+}
+
+/// The memo key: everything the search result is a function of. The
+/// pre-assignment set is the `Unrolled` model's entire free state
+/// ([`Unrolled::free_assignments`]), and `propagate` is a pure function of
+/// that set, so two queries with equal keys run byte-identical searches.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct MemoKey {
+    frames: usize,
+    max_backtracks: usize,
+    pre: Vec<(u32, u32, bool)>,
+    objectives: Vec<(u32, u32, bool)>,
+    monitors: Vec<(u32, u32, bool)>,
+}
+
+/// A bounded memo of `CTRLJUST` searches, keyed by (objective set,
+/// pipeframe window, pre-assignments).
+///
+/// Successive errors on the same bus (e.g. the sa0/sa1 polarity pair the
+/// enumeration emits back-to-back) pose identical control-justification
+/// problems: the path plan depends only on the error's net and the window
+/// only on its stage, so everything `CTRLJUST` sees coincides. The memo
+/// answers the repeat queries from cache.
+///
+/// A hit is **replay-exact**: the stored decision sequence is re-assigned
+/// and propagated (reconstructing the model state the original search
+/// left), the stored per-decision/backtrack events are re-emitted through
+/// the probe, the deterministic phase cost and counter deltas are
+/// re-reported, and the stored cost is charged to the caller's
+/// [`StepBudget`]. An entry is only replayed when its cost fits the
+/// remaining budget — otherwise the search runs (and trips the budget at
+/// the same pass an uncached run would). Entries whose search tripped the
+/// budget are never stored. Together this makes memoized and unmemoized
+/// runs observationally identical except for wall-clock time and the
+/// `ctrljust_memo_hits`/`ctrljust_memo_misses` counters themselves.
+///
+/// The memo must not be used together with a chaos probe: chaos decides
+/// spurious backtracks from global visit counts, which a replayed search
+/// does not advance. [`crate::campaign::Campaign`] disables the memo
+/// whenever chaos is configured.
+#[derive(Debug)]
+pub struct CtrlJustMemo {
+    entries: HashMap<MemoKey, MemoEntry>,
+    capacity: usize,
+}
+
+impl Default for CtrlJustMemo {
+    fn default() -> Self {
+        Self::with_capacity(512)
+    }
+}
+
+impl CtrlJustMemo {
+    /// A memo holding at most `capacity` entries; when full it is cleared
+    /// generationally (deterministic, no eviction order to get wrong).
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        CtrlJustMemo {
+            entries: HashMap::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Entries currently cached.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing is cached.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+fn memo_key(
+    u: &Unrolled<'_>,
+    objectives: &[Objective],
+    monitors: &[Objective],
+    cfg: CtrlJustConfig,
+) -> MemoKey {
+    let enc = |os: &[Objective]| {
+        os.iter()
+            .map(|o| (o.frame as u32, o.net.0, o.value))
+            .collect()
+    };
+    MemoKey {
+        frames: u.frames(),
+        max_backtracks: cfg.max_backtracks,
+        pre: u.free_assignments(),
+        objectives: enc(objectives),
+        monitors: enc(monitors),
+    }
+}
+
+/// A probe wrapper that forwards everything to `inner` while recording the
+/// decision/backtrack event stream for later replay. `wants_events` is
+/// forced on so the stream is captured even under an event-blind probe;
+/// the chaos hook is only consulted when the inner probe really wanted
+/// events (matching what an unwrapped search would have done).
+struct RecordingProbe<'a> {
+    inner: &'a dyn Probe,
+    inner_events: bool,
+    events: Mutex<Vec<MemoEvent>>,
+}
+
+impl Probe for RecordingProbe<'_> {
+    fn add(&self, c: Counter, n: u64) {
+        self.inner.add(c, n);
+    }
+
+    fn phase_time(&self, p: Phase, d: Duration) {
+        self.inner.phase_time(p, d);
+    }
+
+    fn phase_enter(&self, error_id: u64, p: Phase) {
+        self.inner.phase_enter(error_id, p);
+    }
+
+    fn phase_exit(&self, error_id: u64, p: Phase, cost: u64, d: Duration) {
+        self.inner.phase_exit(error_id, p, cost, d);
+    }
+
+    fn wants_events(&self) -> bool {
+        true
+    }
+
+    fn decision(&self, error_id: u64, frame: usize, value: bool) {
+        self.events
+            .lock()
+            .expect("event recorder")
+            .push(MemoEvent::Decision { frame, value });
+        if self.inner_events {
+            self.inner.decision(error_id, frame, value);
+        }
+    }
+
+    fn backtrack(&self, error_id: u64, frame: usize, depth: usize) {
+        self.events
+            .lock()
+            .expect("event recorder")
+            .push(MemoEvent::Backtrack { frame, depth });
+        if self.inner_events {
+            self.inner.backtrack(error_id, frame, depth);
+        }
+    }
+
+    fn spurious_backtrack(&self, error_id: u64, decisions: usize) -> bool {
+        self.inner_events && self.inner.spurious_backtrack(error_id, decisions)
+    }
+}
+
+/// [`justify_budgeted`] behind an optional [`CtrlJustMemo`].
+///
+/// With `memo: None` this is exactly [`justify_budgeted`]. With a memo, a
+/// key match replays the stored search (see [`CtrlJustMemo`] for the
+/// replay contract) and a miss runs the search while recording it for next
+/// time.
+///
+/// # Errors
+///
+/// Same as [`justify_budgeted`].
+#[allow(clippy::too_many_arguments)]
+pub fn justify_memoized(
+    u: &mut Unrolled<'_>,
+    objectives: &[Objective],
+    monitors: &[Objective],
+    cfg: CtrlJustConfig,
+    probe: &dyn Probe,
+    error_id: u64,
+    budget: &StepBudget,
+    memo: Option<&mut CtrlJustMemo>,
+) -> Result<Justification, JustifyError> {
+    let Some(memo) = memo else {
+        return justify_budgeted(u, objectives, monitors, cfg, probe, error_id, budget);
+    };
+    let key = memo_key(u, objectives, monitors, cfg);
+    if let Some(entry) = memo.entries.get(&key) {
+        if (entry.implications as u64) <= budget.remaining() {
+            return replay(u, entry, probe, error_id, budget);
+        }
+        // The stored search would not fit the remaining budget; run it for
+        // real so the budget trips at exactly the uncached pass.
+    }
+    probe.add(Counter::CtrljustMemoMisses, 1);
+    let recorder = RecordingProbe {
+        inner: probe,
+        inner_events: probe.wants_events(),
+        events: Mutex::new(Vec::new()),
+    };
+    let before = budget.used();
+    let result = justify_budgeted(u, objectives, monitors, cfg, &recorder, error_id, budget);
+    let cacheable = !matches!(result, Err(JustifyError::StepBudget));
+    if cacheable {
+        let (decisions, backtracks, implications) = match &result {
+            Ok(j) => (j.decisions, j.backtracks, j.implications),
+            // A failed search charges the budget too; the delta is its
+            // implication count (the phase's deterministic cost).
+            Err(_) => (0, 0, (budget.used() - before) as usize),
+        };
+        if memo.entries.len() >= memo.capacity {
+            memo.entries.clear();
+        }
+        memo.entries.insert(
+            key,
+            MemoEntry {
+                result: result
+                    .as_ref()
+                    .map(|j| j.assignments.clone())
+                    .map_err(|&e| e),
+                decisions,
+                backtracks,
+                implications,
+                events: recorder.events.into_inner().expect("event recorder"),
+            },
+        );
+    }
+    result
+}
+
+/// Replays a memoized search: same counters, same events, same phase cost,
+/// same budget charge, same final model state, same result.
+fn replay(
+    u: &mut Unrolled<'_>,
+    entry: &MemoEntry,
+    probe: &dyn Probe,
+    error_id: u64,
+    budget: &StepBudget,
+) -> Result<Justification, JustifyError> {
+    probe.add(Counter::CtrljustMemoHits, 1);
+    probe.add(Counter::CtrljustCalls, 1);
+    probe.phase_enter(error_id, Phase::Ctrljust);
+    let started = Instant::now();
+    let ok = budget.charge(entry.implications as u64);
+    debug_assert!(ok, "replay cost was checked against the remaining budget");
+    if probe.wants_events() {
+        for e in &entry.events {
+            match *e {
+                MemoEvent::Decision { frame, value } => probe.decision(error_id, frame, value),
+                MemoEvent::Backtrack { frame, depth } => {
+                    probe.backtrack(error_id, frame, depth);
+                }
+            }
+        }
+    }
+    match &entry.result {
+        Ok(assignments) => {
+            // The search left the model holding the decided inputs plus one
+            // propagation; `propagate` is a pure function of the free set,
+            // so re-assigning the stored decisions reconstructs it exactly.
+            for &(f, n, v) in assignments {
+                u.assign(f, n, v);
+            }
+            u.propagate();
+        }
+        Err(_) => {
+            // Failure paths leave no decisions installed.
+            u.propagate();
+        }
+    }
+    let elapsed = started.elapsed();
+    probe.phase_time(Phase::Ctrljust, elapsed);
+    probe.phase_exit(error_id, Phase::Ctrljust, entry.implications as u64, elapsed);
+    if entry.result.is_ok() {
+        probe.add(Counter::CtrljustDecisions, entry.decisions as u64);
+        probe.add(Counter::CtrljustBacktracks, entry.backtracks as u64);
+        probe.add(Counter::CtrljustImplications, entry.implications as u64);
+    }
+    entry
+        .result
+        .as_ref()
+        .map(|assignments| Justification {
+            assignments: assignments.clone(),
+            backtracks: entry.backtracks,
+            decisions: entry.decisions,
+            implications: entry.implications,
+        })
+        .map_err(|&e| e)
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -589,6 +888,111 @@ mod tests {
         .expect("satisfiable");
         assert_eq!(u.value(6, dlx.ctl.c_rf_we), V3::One);
         assert!(r.decisions > 0);
+    }
+
+    /// A memo hit replays the original search exactly: same result, same
+    /// model state, same counters, same budget charge.
+    #[test]
+    fn memo_hit_is_replay_exact() {
+        use crate::instrument::Counters;
+        let dlx = hltg_dlx::DlxDesign::build();
+        let objectives = [Objective {
+            frame: 6,
+            net: dlx.ctl.c_rf_we,
+            value: true,
+        }];
+        let cfg = CtrlJustConfig::default();
+        let mut memo = CtrlJustMemo::default();
+
+        let run = |memo: Option<&mut CtrlJustMemo>| {
+            let counters = Counters::new();
+            let budget = StepBudget::limited(100_000);
+            let mut u = Unrolled::new(&dlx.design.ctl, 8);
+            let r = justify_memoized(
+                &mut u, &objectives, &[], cfg, &counters, 7, &budget, memo,
+            )
+            .expect("satisfiable");
+            (r, u.free_assignments(), budget.used(), counters.snapshot())
+        };
+
+        let (r0, free0, used0, snap0) = run(None);
+        let (r1, free1, used1, _) = run(Some(&mut memo)); // miss, populates
+        assert_eq!(memo.len(), 1);
+        let (r2, free2, used2, snap2) = run(Some(&mut memo)); // hit, replays
+        for (a, b) in [(&r0, &r1), (&r1, &r2)] {
+            assert_eq!(a.assignments, b.assignments);
+            assert_eq!(
+                (a.decisions, a.backtracks, a.implications),
+                (b.decisions, b.backtracks, b.implications)
+            );
+        }
+        assert_eq!(free0, free1);
+        assert_eq!(free1, free2, "replayed model state diverges");
+        assert_eq!(used0, used1);
+        assert_eq!(used1, used2, "replayed budget charge diverges");
+        // The hit reports the same standard counters as the uncached run;
+        // only the hit/miss counters themselves differ.
+        for (name, v) in &snap0.counts {
+            if name.starts_with("ctrljust_memo") {
+                continue;
+            }
+            let v2 = snap2.count(name);
+            assert_eq!(*v, v2, "counter {name} diverges on replay");
+        }
+        assert_eq!(snap2.count("ctrljust_memo_hits"), 1);
+        assert_eq!(snap2.count("ctrljust_memo_misses"), 0);
+    }
+
+    /// An entry whose cost exceeds the remaining budget is not replayed:
+    /// the search runs and trips the budget at the uncached pass.
+    #[test]
+    fn memo_does_not_dodge_the_step_budget() {
+        let dlx = hltg_dlx::DlxDesign::build();
+        let objectives = [Objective {
+            frame: 6,
+            net: dlx.ctl.c_rf_we,
+            value: true,
+        }];
+        let cfg = CtrlJustConfig::default();
+        let mut memo = CtrlJustMemo::default();
+        let mut u = Unrolled::new(&dlx.design.ctl, 8);
+        let full = justify_memoized(
+            &mut u,
+            &objectives,
+            &[],
+            cfg,
+            &NO_PROBE,
+            0,
+            &StepBudget::unlimited(),
+            Some(&mut memo),
+        )
+        .expect("satisfiable");
+        assert!(full.implications > 1);
+
+        // Uncached tight-budget run, as the baseline.
+        let tight = StepBudget::limited(full.implications as u64 - 1);
+        let mut u2 = Unrolled::new(&dlx.design.ctl, 8);
+        let e2 = justify_budgeted(&mut u2, &objectives, &[], cfg, &NO_PROBE, 0, &tight)
+            .expect_err("budget trips");
+        // Memoized tight-budget run must do the same, not answer from
+        // cache, and must not cache the tripped search.
+        let tight3 = StepBudget::limited(full.implications as u64 - 1);
+        let mut u3 = Unrolled::new(&dlx.design.ctl, 8);
+        let e3 = justify_memoized(
+            &mut u3,
+            &objectives,
+            &[],
+            cfg,
+            &NO_PROBE,
+            0,
+            &tight3,
+            Some(&mut memo),
+        )
+        .expect_err("budget trips");
+        assert_eq!(e2, JustifyError::StepBudget);
+        assert_eq!(e3, JustifyError::StepBudget);
+        assert_eq!(tight.used(), tight3.used());
+        assert_eq!(memo.len(), 1, "tripped search must not be cached");
     }
 
     /// On the DLX: demand a memory write (store in MEM) plus no squash in

@@ -176,14 +176,17 @@ impl Error for RelaxExhausted {}
 #[derive(Debug)]
 pub struct RelaxEngine<'d> {
     design: &'d Design,
-    schedule: Schedule,
-    injection: Injection,
     heuristics: bool,
     images: Vec<(ArchId, MemImage)>,
     /// Recorded per-cycle values: `good[t][net]`, `bad[t][net]`.
     good: Vec<Vec<u64>>,
     bad: Vec<Vec<u64>>,
     perturbations: usize,
+    /// Persistent machine pair, rolled back to `base` per evaluation run
+    /// instead of being rebuilt (the dominant non-search cost of a run).
+    good_m: Machine<'d>,
+    bad_m: Machine<'d>,
+    base: hltg_sim::MachineSnapshot,
 }
 
 impl<'d> RelaxEngine<'d> {
@@ -195,15 +198,32 @@ impl<'d> RelaxEngine<'d> {
     /// Panics if the design cannot be levelized (construction-time bug).
     pub fn new(design: &'d Design, injection: Injection, images: Vec<(ArchId, MemImage)>) -> Self {
         let schedule = Schedule::build(design).expect("design levelizes");
+        Self::with_schedule(design, schedule, injection, images)
+    }
+
+    /// [`RelaxEngine::new`] reusing an already-built [`Schedule`], so a
+    /// caller constructing one engine per attempt (the test generator)
+    /// does not re-levelize the design every time.
+    pub fn with_schedule(
+        design: &'d Design,
+        schedule: Schedule,
+        injection: Injection,
+        images: Vec<(ArchId, MemImage)>,
+    ) -> Self {
+        let good_m = Machine::with_schedule(design, schedule.clone());
+        let mut bad_m = Machine::with_schedule(design, schedule);
+        bad_m.set_injection(Some(injection));
+        let base = good_m.snapshot();
         RelaxEngine {
             design,
-            schedule,
-            injection,
             heuristics: true,
             images,
             good: Vec::new(),
             bad: Vec::new(),
             perturbations: 0,
+            good_m,
+            bad_m,
+            base,
         }
     }
 
@@ -237,27 +257,28 @@ impl<'d> RelaxEngine<'d> {
     }
 
     /// Runs the good/bad pair for `horizon` cycles, recording every net.
+    /// The persistent machines are rolled back to the shared pre-run
+    /// snapshot rather than rebuilt.
     fn run(&mut self, horizon: usize) {
-        let mut good = Machine::with_schedule(self.design, self.schedule.clone());
-        let mut bad = Machine::with_schedule(self.design, self.schedule.clone());
-        bad.set_injection(Some(self.injection));
+        self.good_m.restore(&self.base);
+        self.bad_m.restore(&self.base);
         for (arch, image) in &self.images {
             for (&a, &v) in &image.words {
-                good.preload_mem(*arch, a, v);
-                bad.preload_mem(*arch, a, v);
+                self.good_m.preload_mem(*arch, a, v);
+                self.bad_m.preload_mem(*arch, a, v);
             }
         }
         let nets = self.design.dp.net_count();
         self.good.clear();
         self.bad.clear();
         for _ in 0..horizon {
-            good.step();
-            bad.step();
+            self.good_m.step();
+            self.bad_m.step();
             let mut gv = Vec::with_capacity(nets);
             let mut bv = Vec::with_capacity(nets);
             for i in 0..nets {
-                gv.push(good.dp_value(DpNetId(i as u32)));
-                bv.push(bad.dp_value(DpNetId(i as u32)));
+                gv.push(self.good_m.dp_value(DpNetId(i as u32)));
+                bv.push(self.bad_m.dp_value(DpNetId(i as u32)));
             }
             self.good.push(gv);
             self.bad.push(bv);

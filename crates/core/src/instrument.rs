@@ -84,6 +84,19 @@ impl StepBudget {
     pub fn used(&self) -> u64 {
         self.used.get()
     }
+
+    /// Units left before the budget trips: zero once exhausted. A cached
+    /// result may only be replayed when its recorded cost fits here —
+    /// otherwise the uncached search would have tripped the budget, and
+    /// the cache must let it, to keep abort points byte-identical.
+    #[must_use]
+    pub fn remaining(&self) -> u64 {
+        if self.tripped.get() {
+            0
+        } else {
+            self.limit - self.used.get()
+        }
+    }
 }
 
 /// The three engine phases of the paper's Figure 3 loop.
@@ -150,10 +163,22 @@ pub enum Counter {
     TestsGenerated,
     /// Errors aborted after exhausting the variant budget.
     Aborts,
+    /// `CTRLJUST` invocations answered from the objective memo.
+    CtrljustMemoHits,
+    /// `CTRLJUST` invocations that ran the search and populated the memo.
+    CtrljustMemoMisses,
+    /// Good-machine runs recorded by the shared-prefix simulation cache.
+    SimCacheGoodRuns,
+    /// Screening queries answered against a recorded good run (one
+    /// bad-machine run each, instead of a good/bad pair).
+    SimCacheScreens,
+    /// Errors detected by their class representative's test sequence
+    /// (error-class collapsing), skipping full generation.
+    CollapseScreened,
 }
 
 /// All counters, in reporting order.
-pub const COUNTERS: [Counter; 14] = [
+pub const COUNTERS: [Counter; 19] = [
     Counter::DptraceCalls,
     Counter::DptraceSteps,
     Counter::DptraceModulesOnPath,
@@ -168,6 +193,11 @@ pub const COUNTERS: [Counter; 14] = [
     Counter::Refinements,
     Counter::TestsGenerated,
     Counter::Aborts,
+    Counter::CtrljustMemoHits,
+    Counter::CtrljustMemoMisses,
+    Counter::SimCacheGoodRuns,
+    Counter::SimCacheScreens,
+    Counter::CollapseScreened,
 ];
 
 impl Counter {
@@ -188,6 +218,11 @@ impl Counter {
             Counter::Refinements => "refinements",
             Counter::TestsGenerated => "tests_generated",
             Counter::Aborts => "aborts",
+            Counter::CtrljustMemoHits => "ctrljust_memo_hits",
+            Counter::CtrljustMemoMisses => "ctrljust_memo_misses",
+            Counter::SimCacheGoodRuns => "sim_cache_good_runs",
+            Counter::SimCacheScreens => "sim_cache_screens",
+            Counter::CollapseScreened => "collapse_screened",
         }
     }
 

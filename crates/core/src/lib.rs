@@ -60,6 +60,7 @@ pub use campaign::{
 };
 pub use chaos::{ChaosConfig, ChaosProbe, ChaosTally};
 pub use checkpoint::{CheckpointEntry, CheckpointLog};
+pub use ctrljust::CtrlJustMemo;
 pub use instrument::{Counter, Counters, MultiProbe, Phase, Probe, SpanEnd, StepBudget, NO_PROBE};
 pub use rng::SplitMix64;
 pub use tg::{AbortReason, Outcome, TestGenerator, TgConfig};

@@ -28,7 +28,7 @@
 //! Every failure backtracks to step 1 with the next variant until the
 //! variant budget is exhausted, in which case the error is *aborted*.
 
-use crate::ctrljust::{self, CtrlJustConfig, Objective};
+use crate::ctrljust::{self, CtrlJustConfig, CtrlJustMemo, Objective};
 use crate::dprelax::{Activation, MemImage, RelaxEngine, RelaxGoal};
 use crate::dptrace::{self, DptraceConfig, PathPlan};
 use crate::instrument::{Counter, Phase, Probe, SpanEnd, StepBudget, NO_PROBE};
@@ -40,7 +40,7 @@ use hltg_isa::asm::Program;
 use hltg_isa::instr::{ALL_OPCODES, Format};
 use hltg_isa::{Instr, Opcode};
 use hltg_netlist::ctl::CtlNetId;
-use hltg_sim::{Polarity, V3};
+use hltg_sim::{Polarity, Schedule, V3};
 use std::collections::HashMap;
 
 /// Configuration of the test generator.
@@ -63,6 +63,16 @@ pub struct TgConfig {
     pub max_steps: Option<u64>,
     /// RNG seed for relaxation heuristics.
     pub seed: u64,
+    /// Memoize `CTRLJUST` searches keyed by (pipeframe window,
+    /// pre-assignments, objectives, monitors). Consecutive errors on the
+    /// same net share the whole controller-justification workload, so a
+    /// hit replays the recorded search — probe events, counters and step
+    /// charges included — instead of re-running it. Replay-exact:
+    /// disabling this changes nothing but wall-clock and the
+    /// `ctrljust_memo_*` counters. The campaign engine forces it off
+    /// when chaos injection is configured (spurious backtracks depend on
+    /// global visit counts a replay would not advance).
+    pub ctrljust_memo: bool,
     /// Emit step-by-step tracing on stderr (debugging aid).
     pub debug: bool,
 }
@@ -76,6 +86,7 @@ impl Default for TgConfig {
             relax_iters: 48,
             max_steps: None,
             seed: 0x5eed_1999,
+            ctrljust_memo: true,
             debug: false,
         }
     }
@@ -258,6 +269,11 @@ pub struct TestGenerator<'d> {
     dlx: &'d DlxDesign,
     cfg: TgConfig,
     probe: &'d dyn Probe,
+    /// Levelized evaluation order, built once and shared by every
+    /// `DPRELAX` machine pair this generator constructs.
+    schedule: Schedule,
+    /// `CTRLJUST` search memo (see [`TgConfig::ctrljust_memo`]).
+    memo: CtrlJustMemo,
 }
 
 impl<'d> TestGenerator<'d> {
@@ -270,7 +286,14 @@ impl<'d> TestGenerator<'d> {
     /// may be shared across threads (it is `Sync`); the campaign engine
     /// hands every worker the same counter store.
     pub fn with_probe(dlx: &'d DlxDesign, cfg: TgConfig, probe: &'d dyn Probe) -> Self {
-        TestGenerator { dlx, cfg, probe }
+        let schedule = Schedule::build(&dlx.design).expect("DLX design levelizes");
+        TestGenerator {
+            dlx,
+            cfg,
+            probe,
+            schedule,
+            memo: CtrlJustMemo::default(),
+        }
     }
 
     /// Generates (and confirms) a test for `error`, or reports an abort.
@@ -447,15 +470,20 @@ impl<'d> TestGenerator<'d> {
         let (objectives, monitors) = self
             .build_objectives(&plan, activation_cycle, frames)
             .map_err(|e| (e, None))?;
+        let cj_cfg = self.cfg.ctrljust;
+        let use_memo = self.cfg.ctrljust_memo;
+        let probe = self.probe;
+        let memo = &mut self.memo;
         let just = catch_phase("ctrljust", || {
-            ctrljust::justify_budgeted(
+            ctrljust::justify_memoized(
                 &mut u,
                 &objectives,
                 &monitors,
-                self.cfg.ctrljust,
-                self.probe,
+                cj_cfg,
+                probe,
                 id,
                 budget,
+                use_memo.then_some(memo),
             )
         })?
         .map_err(|e| {
@@ -606,8 +634,9 @@ impl<'d> TestGenerator<'d> {
         }
 
         // --- DPRELAX (value selection + confirmation) ------------------------
-        let mut engine = RelaxEngine::new(
+        let mut engine = RelaxEngine::with_schedule(
             design,
+            self.schedule.clone(),
             error.to_injection(),
             vec![
                 (self.dlx.dp.imem, imem_image),

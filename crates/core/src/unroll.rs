@@ -140,6 +140,23 @@ impl<'d> Unrolled<'d> {
         self.vals[self.idx(frame, net)]
     }
 
+    /// Every free-input assignment currently installed, in `(frame, net)`
+    /// index order. Since [`propagate`](Unrolled::propagate) is a pure
+    /// function of this set, it (together with the frame count) fully keys
+    /// the model's state — which is what the `CTRLJUST` objective memo
+    /// hashes.
+    pub fn free_assignments(&self) -> Vec<(u32, u32, bool)> {
+        let n = self.nl.net_count();
+        self.free
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| {
+                v.to_bool()
+                    .map(|b| ((i / n) as u32, (i % n) as u32, b))
+            })
+            .collect()
+    }
+
     /// Forward three-valued evaluation of every frame.
     pub fn propagate(&mut self) {
         for f in 0..self.frames {

@@ -34,6 +34,7 @@
 
 use hltg_netlist::dp::{DpNetId, DpNetKind, DpOp};
 use hltg_netlist::{Design, Stage};
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 
 pub use hltg_sim::{ErrorModel, Polarity};
@@ -165,19 +166,35 @@ pub fn enumerate_stage_errors(
 /// assert!(redundant > 0);
 /// ```
 pub fn is_structurally_redundant(design: &Design, error: &BusSslError) -> bool {
+    let mut visited = HashSet::new();
     match error.polarity {
-        Polarity::StuckAt0 => constant_line(design, error.net, error.bit, 8) == Some(false),
+        Polarity::StuckAt0 => {
+            constant_line(design, error.net, error.bit, &mut visited) == Some(false)
+        }
         // A constant-one line would be the dual case; none of our module
         // semantics produce one.
-        Polarity::StuckAt1 => constant_line(design, error.net, error.bit, 8) == Some(true),
+        Polarity::StuckAt1 => {
+            constant_line(design, error.net, error.bit, &mut visited) == Some(true)
+        }
     }
 }
 
 /// Returns `Some(value)` if line `bit` of `net` provably always carries
-/// `value`, `None` if unknown. Depth-bounded structural walk.
-fn constant_line(design: &Design, net: DpNetId, bit: u32, depth: u32) -> Option<bool> {
+/// `value`, `None` if unknown. Structural walk over the pass-through
+/// operators; `visited` guards against revisiting a `(net, line)` site, so
+/// reconvergent fanout (and a hypothetical structural loop) terminates
+/// instead of blowing the walk up — the former depth bound both risked
+/// exponential re-walks through shared structure and made the verdict
+/// incomplete for deep but perfectly provable constant chains.
+fn constant_line(
+    design: &Design,
+    net: DpNetId,
+    bit: u32,
+    visited: &mut HashSet<(DpNetId, u32)>,
+) -> Option<bool> {
     use hltg_netlist::dp::DpOp;
-    if depth == 0 {
+    if !visited.insert((net, bit)) {
+        // Already on the walk: a revisit proves nothing new.
         return None;
     }
     let n = design.dp.net(net);
@@ -190,7 +207,7 @@ fn constant_line(design: &Design, net: DpNetId, bit: u32, depth: u32) -> Option<
             if bit >= w {
                 Some(false)
             } else {
-                constant_line(design, m.inputs[0], bit, depth - 1)
+                constant_line(design, m.inputs[0], bit, visited)
             }
         }
         DpOp::Sll => {
@@ -207,13 +224,13 @@ fn constant_line(design: &Design, net: DpNetId, bit: u32, depth: u32) -> Option<
                 None
             }
         }
-        DpOp::Slice { lo } => constant_line(design, m.inputs[0], lo + bit, depth - 1),
+        DpOp::Slice { lo } => constant_line(design, m.inputs[0], lo + bit, visited),
         DpOp::Concat => {
             let mut off = 0;
             for &inp in &m.inputs {
                 let w = design.dp.net(inp).width;
                 if bit < off + w {
-                    return constant_line(design, inp, bit - off, depth - 1);
+                    return constant_line(design, inp, bit - off, visited);
                 }
                 off += w;
             }
@@ -221,6 +238,86 @@ fn constant_line(design: &Design, net: DpNetId, bit: u32, depth: u32) -> Option<
         }
         _ => None,
     }
+}
+
+/// One screening class over an enumerated error population (indices into
+/// the enumeration that produced it).
+///
+/// Classes collapse the error list the way classical fault collapsing
+/// shrinks fault lists: errors whose stuck lines are tied together by
+/// pass-through structure — or are sibling lines of the same bus — tend to
+/// be detected by the same test sequence, so the campaign generates a test
+/// for the *representative* and screens the remaining members by exact
+/// dual simulation of that test first, falling back to full TG only for
+/// members the test misses. Classes are a **heuristic** grouping: campaign
+/// correctness never rests on them, because membership alone never marks
+/// an error detected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ErrorClass {
+    /// Index of the representative: the first member in enumeration order.
+    pub representative: usize,
+    /// All member indices, in enumeration order (representative first).
+    pub members: Vec<usize>,
+}
+
+/// Walks the pass-through structure (zero-extension low lines, slices,
+/// concatenations) from `(net, bit)` back to the driving site it is wired
+/// to. Reconvergence-safe for the same reason as [`constant_line`].
+fn canonical_site(design: &Design, net: DpNetId, bit: u32) -> (DpNetId, u32) {
+    let mut cur = (net, bit);
+    let mut seen = HashSet::new();
+    while seen.insert(cur) {
+        let Some(driver) = design.dp.net(cur.0).driver else {
+            break;
+        };
+        let m = design.dp.module(driver);
+        cur = match m.op {
+            DpOp::ZeroExt if cur.1 < design.dp.net(m.inputs[0]).width => (m.inputs[0], cur.1),
+            DpOp::Slice { lo } => (m.inputs[0], lo + cur.1),
+            DpOp::Concat => {
+                let mut off = 0;
+                let mut next = cur;
+                for &inp in &m.inputs {
+                    let w = design.dp.net(inp).width;
+                    if cur.1 < off + w {
+                        next = (inp, cur.1 - off);
+                        break;
+                    }
+                    off += w;
+                }
+                if next == cur {
+                    break;
+                }
+                next
+            }
+            _ => break,
+        };
+    }
+    cur
+}
+
+/// Groups `errors` into screening classes: two errors share a class when
+/// their stuck lines resolve to the same canonical pass-through site
+/// ([`canonical_site`]) with the same polarity. Under
+/// [`EnumPolicy::AllBits`] this also merges sibling lines of one bus onto
+/// its driving site — the same-net / adjacent-bit dominance of classical
+/// fault collapsing. Classes come back ordered by representative, and the
+/// union of `members` is exactly `0..errors.len()`.
+pub fn collapse_errors(design: &Design, errors: &[BusSslError]) -> Vec<ErrorClass> {
+    let mut classes: Vec<ErrorClass> = Vec::new();
+    let mut by_key: HashMap<(DpNetId, Polarity), usize> = HashMap::new();
+    for (i, e) in errors.iter().enumerate() {
+        let (root, _) = canonical_site(design, e.net, e.bit);
+        let slot = *by_key.entry((root, e.polarity)).or_insert_with(|| {
+            classes.push(ErrorClass {
+                representative: i,
+                members: Vec::new(),
+            });
+            classes.len() - 1
+        });
+        classes[slot].members.push(i);
+    }
+    classes
 }
 
 /// Enumerates bus SSL errors over every stage of the datapath.
@@ -297,6 +394,95 @@ mod tests {
         let errs = enumerate_all_errors(&d, EnumPolicy::RepresentativePerBus);
         let s = errs[0].to_string();
         assert!(s.contains("sa0") && s.contains("[4]"), "{s}");
+    }
+
+    /// Reconvergent toy: an 8-bit value whose upper nibble is zero by
+    /// construction is sliced twice and re-concatenated, and the chain is
+    /// then wrapped deeper than the old depth limit of 8. The visited-set
+    /// walk both terminates on the reconvergent diamond and proves the
+    /// deep constant lines the depth-bounded walk gave up on.
+    #[test]
+    fn constant_line_handles_reconvergent_and_deep_chains() {
+        use hltg_netlist::ctl::CtlBuilder;
+        use hltg_netlist::dp::DpBuilder;
+        let mut b = DpBuilder::new("dp");
+        b.set_stage(Stage::new(0));
+        let a = b.input("a", 4);
+        let x = b.zero_ext("x", a, 8); // x[4..8] == 0 always
+        let hi1 = b.slice("hi1", x, 4, 4);
+        let hi2 = b.slice("hi2", x, 4, 4);
+        let mut y = b.concat("y", &[hi1, hi2]); // reconverges on x
+        for i in 0..12 {
+            // A pass-through chain deeper than the former depth bound.
+            let s = b.slice(format!("s{i}"), y, 0, 8);
+            y = b.concat(format!("c{i}"), &[s]);
+        }
+        b.mark_output(y);
+        let dp = b.finish().unwrap();
+        let ctl = CtlBuilder::new("ctl").finish().unwrap();
+        let d = Design::new("reconv", dp, ctl);
+
+        for bit in 0..8 {
+            let err = BusSslError {
+                id: ErrorId(0),
+                net: y,
+                net_name: "y".into(),
+                width: 8,
+                bit,
+                polarity: Polarity::StuckAt0,
+                stage: Stage::new(0),
+            };
+            // Every line of y traces back through >8 pass-through hops and
+            // the reconvergent diamond to a zero-extension upper line.
+            assert!(
+                is_structurally_redundant(&d, &err),
+                "line {bit} provably constant zero but not proven"
+            );
+            let sa1 = BusSslError {
+                polarity: Polarity::StuckAt1,
+                ..err
+            };
+            assert!(!is_structurally_redundant(&d, &sa1));
+        }
+    }
+
+    /// Collapsing groups sa0/sa1 pairs by canonical site and partitions the
+    /// population exactly.
+    #[test]
+    fn collapse_partitions_and_merges_pass_through() {
+        use hltg_netlist::ctl::CtlBuilder;
+        use hltg_netlist::dp::DpBuilder;
+        let mut b = DpBuilder::new("dp");
+        b.set_stage(Stage::new(0));
+        let a = b.input("a", 8);
+        let c = b.input("c", 8);
+        let s = b.add("s", a, c);
+        let v = b.slice("v", s, 0, 8); // pass-through alias of s
+        b.mark_output(v);
+        let dp = b.finish().unwrap();
+        let ctl = CtlBuilder::new("ctl").finish().unwrap();
+        let d = Design::new("alias", dp, ctl);
+
+        let errs = enumerate_all_errors(&d, EnumPolicy::RepresentativePerBus);
+        let classes = collapse_errors(&d, &errs);
+        // Membership partitions 0..len in order.
+        let mut seen: Vec<usize> = classes.iter().flat_map(|c| c.members.clone()).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..errs.len()).collect::<Vec<_>>());
+        for c in &classes {
+            assert_eq!(c.representative, c.members[0]);
+            let polarity = errs[c.members[0]].polarity;
+            assert!(c.members.iter().all(|&i| errs[i].polarity == polarity));
+        }
+        // s and its slice alias v collapse; a, c, s+v -> 3 sites x 2
+        // polarities.
+        assert_eq!(classes.len(), 6, "{classes:?}");
+        let merged = classes
+            .iter()
+            .find(|c| c.members.len() == 2)
+            .expect("s/v class");
+        assert_eq!(errs[merged.members[0]].net, s);
+        assert_eq!(errs[merged.members[1]].net, v);
     }
 }
 

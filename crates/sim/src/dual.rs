@@ -7,7 +7,7 @@
 //! output differs.
 
 use crate::inject::Injection;
-use crate::machine::Machine;
+use crate::machine::{Machine, MachineSnapshot, ObservedOutputs};
 use crate::schedule::{Schedule, SimError};
 use hltg_netlist::dp::DpNetId;
 use hltg_netlist::Design;
@@ -100,6 +100,71 @@ impl<'d> DualSim<'d> {
     }
 }
 
+/// A shared-prefix simulation cache for screening many errors against one
+/// recorded good-machine run.
+///
+/// Screening a candidate error against a known test sequence with
+/// [`DualSim`] costs *two* full machine runs per error: the good machine
+/// re-simulates the identical reset/program prefix and program every time.
+/// `BatchScreen` records the good machine's observable-output stream once,
+/// keeps the preloaded pre-run state as a [`MachineSnapshot`], and then
+/// answers each [`detects`](BatchScreen::detects) query with a single
+/// bad-machine run restored from that snapshot — same detection predicate
+/// (first cycle at which any observable output differs), half the
+/// simulation work, and no per-error machine construction.
+#[derive(Debug)]
+pub struct BatchScreen<'d> {
+    bad: Machine<'d>,
+    base: MachineSnapshot,
+    good_outputs: Vec<ObservedOutputs>,
+}
+
+impl<'d> BatchScreen<'d> {
+    /// Records the good run. `preload` is applied once to set up the shared
+    /// state (program images, register contents); the good machine then runs
+    /// `horizon` cycles from that state and its outputs are memoized.
+    pub fn new(
+        design: &'d Design,
+        schedule: Schedule,
+        mut preload: impl FnMut(&mut Machine<'d>),
+        horizon: u64,
+    ) -> Self {
+        let mut good = Machine::with_schedule(design, schedule);
+        preload(&mut good);
+        let base = good.snapshot();
+        let good_outputs = (0..horizon).map(|_| good.step()).collect();
+        // The good machine has served its purpose; it becomes the reusable
+        // bad machine (restored per query), saving a second construction.
+        let mut bad = good;
+        bad.restore(&base);
+        BatchScreen {
+            bad,
+            base,
+            good_outputs,
+        }
+    }
+
+    /// Number of recorded cycles.
+    #[must_use]
+    pub fn horizon(&self) -> usize {
+        self.good_outputs.len()
+    }
+
+    /// Whether `injection` diverges from the recorded good run within the
+    /// horizon — exactly the [`DualSim`] detection predicate, at the cost
+    /// of one bad-machine run.
+    pub fn detects(&mut self, injection: Injection) -> bool {
+        self.bad.restore(&self.base);
+        self.bad.set_injection(Some(injection));
+        for good in &self.good_outputs {
+            if self.bad.step() != *good {
+                return true;
+            }
+        }
+        false
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -135,6 +200,51 @@ mod tests {
         assert_eq!(d.cycle, 1, "visible after the register latches");
         assert_eq!(d.good, 1);
         assert_eq!(d.bad, 0);
+    }
+
+    /// The batch screen agrees with per-error [`DualSim`] on every
+    /// (bit, polarity) of the adder bus, from one recorded good run.
+    #[test]
+    fn batch_screen_matches_dual_sim() {
+        let mut dpb = DpBuilder::new("dp");
+        let a = dpb.input("a", 8);
+        let b2 = dpb.input("b", 8);
+        let s = dpb.add("s", a, b2);
+        let r = dpb.reg("r", s);
+        dpb.mark_output(r);
+        let dp = dpb.finish().unwrap();
+        let ctl = CtlBuilder::new("ctl").finish().unwrap();
+        let design = hltg_netlist::Design::new("t", dp, ctl);
+
+        let schedule = Schedule::build(&design).unwrap();
+        let mut screen = BatchScreen::new(
+            &design,
+            schedule,
+            |m| {
+                m.set_input(a, 0x55);
+                m.set_input(b2, 0);
+            },
+            6,
+        );
+        for bit in 0..8 {
+            for polarity in [Polarity::StuckAt0, Polarity::StuckAt1] {
+                let inj = Injection {
+                    net: s,
+                    bit,
+                    polarity,
+                };
+                let mut dual = DualSim::new(&design, inj).unwrap();
+                dual.with_both(|m| {
+                    m.set_input(a, 0x55);
+                    m.set_input(b2, 0);
+                });
+                assert_eq!(
+                    screen.detects(inj),
+                    dual.run(6).is_some(),
+                    "screen disagrees with dual sim at bit {bit} {polarity:?}"
+                );
+            }
+        }
     }
 
     /// A value that does not activate the error yields no discrepancy.

@@ -26,8 +26,8 @@ pub mod machine;
 pub mod schedule;
 pub mod tv;
 
-pub use dual::{Discrepancy, DualSim};
+pub use dual::{BatchScreen, Discrepancy, DualSim};
 pub use inject::{ErrorModel, Injection, Polarity};
-pub use machine::{Machine, MachineState, ObservedOutputs};
+pub use machine::{Machine, MachineSnapshot, MachineState, ObservedOutputs};
 pub use schedule::{Schedule, SimError};
 pub use tv::V3;

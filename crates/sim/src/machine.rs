@@ -41,6 +41,22 @@ pub struct ObservedOutputs {
     pub values: Vec<u64>,
 }
 
+/// A saved point-in-time copy of a machine's sequential state.
+///
+/// Captured with [`Machine::snapshot`] and reinstated with
+/// [`Machine::restore`], a snapshot lets one machine replay many runs from
+/// a shared prefix (e.g. the post-reset, program-loaded state) without
+/// rebuilding the machine or re-simulating the prefix. Snapshots carry no
+/// combinational values — those are recomputed by the next
+/// [`step`](Machine::step) — and neither the injection nor the externally
+/// driven input values, so the same snapshot serves both good and
+/// erroneous machines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MachineSnapshot {
+    state: MachineState,
+    cycle: u64,
+}
+
 /// A simulated instance of a design: the *machine*.
 ///
 /// The machine owns all sequential state. Each [`step`](Machine::step)
@@ -191,6 +207,25 @@ impl<'d> Machine<'d> {
     pub fn reset(&mut self) {
         self.state = Self::reset_state(self.design, &self.ff_ids, &self.reg_ids);
         self.cycle = 0;
+    }
+
+    /// Captures the complete sequential state and cycle count.
+    #[must_use]
+    pub fn snapshot(&self) -> MachineSnapshot {
+        MachineSnapshot {
+            state: self.state.clone(),
+            cycle: self.cycle,
+        }
+    }
+
+    /// Reinstates a previously captured [`snapshot`](Machine::snapshot).
+    ///
+    /// The installed injection (if any) is left untouched; only sequential
+    /// state and the cycle count are rolled back, so a single erroneous
+    /// machine can be re-screened from a shared prefix many times.
+    pub fn restore(&mut self, snap: &MachineSnapshot) {
+        self.state.clone_from(&snap.state);
+        self.cycle = snap.cycle;
     }
 
     /// Installs (or removes) a stuck-line injection, making this the

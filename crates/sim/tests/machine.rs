@@ -2,7 +2,7 @@
 //! enables/clears, architectural write masking, reset, and accessors.
 
 use hltg_netlist::ctl::CtlBuilder;
-use hltg_netlist::dp::{DpBuilder, DpOp, RegSpec};
+use hltg_netlist::dp::{DpBuilder, RegSpec};
 use hltg_netlist::{Design, Stage};
 use hltg_sim::Machine;
 

@@ -10,8 +10,8 @@ cargo build --release --offline --workspace
 echo "== cargo test -q --offline --workspace"
 cargo test -q --offline --workspace
 
-echo "== cargo clippy -- -D warnings"
-cargo clippy --offline --all-targets -- -D warnings
+echo "== cargo clippy -q --all-targets -- -D warnings"
+cargo clippy -q --offline --all-targets -- -D warnings
 
 echo "== trace/report smoke (table1 --json --trace-out on a tiny sample)"
 ./target/release/table1 6 --json --threads 2 \
@@ -42,5 +42,39 @@ b="$(stats_of target/fresh_smoke.json)"
     --json > target/chaos_smoke.json
 ./target/release/profile_report --check target/chaos_smoke.jsonl \
     --report target/chaos_smoke.json
+
+echo "== cache-consistency smoke (collapse + sim cache vs cold path)"
+# The pure caches (CTRLJUST memo, shared-prefix sim cache) may change only
+# wall-clock and their own counters: everything before the "seconds" field
+# of the report JSON is the deterministic part and must match byte for
+# byte with the caches on and off.
+./target/release/table1 16 --error-sim --threads 2 \
+    --json > target/cache_on_smoke.json
+./target/release/table1 16 --error-sim --threads 2 --no-sim-cache \
+    --json > target/cache_off_smoke.json
+det_of() { sed 's/, "seconds":.*//' "$1"; }
+a="$(det_of target/cache_on_smoke.json)"
+b="$(det_of target/cache_off_smoke.json)"
+[ -n "$a" ] && [ "$a" = "$b" ] || {
+    echo "caches changed the deterministic report:" >&2
+    echo "  on : $a" >&2
+    echo "  off: $b" >&2
+    exit 1
+}
+# The cached run actually exercised the caches...
+grep -q '"ctrljust_memo_misses": [1-9]' target/cache_on_smoke.json
+grep -q '"sim_cache_screens": [1-9]' target/cache_on_smoke.json
+# ...and the cold run kept them off.
+grep -q '"sim_cache_good_runs": 0' target/cache_off_smoke.json
+# Collapsing only re-routes detections through screening: same error
+# population with and without it.
+./target/release/table1 16 --threads 2 --no-collapse --json \
+    > target/no_collapse_smoke.json
+grep -o '"errors": [0-9]*' target/cache_on_smoke.json > target/a_errors
+grep -o '"errors": [0-9]*' target/no_collapse_smoke.json > target/b_errors
+cmp -s target/a_errors target/b_errors || {
+    echo "--no-collapse changed the error population" >&2
+    exit 1
+}
 
 echo "== OK"

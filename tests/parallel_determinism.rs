@@ -4,6 +4,7 @@
 
 use hltg::core::{Campaign, CampaignConfig, CampaignStats};
 use hltg::dlx::DlxDesign;
+use hltg::errors::EnumPolicy;
 
 /// Stats with the wall-clock field zeroed: `seconds` is the only
 /// legitimately run-dependent quantity.
@@ -56,6 +57,72 @@ fn thread_count_does_not_change_results() {
                  (error_simulation={error_simulation})"
             );
         }
+    }
+}
+
+/// Error-class collapsing keeps the thread-count invariance: the worker
+/// pool only pre-screens, and the sequential merge replays the exact
+/// class covering order.
+#[test]
+fn collapse_is_thread_invariant() {
+    let dlx = DlxDesign::build();
+    let config_at = |num_threads| CampaignConfig {
+        policy: EnumPolicy::AllBits,
+        limit: Some(12),
+        collapse: true,
+        num_threads,
+        ..CampaignConfig::default()
+    };
+    let base = Campaign::run(&dlx, &config_at(1));
+    let base_stats = stats_sans_time(&base);
+    let base_report = report_sans_time(&base);
+    assert!(
+        base_stats.detected_by_simulation > 0,
+        "collapsing screened nothing — the test exercises nothing"
+    );
+    for threads in [2, 8] {
+        let sharded = Campaign::run(&dlx, &config_at(threads));
+        assert_eq!(
+            stats_sans_time(&sharded),
+            base_stats,
+            "collapse stats diverge at num_threads={threads}"
+        );
+        assert_eq!(
+            report_sans_time(&sharded),
+            base_report,
+            "collapse report diverges at num_threads={threads}"
+        );
+    }
+}
+
+/// The pure caches — the `CTRLJUST` memo and the shared-prefix simulation
+/// cache — must be invisible in the deterministic report: cached and
+/// uncached runs agree byte for byte at every thread count.
+#[test]
+fn caches_do_not_change_the_deterministic_report() {
+    let dlx = DlxDesign::build();
+    let config_at = |num_threads, cached: bool| {
+        let mut c = CampaignConfig {
+            limit: Some(16),
+            error_simulation: true,
+            sim_cache: cached,
+            num_threads,
+            ..CampaignConfig::default()
+        };
+        c.tg.ctrljust_memo = cached;
+        c
+    };
+    let reference = Campaign::run_with_report(&dlx, &config_at(1, false))
+        .1
+        .to_json_deterministic();
+    for threads in [1, 2, 8] {
+        let cached = Campaign::run_with_report(&dlx, &config_at(threads, true))
+            .1
+            .to_json_deterministic();
+        assert_eq!(
+            cached, reference,
+            "cached deterministic report diverges at num_threads={threads}"
+        );
     }
 }
 
