@@ -11,30 +11,31 @@
 
 use hltg_bench::harness::{bench, write_json_report};
 use hltg_core::tg::{Outcome, TestCase, TestGenerator, TgConfig};
-use hltg_dlx::DlxDesign;
+use hltg_dlx::DlxModel;
 use hltg_errors::{enumerate_stage_errors, EnumPolicy};
-use hltg_netlist::Stage;
+use hltg_netlist::ProcessorModel;
 use hltg_sim::{BatchScreen, Machine, Schedule};
 use std::hint::black_box;
 
-fn preload(m: &mut Machine<'_>, dlx: &DlxDesign, test: &TestCase) {
+fn preload(m: &mut Machine<'_>, model: &dyn ProcessorModel, test: &TestCase) {
+    let pipe = model.pipeline();
     for &(addr, word) in &test.imem_image {
-        m.preload_mem(dlx.dp.imem, addr, u64::from(word));
+        m.preload_mem(pipe.imem, addr, u64::from(word));
     }
     for &(addr, value) in &test.dmem_image {
-        m.preload_mem(dlx.dp.dmem, addr, value);
+        m.preload_mem(pipe.dmem, addr, value);
     }
 }
 
 fn main() {
-    let dlx = DlxDesign::build();
-    let stages = [Stage::new(2), Stage::new(3), Stage::new(4)];
-    let errors = enumerate_stage_errors(&dlx.design, &stages, EnumPolicy::RepresentativePerBus);
-    let all_bits = enumerate_stage_errors(&dlx.design, &stages, EnumPolicy::AllBits);
-    let schedule = Schedule::build(&dlx.design).expect("dlx levelizes");
+    let model = DlxModel::new();
+    let stages = model.error_stages();
+    let errors = enumerate_stage_errors(model.design(), &stages, EnumPolicy::RepresentativePerBus);
+    let all_bits = enumerate_stage_errors(model.design(), &stages, EnumPolicy::AllBits);
+    let schedule = Schedule::build(model.design()).expect("dlx levelizes");
 
     // One confirmed test to screen the population against.
-    let mut tg = TestGenerator::new(&dlx, TgConfig::default());
+    let mut tg = TestGenerator::new(&model, TgConfig::default());
     let Outcome::Detected(test) = tg.generate(&errors[0]) else {
         panic!("errors[0] is detectable");
     };
@@ -50,7 +51,7 @@ fn main() {
             ..TgConfig::default()
         };
         results.push(bench(name, || {
-            let mut tg = TestGenerator::new(&dlx, cfg.clone());
+            let mut tg = TestGenerator::new(&model, cfg.clone());
             for e in errors.iter().take(8) {
                 black_box(tg.generate(e));
             }
@@ -58,9 +59,9 @@ fn main() {
     }
     results.push(bench("batch_screen_64_errors", || {
         let mut screen = BatchScreen::new(
-            &dlx.design,
+            model.design(),
             schedule.clone(),
-            |m| preload(m, &dlx, &test),
+            |m| preload(m, &model, &test),
             horizon,
         );
         let mut hits = 0usize;
@@ -74,11 +75,11 @@ fn main() {
     results.push(bench("dual_pair_screen_64_errors", || {
         let mut hits = 0usize;
         for e in all_bits.iter().take(64) {
-            let mut good = Machine::with_schedule(&dlx.design, schedule.clone());
-            let mut bad = Machine::with_schedule(&dlx.design, schedule.clone());
+            let mut good = Machine::with_schedule(model.design(), schedule.clone());
+            let mut bad = Machine::with_schedule(model.design(), schedule.clone());
             bad.set_injection(Some(e.to_injection()));
-            preload(&mut good, &dlx, &test);
-            preload(&mut bad, &dlx, &test);
+            preload(&mut good, &model, &test);
+            preload(&mut bad, &model, &test);
             for _ in 0..horizon {
                 if good.step() != bad.step() {
                     hits += 1;

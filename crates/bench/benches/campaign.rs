@@ -4,24 +4,24 @@
 
 use hltg_bench::harness::{bench, write_json_report};
 use hltg_core::tg::{TestGenerator, TgConfig};
-use hltg_dlx::DlxDesign;
+use hltg_dlx::DlxModel;
 use hltg_errors::{enumerate_stage_errors, EnumPolicy};
-use hltg_netlist::Stage;
+use hltg_netlist::ProcessorModel;
 use std::hint::black_box;
 
 fn main() {
-    let dlx = DlxDesign::build();
-    let stages = [Stage::new(2), Stage::new(3), Stage::new(4)];
-    let errors = enumerate_stage_errors(&dlx.design, &stages, EnumPolicy::RepresentativePerBus);
+    let model = DlxModel::new();
+    let stages = model.error_stages();
+    let errors = enumerate_stage_errors(model.design(), &stages, EnumPolicy::RepresentativePerBus);
 
     let mut results = Vec::new();
     // A typical quickly-detected error (the EX/MEM ALU bus).
     results.push(bench("generate_single_error", || {
-        let mut tg = TestGenerator::new(&dlx, TgConfig::default());
+        let mut tg = TestGenerator::new(&model, TgConfig::default());
         black_box(tg.generate(&errors[0]))
     }));
     results.push(bench("generate_batch_of_8", || {
-        let mut tg = TestGenerator::new(&dlx, TgConfig::default());
+        let mut tg = TestGenerator::new(&model, TgConfig::default());
         for e in errors.iter().take(8) {
             black_box(tg.generate(e));
         }

@@ -1,11 +1,16 @@
 //! **Extended error-model cross coverage** (paper §VI: "our test generation
 //! algorithm can be used in conjunction with other error models proposed in
-//! \[28\]"). Generates the compacted bus-SSL test set for EX/MEM/WB, then
-//! grades it against the other models of that family — bus order errors and
-//! module substitution errors — by dual simulation.
+//! \[28\]"). Generates the compacted bus-SSL test set for the selected
+//! design's error stages (EX/MEM/WB on the classic DLX), then grades it
+//! against the other models of that family — bus order errors and module
+//! substitution errors — by dual simulation.
 //!
 //! Usage: `cargo run --release -p hltg-bench --bin ext_error_models
-//!         [--json] [--trace-out PATH] [--progress] [--resume PATH]`
+//!         [--design NAME] [--json] [--trace-out PATH] [--progress]
+//!         [--resume PATH]`
+//!
+//! `--design NAME` selects the processor backend (default `dlx`; see
+//! [`hltg_dlx::BACKENDS`]).
 //!
 //! `--json` emits a machine-readable object: the generating campaign's
 //! [`hltg_core::CampaignReport`] (stats plus per-phase instrumentation
@@ -19,10 +24,8 @@
 //! test set and reproduces the identical report.
 
 use hltg_core::tg::Outcome;
-use hltg_core::{Campaign, CampaignConfig, ObserveOptions};
-use hltg_dlx::DlxDesign;
+use hltg_core::{Campaign, CampaignConfig, RunOptions};
 use hltg_errors::{enumerate_bus_order_errors, enumerate_module_substitutions};
-use hltg_netlist::Stage;
 use hltg_sim::{ErrorModel, Machine, Schedule};
 
 fn main() {
@@ -42,21 +45,40 @@ fn main() {
         eprintln!("--resume requires a path argument");
         std::process::exit(2);
     }
-    let dlx = DlxDesign::build();
-    let stages = [Stage::new(2), Stage::new(3), Stage::new(4)];
+    let design_pos = args.iter().position(|a| a == "--design");
+    let design_name = design_pos
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| {
+            if design_pos.is_some() {
+                eprintln!("--design requires a name argument");
+                std::process::exit(2);
+            }
+            "dlx".to_string()
+        });
+    let model = hltg_dlx::build_model(&design_name).unwrap_or_else(|| {
+        eprintln!(
+            "--design {design_name}: unknown backend (registered: {})",
+            hltg_dlx::BACKENDS.join(", ")
+        );
+        std::process::exit(2);
+    });
+    let stages = model.error_stages();
 
-    eprintln!("generating the compacted bus-SSL test set...");
-    let run = Campaign::run_observed(
-        &dlx,
+    eprintln!("generating the compacted bus-SSL test set on {}...", model.name());
+    let run = Campaign::run(
+        model.as_ref(),
         &CampaignConfig {
+            stages: stages.clone(),
             error_simulation: true,
             sim_cache: !no_sim_cache,
             checkpoint: resume.map(std::path::PathBuf::from),
             ..CampaignConfig::default()
         },
-        &ObserveOptions {
+        RunOptions {
             trace: trace_out.is_some(),
             progress,
+            probe: None,
         },
     );
     let (campaign, report) = (run.campaign, run.report);
@@ -81,20 +103,22 @@ fn main() {
         println!("bus-SSL test set: {} tests", tests.len());
     }
 
-    let schedule = Schedule::build(&dlx.design).expect("levelizes");
+    let design = model.design();
+    let pipe = model.pipeline();
+    let schedule = Schedule::build(design).expect("levelizes");
     let grade = |errors: &[ErrorModel]| {
         let mut detected = 0usize;
         for &e in errors {
             let hit = tests.iter().any(|tc| {
-                let mut good = Machine::with_schedule(&dlx.design, schedule.clone());
-                let mut bad = Machine::with_schedule(&dlx.design, schedule.clone());
+                let mut good = Machine::with_schedule(design, schedule.clone());
+                let mut bad = Machine::with_schedule(design, schedule.clone());
                 bad.set_error(Some(e));
                 for m in [&mut good, &mut bad] {
                     for &(addr, word) in &tc.imem_image {
-                        m.preload_mem(dlx.dp.imem, addr, u64::from(word));
+                        m.preload_mem(pipe.imem, addr, u64::from(word));
                     }
                     for &(addr, value) in &tc.dmem_image {
-                        m.preload_mem(dlx.dp.dmem, addr, value);
+                        m.preload_mem(pipe.dmem, addr, value);
                     }
                 }
                 (0..tc.program.len() as u64 + 16).any(|_| good.step() != bad.step())
@@ -106,8 +130,8 @@ fn main() {
         detected
     };
 
-    let order = enumerate_bus_order_errors(&dlx.design, &stages);
-    let subs = enumerate_module_substitutions(&dlx.design, &stages);
+    let order = enumerate_bus_order_errors(design, &stages);
+    let subs = enumerate_module_substitutions(design, &stages);
     let order_hit = grade(&order);
     let subs_hit = grade(&subs);
 

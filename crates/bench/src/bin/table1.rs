@@ -1,11 +1,17 @@
 //! Reproduces **Table 1**: test generation for bus SSL errors in the
-//! execute, memory and write-back stages of the DLX datapath.
+//! error stages of the selected design's datapath (the classic DLX's
+//! EX/MEM/WB by default).
 //!
 //! Usage: `cargo run --release -p hltg-bench --bin table1 [limit]
-//!         [--error-sim] [--no-collapse] [--no-sim-cache] [--threads N]
-//!         [--json] [--trace-out PATH] [--progress] [--resume PATH]
-//!         [--retry N] [--max-steps N] [--soft-deadline-ms MS]
-//!         [--chaos-panic PERMILLE] [--chaos-seed S]`
+//!         [--design NAME] [--error-sim] [--no-collapse] [--no-sim-cache]
+//!         [--threads N] [--json] [--trace-out PATH] [--progress]
+//!         [--resume PATH] [--retry N] [--max-steps N]
+//!         [--soft-deadline-ms MS] [--chaos-panic PERMILLE]
+//!         [--chaos-seed S]`
+//!
+//! `--design NAME` selects the processor backend (default `dlx`; see
+//! [`hltg_dlx::BACKENDS`] for the registry — `dlx16` is the 16-bit-wide
+//! datapath variant, `dlx-lite` the merged-EX/MEM four-stage pipeline).
 //!
 //! `--threads N` shards the campaign over N worker threads (default: all
 //! available cores; results are identical for any N). `--json` emits the
@@ -33,8 +39,7 @@
 //! memo (the screening verdicts and the report are identical either way;
 //! only run time and the `*_cache`/`*_memo` counters move).
 
-use hltg_core::{Campaign, CampaignConfig, ChaosConfig, ObserveOptions};
-use hltg_dlx::DlxDesign;
+use hltg_core::{Campaign, CampaignConfig, ChaosConfig, RunOptions};
 use std::path::PathBuf;
 use std::time::Duration;
 
@@ -66,6 +71,7 @@ fn main() {
             }
         }
     };
+    let design_name = value_of("--design").unwrap_or_else(|| "dlx".to_string());
     let num_threads: Option<usize> =
         value_of("--threads").map(|v| parse_or_exit("--threads", &v));
     let trace_out: Option<String> = value_of("--trace-out");
@@ -87,8 +93,15 @@ fn main() {
         .filter(|(i, a)| !a.starts_with("--") && !value_positions.contains(i))
         .find_map(|(_, s)| s.parse().ok());
 
-    let dlx = DlxDesign::build();
+    let model = hltg_dlx::build_model(&design_name).unwrap_or_else(|| {
+        eprintln!(
+            "--design {design_name}: unknown backend (registered: {})",
+            hltg_dlx::BACKENDS.join(", ")
+        );
+        std::process::exit(2);
+    });
     let mut config = CampaignConfig {
+        stages: model.error_stages(),
         limit,
         error_simulation,
         collapse: !no_collapse,
@@ -123,15 +136,18 @@ fn main() {
     }
 
     eprintln!(
-        "running the EX/MEM/WB bus-SSL campaign ({} thread{})...",
+        "running the {} bus-SSL campaign on {} ({} thread{})...",
+        model.stage_label(&config.stages),
+        model.name(),
         config.effective_threads(),
         if config.effective_threads() == 1 { "" } else { "s" }
     );
-    let opts = ObserveOptions {
+    let opts = RunOptions {
         trace: trace_out.is_some(),
         progress,
+        probe: None,
     };
-    let run = Campaign::run_observed(&dlx, &config, &opts);
+    let run = Campaign::run(model.as_ref(), &config, opts);
     let (campaign, report) = (run.campaign, run.report);
     if let (Some(path), Some(trace)) = (&trace_out, &run.trace) {
         if let Err(e) = std::fs::write(path, trace.to_jsonl()) {
@@ -167,7 +183,10 @@ fn main() {
     for (stage, errors, detected) in &stats.by_stage {
         println!(
             "  {}: {detected}/{errors} detected",
-            hltg_netlist::stage::stage_name(hltg_netlist::Stage::new(*stage as u8), 5)
+            hltg_netlist::stage::stage_name(
+                hltg_netlist::Stage::new(*stage as u8),
+                model.pipeline().depth
+            )
         );
     }
 }

@@ -1,19 +1,29 @@
-//! Single-error TG debugging harness: `tg_debug <error-id>`.
+//! Single-error TG debugging harness: `tg_debug <error-id> [--design NAME]`.
 use hltg_core::tg::{Outcome, TestGenerator, TgConfig};
 
 fn main() {
-    let id: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0);
-    let dlx = hltg_dlx::DlxDesign::build();
-    let stages: Vec<_> = [2u8, 3, 4].iter().map(|&s| hltg_netlist::Stage::new(s)).collect();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let id: usize = args
+        .iter()
+        .find(|s| !s.starts_with("--"))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let design_name = args
+        .iter()
+        .position(|a| a == "--design")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "dlx".to_string());
+    let model = hltg_dlx::build_model(&design_name).expect("registered backend");
     let errors = hltg_errors::enumerate_stage_errors(
-        &dlx.design,
-        &stages,
+        model.design(),
+        &model.error_stages(),
         hltg_errors::EnumPolicy::RepresentativePerBus,
     );
     let e = &errors[id];
     println!("error: {e}");
     let cfg = TgConfig { debug: true, max_variants: 4, ..TgConfig::default() };
-    let mut tg = TestGenerator::new(&dlx, cfg);
+    let mut tg = TestGenerator::new(model.as_ref(), cfg);
     match tg.generate(e) {
         Outcome::Detected(tc) => {
             println!("DETECTED len={} core={} cycle={}", tc.length, tc.core_len, tc.detected_cycle);

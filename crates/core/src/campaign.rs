@@ -3,13 +3,13 @@
 
 use crate::chaos::{ChaosConfig, ChaosProbe};
 use crate::checkpoint::{CheckpointEntry, CheckpointLog};
-use crate::instrument::{json_f64, Counter, CounterSnapshot, Counters, MultiProbe, Probe, NO_PROBE};
+use crate::instrument::{json_f64, Counter, CounterSnapshot, Counters, MultiProbe, Probe};
 use crate::tg::{panic_payload, AbortReason, Outcome, TestCase, TestGenerator, TgConfig};
 use crate::trace::{TraceSnapshot, Tracer};
-use hltg_dlx::DlxDesign;
 use hltg_errors::{
     collapse_errors, enumerate_stage_errors, is_structurally_redundant, BusSslError, EnumPolicy,
 };
+use hltg_netlist::model::ProcessorModel;
 use hltg_netlist::Stage;
 use hltg_sim::{BatchScreen, Machine, Schedule};
 use std::fmt;
@@ -104,6 +104,169 @@ impl CampaignConfig {
     #[must_use]
     pub fn effective_threads(&self) -> usize {
         self.num_threads.max(1)
+    }
+
+    /// A validated builder over the default configuration. Prefer this
+    /// over struct-literal updates: the builder rejects nonsensical
+    /// combinations at `build()` time instead of normalizing them away at
+    /// run time.
+    #[must_use]
+    pub fn builder() -> CampaignConfigBuilder {
+        CampaignConfigBuilder::default()
+    }
+}
+
+/// A configuration the builder refuses to produce.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `threads(0)` was requested. The zero sentinel exists only for
+    /// backwards compatibility of the raw struct field; the builder
+    /// requires an honest count.
+    ZeroThreads,
+    /// `limit(0)` was requested — the campaign would target no errors.
+    EmptyLimit,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroThreads => {
+                write!(f, "threads(0): worker count must be at least 1")
+            }
+            ConfigError::EmptyLimit => {
+                write!(f, "limit(0): the campaign would target no errors")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Builder for [`CampaignConfig`] with validated setters; see
+/// [`CampaignConfig::builder`].
+///
+/// `collapse(true)` implies the sim-cache-compatible screening loop, so
+/// the shared-prefix cache stays on unless [`sim_cache(false)`] is
+/// requested *explicitly* — the combination remains expressible, it just
+/// cannot happen by accident.
+///
+/// [`sim_cache(false)`]: CampaignConfigBuilder::sim_cache
+#[derive(Debug, Clone, Default)]
+pub struct CampaignConfigBuilder {
+    cfg: CampaignConfig,
+    /// Tri-state so `collapse(true)` can default the screen to cached
+    /// without clobbering an explicit `sim_cache(false)`.
+    sim_cache: Option<bool>,
+    threads: Option<usize>,
+    limit: Option<Option<usize>>,
+}
+
+impl CampaignConfigBuilder {
+    /// Targets `stages` instead of the default EX/MEM/WB triple.
+    #[must_use]
+    pub fn stages(mut self, stages: Vec<Stage>) -> Self {
+        self.cfg.stages = stages;
+        self
+    }
+
+    /// Error enumeration policy.
+    #[must_use]
+    pub fn policy(mut self, policy: EnumPolicy) -> Self {
+        self.cfg.policy = policy;
+        self
+    }
+
+    /// Per-error generator configuration.
+    #[must_use]
+    pub fn tg(mut self, tg: TgConfig) -> Self {
+        self.cfg.tg = tg;
+        self
+    }
+
+    /// Caps the number of targeted errors. `build()` rejects `0`.
+    #[must_use]
+    pub fn limit(mut self, limit: usize) -> Self {
+        self.limit = Some(Some(limit));
+        self
+    }
+
+    /// Error simulation (screen later errors against each kept test).
+    #[must_use]
+    pub fn error_simulation(mut self, on: bool) -> Self {
+        self.cfg.error_simulation = on;
+        self
+    }
+
+    /// Error-class collapsing (see [`CampaignConfig::collapse`]).
+    #[must_use]
+    pub fn collapse(mut self, on: bool) -> Self {
+        self.cfg.collapse = on;
+        self
+    }
+
+    /// Shared-prefix simulation cache for the screening loops.
+    #[must_use]
+    pub fn sim_cache(mut self, on: bool) -> Self {
+        self.sim_cache = Some(on);
+        self
+    }
+
+    /// Worker threads. `build()` rejects `0` — use `1` for the classic
+    /// sequential loop.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Retry-with-escalation policy for aborted errors.
+    #[must_use]
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.cfg.retry = retry;
+        self
+    }
+
+    /// Wall-clock soft deadline for the sharded worker pool.
+    #[must_use]
+    pub fn soft_deadline(mut self, deadline: Duration) -> Self {
+        self.cfg.soft_deadline = Some(deadline);
+        self
+    }
+
+    /// Per-error JSONL checkpoint file.
+    #[must_use]
+    pub fn checkpoint(mut self, path: PathBuf) -> Self {
+        self.cfg.checkpoint = Some(path);
+        self
+    }
+
+    /// Deterministic fault injection into the generator itself.
+    #[must_use]
+    pub fn chaos(mut self, chaos: ChaosConfig) -> Self {
+        self.cfg.chaos = Some(chaos);
+        self
+    }
+
+    /// Validates and produces the configuration.
+    pub fn build(self) -> Result<CampaignConfig, ConfigError> {
+        let mut cfg = self.cfg;
+        if let Some(limit) = self.limit {
+            if limit == Some(0) {
+                return Err(ConfigError::EmptyLimit);
+            }
+            cfg.limit = limit;
+        }
+        if let Some(threads) = self.threads {
+            if threads == 0 {
+                return Err(ConfigError::ZeroThreads);
+            }
+            cfg.num_threads = threads;
+        }
+        // Collapsing screens class members by simulation; the cached and
+        // uncached screens are bit-identical, so collapse defaults to the
+        // cached one. Only an explicit sim_cache(false) turns it off.
+        cfg.sim_cache = self.sim_cache.unwrap_or(true);
+        Ok(cfg)
     }
 }
 
@@ -227,11 +390,15 @@ impl CampaignStats {
         }
     }
 
-    /// Coverage over the *testable* population (excluding provably
-    /// redundant errors), the fairer comparison point.
+    /// Coverage over the *testable* population, the fairer comparison
+    /// point. Structurally untestable classes are excluded: provably
+    /// redundant errors (no behavioural difference exists) and
+    /// controller-only-observable errors (no datapath propagation path
+    /// exists, so no instruction sequence can expose them at a datapath
+    /// output). Both are properties of the design, not of the search.
     #[must_use]
     pub fn testable_coverage_pct(&self) -> f64 {
-        let testable = self.errors - self.aborted_redundant;
+        let testable = self.errors - self.aborted_redundant - self.aborted_no_path;
         if testable == 0 {
             0.0
         } else {
@@ -315,14 +482,43 @@ pub struct ObserveOptions {
     pub progress: bool,
 }
 
-/// The result of [`Campaign::run_observed`].
+/// Options for [`Campaign::run`] — the single campaign entry point.
+///
+/// The default runs silently with counters only; turn on `trace` for a
+/// merged deterministic [`TraceSnapshot`], `progress` for the periodic
+/// stderr line, and supply `probe` to observe raw engine events alongside
+/// the built-in instrumentation.
+#[derive(Clone, Copy, Default)]
+pub struct RunOptions<'p> {
+    /// Record per-error spans and phase histograms into a
+    /// [`TraceSnapshot`] (returned in [`CampaignRun::trace`]).
+    pub trace: bool,
+    /// Print a periodic progress line (errors done/total, detect rate,
+    /// per-phase p50/p99, ETA) to stderr while the campaign runs.
+    pub progress: bool,
+    /// An additional probe composed with the built-in counters (and the
+    /// tracer, when `trace` or `progress` is on).
+    pub probe: Option<&'p dyn Probe>,
+}
+
+impl fmt::Debug for RunOptions<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RunOptions")
+            .field("trace", &self.trace)
+            .field("progress", &self.progress)
+            .field("probe", &self.probe.map(|_| "<dyn Probe>"))
+            .finish()
+    }
+}
+
+/// The result of [`Campaign::run`].
 #[derive(Debug)]
 pub struct CampaignRun {
     /// The finished campaign.
     pub campaign: Campaign,
     /// The machine-readable report (stats + counters).
     pub report: CampaignReport,
-    /// The merged deterministic trace, when [`ObserveOptions::trace`] was
+    /// The merged deterministic trace, when [`RunOptions::trace`] was
     /// set.
     pub trace: Option<TraceSnapshot>,
 }
@@ -337,33 +533,35 @@ struct WorkItem {
 }
 
 impl Campaign {
-    /// Runs test generation for every enumerated error.
-    pub fn run(dlx: &DlxDesign, config: &CampaignConfig) -> Campaign {
-        Self::run_probed(dlx, config, &NO_PROBE)
-    }
-
-    /// Runs the campaign and returns it together with a machine-readable
-    /// [`CampaignReport`] carrying the engine instrumentation counters.
-    pub fn run_with_report(dlx: &DlxDesign, config: &CampaignConfig) -> (Campaign, CampaignReport) {
-        let run = Self::run_observed(dlx, config, &ObserveOptions::default());
-        (run.campaign, run.report)
-    }
-
-    /// Runs the campaign with full observability: counters always, plus —
-    /// per `opts` — a merged deterministic [`TraceSnapshot`] and/or a
-    /// periodic progress line on stderr. `Counters` and `Tracer` are
-    /// composed with a [`MultiProbe`], so the report is identical to a
-    /// [`Campaign::run_with_report`] run.
-    pub fn run_observed(
-        dlx: &DlxDesign,
+    /// Runs the campaign on `model` — the single entry point.
+    ///
+    /// With `config.num_threads <= 1` this is the classic sequential
+    /// loop. With more threads the error list is sharded over a scoped
+    /// worker pool (shared atomic cursor, so the faster workers steal the
+    /// remaining errors); per-error generation is deterministic, and a
+    /// sequential merge pass reorders the results by error index and
+    /// replays the error-simulation covering order, so the resulting
+    /// records are identical to the sequential run for every thread
+    /// count.
+    ///
+    /// Counters always run; `opts` adds a merged deterministic
+    /// [`TraceSnapshot`], a periodic progress line on stderr, and/or an
+    /// external probe (all composed with a [`MultiProbe`], so any
+    /// combination produces the same records and report).
+    pub fn run(
+        model: &dyn ProcessorModel,
         config: &CampaignConfig,
-        opts: &ObserveOptions,
+        opts: RunOptions<'_>,
     ) -> CampaignRun {
         let counters = Counters::new();
         let t0 = Instant::now();
         let (campaign, trace) = if opts.trace || opts.progress {
             let tracer = Tracer::new();
-            let probe = MultiProbe::new(vec![&counters, &tracer]);
+            let mut list: Vec<&dyn Probe> = vec![&counters, &tracer];
+            if let Some(p) = opts.probe {
+                list.push(p);
+            }
+            let probe = MultiProbe::new(list);
             let campaign = if opts.progress {
                 let stop = AtomicBool::new(false);
                 std::thread::scope(|s| {
@@ -378,12 +576,12 @@ impl Campaign {
                             }
                         }
                     });
-                    let campaign = Self::run_probed(dlx, config, &probe);
+                    let campaign = Self::run_chaos_wrapped(model, config, &probe);
                     stop.store(true, Ordering::Relaxed);
                     campaign
                 })
             } else {
-                Self::run_probed(dlx, config, &probe)
+                Self::run_chaos_wrapped(model, config, &probe)
             };
             if opts.progress {
                 eprintln!("{}", tracer.progress_line());
@@ -397,8 +595,11 @@ impl Campaign {
                 .map(|r| u64::from(r.error.id.0));
             let snapshot = tracer.finish(kept);
             (campaign, opts.trace.then_some(snapshot))
+        } else if let Some(p) = opts.probe {
+            let probe = MultiProbe::new(vec![&counters, p]);
+            (Self::run_chaos_wrapped(model, config, &probe), None)
         } else {
-            (Self::run_probed(dlx, config, &counters), None)
+            (Self::run_chaos_wrapped(model, config, &counters), None)
         };
         let report = CampaignReport {
             stats: campaign.stats(),
@@ -413,29 +614,76 @@ impl Campaign {
         }
     }
 
+    /// Runs the campaign and returns it together with a machine-readable
+    /// [`CampaignReport`] carrying the engine instrumentation counters.
+    #[deprecated(note = "use Campaign::run(model, config, RunOptions::default())")]
+    pub fn run_with_report(
+        model: &dyn ProcessorModel,
+        config: &CampaignConfig,
+    ) -> (Campaign, CampaignReport) {
+        let run = Self::run(model, config, RunOptions::default());
+        (run.campaign, run.report)
+    }
+
+    /// Runs the campaign with a merged trace and/or a progress line.
+    #[deprecated(note = "use Campaign::run with RunOptions { trace, progress, .. }")]
+    pub fn run_observed(
+        model: &dyn ProcessorModel,
+        config: &CampaignConfig,
+        opts: &ObserveOptions,
+    ) -> CampaignRun {
+        Self::run(
+            model,
+            config,
+            RunOptions {
+                trace: opts.trace,
+                progress: opts.progress,
+                probe: None,
+            },
+        )
+    }
+
     /// Runs the campaign, reporting engine events to `probe`.
-    ///
-    /// With `num_threads <= 1` this is the classic sequential loop. With
-    /// more threads the error list is sharded over a scoped worker pool
-    /// (shared atomic cursor, so the faster workers steal the remaining
-    /// errors); per-error generation is deterministic, and a sequential
-    /// merge pass reorders the results by error index and replays the
-    /// error-simulation covering order, so the resulting records are
-    /// identical to the sequential run for every thread count.
-    pub fn run_probed(dlx: &DlxDesign, config: &CampaignConfig, probe: &dyn Probe) -> Campaign {
+    #[deprecated(note = "use Campaign::run with RunOptions { probe: Some(..), .. }")]
+    pub fn run_probed(
+        model: &dyn ProcessorModel,
+        config: &CampaignConfig,
+        probe: &dyn Probe,
+    ) -> Campaign {
+        Self::run(
+            model,
+            config,
+            RunOptions {
+                probe: Some(probe),
+                ..RunOptions::default()
+            },
+        )
+        .campaign
+    }
+
+    /// Composes the configured chaos probe (last, so the observability
+    /// probes have finished each hook before an injected panic unwinds)
+    /// and runs the resilient loop.
+    fn run_chaos_wrapped(
+        model: &dyn ProcessorModel,
+        config: &CampaignConfig,
+        probe: &dyn Probe,
+    ) -> Campaign {
         match &config.chaos {
             Some(chaos) => {
                 let chaos = ChaosProbe::new(chaos.clone());
-                // Chaos composes *last*, so the observability probes have
-                // finished each hook before an injected panic unwinds.
                 let multi = MultiProbe::new(vec![probe, &chaos]);
-                Self::run_resilient(dlx, config, &multi)
+                Self::run_resilient(model, config, &multi)
             }
-            None => Self::run_resilient(dlx, config, probe),
+            None => Self::run_resilient(model, config, probe),
         }
     }
 
-    fn run_resilient(dlx: &DlxDesign, config: &CampaignConfig, probe: &dyn Probe) -> Campaign {
+    fn run_resilient(
+        model: &dyn ProcessorModel,
+        config: &CampaignConfig,
+        probe: &dyn Probe,
+    ) -> Campaign {
         let mut config = config.clone();
         if config.chaos.is_some() {
             // Chaos spurious backtracks depend on global visit counts that
@@ -444,7 +692,7 @@ impl Campaign {
             config.tg.ctrljust_memo = false;
         }
         let config = &config;
-        let errors = enumerate_stage_errors(&dlx.design, &config.stages, config.policy);
+        let errors = enumerate_stage_errors(model.design(), &config.stages, config.policy);
         let take = config.limit.unwrap_or(errors.len());
         let errors: Vec<BusSslError> = errors.into_iter().take(take).collect();
         probe.campaign_begin(errors.len());
@@ -452,7 +700,7 @@ impl Campaign {
         // collapsing is off or the error stands alone).
         let class_of: Vec<usize> = if config.collapse {
             let mut map: Vec<usize> = (0..errors.len()).collect();
-            for class in collapse_errors(&dlx.design, &errors) {
+            for class in collapse_errors(model.design(), &errors) {
                 for member in class.members {
                     map[member] = class.representative;
                 }
@@ -461,25 +709,29 @@ impl Campaign {
         } else {
             (0..errors.len()).collect()
         };
-        let schedule = Schedule::build(&dlx.design).expect("dlx levelizes");
-        let ckpt = Self::open_checkpoint(config);
+        let schedule = Schedule::build(model.design()).expect("design levelizes");
+        let ckpt = Self::open_checkpoint(model, config);
         let ckpt = ckpt.as_ref();
         let threads = config.effective_threads().min(errors.len().max(1));
         let mut campaign = if threads <= 1 {
-            Self::run_serial(dlx, config, probe, &errors, &class_of, &schedule, ckpt)
+            Self::run_serial(model, config, probe, &errors, &class_of, &schedule, ckpt)
         } else {
-            Self::run_sharded(dlx, config, probe, &errors, &class_of, &schedule, threads, ckpt)
+            Self::run_sharded(model, config, probe, &errors, &class_of, &schedule, threads, ckpt)
         };
-        Self::run_retries(dlx, config, probe, threads, &mut campaign, ckpt);
+        Self::run_retries(model, config, probe, threads, &mut campaign, ckpt);
         campaign
     }
 
     /// Opens the configured checkpoint log, if any. An unusable file
-    /// (unreadable, or written under a different configuration) is *not*
-    /// clobbered: the campaign warns and runs without persistence.
-    fn open_checkpoint(config: &CampaignConfig) -> Option<CheckpointLog> {
+    /// (unreadable, or written under a different configuration or for a
+    /// different design) is *not* clobbered: the campaign warns and runs
+    /// without persistence.
+    fn open_checkpoint(
+        model: &dyn ProcessorModel,
+        config: &CampaignConfig,
+    ) -> Option<CheckpointLog> {
         let path = config.checkpoint.as_ref()?;
-        match CheckpointLog::open(path, &Self::checkpoint_fingerprint(config)) {
+        match CheckpointLog::open(path, &Self::checkpoint_fingerprint(model, config)) {
             Ok(log) => {
                 if log.resumed() > 0 || log.skipped_lines() > 0 {
                     eprintln!(
@@ -504,13 +756,19 @@ impl Campaign {
 
     /// The configuration fingerprint stored in the checkpoint header. Two
     /// campaigns share a checkpoint only when everything that influences
-    /// per-error generation matches; `limit` is deliberately excluded —
-    /// error ids are stable across runs, so a short run's checkpoint can
-    /// seed a longer one.
-    fn checkpoint_fingerprint(config: &CampaignConfig) -> String {
+    /// per-error generation matches — *including the design*: error ids
+    /// are indices into the design's enumeration, so a checkpoint written
+    /// under one backend is meaningless (and refused) under another.
+    /// `limit` is deliberately excluded — error ids are stable across
+    /// runs of one design, so a short run's checkpoint can seed a longer
+    /// one.
+    #[must_use]
+    pub fn checkpoint_fingerprint(model: &dyn ProcessorModel, config: &CampaignConfig) -> String {
         format!(
-            "v2 stages={:?} policy={:?} sim={} collapse={} simcache={} tg={:?} \
-             retry={}x{} chaos={:?}",
+            "v3 design={} width={} stages={:?} policy={:?} sim={} collapse={} \
+             simcache={} tg={:?} retry={}x{} chaos={:?}",
+            model.name(),
+            model.data_width(),
             config.stages,
             config.policy,
             config.error_simulation,
@@ -570,7 +828,7 @@ impl Campaign {
 
     #[allow(clippy::too_many_arguments)]
     fn run_serial(
-        dlx: &DlxDesign,
+        model: &dyn ProcessorModel,
         config: &CampaignConfig,
         probe: &dyn Probe,
         errors: &[BusSslError],
@@ -578,7 +836,7 @@ impl Campaign {
         schedule: &Schedule,
         ckpt: Option<&CheckpointLog>,
     ) -> Campaign {
-        let mut tg = TestGenerator::with_probe(dlx, config.tg.clone(), probe);
+        let mut tg = TestGenerator::with_probe(model, config.tg.clone(), probe);
         let mut records: Vec<Option<ErrorRecord>> = vec![None; errors.len()];
         for i in 0..errors.len() {
             if records[i].is_some() {
@@ -589,7 +847,7 @@ impl Campaign {
             let (redundant, outcome, seconds) = match ckpt.and_then(|log| log.lookup(id, 0)) {
                 Some(entry) => (entry.redundant, entry.outcome.clone(), entry.seconds),
                 None => {
-                    let redundant = is_structurally_redundant(&dlx.design, &error);
+                    let redundant = is_structurally_redundant(model.design(), &error);
                     let (outcome, seconds) =
                         Self::generate_checkpointed(&mut tg, &error, ckpt, 0, redundant);
                     (redundant, outcome, seconds)
@@ -610,7 +868,7 @@ impl Campaign {
                         }
                         let t1 = Instant::now();
                         if screen_test(
-                            dlx,
+                            model,
                             schedule,
                             probe,
                             config.sim_cache,
@@ -625,7 +883,7 @@ impl Campaign {
                             records[j] = Some(ErrorRecord {
                                 error: other.clone(),
                                 outcome: outcome.clone(),
-                                redundant: is_structurally_redundant(&dlx.design, other),
+                                redundant: is_structurally_redundant(model.design(), other),
                                 by_simulation: true,
                                 seconds: t1.elapsed().as_secs_f64(),
                                 round: 0,
@@ -650,7 +908,7 @@ impl Campaign {
 
     #[allow(clippy::too_many_arguments)]
     fn run_sharded(
-        dlx: &DlxDesign,
+        model: &dyn ProcessorModel,
         config: &CampaignConfig,
         probe: &dyn Probe,
         errors: &[BusSslError],
@@ -676,7 +934,7 @@ impl Campaign {
                 let tx = tx.clone();
                 let (cursor, pool) = (&cursor, &pool);
                 s.spawn(move || {
-                    let mut tg = TestGenerator::with_probe(dlx, config.tg.clone(), probe);
+                    let mut tg = TestGenerator::with_probe(model, config.tg.clone(), probe);
                     // Per-worker view of the shared pool: the pool is
                     // append-only, so entries past `screens.len()` are new.
                     // Each entry carries this worker's lazily built
@@ -698,7 +956,7 @@ impl Campaign {
                             break;
                         }
                         let error = &errors[i];
-                        let redundant = is_structurally_redundant(&dlx.design, error);
+                        let redundant = is_structurally_redundant(model.design(), error);
                         if config.error_simulation || config.collapse {
                             let t0 = Instant::now();
                             {
@@ -712,7 +970,7 @@ impl Campaign {
                                     && (config.error_simulation
                                         || (config.collapse && class_of[*k] == class_of[i]))
                                     && screen_test(
-                                        dlx,
+                                        model,
                                         schedule,
                                         probe,
                                         config.sim_cache,
@@ -759,7 +1017,7 @@ impl Campaign {
         // seed and the error, so a precomputed outcome equals what the
         // sequential loop would have computed at this point.
         let mut records: Vec<Option<ErrorRecord>> = vec![None; n];
-        let mut tg = TestGenerator::with_probe(dlx, config.tg.clone(), probe);
+        let mut tg = TestGenerator::with_probe(model, config.tg.clone(), probe);
         for i in 0..n {
             if records[i].is_some() {
                 continue; // covered by an earlier kept test
@@ -770,7 +1028,7 @@ impl Campaign {
             // Generation is pure, so generating here yields exactly what
             // the worker would have produced.
             let item = slots[i].take().unwrap_or_else(|| WorkItem {
-                redundant: is_structurally_redundant(&dlx.design, &errors[i]),
+                redundant: is_structurally_redundant(model.design(), &errors[i]),
                 seconds: 0.0,
                 outcome: None,
             });
@@ -797,7 +1055,7 @@ impl Campaign {
                         }
                         let t1 = Instant::now();
                         if screen_test(
-                            dlx,
+                            model,
                             schedule,
                             probe,
                             config.sim_cache,
@@ -812,7 +1070,7 @@ impl Campaign {
                                 error: other.clone(),
                                 outcome: outcome.clone(),
                                 redundant: slots[j].as_ref().map(|w| w.redundant).unwrap_or_else(
-                                    || is_structurally_redundant(&dlx.design, other),
+                                    || is_structurally_redundant(model.design(), other),
                                 ),
                                 by_simulation: true,
                                 seconds: t1.elapsed().as_secs_f64(),
@@ -842,7 +1100,7 @@ impl Campaign {
     /// the records remain identical for every thread count). Rounds stop
     /// early once nothing is left to retry.
     fn run_retries(
-        dlx: &DlxDesign,
+        model: &dyn ProcessorModel,
         config: &CampaignConfig,
         probe: &dyn Probe,
         threads: usize,
@@ -866,7 +1124,7 @@ impl Campaign {
                 .map(|&i| campaign.records[i].error.clone())
                 .collect();
             let results =
-                Self::generate_batch(dlx, &tg_cfg, probe, &retry_errors, threads, ckpt, round);
+                Self::generate_batch(model, &tg_cfg, probe, &retry_errors, threads, ckpt, round);
             for (&i, (outcome, seconds)) in targets.iter().zip(&results) {
                 let record = &mut campaign.records[i];
                 record.seconds += seconds;
@@ -881,7 +1139,7 @@ impl Campaign {
     /// worker's slots are regenerated inline, exactly as in the main
     /// merge pass.
     fn generate_batch(
-        dlx: &DlxDesign,
+        model: &dyn ProcessorModel,
         tg_cfg: &TgConfig,
         probe: &dyn Probe,
         errors: &[BusSslError],
@@ -891,7 +1149,7 @@ impl Campaign {
     ) -> Vec<(Outcome, f64)> {
         let n = errors.len();
         if threads.min(n) <= 1 {
-            let mut tg = TestGenerator::with_probe(dlx, tg_cfg.clone(), probe);
+            let mut tg = TestGenerator::with_probe(model, tg_cfg.clone(), probe);
             return errors
                 .iter()
                 .map(|e| Self::generate_checkpointed(&mut tg, e, ckpt, round, false))
@@ -906,7 +1164,7 @@ impl Campaign {
                 let tx = tx.clone();
                 let cursor = &cursor;
                 s.spawn(move || {
-                    let mut tg = TestGenerator::with_probe(dlx, tg_cfg.clone(), probe);
+                    let mut tg = TestGenerator::with_probe(model, tg_cfg.clone(), probe);
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         if i >= n {
@@ -928,7 +1186,7 @@ impl Campaign {
             .enumerate()
             .map(|(i, slot)| {
                 slot.unwrap_or_else(|| {
-                    let mut tg = TestGenerator::with_probe(dlx, tg_cfg.clone(), probe);
+                    let mut tg = TestGenerator::with_probe(model, tg_cfg.clone(), probe);
                     Self::generate_checkpointed(&mut tg, &errors[i], ckpt, round, false)
                 })
             })
@@ -1178,12 +1436,13 @@ impl CampaignReport {
 }
 
 /// Loads a test's memory images into a machine (good or faulty alike).
-fn preload_test(m: &mut Machine<'_>, dlx: &DlxDesign, test: &TestCase) {
+fn preload_test(m: &mut Machine<'_>, model: &dyn ProcessorModel, test: &TestCase) {
+    let pipe = model.pipeline();
     for &(addr, word) in &test.imem_image {
-        m.preload_mem(dlx.dp.imem, addr, u64::from(word));
+        m.preload_mem(pipe.imem, addr, u64::from(word));
     }
     for &(addr, value) in &test.dmem_image {
-        m.preload_mem(dlx.dp.dmem, addr, value);
+        m.preload_mem(pipe.dmem, addr, value);
     }
 }
 
@@ -1195,16 +1454,16 @@ fn screen_horizon(test: &TestCase) -> u64 {
 /// Replays `test` against `error` on a fresh dual pair; `true` when the
 /// observables diverge (the test detects the error too).
 fn simulate_test(
-    dlx: &DlxDesign,
+    model: &dyn ProcessorModel,
     schedule: &Schedule,
     test: &TestCase,
     error: &BusSslError,
 ) -> bool {
-    let mut good = Machine::with_schedule(&dlx.design, schedule.clone());
-    let mut bad = Machine::with_schedule(&dlx.design, schedule.clone());
+    let mut good = Machine::with_schedule(model.design(), schedule.clone());
+    let mut bad = Machine::with_schedule(model.design(), schedule.clone());
     bad.set_injection(Some(error.to_injection()));
     for m in [&mut good, &mut bad] {
-        preload_test(m, dlx, test);
+        preload_test(m, model, test);
     }
     for _ in 0..screen_horizon(test) {
         let go = good.step();
@@ -1223,7 +1482,7 @@ fn simulate_test(
 /// recorded observable trace. The returned verdict is bit-identical to
 /// [`simulate_test`] either way.
 fn screen_test<'d>(
-    dlx: &'d DlxDesign,
+    model: &'d dyn ProcessorModel,
     schedule: &Schedule,
     probe: &dyn Probe,
     sim_cache: bool,
@@ -1232,14 +1491,14 @@ fn screen_test<'d>(
     error: &BusSslError,
 ) -> bool {
     if !sim_cache {
-        return simulate_test(dlx, schedule, test, error);
+        return simulate_test(model, schedule, test, error);
     }
     let screen = slot.get_or_insert_with(|| {
         probe.add(Counter::SimCacheGoodRuns, 1);
         BatchScreen::new(
-            &dlx.design,
+            model.design(),
             schedule.clone(),
-            |m| preload_test(m, dlx, test),
+            |m| preload_test(m, model, test),
             screen_horizon(test),
         )
     });
@@ -1250,15 +1509,16 @@ fn screen_test<'d>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hltg_dlx::{DlxModel, LiteModel};
 
     #[test]
     fn small_campaign_detects_and_aggregates() {
-        let dlx = DlxDesign::build();
+        let model = DlxModel::new();
         let config = CampaignConfig {
             limit: Some(8),
             ..CampaignConfig::default()
         };
-        let campaign = Campaign::run(&dlx, &config);
+        let campaign = Campaign::run(&model, &config, RunOptions::default()).campaign;
         let stats = campaign.stats();
         assert_eq!(stats.errors, 8);
         assert!(stats.detected >= 6, "detected {}", stats.detected);
@@ -1289,9 +1549,10 @@ mod tests {
 
     #[test]
     fn checkpoint_fingerprint_covers_cache_settings() {
+        let model = DlxModel::new();
         let base = CampaignConfig::default();
-        let fp = Campaign::checkpoint_fingerprint(&base);
-        assert!(fp.starts_with("v2 "), "fingerprint version bumped: {fp}");
+        let fp = Campaign::checkpoint_fingerprint(&model, &base);
+        assert!(fp.starts_with("v3 "), "fingerprint version bumped: {fp}");
         let collapse = CampaignConfig {
             collapse: true,
             ..base.clone()
@@ -1305,10 +1566,72 @@ mod tests {
         for other in [&collapse, &no_sim_cache, &no_memo] {
             assert_ne!(
                 fp,
-                Campaign::checkpoint_fingerprint(other),
+                Campaign::checkpoint_fingerprint(&model, other),
                 "cache settings must invalidate foreign checkpoints"
             );
         }
+    }
+
+    #[test]
+    fn checkpoint_fingerprint_is_design_keyed() {
+        let config = CampaignConfig::default();
+        let dlx = Campaign::checkpoint_fingerprint(&DlxModel::new(), &config);
+        let dlx16 = Campaign::checkpoint_fingerprint(&DlxModel::narrow(), &config);
+        let lite = Campaign::checkpoint_fingerprint(&LiteModel::new(), &config);
+        assert_ne!(dlx, dlx16, "width variants must not share checkpoints");
+        assert_ne!(dlx, lite, "designs must not share checkpoints");
+        assert_ne!(dlx16, lite);
+        assert!(dlx.contains("design=dlx "), "{dlx}");
+        assert!(lite.contains("design=dlx-lite "), "{lite}");
+    }
+
+    #[test]
+    fn config_builder_validates_and_defaults() {
+        let cfg = CampaignConfig::builder()
+            .limit(8)
+            .threads(2)
+            .collapse(true)
+            .build()
+            .expect("valid config");
+        assert_eq!(cfg.limit, Some(8));
+        assert_eq!(cfg.num_threads, 2);
+        assert!(cfg.collapse);
+        assert!(cfg.sim_cache, "collapse keeps the cached screen on");
+        let explicit = CampaignConfig::builder()
+            .collapse(true)
+            .sim_cache(false)
+            .build()
+            .expect("explicit sim_cache(false) stays expressible");
+        assert!(!explicit.sim_cache);
+        assert_eq!(
+            CampaignConfig::builder().threads(0).build().err(),
+            Some(ConfigError::ZeroThreads)
+        );
+        assert_eq!(
+            CampaignConfig::builder().limit(0).build().err(),
+            Some(ConfigError::EmptyLimit)
+        );
+    }
+
+    /// Pins both Table-1 percentages: overall coverage counts every
+    /// enumerated error, while testable coverage excludes the classes a
+    /// test cannot exist for (structurally redundant and proven no-path).
+    #[test]
+    fn stats_separate_testable_from_overall_coverage() {
+        let stats = CampaignStats {
+            errors: 10,
+            detected: 6,
+            aborted: 4,
+            aborted_redundant: 2,
+            aborted_no_path: 1,
+            ..CampaignStats::default()
+        };
+        assert!((stats.coverage_pct() - 60.0).abs() < 1e-9);
+        // 10 - 2 redundant - 1 no-path = 7 testable; 6/7 detected.
+        assert!((stats.testable_coverage_pct() - 600.0 / 7.0).abs() < 1e-9);
+        let empty = CampaignStats::default();
+        assert_eq!(empty.coverage_pct(), 0.0);
+        assert_eq!(empty.testable_coverage_pct(), 0.0);
     }
 
     /// Collapsing screens class members by exact simulation and falls
@@ -1316,7 +1639,7 @@ mod tests {
     /// only shrink the generated test set — never the coverage.
     #[test]
     fn collapse_screens_class_members_without_losing_detections() {
-        let dlx = DlxDesign::build();
+        let model = DlxModel::new();
         let base = CampaignConfig {
             policy: EnumPolicy::AllBits,
             limit: Some(12),
@@ -1327,8 +1650,11 @@ mod tests {
             collapse: true,
             ..base.clone()
         };
-        let plain = Campaign::run(&dlx, &base).stats();
-        let (campaign, report) = Campaign::run_with_report(&dlx, &collapsed_cfg);
+        let plain = Campaign::run(&model, &base, RunOptions::default())
+            .campaign
+            .stats();
+        let run = Campaign::run(&model, &collapsed_cfg, RunOptions::default());
+        let (campaign, report) = (run.campaign, run.report);
         let collapsed = campaign.stats();
         assert_eq!(plain.errors, collapsed.errors);
         assert!(
@@ -1360,7 +1686,7 @@ mod tests {
 
     #[test]
     fn error_simulation_compacts_the_test_set() {
-        let dlx = DlxDesign::build();
+        let model = DlxModel::new();
         let base = CampaignConfig {
             limit: Some(16),
             ..CampaignConfig::default()
@@ -1369,8 +1695,12 @@ mod tests {
             error_simulation: true,
             ..base.clone()
         };
-        let plain = Campaign::run(&dlx, &base).stats();
-        let compact = Campaign::run(&dlx, &with_sim).stats();
+        let plain = Campaign::run(&model, &base, RunOptions::default())
+            .campaign
+            .stats();
+        let compact = Campaign::run(&model, &with_sim, RunOptions::default())
+            .campaign
+            .stats();
         // Same coverage, fewer generated tests, no lost detections.
         assert_eq!(plain.errors, compact.errors);
         assert!(compact.detected >= plain.detected);

@@ -55,8 +55,8 @@ pub mod pipeframe;
 pub mod unroll;
 
 pub use campaign::{
-    Campaign, CampaignConfig, CampaignReport, CampaignRun, CampaignStats, ObserveOptions,
-    RetryPolicy,
+    Campaign, CampaignConfig, CampaignConfigBuilder, CampaignReport, CampaignRun, CampaignStats,
+    ConfigError, ObserveOptions, RetryPolicy, RunOptions,
 };
 pub use chaos::{ChaosConfig, ChaosProbe, ChaosTally};
 pub use checkpoint::{CheckpointEntry, CheckpointLog};

@@ -1,5 +1,5 @@
-//! `TG` — the overall test generation algorithm (paper Figure 3) for the
-//! DLX test vehicle.
+//! `TG` — the overall test generation algorithm (paper Figure 3),
+//! generic over any [`ProcessorModel`] backend.
 //!
 //! For one bus-SSL error the driver iterates the Figure 3/4 loop:
 //!
@@ -27,6 +27,13 @@
 //!
 //! Every failure backtracks to step 1 with the next variant until the
 //! variant budget is exhausted, in which case the error is *aborted*.
+//!
+//! Nothing here is DLX-specific: the pipeline geometry (stage indices,
+//! bypass/stall/squash wires, PC-derivative buses) and the semantic shape
+//! of every status signal come from the backend's
+//! [`PipelineDesc`] descriptor, so the same driver serves the classic
+//! five-stage DLX, its width variants and the merged-EX/MEM `dlx-lite`
+//! pipeline.
 
 use crate::ctrljust::{self, CtrlJustConfig, CtrlJustMemo, Objective};
 use crate::dprelax::{Activation, MemImage, RelaxEngine, RelaxGoal};
@@ -34,12 +41,12 @@ use crate::dptrace::{self, DptraceConfig, PathPlan};
 use crate::instrument::{Counter, Phase, Probe, SpanEnd, StepBudget, NO_PROBE};
 use crate::rng::SplitMix64;
 use crate::unroll::Unrolled;
-use hltg_dlx::DlxDesign;
 use hltg_errors::BusSslError;
 use hltg_isa::asm::Program;
 use hltg_isa::instr::{ALL_OPCODES, Format};
 use hltg_isa::{Instr, Opcode};
 use hltg_netlist::ctl::CtlNetId;
+use hltg_netlist::model::{FieldSlot, PipelineDesc, ProcessorModel, StsKind};
 use hltg_sim::{Polarity, Schedule, V3};
 use std::collections::HashMap;
 
@@ -266,7 +273,8 @@ fn image_addr(k: u32) -> i32 {
 
 /// The test generator, reusable across errors of one design.
 pub struct TestGenerator<'d> {
-    dlx: &'d DlxDesign,
+    model: &'d dyn ProcessorModel,
+    pipe: &'d PipelineDesc,
     cfg: TgConfig,
     probe: &'d dyn Probe,
     /// Levelized evaluation order, built once and shared by every
@@ -277,18 +285,23 @@ pub struct TestGenerator<'d> {
 }
 
 impl<'d> TestGenerator<'d> {
-    /// Creates a generator for the DLX test vehicle.
-    pub fn new(dlx: &'d DlxDesign, cfg: TgConfig) -> Self {
-        Self::with_probe(dlx, cfg, &NO_PROBE)
+    /// Creates a generator for `model`.
+    pub fn new(model: &'d dyn ProcessorModel, cfg: TgConfig) -> Self {
+        Self::with_probe(model, cfg, &NO_PROBE)
     }
 
     /// Creates a generator reporting engine events to `probe`. The probe
     /// may be shared across threads (it is `Sync`); the campaign engine
     /// hands every worker the same counter store.
-    pub fn with_probe(dlx: &'d DlxDesign, cfg: TgConfig, probe: &'d dyn Probe) -> Self {
-        let schedule = Schedule::build(&dlx.design).expect("DLX design levelizes");
+    pub fn with_probe(
+        model: &'d dyn ProcessorModel,
+        cfg: TgConfig,
+        probe: &'d dyn Probe,
+    ) -> Self {
+        let schedule = Schedule::build(model.design()).expect("design levelizes");
         TestGenerator {
-            dlx,
+            model,
+            pipe: model.pipeline(),
             cfg,
             probe,
             schedule,
@@ -401,7 +414,7 @@ impl<'d> TestGenerator<'d> {
         total_backtracks: &mut usize,
         budget: &StepBudget,
     ) -> Result<TestCase, (AbortReason, Option<(usize, CtlNetId, bool)>)> {
-        let design = &self.dlx.design;
+        let design = self.model.design();
         let id = u64::from(error.id.0);
         let plan = catch_phase("dptrace", || {
             dptrace::select_paths_budgeted(
@@ -531,16 +544,18 @@ impl<'d> TestGenerator<'d> {
         let mut opcodes = opcodes;
         let mut byp_constraints: Vec<(i64, Slot, i64, bool)> = Vec::new();
         for &(net, t, v) in &plan.sel_requirements {
-            let slot = if net == self.dlx.dp.byp_a {
+            let slot = if self.pipe.byp_a == Some(net) {
                 Slot::S1
-            } else if net == self.dlx.dp.byp_b {
+            } else if self.pipe.byp_b == Some(net) {
                 Slot::S2
             } else {
                 continue;
             };
+            // The consumer reads in ID, the producer commits in WB, at the
+            // cycle the bypass predicate is sampled.
             let f = activation_cycle + t;
-            let consumer = f as i64 - 1;
-            let producer = f as i64 - 4;
+            let consumer = f as i64 - self.pipe.id_stage as i64;
+            let producer = f as i64 - self.pipe.wb_stage as i64;
             if v == 1 {
                 if consumer < FREE_START as i64 || producer < 0 {
                     if self.cfg.debug {
@@ -584,7 +599,7 @@ impl<'d> TestGenerator<'d> {
 
         // --- Register allocation --------------------------------------------
         let alloc = allocate_registers(
-            self.dlx,
+            self.pipe,
             &u,
             &just,
             &opcodes,
@@ -639,8 +654,8 @@ impl<'d> TestGenerator<'d> {
             self.schedule.clone(),
             error.to_injection(),
             vec![
-                (self.dlx.dp.imem, imem_image),
-                (self.dlx.dp.dmem, MemImage::free()),
+                (self.pipe.imem, imem_image),
+                (self.pipe.dmem, MemImage::free()),
             ],
         );
         let goal = RelaxGoal {
@@ -727,16 +742,16 @@ impl<'d> TestGenerator<'d> {
     /// fixed prologue (and the empty pipeline before it) is assigned that
     /// true value, so `CTRLJUST` cannot decide it inconsistently.
     fn assume_prologue(&self, u: &mut Unrolled<'_>, frames: usize) {
-        let ctl = &self.dlx.ctl;
+        let pipe = self.pipe;
         let lw_major = Opcode::Lw.major();
         for f in 0..FREE_START {
-            for (i, &net) in ctl.cpi_op.iter().enumerate() {
+            for (i, &net) in pipe.cpi_op.iter().enumerate() {
                 u.assign(f, net, (lw_major >> i) & 1 == 1);
             }
             // The func-field CPI bits carry imm bits [5:0] of the load
             // offset in an I-type word.
             let imm = image_addr(f as u32 + 1) as u32;
-            for (i, &net) in ctl.cpi_fn.iter().enumerate() {
+            for (i, &net) in pipe.cpi_fn.iter().enumerate() {
                 u.assign(f, net, (imm >> i) & 1 == 1);
             }
         }
@@ -760,32 +775,42 @@ impl<'d> TestGenerator<'d> {
             }
         };
         let dest = s2_field; // lw selects the I-type dest field
+        let field = |slot: FieldSlot, pf: i64| -> Option<u8> {
+            match slot {
+                FieldSlot::Rs1 => rs1_field(pf),
+                FieldSlot::Rs2 => s2_field(pf),
+            }
+        };
         let eq = |a: Option<u8>, b: Option<u8>| -> Option<bool> {
             Some(a? == b?)
         };
         let nz = |a: Option<u8>| -> Option<bool> { Some(a? != 0) };
         for f in 0..frames {
             let fi = f as i64;
-            let pairs: [(CtlNetId, Option<bool>); 10] = [
-                (ctl.sts_ld_rs1, eq(rs1_field(fi - 1), dest(fi - 2))),
-                (ctl.sts_ld_rs2, eq(s2_field(fi - 1), dest(fi - 2))),
-                (ctl.sts_exdest_nz, nz(dest(fi - 2))),
-                (ctl.sts_a_mem, eq(rs1_field(fi - 2), dest(fi - 3))),
-                (ctl.sts_a_wb, eq(rs1_field(fi - 2), dest(fi - 4))),
-                (ctl.sts_b_mem, eq(s2_field(fi - 2), dest(fi - 3))),
-                (ctl.sts_b_wb, eq(s2_field(fi - 2), dest(fi - 4))),
-                (ctl.sts_memdest_nz, nz(dest(fi - 3))),
-                (ctl.sts_wbdest_nz, nz(dest(fi - 4))),
-                // A determined EX occupant is a prologue `lw` (or a
-                // bubble), whose A operand is r0: the zero flag is high.
-                (
-                    ctl.sts_azero,
-                    if fi - 2 < FREE_START as i64 { Some(true) } else { None },
-                ),
-            ];
-            for (net, val) in pairs {
+            for d in &pipe.sts {
+                let val = match d.kind {
+                    StsKind::FieldEqDest {
+                        slot,
+                        consumer_off,
+                        producer_off,
+                    } => eq(
+                        field(slot, fi + consumer_off as i64),
+                        dest(fi + producer_off as i64),
+                    ),
+                    StsKind::DestNz { producer_off } => nz(dest(fi + producer_off as i64)),
+                    // A determined execute-stage occupant is a prologue
+                    // `lw` (or a bubble), whose A operand is r0: the zero
+                    // flag is high.
+                    StsKind::AZero { ex_off } => {
+                        if fi + i64::from(ex_off) < FREE_START as i64 {
+                            Some(true)
+                        } else {
+                            None
+                        }
+                    }
+                };
                 if let Some(v) = val {
-                    u.assign(f, net, v);
+                    u.assign(f, d.net, v);
                 }
             }
         }
@@ -800,8 +825,8 @@ impl<'d> TestGenerator<'d> {
         activation_cycle: i32,
         frames: usize,
     ) -> Result<(Vec<Objective>, Vec<Objective>), AbortReason> {
-        let design = &self.dlx.design;
-        let ctl = &self.dlx.ctl;
+        let design = self.model.design();
+        let pipe = self.pipe;
         let mut objectives = Vec::new();
         let mut redirect_frames = Vec::new();
         for o in &plan.ctrl_objectives {
@@ -817,17 +842,17 @@ impl<'d> TestGenerator<'d> {
                 net: ctl_net,
                 value: o.value,
             });
-            let is_redirect = (o.dp_net == self.dlx.dp.c_pc_sel[0]
-                || o.dp_net == self.dlx.dp.c_pc_sel[1])
+            let is_redirect = (o.dp_net == pipe.pc_redirect[0]
+                || o.dp_net == pipe.pc_redirect[1])
                 && o.value;
             if is_redirect {
                 redirect_frames.push(frame as usize);
             }
             // Routing the write-back mux to PC4 means the instruction in WB
-            // is a link jump (JAL/JALR) — which squashed two slots when it
-            // resolved in EX, two cycles before WB.
-            if o.dp_net == self.dlx.dp.c_wb_sel[1] && o.value {
-                let ex_frame = frame - 2;
+            // is a link jump (JAL/JALR) — which squashed its younger slots
+            // when it resolved in EX, `wb - ex` cycles before WB.
+            if pipe.wb_link == Some(o.dp_net) && o.value {
+                let ex_frame = frame - (pipe.wb_stage - pipe.ex_stage) as i32;
                 if ex_frame < 0 {
                     return Err(AbortReason::NoPath);
                 }
@@ -836,27 +861,30 @@ impl<'d> TestGenerator<'d> {
         }
         redirect_frames.sort_unstable();
         redirect_frames.dedup();
-        // Quiet *monitors*: never stall; never squash except at planned
-        // redirect frames (where squash becomes a hard objective). Monitors
-        // catch implied violations without driving decisions; the final
-        // model check resolves the ones left undetermined.
+        // Quiet *monitors*: never stall (when the design can); never
+        // squash except at planned redirect frames (where squash becomes a
+        // hard objective). Monitors catch implied violations without
+        // driving decisions; the final model check resolves the ones left
+        // undetermined.
         let mut monitors = Vec::new();
         for f in 0..frames {
-            monitors.push(Objective {
-                frame: f,
-                net: ctl.stall,
-                value: false,
-            });
+            if let Some(stall) = pipe.stall {
+                monitors.push(Objective {
+                    frame: f,
+                    net: stall,
+                    value: false,
+                });
+            }
             if redirect_frames.contains(&f) {
                 objectives.push(Objective {
                     frame: f,
-                    net: ctl.squash,
+                    net: pipe.squash,
                     value: true,
                 });
             } else {
                 monitors.push(Objective {
                     frame: f,
-                    net: ctl.squash,
+                    net: pipe.squash,
                     value: false,
                 });
             }
@@ -873,14 +901,14 @@ impl<'d> TestGenerator<'d> {
         plan: &PathPlan,
         activation_cycle: i32,
     ) -> Result<Vec<Opcode>, AbortReason> {
-        let ctl = &self.dlx.ctl;
+        let pipe = self.pipe;
         let mut out = vec![Opcode::Nop; frames];
         for (f, slot) in out.iter_mut().enumerate().take(frames).skip(FREE_START) {
             let mut op_bits = [None::<bool>; 6];
             let mut fn_bits = [None::<bool>; 6];
             for i in 0..6 {
-                op_bits[i] = u.assigned(f, ctl.cpi_op[i]).to_bool();
-                fn_bits[i] = u.assigned(f, ctl.cpi_fn[i]).to_bool();
+                op_bits[i] = u.assigned(f, pipe.cpi_op[i]).to_bool();
+                fn_bits[i] = u.assigned(f, pipe.cpi_fn[i]).to_bool();
             }
             let matches = |op: Opcode| -> bool {
                 let major = op.major();
@@ -933,13 +961,13 @@ impl<'d> TestGenerator<'d> {
                     // compatible reading opcode when the completed one does
                     // not (any completion of the X bits preserves the
                     // justified objectives).
-                    let p = activation_cycle + t - 1;
+                    let p = activation_cycle + t - pipe.id_stage as i32;
                     if p < FREE_START as i32 || (p as usize) >= frames {
                         continue;
                     }
                     let p = p as usize;
-                    let out_net = self.dlx.design.dp.module(module).output;
-                    let needs_rs2 = out_net == Some(self.dlx.dp.b_raw);
+                    let out_net = self.model.design().dp.module(module).output;
+                    let needs_rs2 = out_net == Some(pipe.b_raw);
                     let reads = |op: Opcode| {
                         if needs_rs2 {
                             op.reads_rs2()
@@ -957,12 +985,12 @@ impl<'d> TestGenerator<'d> {
                     }
                 }
                 crate::dptrace::SourceUse::MemRead(module, t) => {
-                    // Data-memory reads happen in MEM (stage 3); the
+                    // Data-memory reads happen in the memory stage; the
                     // instruction-fetch port needs no instruction.
-                    let m = self.dlx.design.dp.module(module);
+                    let m = self.model.design().dp.module(module);
                     if let hltg_netlist::dp::DpOp::MemRead(arch) = m.op {
-                        if arch == self.dlx.dp.dmem {
-                            let p = activation_cycle + t - 3;
+                        if arch == pipe.dmem {
+                            let p = activation_cycle + t - pipe.mem_stage as i32;
                             if p >= FREE_START as i32 && (p as usize) < frames {
                                 let p = p as usize;
                                 if !out[p].is_load() {
@@ -999,15 +1027,15 @@ impl<'d> TestGenerator<'d> {
         objectives: &[Objective],
         monitors: &[Objective],
     ) -> Result<(), StsFailure> {
-        let ctl = &self.dlx.ctl;
+        let pipe = self.pipe;
         for (f, &addr) in addrs.iter().enumerate().take(frames) {
             let w = image.value_of(addr / 4) as u32;
-            for (i, &n) in ctl.cpi_op.iter().enumerate() {
+            for (i, &n) in pipe.cpi_op.iter().enumerate() {
                 if u.assigned(f, n) == V3::X {
                     u.assign(f, n, (w >> (26 + i)) & 1 == 1);
                 }
             }
-            for (i, &n) in ctl.cpi_fn.iter().enumerate() {
+            for (i, &n) in pipe.cpi_fn.iter().enumerate() {
                 if u.assigned(f, n) == V3::X {
                     u.assign(f, n, (w >> i) & 1 == 1);
                 }
@@ -1040,27 +1068,33 @@ impl<'d> TestGenerator<'d> {
                 },
             }
         };
+        let field = |slot: FieldSlot, pf: i64| -> u32 {
+            match slot {
+                FieldSlot::Rs1 => s1(pf),
+                FieldSlot::Rs2 => s2v(pf),
+            }
+        };
         for f in 0..frames {
             let fi = f as i64;
-            let pairs: [(CtlNetId, bool); 9] = [
-                (ctl.sts_ld_rs1, s1(fi - 1) == dest(fi - 2)),
-                (ctl.sts_ld_rs2, s2v(fi - 1) == dest(fi - 2)),
-                (ctl.sts_exdest_nz, dest(fi - 2) != 0),
-                (ctl.sts_a_mem, s1(fi - 2) == dest(fi - 3)),
-                (ctl.sts_a_wb, s1(fi - 2) == dest(fi - 4)),
-                (ctl.sts_b_mem, s2v(fi - 2) == dest(fi - 3)),
-                (ctl.sts_b_wb, s2v(fi - 2) == dest(fi - 4)),
-                (ctl.sts_memdest_nz, dest(fi - 3) != 0),
-                (ctl.sts_wbdest_nz, dest(fi - 4) != 0),
-            ];
-            for (n, v) in pairs {
+            for d in &pipe.sts {
+                let v = match d.kind {
+                    StsKind::FieldEqDest {
+                        slot,
+                        consumer_off,
+                        producer_off,
+                    } => field(slot, fi + consumer_off as i64) == dest(fi + producer_off as i64),
+                    StsKind::DestNz { producer_off } => dest(fi + producer_off as i64) != 0,
+                    // The zero flag is free data, resolved by DPRELAX.
+                    StsKind::AZero { .. } => continue,
+                };
+                let n = d.net;
                 match u.assigned(f, n).to_bool() {
                     None => u.assign(f, n, v),
                     Some(decided) if decided != v => {
                         if self.cfg.debug {
                             eprintln!(
                                 "[model] sts {}@{f} decided {} but stream implies {}",
-                                self.dlx.design.ctl.net(n).name,
+                                self.model.design().ctl.net(n).name,
                                 decided as u8,
                                 v as u8
                             );
@@ -1086,7 +1120,7 @@ impl<'d> TestGenerator<'d> {
                 if self.cfg.debug {
                     eprintln!(
                         "[model] {}@{} wanted {} got {}",
-                        self.dlx.design.ctl.net(o.net).name,
+                        self.model.design().ctl.net(o.net).name,
                         o.frame,
                         o.value as u8,
                         u.value(o.frame, o.net)
@@ -1121,7 +1155,7 @@ impl<'d> TestGenerator<'d> {
         let major = op.major();
         let func = op.func().unwrap_or(0);
         let func_matters = op.format() == Format::RType;
-        for (i, &net) in self.dlx.ctl.cpi_op.iter().enumerate() {
+        for (i, &net) in self.pipe.cpi_op.iter().enumerate() {
             if let Some(b) = u.assigned(frame, net).to_bool() {
                 if b != ((major >> i) & 1 == 1) {
                     return false;
@@ -1129,7 +1163,7 @@ impl<'d> TestGenerator<'d> {
             }
         }
         if func_matters {
-            for (i, &net) in self.dlx.ctl.cpi_fn.iter().enumerate() {
+            for (i, &net) in self.pipe.cpi_fn.iter().enumerate() {
                 if let Some(b) = u.assigned(frame, net).to_bool() {
                     if b != ((func >> i) & 1 == 1) {
                         return false;
@@ -1155,22 +1189,17 @@ impl<'d> TestGenerator<'d> {
         frames: usize,
         activation_cycle: i32,
     ) -> Result<Skeleton, AbortReason> {
+        let pipe = self.pipe;
+        // The EX-resolution latency: a transfer fetched at frame `f`
+        // resolves at `f + ex`, squashes the `ex` younger slots, and the
+        // continuation is fetched at `f + ex + 1`.
+        let ex = pipe.ex_stage;
         let mut image = MemImage::fixed(Vec::new());
         // Per-frame fetch addresses: linear from 0, except a register-
         // indirect jump rebases the stream (its target register is a free
         // value, so the continuation may sit anywhere — which is how high
         // PC bits get activated).
-        let pc_family = [
-            self.dlx.dp.pc,
-            self.dlx.dp.pc_plus4,
-            self.dlx.dp.next_pc,
-            self.dlx.dp.ifid_pc4,
-            self.dlx.dp.idex_pc4,
-            self.dlx.dp.exmem_pc4,
-            self.dlx.dp.memwb_pc4,
-            self.dlx.dp.br_target,
-        ];
-        let bias = if pc_family.contains(&error.net)
+        let bias = if pipe.pc_family.contains(&error.net)
             && error.polarity == Polarity::StuckAt0
             && (2..30).contains(&error.bit)
         {
@@ -1191,13 +1220,13 @@ impl<'d> TestGenerator<'d> {
             addrs[f] = cursor;
             cursor += 4;
             if f >= FREE_START && matches!(opcodes[f], Opcode::Jr | Opcode::Jalr) {
-                // Continuation resumes at the target after two squashed
+                // Continuation resumes at the target after the squashed
                 // slots; place it in a distinct region biased to activate
                 // high PC bits when the plan needs that.
                 // Keep the low bits advancing so rebased slots do not
                 // collide with a second jump region.
-                let base = (0x2000 | bias | (addrs[f] & 0xfff)) + 12;
-                rebase_at = Some((f + 3, base));
+                let base = (0x2000 | bias | (addrs[f] & 0xfff)) + 4 * (ex as u64 + 1);
+                rebase_at = Some((f + ex + 1, base));
             }
         }
         // Prologue loads.
@@ -1222,24 +1251,26 @@ impl<'d> TestGenerator<'d> {
                 Format::IType => op.major() << 26 | (rs1 as u32) << 21 | (s2 as u32) << 16,
                 Format::JType => op.major() << 26,
             };
-            // Immediate policy: transfers get +8 (linear continuation past
-            // the two squashed slots); other I-type immediates are free
-            // except for low bits CTRLJUST already decided (the func-field
-            // CPI positions double as imm[5:0] in I-type words).
+            // Immediate policy: transfers get `4 * ex` (linear
+            // continuation past the squashed slots); other I-type
+            // immediates are free except for low bits CTRLJUST already
+            // decided (the func-field CPI positions double as imm[5:0] in
+            // I-type words).
+            let taken_disp = 4 * ex as u32;
             let mut free: u32 = 0;
             match op.format() {
                 Format::JType => {
-                    word |= 8;
+                    word |= taken_disp;
                 }
                 Format::IType if op.is_branch() => {
-                    word |= 8;
+                    word |= taken_disp;
                 }
                 Format::IType => {
                     free = 0xffff;
                 }
                 Format::RType => {}
             }
-            for (i, &net) in self.dlx.ctl.cpi_fn.iter().enumerate() {
+            for (i, &net) in pipe.cpi_fn.iter().enumerate() {
                 if let Some(b) = u.assigned(f, net).to_bool() {
                     if op.format() == Format::RType {
                         continue; // func bits already encoded
@@ -1272,23 +1303,24 @@ impl<'d> TestGenerator<'d> {
             }
             requirements.push((net, cycle as usize, v));
         }
+        let azero = pipe.azero_net();
         for (f, net, val) in just.sts_obligations(u) {
-            if net == self.dlx.ctl.sts_azero {
+            if azero == Some(net) {
                 // a_fwd at cycle f must be zero (or the canonical
                 // non-zero 1).
-                requirements.push((self.dlx.dp.a_fwd, f, if val { 0 } else { 1 }));
+                requirements.push((pipe.a_fwd, f, if val { 0 } else { 1 }));
             }
         }
         // Register-indirect jumps: the target register must hold the
         // continuation address of the (possibly rebased) stream.
         for f in FREE_START..frames {
             if matches!(opcodes[f], Opcode::Jr | Opcode::Jalr) {
-                // The jump resolves in EX at f + 2; the two younger slots
-                // are squashed and fetch resumes at frame f + 3 from the
+                // The jump resolves in EX at f + ex; the younger slots are
+                // squashed and fetch resumes at frame f + ex + 1 from the
                 // target address.
-                let ex_cycle = f + 2;
-                if ex_cycle < frames && f + 3 < frames {
-                    requirements.push((self.dlx.dp.a_fwd, ex_cycle, addrs[f + 3]));
+                let ex_cycle = f + ex;
+                if ex_cycle < frames && f + ex + 1 < frames {
+                    requirements.push((pipe.a_fwd, ex_cycle, addrs[f + ex + 1]));
                 }
             }
         }
@@ -1390,7 +1422,7 @@ impl Uf {
 /// decisions made by CTRLJUST.
 #[allow(clippy::too_many_arguments)]
 fn allocate_registers(
-    dlx: &DlxDesign,
+    pipe: &PipelineDesc,
     _u: &Unrolled<'_>,
     just: &ctrljust::Justification,
     opcodes: &[Opcode],
@@ -1406,7 +1438,6 @@ fn allocate_registers(
             return Err(StsFailure::Fatal);
         }};
     }
-    let ctl = &dlx.ctl;
     // Node indexing: (frame, slot) for FREE_START..frames, plus virtual
     // fixed nodes for prologue/pre-reset pipeframes.
     let slots = [Slot::S1, Slot::S2, Slot::S3];
@@ -1477,19 +1508,39 @@ fn allocate_registers(
         Some(index(pf as usize, s))
     };
 
-    // Equality / inequality constraints from STS decisions.
+    // Equality / inequality constraints from STS decisions, derived from
+    // the descriptor's semantic shapes: (sts net, consumer pipeframe
+    // offset from frame, consumer slot, producer pipeframe offset).
     let mut neq: Vec<(usize, usize)> = Vec::new();
     let mut zero_dest: Vec<i64> = Vec::new();
-    let sts_pairs: Vec<(CtlNetId, i64, Slot, i64)> = vec![
-        // (sts net, consumer pipeframe offset from frame, consumer slot,
-        //  producer pipeframe offset)
-        (ctl.sts_ld_rs1, -1, Slot::S1, -2),
-        (ctl.sts_ld_rs2, -1, Slot::S2, -2),
-        (ctl.sts_a_mem, -2, Slot::S1, -3),
-        (ctl.sts_a_wb, -2, Slot::S1, -4),
-        (ctl.sts_b_mem, -2, Slot::S2, -3),
-        (ctl.sts_b_wb, -2, Slot::S2, -4),
-    ];
+    let sts_pairs: Vec<(CtlNetId, i64, Slot, i64)> = pipe
+        .sts
+        .iter()
+        .filter_map(|d| match d.kind {
+            StsKind::FieldEqDest {
+                slot,
+                consumer_off,
+                producer_off,
+            } => Some((
+                d.net,
+                consumer_off as i64,
+                match slot {
+                    FieldSlot::Rs1 => Slot::S1,
+                    FieldSlot::Rs2 => Slot::S2,
+                },
+                producer_off as i64,
+            )),
+            _ => None,
+        })
+        .collect();
+    let dest_nz: Vec<(CtlNetId, i64)> = pipe
+        .sts
+        .iter()
+        .filter_map(|d| match d.kind {
+            StsKind::DestNz { producer_off } => Some((d.net, producer_off as i64)),
+            _ => None,
+        })
+        .collect();
     for &(f, net, v) in &just.assignments {
         let fi = f as i64;
         for &(sn, coff, cslot, poff) in &sts_pairs {
@@ -1531,11 +1582,7 @@ fn allocate_registers(
             }
         }
         // dest != 0 / dest == 0 constraints.
-        for &(sn, poff) in &[
-            (ctl.sts_exdest_nz, -2i64),
-            (ctl.sts_memdest_nz, -3),
-            (ctl.sts_wbdest_nz, -4),
-        ] {
+        for &(sn, poff) in &dest_nz {
             if net != sn {
                 continue;
             }

@@ -1,7 +1,7 @@
 //! Assembly of the complete DLX design: datapath + controller + bindings.
 
 use crate::controller::{build_controller, CtlHandles};
-use crate::datapath::{build_datapath, DpHandles};
+use crate::datapath::{build_datapath_w, DpHandles};
 use hltg_netlist::design::{CpiBind, CtrlBind, StsBind};
 use hltg_netlist::Design;
 
@@ -30,16 +30,31 @@ pub struct DlxDesign {
 }
 
 impl DlxDesign {
-    /// Builds and validates the full processor.
+    /// Builds and validates the full processor at the classical 32-bit
+    /// datapath width.
     ///
     /// # Panics
     ///
     /// Panics only on internal construction bugs (the design is validated
     /// before being returned).
     pub fn build() -> Self {
-        let (dp_nl, dp) = build_datapath();
+        Self::build_with_width(32)
+    }
+
+    /// Builds and validates the full processor with a `w`-bit datapath
+    /// (16 or 32). The controller and the control/status interface are
+    /// width-independent; see
+    /// [`build_datapath_w`](crate::datapath::build_datapath_w) for what
+    /// narrows.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unsupported widths and on internal construction bugs.
+    pub fn build_with_width(w: u32) -> Self {
+        let (dp_nl, dp) = build_datapath_w(w);
         let (ctl_nl, ctl) = build_controller();
-        let mut design = Design::new("dlx", dp_nl, ctl_nl);
+        let name = if w == 32 { "dlx" } else { "dlx16" };
+        let mut design = Design::new(name, dp_nl, ctl_nl);
 
         // CTRL bindings: controller output -> datapath control input.
         let ctrl_pairs = [

@@ -56,7 +56,7 @@ pub struct CtlHandles {
 
 /// One-hot instruction-recognizer: AND of op-field literals (plus function
 /// literals for R-type opcodes).
-fn recognizer(
+pub(crate) fn recognizer(
     b: &mut CtlBuilder,
     cir_op: &[CtlNetId; 6],
     cir_fn: &[CtlNetId; 6],
@@ -311,7 +311,7 @@ pub fn build_controller() -> (CtlNetlist, CtlHandles) {
 /// Per-control-line lists of recognizer nets, accumulated over the 44
 /// instructions and then OR-reduced.
 #[derive(Default)]
-struct DecodedLines {
+pub(crate) struct DecodedLines {
     imm: [Vec<CtlNetId>; 2],
     dest: [Vec<CtlNetId>; 2],
     alu: [Vec<CtlNetId>; 4],
@@ -331,27 +331,27 @@ struct DecodedLines {
 }
 
 /// The OR-reduced decode outputs.
-struct Decoded {
-    imm: [CtlNetId; 2],
-    dest: [CtlNetId; 2],
-    alu: [CtlNetId; 4],
-    alu_b_imm: CtlNetId,
-    is_load: CtlNetId,
-    is_store: CtlNetId,
-    is_branch: CtlNetId,
-    branch_on_zero: CtlNetId,
-    is_jimm: CtlNetId,
-    is_jreg: CtlNetId,
-    writes_reg: CtlNetId,
-    wb: [CtlNetId; 2],
-    st: [CtlNetId; 2],
-    ld: [CtlNetId; 3],
-    uses_rs1: CtlNetId,
-    uses_rs2: CtlNetId,
+pub(crate) struct Decoded {
+    pub(crate) imm: [CtlNetId; 2],
+    pub(crate) dest: [CtlNetId; 2],
+    pub(crate) alu: [CtlNetId; 4],
+    pub(crate) alu_b_imm: CtlNetId,
+    pub(crate) is_load: CtlNetId,
+    pub(crate) is_store: CtlNetId,
+    pub(crate) is_branch: CtlNetId,
+    pub(crate) branch_on_zero: CtlNetId,
+    pub(crate) is_jimm: CtlNetId,
+    pub(crate) is_jreg: CtlNetId,
+    pub(crate) writes_reg: CtlNetId,
+    pub(crate) wb: [CtlNetId; 2],
+    pub(crate) st: [CtlNetId; 2],
+    pub(crate) ld: [CtlNetId; 3],
+    pub(crate) uses_rs1: CtlNetId,
+    pub(crate) uses_rs2: CtlNetId,
 }
 
 impl DecodedLines {
-    fn accumulate(&mut self, is: CtlNetId, w: &CtrlWord) {
+    pub(crate) fn accumulate(&mut self, is: CtlNetId, w: &CtrlWord) {
         let bit = |list: &mut Vec<CtlNetId>, set: bool| {
             if set {
                 list.push(is);
@@ -387,7 +387,7 @@ impl DecodedLines {
         bit(&mut self.uses_rs2, w.uses_rs2);
     }
 
-    fn reduce(self, b: &mut CtlBuilder) -> Decoded {
+    pub(crate) fn reduce(self, b: &mut CtlBuilder) -> Decoded {
         let or = |b: &mut CtlBuilder, v: &Vec<CtlNetId>| {
             if v.is_empty() {
                 b.const0()

@@ -100,13 +100,30 @@ pub struct DpHandles {
     pub s_wbdest_nz: DpNetId,
 }
 
-/// Builds the DLX datapath netlist.
+/// Builds the DLX datapath netlist at the classical 32-bit width.
 ///
 /// # Panics
 ///
 /// Panics only on internal construction bugs; the returned netlist has been
 /// validated.
 pub fn build_datapath() -> (DpNetlist, DpHandles) {
+    build_datapath_w(32)
+}
+
+/// Builds the DLX datapath netlist with a `w`-bit datapath (`w` is 16 or
+/// 32). The program counter, instruction memory and fetch path stay 32-bit
+/// in every variant — only the operand/ALU/data-memory width narrows — so
+/// the same instruction encodings drive both. At `w == 32` the produced
+/// netlist is identical (same nets, names and module order) to
+/// [`build_datapath`].
+///
+/// # Panics
+///
+/// Panics on unsupported widths and on internal construction bugs; the
+/// returned netlist has been validated.
+pub fn build_datapath_w(w: u32) -> (DpNetlist, DpHandles) {
+    assert!(w == 16 || w == 32, "unsupported datapath width {w}");
+    let wide = w == 32;
     let mut b = DpBuilder::new("dlx_dp");
     let s_if = Stage::new(0);
     let s_id = Stage::new(1);
@@ -116,8 +133,8 @@ pub fn build_datapath() -> (DpNetlist, DpHandles) {
 
     // ---- Architectural state -------------------------------------------
     let imem = b.arch_mem("imem", 32);
-    let dmem = b.arch_mem("dmem", 32);
-    let gpr = b.arch_regfile("gpr", 32, 32, true);
+    let dmem = b.arch_mem("dmem", w);
+    let gpr = b.arch_regfile("gpr", 32, w, true);
 
     // ---- IF --------------------------------------------------------------
     b.set_stage(s_if);
@@ -143,12 +160,19 @@ pub fn build_datapath() -> (DpNetlist, DpHandles) {
     let instr = b.mem_read("ifetch", imem, fetch_addr);
     // Forward references into EX for the redirect targets.
     let br_target = b.wire("br_target", 32);
-    let a_fwd = b.wire("a_fwd", 32);
+    let a_fwd = b.wire("a_fwd", w);
+    // On narrow datapaths the jump-register target is zero-extended up to
+    // the 32-bit fetch path.
+    let a_fwd_pc = if wide {
+        a_fwd
+    } else {
+        b.zero_ext("a_fwd_pc", a_fwd, 32)
+    };
     b.drive(
         next_pc,
         "pc_mux",
         DpOp::Mux,
-        &[pc_plus4, br_target, a_fwd, pc_plus4],
+        &[pc_plus4, br_target, a_fwd_pc, pc_plus4],
         &[c_pc_sel[0], c_pc_sel[1]],
     );
 
@@ -166,11 +190,11 @@ pub fn build_datapath() -> (DpNetlist, DpHandles) {
 
     // Forward references to later-stage nets used by ID and IF.
     b.set_stage(s_ex);
-    let exmem_alu = b.wire("exmem_alu", 32);
+    let exmem_alu = b.wire("exmem_alu", w);
     let exmem_dest = b.wire("exmem_dest", 5);
     b.set_stage(s_wb);
     let memwb_dest = b.wire("memwb_dest", 5);
-    let wb_value = b.wire("wb_value", 32);
+    let wb_value = b.wire("wb_value", w);
     let c_rf_we = b.ctrl("c_rf_we");
 
     // ---- ID --------------------------------------------------------------
@@ -196,11 +220,23 @@ pub fn build_datapath() -> (DpNetlist, DpHandles) {
     let byp_b = b.and("byp_b", byp_b_pre, c_rf_we);
     let a_val = b.mux("a_val", &[byp_a], &[a_raw, wb_value]);
     let b_val = b.mux("b_val", &[byp_b], &[b_raw, wb_value]);
-    let imm_sext = b.sign_ext("imm_sext", imm16, 32);
-    let imm_zext = b.zero_ext("imm_zext", imm16, 32);
-    let k16_0 = b.constant("k16_0", 16, 0);
-    let imm_lhi = b.concat("imm_lhi", &[k16_0, imm16]);
-    let imm_j = b.sign_ext("imm_j", imm26, 32);
+    let imm_sext = b.sign_ext("imm_sext", imm16, w);
+    let imm_zext = b.zero_ext("imm_zext", imm16, w);
+    let imm_lhi = if wide {
+        let k16_0 = b.constant("k16_0", 16, 0);
+        b.concat("imm_lhi", &[k16_0, imm16])
+    } else {
+        // LHI loads the upper half of the narrow word: imm[7:0] << 8.
+        let imm8 = b.slice("imm8", ifid_ir, 0, 8);
+        let k8_0 = b.constant("k8_0", 8, 0);
+        b.concat("imm_lhi", &[k8_0, imm8])
+    };
+    let imm_j = if wide {
+        b.sign_ext("imm_j", imm26, 32)
+    } else {
+        // Jump displacements saturate at the datapath width.
+        b.slice("imm_j", imm26, 0, w)
+    };
     let c_imm_sel = [b.ctrl("c_imm_sel0"), b.ctrl("c_imm_sel1")];
     let imm_val = b.mux("imm_val", &c_imm_sel, &[imm_sext, imm_zext, imm_lhi, imm_j]);
     let k31 = b.constant("k31", 5, 31);
@@ -255,7 +291,7 @@ pub fn build_datapath() -> (DpNetlist, DpHandles) {
     ];
     let c_alu_b_imm = b.ctrl("c_alu_b_imm");
     let op_b = b.mux("op_b", &[c_alu_b_imm], &[b_fwd, idex_imm]);
-    let shamt = b.slice("shamt", op_b, 0, 5);
+    let shamt = b.slice("shamt", op_b, 0, if wide { 5 } else { 4 });
     let alu_add = b.add("alu_add", a_fwd, op_b);
     let alu_sub = b.sub("alu_sub", a_fwd, op_b);
     let alu_and = b.and("alu_and", a_fwd, op_b);
@@ -270,12 +306,12 @@ pub fn build_datapath() -> (DpNetlist, DpHandles) {
     let p_sgt = b.predicate("p_sgt", DpOp::Gt, a_fwd, op_b);
     let p_sle = b.predicate("p_sle", DpOp::Le, a_fwd, op_b);
     let p_sge = b.predicate("p_sge", DpOp::Ge, a_fwd, op_b);
-    let set_seq = b.zero_ext("set_seq", p_seq, 32);
-    let set_sne = b.zero_ext("set_sne", p_sne, 32);
-    let set_slt = b.zero_ext("set_slt", p_slt, 32);
-    let set_sgt = b.zero_ext("set_sgt", p_sgt, 32);
-    let set_sle = b.zero_ext("set_sle", p_sle, 32);
-    let set_sge = b.zero_ext("set_sge", p_sge, 32);
+    let set_seq = b.zero_ext("set_seq", p_seq, w);
+    let set_sne = b.zero_ext("set_sne", p_sne, w);
+    let set_slt = b.zero_ext("set_slt", p_slt, w);
+    let set_sgt = b.zero_ext("set_sgt", p_sgt, w);
+    let set_sle = b.zero_ext("set_sle", p_sle, w);
+    let set_sge = b.zero_ext("set_sge", p_sge, w);
     let alu_out = b.mux(
         "alu_out",
         &c_alu,
@@ -286,9 +322,16 @@ pub fn build_datapath() -> (DpNetlist, DpHandles) {
     );
 
     // Branch condition and targets.
-    let k32_0 = b.constant("k32_0", 32, 0);
+    let k32_0 = b.constant("k32_0", w, 0);
     let s_azero = b.predicate("s_azero", DpOp::Eq, a_fwd, k32_0);
-    b.drive(br_target, "br_adder", DpOp::Add, &[idex_pc4, idex_imm], &[]);
+    // The branch adder works on the 32-bit fetch path; narrow datapaths
+    // sign-extend the displacement up to it.
+    let br_disp = if wide {
+        idex_imm
+    } else {
+        b.sign_ext("br_disp", idex_imm, 32)
+    };
+    b.drive(br_target, "br_adder", DpOp::Add, &[idex_pc4, br_disp], &[]);
 
     // ---- EX/MEM ----------------------------------------------------------
     b.set_stage(s_mem);
@@ -298,52 +341,87 @@ pub fn build_datapath() -> (DpNetlist, DpHandles) {
     b.drive(exmem_dest, "exmem_dest_reg", DpOp::Reg(RegSpec::plain(0)), &[idex_dest], &[]);
 
     // ---- MEM -------------------------------------------------------------
-    let dmem_addr = b.slice("dmem_addr", exmem_alu, 2, 30);
+    // Word-aligned data address: drop log2(w/8) byte-offset bits.
+    let dmem_addr = if wide {
+        b.slice("dmem_addr", exmem_alu, 2, 30)
+    } else {
+        b.slice("dmem_addr", exmem_alu, 1, 15)
+    };
     let a0 = b.slice("a0", exmem_alu, 0, 1);
-    let a1 = b.slice("a1", exmem_alu, 1, 1);
-    let lmd_word = b.mem_read("dload", dmem, dmem_addr);
-    // Load extraction.
-    let b0 = b.slice("lmd_b0", lmd_word, 0, 8);
-    let b1 = b.slice("lmd_b1", lmd_word, 8, 8);
-    let b2 = b.slice("lmd_b2", lmd_word, 16, 8);
-    let b3 = b.slice("lmd_b3", lmd_word, 24, 8);
-    let byte = b.mux("lmd_byte", &[a0, a1], &[b0, b1, b2, b3]);
-    let h0 = b.slice("lmd_h0", lmd_word, 0, 16);
-    let h1 = b.slice("lmd_h1", lmd_word, 16, 16);
-    let half = b.mux("lmd_half", &[a1], &[h0, h1]);
-    let byte_s = b.sign_ext("byte_s", byte, 32);
-    let byte_z = b.zero_ext("byte_z", byte, 32);
-    let half_s = b.sign_ext("half_s", half, 32);
-    let half_z = b.zero_ext("half_z", half, 32);
-    let c_ld_sel = [b.ctrl("c_ld_sel0"), b.ctrl("c_ld_sel1"), b.ctrl("c_ld_sel2")];
-    let load_val = b.mux(
-        "load_val",
-        &c_ld_sel,
-        &[
-            lmd_word, byte_s, byte_z, half_s, half_z, lmd_word, lmd_word, lmd_word,
-        ],
-    );
-    // Store alignment.
-    let k5_8 = b.constant("k5_8", 5, 8);
-    let k5_16 = b.constant("k5_16", 5, 16);
-    let k5_24 = b.constant("k5_24", 5, 24);
-    let b_sh8 = b.shift("b_sh8", DpOp::Sll, exmem_b, k5_8);
-    let b_sh16 = b.shift("b_sh16", DpOp::Sll, exmem_b, k5_16);
-    let b_sh24 = b.shift("b_sh24", DpOp::Sll, exmem_b, k5_24);
-    let sh_data = b.mux("sh_data", &[a1], &[exmem_b, b_sh16]);
-    let sb_data = b.mux("sb_data", &[a0, a1], &[exmem_b, b_sh8, b_sh16, b_sh24]);
-    let c_st_sel = [b.ctrl("c_st_sel0"), b.ctrl("c_st_sel1")];
-    let store_data = b.mux("store_data", &c_st_sel, &[exmem_b, sh_data, sb_data, exmem_b]);
-    let m_1111 = b.constant("m_1111", 4, 0b1111);
-    let m_0011 = b.constant("m_0011", 4, 0b0011);
-    let m_1100 = b.constant("m_1100", 4, 0b1100);
-    let m_0001 = b.constant("m_0001", 4, 0b0001);
-    let m_0010 = b.constant("m_0010", 4, 0b0010);
-    let m_0100 = b.constant("m_0100", 4, 0b0100);
-    let m_1000 = b.constant("m_1000", 4, 0b1000);
-    let sh_mask = b.mux("sh_mask", &[a1], &[m_0011, m_1100]);
-    let sb_mask = b.mux("sb_mask", &[a0, a1], &[m_0001, m_0010, m_0100, m_1000]);
-    let store_mask = b.mux("store_mask", &c_st_sel, &[m_1111, sh_mask, sb_mask, m_1111]);
+    let (lmd_word, c_ld_sel, c_st_sel, load_val, store_data, store_mask);
+    if wide {
+        let a1 = b.slice("a1", exmem_alu, 1, 1);
+        lmd_word = b.mem_read("dload", dmem, dmem_addr);
+        // Load extraction.
+        let b0 = b.slice("lmd_b0", lmd_word, 0, 8);
+        let b1 = b.slice("lmd_b1", lmd_word, 8, 8);
+        let b2 = b.slice("lmd_b2", lmd_word, 16, 8);
+        let b3 = b.slice("lmd_b3", lmd_word, 24, 8);
+        let byte = b.mux("lmd_byte", &[a0, a1], &[b0, b1, b2, b3]);
+        let h0 = b.slice("lmd_h0", lmd_word, 0, 16);
+        let h1 = b.slice("lmd_h1", lmd_word, 16, 16);
+        let half = b.mux("lmd_half", &[a1], &[h0, h1]);
+        let byte_s = b.sign_ext("byte_s", byte, 32);
+        let byte_z = b.zero_ext("byte_z", byte, 32);
+        let half_s = b.sign_ext("half_s", half, 32);
+        let half_z = b.zero_ext("half_z", half, 32);
+        c_ld_sel = [b.ctrl("c_ld_sel0"), b.ctrl("c_ld_sel1"), b.ctrl("c_ld_sel2")];
+        load_val = b.mux(
+            "load_val",
+            &c_ld_sel,
+            &[
+                lmd_word, byte_s, byte_z, half_s, half_z, lmd_word, lmd_word, lmd_word,
+            ],
+        );
+        // Store alignment.
+        let k5_8 = b.constant("k5_8", 5, 8);
+        let k5_16 = b.constant("k5_16", 5, 16);
+        let k5_24 = b.constant("k5_24", 5, 24);
+        let b_sh8 = b.shift("b_sh8", DpOp::Sll, exmem_b, k5_8);
+        let b_sh16 = b.shift("b_sh16", DpOp::Sll, exmem_b, k5_16);
+        let b_sh24 = b.shift("b_sh24", DpOp::Sll, exmem_b, k5_24);
+        let sh_data = b.mux("sh_data", &[a1], &[exmem_b, b_sh16]);
+        let sb_data = b.mux("sb_data", &[a0, a1], &[exmem_b, b_sh8, b_sh16, b_sh24]);
+        c_st_sel = [b.ctrl("c_st_sel0"), b.ctrl("c_st_sel1")];
+        store_data = b.mux("store_data", &c_st_sel, &[exmem_b, sh_data, sb_data, exmem_b]);
+        let m_1111 = b.constant("m_1111", 4, 0b1111);
+        let m_0011 = b.constant("m_0011", 4, 0b0011);
+        let m_1100 = b.constant("m_1100", 4, 0b1100);
+        let m_0001 = b.constant("m_0001", 4, 0b0001);
+        let m_0010 = b.constant("m_0010", 4, 0b0010);
+        let m_0100 = b.constant("m_0100", 4, 0b0100);
+        let m_1000 = b.constant("m_1000", 4, 0b1000);
+        let sh_mask = b.mux("sh_mask", &[a1], &[m_0011, m_1100]);
+        let sb_mask = b.mux("sb_mask", &[a0, a1], &[m_0001, m_0010, m_0100, m_1000]);
+        store_mask = b.mux("store_mask", &c_st_sel, &[m_1111, sh_mask, sb_mask, m_1111]);
+    } else {
+        // A 16-bit word is two bytes; a "half" access is the whole word,
+        // so only the byte lane needs extraction and alignment.
+        lmd_word = b.mem_read("dload", dmem, dmem_addr);
+        let b0 = b.slice("lmd_b0", lmd_word, 0, 8);
+        let b1 = b.slice("lmd_b1", lmd_word, 8, 8);
+        let byte = b.mux("lmd_byte", &[a0], &[b0, b1]);
+        let byte_s = b.sign_ext("byte_s", byte, w);
+        let byte_z = b.zero_ext("byte_z", byte, w);
+        c_ld_sel = [b.ctrl("c_ld_sel0"), b.ctrl("c_ld_sel1"), b.ctrl("c_ld_sel2")];
+        load_val = b.mux(
+            "load_val",
+            &c_ld_sel,
+            &[
+                lmd_word, byte_s, byte_z, lmd_word, lmd_word, lmd_word, lmd_word, lmd_word,
+            ],
+        );
+        let k4_8 = b.constant("k4_8", 4, 8);
+        let b_sh8 = b.shift("b_sh8", DpOp::Sll, exmem_b, k4_8);
+        let sb_data = b.mux("sb_data", &[a0], &[exmem_b, b_sh8]);
+        c_st_sel = [b.ctrl("c_st_sel0"), b.ctrl("c_st_sel1")];
+        store_data = b.mux("store_data", &c_st_sel, &[exmem_b, exmem_b, sb_data, exmem_b]);
+        let m_11 = b.constant("m_11", 2, 0b11);
+        let m_01 = b.constant("m_01", 2, 0b01);
+        let m_10 = b.constant("m_10", 2, 0b10);
+        let sb_mask = b.mux("sb_mask", &[a0], &[m_01, m_10]);
+        store_mask = b.mux("store_mask", &c_st_sel, &[m_11, m_11, sb_mask, m_11]);
+    }
     let c_mem_we = b.ctrl("c_mem_we");
     b.mem_write("dstore", dmem, dmem_addr, store_data, store_mask, c_mem_we);
 
@@ -356,11 +434,18 @@ pub fn build_datapath() -> (DpNetlist, DpHandles) {
 
     // ---- WB --------------------------------------------------------------
     let c_wb_sel = [b.ctrl("c_wb_sel0"), b.ctrl("c_wb_sel1")];
+    // The link value is the low word of the 32-bit return address on
+    // narrow datapaths.
+    let link_val = if wide {
+        memwb_pc4
+    } else {
+        b.slice("link_lo", memwb_pc4, 0, w)
+    };
     b.drive(
         wb_value,
         "wb_mux",
         DpOp::Mux,
-        &[memwb_alu, memwb_lmd, memwb_pc4, memwb_alu],
+        &[memwb_alu, memwb_lmd, link_val, memwb_alu],
         &[c_wb_sel[0], c_wb_sel[1]],
     );
     b.rf_write("rf_wr", gpr, memwb_dest, wb_value, c_rf_we);
@@ -469,6 +554,20 @@ mod tests {
         assert_eq!(nl.net(h.dest).width, 5);
         assert_eq!(nl.status.len(), 10);
         assert_eq!(nl.outputs.len(), 8);
+    }
+
+    #[test]
+    fn narrow_datapath_builds_and_validates() {
+        let (nl, h) = build_datapath_w(16);
+        assert!(nl.validate().is_ok());
+        // Fetch path stays 32-bit; operand path narrows.
+        assert_eq!(nl.net(h.pc).width, 32);
+        assert_eq!(nl.net(h.a_fwd).width, 16);
+        assert_eq!(nl.net(h.wb_value).width, 16);
+        assert_eq!(nl.net(h.store_mask).width, 2);
+        // Same control/status interface as the classic build.
+        assert_eq!(nl.status.len(), 10);
+        assert_eq!(nl.census().ctrl_signals, 26);
     }
 
     #[test]

@@ -45,9 +45,13 @@ pub mod build;
 pub mod controller;
 pub mod ctrl_word;
 pub mod datapath;
+pub mod lite;
+pub mod model;
 pub mod runner;
 pub mod trace;
 
 pub use build::{DlxDesign, DlxNets};
+pub use lite::LiteDesign;
+pub use model::{build_model, DlxModel, LiteModel, BACKENDS};
 pub use trace::PipeTrace;
 pub use ctrl_word::{AluOp, CtrlWord, DestSel, ImmSel, LdSel, StSel, WbSel};

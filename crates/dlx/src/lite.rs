@@ -1,0 +1,672 @@
+//! `dlx-lite`: a shallow DLX variant with a merged execute/memory stage.
+//!
+//! Four pipe stages — `IF / ID / EXM / WB` — over the same 44-instruction
+//! ISA and the same word-level module library as the classic five-stage
+//! build:
+//!
+//! * **merged EX/MEM** — the ALU feeds the data-memory port combinationally
+//!   in the same stage (the classical shallow-pipeline trade: shorter
+//!   pipeline, longer critical path);
+//! * **no load-delay interlock** — with memory access folded into EXM, a
+//!   load's value reaches WB before any consumer reaches EXM, so the
+//!   stall wire (and the MEM-side bypass) disappear entirely;
+//! * **WB → EXM forwarding only** — a single bypass per operand, plus the
+//!   classical write-through register file in ID;
+//! * **predict-not-taken fetch** — transfers still resolve in stage 2 and
+//!   squash the two younger slots, exactly as in the classic build.
+//!
+//! The variant exists to exercise the design-independence of the method:
+//! a different stage count, a different status-signal set and a different
+//! tertiary population, built from the same primitives.
+
+use crate::controller::{recognizer, DecodedLines};
+use crate::ctrl_word::CtrlWord;
+use hltg_isa::instr::ALL_OPCODES;
+use hltg_netlist::ctl::{CtlBuilder, CtlNetId, CtlNetlist, FfSpec};
+use hltg_netlist::design::{CpiBind, CtrlBind, StsBind};
+use hltg_netlist::dp::{ArchId, DpBuilder, DpNetId, DpNetlist, DpOp, RegSpec};
+use hltg_netlist::{Design, Stage};
+
+/// Handles to the lite datapath's externally meaningful nets.
+#[derive(Debug, Clone)]
+#[allow(missing_docs)] // field names mirror the hardware signal names
+pub struct LiteDpHandles {
+    pub imem: ArchId,
+    pub dmem: ArchId,
+    pub gpr: ArchId,
+    // IF
+    pub pc: DpNetId,
+    pub pc_plus4: DpNetId,
+    pub next_pc: DpNetId,
+    pub instr: DpNetId,
+    // ID
+    pub ifid_ir: DpNetId,
+    pub ifid_pc4: DpNetId,
+    pub f_rs1: DpNetId,
+    pub f_rs2: DpNetId,
+    pub a_raw: DpNetId,
+    pub b_raw: DpNetId,
+    pub byp_a: DpNetId,
+    pub byp_b: DpNetId,
+    pub imm_val: DpNetId,
+    pub dest: DpNetId,
+    // EXM
+    pub idex_a: DpNetId,
+    pub idex_b: DpNetId,
+    pub idex_imm: DpNetId,
+    pub idex_pc4: DpNetId,
+    pub idex_rs1: DpNetId,
+    pub idex_rs2: DpNetId,
+    pub idex_dest: DpNetId,
+    pub a_fwd: DpNetId,
+    pub b_fwd: DpNetId,
+    pub alu_out: DpNetId,
+    pub br_target: DpNetId,
+    pub dmem_addr: DpNetId,
+    pub lmd_word: DpNetId,
+    pub load_val: DpNetId,
+    pub store_data: DpNetId,
+    pub store_mask: DpNetId,
+    // WB
+    pub exmwb_alu: DpNetId,
+    pub exmwb_lmd: DpNetId,
+    pub exmwb_pc4: DpNetId,
+    pub exmwb_dest: DpNetId,
+    pub wb_value: DpNetId,
+    // CTRL inputs
+    pub c_pc_sel: [DpNetId; 2],
+    pub c_imm_sel: [DpNetId; 2],
+    pub c_dest_sel: [DpNetId; 2],
+    pub c_fwd_a: DpNetId,
+    pub c_fwd_b: DpNetId,
+    pub c_alu: [DpNetId; 4],
+    pub c_alu_b_imm: DpNetId,
+    pub c_mem_we: DpNetId,
+    pub c_st_sel: [DpNetId; 2],
+    pub c_ld_sel: [DpNetId; 3],
+    pub c_rf_we: DpNetId,
+    pub c_wb_sel: [DpNetId; 2],
+    // STS outputs
+    pub s_azero: DpNetId,
+    pub s_a_wb: DpNetId,
+    pub s_b_wb: DpNetId,
+    pub s_wbdest_nz: DpNetId,
+}
+
+/// Handles to the lite controller's externally visible nets.
+#[derive(Debug, Clone)]
+#[allow(missing_docs)] // field names mirror the hardware signal names
+pub struct LiteCtlHandles {
+    pub cpi_op: [CtlNetId; 6],
+    pub cpi_fn: [CtlNetId; 6],
+    pub sts_azero: CtlNetId,
+    pub sts_a_wb: CtlNetId,
+    pub sts_b_wb: CtlNetId,
+    pub sts_wbdest_nz: CtlNetId,
+    pub c_pc_sel: [CtlNetId; 2],
+    pub c_imm_sel: [CtlNetId; 2],
+    pub c_dest_sel: [CtlNetId; 2],
+    pub c_fwd_a: CtlNetId,
+    pub c_fwd_b: CtlNetId,
+    pub c_alu: [CtlNetId; 4],
+    pub c_alu_b_imm: CtlNetId,
+    pub c_mem_we: CtlNetId,
+    pub c_st_sel: [CtlNetId; 2],
+    pub c_ld_sel: [CtlNetId; 3],
+    pub c_rf_we: CtlNetId,
+    pub c_wb_sel: [CtlNetId; 2],
+    pub squash: CtlNetId,
+}
+
+/// Builds the lite datapath netlist.
+///
+/// # Panics
+///
+/// Panics only on internal construction bugs; the returned netlist has
+/// been validated.
+pub fn build_lite_datapath() -> (DpNetlist, LiteDpHandles) {
+    let mut b = DpBuilder::new("dlx_lite_dp");
+    let s_if = Stage::new(0);
+    let s_id = Stage::new(1);
+    let s_exm = Stage::new(2);
+    let s_wb = Stage::new(3);
+
+    // ---- Architectural state -------------------------------------------
+    let imem = b.arch_mem("imem", 32);
+    let dmem = b.arch_mem("dmem", 32);
+    let gpr = b.arch_regfile("gpr", 32, 32, true);
+
+    // ---- IF --------------------------------------------------------------
+    // No stall in this pipeline: the PC and IF/ID registers advance every
+    // cycle, so neither carries an enable.
+    b.set_stage(s_if);
+    let c_pc_sel = [b.ctrl("c_pc_sel0"), b.ctrl("c_pc_sel1")];
+    let next_pc = b.wire("next_pc", 32);
+    let pc = b.wire("pc", 32);
+    b.drive(pc, "pc_reg", DpOp::Reg(RegSpec::plain(0)), &[next_pc], &[]);
+    let four = b.constant("k4", 32, 4);
+    let pc_plus4 = b.add("pc_plus4", pc, four);
+    let fetch_addr = b.slice("fetch_addr", pc, 2, 30);
+    let instr = b.mem_read("ifetch", imem, fetch_addr);
+    let br_target = b.wire("br_target", 32);
+    let a_fwd = b.wire("a_fwd", 32);
+    b.drive(
+        next_pc,
+        "pc_mux",
+        DpOp::Mux,
+        &[pc_plus4, br_target, a_fwd, pc_plus4],
+        &[c_pc_sel[0], c_pc_sel[1]],
+    );
+
+    // ---- IF/ID -----------------------------------------------------------
+    b.set_stage(s_id);
+    let ifid_ir = b.reg("ifid_ir", instr);
+    let ifid_pc4 = b.reg("ifid_pc4", pc_plus4);
+
+    // Forward references to WB nets used by ID.
+    b.set_stage(s_wb);
+    let exmwb_dest = b.wire("exmwb_dest", 5);
+    let wb_value = b.wire("wb_value", 32);
+    let c_rf_we = b.ctrl("c_rf_we");
+
+    // ---- ID --------------------------------------------------------------
+    b.set_stage(s_id);
+    let f_rs1 = b.slice("f_rs1", ifid_ir, 21, 5);
+    let f_rs2 = b.slice("f_rs2", ifid_ir, 16, 5);
+    let f_rd = b.slice("f_rd", ifid_ir, 11, 5);
+    let imm16 = b.slice("imm16", ifid_ir, 0, 16);
+    let imm26 = b.slice("imm26", ifid_ir, 0, 26);
+    let a_raw = b.rf_read("rf_a", gpr, f_rs1);
+    let b_raw = b.rf_read("rf_b", gpr, f_rs2);
+    // Write-through register file, modelled as one more bypass (same as
+    // the classic build).
+    let k5_0 = b.constant("k5_0", 5, 0);
+    let s_wbdest_nz = b.predicate("s_wbdest_nz", DpOp::Ne, exmwb_dest, k5_0);
+    let eq_a_wb_id = b.predicate("eq_a_wb_id", DpOp::Eq, f_rs1, exmwb_dest);
+    let eq_b_wb_id = b.predicate("eq_b_wb_id", DpOp::Eq, f_rs2, exmwb_dest);
+    let byp_a_pre = b.and("byp_a_pre", eq_a_wb_id, s_wbdest_nz);
+    let byp_a = b.and("byp_a", byp_a_pre, c_rf_we);
+    let byp_b_pre = b.and("byp_b_pre", eq_b_wb_id, s_wbdest_nz);
+    let byp_b = b.and("byp_b", byp_b_pre, c_rf_we);
+    let a_val = b.mux("a_val", &[byp_a], &[a_raw, wb_value]);
+    let b_val = b.mux("b_val", &[byp_b], &[b_raw, wb_value]);
+    let imm_sext = b.sign_ext("imm_sext", imm16, 32);
+    let imm_zext = b.zero_ext("imm_zext", imm16, 32);
+    let k16_0 = b.constant("k16_0", 16, 0);
+    let imm_lhi = b.concat("imm_lhi", &[k16_0, imm16]);
+    let imm_j = b.sign_ext("imm_j", imm26, 32);
+    let c_imm_sel = [b.ctrl("c_imm_sel0"), b.ctrl("c_imm_sel1")];
+    let imm_val = b.mux("imm_val", &c_imm_sel, &[imm_sext, imm_zext, imm_lhi, imm_j]);
+    let k31 = b.constant("k31", 5, 31);
+    let c_dest_sel = [b.ctrl("c_dest_sel0"), b.ctrl("c_dest_sel1")];
+    let dest = b.mux("dest", &c_dest_sel, &[f_rs2, f_rd, k31, f_rs2]);
+
+    // ---- ID/EXM ----------------------------------------------------------
+    b.set_stage(s_exm);
+    let idex_a = b.reg("idex_a", a_val);
+    let idex_b = b.reg("idex_b", b_val);
+    let idex_imm = b.reg("idex_imm", imm_val);
+    let idex_pc4 = b.reg("idex_pc4", ifid_pc4);
+    let idex_rs1 = b.reg("idex_rs1", f_rs1);
+    let idex_rs2 = b.reg("idex_rs2", f_rs2);
+    let idex_dest = b.reg("idex_dest", dest);
+
+    // ---- EXM -------------------------------------------------------------
+    // One bypass source per operand: the WB stage.
+    let c_fwd_a = b.ctrl("c_fwd_a");
+    let c_fwd_b = b.ctrl("c_fwd_b");
+    b.drive(
+        a_fwd,
+        "a_fwd_mux",
+        DpOp::Mux,
+        &[idex_a, wb_value],
+        &[c_fwd_a],
+    );
+    let b_fwd = b.mux("b_fwd", &[c_fwd_b], &[idex_b, wb_value]);
+
+    // Bypass comparators (predicates -> status).
+    let s_a_wb = b.predicate("s_a_wb", DpOp::Eq, idex_rs1, exmwb_dest);
+    let s_b_wb = b.predicate("s_b_wb", DpOp::Eq, idex_rs2, exmwb_dest);
+
+    // The same parallel ALU composition as the classic build.
+    let c_alu = [
+        b.ctrl("c_alu0"),
+        b.ctrl("c_alu1"),
+        b.ctrl("c_alu2"),
+        b.ctrl("c_alu3"),
+    ];
+    let c_alu_b_imm = b.ctrl("c_alu_b_imm");
+    let op_b = b.mux("op_b", &[c_alu_b_imm], &[b_fwd, idex_imm]);
+    let shamt = b.slice("shamt", op_b, 0, 5);
+    let alu_add = b.add("alu_add", a_fwd, op_b);
+    let alu_sub = b.sub("alu_sub", a_fwd, op_b);
+    let alu_and = b.and("alu_and", a_fwd, op_b);
+    let alu_or = b.or("alu_or", a_fwd, op_b);
+    let alu_xor = b.xor("alu_xor", a_fwd, op_b);
+    let alu_sll = b.shift("alu_sll", DpOp::Sll, a_fwd, shamt);
+    let alu_srl = b.shift("alu_srl", DpOp::Srl, a_fwd, shamt);
+    let alu_sra = b.shift("alu_sra", DpOp::Sra, a_fwd, shamt);
+    let p_seq = b.predicate("p_seq", DpOp::Eq, a_fwd, op_b);
+    let p_sne = b.predicate("p_sne", DpOp::Ne, a_fwd, op_b);
+    let p_slt = b.predicate("p_slt", DpOp::Lt, a_fwd, op_b);
+    let p_sgt = b.predicate("p_sgt", DpOp::Gt, a_fwd, op_b);
+    let p_sle = b.predicate("p_sle", DpOp::Le, a_fwd, op_b);
+    let p_sge = b.predicate("p_sge", DpOp::Ge, a_fwd, op_b);
+    let set_seq = b.zero_ext("set_seq", p_seq, 32);
+    let set_sne = b.zero_ext("set_sne", p_sne, 32);
+    let set_slt = b.zero_ext("set_slt", p_slt, 32);
+    let set_sgt = b.zero_ext("set_sgt", p_sgt, 32);
+    let set_sle = b.zero_ext("set_sle", p_sle, 32);
+    let set_sge = b.zero_ext("set_sge", p_sge, 32);
+    let alu_out = b.mux(
+        "alu_out",
+        &c_alu,
+        &[
+            alu_add, alu_sub, alu_and, alu_or, alu_xor, alu_sll, alu_srl, alu_sra, set_seq,
+            set_sne, set_slt, set_sgt, set_sle, set_sge, alu_add, alu_add,
+        ],
+    );
+
+    // Branch condition and targets.
+    let k32_0 = b.constant("k32_0", 32, 0);
+    let s_azero = b.predicate("s_azero", DpOp::Eq, a_fwd, k32_0);
+    b.drive(br_target, "br_adder", DpOp::Add, &[idex_pc4, idex_imm], &[]);
+
+    // Memory access, folded into the same stage: the ALU result feeds the
+    // address port combinationally.
+    let dmem_addr = b.slice("dmem_addr", alu_out, 2, 30);
+    let a0 = b.slice("a0", alu_out, 0, 1);
+    let a1 = b.slice("a1", alu_out, 1, 1);
+    let lmd_word = b.mem_read("dload", dmem, dmem_addr);
+    let b0 = b.slice("lmd_b0", lmd_word, 0, 8);
+    let b1 = b.slice("lmd_b1", lmd_word, 8, 8);
+    let b2 = b.slice("lmd_b2", lmd_word, 16, 8);
+    let b3 = b.slice("lmd_b3", lmd_word, 24, 8);
+    let byte = b.mux("lmd_byte", &[a0, a1], &[b0, b1, b2, b3]);
+    let h0 = b.slice("lmd_h0", lmd_word, 0, 16);
+    let h1 = b.slice("lmd_h1", lmd_word, 16, 16);
+    let half = b.mux("lmd_half", &[a1], &[h0, h1]);
+    let byte_s = b.sign_ext("byte_s", byte, 32);
+    let byte_z = b.zero_ext("byte_z", byte, 32);
+    let half_s = b.sign_ext("half_s", half, 32);
+    let half_z = b.zero_ext("half_z", half, 32);
+    let c_ld_sel = [b.ctrl("c_ld_sel0"), b.ctrl("c_ld_sel1"), b.ctrl("c_ld_sel2")];
+    let load_val = b.mux(
+        "load_val",
+        &c_ld_sel,
+        &[
+            lmd_word, byte_s, byte_z, half_s, half_z, lmd_word, lmd_word, lmd_word,
+        ],
+    );
+    let k5_8 = b.constant("k5_8", 5, 8);
+    let k5_16 = b.constant("k5_16", 5, 16);
+    let k5_24 = b.constant("k5_24", 5, 24);
+    let b_sh8 = b.shift("b_sh8", DpOp::Sll, b_fwd, k5_8);
+    let b_sh16 = b.shift("b_sh16", DpOp::Sll, b_fwd, k5_16);
+    let b_sh24 = b.shift("b_sh24", DpOp::Sll, b_fwd, k5_24);
+    let sh_data = b.mux("sh_data", &[a1], &[b_fwd, b_sh16]);
+    let sb_data = b.mux("sb_data", &[a0, a1], &[b_fwd, b_sh8, b_sh16, b_sh24]);
+    let c_st_sel = [b.ctrl("c_st_sel0"), b.ctrl("c_st_sel1")];
+    let store_data = b.mux("store_data", &c_st_sel, &[b_fwd, sh_data, sb_data, b_fwd]);
+    let m_1111 = b.constant("m_1111", 4, 0b1111);
+    let m_0011 = b.constant("m_0011", 4, 0b0011);
+    let m_1100 = b.constant("m_1100", 4, 0b1100);
+    let m_0001 = b.constant("m_0001", 4, 0b0001);
+    let m_0010 = b.constant("m_0010", 4, 0b0010);
+    let m_0100 = b.constant("m_0100", 4, 0b0100);
+    let m_1000 = b.constant("m_1000", 4, 0b1000);
+    let sh_mask = b.mux("sh_mask", &[a1], &[m_0011, m_1100]);
+    let sb_mask = b.mux("sb_mask", &[a0, a1], &[m_0001, m_0010, m_0100, m_1000]);
+    let store_mask = b.mux("store_mask", &c_st_sel, &[m_1111, sh_mask, sb_mask, m_1111]);
+    let c_mem_we = b.ctrl("c_mem_we");
+    b.mem_write("dstore", dmem, dmem_addr, store_data, store_mask, c_mem_we);
+
+    // ---- EXM/WB ----------------------------------------------------------
+    b.set_stage(s_wb);
+    let exmwb_alu = b.reg("exmwb_alu", alu_out);
+    let exmwb_lmd = b.reg("exmwb_lmd", load_val);
+    let exmwb_pc4 = b.reg("exmwb_pc4", idex_pc4);
+    b.drive(
+        exmwb_dest,
+        "exmwb_dest_reg",
+        DpOp::Reg(RegSpec::plain(0)),
+        &[idex_dest],
+        &[],
+    );
+
+    // ---- WB --------------------------------------------------------------
+    let c_wb_sel = [b.ctrl("c_wb_sel0"), b.ctrl("c_wb_sel1")];
+    b.drive(
+        wb_value,
+        "wb_mux",
+        DpOp::Mux,
+        &[exmwb_alu, exmwb_lmd, exmwb_pc4, exmwb_alu],
+        &[c_wb_sel[0], c_wb_sel[1]],
+    );
+    b.rf_write("rf_wr", gpr, exmwb_dest, wb_value, c_rf_we);
+
+    // ---- Observables and status ------------------------------------------
+    b.mark_output(pc);
+    b.mark_output(dmem_addr);
+    b.mark_output(store_data);
+    b.mark_output(store_mask);
+    b.mark_output(c_mem_we);
+    b.mark_output(exmwb_dest);
+    b.mark_output(wb_value);
+    b.mark_output(c_rf_we);
+    for s in [s_azero, s_a_wb, s_b_wb, s_wbdest_nz] {
+        b.mark_status(s);
+    }
+
+    let handles = LiteDpHandles {
+        imem,
+        dmem,
+        gpr,
+        pc,
+        pc_plus4,
+        next_pc,
+        instr,
+        ifid_ir,
+        ifid_pc4,
+        f_rs1,
+        f_rs2,
+        a_raw,
+        b_raw,
+        byp_a,
+        byp_b,
+        imm_val,
+        dest,
+        idex_a,
+        idex_b,
+        idex_imm,
+        idex_pc4,
+        idex_rs1,
+        idex_rs2,
+        idex_dest,
+        a_fwd,
+        b_fwd,
+        alu_out,
+        br_target,
+        dmem_addr,
+        lmd_word,
+        load_val,
+        store_data,
+        store_mask,
+        exmwb_alu,
+        exmwb_lmd,
+        exmwb_pc4,
+        exmwb_dest,
+        wb_value,
+        c_pc_sel,
+        c_imm_sel,
+        c_dest_sel,
+        c_fwd_a,
+        c_fwd_b,
+        c_alu,
+        c_alu_b_imm,
+        c_mem_we,
+        c_st_sel,
+        c_ld_sel,
+        c_rf_we,
+        c_wb_sel,
+        s_azero,
+        s_a_wb,
+        s_b_wb,
+        s_wbdest_nz,
+    };
+    let nl = b.finish().expect("dlx-lite datapath is structurally valid");
+    (nl, handles)
+}
+
+/// Builds the lite controller netlist.
+///
+/// # Panics
+///
+/// Panics only on internal construction bugs; the returned netlist has
+/// been validated.
+pub fn build_lite_controller() -> (CtlNetlist, LiteCtlHandles) {
+    let mut b = CtlBuilder::new("dlx_lite_ctl");
+    let s_if = Stage::new(0);
+    let s_id = Stage::new(1);
+    let s_exm = Stage::new(2);
+    let s_wb = Stage::new(3);
+
+    // ---- CPI: instruction bits -------------------------------------------
+    b.set_stage(s_if);
+    let cpi_op: [CtlNetId; 6] = std::array::from_fn(|i| b.cpi(format!("cpi_op{i}")));
+    let cpi_fn: [CtlNetId; 6] = std::array::from_fn(|i| b.cpi(format!("cpi_fn{i}")));
+
+    // The only tertiary control signal: squash, resolved in EXM.
+    b.set_stage(s_exm);
+    let squash = b.wire("squash");
+
+    // ---- IF/ID control pipe register (squash-cleared, never stalled) -----
+    b.set_stage(s_id);
+    let cir_spec = FfSpec {
+        init: false,
+        has_enable: false,
+        has_clear: true,
+        clear_val: false,
+    };
+    let cir_op: [CtlNetId; 6] = std::array::from_fn(|i| {
+        b.ff_spec(format!("cir_op{i}"), cpi_op[i], cir_spec, None, Some(squash))
+    });
+    let cir_fn: [CtlNetId; 6] = std::array::from_fn(|i| {
+        b.ff_spec(format!("cir_fn{i}"), cpi_fn[i], cir_spec, None, Some(squash))
+    });
+
+    // ---- ID: decode (same PLA synthesis as the classic controller) --------
+    let mut dec = DecodedLines::default();
+    for op in ALL_OPCODES {
+        let is = recognizer(&mut b, &cir_op, &cir_fn, op);
+        let w = CtrlWord::for_opcode(op);
+        dec.accumulate(is, &w);
+    }
+    let d = dec.reduce(&mut b);
+
+    // ---- STS inputs -------------------------------------------------------
+    b.set_stage(s_exm);
+    let sts_azero = b.sts("sts_azero");
+    let sts_a_wb = b.sts("sts_a_wb");
+    let sts_b_wb = b.sts("sts_b_wb");
+    let sts_wbdest_nz = b.sts("sts_wbdest_nz");
+
+    // ---- ID/EXM control pipe registers (bubble on squash) -----------------
+    let exff = |b: &mut CtlBuilder, name: &str, dsig: CtlNetId| {
+        b.ff_spec(format!("ex_{name}"), dsig, cir_spec, None, Some(squash))
+    };
+    let ex_alu: [CtlNetId; 4] =
+        std::array::from_fn(|i| exff(&mut b, &format!("alu{i}"), d.alu[i]));
+    let ex_alu_b_imm = exff(&mut b, "alu_b_imm", d.alu_b_imm);
+    let ex_is_store = exff(&mut b, "is_store", d.is_store);
+    let ex_is_branch = exff(&mut b, "is_branch", d.is_branch);
+    let ex_br_on_zero = exff(&mut b, "br_on_zero", d.branch_on_zero);
+    let ex_is_jimm = exff(&mut b, "is_jimm", d.is_jimm);
+    let ex_is_jreg = exff(&mut b, "is_jreg", d.is_jreg);
+    let ex_writes_reg = exff(&mut b, "writes_reg", d.writes_reg);
+    let ex_wb: [CtlNetId; 2] = std::array::from_fn(|i| exff(&mut b, &format!("wb{i}"), d.wb[i]));
+    let ex_st: [CtlNetId; 2] = std::array::from_fn(|i| exff(&mut b, &format!("st{i}"), d.st[i]));
+    let ex_ld: [CtlNetId; 3] = std::array::from_fn(|i| exff(&mut b, &format!("ld{i}"), d.ld[i]));
+
+    // ---- EXM/WB control pipe registers ------------------------------------
+    b.set_stage(s_wb);
+    let wb_writes_reg = b.ff("wb_writes_reg", ex_writes_reg, false);
+    let wb_wb: [CtlNetId; 2] = std::array::from_fn(|i| b.ff(format!("wb_wb{i}"), ex_wb[i], false));
+
+    // ---- EXM: transfer resolution and forwarding ---------------------------
+    b.set_stage(s_exm);
+    let cond = b.xor(&[ex_br_on_zero, sts_azero]);
+    let ncond = b.not(cond);
+    let br_taken = b.and(&[ex_is_branch, ncond]);
+    let taken = b.or(&[br_taken, ex_is_jimm, ex_is_jreg]);
+    b.drive_buf(squash, taken);
+    let pc_sel0 = b.or(&[br_taken, ex_is_jimm]);
+    let pc_sel1 = ex_is_jreg;
+
+    // Single bypass source: WB.
+    let fwd_a = b.and(&[sts_a_wb, sts_wbdest_nz, wb_writes_reg]);
+    let fwd_b = b.and(&[sts_b_wb, sts_wbdest_nz, wb_writes_reg]);
+
+    // ---- Outputs -----------------------------------------------------------
+    let handles = LiteCtlHandles {
+        cpi_op,
+        cpi_fn,
+        sts_azero,
+        sts_a_wb,
+        sts_b_wb,
+        sts_wbdest_nz,
+        c_pc_sel: [pc_sel0, pc_sel1],
+        c_imm_sel: d.imm,
+        c_dest_sel: d.dest,
+        c_fwd_a: fwd_a,
+        c_fwd_b: fwd_b,
+        c_alu: ex_alu,
+        c_alu_b_imm: ex_alu_b_imm,
+        c_mem_we: ex_is_store,
+        c_st_sel: ex_st,
+        c_ld_sel: ex_ld,
+        c_rf_we: wb_writes_reg,
+        c_wb_sel: wb_wb,
+        squash,
+    };
+    for n in [
+        handles.c_pc_sel[0],
+        handles.c_pc_sel[1],
+        handles.c_imm_sel[0],
+        handles.c_imm_sel[1],
+        handles.c_dest_sel[0],
+        handles.c_dest_sel[1],
+        handles.c_fwd_a,
+        handles.c_fwd_b,
+        handles.c_alu[0],
+        handles.c_alu[1],
+        handles.c_alu[2],
+        handles.c_alu[3],
+        handles.c_alu_b_imm,
+        handles.c_mem_we,
+        handles.c_st_sel[0],
+        handles.c_st_sel[1],
+        handles.c_ld_sel[0],
+        handles.c_ld_sel[1],
+        handles.c_ld_sel[2],
+        handles.c_rf_we,
+        handles.c_wb_sel[0],
+        handles.c_wb_sel[1],
+    ] {
+        b.mark_ctrl_output(n);
+    }
+    for t in [squash, pc_sel0, pc_sel1, fwd_a, fwd_b] {
+        b.mark_tertiary(t);
+    }
+
+    let nl = b.finish().expect("dlx-lite controller is structurally valid");
+    (nl, handles)
+}
+
+/// The complete `dlx-lite` design with handles to its significant nets.
+#[derive(Debug, Clone)]
+pub struct LiteDesign {
+    /// The bound design (datapath + controller).
+    pub design: Design,
+    /// Datapath net handles.
+    pub dp: LiteDpHandles,
+    /// Controller net handles.
+    pub ctl: LiteCtlHandles,
+}
+
+impl LiteDesign {
+    /// Builds and validates the full lite processor.
+    ///
+    /// # Panics
+    ///
+    /// Panics only on internal construction bugs (the design is validated
+    /// before being returned).
+    pub fn build() -> Self {
+        let (dp_nl, dp) = build_lite_datapath();
+        let (ctl_nl, ctl) = build_lite_controller();
+        let mut design = Design::new("dlx-lite", dp_nl, ctl_nl);
+
+        let ctrl_pairs = [
+            (ctl.c_pc_sel[0], dp.c_pc_sel[0]),
+            (ctl.c_pc_sel[1], dp.c_pc_sel[1]),
+            (ctl.c_imm_sel[0], dp.c_imm_sel[0]),
+            (ctl.c_imm_sel[1], dp.c_imm_sel[1]),
+            (ctl.c_dest_sel[0], dp.c_dest_sel[0]),
+            (ctl.c_dest_sel[1], dp.c_dest_sel[1]),
+            (ctl.c_fwd_a, dp.c_fwd_a),
+            (ctl.c_fwd_b, dp.c_fwd_b),
+            (ctl.c_alu[0], dp.c_alu[0]),
+            (ctl.c_alu[1], dp.c_alu[1]),
+            (ctl.c_alu[2], dp.c_alu[2]),
+            (ctl.c_alu[3], dp.c_alu[3]),
+            (ctl.c_alu_b_imm, dp.c_alu_b_imm),
+            (ctl.c_mem_we, dp.c_mem_we),
+            (ctl.c_st_sel[0], dp.c_st_sel[0]),
+            (ctl.c_st_sel[1], dp.c_st_sel[1]),
+            (ctl.c_ld_sel[0], dp.c_ld_sel[0]),
+            (ctl.c_ld_sel[1], dp.c_ld_sel[1]),
+            (ctl.c_ld_sel[2], dp.c_ld_sel[2]),
+            (ctl.c_rf_we, dp.c_rf_we),
+            (ctl.c_wb_sel[0], dp.c_wb_sel[0]),
+            (ctl.c_wb_sel[1], dp.c_wb_sel[1]),
+        ];
+        for (c, d) in ctrl_pairs {
+            design.ctrl_binds.push(CtrlBind { ctl: c, dp: d });
+        }
+
+        let sts_pairs = [
+            (dp.s_azero, ctl.sts_azero),
+            (dp.s_a_wb, ctl.sts_a_wb),
+            (dp.s_b_wb, ctl.sts_b_wb),
+            (dp.s_wbdest_nz, ctl.sts_wbdest_nz),
+        ];
+        for (d, c) in sts_pairs {
+            design.sts_binds.push(StsBind { dp: d, ctl: c });
+        }
+
+        for (i, &c) in ctl.cpi_op.iter().enumerate() {
+            design.cpi_binds.push(CpiBind {
+                dp: dp.instr,
+                bit: 26 + i as u32,
+                ctl: c,
+            });
+        }
+        for (i, &c) in ctl.cpi_fn.iter().enumerate() {
+            design.cpi_binds.push(CpiBind {
+                dp: dp.instr,
+                bit: i as u32,
+                ctl: c,
+            });
+        }
+
+        design.validate().expect("dlx-lite design binds consistently");
+        LiteDesign { design, dp, ctl }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lite_design_builds_and_levelizes() {
+        let lite = LiteDesign::build();
+        assert!(lite.design.validate().is_ok());
+        assert!(hltg_sim::Schedule::build(&lite.design).is_ok());
+        assert_eq!(lite.design.ctrl_binds.len(), 22);
+        assert_eq!(lite.design.sts_binds.len(), 4);
+    }
+
+    #[test]
+    fn lite_census_is_shallower_than_classic() {
+        let lite = LiteDesign::build();
+        let classic = crate::DlxDesign::build();
+        let lc = lite.design.ctl.census();
+        let cc = classic.design.ctl.census();
+        // Fewer pipe stages, no stall path: strictly less control state and
+        // a smaller tertiary population.
+        assert!(lc.state_bits < cc.state_bits);
+        assert!(lc.tertiary < cc.tertiary);
+        assert_eq!(lc.sts, 4);
+    }
+}

@@ -1,0 +1,341 @@
+//! [`ProcessorModel`] implementations and the backend registry.
+//!
+//! Each concrete design in this crate is wrapped in a model that owns the
+//! bound netlists plus the [`PipelineDesc`] the design-independent engines
+//! steer by. The registry maps the stable `--design` names to
+//! constructors; `DESIGN.md` §7 walks through adding an entry.
+
+use crate::build::DlxDesign;
+use crate::lite::LiteDesign;
+use hltg_netlist::model::{FieldSlot, PipelineDesc, ProcessorModel, StsDesc, StsKind};
+use hltg_netlist::Design;
+
+/// Stable names of every registered backend, in registry order.
+pub const BACKENDS: &[&str] = &["dlx", "dlx16", "dlx-lite"];
+
+/// Builds the backend registered under `name`, or `None` for an unknown
+/// name. `"dlx"` is the paper's five-stage 32-bit vehicle, `"dlx16"` its
+/// 16-bit-datapath variant, `"dlx-lite"` the merged-EX/MEM shallow
+/// pipeline.
+#[must_use]
+pub fn build_model(name: &str) -> Option<Box<dyn ProcessorModel>> {
+    match name {
+        "dlx" => Some(Box::new(DlxModel::new())),
+        "dlx16" => Some(Box::new(DlxModel::narrow())),
+        "dlx-lite" => Some(Box::new(LiteModel::new())),
+        _ => None,
+    }
+}
+
+/// The classic five-stage DLX as a campaign target (32- or 16-bit
+/// datapath).
+#[derive(Debug, Clone)]
+pub struct DlxModel {
+    dlx: DlxDesign,
+    pipe: PipelineDesc,
+    width: u32,
+    name: &'static str,
+}
+
+impl DlxModel {
+    /// The paper's vehicle: five stages, 32-bit datapath.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_width(32)
+    }
+
+    /// The 16-bit-datapath width variant (`"dlx16"`).
+    #[must_use]
+    pub fn narrow() -> Self {
+        Self::with_width(16)
+    }
+
+    fn with_width(w: u32) -> Self {
+        let dlx = DlxDesign::build_with_width(w);
+        let pipe = classic_pipeline(&dlx);
+        DlxModel {
+            dlx,
+            pipe,
+            width: w,
+            name: if w == 32 { "dlx" } else { "dlx16" },
+        }
+    }
+
+    /// The wrapped design with its net handles.
+    #[must_use]
+    pub fn inner(&self) -> &DlxDesign {
+        &self.dlx
+    }
+}
+
+impl Default for DlxModel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ProcessorModel for DlxModel {
+    fn name(&self) -> &str {
+        self.name
+    }
+    fn design(&self) -> &Design {
+        &self.dlx.design
+    }
+    fn pipeline(&self) -> &PipelineDesc {
+        &self.pipe
+    }
+    fn data_width(&self) -> u32 {
+        self.width
+    }
+}
+
+/// The geometry and status semantics of the classic five-stage build.
+///
+/// The `sts` order is load-bearing for determinism: engines iterate the
+/// table in order, so it must stay byte-for-byte what the pre-descriptor
+/// code hard-coded (hazard detectors, `exdest_nz`, bypass comparators,
+/// the deeper dest-nonzero predicates, then the zero flag).
+fn classic_pipeline(dlx: &DlxDesign) -> PipelineDesc {
+    let dp = &dlx.dp;
+    let ctl = &dlx.ctl;
+    PipelineDesc {
+        depth: 5,
+        id_stage: 1,
+        ex_stage: 2,
+        mem_stage: 3,
+        wb_stage: 4,
+        imem: dp.imem,
+        dmem: dp.dmem,
+        gpr: dp.gpr,
+        instr: dp.instr,
+        cpi_op: ctl.cpi_op,
+        cpi_fn: ctl.cpi_fn,
+        stall: Some(ctl.stall),
+        squash: ctl.squash,
+        pc_redirect: [dp.c_pc_sel[0], dp.c_pc_sel[1]],
+        wb_link: Some(dp.c_wb_sel[1]),
+        byp_a: Some(dp.byp_a),
+        byp_b: Some(dp.byp_b),
+        b_raw: dp.b_raw,
+        a_fwd: dp.a_fwd,
+        pc_family: vec![
+            dp.pc,
+            dp.pc_plus4,
+            dp.next_pc,
+            dp.ifid_pc4,
+            dp.idex_pc4,
+            dp.exmem_pc4,
+            dp.memwb_pc4,
+            dp.br_target,
+        ],
+        sts: vec![
+            StsDesc {
+                net: ctl.sts_ld_rs1,
+                kind: StsKind::FieldEqDest {
+                    slot: FieldSlot::Rs1,
+                    consumer_off: -1,
+                    producer_off: -2,
+                },
+            },
+            StsDesc {
+                net: ctl.sts_ld_rs2,
+                kind: StsKind::FieldEqDest {
+                    slot: FieldSlot::Rs2,
+                    consumer_off: -1,
+                    producer_off: -2,
+                },
+            },
+            StsDesc {
+                net: ctl.sts_exdest_nz,
+                kind: StsKind::DestNz { producer_off: -2 },
+            },
+            StsDesc {
+                net: ctl.sts_a_mem,
+                kind: StsKind::FieldEqDest {
+                    slot: FieldSlot::Rs1,
+                    consumer_off: -2,
+                    producer_off: -3,
+                },
+            },
+            StsDesc {
+                net: ctl.sts_a_wb,
+                kind: StsKind::FieldEqDest {
+                    slot: FieldSlot::Rs1,
+                    consumer_off: -2,
+                    producer_off: -4,
+                },
+            },
+            StsDesc {
+                net: ctl.sts_b_mem,
+                kind: StsKind::FieldEqDest {
+                    slot: FieldSlot::Rs2,
+                    consumer_off: -2,
+                    producer_off: -3,
+                },
+            },
+            StsDesc {
+                net: ctl.sts_b_wb,
+                kind: StsKind::FieldEqDest {
+                    slot: FieldSlot::Rs2,
+                    consumer_off: -2,
+                    producer_off: -4,
+                },
+            },
+            StsDesc {
+                net: ctl.sts_memdest_nz,
+                kind: StsKind::DestNz { producer_off: -3 },
+            },
+            StsDesc {
+                net: ctl.sts_wbdest_nz,
+                kind: StsKind::DestNz { producer_off: -4 },
+            },
+            StsDesc {
+                net: ctl.sts_azero,
+                kind: StsKind::AZero { ex_off: -2 },
+            },
+        ],
+    }
+}
+
+/// The merged-EX/MEM shallow pipeline as a campaign target.
+#[derive(Debug, Clone)]
+pub struct LiteModel {
+    lite: LiteDesign,
+    pipe: PipelineDesc,
+}
+
+impl LiteModel {
+    /// Builds the lite design and its descriptor.
+    #[must_use]
+    pub fn new() -> Self {
+        let lite = LiteDesign::build();
+        let pipe = lite_pipeline(&lite);
+        LiteModel { lite, pipe }
+    }
+
+    /// The wrapped design with its net handles.
+    #[must_use]
+    pub fn inner(&self) -> &LiteDesign {
+        &self.lite
+    }
+}
+
+impl Default for LiteModel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ProcessorModel for LiteModel {
+    fn name(&self) -> &str {
+        "dlx-lite"
+    }
+    fn design(&self) -> &Design {
+        &self.lite.design
+    }
+    fn pipeline(&self) -> &PipelineDesc {
+        &self.pipe
+    }
+    fn data_width(&self) -> u32 {
+        32
+    }
+}
+
+/// Geometry of the lite build: four stages, memory folded into execute,
+/// a WB-only bypass and no stall wire at all.
+fn lite_pipeline(lite: &LiteDesign) -> PipelineDesc {
+    let dp = &lite.dp;
+    let ctl = &lite.ctl;
+    PipelineDesc {
+        depth: 4,
+        id_stage: 1,
+        ex_stage: 2,
+        mem_stage: 2,
+        wb_stage: 3,
+        imem: dp.imem,
+        dmem: dp.dmem,
+        gpr: dp.gpr,
+        instr: dp.instr,
+        cpi_op: ctl.cpi_op,
+        cpi_fn: ctl.cpi_fn,
+        stall: None,
+        squash: ctl.squash,
+        pc_redirect: [dp.c_pc_sel[0], dp.c_pc_sel[1]],
+        wb_link: Some(dp.c_wb_sel[1]),
+        byp_a: Some(dp.byp_a),
+        byp_b: Some(dp.byp_b),
+        b_raw: dp.b_raw,
+        a_fwd: dp.a_fwd,
+        pc_family: vec![
+            dp.pc,
+            dp.pc_plus4,
+            dp.next_pc,
+            dp.ifid_pc4,
+            dp.idex_pc4,
+            dp.exmwb_pc4,
+            dp.br_target,
+        ],
+        sts: vec![
+            StsDesc {
+                net: ctl.sts_a_wb,
+                kind: StsKind::FieldEqDest {
+                    slot: FieldSlot::Rs1,
+                    consumer_off: -2,
+                    producer_off: -3,
+                },
+            },
+            StsDesc {
+                net: ctl.sts_b_wb,
+                kind: StsKind::FieldEqDest {
+                    slot: FieldSlot::Rs2,
+                    consumer_off: -2,
+                    producer_off: -3,
+                },
+            },
+            StsDesc {
+                net: ctl.sts_wbdest_nz,
+                kind: StsKind::DestNz { producer_off: -3 },
+            },
+            StsDesc {
+                net: ctl.sts_azero,
+                kind: StsKind::AZero { ex_off: -2 },
+            },
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hltg_netlist::Stage;
+
+    #[test]
+    fn registry_builds_every_backend() {
+        for &name in BACKENDS {
+            let m = build_model(name).expect("registered backend builds");
+            assert_eq!(m.name(), name);
+            assert!(m.design().validate().is_ok());
+            assert_eq!(m.pipeline().sts.len(), m.design().sts_binds.len());
+        }
+        assert!(build_model("z80").is_none());
+    }
+
+    #[test]
+    fn classic_error_stages_are_ex_mem_wb() {
+        let m = DlxModel::new();
+        assert_eq!(
+            m.error_stages(),
+            vec![Stage::new(2), Stage::new(3), Stage::new(4)]
+        );
+        assert_eq!(m.stage_label(&m.error_stages()), "EX/MEM/WB");
+    }
+
+    #[test]
+    fn lite_error_stages_cover_the_merged_stage() {
+        let m = LiteModel::new();
+        assert_eq!(m.error_stages(), vec![Stage::new(2), Stage::new(3)]);
+        // Four stages: the classical names no longer apply.
+        assert_eq!(m.stage_label(&m.error_stages()), "S2/S3");
+        assert!(m.pipeline().stall.is_none());
+    }
+}

@@ -59,9 +59,11 @@ pub mod design;
 pub mod export;
 pub mod dp;
 pub mod error;
+pub mod model;
 pub mod stage;
 pub mod word;
 
 pub use design::Design;
 pub use error::NetlistError;
+pub use model::{FieldSlot, PipelineDesc, ProcessorModel, ReferenceModel, StsDesc, StsKind};
 pub use stage::Stage;

@@ -1,0 +1,267 @@
+//! The design-independent processor-model abstraction.
+//!
+//! The paper's method (§III) is defined over *any* pipelined processor
+//! split into a word-level datapath and a gate-level controller. This
+//! module captures everything the high-level test generator needs to know
+//! about a concrete design — beyond the bound netlists themselves — as
+//! data: the [`ProcessorModel`] trait hands out the [`Design`] plus a
+//! [`PipelineDesc`] describing the pipeline geometry and the semantic
+//! roles of the status signals, so the search engines stay free of
+//! per-design `if`s.
+//!
+//! A backend implements [`ProcessorModel`] once (see `DESIGN.md` §7 for
+//! the walkthrough); everything downstream — pipeframe layout, prologue
+//! assumptions, register allocation, campaign bookkeeping — is driven by
+//! the descriptor tables here.
+
+use crate::ctl::CtlNetId;
+use crate::design::Design;
+use crate::dp::{ArchId, DpNetId};
+use crate::stage::Stage;
+
+/// Which register-specifier field of an instruction word a status
+/// comparator taps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FieldSlot {
+    /// The first source specifier (DLX bits `[25:21]`).
+    Rs1,
+    /// The second source specifier (DLX bits `[20:16]`).
+    Rs2,
+}
+
+/// The semantic shape of one status (STS) signal, as a function of the
+/// instructions occupying the pipeframes around the evaluation cycle.
+///
+/// Offsets are *pipeframe offsets*: the instruction fetched at cycle
+/// `f + off` (negative offsets reach older instructions deeper in the
+/// pipe). They are what lets the generator pre-assign prologue-determined
+/// status values, model-check a concrete stream, and translate STS
+/// decisions into register-allocation constraints — for any pipeline
+/// depth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StsKind {
+    /// Specifier-comparator: `field(f + consumer_off) == dest(f + producer_off)`
+    /// (hazard detectors and bypass-compare predicates).
+    FieldEqDest {
+        /// The consumer's specifier field compared.
+        slot: FieldSlot,
+        /// Pipeframe offset of the consumer instruction.
+        consumer_off: i32,
+        /// Pipeframe offset of the producer instruction.
+        producer_off: i32,
+    },
+    /// Destination-register-nonzero predicate:
+    /// `dest(f + producer_off) != 0`.
+    DestNz {
+        /// Pipeframe offset of the producing instruction.
+        producer_off: i32,
+    },
+    /// The branch-condition zero flag on the forwarded A operand of the
+    /// instruction at `f + ex_off` (free data, not a specifier function).
+    AZero {
+        /// Pipeframe offset of the execute-stage occupant.
+        ex_off: i32,
+    },
+}
+
+/// One status signal: the controller-side net plus its semantic shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StsDesc {
+    /// The controller STS input net.
+    pub net: CtlNetId,
+    /// What the datapath computes onto it.
+    pub kind: StsKind,
+}
+
+/// Structural description of a concrete pipeline: the stage geometry and
+/// the handles the test generator steers by.
+///
+/// Everything here is plain netlist data — no engine types — so the
+/// descriptor can live next to the design construction code and be
+/// compared across backends in tests.
+#[derive(Debug, Clone)]
+pub struct PipelineDesc {
+    /// Pipeline depth in stages (fetch = stage 0).
+    pub depth: usize,
+    /// Stage index of decode / register read.
+    pub id_stage: usize,
+    /// Stage index where ALU results and transfers resolve.
+    pub ex_stage: usize,
+    /// Stage index of the data-memory access.
+    pub mem_stage: usize,
+    /// Stage index of the register write-back.
+    pub wb_stage: usize,
+    /// Instruction memory.
+    pub imem: ArchId,
+    /// Data memory.
+    pub dmem: ArchId,
+    /// The architectural register file.
+    pub gpr: ArchId,
+    /// The fetched instruction word (CPI source bus).
+    pub instr: DpNetId,
+    /// Controller CPI inputs for the opcode field, bit 0 first.
+    pub cpi_op: [CtlNetId; 6],
+    /// Controller CPI inputs for the function field, bit 0 first.
+    pub cpi_fn: [CtlNetId; 6],
+    /// The stall tertiary signal, when the design can stall.
+    pub stall: Option<CtlNetId>,
+    /// The squash tertiary signal.
+    pub squash: CtlNetId,
+    /// Datapath-side PC-redirect selects (`c_pc_sel`): driving either
+    /// high diverts fetch, squashing the younger slots.
+    pub pc_redirect: [DpNetId; 2],
+    /// Datapath-side write-back select bit routing the link address
+    /// (`PC+4`) to the register file — identifies link jumps in WB.
+    pub wb_link: Option<DpNetId>,
+    /// ID-stage write-through bypass predicate for the A operand
+    /// (consumer in ID, producer in WB), when the design has one.
+    pub byp_a: Option<DpNetId>,
+    /// ID-stage write-through bypass predicate for the B operand.
+    pub byp_b: Option<DpNetId>,
+    /// The raw B-operand register-file read bus (identifies read ports
+    /// that need an rs2-reading consumer).
+    pub b_raw: DpNetId,
+    /// The forwarded A operand at the execute stage (branch condition /
+    /// jump target bus).
+    pub a_fwd: DpNetId,
+    /// Buses carrying (derivatives of) the program counter. Stuck-at-0
+    /// errors on their high bits need fetch streams placed at biased
+    /// addresses to activate.
+    pub pc_family: Vec<DpNetId>,
+    /// The status signals, with their semantic shapes.
+    pub sts: Vec<StsDesc>,
+}
+
+impl PipelineDesc {
+    /// The STS descriptor for `net`, if `net` is a status signal.
+    #[must_use]
+    pub fn sts_desc(&self, net: CtlNetId) -> Option<&StsDesc> {
+        self.sts.iter().find(|d| d.net == net)
+    }
+
+    /// The `AZero` status net, when the design has one.
+    #[must_use]
+    pub fn azero_net(&self) -> Option<CtlNetId> {
+        self.sts.iter().find_map(|d| match d.kind {
+            StsKind::AZero { .. } => Some(d.net),
+            _ => None,
+        })
+    }
+}
+
+/// An architectural-level reference executor a backend may supply for
+/// cross-checking generated tests against an independent model of the
+/// ISA (rather than the netlist simulating itself). Optional: the
+/// campaign runs entirely on dual netlist simulation when absent.
+pub trait ReferenceModel {
+    /// Architecturally executes `steps` instructions from the given
+    /// memory images and returns the final `(register, value)` pairs of
+    /// every register written.
+    fn run(
+        &mut self,
+        imem: &[(u64, u64)],
+        dmem: &[(u64, u64)],
+        steps: usize,
+    ) -> Vec<(u32, u64)>;
+}
+
+/// A concrete processor design the test-generation campaign can target.
+///
+/// Implementors own a validated [`Design`] (word-level datapath +
+/// gate-level controller, §III of the paper) and a [`PipelineDesc`]
+/// describing its geometry. Models are shared across the campaign's
+/// worker threads, hence the `Send + Sync` bound.
+pub trait ProcessorModel: Send + Sync {
+    /// Stable backend name (used in reports, checkpoint fingerprints and
+    /// the `--design` flag).
+    fn name(&self) -> &str;
+
+    /// The bound, validated design.
+    fn design(&self) -> &Design;
+
+    /// The pipeline descriptor.
+    fn pipeline(&self) -> &PipelineDesc;
+
+    /// Datapath word width in bits.
+    fn data_width(&self) -> u32;
+
+    /// Pipe stages whose buses the error campaign targets by default
+    /// (the paper uses EX/MEM/WB on the five-stage DLX).
+    fn error_stages(&self) -> Vec<Stage> {
+        let p = self.pipeline();
+        (p.ex_stage..=p.wb_stage)
+            .map(|s| Stage::new(s as u8))
+            .collect()
+    }
+
+    /// The observable outputs (DPO nets) compared by dual simulation.
+    fn observables(&self) -> &[DpNetId] {
+        &self.design().dp.outputs
+    }
+
+    /// Reset cycles to step before stimulus is applied (all current
+    /// backends reset combinationally: zero).
+    fn reset_cycles(&self) -> usize {
+        0
+    }
+
+    /// Optional architectural reference executor (see
+    /// [`ReferenceModel`]). Default: none — confirmation rests on dual
+    /// netlist simulation alone.
+    fn reference(&self) -> Option<Box<dyn ReferenceModel>> {
+        None
+    }
+
+    /// Human-readable label for the targeted stages, e.g. `"EX/MEM/WB"`.
+    fn stage_label(&self, stages: &[Stage]) -> String {
+        stages
+            .iter()
+            .map(|&s| crate::stage::stage_name(s, self.pipeline().depth))
+            .collect::<Vec<_>>()
+            .join("/")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sts_lookup_finds_azero() {
+        let desc = PipelineDesc {
+            depth: 5,
+            id_stage: 1,
+            ex_stage: 2,
+            mem_stage: 3,
+            wb_stage: 4,
+            imem: ArchId(0),
+            dmem: ArchId(1),
+            gpr: ArchId(2),
+            instr: DpNetId(0),
+            cpi_op: [CtlNetId(0); 6],
+            cpi_fn: [CtlNetId(1); 6],
+            stall: None,
+            squash: CtlNetId(2),
+            pc_redirect: [DpNetId(1), DpNetId(2)],
+            wb_link: None,
+            byp_a: None,
+            byp_b: None,
+            b_raw: DpNetId(3),
+            a_fwd: DpNetId(4),
+            pc_family: vec![],
+            sts: vec![
+                StsDesc {
+                    net: CtlNetId(7),
+                    kind: StsKind::AZero { ex_off: -2 },
+                },
+                StsDesc {
+                    net: CtlNetId(8),
+                    kind: StsKind::DestNz { producer_off: -2 },
+                },
+            ],
+        };
+        assert_eq!(desc.azero_net(), Some(CtlNetId(7)));
+        assert!(desc.sts_desc(CtlNetId(8)).is_some());
+        assert!(desc.sts_desc(CtlNetId(9)).is_none());
+    }
+}

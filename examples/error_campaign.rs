@@ -7,15 +7,14 @@
 //!
 //! Run with: `cargo run --release --example error_campaign -- 144`
 
-use hltg::core::{Campaign, CampaignConfig, Outcome};
-use hltg::dlx::DlxDesign;
+use hltg::prelude::*;
 
 fn main() {
     let limit: Option<usize> = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
         .or(Some(40));
-    let dlx = DlxDesign::build();
+    let model = DlxModel::new();
     let config = CampaignConfig {
         limit,
         ..CampaignConfig::default()
@@ -24,7 +23,7 @@ fn main() {
         "running test generation for {} bus SSL errors in EX/MEM/WB...\n",
         limit.map(|l| l.to_string()).unwrap_or_else(|| "all".into())
     );
-    let campaign = Campaign::run(&dlx, &config);
+    let campaign = Campaign::run(&model, &config, RunOptions::default()).campaign;
 
     // A few sample outcomes.
     println!("sample outcomes:");

@@ -7,24 +7,22 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use hltg::core::{Outcome, TestGenerator, TgConfig};
-use hltg::dlx::DlxDesign;
 use hltg::errors::{enumerate_stage_errors, EnumPolicy};
-use hltg::netlist::Stage;
+use hltg::prelude::*;
 use hltg::sim::DualSim;
 
 fn main() {
     // 1. The design under verification: a five-stage pipelined DLX.
-    let dlx = DlxDesign::build();
+    let model = DlxModel::new();
     println!(
         "DLX built: {} datapath modules, {} controller nets",
-        dlx.design.dp.module_count(),
-        dlx.design.ctl.net_count()
+        model.design().dp.module_count(),
+        model.design().ctl.net_count()
     );
 
     // 2. A synthetic design error: one line of the EX/MEM ALU bus stuck.
     let errors = enumerate_stage_errors(
-        &dlx.design,
+        model.design(),
         &[Stage::new(2)],
         EnumPolicy::RepresentativePerBus,
     );
@@ -33,7 +31,7 @@ fn main() {
 
     // 3. Generate a test: DPTRACE paths -> CTRLJUST instruction bits ->
     //    DPRELAX data values, confirmed by dual simulation.
-    let mut tg = TestGenerator::new(&dlx, TgConfig::default());
+    let mut tg = TestGenerator::new(&model, TgConfig::default());
     let Outcome::Detected(test) = tg.generate(error) else {
         println!("error aborted (unexpected for this bus)");
         return;
@@ -51,20 +49,22 @@ fn main() {
     }
 
     // 4. Independent confirmation: replay on a fresh good/bad pair.
-    let mut dual = DualSim::new(&dlx.design, error.to_injection()).expect("dlx levelizes");
+    let pipe = model.pipeline();
+    let mut dual =
+        DualSim::new(model.design(), error.to_injection()).expect("dlx levelizes");
     dual.with_both(|m| {
         for &(addr, word) in &test.imem_image {
-            m.preload_mem(dlx.dp.imem, addr, u64::from(word));
+            m.preload_mem(pipe.imem, addr, u64::from(word));
         }
         for &(addr, value) in &test.dmem_image {
-            m.preload_mem(dlx.dp.dmem, addr, value);
+            m.preload_mem(pipe.dmem, addr, value);
         }
     });
     match dual.run(64) {
         Some(d) => println!(
             "\nconfirmed: observable discrepancy at cycle {} on `{}` (good {:#x}, bad {:#x})",
             d.cycle,
-            dlx.design.dp.net(d.net).name,
+            model.design().dp.net(d.net).name,
             d.good,
             d.bad
         ),

@@ -77,4 +77,32 @@ cmp -s target/a_errors target/b_errors || {
     exit 1
 }
 
+echo "== backend smoke (4-error campaign on every registered design)"
+# Every backend in the hltg_dlx registry must run a small campaign end
+# to end through the same generic driver, and `--design dlx` must be the
+# default. The classic design doubles as the flag/default equivalence
+# check.
+./target/release/table1 4 --threads 2 --json > target/design_default.json
+for design in dlx dlx16 dlx-lite; do
+    ./target/release/table1 4 --threads 2 --design "$design" \
+        --json > "target/design_${design}.json"
+    grep -q '"errors": 4' "target/design_${design}.json" || {
+        echo "--design $design: campaign did not cover 4 errors" >&2
+        exit 1
+    }
+    grep -q '"detected": [1-9]' "target/design_${design}.json" || {
+        echo "--design $design: campaign detected nothing" >&2
+        exit 1
+    }
+done
+cmp -s target/design_default.json target/design_dlx.json || {
+    # Only the wall-clock fields may differ between the two dlx runs.
+    a="$(det_of target/design_default.json)"
+    b="$(det_of target/design_dlx.json)"
+    [ "$a" = "$b" ] || {
+        echo "--design dlx diverged from the default run" >&2
+        exit 1
+    }
+}
+
 echo "== OK"

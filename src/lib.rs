@@ -19,17 +19,21 @@
 //!   selection, `DPRELAX` discrete relaxation and `CTRLJUST` controller
 //!   justification, organized around the pipeframe model.
 //!
+//! Every engine is generic over [`prelude::ProcessorModel`]: the classic
+//! DLX, its 16-bit-datapath variant and the merged-EX/MEM `dlx-lite`
+//! pipeline all ship in [`dlx`], registered under stable names in
+//! [`dlx::BACKENDS`] and built by [`dlx::build_model`].
+//!
 //! # Quick start
 //!
 //! ```
-//! use hltg::dlx::DlxDesign;
+//! use hltg::prelude::*;
 //! use hltg::errors::{BusSslError, Polarity};
-//! use hltg::core::{TestGenerator, TgConfig};
 //!
 //! // Build the DLX test vehicle and pick a design error in the EX stage.
-//! let design = DlxDesign::build();
+//! let model = DlxModel::new();
 //! let errors = hltg::errors::enumerate_stage_errors(
-//!     &design.design,
+//!     model.design(),
 //!     &[hltg::netlist::Stage::new(2)],
 //!     hltg::errors::EnumPolicy::RepresentativePerBus,
 //! );
@@ -37,9 +41,21 @@
 //! assert!(matches!(error.polarity, Polarity::StuckAt0 | Polarity::StuckAt1));
 //!
 //! // Generate a verification test for it.
-//! let mut tg = TestGenerator::new(&design, TgConfig::default());
+//! let mut tg = TestGenerator::new(&model, TgConfig::default());
 //! let outcome = tg.generate(error);
 //! println!("{outcome:?}");
+//! ```
+//!
+//! Whole-population campaigns go through the single entry point
+//! [`prelude::Campaign::run`]:
+//!
+//! ```
+//! use hltg::prelude::*;
+//!
+//! let model = build_model("dlx").expect("registered backend");
+//! let config = CampaignConfig::builder().limit(4).build().unwrap();
+//! let run = Campaign::run(model.as_ref(), &config, RunOptions::default());
+//! assert_eq!(run.report.stats.errors, 4);
 //! ```
 
 pub use hltg_core as core;
@@ -48,3 +64,23 @@ pub use hltg_errors as errors;
 pub use hltg_isa as isa;
 pub use hltg_netlist as netlist;
 pub use hltg_sim as sim;
+
+/// The stable public surface in one import.
+///
+/// Everything a driver binary needs to run a campaign on any registered
+/// backend: the design abstraction ([`ProcessorModel`] and the
+/// [`build_model`] registry), the campaign entry point
+/// ([`Campaign::run`] with [`CampaignConfig`] / [`RunOptions`]), its
+/// results ([`CampaignReport`], [`CampaignStats`]), the per-error
+/// generator ([`TestGenerator`], [`TgConfig`], [`Outcome`]) and the
+/// observability hook ([`Probe`]). See `DESIGN.md` §2 for the surface
+/// contract.
+pub mod prelude {
+    pub use hltg_core::{
+        Campaign, CampaignConfig, CampaignConfigBuilder, CampaignReport, CampaignRun,
+        CampaignStats, ConfigError, Outcome, Probe, RetryPolicy, RunOptions, TestGenerator,
+        TgConfig,
+    };
+    pub use hltg_dlx::{build_model, DlxModel, LiteModel, BACKENDS};
+    pub use hltg_netlist::{PipelineDesc, ProcessorModel, Stage};
+}

@@ -1,0 +1,90 @@
+//! Cross-design guarantees: every registered backend runs the campaign
+//! thread-count deterministically (the deterministic report is
+//! byte-equal across 1/2/8 workers), the width and depth variants
+//! produce their own Table-1 reports, and checkpoints are keyed to the
+//! design that wrote them (fingerprint v3) — a file written under one
+//! `--design` is refused, not mixed in, under another.
+
+use hltg::prelude::*;
+
+fn config_at(model: &dyn ProcessorModel, num_threads: usize) -> CampaignConfig {
+    CampaignConfig {
+        stages: model.error_stages(),
+        limit: Some(8),
+        num_threads,
+        ..CampaignConfig::default()
+    }
+}
+
+#[test]
+fn every_backend_is_thread_count_deterministic() {
+    for &name in BACKENDS {
+        let model = build_model(name).expect("registered backend");
+        let model = model.as_ref();
+        let reference = Campaign::run(model, &config_at(model, 1), RunOptions::default());
+        assert_eq!(reference.report.stats.errors, 8, "{name}");
+        let reference = reference.report.to_json_deterministic();
+        for threads in [2, 8] {
+            let sharded = Campaign::run(model, &config_at(model, threads), RunOptions::default())
+                .report
+                .to_json_deterministic();
+            assert_eq!(
+                sharded, reference,
+                "{name}: deterministic report diverges at num_threads={threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn width_and_depth_variants_report_their_own_table1() {
+    for name in ["dlx16", "dlx-lite"] {
+        let model = build_model(name).expect("registered backend");
+        let model = model.as_ref();
+        let campaign = Campaign::run(model, &config_at(model, 1), RunOptions::default()).campaign;
+        let stats = campaign.stats();
+        assert_eq!(stats.errors, 8, "{name}");
+        assert!(stats.detected > 0, "{name}: campaign detected nothing");
+        let report = campaign.table1_report();
+        assert!(report.contains("Coverage"), "{name}: {report}");
+    }
+}
+
+/// Stats with the wall-clock field zeroed: `seconds` is the only
+/// legitimately run-dependent quantity.
+fn stats_sans_time(c: &Campaign) -> CampaignStats {
+    let mut s = c.stats();
+    s.seconds = 0.0;
+    s
+}
+
+#[test]
+fn checkpoints_are_design_keyed() {
+    let path = std::env::temp_dir().join("hltg_cross_design_ckpt.jsonl");
+    let _ = std::fs::remove_file(&path);
+    let dlx = build_model("dlx").expect("registered backend");
+    let lite = build_model("dlx-lite").expect("registered backend");
+    let with_ckpt = |model: &dyn ProcessorModel| CampaignConfig {
+        checkpoint: Some(path.clone()),
+        ..config_at(model, 1)
+    };
+    // The v3 fingerprint distinguishes every backend pair.
+    let fp = |m: &dyn ProcessorModel| Campaign::checkpoint_fingerprint(m, &with_ckpt(m));
+    let dlx16 = build_model("dlx16").expect("registered backend");
+    assert_ne!(fp(dlx.as_ref()), fp(lite.as_ref()));
+    assert_ne!(fp(dlx.as_ref()), fp(dlx16.as_ref()));
+    assert_ne!(fp(dlx16.as_ref()), fp(lite.as_ref()));
+
+    // Write a checkpoint under the classic design...
+    let first = Campaign::run(dlx.as_ref(), &with_ckpt(dlx.as_ref()), RunOptions::default());
+    assert_eq!(first.report.stats.errors, 8);
+    assert!(path.exists(), "checkpoint file written");
+    // ...then resume under dlx-lite: the foreign file is refused, not
+    // mixed in — the run matches an unpersisted dlx-lite campaign.
+    let resumed =
+        Campaign::run(lite.as_ref(), &with_ckpt(lite.as_ref()), RunOptions::default()).campaign;
+    let plain =
+        Campaign::run(lite.as_ref(), &config_at(lite.as_ref(), 1), RunOptions::default()).campaign;
+    assert_eq!(stats_sans_time(&resumed), stats_sans_time(&plain));
+    let _ = std::fs::remove_file(&path);
+}

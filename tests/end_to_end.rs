@@ -8,7 +8,7 @@
 //! that defines design verification.
 
 use hltg::core::{Outcome, TestGenerator, TgConfig};
-use hltg::dlx::DlxDesign;
+use hltg::dlx::{DlxDesign, DlxModel};
 use hltg::errors::{enumerate_stage_errors, EnumPolicy};
 use hltg::isa::ref_sim::ArchSim;
 use hltg::netlist::Stage;
@@ -35,18 +35,19 @@ fn replay(dlx: &DlxDesign, test: &hltg::core::tg::TestCase, error: &hltg::errors
 
 #[test]
 fn generated_tests_replay_and_detect() {
-    let dlx = DlxDesign::build();
+    let model = DlxModel::new();
+    let dlx = model.inner();
     let errors = enumerate_stage_errors(
         &dlx.design,
         &ex_mem_wb(),
         EnumPolicy::RepresentativePerBus,
     );
-    let mut tg = TestGenerator::new(&dlx, TgConfig::default());
+    let mut tg = TestGenerator::new(&model, TgConfig::default());
     let mut detected = 0;
     for error in errors.iter().take(24) {
         if let Outcome::Detected(test) = tg.generate(error) {
             assert!(
-                replay(&dlx, &test, error).is_some(),
+                replay(dlx, &test, error).is_some(),
                 "{error}: generated test does not replay to a detection"
             );
             detected += 1;
@@ -62,13 +63,14 @@ fn generated_tests_replay_and_detect() {
 /// uses the shared fetch stream length.
 #[test]
 fn generated_tests_keep_good_machine_architecturally_correct() {
-    let dlx = DlxDesign::build();
+    let model = DlxModel::new();
+    let dlx = model.inner();
     let errors = enumerate_stage_errors(
         &dlx.design,
         &ex_mem_wb(),
         EnumPolicy::RepresentativePerBus,
     );
-    let mut tg = TestGenerator::new(&dlx, TgConfig::default());
+    let mut tg = TestGenerator::new(&model, TgConfig::default());
     let mut checked = 0;
     for error in errors.iter().take(16) {
         let Outcome::Detected(test) = tg.generate(error) else {
@@ -109,13 +111,14 @@ fn generated_tests_keep_good_machine_architecturally_correct() {
 /// observable only through the controller.
 #[test]
 fn aborts_are_explained() {
-    let dlx = DlxDesign::build();
+    let model = DlxModel::new();
+    let dlx = model.inner();
     let errors = enumerate_stage_errors(
         &dlx.design,
         &ex_mem_wb(),
         EnumPolicy::RepresentativePerBus,
     );
-    let mut tg = TestGenerator::new(&dlx, TgConfig::default());
+    let mut tg = TestGenerator::new(&model, TgConfig::default());
     for error in errors.iter().take(36) {
         if let Outcome::Aborted { reason, .. } = tg.generate(error) {
             let redundant = hltg::errors::is_structurally_redundant(&dlx.design, error);
@@ -133,8 +136,9 @@ fn aborts_are_explained() {
 /// the ALU output under both polarities.
 #[test]
 fn all_bit_positions_are_generatable() {
-    let dlx = DlxDesign::build();
-    let mut tg = TestGenerator::new(&dlx, TgConfig::default());
+    let model = DlxModel::new();
+    let dlx = model.inner();
+    let mut tg = TestGenerator::new(&model, TgConfig::default());
     let all = enumerate_stage_errors(&dlx.design, &ex_mem_wb(), EnumPolicy::AllBits);
     let mut checked = 0;
     for error in all.iter().filter(|e| {
@@ -144,7 +148,7 @@ fn all_bit_positions_are_generatable() {
         let outcome = tg.generate(error);
         match outcome {
             Outcome::Detected(test) => {
-                assert!(replay(&dlx, &test, error).is_some(), "{error}");
+                assert!(replay(dlx, &test, error).is_some(), "{error}");
                 checked += 1;
             }
             Outcome::Aborted { .. } => panic!("{error}: ALU lines must be testable"),

@@ -2,9 +2,10 @@
 //! bit-for-bit identical statistics and Table 1 report, with and without
 //! error-simulation compaction.
 
-use hltg::core::{Campaign, CampaignConfig, CampaignStats};
-use hltg::dlx::DlxDesign;
+use hltg::core::{Campaign, CampaignConfig, CampaignStats, RunOptions};
+use hltg::dlx::DlxModel;
 use hltg::errors::EnumPolicy;
+use hltg::netlist::ProcessorModel;
 
 /// Stats with the wall-clock field zeroed: `seconds` is the only
 /// legitimately run-dependent quantity.
@@ -23,21 +24,23 @@ fn report_sans_time(c: &Campaign) -> String {
         .join("\n")
 }
 
-fn run_at(dlx: &DlxDesign, num_threads: usize, error_simulation: bool) -> Campaign {
+fn run_at(model: &dyn ProcessorModel, num_threads: usize, error_simulation: bool) -> Campaign {
     Campaign::run(
-        dlx,
+        model,
         &CampaignConfig {
             limit: Some(16),
             error_simulation,
             num_threads,
             ..CampaignConfig::default()
         },
+        RunOptions::default(),
     )
+    .campaign
 }
 
 #[test]
 fn thread_count_does_not_change_results() {
-    let dlx = DlxDesign::build();
+    let dlx = DlxModel::new();
     for error_simulation in [false, true] {
         let base = run_at(&dlx, 1, error_simulation);
         let base_stats = stats_sans_time(&base);
@@ -65,7 +68,7 @@ fn thread_count_does_not_change_results() {
 /// class covering order.
 #[test]
 fn collapse_is_thread_invariant() {
-    let dlx = DlxDesign::build();
+    let dlx = DlxModel::new();
     let config_at = |num_threads| CampaignConfig {
         policy: EnumPolicy::AllBits,
         limit: Some(12),
@@ -73,7 +76,7 @@ fn collapse_is_thread_invariant() {
         num_threads,
         ..CampaignConfig::default()
     };
-    let base = Campaign::run(&dlx, &config_at(1));
+    let base = Campaign::run(&dlx, &config_at(1), RunOptions::default()).campaign;
     let base_stats = stats_sans_time(&base);
     let base_report = report_sans_time(&base);
     assert!(
@@ -81,7 +84,7 @@ fn collapse_is_thread_invariant() {
         "collapsing screened nothing — the test exercises nothing"
     );
     for threads in [2, 8] {
-        let sharded = Campaign::run(&dlx, &config_at(threads));
+        let sharded = Campaign::run(&dlx, &config_at(threads), RunOptions::default()).campaign;
         assert_eq!(
             stats_sans_time(&sharded),
             base_stats,
@@ -100,7 +103,7 @@ fn collapse_is_thread_invariant() {
 /// uncached runs agree byte for byte at every thread count.
 #[test]
 fn caches_do_not_change_the_deterministic_report() {
-    let dlx = DlxDesign::build();
+    let dlx = DlxModel::new();
     let config_at = |num_threads, cached: bool| {
         let mut c = CampaignConfig {
             limit: Some(16),
@@ -112,12 +115,12 @@ fn caches_do_not_change_the_deterministic_report() {
         c.tg.ctrljust_memo = cached;
         c
     };
-    let reference = Campaign::run_with_report(&dlx, &config_at(1, false))
-        .1
+    let reference = Campaign::run(&dlx, &config_at(1, false), RunOptions::default())
+        .report
         .to_json_deterministic();
     for threads in [1, 2, 8] {
-        let cached = Campaign::run_with_report(&dlx, &config_at(threads, true))
-            .1
+        let cached = Campaign::run(&dlx, &config_at(threads, true), RunOptions::default())
+            .report
             .to_json_deterministic();
         assert_eq!(
             cached, reference,
@@ -129,7 +132,7 @@ fn caches_do_not_change_the_deterministic_report() {
 /// `num_threads: 0` is treated as 1 rather than panicking.
 #[test]
 fn zero_threads_falls_back_to_serial() {
-    let dlx = DlxDesign::build();
+    let dlx = DlxModel::new();
     let a = run_at(&dlx, 0, false);
     let b = run_at(&dlx, 1, false);
     assert_eq!(stats_sans_time(&a), stats_sans_time(&b));

@@ -6,15 +6,15 @@ use hltg::core::ctrljust::CtrlJustConfig;
 use hltg::core::dptrace::DptraceConfig;
 use hltg::core::{
     AbortReason, Campaign, CampaignConfig, CampaignStats, ChaosConfig, Outcome, Phase,
-    TestGenerator, TgConfig,
+    RunOptions, TestGenerator, TgConfig,
 };
-use hltg::dlx::DlxDesign;
+use hltg::dlx::{DlxDesign, DlxModel};
 use hltg::errors::{
     enumerate_bus_order_errors, enumerate_module_substitutions, enumerate_stage_errors,
     EnumPolicy,
 };
 use hltg::isa::asm::assemble;
-use hltg::netlist::Stage;
+use hltg::netlist::{ProcessorModel, Stage};
 use hltg::sim::{ErrorModel, Machine, Schedule};
 use std::time::Duration;
 
@@ -50,7 +50,7 @@ fn temp_checkpoint(name: &str) -> std::path::PathBuf {
 /// a confirming divergence.
 #[test]
 fn starved_budgets_abort_cleanly() {
-    let dlx = DlxDesign::build();
+    let dlx = DlxModel::new();
     let cfg = TgConfig {
         max_variants: 1,
         relax_iters: 1,
@@ -63,7 +63,7 @@ fn starved_budgets_abort_cleanly() {
         ..TgConfig::default()
     };
     let mut tg = TestGenerator::new(&dlx, cfg);
-    let errors = enumerate_stage_errors(&dlx.design, &stages(), EnumPolicy::RepresentativePerBus);
+    let errors = enumerate_stage_errors(dlx.design(), &stages(), EnumPolicy::RepresentativePerBus);
     let mut aborted = 0;
     for e in errors.iter().take(20) {
         match tg.generate(e) {
@@ -80,14 +80,16 @@ fn starved_budgets_abort_cleanly() {
 /// A zero-error campaign produces empty but well-formed statistics.
 #[test]
 fn empty_campaign_is_well_formed() {
-    let dlx = DlxDesign::build();
+    let dlx = DlxModel::new();
     let campaign = Campaign::run(
         &dlx,
         &CampaignConfig {
             limit: Some(0),
             ..CampaignConfig::default()
         },
-    );
+        RunOptions::default(),
+    )
+    .campaign;
     let stats = campaign.stats();
     assert_eq!(stats.errors, 0);
     assert_eq!(stats.coverage_pct(), 0.0);
@@ -178,7 +180,7 @@ fn identity_substitution_is_silent() {
 /// byte-identical across thread counts.
 #[test]
 fn chaos_panics_are_isolated_and_deterministic() {
-    let dlx = DlxDesign::build();
+    let dlx = DlxModel::new();
     let phases = [
         None,
         Some(Phase::Dptrace),
@@ -199,7 +201,7 @@ fn chaos_panics_are_isolated_and_deterministic() {
         };
         // Through the full observed path: counters and report survive
         // chaos too.
-        let run = Campaign::run_observed(&dlx, &config_at(1), &Default::default());
+        let run = Campaign::run(&dlx, &config_at(1), RunOptions::default());
         assert_eq!(run.report.stats.errors, 10);
         let serial = run.campaign;
         let stats = serial.stats();
@@ -226,7 +228,7 @@ fn chaos_panics_are_isolated_and_deterministic() {
                 }
             }
         }
-        let sharded = Campaign::run(&dlx, &config_at(4));
+        let sharded = Campaign::run(&dlx, &config_at(4), RunOptions::default()).campaign;
         assert_eq!(
             stats_sans_time(&sharded),
             stats_sans_time(&serial),
@@ -245,13 +247,13 @@ fn chaos_panics_are_isolated_and_deterministic() {
 /// populated stage injects.
 #[test]
 fn chaos_stage_targeting_is_respected() {
-    let dlx = DlxDesign::build();
+    let dlx = DlxModel::new();
     let base = CampaignConfig {
         limit: Some(8),
         num_threads: 1,
         ..CampaignConfig::default()
     };
-    let clean = Campaign::run(&dlx, &base);
+    let clean = Campaign::run(&dlx, &base, RunOptions::default()).campaign;
     let populated_stage = clean.records[0].error.stage.index();
     let hit = Campaign::run(
         &dlx,
@@ -263,7 +265,9 @@ fn chaos_stage_targeting_is_respected() {
             }),
             ..base.clone()
         },
-    );
+        RunOptions::default(),
+    )
+    .campaign;
     assert!(hit.stats().aborted_panicked >= 1);
     let vacuous = Campaign::run(
         &dlx,
@@ -275,7 +279,9 @@ fn chaos_stage_targeting_is_respected() {
             }),
             ..base.clone()
         },
-    );
+        RunOptions::default(),
+    )
+    .campaign;
     assert_eq!(stats_sans_time(&vacuous), stats_sans_time(&clean));
 }
 
@@ -284,7 +290,7 @@ fn chaos_stage_targeting_is_respected() {
 /// thread-count deterministic.
 #[test]
 fn chaos_spurious_backtracks_stay_sound() {
-    let dlx = DlxDesign::build();
+    let dlx = DlxModel::new();
     let config_at = |num_threads: usize| CampaignConfig {
         limit: Some(8),
         num_threads,
@@ -294,7 +300,7 @@ fn chaos_spurious_backtracks_stay_sound() {
         }),
         ..CampaignConfig::default()
     };
-    let serial = Campaign::run(&dlx, &config_at(1));
+    let serial = Campaign::run(&dlx, &config_at(1), RunOptions::default()).campaign;
     let stats = serial.stats();
     assert_eq!(stats.detected + stats.aborted, stats.errors);
     for r in &serial.records {
@@ -302,7 +308,7 @@ fn chaos_spurious_backtracks_stay_sound() {
             assert!(tc.detected_cycle < tc.program.len() + 32);
         }
     }
-    let sharded = Campaign::run(&dlx, &config_at(4));
+    let sharded = Campaign::run(&dlx, &config_at(4), RunOptions::default()).campaign;
     assert_eq!(stats_sans_time(&sharded), stats_sans_time(&serial));
 }
 
@@ -312,7 +318,7 @@ fn chaos_spurious_backtracks_stay_sound() {
 /// the recovery (and stay thread-count deterministic).
 #[test]
 fn retry_recovers_panicked_errors() {
-    let dlx = DlxDesign::build();
+    let dlx = DlxModel::new();
     let config_at = |num_threads: usize| {
         let mut config = CampaignConfig {
             limit: Some(6),
@@ -328,7 +334,7 @@ fn retry_recovers_panicked_errors() {
         config.retry.rounds = 1;
         config
     };
-    let campaign = Campaign::run(&dlx, &config_at(1));
+    let campaign = Campaign::run(&dlx, &config_at(1), RunOptions::default()).campaign;
     let stats = campaign.stats();
     assert_eq!(stats.detected + stats.aborted, stats.errors);
     assert!(
@@ -344,7 +350,7 @@ fn retry_recovers_panicked_errors() {
             assert_eq!(r.round, 1, "recovered records are tagged with their round");
         }
     }
-    let sharded = Campaign::run(&dlx, &config_at(4));
+    let sharded = Campaign::run(&dlx, &config_at(4), RunOptions::default()).campaign;
     assert_eq!(stats_sans_time(&sharded), stats_sans_time(&campaign));
 }
 
@@ -353,7 +359,7 @@ fn retry_recovers_panicked_errors() {
 /// detection.
 #[test]
 fn step_budget_aborts_deterministically() {
-    let dlx = DlxDesign::build();
+    let dlx = DlxModel::new();
     let config_at = |num_threads: usize| {
         let mut config = CampaignConfig {
             limit: Some(10),
@@ -363,7 +369,7 @@ fn step_budget_aborts_deterministically() {
         config.tg.max_steps = Some(40);
         config
     };
-    let serial = Campaign::run(&dlx, &config_at(1));
+    let serial = Campaign::run(&dlx, &config_at(1), RunOptions::default()).campaign;
     let stats = serial.stats();
     assert_eq!(stats.detected + stats.aborted, stats.errors);
     assert!(
@@ -383,7 +389,7 @@ fn step_budget_aborts_deterministically() {
         }
     }
     for threads in [4, 8] {
-        let sharded = Campaign::run(&dlx, &config_at(threads));
+        let sharded = Campaign::run(&dlx, &config_at(threads), RunOptions::default()).campaign;
         assert_eq!(
             stats_sans_time(&sharded),
             stats_sans_time(&serial),
@@ -398,7 +404,7 @@ fn step_budget_aborts_deterministically() {
 /// on a full resume, the recorded CPU time, byte for byte.
 #[test]
 fn checkpoint_resume_reproduces_the_report() {
-    let dlx = DlxDesign::build();
+    let dlx = DlxModel::new();
     let path = temp_checkpoint("resume");
     let config = |limit: usize, checkpoint: bool, num_threads: usize| CampaignConfig {
         limit: Some(limit),
@@ -407,19 +413,19 @@ fn checkpoint_resume_reproduces_the_report() {
         ..CampaignConfig::default()
     };
     // An uninterrupted reference run, no persistence.
-    let uninterrupted = Campaign::run(&dlx, &config(12, false, 1));
+    let uninterrupted = Campaign::run(&dlx, &config(12, false, 1), RunOptions::default()).campaign;
     // A "killed midway" run: only the first half completes.
-    let partial = Campaign::run(&dlx, &config(6, true, 1));
+    let partial = Campaign::run(&dlx, &config(6, true, 1), RunOptions::default()).campaign;
     assert_eq!(partial.records.len(), 6);
     // Resuming finishes the remaining errors and reproduces the report.
-    let resumed = Campaign::run(&dlx, &config(12, true, 1));
+    let resumed = Campaign::run(&dlx, &config(12, true, 1), RunOptions::default()).campaign;
     assert_eq!(stats_sans_time(&resumed), stats_sans_time(&uninterrupted));
     assert_eq!(report_sans_time(&resumed), report_sans_time(&uninterrupted));
     // A full resume restores every record — the report matches the run
     // that wrote the checkpoint byte for byte, CPU time included, for
     // any thread count.
     for threads in [1, 4] {
-        let replayed = Campaign::run(&dlx, &config(12, true, threads));
+        let replayed = Campaign::run(&dlx, &config(12, true, threads), RunOptions::default()).campaign;
         assert_eq!(replayed.table1_report(), resumed.table1_report());
         assert_eq!(stats_sans_time(&replayed), stats_sans_time(&resumed));
     }
@@ -431,7 +437,7 @@ fn checkpoint_resume_reproduces_the_report() {
 /// produces the same results as an unpersisted run.
 #[test]
 fn mismatched_checkpoint_is_refused_not_mixed() {
-    let dlx = DlxDesign::build();
+    let dlx = DlxModel::new();
     let path = temp_checkpoint("mismatch");
     let mut starved = CampaignConfig {
         limit: Some(4),
@@ -440,7 +446,7 @@ fn mismatched_checkpoint_is_refused_not_mixed() {
         ..CampaignConfig::default()
     };
     starved.tg.max_steps = Some(40);
-    let _ = Campaign::run(&dlx, &starved);
+    let _ = Campaign::run(&dlx, &starved, RunOptions::default()).campaign;
     // Same path, different generator configuration: must not resume.
     let clean_cfg = CampaignConfig {
         limit: Some(4),
@@ -452,8 +458,8 @@ fn mismatched_checkpoint_is_refused_not_mixed() {
         checkpoint: None,
         ..clean_cfg.clone()
     };
-    let a = Campaign::run(&dlx, &clean_cfg);
-    let b = Campaign::run(&dlx, &unpersisted);
+    let a = Campaign::run(&dlx, &clean_cfg, RunOptions::default()).campaign;
+    let b = Campaign::run(&dlx, &unpersisted, RunOptions::default()).campaign;
     assert_eq!(stats_sans_time(&a), stats_sans_time(&b));
     let _ = std::fs::remove_file(&path);
 }
@@ -463,20 +469,22 @@ fn mismatched_checkpoint_is_refused_not_mixed() {
 /// outcomes identical to an undeadlined run.
 #[test]
 fn soft_deadline_never_changes_outcomes() {
-    let dlx = DlxDesign::build();
+    let dlx = DlxModel::new();
     let base = CampaignConfig {
         limit: Some(8),
         num_threads: 4,
         ..CampaignConfig::default()
     };
-    let plain = Campaign::run(&dlx, &base);
+    let plain = Campaign::run(&dlx, &base, RunOptions::default()).campaign;
     let deadlined = Campaign::run(
         &dlx,
         &CampaignConfig {
             soft_deadline: Some(Duration::ZERO),
             ..base.clone()
         },
-    );
+        RunOptions::default(),
+    )
+    .campaign;
     assert_eq!(stats_sans_time(&deadlined), stats_sans_time(&plain));
     assert_eq!(report_sans_time(&deadlined), report_sans_time(&plain));
 }
@@ -485,8 +493,8 @@ fn soft_deadline_never_changes_outcomes() {
 /// generators produce identical programs and images.
 #[test]
 fn generation_is_deterministic() {
-    let dlx = DlxDesign::build();
-    let errors = enumerate_stage_errors(&dlx.design, &stages(), EnumPolicy::RepresentativePerBus);
+    let dlx = DlxModel::new();
+    let errors = enumerate_stage_errors(dlx.design(), &stages(), EnumPolicy::RepresentativePerBus);
     for e in errors.iter().take(6) {
         let a = TestGenerator::new(&dlx, TgConfig::default()).generate(e);
         let b = TestGenerator::new(&dlx, TgConfig::default()).generate(e);

@@ -4,21 +4,23 @@
 //! its deterministic form is byte-equal), mirroring
 //! `tests/parallel_determinism.rs` for the trace subsystem.
 
-use hltg::core::{Campaign, CampaignConfig, ObserveOptions, TraceSnapshot};
-use hltg::dlx::DlxDesign;
+use hltg::core::{Campaign, CampaignConfig, RunOptions, TraceSnapshot};
+use hltg::dlx::DlxModel;
+use hltg::netlist::ProcessorModel;
 
-fn traced_run(dlx: &DlxDesign, num_threads: usize, error_simulation: bool) -> TraceSnapshot {
-    let run = Campaign::run_observed(
-        dlx,
+fn traced_run(model: &dyn ProcessorModel, num_threads: usize, error_simulation: bool) -> TraceSnapshot {
+    let run = Campaign::run(
+        model,
         &CampaignConfig {
             limit: Some(16),
             error_simulation,
             num_threads,
             ..CampaignConfig::default()
         },
-        &ObserveOptions {
+        RunOptions {
             trace: true,
             progress: false,
+            probe: None,
         },
     );
     run.trace.expect("trace requested")
@@ -26,7 +28,7 @@ fn traced_run(dlx: &DlxDesign, num_threads: usize, error_simulation: bool) -> Tr
 
 #[test]
 fn thread_count_does_not_change_the_trace() {
-    let dlx = DlxDesign::build();
+    let dlx = DlxModel::new();
     for error_simulation in [false, true] {
         let base = traced_run(&dlx, 1, error_simulation);
         assert!(!base.spans.is_empty(), "campaign produced no spans");
@@ -59,8 +61,8 @@ fn thread_count_does_not_change_the_trace() {
 /// enumeration order, and the detected flags agree record-by-record.
 #[test]
 fn spans_mirror_generated_records()  {
-    let dlx = DlxDesign::build();
-    let run = Campaign::run_observed(
+    let dlx = DlxModel::new();
+    let run = Campaign::run(
         &dlx,
         &CampaignConfig {
             limit: Some(12),
@@ -68,9 +70,10 @@ fn spans_mirror_generated_records()  {
             num_threads: 4,
             ..CampaignConfig::default()
         },
-        &ObserveOptions {
+        RunOptions {
             trace: true,
             progress: false,
+            probe: None,
         },
     );
     let trace = run.trace.expect("trace requested");
