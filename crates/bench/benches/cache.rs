@@ -9,12 +9,12 @@
 //! per error) or through a fresh good/bad machine pair per error (what
 //! the campaign's screening loops did before the cache).
 
-use hltg_bench::harness::{bench, write_json_report};
+use hltg_bench::harness::{bench, bench_throughput, write_json_report};
 use hltg_core::tg::{Outcome, TestCase, TestGenerator, TgConfig};
 use hltg_dlx::DlxModel;
 use hltg_errors::{enumerate_stage_errors, EnumPolicy};
 use hltg_netlist::ProcessorModel;
-use hltg_sim::{BatchScreen, Machine, Schedule};
+use hltg_sim::{BatchScreen, Injection, Machine, PackedScreen, Schedule};
 use std::hint::black_box;
 
 fn preload(m: &mut Machine<'_>, model: &dyn ProcessorModel, test: &TestCase) {
@@ -71,6 +71,19 @@ fn main() {
             }
         }
         black_box(hits)
+    }));
+    // The fault-parallel screen: the same 64 errors as lanes of one
+    // bit-sliced pass. `bench_throughput` adds a screened-errors-per-
+    // second figure (`elements_per_sec`) to the JSON report.
+    let injections: Vec<Injection> = all_bits.iter().take(64).map(|e| e.to_injection()).collect();
+    results.push(bench_throughput("packed_screen_64_errors", 64, || {
+        let mut screen = PackedScreen::new(
+            model.design(),
+            schedule.clone(),
+            |m| preload(m, &model, &test),
+            horizon,
+        );
+        black_box(screen.screen(&injections).count_ones())
     }));
     results.push(bench("dual_pair_screen_64_errors", || {
         let mut hits = 0usize;

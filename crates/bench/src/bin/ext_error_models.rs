@@ -7,7 +7,7 @@
 //!
 //! Usage: `cargo run --release -p hltg-bench --bin ext_error_models
 //!         [--design NAME] [--json] [--trace-out PATH] [--progress]
-//!         [--resume PATH]`
+//!         [--resume PATH] [--no-sim-cache] [--no-packed-screen]`
 //!
 //! `--design NAME` selects the processor backend (default `dlx`; see
 //! [`hltg_dlx::BACKENDS`]).
@@ -33,6 +33,7 @@ fn main() {
     let json = args.iter().any(|a| a == "--json");
     let progress = args.iter().any(|a| a == "--progress");
     let no_sim_cache = args.iter().any(|a| a == "--no-sim-cache");
+    let no_packed_screen = args.iter().any(|a| a == "--no-packed-screen");
     let trace_pos = args.iter().position(|a| a == "--trace-out");
     let trace_out: Option<String> = trace_pos.and_then(|i| args.get(i + 1)).cloned();
     if trace_pos.is_some() && trace_out.is_none() {
@@ -72,6 +73,7 @@ fn main() {
             stages: stages.clone(),
             error_simulation: true,
             sim_cache: !no_sim_cache,
+            packed_screen: !no_packed_screen,
             checkpoint: resume.map(std::path::PathBuf::from),
             ..CampaignConfig::default()
         },

@@ -4,6 +4,7 @@
 //!
 //! Usage: `cargo run --release -p hltg-bench --bin table1 [limit]
 //!         [--design NAME] [--error-sim] [--no-collapse] [--no-sim-cache]
+//!         [--no-packed-screen]
 //!         [--threads N] [--json] [--trace-out PATH] [--progress]
 //!         [--resume PATH] [--retry N] [--max-steps N]
 //!         [--soft-deadline-ms MS] [--chaos-panic PERMILLE]
@@ -34,10 +35,12 @@
 //!
 //! Reuse flags (see DESIGN.md §Campaign-level reuse): this binary runs
 //! with error-class collapsing on by default — `--no-collapse` restores
-//! the classic one-generation-per-error loop, and `--no-sim-cache`
+//! the classic one-generation-per-error loop, `--no-sim-cache`
 //! disables both the shared-prefix simulation cache and the `CTRLJUST`
-//! memo (the screening verdicts and the report are identical either way;
-//! only run time and the `*_cache`/`*_memo` counters move).
+//! memo, and `--no-packed-screen` disables the fault-parallel (packed)
+//! screening passes (the screening verdicts and the report are identical
+//! either way; only run time and the `*_cache`/`*_memo`/`packed_*`
+//! counters move).
 
 use hltg_core::{Campaign, CampaignConfig, ChaosConfig, RunOptions};
 use std::path::PathBuf;
@@ -55,6 +58,7 @@ fn main() {
     let error_simulation = args.iter().any(|a| a == "--error-sim");
     let no_collapse = args.iter().any(|a| a == "--no-collapse");
     let no_sim_cache = args.iter().any(|a| a == "--no-sim-cache");
+    let no_packed_screen = args.iter().any(|a| a == "--no-packed-screen");
     let json = args.iter().any(|a| a == "--json");
     let progress = args.iter().any(|a| a == "--progress");
     // Value-carrying flags: record the value's position so the positional
@@ -106,6 +110,7 @@ fn main() {
         error_simulation,
         collapse: !no_collapse,
         sim_cache: !no_sim_cache,
+        packed_screen: !no_packed_screen,
         ..CampaignConfig::default()
     };
     config.tg.ctrljust_memo = !no_sim_cache;

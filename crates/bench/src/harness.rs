@@ -26,6 +26,9 @@ pub struct Measurement {
     pub name: String,
     /// One duration per timed sample, in collection order.
     pub samples: Vec<Duration>,
+    /// Items processed per iteration, for throughput benches
+    /// ([`bench_throughput`]); `None` for plain timing benches.
+    pub elements: Option<u64>,
 }
 
 impl Measurement {
@@ -40,10 +43,16 @@ impl Measurement {
         self.sorted()[0]
     }
 
-    /// Middle sample (lower median for even counts).
+    /// Median sample: the middle sample for odd counts, the midpoint of
+    /// the two middle samples for even counts.
     pub fn median(&self) -> Duration {
         let s = self.sorted();
-        s[s.len() / 2]
+        let n = s.len();
+        if n % 2 == 1 {
+            s[n / 2]
+        } else {
+            (s[n / 2 - 1] + s[n / 2]) / 2
+        }
     }
 
     /// Slowest sample.
@@ -55,6 +64,17 @@ impl Measurement {
     /// Arithmetic mean of all samples.
     pub fn mean(&self) -> Duration {
         self.samples.iter().sum::<Duration>() / self.samples.len().max(1) as u32
+    }
+
+    /// Median throughput in elements per second, for benches that declared
+    /// an element count.
+    pub fn elements_per_sec(&self) -> Option<f64> {
+        let elements = self.elements?;
+        let secs = self.median().as_secs_f64();
+        if secs <= 0.0 {
+            return None;
+        }
+        Some(elements as f64 / secs)
     }
 }
 
@@ -87,6 +107,7 @@ pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) -> Measurement {
     let m = Measurement {
         name: name.to_string(),
         samples,
+        elements: None,
     };
     println!(
         "{:<32} min {:>10}   median {:>10}   mean {:>10}",
@@ -99,19 +120,22 @@ pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) -> Measurement {
 }
 
 /// Like [`bench`] but also reports per-element throughput for benches
-/// that process `elements` items per iteration.
+/// that process `elements` items per iteration. The element count is
+/// carried on the returned [`Measurement`], so [`write_json_report`]
+/// emits `elements` / `elements_per_sec` for it.
 pub fn bench_throughput<T>(name: &str, elements: u64, f: impl FnMut() -> T) -> Measurement {
-    let m = bench(name, f);
+    let mut m = bench(name, f);
+    m.elements = Some(elements);
     let per = m.median().as_nanos() as f64 / elements.max(1) as f64;
     println!("{:<32} {per:.1} ns/element ({elements} elements)", "");
     m
 }
 
-/// Writes `BENCH_<set_name>.json` at the repository root: one object per
-/// measurement with `median_ns` / `min_ns` / `max_ns` / `mean_ns`, so the
-/// perf trajectory is machine-readable across PRs. Failures are reported
-/// on stderr but do not abort the bench run.
-pub fn write_json_report(set_name: &str, measurements: &[Measurement]) {
+/// Renders the `BENCH_<set>.json` payload: one object per measurement
+/// with `median_ns` / `min_ns` / `max_ns` / `mean_ns`, plus `elements`
+/// and `elements_per_sec` for throughput benches.
+#[must_use]
+pub fn render_json_report(set_name: &str, measurements: &[Measurement]) -> String {
     let mut out = String::from("{");
     out.push_str(&format!(
         "\"bench_set\": \"{}\", \"samples\": {SAMPLES}, \"benches\": [",
@@ -123,15 +147,31 @@ pub fn write_json_report(set_name: &str, measurements: &[Measurement]) {
         }
         out.push_str(&format!(
             "{{\"name\": \"{}\", \"median_ns\": {}, \"min_ns\": {}, \
-             \"max_ns\": {}, \"mean_ns\": {}}}",
+             \"max_ns\": {}, \"mean_ns\": {}",
             json_escape(&m.name),
             m.median().as_nanos(),
             m.min().as_nanos(),
             m.max().as_nanos(),
             m.mean().as_nanos()
         ));
+        if let Some(elements) = m.elements {
+            out.push_str(&format!(", \"elements\": {elements}"));
+            if let Some(eps) = m.elements_per_sec() {
+                out.push_str(&format!(", \"elements_per_sec\": {}", eps.round()));
+            }
+        }
+        out.push('}');
     }
     out.push_str("]}\n");
+    out
+}
+
+/// Writes `BENCH_<set_name>.json` at the repository root (see
+/// [`render_json_report`] for the payload), so the perf trajectory is
+/// machine-readable across PRs. Failures are reported on stderr but do
+/// not abort the bench run.
+pub fn write_json_report(set_name: &str, measurements: &[Measurement]) {
+    let out = render_json_report(set_name, measurements);
     // crates/bench -> workspace root.
     let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("../..")
@@ -139,5 +179,49 @@ pub fn write_json_report(set_name: &str, measurements: &[Measurement]) {
     match std::fs::write(&path, &out) {
         Ok(()) => println!("wrote {}", path.display()),
         Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hltg_core::jsonv;
+
+    fn meas(name: &str, ns: &[u64]) -> Measurement {
+        Measurement {
+            name: name.to_string(),
+            samples: ns.iter().map(|&n| Duration::from_nanos(n)).collect(),
+            elements: None,
+        }
+    }
+
+    /// Regression: the median of an even sample count is the midpoint of
+    /// the two middle samples, not the lower one.
+    #[test]
+    fn median_is_the_midpoint_for_even_counts() {
+        let odd = meas("odd", &[30, 10, 20]);
+        assert_eq!(odd.median(), Duration::from_nanos(20));
+        let even = meas("even", &[40, 10, 30, 20]);
+        assert_eq!(even.median(), Duration::from_nanos(25));
+        let skewed = meas("skewed", &[1, 1, 1, 1_000_000]);
+        assert_eq!(skewed.median(), Duration::from_nanos(1));
+    }
+
+    /// The rendered report survives hostile bench-set and bench names: it
+    /// stays parseable and round-trips the exact strings.
+    #[test]
+    fn report_round_trips_hostile_names() {
+        let hostile = "quote\" back\\slash \n\t\u{1} control}{";
+        let mut m = meas(hostile, &[100, 200, 300, 400]);
+        m.elements = Some(64);
+        let json = render_json_report(hostile, &[m]);
+        let v = jsonv::parse(&json).expect("report parses");
+        assert_eq!(v.get_str("bench_set"), Some(hostile));
+        let benches = v.get("benches").and_then(|b| b.as_arr()).expect("array");
+        assert_eq!(benches.len(), 1);
+        assert_eq!(benches[0].get_str("name"), Some(hostile));
+        assert_eq!(benches[0].get_u64("median_ns"), Some(250));
+        assert_eq!(benches[0].get_u64("elements"), Some(64));
+        assert!(benches[0].get_f64("elements_per_sec").is_some());
     }
 }

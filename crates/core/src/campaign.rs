@@ -11,7 +11,7 @@ use hltg_errors::{
 };
 use hltg_netlist::model::ProcessorModel;
 use hltg_netlist::Stage;
-use hltg_sim::{BatchScreen, Machine, Schedule};
+use hltg_sim::{BatchScreen, Injection, Machine, PackedScreen, Schedule, MAX_LANES};
 use std::fmt;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -52,6 +52,14 @@ pub struct CampaignConfig {
     /// bit-identical to the uncached screen — only wall-clock and the
     /// `sim_cache_*` counters change.
     pub sim_cache: bool,
+    /// Fault-parallel (packed) screening: batch up to 64 candidate errors
+    /// of one screening pass into independent lanes of a bit-sliced
+    /// simulation and step the design once, instead of one faulty replay
+    /// per candidate. Requires [`CampaignConfig::sim_cache`]; lanes whose
+    /// stuck line cannot pack fall back to the serial screen. Verdicts are
+    /// bit-identical to the serial screen at any thread count and packing
+    /// width — only wall-clock and the `packed_*` counters change.
+    pub packed_screen: bool,
     /// Worker threads for the sharded campaign. `1` runs the classic
     /// sequential loop; the default is the machine's available parallelism.
     /// Per-error generation is a pure function of the seed and the error,
@@ -87,6 +95,7 @@ impl Default for CampaignConfig {
             error_simulation: false,
             collapse: false,
             sim_cache: true,
+            packed_screen: true,
             num_threads: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1),
@@ -208,6 +217,14 @@ impl CampaignConfigBuilder {
     #[must_use]
     pub fn sim_cache(mut self, on: bool) -> Self {
         self.sim_cache = Some(on);
+        self
+    }
+
+    /// Fault-parallel (packed) screening (see
+    /// [`CampaignConfig::packed_screen`]).
+    #[must_use]
+    pub fn packed_screen(mut self, on: bool) -> Self {
+        self.cfg.packed_screen = on;
         self
     }
 
@@ -765,8 +782,8 @@ impl Campaign {
     #[must_use]
     pub fn checkpoint_fingerprint(model: &dyn ProcessorModel, config: &CampaignConfig) -> String {
         format!(
-            "v3 design={} width={} stages={:?} policy={:?} sim={} collapse={} \
-             simcache={} tg={:?} retry={}x{} chaos={:?}",
+            "v4 design={} width={} stages={:?} policy={:?} sim={} collapse={} \
+             simcache={} packed={} tg={:?} retry={}x{} chaos={:?}",
             model.name(),
             model.data_width(),
             config.stages,
@@ -774,6 +791,7 @@ impl Campaign {
             config.error_simulation,
             config.collapse,
             config.sim_cache,
+            config.packed_screen,
             config.tg,
             config.retry.rounds,
             config.retry.escalate,
@@ -860,24 +878,26 @@ impl Campaign {
                     // simulation on, otherwise the later members of this
                     // error's class; each one it detects needs no
                     // generation of its own.
-                    let mut slot: Option<BatchScreen<'_>> = None;
-                    for (j, other) in errors.iter().enumerate().skip(i + 1) {
-                        let same_class = config.collapse && class_of[j] == class_of[i];
-                        if records[j].is_some() || !(config.error_simulation || same_class) {
-                            continue;
-                        }
-                        let t1 = Instant::now();
-                        if screen_test(
-                            model,
-                            schedule,
-                            probe,
-                            config.sim_cache,
-                            &mut slot,
-                            tc,
-                            other,
-                        ) {
+                    let mut slot = ScreenSlot::new();
+                    let candidates: Vec<usize> = (i + 1..errors.len())
+                        .filter(|&j| {
+                            let same_class = config.collapse && class_of[j] == class_of[i];
+                            records[j].is_none() && (config.error_simulation || same_class)
+                        })
+                        .collect();
+                    screen_candidates(
+                        model,
+                        schedule,
+                        probe,
+                        config,
+                        &mut slot,
+                        tc,
+                        errors,
+                        &candidates,
+                        |j, seconds| {
+                            let other = &errors[j];
                             probe.error_screened(u64::from(other.id.0), true);
-                            if same_class {
+                            if config.collapse && class_of[j] == class_of[i] {
                                 probe.add(Counter::CollapseScreened, 1);
                             }
                             records[j] = Some(ErrorRecord {
@@ -885,11 +905,11 @@ impl Campaign {
                                 outcome: outcome.clone(),
                                 redundant: is_structurally_redundant(model.design(), other),
                                 by_simulation: true,
-                                seconds: t1.elapsed().as_secs_f64(),
+                                seconds,
                                 round: 0,
                             });
-                        }
-                    }
+                        },
+                    );
                 }
             }
             records[i] = Some(ErrorRecord {
@@ -938,9 +958,9 @@ impl Campaign {
                     // Per-worker view of the shared pool: the pool is
                     // append-only, so entries past `screens.len()` are new.
                     // Each entry carries this worker's lazily built
-                    // `BatchScreen`, so one worker records each pooled
+                    // screening slot, so one worker records each pooled
                     // test's good run at most once.
-                    let mut screens: Vec<(usize, TestCase, Option<BatchScreen<'_>>)> = Vec::new();
+                    let mut screens: Vec<(usize, TestCase, ScreenSlot<'_>)> = Vec::new();
                     loop {
                         if config
                             .soft_deadline
@@ -962,7 +982,7 @@ impl Campaign {
                             {
                                 let pool = pool.read().expect("pool lock");
                                 for (k, tc) in pool.iter().skip(screens.len()) {
-                                    screens.push((*k, tc.clone(), None));
+                                    screens.push((*k, tc.clone(), ScreenSlot::new()));
                                 }
                             }
                             let screened = screens.iter_mut().any(|(k, tc, slot)| {
@@ -1047,37 +1067,43 @@ impl Campaign {
             };
             if config.error_simulation || config.collapse {
                 if let Outcome::Detected(tc) = &outcome {
-                    let mut slot: Option<BatchScreen<'_>> = None;
-                    for (j, other) in errors.iter().enumerate().skip(i + 1) {
-                        let same_class = config.collapse && class_of[j] == class_of[i];
-                        if records[j].is_some() || !(config.error_simulation || same_class) {
-                            continue;
-                        }
-                        let t1 = Instant::now();
-                        if screen_test(
-                            model,
-                            schedule,
-                            probe,
-                            config.sim_cache,
-                            &mut slot,
-                            tc,
-                            other,
-                        ) {
-                            if same_class {
+                    let mut slot = ScreenSlot::new();
+                    let candidates: Vec<usize> = (i + 1..n)
+                        .filter(|&j| {
+                            let same_class = config.collapse && class_of[j] == class_of[i];
+                            records[j].is_none() && (config.error_simulation || same_class)
+                        })
+                        .collect();
+                    let (records_ref, slots_ref) = (&mut records, &slots);
+                    screen_candidates(
+                        model,
+                        schedule,
+                        probe,
+                        config,
+                        &mut slot,
+                        tc,
+                        errors,
+                        &candidates,
+                        |j, seconds| {
+                            let other = &errors[j];
+                            if config.collapse && class_of[j] == class_of[i] {
                                 probe.add(Counter::CollapseScreened, 1);
                             }
-                            records[j] = Some(ErrorRecord {
+                            records_ref[j] = Some(ErrorRecord {
                                 error: other.clone(),
                                 outcome: outcome.clone(),
-                                redundant: slots[j].as_ref().map(|w| w.redundant).unwrap_or_else(
-                                    || is_structurally_redundant(model.design(), other),
-                                ),
+                                redundant: slots_ref[j]
+                                    .as_ref()
+                                    .map(|w| w.redundant)
+                                    .unwrap_or_else(|| {
+                                        is_structurally_redundant(model.design(), other)
+                                    }),
                                 by_simulation: true,
-                                seconds: t1.elapsed().as_secs_f64(),
+                                seconds,
                                 round: 0,
                             });
-                        }
-                    }
+                        },
+                    );
                 }
             }
             records[i] = Some(ErrorRecord {
@@ -1475,6 +1501,65 @@ fn simulate_test(
     false
 }
 
+/// A content fingerprint of everything that determines a test's recorded
+/// good run: the screening horizon (a function of the program length) and
+/// the preloaded instruction/data memory images. FNV-1a over those words.
+fn test_fingerprint(test: &TestCase) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut mix = |v: u64| {
+        for byte in v.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    mix(test.program.len() as u64);
+    for &(addr, word) in &test.imem_image {
+        mix(addr);
+        mix(u64::from(word));
+    }
+    for &(addr, value) in &test.dmem_image {
+        mix(addr);
+        mix(value);
+    }
+    h
+}
+
+/// A lazily built screening slot: the recorded good run of one test, as a
+/// serial [`BatchScreen`] and/or a fault-parallel [`PackedScreen`].
+///
+/// The slot is *keyed* by a [`test_fingerprint`] of the test it was built
+/// for. Screening a different test through the same slot silently reused
+/// the wrong recorded good run before this key existed; now any access
+/// first re-keys the slot, dropping stale screens so they are rebuilt for
+/// the test actually being screened.
+struct ScreenSlot<'d> {
+    built_for: Option<u64>,
+    batch: Option<BatchScreen<'d>>,
+    packed: Option<PackedScreen<'d>>,
+}
+
+impl<'d> ScreenSlot<'d> {
+    fn new() -> Self {
+        ScreenSlot {
+            built_for: None,
+            batch: None,
+            packed: None,
+        }
+    }
+
+    /// Drops any screen recorded for a different test than `test`.
+    fn rekey(&mut self, test: &TestCase) {
+        let fp = test_fingerprint(test);
+        if self.built_for != Some(fp) {
+            self.built_for = Some(fp);
+            self.batch = None;
+            self.packed = None;
+        }
+    }
+}
+
 /// Screens `error` against `test`, through the shared-prefix simulation
 /// cache when it is enabled. `slot` holds the lazily built [`BatchScreen`]
 /// for this test — the good machine runs once when the slot first fills,
@@ -1486,14 +1571,15 @@ fn screen_test<'d>(
     schedule: &Schedule,
     probe: &dyn Probe,
     sim_cache: bool,
-    slot: &mut Option<BatchScreen<'d>>,
+    slot: &mut ScreenSlot<'d>,
     test: &TestCase,
     error: &BusSslError,
 ) -> bool {
     if !sim_cache {
         return simulate_test(model, schedule, test, error);
     }
-    let screen = slot.get_or_insert_with(|| {
+    slot.rekey(test);
+    let screen = slot.batch.get_or_insert_with(|| {
         probe.add(Counter::SimCacheGoodRuns, 1);
         BatchScreen::new(
             model.design(),
@@ -1504,6 +1590,87 @@ fn screen_test<'d>(
     });
     probe.add(Counter::SimCacheScreens, 1);
     screen.detects(error.to_injection())
+}
+
+/// Screens every candidate error (`candidates` are indices into `errors`)
+/// against `test`, calling `on_detect(j, seconds)` for each detected one.
+///
+/// With the packed screen enabled (and the sim cache on, which it rides
+/// on), packable candidates are batched [`MAX_LANES`] at a time into one
+/// fault-parallel pass each; candidates whose stuck line cannot pack fall
+/// back to the serial [`screen_test`]. Verdicts are bit-identical either
+/// way, so callers observe the same detections in the same candidate
+/// order regardless of packing.
+#[allow(clippy::too_many_arguments)]
+fn screen_candidates<'d>(
+    model: &'d dyn ProcessorModel,
+    schedule: &Schedule,
+    probe: &dyn Probe,
+    config: &CampaignConfig,
+    slot: &mut ScreenSlot<'d>,
+    test: &TestCase,
+    errors: &[BusSslError],
+    candidates: &[usize],
+    mut on_detect: impl FnMut(usize, f64),
+) {
+    if !(config.sim_cache && config.packed_screen) || candidates.len() < 2 {
+        for &j in candidates {
+            let t1 = Instant::now();
+            if screen_test(
+                model,
+                schedule,
+                probe,
+                config.sim_cache,
+                slot,
+                test,
+                &errors[j],
+            ) {
+                on_detect(j, t1.elapsed().as_secs_f64());
+            }
+        }
+        return;
+    }
+    slot.rekey(test);
+    let packed = slot.packed.get_or_insert_with(|| {
+        probe.add(Counter::SimCacheGoodRuns, 1);
+        PackedScreen::new(
+            model.design(),
+            schedule.clone(),
+            |m| preload_test(m, model, test),
+            screen_horizon(test),
+        )
+    });
+    let mut pack: Vec<(usize, Injection)> = Vec::with_capacity(candidates.len());
+    let mut serial: Vec<usize> = Vec::new();
+    for &j in candidates {
+        let inj = errors[j].to_injection();
+        if packed.can_pack(inj) {
+            pack.push((j, inj));
+        } else {
+            serial.push(j);
+        }
+    }
+    for chunk in pack.chunks(MAX_LANES) {
+        let t0 = Instant::now();
+        let injs: Vec<Injection> = chunk.iter().map(|&(_, inj)| inj).collect();
+        let mask = packed.screen(&injs);
+        probe.add(Counter::PackedScreens, 1);
+        probe.add(Counter::PackedLanes, chunk.len() as u64);
+        // Wall-clock attribution: the pass is shared, each lane gets an
+        // equal share.
+        let per_lane = t0.elapsed().as_secs_f64() / chunk.len() as f64;
+        for (lane, &(j, _)) in chunk.iter().enumerate() {
+            if mask & (1u64 << lane) != 0 {
+                on_detect(j, per_lane);
+            }
+        }
+    }
+    for j in serial {
+        let t1 = Instant::now();
+        if screen_test(model, schedule, probe, true, slot, test, &errors[j]) {
+            on_detect(j, t1.elapsed().as_secs_f64());
+        }
+    }
 }
 
 #[cfg(test)]
@@ -1547,12 +1714,70 @@ mod tests {
         assert_eq!(cfg.max_steps, Some(1 << 30));
     }
 
+    /// Regression: a screening slot records the good run of *one* test.
+    /// Nothing used to tie the recorded run to the test being screened —
+    /// a slot built for test A silently answered queries about test B
+    /// with A's observable trace. The slot is now keyed by a test
+    /// fingerprint: screening a different test through the same slot must
+    /// rebuild the recorded run (a second good run, not a reuse) and give
+    /// the same verdicts as fresh per-test slots.
+    #[test]
+    fn screen_slot_rebuilds_for_a_mismatched_test() {
+        let model = DlxModel::new();
+        let schedule = Schedule::build(model.design()).expect("design levelizes");
+        let config = CampaignConfig::default();
+        let errors = enumerate_stage_errors(model.design(), &config.stages, config.policy);
+        let mut tg = TestGenerator::with_probe(&model, TgConfig::default(), &crate::instrument::NoProbe);
+        let mut found: Vec<(BusSslError, TestCase)> = Vec::new();
+        for e in &errors {
+            if let Outcome::Detected(tc) = tg.generate(e) {
+                let tc = (*tc).clone();
+                if found
+                    .iter()
+                    .all(|(_, t)| test_fingerprint(t) != test_fingerprint(&tc))
+                {
+                    found.push((e.clone(), tc));
+                }
+                if found.len() == 2 {
+                    break;
+                }
+            }
+        }
+        let (e2, t2) = found.pop().expect("two distinct tests");
+        let (e1, t1) = found.pop().expect("two distinct tests");
+
+        // Reference verdicts from slots dedicated to one test each:
+        // screen each error against the *other* error's test.
+        let mut fresh1 = ScreenSlot::new();
+        let v1 = screen_test(&model, &schedule, &crate::instrument::NoProbe, true, &mut fresh1, &t1, &e2);
+        let mut fresh2 = ScreenSlot::new();
+        let v2 = screen_test(&model, &schedule, &crate::instrument::NoProbe, true, &mut fresh2, &t2, &e1);
+
+        // The same queries through one shared slot: the second test must
+        // force a rebuild (two good runs recorded), not reuse t1's run.
+        let counters = Counters::new();
+        let mut slot = ScreenSlot::new();
+        assert_eq!(
+            screen_test(&model, &schedule, &counters, true, &mut slot, &t1, &e2),
+            v1
+        );
+        assert_eq!(
+            screen_test(&model, &schedule, &counters, true, &mut slot, &t2, &e1),
+            v2
+        );
+        assert_eq!(
+            counters.get(Counter::SimCacheGoodRuns),
+            2,
+            "a slot holding a different test's run must be rebuilt, not reused"
+        );
+    }
+
     #[test]
     fn checkpoint_fingerprint_covers_cache_settings() {
         let model = DlxModel::new();
         let base = CampaignConfig::default();
         let fp = Campaign::checkpoint_fingerprint(&model, &base);
-        assert!(fp.starts_with("v3 "), "fingerprint version bumped: {fp}");
+        assert!(fp.starts_with("v4 "), "fingerprint version bumped: {fp}");
         let collapse = CampaignConfig {
             collapse: true,
             ..base.clone()
@@ -1561,9 +1786,13 @@ mod tests {
             sim_cache: false,
             ..base.clone()
         };
+        let no_packed = CampaignConfig {
+            packed_screen: false,
+            ..base.clone()
+        };
         let mut no_memo = base.clone();
         no_memo.tg.ctrljust_memo = false;
-        for other in [&collapse, &no_sim_cache, &no_memo] {
+        for other in [&collapse, &no_sim_cache, &no_packed, &no_memo] {
             assert_ne!(
                 fp,
                 Campaign::checkpoint_fingerprint(&model, other),
@@ -1597,6 +1826,12 @@ mod tests {
         assert_eq!(cfg.num_threads, 2);
         assert!(cfg.collapse);
         assert!(cfg.sim_cache, "collapse keeps the cached screen on");
+        assert!(cfg.packed_screen, "packed screening defaults on");
+        let no_packed = CampaignConfig::builder()
+            .packed_screen(false)
+            .build()
+            .expect("valid config");
+        assert!(!no_packed.packed_screen);
         let explicit = CampaignConfig::builder()
             .collapse(true)
             .sim_cache(false)

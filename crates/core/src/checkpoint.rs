@@ -210,8 +210,8 @@ fn entry_to_json(id: u64, round: u32, e: &CheckpointEntry) -> String {
                 out,
                 "\"outcome\": \"aborted\", \"reason\": \"{}\", \"failed_phase\": \"{}\", \
                  \"payload\": \"{}\", \"backtracks\": {backtracks}}}",
-                reason.name(),
-                reason.phase_name(),
+                json_escape(reason.name()),
+                json_escape(reason.phase_name()),
                 json_escape(match reason {
                     AbortReason::Panicked { payload, .. } => payload,
                     _ => "",
@@ -370,6 +370,37 @@ mod tests {
                 assert_eq!(ab, bb);
             }
             _ => panic!("outcome kind changed"),
+        }
+    }
+
+    /// A panic payload is arbitrary text — quotes, backslashes, control
+    /// characters, newlines, even JSON-shaped content. The entry line must
+    /// stay one well-formed JSONL record and the payload must round-trip
+    /// byte for byte.
+    #[test]
+    fn hostile_panic_payload_roundtrips() {
+        let hostile = "quote\" back\\slash \n\r\t \u{1}\u{7f} {\"fake\": [\"json\"]} 😀";
+        let entry = CheckpointEntry {
+            outcome: Outcome::Aborted {
+                reason: AbortReason::Panicked {
+                    phase: "dptrace",
+                    payload: hostile.to_string(),
+                },
+                backtracks: 0,
+            },
+            redundant: false,
+            seconds: 0.0,
+        };
+        let line = entry_to_json(7, 0, &entry);
+        assert!(!line.contains('\n'), "JSONL entries must be single lines");
+        let v = jsonv::parse(&line).expect("hostile payload stays parseable");
+        let (_, back) = entry_from_json(&v).expect("entry loads");
+        match back.outcome {
+            Outcome::Aborted {
+                reason: AbortReason::Panicked { payload, .. },
+                ..
+            } => assert_eq!(payload, hostile),
+            other => panic!("outcome changed: {other:?}"),
         }
     }
 

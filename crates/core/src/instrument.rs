@@ -175,10 +175,15 @@ pub enum Counter {
     /// Errors detected by their class representative's test sequence
     /// (error-class collapsing), skipping full generation.
     CollapseScreened,
+    /// Fault-parallel screening passes (each packs up to 64 candidate
+    /// errors into one bit-sliced simulation).
+    PackedScreens,
+    /// Candidate errors carried as lanes of packed screening passes.
+    PackedLanes,
 }
 
 /// All counters, in reporting order.
-pub const COUNTERS: [Counter; 19] = [
+pub const COUNTERS: [Counter; 21] = [
     Counter::DptraceCalls,
     Counter::DptraceSteps,
     Counter::DptraceModulesOnPath,
@@ -198,6 +203,8 @@ pub const COUNTERS: [Counter; 19] = [
     Counter::SimCacheGoodRuns,
     Counter::SimCacheScreens,
     Counter::CollapseScreened,
+    Counter::PackedScreens,
+    Counter::PackedLanes,
 ];
 
 impl Counter {
@@ -223,6 +230,8 @@ impl Counter {
             Counter::SimCacheGoodRuns => "sim_cache_good_runs",
             Counter::SimCacheScreens => "sim_cache_screens",
             Counter::CollapseScreened => "collapse_screened",
+            Counter::PackedScreens => "packed_screens",
+            Counter::PackedLanes => "packed_lanes",
         }
     }
 

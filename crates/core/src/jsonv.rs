@@ -400,4 +400,29 @@ mod tests {
         let encoded = format!("\"{}\"", crate::instrument::json_escape(original));
         assert_eq!(parse(&encoded).unwrap().as_str(), Some(original));
     }
+
+    /// Every string the emitters might see — all C0 controls, DEL,
+    /// structural characters, astral-plane text, NUL — survives a trip
+    /// through the shared escape helper and back through this parser.
+    #[test]
+    fn round_trips_hostile_strings() {
+        let all_controls: String = (0u8..0x20).map(char::from).collect();
+        for original in [
+            all_controls.as_str(),
+            "\0 embedded nul",
+            "\u{7f} del",
+            "{\"looks\": [\"like\", \"json\"]}",
+            "back\\\\slash run \\\" escaped-looking",
+            "astral 😀 pair \u{10FFFF}",
+            "\r\n windows line ending",
+            "", // empty stays empty
+        ] {
+            let encoded = format!("\"{}\"", crate::instrument::json_escape(original));
+            assert_eq!(
+                parse(&encoded).unwrap().as_str(),
+                Some(original),
+                "round trip failed for {original:?}"
+            );
+        }
+    }
 }

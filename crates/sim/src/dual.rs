@@ -150,6 +150,27 @@ impl<'d> BatchScreen<'d> {
         self.good_outputs.len()
     }
 
+    /// Screens a batch of injections serially, returning a per-lane detect
+    /// mask (bit `l` set iff `injections[l]` is detected).
+    ///
+    /// This is the serial reference for the packed fault-parallel screen
+    /// ([`crate::PackedScreen::screen`]) and the fallback for lanes that
+    /// cannot pack; the two produce bit-identical masks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than 64 injections are given (the mask is one word).
+    pub fn detects_all(&mut self, injections: &[Injection]) -> u64 {
+        assert!(injections.len() <= 64, "detect mask is one 64-bit word");
+        let mut mask = 0u64;
+        for (lane, &inj) in injections.iter().enumerate() {
+            if self.detects(inj) {
+                mask |= 1u64 << lane;
+            }
+        }
+        mask
+    }
+
     /// Whether `injection` diverges from the recorded good run within the
     /// horizon — exactly the [`DualSim`] detection predicate, at the cost
     /// of one bad-machine run.

@@ -65,6 +65,30 @@ impl Injection {
     }
 }
 
+/// An [`Injection`] tagged with the fault lane it occupies in a packed
+/// (fault-parallel) screening pass.
+///
+/// The packed screen of [`crate::PackedScreen`] carries up to 64 candidate
+/// errors as independent lanes of one simulation; lane-tagged injections
+/// tie each error to its bit position in the per-net divergence masks and
+/// the final detect mask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LaneInjection {
+    /// Lane index (bit position in packed masks), `< 64`.
+    pub lane: u32,
+    /// The injected bus SSL error.
+    pub injection: Injection,
+}
+
+impl LaneInjection {
+    /// The single-bit mask selecting this lane in packed mask words.
+    #[inline]
+    #[must_use]
+    pub fn mask_bit(&self) -> u64 {
+        1u64 << self.lane
+    }
+}
+
 /// A synthetic design error from the extended model family of Van
 /// Campenhout et al.'s error-modeling work (the paper's reference \[28\]):
 /// the bus SSL model used for Table 1, plus bus *order* errors (two lines

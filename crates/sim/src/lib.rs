@@ -23,11 +23,13 @@
 pub mod dual;
 pub mod inject;
 pub mod machine;
+pub mod packed;
 pub mod schedule;
 pub mod tv;
 
 pub use dual::{BatchScreen, Discrepancy, DualSim};
-pub use inject::{ErrorModel, Injection, Polarity};
+pub use inject::{ErrorModel, Injection, LaneInjection, Polarity};
+pub use packed::{PackedScreen, MAX_LANES};
 pub use machine::{Machine, MachineSnapshot, MachineState, ObservedOutputs};
 pub use schedule::{Schedule, SimError};
 pub use tv::V3;

@@ -338,6 +338,12 @@ impl<'d> Machine<'d> {
         }
     }
 
+    /// The externally driven input values, indexed by net id (crate-internal:
+    /// the packed screen replicates a preloaded machine's environment).
+    pub(crate) fn ext_inputs(&self) -> &[u64] {
+        &self.ext_inputs
+    }
+
     fn inject(&self, net: DpNetId, value: u64) -> u64 {
         match self.error {
             Some(e) => word::truncate(e.apply_net(net, value), self.design.dp.net(net).width),

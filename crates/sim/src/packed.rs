@@ -1,0 +1,1066 @@
+//! Fault-parallel (packed) screening: many injected errors per pass.
+//!
+//! Classic PPSFP (parallel-pattern single-fault propagation) packs fault
+//! lanes into machine words. The paper's error model is word-level bus SSL,
+//! so the packing here is *fault*-parallel rather than pattern-parallel: one
+//! [`PackedScreen::screen`] pass carries up to [`MAX_LANES`] candidate
+//! injections as independent lanes and steps the design once, producing a
+//! per-lane detect mask against the good run computed in the same pass.
+//!
+//! # Representation
+//!
+//! The *base lane* is the error-free machine, evaluated exactly like
+//! [`crate::Machine`]. Each fault lane is represented as a sparse
+//! *divergence* from the base:
+//!
+//! - every datapath net carries its base value, a 64-bit *divergence mask*
+//!   (bit `l` set iff lane `l` currently differs from the base), and lane
+//!   values stored only for diverged lanes;
+//! - every controller net is genuinely bit-sliced: one `u64` holds all 64
+//!   lane values, so an entire gate evaluates in a single bitwise word op;
+//! - architectural state (register files, memories) is shared with the base
+//!   until a lane performs an *effectively different* write, at which point
+//!   the lane forks a private copy (copy-on-divergent-write);
+//! - a lane whose observable outputs diverge is *detected*: it is removed
+//!   from the live set immediately, mirroring the serial screen's
+//!   first-discrepancy early exit.
+//!
+//! Un-diverged lanes are carried for free: the per-cycle cost is one base
+//! evaluation plus work proportional to the number of (net, lane) pairs
+//! that actually differ.
+//!
+//! # Exactness
+//!
+//! Verdicts are bit-identical to [`crate::BatchScreen`] at any packing
+//! width: diverged lanes are simulated with the exact per-lane semantics of
+//! [`crate::Machine::step`], including the good/bad asymmetry that an
+//! installed error truncates every net write in the bad machine. The
+//! equivalence is asserted exhaustively in this module's tests and in the
+//! campaign-level determinism suite.
+//!
+//! # Packing rules
+//!
+//! [`PackedScreen::can_pack`] rejects injections whose stuck line lies
+//! outside the bus (`bit >= width` or `bit >= 64`): such a line aliases the
+//! packed word store (the serial screen resolves it by truncation order, a
+//! distinction the shared lane store cannot represent). Callers fall back
+//! to the serial [`crate::BatchScreen`] for those lanes.
+
+use crate::inject::{Injection, LaneInjection};
+use crate::machine::{ArchState, Machine, MachineState};
+use crate::schedule::{Node, Schedule};
+use hltg_netlist::ctl::{CtlInputKind, CtlNetId, CtlOp};
+use hltg_netlist::dp::{ArchKind, DpModId, DpNetId, DpOp};
+use hltg_netlist::{word, Design};
+use std::collections::HashMap;
+
+/// Maximum number of fault lanes per packed pass (one per bit of the mask
+/// word).
+pub const MAX_LANES: usize = 64;
+
+#[inline]
+fn bcast(b: bool) -> u64 {
+    if b {
+        !0
+    } else {
+        0
+    }
+}
+
+/// A fault-parallel screen: one recorded preload state, up to
+/// [`MAX_LANES`] candidate errors per [`screen`](PackedScreen::screen)
+/// pass.
+#[derive(Debug)]
+pub struct PackedScreen<'d> {
+    design: &'d Design,
+    // Static layout (mirrors `Machine`'s construction order).
+    order: Vec<Node>,
+    ff_ids: Vec<CtlNetId>,
+    reg_ids: Vec<DpModId>,
+    sink_ids: Vec<DpModId>,
+    ff_slot_of_ctl: Vec<u32>,
+    sts_src: Vec<u32>,
+    cpi_src: Vec<(u32, u32)>,
+    dp_of_ctl: Vec<Vec<DpNetId>>,
+    net_width: Vec<u32>,
+    mod_in_widths: Vec<Vec<u32>>,
+    input_ids: Vec<DpNetId>,
+    // Preloaded shared-prefix state (the packed analogue of
+    // `BatchScreen`'s snapshot) and the externally driven inputs.
+    base: MachineState,
+    ext_inputs: Vec<u64>,
+    horizon: u64,
+    // Per-pass lane bookkeeping.
+    live: u64,
+    detected: u64,
+    inj_on_net: HashMap<u32, Vec<LaneInjection>>,
+    inj_mask_net: Vec<u64>,
+    inj_touched: Vec<u32>,
+    // Combinational values: datapath base/mask/lane-sparse, controller
+    // bit-sliced.
+    dp_base: Vec<u64>,
+    dp_mask: Vec<u64>,
+    dp_lane: Vec<u64>,
+    ctl_base_v: Vec<bool>,
+    ctl_word: Vec<u64>,
+    // Sequential state.
+    ffs_base: Vec<bool>,
+    ffs_word: Vec<u64>,
+    next_ffs_base: Vec<bool>,
+    next_ffs_word: Vec<u64>,
+    regs_base: Vec<u64>,
+    regs_mask: Vec<u64>,
+    regs_lane: Vec<u64>,
+    archs_base: Vec<ArchState>,
+    arch_forked: Vec<u64>,
+    arch_lane: Vec<HashMap<u32, ArchState>>,
+    scratch: Vec<u64>,
+}
+
+impl<'d> PackedScreen<'d> {
+    /// Builds the packed screen. `preload` is applied once to a donor
+    /// machine to set up the shared state (program images, register
+    /// contents, driven inputs); every [`screen`](PackedScreen::screen)
+    /// pass then restores that state and runs `horizon` cycles.
+    pub fn new(
+        design: &'d Design,
+        schedule: Schedule,
+        mut preload: impl FnMut(&mut Machine<'d>),
+        horizon: u64,
+    ) -> Self {
+        let order = schedule.order.clone();
+        let ctrl_of_dp = schedule.ctrl_of_dp.clone();
+        let mut donor = Machine::with_schedule(design, schedule);
+        preload(&mut donor);
+        let base = donor.state().clone();
+        let ext_inputs = donor.ext_inputs().to_vec();
+
+        let ff_ids: Vec<CtlNetId> = design.ctl.ff_nets().collect();
+        let mut reg_ids = Vec::new();
+        let mut sink_ids = Vec::new();
+        for (id, m) in design.dp.iter_modules() {
+            match m.op {
+                DpOp::Reg(_) => reg_ids.push(id),
+                DpOp::RegFileWrite(_) | DpOp::MemWrite(_) => sink_ids.push(id),
+                _ => {}
+            }
+        }
+        let nc = design.ctl.net_count();
+        let nn = design.dp.net_count();
+        let mut ff_slot_of_ctl = vec![u32::MAX; nc];
+        for (slot, &id) in ff_ids.iter().enumerate() {
+            ff_slot_of_ctl[id.0 as usize] = slot as u32;
+        }
+        let mut sts_src = vec![u32::MAX; nc];
+        for b in &design.sts_binds {
+            sts_src[b.ctl.0 as usize] = b.dp.0;
+        }
+        let mut cpi_src = vec![(u32::MAX, 0u32); nc];
+        for b in &design.cpi_binds {
+            cpi_src[b.ctl.0 as usize] = (b.dp.0, b.bit);
+        }
+        let mut dp_of_ctl: Vec<Vec<DpNetId>> = vec![Vec::new(); nc];
+        for (&dpn, &ctl) in &ctrl_of_dp {
+            dp_of_ctl[ctl.0 as usize].push(dpn);
+        }
+        // Deterministic write-through order (HashMap iteration is not).
+        for v in &mut dp_of_ctl {
+            v.sort_unstable();
+        }
+        let net_width: Vec<u32> = design.dp.nets().iter().map(|n| n.width).collect();
+        let mod_in_widths: Vec<Vec<u32>> = design
+            .dp
+            .modules()
+            .iter()
+            .map(|m| m.inputs.iter().map(|&n| net_width[n.0 as usize]).collect())
+            .collect();
+        let input_ids: Vec<DpNetId> = design.dp.input_nets().collect();
+
+        let n_ffs = ff_ids.len();
+        let n_regs = reg_ids.len();
+        let n_archs = base.archs.len();
+        PackedScreen {
+            design,
+            order,
+            ff_ids,
+            reg_ids,
+            sink_ids,
+            ff_slot_of_ctl,
+            sts_src,
+            cpi_src,
+            dp_of_ctl,
+            net_width,
+            mod_in_widths,
+            input_ids,
+            base,
+            ext_inputs,
+            horizon,
+            live: 0,
+            detected: 0,
+            inj_on_net: HashMap::new(),
+            inj_mask_net: vec![0; nn],
+            inj_touched: Vec::new(),
+            dp_base: vec![0; nn],
+            dp_mask: vec![0; nn],
+            dp_lane: vec![0; nn * MAX_LANES],
+            ctl_base_v: vec![false; nc],
+            ctl_word: vec![0; nc],
+            ffs_base: vec![false; n_ffs],
+            ffs_word: vec![0; n_ffs],
+            next_ffs_base: vec![false; n_ffs],
+            next_ffs_word: vec![0; n_ffs],
+            regs_base: vec![0; n_regs],
+            regs_mask: vec![0; n_regs],
+            regs_lane: vec![0; n_regs * MAX_LANES],
+            archs_base: Vec::new(),
+            arch_forked: vec![0; n_archs],
+            arch_lane: (0..n_archs).map(|_| HashMap::new()).collect(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Number of cycles each pass runs (same meaning as
+    /// [`crate::BatchScreen::horizon`]).
+    #[must_use]
+    pub fn horizon(&self) -> u64 {
+        self.horizon
+    }
+
+    /// `true` if `inj` can ride a packed lane: its stuck line must lie
+    /// inside the bus (and inside the 64-bit lane store). Out-of-range
+    /// lines alias the packed word representation; screen them serially.
+    #[must_use]
+    pub fn can_pack(&self, inj: Injection) -> bool {
+        let n = inj.net.0 as usize;
+        n < self.net_width.len() && inj.bit < 64 && inj.bit < self.net_width[n]
+    }
+
+    /// Screens up to [`MAX_LANES`] injections in one pass. Bit `l` of the
+    /// returned mask is set iff lane `l`'s injection is detected — the
+    /// exact [`crate::BatchScreen::detects`] verdict for each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than [`MAX_LANES`] injections are given or if any
+    /// fails [`can_pack`](PackedScreen::can_pack).
+    pub fn screen(&mut self, injections: &[Injection]) -> u64 {
+        assert!(
+            injections.len() <= MAX_LANES,
+            "{} injections exceed the packing width {MAX_LANES}",
+            injections.len()
+        );
+        for &inj in injections {
+            assert!(self.can_pack(inj), "unpackable injection {inj:?}");
+        }
+        // Install lane-tagged injections.
+        for &n in &self.inj_touched {
+            self.inj_mask_net[n as usize] = 0;
+        }
+        self.inj_touched.clear();
+        self.inj_on_net.clear();
+        for (lane, &injection) in injections.iter().enumerate() {
+            let tagged = LaneInjection {
+                lane: lane as u32,
+                injection,
+            };
+            let n = injection.net.0;
+            if self.inj_mask_net[n as usize] == 0 {
+                self.inj_touched.push(n);
+            }
+            self.inj_mask_net[n as usize] |= tagged.mask_bit();
+            self.inj_on_net.entry(n).or_default().push(tagged);
+        }
+        // Restore the shared-prefix state.
+        self.live = if injections.len() == MAX_LANES {
+            !0
+        } else {
+            (1u64 << injections.len()) - 1
+        };
+        self.detected = 0;
+        self.ffs_base.copy_from_slice(&self.base.ctl_ffs);
+        for slot in 0..self.ffs_base.len() {
+            self.ffs_word[slot] = bcast(self.ffs_base[slot]);
+        }
+        self.regs_base.copy_from_slice(&self.base.dp_regs);
+        self.regs_mask.fill(0);
+        self.archs_base.clone_from(&self.base.archs);
+        self.arch_forked.fill(0);
+        for m in &mut self.arch_lane {
+            m.clear();
+        }
+        self.dp_mask.fill(0);
+
+        for _ in 0..self.horizon {
+            self.step_packed();
+            if self.live == 0 {
+                break;
+            }
+        }
+        self.detected
+    }
+
+    // ---- value access helpers -------------------------------------------
+
+    #[inline]
+    fn read_dp_lane(&self, net: DpNetId, lane: u32) -> u64 {
+        let n = net.0 as usize;
+        if (self.dp_mask[n] >> lane) & 1 == 1 {
+            self.dp_lane[n * MAX_LANES + lane as usize]
+        } else {
+            self.dp_base[n]
+        }
+    }
+
+    #[inline]
+    fn ctl_get(&self, id: CtlNetId) -> (bool, u64) {
+        let slot = self.ff_slot_of_ctl[id.0 as usize];
+        if slot != u32::MAX {
+            (
+                self.ffs_base[slot as usize],
+                self.ffs_word[slot as usize],
+            )
+        } else {
+            (self.ctl_base_v[id.0 as usize], self.ctl_word[id.0 as usize])
+        }
+    }
+
+    /// Lanes that must be evaluated individually for `net`: the diverged
+    /// lanes plus any lane injecting this net, restricted to live lanes.
+    #[inline]
+    fn lanes_of(&self, net: DpNetId, diverged: u64) -> u64 {
+        (diverged | self.inj_mask_net[net.0 as usize]) & self.live
+    }
+
+    /// Commits one net: base value as the good machine stores it, lane
+    /// values with the bad-machine semantics (injection applied, then the
+    /// unconditional truncation `Machine::inject` performs whenever an
+    /// error is installed). The divergence mask is rebuilt from scratch,
+    /// so reconverged lanes drop out.
+    fn set_net(&mut self, net: DpNetId, base_raw: u64, lanes: &[(u32, u64)]) {
+        let n = net.0 as usize;
+        let w = self.net_width[n];
+        self.dp_base[n] = base_raw;
+        let mut mask = 0u64;
+        for &(lane, raw) in lanes {
+            let mut v = raw;
+            if (self.inj_mask_net[n] >> lane) & 1 == 1 {
+                if let Some(list) = self.inj_on_net.get(&(n as u32)) {
+                    for t in list {
+                        if t.lane == lane {
+                            v = t.injection.apply(v);
+                        }
+                    }
+                }
+            }
+            let v = word::truncate(v, w);
+            if v != base_raw {
+                mask |= 1u64 << lane;
+                self.dp_lane[n * MAX_LANES + lane as usize] = v;
+            }
+        }
+        self.dp_mask[n] = mask;
+    }
+
+    fn arch_read(&self, op: &DpOp, arch_of_lane: Option<u32>, addr: u64) -> u64 {
+        match op {
+            DpOp::RegFileRead(a) => {
+                let ArchKind::RegFile {
+                    count, zero_reg, ..
+                } = self.design.dp.arch(*a).kind
+                else {
+                    unreachable!("validated")
+                };
+                let idx = (addr as u32) % count;
+                if zero_reg && idx == 0 {
+                    return 0;
+                }
+                let st = match arch_of_lane {
+                    Some(lane) => &self.arch_lane[a.0 as usize][&lane],
+                    None => &self.archs_base[a.0 as usize],
+                };
+                match st {
+                    ArchState::RegFile { regs } => regs[idx as usize],
+                    ArchState::Mem { .. } => unreachable!("validated"),
+                }
+            }
+            DpOp::MemRead(a) => {
+                let st = match arch_of_lane {
+                    Some(lane) => &self.arch_lane[a.0 as usize][&lane],
+                    None => &self.archs_base[a.0 as usize],
+                };
+                match st {
+                    ArchState::Mem { words } => words.get(&addr).copied().unwrap_or(0),
+                    ArchState::RegFile { .. } => unreachable!("validated"),
+                }
+            }
+            _ => unreachable!("arch_read on non-read op"),
+        }
+    }
+
+    // ---- one packed cycle ------------------------------------------------
+
+    fn step_packed(&mut self) {
+        let design = self.design;
+        let mut buf = [(0u32, 0u64); MAX_LANES];
+
+        // Phase 1: sources — pipe-register outputs, primary inputs, and
+        // write-through of flip-flop-bound ctrl nets (the lazy
+        // `Machine::dp_value` reads, materialized up front).
+        for slot in 0..self.reg_ids.len() {
+            let mid = self.reg_ids[slot];
+            let out = design.dp.module(mid).output.expect("reg has output");
+            let base = self.regs_base[slot];
+            let diverged = self.regs_mask[slot] & self.live;
+            let mut len = 0;
+            let mut rem = self.lanes_of(out, diverged);
+            while rem != 0 {
+                let lane = rem.trailing_zeros();
+                rem &= rem - 1;
+                let raw = if (diverged >> lane) & 1 == 1 {
+                    self.regs_lane[slot * MAX_LANES + lane as usize]
+                } else {
+                    base
+                };
+                buf[len] = (lane, raw);
+                len += 1;
+            }
+            self.set_net(out, base, &buf[..len]);
+        }
+        for k in 0..self.input_ids.len() {
+            let id = self.input_ids[k];
+            let base = self.ext_inputs[id.0 as usize];
+            let mut len = 0;
+            let mut rem = self.lanes_of(id, 0);
+            while rem != 0 {
+                let lane = rem.trailing_zeros();
+                rem &= rem - 1;
+                buf[len] = (lane, base);
+                len += 1;
+            }
+            self.set_net(id, base, &buf[..len]);
+        }
+        for slot in 0..self.ff_ids.len() {
+            let cid = self.ff_ids[slot].0 as usize;
+            if self.dp_of_ctl[cid].is_empty() {
+                continue;
+            }
+            let b = self.ffs_base[slot];
+            let w = self.ffs_word[slot];
+            for k in 0..self.dp_of_ctl[cid].len() {
+                let dpn = self.dp_of_ctl[cid][k];
+                self.write_through(dpn, b, w, &mut buf);
+            }
+        }
+
+        // Phase 2: combinational settle in schedule order.
+        for oi in 0..self.order.len() {
+            match self.order[oi] {
+                Node::Ctl(id) => self.eval_ctl(id, &mut buf),
+                Node::Dp(mid) => self.eval_dp(mid, &mut buf),
+            }
+        }
+
+        // Phase 3: sample observables; newly diverged lanes are detected
+        // and frozen (the packed analogue of the serial early exit).
+        let mut newly = 0u64;
+        for &o in &design.dp.outputs {
+            newly |= self.dp_mask[o.0 as usize];
+        }
+        newly &= self.live;
+        if newly != 0 {
+            self.detected |= newly;
+            self.live &= !newly;
+            for a in 0..self.arch_lane.len() {
+                self.arch_forked[a] &= self.live;
+                let mut rem = newly;
+                while rem != 0 {
+                    let lane = rem.trailing_zeros();
+                    rem &= rem - 1;
+                    self.arch_lane[a].remove(&lane);
+                }
+            }
+            if self.live == 0 {
+                return;
+            }
+        }
+
+        // Phase 4: sequential commit.
+        self.commit_ffs();
+        self.commit_regs();
+        self.commit_arch_writes();
+        std::mem::swap(&mut self.ffs_base, &mut self.next_ffs_base);
+        std::mem::swap(&mut self.ffs_word, &mut self.next_ffs_word);
+    }
+
+    /// Write-through of a controller-bound datapath net from a controller
+    /// (base, word) pair.
+    fn write_through(&mut self, dpn: DpNetId, b: bool, w: u64, buf: &mut [(u32, u64); MAX_LANES]) {
+        let diverged = (w ^ bcast(b)) & self.live;
+        let mut len = 0;
+        let mut rem = self.lanes_of(dpn, diverged);
+        while rem != 0 {
+            let lane = rem.trailing_zeros();
+            rem &= rem - 1;
+            buf[len] = (lane, (w >> lane) & 1);
+            len += 1;
+        }
+        self.set_net(dpn, b as u64, &buf[..len]);
+    }
+
+    fn eval_ctl(&mut self, id: CtlNetId, buf: &mut [(u32, u64); MAX_LANES]) {
+        let design = self.design;
+        let net = design.ctl.net(id);
+        let cid = id.0 as usize;
+        let (b, w) = match net.op {
+            CtlOp::Input(CtlInputKind::Sts) => {
+                let s = self.sts_src[cid] as usize;
+                self.sliced_dp_bit(s, 0)
+            }
+            CtlOp::Input(CtlInputKind::Cpi) => {
+                let (src, bit) = self.cpi_src[cid];
+                if src == u32::MAX {
+                    // Unbound CPIs are external; default to 0.
+                    (false, 0)
+                } else {
+                    self.sliced_dp_bit(src as usize, bit)
+                }
+            }
+            CtlOp::Const(v) => (v, bcast(v)),
+            CtlOp::Not => {
+                let (ib, iw) = self.ctl_get(net.inputs[0]);
+                (!ib, !iw)
+            }
+            CtlOp::Buf => self.ctl_get(net.inputs[0]),
+            CtlOp::And | CtlOp::Nand => {
+                let (mut ab, mut aw) = (true, !0u64);
+                for &i in &net.inputs {
+                    let (ib, iw) = self.ctl_get(i);
+                    ab &= ib;
+                    aw &= iw;
+                }
+                if matches!(net.op, CtlOp::Nand) {
+                    (!ab, !aw)
+                } else {
+                    (ab, aw)
+                }
+            }
+            CtlOp::Or | CtlOp::Nor => {
+                let (mut ab, mut aw) = (false, 0u64);
+                for &i in &net.inputs {
+                    let (ib, iw) = self.ctl_get(i);
+                    ab |= ib;
+                    aw |= iw;
+                }
+                if matches!(net.op, CtlOp::Nor) {
+                    (!ab, !aw)
+                } else {
+                    (ab, aw)
+                }
+            }
+            CtlOp::Xor | CtlOp::Xnor => {
+                let (mut ab, mut aw) = (false, 0u64);
+                for &i in &net.inputs {
+                    let (ib, iw) = self.ctl_get(i);
+                    ab ^= ib;
+                    aw ^= iw;
+                }
+                if matches!(net.op, CtlOp::Xnor) {
+                    (!ab, !aw)
+                } else {
+                    (ab, aw)
+                }
+            }
+            CtlOp::Ff(_) => unreachable!("flip-flops are not scheduled"),
+        };
+        self.ctl_base_v[cid] = b;
+        self.ctl_word[cid] = w;
+        for k in 0..self.dp_of_ctl[cid].len() {
+            let dpn = self.dp_of_ctl[cid][k];
+            self.write_through(dpn, b, w, buf);
+        }
+    }
+
+    /// Bit `bit` of datapath net `n`, as a controller (base, word) pair.
+    fn sliced_dp_bit(&self, n: usize, bit: u32) -> (bool, u64) {
+        let b = (self.dp_base[n] >> bit) & 1 == 1;
+        let mut w = bcast(b);
+        let mut rem = self.dp_mask[n] & self.live;
+        while rem != 0 {
+            let lane = rem.trailing_zeros();
+            rem &= rem - 1;
+            let lb = (self.dp_lane[n * MAX_LANES + lane as usize] >> bit) & 1;
+            w = (w & !(1u64 << lane)) | (lb << lane);
+        }
+        (b, w)
+    }
+
+    fn eval_dp(&mut self, mid: DpModId, buf: &mut [(u32, u64); MAX_LANES]) {
+        let design = self.design;
+        let m = design.dp.module(mid);
+        let Some(out) = m.output else {
+            return; // write sinks commit in phase 4
+        };
+        let out_w = self.net_width[out.0 as usize];
+        match &m.op {
+            DpOp::RegFileRead(a) | DpOp::MemRead(a) => {
+                let addr_net = m.inputs[0];
+                let base_addr = self.dp_base[addr_net.0 as usize];
+                let base_v = word::truncate(self.arch_read(&m.op, None, base_addr), out_w);
+                let diverged = (self.dp_mask[addr_net.0 as usize]
+                    | self.arch_forked[a.0 as usize])
+                    & self.live;
+                let mut len = 0;
+                let mut rem = self.lanes_of(out, diverged);
+                while rem != 0 {
+                    let lane = rem.trailing_zeros();
+                    rem &= rem - 1;
+                    let raw = if (diverged >> lane) & 1 == 1 {
+                        let addr = self.read_dp_lane(addr_net, lane);
+                        let forked = (self.arch_forked[a.0 as usize] >> lane) & 1 == 1;
+                        let v = self.arch_read(&m.op, forked.then_some(lane), addr);
+                        word::truncate(v, out_w)
+                    } else {
+                        base_v
+                    };
+                    buf[len] = (lane, raw);
+                    len += 1;
+                }
+                self.set_net(out, base_v, &buf[..len]);
+            }
+            op => {
+                let mut vals = std::mem::take(&mut self.scratch);
+                // Base evaluation (the good machine's value).
+                vals.clear();
+                vals.extend(m.inputs.iter().map(|&n| self.dp_base[n.0 as usize]));
+                let mut idx = 0usize;
+                for (k, &c) in m.ctrls.iter().enumerate() {
+                    idx |= ((self.dp_base[c.0 as usize] & 1) as usize) << k;
+                }
+                let widths = &self.mod_in_widths[mid.0 as usize];
+                let base_v = word::truncate(op.eval_comb(&vals, widths, idx, out_w), out_w);
+                // Divergence is the union of input and control divergence.
+                let mut diverged = 0u64;
+                for &n in m.inputs.iter().chain(m.ctrls.iter()) {
+                    diverged |= self.dp_mask[n.0 as usize];
+                }
+                diverged &= self.live;
+                let mut len = 0;
+                let mut rem = self.lanes_of(out, diverged);
+                while rem != 0 {
+                    let lane = rem.trailing_zeros();
+                    rem &= rem - 1;
+                    let raw = if (diverged >> lane) & 1 == 1 {
+                        vals.clear();
+                        vals.extend(m.inputs.iter().map(|&n| self.read_dp_lane(n, lane)));
+                        let mut idx = 0usize;
+                        for (k, &c) in m.ctrls.iter().enumerate() {
+                            idx |= ((self.read_dp_lane(c, lane) & 1) as usize) << k;
+                        }
+                        word::truncate(op.eval_comb(&vals, widths, idx, out_w), out_w)
+                    } else {
+                        base_v
+                    };
+                    buf[len] = (lane, raw);
+                    len += 1;
+                }
+                self.scratch = vals;
+                self.set_net(out, base_v, &buf[..len]);
+            }
+        }
+    }
+
+    /// Next-state for all controller flip-flops, fully word-parallel.
+    fn commit_ffs(&mut self) {
+        let design = self.design;
+        for slot in 0..self.ff_ids.len() {
+            let id = self.ff_ids[slot];
+            let net = design.ctl.net(id);
+            let CtlOp::Ff(spec) = net.op else {
+                unreachable!("ff_ids holds flip-flops")
+            };
+            let (d_b, d_w) = self.ctl_get(net.inputs[0]);
+            let mut port = 1;
+            let (en_b, en_w) = if spec.has_enable {
+                let x = self.ctl_get(net.inputs[port]);
+                port += 1;
+                x
+            } else {
+                (true, !0u64)
+            };
+            let (clr_b, clr_w) = if spec.has_clear {
+                self.ctl_get(net.inputs[port])
+            } else {
+                (false, 0u64)
+            };
+            let cur_b = self.ffs_base[slot];
+            let cur_w = self.ffs_word[slot];
+            self.next_ffs_base[slot] = if clr_b {
+                spec.clear_val
+            } else if en_b {
+                d_b
+            } else {
+                cur_b
+            };
+            self.next_ffs_word[slot] =
+                (clr_w & bcast(spec.clear_val)) | (!clr_w & ((en_w & d_w) | (!en_w & cur_w)));
+        }
+    }
+
+    fn commit_regs(&mut self) {
+        let design = self.design;
+        for slot in 0..self.reg_ids.len() {
+            let mid = self.reg_ids[slot];
+            let m = design.dp.module(mid);
+            let DpOp::Reg(spec) = m.op else {
+                unreachable!("reg_ids holds registers")
+            };
+            let d_net = m.inputs[0];
+            let mut port = 0;
+            let en_net = spec.has_enable.then(|| {
+                let n = m.ctrls[port];
+                port += 1;
+                n
+            });
+            let clr_net = spec.has_clear.then(|| m.ctrls[port]);
+            let d_b = self.dp_base[d_net.0 as usize];
+            let en_b = en_net.is_none_or(|n| self.dp_base[n.0 as usize] & 1 == 1);
+            let clr_b = clr_net.is_some_and(|n| self.dp_base[n.0 as usize] & 1 == 1);
+            let cur_b = self.regs_base[slot];
+            // `Machine` commits `clear_val` untruncated; mirror that.
+            let next_b = if clr_b {
+                spec.clear_val
+            } else if en_b {
+                d_b
+            } else {
+                cur_b
+            };
+            let mut diverged = self.dp_mask[d_net.0 as usize] | (self.regs_mask[slot]);
+            if let Some(n) = en_net {
+                diverged |= self.dp_mask[n.0 as usize];
+            }
+            if let Some(n) = clr_net {
+                diverged |= self.dp_mask[n.0 as usize];
+            }
+            diverged &= self.live;
+            let cur_mask = self.regs_mask[slot];
+            let mut nm = 0u64;
+            let mut rem = diverged;
+            while rem != 0 {
+                let lane = rem.trailing_zeros();
+                rem &= rem - 1;
+                let d_l = self.read_dp_lane(d_net, lane);
+                let en_l = en_net.is_none_or(|n| self.read_dp_lane(n, lane) & 1 == 1);
+                let clr_l = clr_net.is_some_and(|n| self.read_dp_lane(n, lane) & 1 == 1);
+                let cur_l = if (cur_mask >> lane) & 1 == 1 {
+                    self.regs_lane[slot * MAX_LANES + lane as usize]
+                } else {
+                    cur_b
+                };
+                let next_l = if clr_l {
+                    spec.clear_val
+                } else if en_l {
+                    d_l
+                } else {
+                    cur_l
+                };
+                if next_l != next_b {
+                    self.regs_lane[slot * MAX_LANES + lane as usize] = next_l;
+                    nm |= 1u64 << lane;
+                }
+            }
+            self.regs_base[slot] = next_b;
+            self.regs_mask[slot] = nm;
+        }
+    }
+
+    /// Architectural writes with copy-on-divergent-write forking: a lane
+    /// whose effective write differs from the base's clones the base state
+    /// (as of just before the base's write this sink) and applies its own
+    /// write to the private copy.
+    fn commit_arch_writes(&mut self) {
+        let design = self.design;
+        for si in 0..self.sink_ids.len() {
+            let mid = self.sink_ids[si];
+            let m = design.dp.module(mid);
+            let we_net = m.ctrls[0];
+            match m.op {
+                DpOp::RegFileWrite(a) => {
+                    let ArchKind::RegFile {
+                        count,
+                        zero_reg,
+                        width,
+                    } = design.dp.arch(a).kind
+                    else {
+                        unreachable!("validated")
+                    };
+                    let ai = a.0 as usize;
+                    let eff = |we: u64, addr: u64, data: u64| -> Option<(u32, u64)> {
+                        if we & 1 != 1 {
+                            return None;
+                        }
+                        let addr = (addr as u32) % count;
+                        if zero_reg && addr == 0 {
+                            return None;
+                        }
+                        Some((addr, word::truncate(data, width)))
+                    };
+                    let base_eff = eff(
+                        self.dp_base[we_net.0 as usize],
+                        self.dp_base[m.inputs[0].0 as usize],
+                        self.dp_base[m.inputs[1].0 as usize],
+                    );
+                    let relevant = (self.dp_mask[we_net.0 as usize]
+                        | self.dp_mask[m.inputs[0].0 as usize]
+                        | self.dp_mask[m.inputs[1].0 as usize]
+                        | self.arch_forked[ai])
+                        & self.live;
+                    let mut rem = relevant;
+                    while rem != 0 {
+                        let lane = rem.trailing_zeros();
+                        rem &= rem - 1;
+                        let lane_eff = eff(
+                            self.read_dp_lane(we_net, lane),
+                            self.read_dp_lane(m.inputs[0], lane),
+                            self.read_dp_lane(m.inputs[1], lane),
+                        );
+                        if (self.arch_forked[ai] >> lane) & 1 != 1 {
+                            if lane_eff == base_eff {
+                                continue;
+                            }
+                            self.arch_lane[ai].insert(lane, self.archs_base[ai].clone());
+                            self.arch_forked[ai] |= 1u64 << lane;
+                        }
+                        if let Some((addr, data)) = lane_eff {
+                            if let Some(ArchState::RegFile { regs }) =
+                                self.arch_lane[ai].get_mut(&lane)
+                            {
+                                regs[addr as usize] = data;
+                            }
+                        }
+                    }
+                    if let Some((addr, data)) = base_eff {
+                        if let ArchState::RegFile { regs } = &mut self.archs_base[ai] {
+                            regs[addr as usize] = data;
+                        }
+                    }
+                }
+                DpOp::MemWrite(a) => {
+                    let width = design.dp.arch(a).width();
+                    let ai = a.0 as usize;
+                    let eff = |we: u64, addr: u64, data: u64, mask: u64| -> Option<(u64, u64, u64)> {
+                        (we & 1 == 1)
+                            .then(|| (addr, data, word::byte_mask_to_bits(mask, width)))
+                    };
+                    let base_eff = eff(
+                        self.dp_base[we_net.0 as usize],
+                        self.dp_base[m.inputs[0].0 as usize],
+                        self.dp_base[m.inputs[1].0 as usize],
+                        self.dp_base[m.inputs[2].0 as usize],
+                    );
+                    let relevant = (self.dp_mask[we_net.0 as usize]
+                        | self.dp_mask[m.inputs[0].0 as usize]
+                        | self.dp_mask[m.inputs[1].0 as usize]
+                        | self.dp_mask[m.inputs[2].0 as usize]
+                        | self.arch_forked[ai])
+                        & self.live;
+                    let mem_write = |st: &mut ArchState, addr: u64, data: u64, bits: u64| {
+                        if let ArchState::Mem { words } = st {
+                            let old = words.get(&addr).copied().unwrap_or(0);
+                            words.insert(addr, (old & !bits) | (data & bits));
+                        }
+                    };
+                    let mut rem = relevant;
+                    while rem != 0 {
+                        let lane = rem.trailing_zeros();
+                        rem &= rem - 1;
+                        let lane_eff = eff(
+                            self.read_dp_lane(we_net, lane),
+                            self.read_dp_lane(m.inputs[0], lane),
+                            self.read_dp_lane(m.inputs[1], lane),
+                            self.read_dp_lane(m.inputs[2], lane),
+                        );
+                        if (self.arch_forked[ai] >> lane) & 1 != 1 {
+                            if lane_eff == base_eff {
+                                continue;
+                            }
+                            self.arch_lane[ai].insert(lane, self.archs_base[ai].clone());
+                            self.arch_forked[ai] |= 1u64 << lane;
+                        }
+                        if let Some((addr, data, bits)) = lane_eff {
+                            if let Some(st) = self.arch_lane[ai].get_mut(&lane) {
+                                mem_write(st, addr, data, bits);
+                            }
+                        }
+                    }
+                    if let Some((addr, data, bits)) = base_eff {
+                        mem_write(&mut self.archs_base[ai], addr, data, bits);
+                    }
+                }
+                _ => unreachable!("sink_ids holds write ports"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dual::BatchScreen;
+    use crate::inject::Polarity;
+    use hltg_netlist::ctl::CtlBuilder;
+    use hltg_netlist::dp::{DpBuilder, RegSpec};
+
+    /// The simple 2-stage pipe of the `BatchScreen` tests: packed verdicts
+    /// over the full (bit, polarity) error set of the adder bus must equal
+    /// the serial screen's, from one pass.
+    #[test]
+    fn packed_matches_batch_on_adder_pipe() {
+        let mut dpb = DpBuilder::new("dp");
+        let a = dpb.input("a", 8);
+        let b2 = dpb.input("b", 8);
+        let s = dpb.add("s", a, b2);
+        let r = dpb.reg("r", s);
+        dpb.mark_output(r);
+        let dp = dpb.finish().unwrap();
+        let ctl = CtlBuilder::new("ctl").finish().unwrap();
+        let design = hltg_netlist::Design::new("t", dp, ctl);
+
+        let preload = |m: &mut Machine<'_>| {
+            m.set_input(a, 0x55);
+            m.set_input(b2, 0);
+        };
+        let schedule = Schedule::build(&design).unwrap();
+        let mut batch = BatchScreen::new(&design, schedule.clone(), preload, 6);
+        let mut packed = PackedScreen::new(&design, schedule, preload, 6);
+
+        let mut injs = Vec::new();
+        for bit in 0..8 {
+            for polarity in [Polarity::StuckAt0, Polarity::StuckAt1] {
+                injs.push(Injection {
+                    net: s,
+                    bit,
+                    polarity,
+                });
+            }
+        }
+        assert_eq!(packed.screen(&injs), batch.detects_all(&injs));
+    }
+
+    /// A pipeline with cross-domain control (status -> gate -> flip-flop ->
+    /// control), an enable register, a register file and a memory: packed
+    /// verdicts for *every* (net, bit, polarity) error — including ctrl and
+    /// input nets — must equal the serial screen's, across repeated passes
+    /// of the same `PackedScreen`.
+    #[test]
+    fn packed_matches_batch_exhaustively_on_ctl_arch_pipe() {
+        let mut dpb = DpBuilder::new("dp");
+        let a = dpb.input("a", 8);
+        let b2 = dpb.input("b", 8);
+        let sum = dpb.add("sum", a, b2);
+        let eqp = dpb.predicate("eqp", DpOp::Eq, sum, b2);
+        dpb.mark_status(eqp);
+        let sel = dpb.ctrl("sel");
+        let we = dpb.ctrl("we");
+        let enr = dpb.ctrl("enr");
+        let y = dpb.mux("y", &[sel], &[sum, b2]);
+        let r = dpb.reg_spec(
+            "r",
+            y,
+            RegSpec {
+                init: 0,
+                has_enable: true,
+                has_clear: false,
+                clear_val: 0,
+            },
+            Some(enr),
+            None,
+        );
+        let rf = dpb.arch_regfile("rf", 8, 8, true);
+        dpb.rf_write("wrf", rf, a, r, we);
+        let rd = dpb.rf_read("rrf", rf, b2);
+        let mem = dpb.arch_mem("m", 8);
+        let kmask = dpb.constant("kmask", 1, 1);
+        dpb.mem_write("wm", mem, b2, rd, kmask, we);
+        let mr = dpb.mem_read("rm", mem, a);
+        dpb.mark_output(r);
+        dpb.mark_output(rd);
+        dpb.mark_output(mr);
+        let dp = dpb.finish().unwrap();
+
+        let mut cb = CtlBuilder::new("ctl");
+        let zin = cb.sts("zin");
+        let f1 = cb.ff("f1", zin, false);
+        let nsel = cb.not(zin);
+        cb.rename(nsel, "nsel");
+        cb.mark_ctrl_output(nsel);
+        cb.mark_ctrl_output(f1);
+        let ens = cb.xor(&[zin, f1]);
+        cb.rename(ens, "ens");
+        cb.mark_ctrl_output(ens);
+        let ctl = cb.finish().unwrap();
+
+        let mut design = hltg_netlist::Design::new("t", dp, ctl);
+        design.bind_ctrl("nsel", "sel").unwrap();
+        design.bind_ctrl("f1", "we").unwrap();
+        design.bind_ctrl("ens", "enr").unwrap();
+        design.bind_sts("eqp.y", "zin").unwrap();
+        design.validate().unwrap();
+
+        let (rf_id, mem_id) = (rf, mem);
+        let preload = move |m: &mut Machine<'_>| {
+            m.set_input(a, 0x2b);
+            m.set_input(b2, 0x2b); // sum == 0x56 != b except when faults flip it
+            m.set_reg(rf_id, 3, 0x77);
+            m.preload_mem(mem_id, 0x2b, 0xab);
+        };
+        let schedule = Schedule::build(&design).unwrap();
+        let mut batch = BatchScreen::new(&design, schedule.clone(), preload, 10);
+        let mut packed = PackedScreen::new(&design, schedule, preload, 10);
+
+        let mut injs = Vec::new();
+        for (id, net) in design.dp.iter_nets() {
+            for bit in 0..net.width {
+                for polarity in [Polarity::StuckAt0, Polarity::StuckAt1] {
+                    injs.push(Injection {
+                        net: id,
+                        bit,
+                        polarity,
+                    });
+                }
+            }
+        }
+        assert!(injs.len() > MAX_LANES, "exercises multiple packed passes");
+        for chunk in injs.chunks(MAX_LANES) {
+            assert!(chunk.iter().all(|&i| packed.can_pack(i)));
+            let got = packed.screen(chunk);
+            let want = batch.detects_all(chunk);
+            assert_eq!(
+                got, want,
+                "packed {got:#018x} != serial {want:#018x} for chunk starting {:?}",
+                chunk[0]
+            );
+        }
+    }
+
+    /// Out-of-bus stuck lines are rejected by the packing predicate.
+    #[test]
+    fn can_pack_rejects_out_of_range_lines() {
+        let mut dpb = DpBuilder::new("dp");
+        let a = dpb.input("a", 8);
+        let r = dpb.reg("r", a);
+        dpb.mark_output(r);
+        let dp = dpb.finish().unwrap();
+        let ctl = CtlBuilder::new("ctl").finish().unwrap();
+        let design = hltg_netlist::Design::new("t", dp, ctl);
+        let schedule = Schedule::build(&design).unwrap();
+        let packed = PackedScreen::new(&design, schedule, |_| {}, 4);
+        let ok = Injection {
+            net: a,
+            bit: 7,
+            polarity: Polarity::StuckAt1,
+        };
+        assert!(packed.can_pack(ok));
+        assert!(!packed.can_pack(Injection { bit: 8, ..ok }));
+        assert!(!packed.can_pack(Injection { bit: 64, ..ok }));
+    }
+}

@@ -77,6 +77,28 @@ cmp -s target/a_errors target/b_errors || {
     exit 1
 }
 
+echo "== packed-screen smoke (fault-parallel vs serial screening)"
+# The packed (fault-parallel) screen batches up to 64 candidate errors
+# into one bit-sliced pass; verdicts must be bit-identical to the serial
+# screen, so the deterministic part of the report must match byte for
+# byte with packing on (default) and off.
+./target/release/table1 16 --error-sim --threads 2 \
+    --json > target/packed_on_smoke.json
+./target/release/table1 16 --error-sim --threads 2 --no-packed-screen \
+    --json > target/packed_off_smoke.json
+a="$(det_of target/packed_on_smoke.json)"
+b="$(det_of target/packed_off_smoke.json)"
+[ -n "$a" ] && [ "$a" = "$b" ] || {
+    echo "packed screening changed the deterministic report:" >&2
+    echo "  on : $a" >&2
+    echo "  off: $b" >&2
+    exit 1
+}
+# The default run actually packed lanes, and the opt-out kept them off.
+grep -q '"packed_screens": [1-9]' target/packed_on_smoke.json
+grep -q '"packed_lanes": [1-9]' target/packed_on_smoke.json
+grep -q '"packed_screens": 0' target/packed_off_smoke.json
+
 echo "== backend smoke (4-error campaign on every registered design)"
 # Every backend in the hltg_dlx registry must run a small campaign end
 # to end through the same generic driver, and `--design dlx` must be the

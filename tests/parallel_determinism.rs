@@ -129,6 +129,91 @@ fn caches_do_not_change_the_deterministic_report() {
     }
 }
 
+/// The fault-parallel (packed) screen must be invisible in the
+/// deterministic report: packed and serial screening agree byte for byte
+/// at every thread count, with plain error simulation and with class
+/// collapsing over a dense `AllBits` population (the case with the most
+/// packed lanes per pass).
+#[test]
+fn packed_screen_does_not_change_the_deterministic_report() {
+    let dlx = DlxModel::new();
+    let config_at = |num_threads, packed: bool, collapse: bool| CampaignConfig {
+        policy: if collapse {
+            EnumPolicy::AllBits
+        } else {
+            EnumPolicy::RepresentativePerBus
+        },
+        limit: Some(if collapse { 12 } else { 16 }),
+        error_simulation: !collapse,
+        collapse,
+        packed_screen: packed,
+        num_threads,
+        ..CampaignConfig::default()
+    };
+    for collapse in [false, true] {
+        let reference = Campaign::run(&dlx, &config_at(1, false, collapse), RunOptions::default())
+            .report
+            .to_json_deterministic();
+        for threads in [1, 2, 8] {
+            for packed in [false, true] {
+                let got = Campaign::run(
+                    &dlx,
+                    &config_at(threads, packed, collapse),
+                    RunOptions::default(),
+                )
+                .report
+                .to_json_deterministic();
+                assert_eq!(
+                    got, reference,
+                    "deterministic report diverges at num_threads={threads} \
+                     packed_screen={packed} collapse={collapse}"
+                );
+            }
+        }
+    }
+}
+
+/// Packed-vs-serial equivalence holds under stress too: chaos-injected
+/// panics in the generator plus escalated retry rounds must leave the
+/// deterministic report byte-identical with the packed screen on or off,
+/// at any thread count.
+#[test]
+fn packed_screen_is_invariant_under_chaos_and_retries() {
+    use hltg::core::{ChaosConfig, RetryPolicy};
+    let dlx = DlxModel::new();
+    let config_at = |num_threads, packed: bool| CampaignConfig {
+        limit: Some(12),
+        error_simulation: true,
+        packed_screen: packed,
+        num_threads,
+        retry: RetryPolicy {
+            rounds: 1,
+            escalate: 2,
+        },
+        chaos: Some(ChaosConfig {
+            seed: 7,
+            panic_permille: 200,
+            ..ChaosConfig::default()
+        }),
+        ..CampaignConfig::default()
+    };
+    let reference = Campaign::run(&dlx, &config_at(1, false), RunOptions::default())
+        .report
+        .to_json_deterministic();
+    for threads in [1, 2, 8] {
+        for packed in [false, true] {
+            let got = Campaign::run(&dlx, &config_at(threads, packed), RunOptions::default())
+                .report
+                .to_json_deterministic();
+            assert_eq!(
+                got, reference,
+                "chaos/retry deterministic report diverges at \
+                 num_threads={threads} packed_screen={packed}"
+            );
+        }
+    }
+}
+
 /// `num_threads: 0` is treated as 1 rather than panicking.
 #[test]
 fn zero_threads_falls_back_to_serial() {
