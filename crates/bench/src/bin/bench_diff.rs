@@ -1,0 +1,214 @@
+//! Perf-regression gate: compares fresh `BENCH_<set>.json` reports (as
+//! written by the `bench` runner at the repo root) against checked-in
+//! baselines and exits non-zero when any benchmark regressed past its
+//! threshold — the perf gate of `scripts/check.sh`.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_diff [--baselines DIR] [--fresh DIR] [--threshold PCT] [--sets a,b,...]
+//! bench_diff --self-test
+//! ```
+//!
+//! A benchmark regresses when its fresh `median_ns` exceeds the baseline
+//! by more than `--threshold` percent (default 50 — CI machines are
+//! noisy; the gate is for step-change regressions, not single-digit
+//! drift), or when a baseline benchmark disappears from the fresh
+//! report. New benchmarks absent from the baseline pass with a note
+//! (refresh the baseline to start tracking them). Missing fresh report
+//! files fail: the gate must never silently skip a whole set.
+//!
+//! `--self-test` proves the gate can fail: it synthesizes a 2× slowdown
+//! of every baseline in memory and asserts the comparison rejects it
+//! while an identical copy passes. Runs against the real baselines, so
+//! it also validates their schema.
+
+use hltg_core::jsonv::{self, Value};
+use std::path::{Path, PathBuf};
+
+/// The benchmark sets the runner emits; one `BENCH_<set>.json` each.
+const SETS: [&str; 5] = ["cache", "campaign", "dprelax", "searchspace", "sim"];
+
+#[derive(Debug, Clone, PartialEq)]
+struct Bench {
+    name: String,
+    median_ns: f64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let value_of = |name: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let baselines = PathBuf::from(
+        value_of("--baselines").unwrap_or_else(|| "crates/bench/baselines".to_string()),
+    );
+    let fresh = PathBuf::from(value_of("--fresh").unwrap_or_else(|| ".".to_string()));
+    let threshold_pct: f64 = value_of("--threshold")
+        .map(|v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("--threshold: cannot parse {v:?}");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(50.0);
+    let sets: Vec<String> = value_of("--sets")
+        .map(|v| v.split(',').map(str::to_string).collect())
+        .unwrap_or_else(|| SETS.iter().map(|s| s.to_string()).collect());
+
+    if args.iter().any(|a| a == "--self-test") {
+        self_test(&baselines, &sets, threshold_pct);
+        return;
+    }
+
+    let mut regressions = 0usize;
+    let mut compared = 0usize;
+    for set in &sets {
+        let base = match load_set(&baselines, set) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("baseline {set}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let new = match load_set(&fresh, set) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("fresh {set}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let (r, c) = diff_set(set, &base, &new, threshold_pct);
+        regressions += r;
+        compared += c;
+    }
+    if regressions > 0 {
+        eprintln!(
+            "FAIL: {regressions} of {compared} benchmarks regressed past {threshold_pct:.0}%"
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "ok: {compared} benchmarks within {threshold_pct:.0}% of baseline ({} sets)",
+        sets.len()
+    );
+}
+
+/// Parses one `BENCH_<set>.json` into its benchmark list.
+fn load_set(dir: &Path, set: &str) -> Result<Vec<Bench>, String> {
+    let path = dir.join(format!("BENCH_{set}.json"));
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let v = jsonv::parse(text.trim()).map_err(|e| format!("{}: {e}", path.display()))?;
+    if v.get_str("bench_set") != Some(set) {
+        return Err(format!(
+            "{}: bench_set is {:?}, expected {set:?}",
+            path.display(),
+            v.get_str("bench_set")
+        ));
+    }
+    let benches = v
+        .get("benches")
+        .and_then(Value::as_arr)
+        .ok_or_else(|| format!("{}: missing \"benches\" array", path.display()))?;
+    let mut out = Vec::new();
+    for b in benches {
+        let name = b
+            .get_str("name")
+            .ok_or_else(|| format!("{}: bench missing \"name\"", path.display()))?;
+        let median_ns = b
+            .get_f64("median_ns")
+            .ok_or_else(|| format!("{}: {name}: missing \"median_ns\"", path.display()))?;
+        out.push(Bench {
+            name: name.to_string(),
+            median_ns,
+        });
+    }
+    if out.is_empty() {
+        return Err(format!("{}: empty benchmark list", path.display()));
+    }
+    Ok(out)
+}
+
+/// Compares one set; prints per-benchmark verdicts and returns
+/// `(regressions, compared)`.
+fn diff_set(set: &str, base: &[Bench], new: &[Bench], threshold_pct: f64) -> (usize, usize) {
+    let mut regressions = 0;
+    let mut compared = 0;
+    for b in base {
+        let Some(n) = new.iter().find(|n| n.name == b.name) else {
+            eprintln!("  {set}/{}: REGRESSED (missing from fresh report)", b.name);
+            regressions += 1;
+            continue;
+        };
+        compared += 1;
+        let ratio = if b.median_ns > 0.0 {
+            n.median_ns / b.median_ns
+        } else {
+            1.0
+        };
+        let delta_pct = 100.0 * (ratio - 1.0);
+        if delta_pct > threshold_pct {
+            eprintln!(
+                "  {set}/{}: REGRESSED median {:.0}ns -> {:.0}ns ({delta_pct:+.1}%)",
+                b.name, b.median_ns, n.median_ns
+            );
+            regressions += 1;
+        } else {
+            println!(
+                "  {set}/{}: ok median {:.0}ns -> {:.0}ns ({delta_pct:+.1}%)",
+                b.name, b.median_ns, n.median_ns
+            );
+        }
+    }
+    for n in new {
+        if !base.iter().any(|b| b.name == n.name) {
+            println!(
+                "  {set}/{}: new benchmark (no baseline; refresh to track)",
+                n.name
+            );
+        }
+    }
+    (regressions, compared)
+}
+
+/// Proves the gate trips: every baseline passes against itself and fails
+/// against a synthetic 2× slowdown of itself.
+fn self_test(baselines: &Path, sets: &[String], threshold_pct: f64) {
+    for set in sets {
+        let base = match load_set(baselines, set) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("self-test baseline {set}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let (identical, n) = diff_set(set, &base, &base, threshold_pct);
+        if identical != 0 || n != base.len() {
+            eprintln!("self-test FAIL: identical {set} report flagged {identical} regressions");
+            std::process::exit(1);
+        }
+        let slowed: Vec<Bench> = base
+            .iter()
+            .map(|b| Bench {
+                name: b.name.clone(),
+                median_ns: b.median_ns * 2.0,
+            })
+            .collect();
+        let (tripped, _) = diff_set(set, &base, &slowed, threshold_pct);
+        if tripped != base.len() {
+            eprintln!(
+                "self-test FAIL: 2x slowdown of {set} tripped only {tripped}/{} benchmarks",
+                base.len()
+            );
+            std::process::exit(1);
+        }
+    }
+    println!(
+        "ok: self-test passed for {} sets (identical reports pass, 2x slowdowns fail)",
+        sets.len()
+    );
+}

@@ -7,6 +7,7 @@
 //!
 //! Usage: `cargo run --release -p hltg-bench --bin ext_error_models
 //!         [--design NAME] [--json] [--trace-out PATH] [--progress]
+//!         [--metrics-out PATH]
 //!         [--resume PATH] [--no-sim-cache] [--no-packed-screen]`
 //!
 //! `--design NAME` selects the processor backend (default `dlx`; see
@@ -18,6 +19,9 @@
 //! `"cross_coverage"`. `--trace-out PATH` writes the generating campaign's
 //! structured JSONL trace (per-error spans, per-phase histograms) to
 //! `PATH`; `--progress` prints a periodic stderr progress line.
+//! `--metrics-out PATH` writes the generating campaign's deterministic
+//! flight-recorder metrics JSONL (see DESIGN.md §Observability v2) for
+//! `campaign_report`.
 //! `--resume PATH` checkpoints the generating campaign to a JSONL file
 //! and, on re-run, skips the errors the file already holds (see DESIGN.md
 //! §Resilience) — the cross-coverage grading then reuses the restored
@@ -38,6 +42,12 @@ fn main() {
     let trace_out: Option<String> = trace_pos.and_then(|i| args.get(i + 1)).cloned();
     if trace_pos.is_some() && trace_out.is_none() {
         eprintln!("--trace-out requires a path argument");
+        std::process::exit(2);
+    }
+    let metrics_pos = args.iter().position(|a| a == "--metrics-out");
+    let metrics_out: Option<String> = metrics_pos.and_then(|i| args.get(i + 1)).cloned();
+    if metrics_pos.is_some() && metrics_out.is_none() {
+        eprintln!("--metrics-out requires a path argument");
         std::process::exit(2);
     }
     let resume_pos = args.iter().position(|a| a == "--resume");
@@ -80,7 +90,8 @@ fn main() {
         RunOptions {
             trace: trace_out.is_some(),
             progress,
-            probe: None,
+            metrics: metrics_out.is_some().then_some(8),
+            ..RunOptions::default()
         },
     );
     let (campaign, report) = (run.campaign, run.report);
@@ -90,6 +101,13 @@ fn main() {
             std::process::exit(1);
         }
         eprintln!("wrote {} spans to {path}", trace.spans.len());
+    }
+    if let (Some(path), Some(metrics)) = (&metrics_out, &run.metrics) {
+        if let Err(e) = std::fs::write(path, metrics.to_jsonl_deterministic()) {
+            eprintln!("failed to write metrics to {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {} metric records to {path}", metrics.recs.len());
     }
     // Distinct generated tests only.
     let tests: Vec<_> = campaign

@@ -6,6 +6,7 @@
 //!         [--design NAME] [--error-sim] [--no-collapse] [--no-sim-cache]
 //!         [--no-packed-screen]
 //!         [--threads N] [--json] [--trace-out PATH] [--progress]
+//!         [--metrics-out PATH] [--metrics-every N] [--metrics-full]
 //!         [--resume PATH] [--retry N] [--max-steps N]
 //!         [--soft-deadline-ms MS] [--chaos-panic PERMILLE]
 //!         [--chaos-seed S]`
@@ -21,7 +22,17 @@
 //! of the human-readable table. `--trace-out PATH` writes the structured
 //! JSONL trace (per-error spans, per-phase histograms; see DESIGN.md
 //! §Observability) to `PATH`, and `--progress` prints a periodic stderr
-//! progress line with per-phase p50/p99 latency and an ETA.
+//! progress line with per-phase p50/p99 latency, an errors/sec rate and
+//! an ETA.
+//!
+//! `--metrics-out PATH` writes the campaign flight-recorder timeline
+//! (see DESIGN.md §Observability v2): per-error metric records, periodic
+//! cumulative snapshots (every `--metrics-every N` completions, default
+//! 8), the stage × error-class detection matrix and the
+//! detection-latency histogram, as JSONL for `campaign_report`. The
+//! default stream is deterministic — byte-identical for any `--threads`
+//! value; `--metrics-full` adds the wall-clock and live counter-sample
+//! fields (which race with worker scheduling).
 //!
 //! Resilience flags (see DESIGN.md §Resilience): `--resume PATH`
 //! checkpoints every finished error to a JSONL file and skips errors the
@@ -61,6 +72,7 @@ fn main() {
     let no_packed_screen = args.iter().any(|a| a == "--no-packed-screen");
     let json = args.iter().any(|a| a == "--json");
     let progress = args.iter().any(|a| a == "--progress");
+    let metrics_full = args.iter().any(|a| a == "--metrics-full");
     // Value-carrying flags: record the value's position so the positional
     // limit scan below can skip it.
     let mut value_positions: Vec<usize> = Vec::new();
@@ -79,6 +91,9 @@ fn main() {
     let num_threads: Option<usize> =
         value_of("--threads").map(|v| parse_or_exit("--threads", &v));
     let trace_out: Option<String> = value_of("--trace-out");
+    let metrics_out: Option<String> = value_of("--metrics-out");
+    let metrics_every: Option<usize> =
+        value_of("--metrics-every").map(|v| parse_or_exit("--metrics-every", &v));
     let resume: Option<String> = value_of("--resume");
     let retry: Option<u32> = value_of("--retry").map(|v| parse_or_exit("--retry", &v));
     let max_steps: Option<u64> =
@@ -150,7 +165,10 @@ fn main() {
     let opts = RunOptions {
         trace: trace_out.is_some(),
         progress,
-        probe: None,
+        metrics: metrics_out
+            .is_some()
+            .then(|| metrics_every.unwrap_or(8).max(1)),
+        ..RunOptions::default()
     };
     let run = Campaign::run(model.as_ref(), &config, opts);
     let (campaign, report) = (run.campaign, run.report);
@@ -162,6 +180,22 @@ fn main() {
         eprintln!(
             "wrote {} spans to {path}",
             trace.spans.len()
+        );
+    }
+    if let (Some(path), Some(metrics)) = (&metrics_out, &run.metrics) {
+        let jsonl = if metrics_full {
+            metrics.to_jsonl()
+        } else {
+            metrics.to_jsonl_deterministic()
+        };
+        if let Err(e) = std::fs::write(path, jsonl) {
+            eprintln!("failed to write metrics to {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "wrote {} metric records ({} snapshots) to {path}",
+            metrics.recs.len(),
+            metrics.snaps.len()
         );
     }
 

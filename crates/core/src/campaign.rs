@@ -3,6 +3,7 @@
 
 use crate::chaos::{ChaosConfig, ChaosProbe};
 use crate::checkpoint::{CheckpointEntry, CheckpointLog};
+use crate::flight::{FlightRecorder, MetricsTimeline};
 use crate::instrument::{json_f64, Counter, CounterSnapshot, Counters, MultiProbe, Probe};
 use crate::tg::{panic_payload, AbortReason, Outcome, TestCase, TestGenerator, TgConfig};
 use crate::trace::{TraceSnapshot, Tracer};
@@ -516,6 +517,10 @@ pub struct RunOptions<'p> {
     /// An additional probe composed with the built-in counters (and the
     /// tracer, when `trace` or `progress` is on).
     pub probe: Option<&'p dyn Probe>,
+    /// Record a deterministic metrics timeline (returned in
+    /// [`CampaignRun::metrics`]), sampling a cumulative snapshot every
+    /// `N` completed errors.
+    pub metrics: Option<usize>,
 }
 
 impl fmt::Debug for RunOptions<'_> {
@@ -524,6 +529,7 @@ impl fmt::Debug for RunOptions<'_> {
             .field("trace", &self.trace)
             .field("progress", &self.progress)
             .field("probe", &self.probe.map(|_| "<dyn Probe>"))
+            .field("metrics", &self.metrics)
             .finish()
     }
 }
@@ -538,6 +544,9 @@ pub struct CampaignRun {
     /// The merged deterministic trace, when [`RunOptions::trace`] was
     /// set.
     pub trace: Option<TraceSnapshot>,
+    /// The merged deterministic metrics timeline, when
+    /// [`RunOptions::metrics`] was set.
+    pub metrics: Option<MetricsTimeline>,
 }
 
 /// Phase-1 result for one error, produced by a worker thread.
@@ -572,17 +581,30 @@ impl Campaign {
     ) -> CampaignRun {
         let counters = Counters::new();
         let t0 = Instant::now();
-        let (campaign, trace) = if opts.trace || opts.progress {
-            let tracer = Tracer::new();
-            let mut list: Vec<&dyn Probe> = vec![&counters, &tracer];
+        let tracer = (opts.trace || opts.progress).then(Tracer::new);
+        let recorder = opts.metrics.map(FlightRecorder::new);
+        let campaign = {
+            let mut list: Vec<&dyn Probe> = vec![&counters];
+            if let Some(t) = &tracer {
+                list.push(t);
+            }
+            if let Some(r) = &recorder {
+                list.push(r);
+            }
             if let Some(p) = opts.probe {
                 list.push(p);
             }
-            let probe = MultiProbe::new(list);
-            let campaign = if opts.progress {
+            let multi;
+            let probe: &dyn Probe = if list.len() == 1 {
+                &counters
+            } else {
+                multi = MultiProbe::new(list);
+                &multi
+            };
+            if let (true, Some(tracer)) = (opts.progress, tracer.as_ref()) {
                 let stop = AtomicBool::new(false);
                 std::thread::scope(|s| {
-                    let (stop, tracer) = (&stop, &tracer);
+                    let stop = &stop;
                     s.spawn(move || {
                         let mut ticks = 0u32;
                         while !stop.load(Ordering::Relaxed) {
@@ -593,31 +615,31 @@ impl Campaign {
                             }
                         }
                     });
-                    let campaign = Self::run_chaos_wrapped(model, config, &probe);
+                    let campaign = Self::run_chaos_wrapped(model, config, probe);
                     stop.store(true, Ordering::Relaxed);
                     campaign
                 })
             } else {
-                Self::run_chaos_wrapped(model, config, &probe)
-            };
-            if opts.progress {
+                Self::run_chaos_wrapped(model, config, probe)
+            }
+        };
+        if opts.progress {
+            if let Some(tracer) = &tracer {
                 eprintln!("{}", tracer.progress_line());
             }
-            // Mirror the deterministic record merge: keep exactly the spans
-            // of errors that sequential semantics generated, in order.
+        }
+        // Mirror the deterministic record merge: keep exactly the spans
+        // of errors that sequential semantics generated, in order.
+        let trace = tracer.and_then(|tracer| {
             let kept = campaign
                 .records
                 .iter()
                 .filter(|r| !r.by_simulation)
                 .map(|r| u64::from(r.error.id.0));
             let snapshot = tracer.finish(kept);
-            (campaign, opts.trace.then_some(snapshot))
-        } else if let Some(p) = opts.probe {
-            let probe = MultiProbe::new(vec![&counters, p]);
-            (Self::run_chaos_wrapped(model, config, &probe), None)
-        } else {
-            (Self::run_chaos_wrapped(model, config, &counters), None)
-        };
+            opts.trace.then_some(snapshot)
+        });
+        let metrics = recorder.map(|r| r.finish(&campaign.records, model.name()));
         let report = CampaignReport {
             stats: campaign.stats(),
             counters: counters.snapshot(),
@@ -628,6 +650,7 @@ impl Campaign {
             campaign,
             report,
             trace,
+            metrics,
         }
     }
 
@@ -655,7 +678,7 @@ impl Campaign {
             RunOptions {
                 trace: opts.trace,
                 progress: opts.progress,
-                probe: None,
+                ..RunOptions::default()
             },
         )
     }
@@ -782,7 +805,7 @@ impl Campaign {
     #[must_use]
     pub fn checkpoint_fingerprint(model: &dyn ProcessorModel, config: &CampaignConfig) -> String {
         format!(
-            "v4 design={} width={} stages={:?} policy={:?} sim={} collapse={} \
+            "v5 design={} width={} stages={:?} policy={:?} sim={} collapse={} \
              simcache={} packed={} tg={:?} retry={}x{} chaos={:?}",
             model.name(),
             model.data_width(),
@@ -800,14 +823,20 @@ impl Campaign {
     }
 
     /// Generates a test for one error with worker-level isolation: a
-    /// checkpoint hit skips generation entirely; a panic that escapes the
+    /// checkpoint hit skips generation entirely (replaying the entry's
+    /// persisted counter delta into `probe`, so a resumed campaign's
+    /// counters match the uninterrupted run); a panic that escapes the
     /// generator's own per-phase isolation (e.g. from a probe hook) is
     /// caught here and recorded as an aborted outcome, so the worker and
     /// its pool survive. Returns the outcome and the generation seconds
     /// (the value persisted to the checkpoint, so a resumed record equals
-    /// the original byte for byte).
+    /// the original byte for byte). `capture` is the per-worker counter
+    /// store composed into `tg`'s probe chain; the difference across one
+    /// generation is the delta persisted with the entry.
     fn generate_checkpointed(
         tg: &mut TestGenerator<'_>,
+        capture: &Counters,
+        probe: &dyn Probe,
         error: &BusSslError,
         ckpt: Option<&CheckpointLog>,
         round: u32,
@@ -815,8 +844,10 @@ impl Campaign {
     ) -> (Outcome, f64) {
         let id = u64::from(error.id.0);
         if let Some(entry) = ckpt.and_then(|log| log.lookup(id, round)) {
+            entry.counters.replay(probe);
             return (entry.outcome.clone(), entry.seconds);
         }
+        let before = capture.raw();
         let t0 = Instant::now();
         let outcome =
             match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| tg.generate(error))) {
@@ -838,10 +869,19 @@ impl Campaign {
                     outcome: outcome.clone(),
                     redundant,
                     seconds,
+                    counters: capture.raw().minus(&before),
                 },
             );
         }
         (outcome, seconds)
+    }
+
+    /// The per-worker counter capture composed in front of the campaign
+    /// probe for one [`TestGenerator`]: everything the generator reports
+    /// flows through both, and diffing `capture` around one generation
+    /// yields the per-error counter delta the checkpoint persists.
+    fn capture_probe<'a>(capture: &'a Counters, probe: &'a dyn Probe) -> MultiProbe<'a> {
+        MultiProbe::new(vec![capture, probe])
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -854,7 +894,9 @@ impl Campaign {
         schedule: &Schedule,
         ckpt: Option<&CheckpointLog>,
     ) -> Campaign {
-        let mut tg = TestGenerator::with_probe(model, config.tg.clone(), probe);
+        let capture = Counters::new();
+        let tg_probe = Self::capture_probe(&capture, probe);
+        let mut tg = TestGenerator::with_probe(model, config.tg.clone(), &tg_probe);
         let mut records: Vec<Option<ErrorRecord>> = vec![None; errors.len()];
         for i in 0..errors.len() {
             if records[i].is_some() {
@@ -863,11 +905,15 @@ impl Campaign {
             let error = errors[i].clone();
             let id = u64::from(error.id.0);
             let (redundant, outcome, seconds) = match ckpt.and_then(|log| log.lookup(id, 0)) {
-                Some(entry) => (entry.redundant, entry.outcome.clone(), entry.seconds),
+                Some(entry) => {
+                    entry.counters.replay(probe);
+                    (entry.redundant, entry.outcome.clone(), entry.seconds)
+                }
                 None => {
                     let redundant = is_structurally_redundant(model.design(), &error);
-                    let (outcome, seconds) =
-                        Self::generate_checkpointed(&mut tg, &error, ckpt, 0, redundant);
+                    let (outcome, seconds) = Self::generate_checkpointed(
+                        &mut tg, &capture, probe, &error, ckpt, 0, redundant,
+                    );
                     (redundant, outcome, seconds)
                 }
             };
@@ -954,7 +1000,9 @@ impl Campaign {
                 let tx = tx.clone();
                 let (cursor, pool) = (&cursor, &pool);
                 s.spawn(move || {
-                    let mut tg = TestGenerator::with_probe(model, config.tg.clone(), probe);
+                    let capture = Counters::new();
+                    let tg_probe = Self::capture_probe(&capture, probe);
+                    let mut tg = TestGenerator::with_probe(model, config.tg.clone(), &tg_probe);
                     // Per-worker view of the shared pool: the pool is
                     // append-only, so entries past `screens.len()` are new.
                     // Each entry carries this worker's lazily built
@@ -1010,8 +1058,9 @@ impl Campaign {
                                 continue;
                             }
                         }
-                        let (outcome, seconds) =
-                            Self::generate_checkpointed(&mut tg, error, ckpt, 0, redundant);
+                        let (outcome, seconds) = Self::generate_checkpointed(
+                            &mut tg, &capture, probe, error, ckpt, 0, redundant,
+                        );
                         if config.error_simulation || config.collapse {
                             if let Outcome::Detected(tc) = &outcome {
                                 pool.write().expect("pool lock").push((i, (**tc).clone()));
@@ -1037,7 +1086,9 @@ impl Campaign {
         // seed and the error, so a precomputed outcome equals what the
         // sequential loop would have computed at this point.
         let mut records: Vec<Option<ErrorRecord>> = vec![None; n];
-        let mut tg = TestGenerator::with_probe(model, config.tg.clone(), probe);
+        let capture = Counters::new();
+        let tg_probe = Self::capture_probe(&capture, probe);
+        let mut tg = TestGenerator::with_probe(model, config.tg.clone(), &tg_probe);
         for i in 0..n {
             if records[i].is_some() {
                 continue; // covered by an earlier kept test
@@ -1060,8 +1111,15 @@ impl Campaign {
                     // sequentially (its test is not in the sequential test
                     // set). Rare; regenerate to keep the sequential
                     // semantics exact.
-                    let (o, s) =
-                        Self::generate_checkpointed(&mut tg, &errors[i], ckpt, 0, item.redundant);
+                    let (o, s) = Self::generate_checkpointed(
+                        &mut tg,
+                        &capture,
+                        probe,
+                        &errors[i],
+                        ckpt,
+                        0,
+                        item.redundant,
+                    );
                     (o, item.seconds + s)
                 }
             };
@@ -1175,10 +1233,14 @@ impl Campaign {
     ) -> Vec<(Outcome, f64)> {
         let n = errors.len();
         if threads.min(n) <= 1 {
-            let mut tg = TestGenerator::with_probe(model, tg_cfg.clone(), probe);
+            let capture = Counters::new();
+            let tg_probe = Self::capture_probe(&capture, probe);
+            let mut tg = TestGenerator::with_probe(model, tg_cfg.clone(), &tg_probe);
             return errors
                 .iter()
-                .map(|e| Self::generate_checkpointed(&mut tg, e, ckpt, round, false))
+                .map(|e| {
+                    Self::generate_checkpointed(&mut tg, &capture, probe, e, ckpt, round, false)
+                })
                 .collect();
         }
         let cursor = AtomicUsize::new(0);
@@ -1190,14 +1252,17 @@ impl Campaign {
                 let tx = tx.clone();
                 let cursor = &cursor;
                 s.spawn(move || {
-                    let mut tg = TestGenerator::with_probe(model, tg_cfg.clone(), probe);
+                    let capture = Counters::new();
+                    let tg_probe = Self::capture_probe(&capture, probe);
+                    let mut tg = TestGenerator::with_probe(model, tg_cfg.clone(), &tg_probe);
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         if i >= n {
                             break;
                         }
-                        let result =
-                            Self::generate_checkpointed(&mut tg, &errors[i], ckpt, round, false);
+                        let result = Self::generate_checkpointed(
+                            &mut tg, &capture, probe, &errors[i], ckpt, round, false,
+                        );
                         let _ = tx.send((i, result));
                     }
                 });
@@ -1212,8 +1277,10 @@ impl Campaign {
             .enumerate()
             .map(|(i, slot)| {
                 slot.unwrap_or_else(|| {
-                    let mut tg = TestGenerator::with_probe(model, tg_cfg.clone(), probe);
-                    Self::generate_checkpointed(&mut tg, &errors[i], ckpt, round, false)
+                    let capture = Counters::new();
+                    let tg_probe = Self::capture_probe(&capture, probe);
+                    let mut tg = TestGenerator::with_probe(model, tg_cfg.clone(), &tg_probe);
+                    Self::generate_checkpointed(&mut tg, &capture, probe, &errors[i], ckpt, round, false)
                 })
             })
             .collect()
@@ -1504,7 +1571,10 @@ fn simulate_test(
 /// A content fingerprint of everything that determines a test's recorded
 /// good run: the screening horizon (a function of the program length) and
 /// the preloaded instruction/data memory images. FNV-1a over those words.
-fn test_fingerprint(test: &TestCase) -> u64 {
+/// Also the per-test identity in the metrics timeline
+/// ([`crate::flight::MetricRec::test_fp`]), where it groups detections by
+/// covering test.
+pub(crate) fn test_fingerprint(test: &TestCase) -> u64 {
     const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
     const PRIME: u64 = 0x0000_0100_0000_01b3;
     let mut h = OFFSET;
@@ -1777,7 +1847,7 @@ mod tests {
         let model = DlxModel::new();
         let base = CampaignConfig::default();
         let fp = Campaign::checkpoint_fingerprint(&model, &base);
-        assert!(fp.starts_with("v4 "), "fingerprint version bumped: {fp}");
+        assert!(fp.starts_with("v5 "), "fingerprint version bumped: {fp}");
         let collapse = CampaignConfig {
             collapse: true,
             ..base.clone()

@@ -32,7 +32,7 @@
 //! * write failures degrade to an un-checkpointed campaign with a single
 //!   warning — persistence is best-effort, results are not.
 
-use crate::instrument::{json_escape, json_f64, Phase};
+use crate::instrument::{json_escape, json_f64, Counter, CounterDelta, Phase, COUNTERS, PHASES};
 use crate::jsonv::{self, Value};
 use crate::tg::{AbortReason, Outcome, TestCase};
 use hltg_isa::asm::Program;
@@ -54,6 +54,9 @@ pub struct CheckpointEntry {
     pub redundant: bool,
     /// Wall-clock seconds the original generation spent.
     pub seconds: f64,
+    /// The counter work this generation performed, replayed into the live
+    /// probe on resume so post-resume reports match an uninterrupted run.
+    pub counters: CounterDelta,
 }
 
 /// An append-only JSONL checkpoint, shared across campaign workers.
@@ -169,6 +172,34 @@ fn entry_to_json(id: u64, round: u32, e: &CheckpointEntry) -> String {
         e.redundant,
         json_f64(e.seconds)
     );
+    if !e.counters.is_zero() {
+        // Nonzero counters as [name, value] pairs (self-describing across
+        // counter-set growth) plus [ns, calls] per phase in PHASES order.
+        out.push_str("\"counters\": [");
+        let mut first = true;
+        for (i, c) in COUNTERS.iter().enumerate() {
+            if e.counters.counts[i] == 0 {
+                continue;
+            }
+            if !first {
+                out.push_str(", ");
+            }
+            first = false;
+            let _ = write!(out, "[\"{}\", {}]", c.name(), e.counters.counts[i]);
+        }
+        out.push_str("], \"phases\": [");
+        for i in 0..PHASES.len() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(
+                out,
+                "[{}, {}]",
+                e.counters.phase_ns[i], e.counters.phase_calls[i]
+            );
+        }
+        out.push_str("], ");
+    }
     match &e.outcome {
         Outcome::Detected(tc) => {
             let _ = write!(
@@ -241,8 +272,37 @@ fn entry_from_json(v: &Value) -> Option<((u64, u32), CheckpointEntry)> {
             outcome,
             redundant,
             seconds,
+            counters: counters_from_json(v)?,
         },
     ))
+}
+
+/// Reads the persisted counter delta back; entries written before the
+/// delta existed (or whose generation counted nothing) load as all-zero.
+fn counters_from_json(v: &Value) -> Option<CounterDelta> {
+    let mut d = CounterDelta::default();
+    if let Some(pairs) = v.get("counters").and_then(Value::as_arr) {
+        for pair in pairs {
+            let [name, value] = pair.as_arr()? else {
+                return None;
+            };
+            // Unknown names (a newer writer) are skipped, not fatal.
+            if let Some(c) = Counter::from_name(name.as_str()?) {
+                let idx = COUNTERS.iter().position(|&k| k == c)?;
+                d.counts[idx] = value.as_u64()?;
+            }
+        }
+    }
+    if let Some(phases) = v.get("phases").and_then(Value::as_arr) {
+        for (i, pair) in phases.iter().enumerate().take(PHASES.len()) {
+            let [ns, calls] = pair.as_arr()? else {
+                return None;
+            };
+            d.phase_ns[i] = ns.as_u64()?;
+            d.phase_calls[i] = calls.as_u64()?;
+        }
+    }
+    Some(d)
 }
 
 fn test_case_from_json(v: &Value) -> Option<TestCase> {
@@ -343,6 +403,7 @@ mod tests {
             },
             redundant: false,
             seconds: 0.125,
+            counters: CounterDelta::default(),
         }
     }
 
@@ -390,6 +451,7 @@ mod tests {
             },
             redundant: false,
             seconds: 0.0,
+            counters: CounterDelta::default(),
         };
         let line = entry_to_json(7, 0, &entry);
         assert!(!line.contains('\n'), "JSONL entries must be single lines");
@@ -402,6 +464,25 @@ mod tests {
             } => assert_eq!(payload, hostile),
             other => panic!("outcome changed: {other:?}"),
         }
+    }
+
+    #[test]
+    fn counter_delta_roundtrips_through_json() {
+        let mut entry = sample_abort();
+        entry.counters.counts[0] = 3; // dptrace_calls
+        entry.counters.counts[4] = 120; // ctrljust_decisions
+        entry.counters.phase_ns = [1_000, 2_000, 0];
+        entry.counters.phase_calls = [1, 2, 0];
+        let line = entry_to_json(9, 0, &entry);
+        let v = jsonv::parse(&line).expect("line parses");
+        let (_, back) = entry_from_json(&v).expect("entry loads");
+        assert_eq!(back.counters, entry.counters);
+        // Zero deltas stay off the wire entirely.
+        let lean = entry_to_json(9, 0, &sample_abort());
+        assert!(!lean.contains("\"counters\""));
+        let v = jsonv::parse(&lean).expect("lean line parses");
+        let (_, back) = entry_from_json(&v).expect("lean entry loads");
+        assert!(back.counters.is_zero());
     }
 
     #[test]

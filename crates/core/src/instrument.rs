@@ -235,11 +235,82 @@ impl Counter {
         }
     }
 
+    /// The counter whose [`Counter::name`] is `name`, if any. The inverse
+    /// mapping lets persisted counter snapshots (checkpoint entries) be
+    /// replayed into a live probe on resume.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Counter> {
+        COUNTERS.iter().copied().find(|c| c.name() == name)
+    }
+
     fn index(self) -> usize {
         COUNTERS
             .iter()
             .position(|&c| c == self)
             .expect("counter is enumerated")
+    }
+}
+
+/// Exact raw values of a [`Counters`] store, used to compute and replay
+/// per-generation deltas across checkpoint resume.
+///
+/// Phase timing is kept in integer nanoseconds (not the reporting-side
+/// `f64` seconds) so a persisted delta replays without rounding drift.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CounterDelta {
+    /// Counter values in [`COUNTERS`] order.
+    pub counts: [u64; COUNTERS.len()],
+    /// Accumulated wall-clock nanoseconds per phase, in [`PHASES`] order.
+    pub phase_ns: [u64; PHASES.len()],
+    /// Timed calls per phase, in [`PHASES`] order.
+    pub phase_calls: [u64; PHASES.len()],
+}
+
+impl CounterDelta {
+    /// The element-wise difference `self - before` (saturating, so a
+    /// mismatched baseline cannot wrap).
+    #[must_use]
+    pub fn minus(&self, before: &CounterDelta) -> CounterDelta {
+        let mut d = CounterDelta::default();
+        for i in 0..COUNTERS.len() {
+            d.counts[i] = self.counts[i].saturating_sub(before.counts[i]);
+        }
+        for i in 0..PHASES.len() {
+            d.phase_ns[i] = self.phase_ns[i].saturating_sub(before.phase_ns[i]);
+            d.phase_calls[i] = self.phase_calls[i].saturating_sub(before.phase_calls[i]);
+        }
+        d
+    }
+
+    /// `true` when every field is zero (nothing worth persisting).
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.counts.iter().all(|&v| v == 0)
+            && self.phase_ns.iter().all(|&v| v == 0)
+            && self.phase_calls.iter().all(|&v| v == 0)
+    }
+
+    /// Feeds the delta back into `probe` as if the counted work had run:
+    /// counter adds plus per-phase timing with the exact recorded call
+    /// count and total nanoseconds.
+    pub fn replay(&self, probe: &dyn Probe) {
+        for (i, &c) in COUNTERS.iter().enumerate() {
+            if self.counts[i] > 0 {
+                probe.add(c, self.counts[i]);
+            }
+        }
+        for (i, &p) in PHASES.iter().enumerate() {
+            let calls = self.phase_calls[i];
+            if calls == 0 {
+                continue;
+            }
+            // One zero-length tick per extra call keeps the call count
+            // exact; the final tick carries the whole recorded duration.
+            for _ in 1..calls {
+                probe.phase_time(p, Duration::ZERO);
+            }
+            probe.phase_time(p, Duration::from_nanos(self.phase_ns[i]));
+        }
     }
 }
 
@@ -517,6 +588,20 @@ impl Counters {
         self.counts[c.index()].load(Ordering::Relaxed)
     }
 
+    /// The exact raw values of every counter and timer, for delta
+    /// computation against a later [`Counters::raw`] of the same store.
+    pub fn raw(&self) -> CounterDelta {
+        let mut d = CounterDelta::default();
+        for (i, &c) in COUNTERS.iter().enumerate() {
+            d.counts[i] = self.get(c);
+        }
+        for (i, &p) in PHASES.iter().enumerate() {
+            d.phase_ns[i] = self.phase_nanos[p.index()].load(Ordering::Relaxed);
+            d.phase_calls[i] = self.phase_calls[p.index()].load(Ordering::Relaxed);
+        }
+        d
+    }
+
     /// A plain-value copy of every counter and timer.
     pub fn snapshot(&self) -> CounterSnapshot {
         CounterSnapshot {
@@ -699,5 +784,53 @@ mod tests {
         assert_eq!(json_f64(1.5), "1.5");
         assert_eq!(json_f64(f64::NAN), "0");
         assert_eq!(json_f64(2.0), "2.0");
+    }
+
+    #[test]
+    fn json_f64_pins_the_non_finite_and_signed_zero_edge_cases() {
+        // JSON has no NaN or infinities: the documented schema clamps all
+        // three to the number 0.
+        assert_eq!(json_f64(f64::NAN), "0");
+        assert_eq!(json_f64(f64::INFINITY), "0");
+        assert_eq!(json_f64(f64::NEG_INFINITY), "0");
+        // Negative zero is a finite IEEE value and a valid JSON number;
+        // it round-trips with its sign.
+        assert_eq!(json_f64(-0.0), "-0.0");
+        assert_eq!(json_f64(0.0), "0.0");
+        // Subnormals and exponent forms stay parseable numbers.
+        assert_eq!(json_f64(1e-300), "1e-300");
+        assert_eq!(json_f64(-2.5e10), "-25000000000.0");
+    }
+
+    #[test]
+    fn counter_from_name_inverts_name() {
+        for &c in &COUNTERS {
+            assert_eq!(Counter::from_name(c.name()), Some(c));
+        }
+        assert_eq!(Counter::from_name("not_a_counter"), None);
+        assert_eq!(Counter::from_name(""), None);
+    }
+
+    #[test]
+    fn counter_delta_round_trips_through_replay() {
+        let c = Counters::new();
+        let before = c.raw();
+        c.add(Counter::DptraceSteps, 17);
+        c.add(Counter::Variants, 2);
+        c.phase_time(Phase::Ctrljust, Duration::from_nanos(1_234));
+        c.phase_time(Phase::Ctrljust, Duration::from_nanos(766));
+        let delta = c.raw().minus(&before);
+        assert!(!delta.is_zero());
+
+        let replayed = Counters::new();
+        delta.replay(&replayed);
+        assert_eq!(replayed.raw(), delta);
+        let snap = replayed.snapshot();
+        assert_eq!(snap.count("dptrace_steps"), 17);
+        let cj = snap.phases.iter().find(|p| p.name == "ctrljust").unwrap();
+        assert_eq!(cj.calls, 2);
+        assert!((cj.seconds - 2e-6).abs() < 1e-12);
+
+        assert!(CounterDelta::default().is_zero());
     }
 }

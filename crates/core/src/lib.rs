@@ -41,6 +41,7 @@ pub mod campaign;
 pub mod chaos;
 pub mod checkpoint;
 pub mod costate;
+pub mod flight;
 pub mod instrument;
 pub mod jsonv;
 pub mod rng;
@@ -60,6 +61,7 @@ pub use campaign::{
 };
 pub use chaos::{ChaosConfig, ChaosProbe, ChaosTally};
 pub use checkpoint::{CheckpointEntry, CheckpointLog};
+pub use flight::{FlightRecorder, MetricsTimeline};
 pub use ctrljust::CtrlJustMemo;
 pub use instrument::{Counter, Counters, MultiProbe, Phase, Probe, SpanEnd, StepBudget, NO_PROBE};
 pub use rng::SplitMix64;

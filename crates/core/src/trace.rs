@@ -312,6 +312,12 @@ pub struct Tracer {
     /// Live per-phase wall-clock histograms for the progress display
     /// (approximate: includes spans later dropped by the merge).
     live_ns: Vec<Vec<AtomicU64>>,
+    /// Completion count at the previous progress tick, for the
+    /// instantaneous errors/sec rate. Display-path only: plain atomics,
+    /// never consulted by the deterministic emit path.
+    rate_prev_done: AtomicUsize,
+    /// Elapsed nanoseconds at the previous progress tick.
+    rate_prev_ns: AtomicU64,
     started: Instant,
 }
 
@@ -335,6 +341,8 @@ impl Tracer {
             live_ns: (0..N_PHASES)
                 .map(|_| (0..LOG_BUCKETS).map(|_| AtomicU64::new(0)).collect())
                 .collect(),
+            rate_prev_done: AtomicUsize::new(0),
+            rate_prev_ns: AtomicU64::new(0),
             started: Instant::now(),
         }
     }
@@ -364,11 +372,31 @@ impl Tracer {
     }
 
     /// One human-readable progress line: errors done/total, detect rate,
-    /// per-phase p50/p99 latency, and an ETA extrapolated from the
-    /// completion rate so far.
+    /// errors/sec over the window since the previous tick, per-phase
+    /// p50/p99 latency, and an ETA from the deterministic work remaining
+    /// (`total - done` errors at the observed completion rate).
+    ///
+    /// Rate bookkeeping lives in two display-only atomics updated here —
+    /// the ticking is throttled by the caller's wall clock and never
+    /// touches the deterministic emit path.
     #[must_use]
     pub fn progress_line(&self) -> String {
         let (done, total, detected) = self.progress();
+        let now_ns = self.started.elapsed().as_nanos() as u64;
+        let prev_ns = self.rate_prev_ns.swap(now_ns, Ordering::Relaxed);
+        let prev_done = self.rate_prev_done.swap(done, Ordering::Relaxed);
+        // Instantaneous errors/sec over the window since the last tick;
+        // the whole-run average when the window is degenerate.
+        let avg_rate = if now_ns > 0 {
+            done as f64 / (now_ns as f64 / 1e9)
+        } else {
+            0.0
+        };
+        let rate = if now_ns > prev_ns && done > prev_done {
+            (done - prev_done) as f64 / ((now_ns - prev_ns) as f64 / 1e9)
+        } else {
+            avg_rate
+        };
         let mut line = format!(
             "[campaign] {done}/{total} errors ({:.0}%) · detected {detected}",
             if total == 0 {
@@ -379,6 +407,9 @@ impl Tracer {
         );
         if done > 0 {
             let _ = write!(line, " ({:.0}%)", 100.0 * detected as f64 / done as f64);
+        }
+        if done > 0 && rate > 0.0 {
+            let _ = write!(line, " · {rate:.1} err/s");
         }
         for (pi, p) in PHASES.iter().enumerate() {
             let mut h = LogHistogram::new();
@@ -397,9 +428,9 @@ impl Tracer {
                 );
             }
         }
-        let elapsed = self.started.elapsed().as_secs_f64();
-        if done > 0 && total > done {
-            let eta = elapsed / done as f64 * (total - done) as f64;
+        if done > 0 && total > done && rate > 0.0 {
+            // Deterministic work remaining at the observed rate.
+            let eta = (total - done) as f64 / rate;
             let _ = write!(line, " · ETA {}", fmt_secs(eta));
         }
         line
@@ -757,6 +788,34 @@ mod tests {
         let json = h.to_json();
         assert!(json.starts_with('[') && json.ends_with(']'));
         assert!(json.contains("[512, 4]"));
+    }
+
+    /// Pins the documented quantile edge cases: an empty histogram
+    /// answers 0 for any `q`; `q = 0` clamps to rank 1 (the first
+    /// recorded sample's bucket floor); `q = 1` is the last sample's
+    /// bucket floor, never past it.
+    #[test]
+    fn log_histogram_quantile_edges() {
+        let empty = LogHistogram::new();
+        assert_eq!(empty.quantile(0.0), 0);
+        assert_eq!(empty.quantile(0.5), 0);
+        assert_eq!(empty.quantile(1.0), 0);
+
+        let mut h = LogHistogram::new();
+        for v in [3, 700, 1_000_000] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), bucket_floor(log2_bucket(3)));
+        assert_eq!(h.quantile(1.0), bucket_floor(log2_bucket(1_000_000)));
+
+        // A single sample answers its own bucket floor at every q.
+        let mut one = LogHistogram::new();
+        one.record(0);
+        assert_eq!(one.quantile(0.0), 0);
+        assert_eq!(one.quantile(1.0), 0);
+        let mut one = LogHistogram::new();
+        one.record(u64::MAX);
+        assert_eq!(one.quantile(1.0), bucket_floor(LOG_BUCKETS - 1));
     }
 
     #[test]

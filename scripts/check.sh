@@ -99,6 +99,32 @@ grep -q '"packed_screens": [1-9]' target/packed_on_smoke.json
 grep -q '"packed_lanes": [1-9]' target/packed_on_smoke.json
 grep -q '"packed_screens": 0' target/packed_off_smoke.json
 
+echo "== metrics smoke (flight recorder determinism + campaign_report)"
+# The deterministic metrics timeline must be byte-identical for any
+# worker-thread count, parse back through campaign_report --check, and
+# render. The chaos+retry variant exercises the hardest merge case.
+./target/release/table1 16 --error-sim --threads 1 \
+    --metrics-out target/metrics_t1.jsonl --json > /dev/null
+./target/release/table1 16 --error-sim --threads 2 \
+    --metrics-out target/metrics_t2.jsonl --json > /dev/null
+cmp target/metrics_t1.jsonl target/metrics_t2.jsonl || {
+    echo "metrics timeline differs between 1 and 2 threads" >&2
+    exit 1
+}
+./target/release/campaign_report --check target/metrics_t1.jsonl
+./target/release/campaign_report target/metrics_t1.jsonl > /dev/null
+./target/release/campaign_report --tsv target/metrics_t1.jsonl > /dev/null
+./target/release/table1 12 --threads 2 --chaos-panic 400 --chaos-seed 7 \
+    --retry 1 --metrics-out target/metrics_chaos.jsonl --json > /dev/null
+./target/release/campaign_report --check target/metrics_chaos.jsonl
+
+echo "== bench gate (bench_diff self-test + committed baselines)"
+# The gate must be able to fail (an injected 2x slowdown trips it) and
+# the committed baselines must be self-consistent (a report equal to its
+# baseline passes).
+./target/release/bench_diff --self-test > /dev/null
+./target/release/bench_diff --fresh crates/bench/baselines > /dev/null
+
 echo "== backend smoke (4-error campaign on every registered design)"
 # Every backend in the hltg_dlx registry must run a small campaign end
 # to end through the same generic driver, and `--design dlx` must be the
@@ -107,6 +133,7 @@ echo "== backend smoke (4-error campaign on every registered design)"
 ./target/release/table1 4 --threads 2 --json > target/design_default.json
 for design in dlx dlx16 dlx-lite; do
     ./target/release/table1 4 --threads 2 --design "$design" \
+        --metrics-out "target/design_${design}_metrics.jsonl" \
         --json > "target/design_${design}.json"
     grep -q '"errors": 4' "target/design_${design}.json" || {
         echo "--design $design: campaign did not cover 4 errors" >&2
@@ -114,6 +141,13 @@ for design in dlx dlx16 dlx-lite; do
     }
     grep -q '"detected": [1-9]' "target/design_${design}.json" || {
         echo "--design $design: campaign detected nothing" >&2
+        exit 1
+    }
+    # The metrics timeline validates and the matrix renders per backend.
+    ./target/release/campaign_report --check "target/design_${design}_metrics.jsonl"
+    ./target/release/campaign_report "target/design_${design}_metrics.jsonl" \
+        | grep -q "Detection matrix" || {
+        echo "--design $design: campaign_report rendered no matrix" >&2
         exit 1
     }
 done

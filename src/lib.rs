@@ -78,8 +78,8 @@ pub use hltg_sim as sim;
 pub mod prelude {
     pub use hltg_core::{
         Campaign, CampaignConfig, CampaignConfigBuilder, CampaignReport, CampaignRun,
-        CampaignStats, ConfigError, Outcome, Probe, RetryPolicy, RunOptions, TestGenerator,
-        TgConfig,
+        CampaignStats, ConfigError, FlightRecorder, MetricsTimeline, Outcome, Probe,
+        RetryPolicy, RunOptions, TestGenerator, TgConfig,
     };
     pub use hltg_dlx::{build_model, DlxModel, LiteModel, BACKENDS};
     pub use hltg_netlist::{PipelineDesc, ProcessorModel, Stage};

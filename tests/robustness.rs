@@ -432,6 +432,58 @@ fn checkpoint_resume_reproduces_the_report() {
     let _ = std::fs::remove_file(&path);
 }
 
+/// Checkpoint entries persist the per-generation *counter deltas*, and a
+/// resume replays them: after a partial run plus a resumed completion,
+/// the counter totals and per-phase call counts equal an uninterrupted
+/// run's, exactly. Phase *seconds* are wall-clock and excluded — they
+/// replay the partial run's measurements, not the reference run's. The
+/// `CTRLJUST` memo is disabled because its hit pattern depends on which
+/// errors were generated (vs replayed) by one generator instance.
+#[test]
+fn checkpoint_resume_replays_counter_totals() {
+    let dlx = DlxModel::new();
+    let path = temp_checkpoint("counter_replay");
+    let config = |limit: usize, checkpoint: bool| {
+        let mut config = CampaignConfig {
+            limit: Some(limit),
+            num_threads: 1,
+            checkpoint: checkpoint.then(|| path.clone()),
+            ..CampaignConfig::default()
+        };
+        config.tg.ctrljust_memo = false;
+        config
+    };
+    let uninterrupted = Campaign::run(&dlx, &config(12, false), RunOptions::default());
+    // A "killed midway" run persists deltas for the first half...
+    let partial = Campaign::run(&dlx, &config(6, true), RunOptions::default());
+    assert_eq!(partial.campaign.records.len(), 6);
+    // ...and the resumed run replays them while generating the rest.
+    let resumed = Campaign::run(&dlx, &config(12, true), RunOptions::default());
+    assert_eq!(
+        stats_sans_time(&resumed.campaign),
+        stats_sans_time(&uninterrupted.campaign)
+    );
+    assert_eq!(
+        resumed.report.counters.counts, uninterrupted.report.counters.counts,
+        "replayed counter totals must equal the uninterrupted run's"
+    );
+    let phase_calls = |counters: &hltg::core::instrument::CounterSnapshot| {
+        counters
+            .phases
+            .iter()
+            .map(|p| (p.name, p.calls))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(
+        phase_calls(&resumed.report.counters),
+        phase_calls(&uninterrupted.report.counters),
+        "replayed per-phase call counts must equal the uninterrupted run's"
+    );
+    // Sanity: the campaign did real work that the replay had to carry.
+    assert!(resumed.report.counters.count("variants") > 0);
+    let _ = std::fs::remove_file(&path);
+}
+
 /// A checkpoint written under a different configuration is refused, not
 /// silently mixed in: the campaign warns, runs without persistence, and
 /// produces the same results as an unpersisted run.

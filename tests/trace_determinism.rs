@@ -4,7 +4,9 @@
 //! its deterministic form is byte-equal), mirroring
 //! `tests/parallel_determinism.rs` for the trace subsystem.
 
-use hltg::core::{Campaign, CampaignConfig, RunOptions, TraceSnapshot};
+use hltg::core::{
+    Campaign, CampaignConfig, CampaignRun, ChaosConfig, RetryPolicy, RunOptions, TraceSnapshot,
+};
 use hltg::dlx::DlxModel;
 use hltg::netlist::ProcessorModel;
 
@@ -19,8 +21,7 @@ fn traced_run(model: &dyn ProcessorModel, num_threads: usize, error_simulation: 
         },
         RunOptions {
             trace: true,
-            progress: false,
-            probe: None,
+            ..RunOptions::default()
         },
     );
     run.trace.expect("trace requested")
@@ -72,8 +73,7 @@ fn spans_mirror_generated_records()  {
         },
         RunOptions {
             trace: true,
-            progress: false,
-            probe: None,
+            ..RunOptions::default()
         },
     );
     let trace = run.trace.expect("trace requested");
@@ -92,5 +92,116 @@ fn spans_mirror_generated_records()  {
         assert_eq!(span.id, u64::from(record.error.id.0));
         assert_eq!(span.detected, record.outcome.is_detected());
         assert!(span.phase_calls.iter().any(|c| c.ns > 0) || span.phase_calls.is_empty());
+    }
+}
+
+fn metrics_run(model: &dyn ProcessorModel, config: &CampaignConfig) -> CampaignRun {
+    Campaign::run(
+        model,
+        config,
+        RunOptions {
+            trace: true,
+            metrics: Some(4),
+            ..RunOptions::default()
+        },
+    )
+}
+
+/// The deterministic `--metrics-out` stream is byte-identical for any
+/// worker-thread count, with and without error simulation.
+#[test]
+fn metrics_timeline_is_thread_invariant() {
+    let dlx = DlxModel::new();
+    for error_simulation in [false, true] {
+        let config = |num_threads| CampaignConfig {
+            limit: Some(16),
+            error_simulation,
+            num_threads,
+            ..CampaignConfig::default()
+        };
+        let base = metrics_run(&dlx, &config(1));
+        let base_metrics = base.metrics.expect("metrics requested");
+        assert!(!base_metrics.recs.is_empty(), "campaign recorded no errors");
+        assert!(!base_metrics.snaps.is_empty(), "no snapshots assembled");
+        let base_jsonl = base_metrics.to_jsonl_deterministic();
+        for threads in [2, 8] {
+            let sharded = metrics_run(&dlx, &config(threads));
+            assert_eq!(
+                sharded
+                    .metrics
+                    .expect("metrics requested")
+                    .to_jsonl_deterministic(),
+                base_jsonl,
+                "deterministic metrics diverge at num_threads={threads} \
+                 (error_simulation={error_simulation})"
+            );
+        }
+    }
+}
+
+/// The hardest merge case in one campaign: chaos-injected panics, one
+/// escalated retry round, and packed screening. The deterministic trace
+/// *and* metrics streams stay byte-identical across thread counts, the
+/// packed-screen counters are thread-invariant (they fire only on the
+/// sequential covering pass), and retried spans survive the merge.
+#[test]
+fn metrics_and_trace_merge_under_chaos_retries_and_packing() {
+    let dlx = DlxModel::new();
+    let config = |num_threads| CampaignConfig {
+        limit: Some(12),
+        error_simulation: true,
+        num_threads,
+        retry: RetryPolicy {
+            rounds: 1,
+            escalate: 2,
+        },
+        chaos: Some(ChaosConfig {
+            seed: 7,
+            panic_permille: 400,
+            first_attempt_only: true,
+            ..ChaosConfig::default()
+        }),
+        ..CampaignConfig::default()
+    };
+    let base = metrics_run(&dlx, &config(1));
+    let base_metrics = base.metrics.as_ref().expect("metrics requested");
+    let base_trace = base.trace.as_ref().expect("trace requested");
+    assert!(
+        base.campaign.records.iter().any(|r| r.round > 0),
+        "chaos at 400 permille produced no retried records"
+    );
+    let packed_screens = base.report.counters.count("packed_screens");
+    let packed_lanes = base.report.counters.count("packed_lanes");
+    assert!(packed_screens > 0, "packed screening never fired");
+    assert!(packed_lanes >= packed_screens);
+    let base_metrics_jsonl = base_metrics.to_jsonl_deterministic();
+    let base_trace_jsonl = base_trace.to_jsonl_deterministic();
+    for threads in [2, 8] {
+        let sharded = metrics_run(&dlx, &config(threads));
+        let metrics = sharded.metrics.expect("metrics requested");
+        assert_eq!(
+            metrics.to_jsonl_deterministic(),
+            base_metrics_jsonl,
+            "deterministic metrics diverge at num_threads={threads}"
+        );
+        assert_eq!(
+            sharded
+                .trace
+                .expect("trace requested")
+                .to_jsonl_deterministic(),
+            base_trace_jsonl,
+            "deterministic trace diverges at num_threads={threads}"
+        );
+        assert_eq!(
+            sharded.report.counters.count("packed_screens"),
+            packed_screens,
+            "packed_screens is thread-dependent at num_threads={threads}"
+        );
+        assert_eq!(
+            sharded.report.counters.count("packed_lanes"),
+            packed_lanes,
+            "packed_lanes is thread-dependent at num_threads={threads}"
+        );
+        assert!(metrics.recs.iter().any(|r| r.round > 0));
     }
 }
