@@ -1,0 +1,88 @@
+//! Benches for the campaign service: what `hltg-serve`'s scheduling,
+//! supervision and finalize machinery cost on top of raw generation.
+//! Plain std harness; run with `cargo bench --bench serve`.
+//!
+//! The spool checkpoint is warmed before timing, so every timed
+//! submission resumes all of its errors from the checkpoint and the
+//! samples measure service overhead — job planning, shard claims,
+//! heartbeats, the supervisor scan and the finalizing merge — not test
+//! generation itself.
+
+use hltg_bench::harness::{bench, write_json_report};
+use hltg_serve::{serve_lines, Client, JobSpec, ServeConfig, Service};
+use std::hint::black_box;
+use std::io::Cursor;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+const JOBS: usize = 16;
+
+fn spool() -> PathBuf {
+    std::env::temp_dir().join(format!("hltg_bench_serve_{}", std::process::id()))
+}
+
+fn cfg(spool: &Path) -> ServeConfig {
+    ServeConfig {
+        workers: 4,
+        spool: spool.to_path_buf(),
+        ..ServeConfig::default()
+    }
+}
+
+fn tiny_job(i: usize) -> JobSpec {
+    JobSpec {
+        name: format!("bench-j{i:02}"),
+        limit: Some(2),
+        shard_size: 1,
+        ..JobSpec::default()
+    }
+}
+
+/// Submit all 16 jobs to a fresh service over the (shared) spool and
+/// wait each one out.
+fn run_once(spool: &Path) -> usize {
+    let (service, _events) = Service::start(cfg(spool));
+    let jobs: Vec<_> = (0..JOBS)
+        .map(|i| service.submit(&tiny_job(i)).expect("accepted"))
+        .collect();
+    let mut completed = 0;
+    for job in jobs {
+        let done = service
+            .wait_done(job, Duration::from_secs(60))
+            .expect("job finishes");
+        completed += done.completed;
+    }
+    service.drain();
+    completed
+}
+
+fn main() {
+    let spool = spool();
+    let _ = std::fs::remove_dir_all(&spool);
+    // Warm the checkpoint: after this, every bench-loop submission
+    // resumes its whole population.
+    run_once(&spool);
+
+    let mut results = Vec::new();
+    results.push(bench("serve_schedule_16_jobs", || {
+        black_box(run_once(&spool))
+    }));
+
+    // The same warmed workload end to end over the line protocol:
+    // request parsing, event emission and the drain handshake included.
+    let mut input = String::new();
+    for i in 0..JOBS {
+        input.push_str(&Client::submit_line(&tiny_job(i)));
+        input.push('\n');
+    }
+    input.push_str(&Client::shutdown_line(true));
+    input.push('\n');
+    results.push(bench("serve_line_protocol_16_jobs", || {
+        let (service, events) = Service::start(cfg(&spool));
+        let out = serve_lines(service, events, Cursor::new(input.clone()), Vec::new());
+        black_box(out.len())
+    }));
+
+    write_json_report("serve", &results);
+    let _ = std::fs::remove_dir_all(&spool);
+}

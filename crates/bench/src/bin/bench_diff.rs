@@ -27,7 +27,7 @@ use hltg_core::jsonv::{self, Value};
 use std::path::{Path, PathBuf};
 
 /// The benchmark sets the runner emits; one `BENCH_<set>.json` each.
-const SETS: [&str; 5] = ["cache", "campaign", "dprelax", "searchspace", "sim"];
+const SETS: [&str; 6] = ["cache", "campaign", "dprelax", "searchspace", "serve", "sim"];
 
 #[derive(Debug, Clone, PartialEq)]
 struct Bench {

@@ -124,6 +124,23 @@ impl CampaignConfig {
     pub fn builder() -> CampaignConfigBuilder {
         CampaignConfigBuilder::default()
     }
+
+    /// The configuration as actually executed: chaos runs force the
+    /// `CTRLJUST` memo off, because chaos spurious backtracks depend on
+    /// global visit counts a memo replay would not advance —
+    /// replay-exactness no longer holds. Every execution path
+    /// ([`Campaign::run`] and the `hltg-serve` shard runner alike) must
+    /// apply this *before* computing the checkpoint fingerprint, or a
+    /// service shard and its finalizing merge would disagree about the
+    /// checkpoint file they share.
+    #[must_use]
+    pub fn normalized(&self) -> CampaignConfig {
+        let mut cfg = self.clone();
+        if cfg.chaos.is_some() {
+            cfg.tg.ctrljust_memo = false;
+        }
+        cfg
+    }
 }
 
 /// A configuration the builder refuses to produce.
@@ -549,6 +566,47 @@ pub struct CampaignRun {
     pub metrics: Option<MetricsTimeline>,
 }
 
+/// Scheduling decision returned by [`ShardObserver::before_error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardControl {
+    /// Keep going.
+    Continue,
+    /// Abandon the shard at this error boundary (cooperative
+    /// cancellation): nothing is generated or recorded for this or any
+    /// later error of the shard, and the attempt reports
+    /// [`ShardStatus::stopped`].
+    Stop,
+}
+
+/// Progress and control hooks for [`Campaign::run_shard`]: how an
+/// external scheduler heartbeats, streams incremental results, injects
+/// chaos kills and cancels a shard attempt, all at error granularity.
+pub trait ShardObserver {
+    /// Called before each error of the shard. Return
+    /// [`ShardControl::Stop`] to abandon the attempt at this boundary —
+    /// the supervisor's cancel/kill path.
+    fn before_error(&mut self, _index: usize, _id: u64) -> ShardControl {
+        ShardControl::Continue
+    }
+
+    /// Called after each completed per-error round, or once with the
+    /// round-0 outcome when the error's whole chain was resumed from the
+    /// checkpoint (`resumed` true: no generation ran).
+    fn after_error(&mut self, _index: usize, _id: u64, _outcome: &Outcome, _round: u32, _resumed: bool) {
+    }
+}
+
+/// What one [`Campaign::run_shard`] attempt accomplished.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStatus {
+    /// Errors whose complete generation chain is now checkpointed.
+    pub completed: usize,
+    /// Of `completed`: resumed from the checkpoint without generating.
+    pub resumed: usize,
+    /// The observer stopped the attempt before the range was exhausted.
+    pub stopped: bool,
+}
+
 /// Phase-1 result for one error, produced by a worker thread.
 struct WorkItem {
     redundant: bool,
@@ -583,7 +641,7 @@ impl Campaign {
         let t0 = Instant::now();
         let tracer = (opts.trace || opts.progress).then(Tracer::new);
         let recorder = opts.metrics.map(FlightRecorder::new);
-        let campaign = {
+        let (campaign, deadline_exceeded) = {
             let mut list: Vec<&dyn Probe> = vec![&counters];
             if let Some(t) = &tracer {
                 list.push(t);
@@ -645,6 +703,7 @@ impl Campaign {
             counters: counters.snapshot(),
             wall_seconds: t0.elapsed().as_secs_f64(),
             num_threads: config.effective_threads(),
+            deadline_exceeded,
         };
         CampaignRun {
             campaign,
@@ -708,7 +767,7 @@ impl Campaign {
         model: &dyn ProcessorModel,
         config: &CampaignConfig,
         probe: &dyn Probe,
-    ) -> Campaign {
+    ) -> (Campaign, usize) {
         match &config.chaos {
             Some(chaos) => {
                 let chaos = ChaosProbe::new(chaos.clone());
@@ -723,18 +782,9 @@ impl Campaign {
         model: &dyn ProcessorModel,
         config: &CampaignConfig,
         probe: &dyn Probe,
-    ) -> Campaign {
-        let mut config = config.clone();
-        if config.chaos.is_some() {
-            // Chaos spurious backtracks depend on global visit counts that
-            // a memo replay would not advance; replay-exactness no longer
-            // holds, so the memo sits out chaos runs entirely.
-            config.tg.ctrljust_memo = false;
-        }
-        let config = &config;
-        let errors = enumerate_stage_errors(model.design(), &config.stages, config.policy);
-        let take = config.limit.unwrap_or(errors.len());
-        let errors: Vec<BusSslError> = errors.into_iter().take(take).collect();
+    ) -> (Campaign, usize) {
+        let config = &config.normalized();
+        let errors = Self::target_errors(model, config);
         probe.campaign_begin(errors.len());
         // Class representative of every error (its own index when
         // collapsing is off or the error stands alone).
@@ -753,13 +803,16 @@ impl Campaign {
         let ckpt = Self::open_checkpoint(model, config);
         let ckpt = ckpt.as_ref();
         let threads = config.effective_threads().min(errors.len().max(1));
-        let mut campaign = if threads <= 1 {
-            Self::run_serial(model, config, probe, &errors, &class_of, &schedule, ckpt)
+        let (mut campaign, deadline_exceeded) = if threads <= 1 {
+            (
+                Self::run_serial(model, config, probe, &errors, &class_of, &schedule, ckpt),
+                0,
+            )
         } else {
             Self::run_sharded(model, config, probe, &errors, &class_of, &schedule, threads, ckpt)
         };
         Self::run_retries(model, config, probe, threads, &mut campaign, ckpt);
-        campaign
+        (campaign, deadline_exceeded)
     }
 
     /// Opens the configured checkpoint log, if any. An unusable file
@@ -772,7 +825,10 @@ impl Campaign {
     ) -> Option<CheckpointLog> {
         let path = config.checkpoint.as_ref()?;
         match CheckpointLog::open(path, &Self::checkpoint_fingerprint(model, config)) {
-            Ok(log) => {
+            Ok(mut log) => {
+                if let Some(io) = config.chaos.as_ref().and_then(ChaosConfig::checkpoint_io) {
+                    log.set_io_chaos(io);
+                }
                 if log.resumed() > 0 || log.skipped_lines() > 0 {
                     eprintln!(
                         "checkpoint: resuming {} completed errors from {} \
@@ -805,7 +861,7 @@ impl Campaign {
     #[must_use]
     pub fn checkpoint_fingerprint(model: &dyn ProcessorModel, config: &CampaignConfig) -> String {
         format!(
-            "v5 design={} width={} stages={:?} policy={:?} sim={} collapse={} \
+            "v6 design={} width={} stages={:?} policy={:?} sim={} collapse={} \
              simcache={} packed={} tg={:?} retry={}x{} chaos={:?}",
             model.name(),
             model.data_width(),
@@ -845,8 +901,28 @@ impl Campaign {
         let id = u64::from(error.id.0);
         if let Some(entry) = ckpt.and_then(|log| log.lookup(id, round)) {
             entry.counters.replay(probe);
-            return (entry.outcome.clone(), entry.seconds);
+            return (entry.outcome, entry.seconds);
         }
+        Self::generate_uncached(tg, capture, error, ckpt, round, redundant)
+    }
+
+    /// The generation half of [`Campaign::generate_checkpointed`]: always
+    /// runs the generator — no checkpoint lookup — and records the
+    /// result. [`Campaign::run_shard`] calls this directly when it
+    /// regenerates an interrupted retry chain whose earlier rounds exist
+    /// in the checkpoint but must not be replayed (the chaos probe's
+    /// visit counts only line up when one probe instance sees the whole
+    /// chain).
+    #[allow(clippy::too_many_arguments)]
+    fn generate_uncached(
+        tg: &mut TestGenerator<'_>,
+        capture: &Counters,
+        error: &BusSslError,
+        ckpt: Option<&CheckpointLog>,
+        round: u32,
+        redundant: bool,
+    ) -> (Outcome, f64) {
+        let id = u64::from(error.id.0);
         let before = capture.raw();
         let t0 = Instant::now();
         let outcome =
@@ -884,6 +960,126 @@ impl Campaign {
         MultiProbe::new(vec![capture, probe])
     }
 
+    /// The error population `config` targets on `model`, in enumeration
+    /// order with the limit applied — the shared vocabulary between an
+    /// external scheduler slicing the population into shards and the
+    /// finalizing merge: index `i` and `errors[i].id` are stable across
+    /// processes.
+    #[must_use]
+    pub fn target_errors(model: &dyn ProcessorModel, config: &CampaignConfig) -> Vec<BusSslError> {
+        let errors = enumerate_stage_errors(model.design(), &config.stages, config.policy);
+        let take = config.limit.unwrap_or(errors.len());
+        errors.into_iter().take(take).collect()
+    }
+
+    /// Runs one contiguous slice `range` of the error population for an
+    /// external scheduler (`hltg-serve`), recording every per-error
+    /// generation — including its escalated retry chain — into `ckpt`.
+    ///
+    /// This is the *generation* half of a campaign only: no screening, no
+    /// merge. The division of labor with [`Campaign::run`] is exact: a
+    /// shard persists `(id, round)` entries; once every shard of a job
+    /// has completed, re-running `Campaign::run` with the same
+    /// (normalized) config over the same checkpoint finds every
+    /// generation it needs as a replay hit, and its sequential merge +
+    /// screening + retry semantics produce a report byte-identical to an
+    /// uninterrupted run — per-error generation is a pure function of the
+    /// seed and the error, which the soak suite pins end to end.
+    ///
+    /// Resume semantics: an error whose *complete* chain is already
+    /// checkpointed (by an earlier attempt of this shard, a sibling in
+    /// the same process sharing the live log, or a previous process) is
+    /// skipped. An interrupted chain — round 0 persisted but a required
+    /// retry round missing — is regenerated from round 0 with one fresh
+    /// chaos probe, because chaos-injection decisions depend on per-error
+    /// visit counts that only line up when a single probe instance sees
+    /// the whole chain, exactly as in an uninterrupted run. Re-appended
+    /// rounds overwrite identically (generation is pure), so duplicates
+    /// are harmless.
+    ///
+    /// The observer is the scheduler's control surface: heartbeats and
+    /// cooperative cancellation via [`ShardObserver::before_error`],
+    /// result streaming via [`ShardObserver::after_error`].
+    pub fn run_shard(
+        model: &dyn ProcessorModel,
+        config: &CampaignConfig,
+        range: std::ops::Range<usize>,
+        ckpt: &CheckpointLog,
+        observer: &mut dyn ShardObserver,
+    ) -> ShardStatus {
+        let config = config.normalized();
+        let errors = Self::target_errors(model, &config);
+        let start = range.start.min(errors.len());
+        let end = range.end.min(errors.len());
+        let chaos = config.chaos.clone().map(ChaosProbe::new);
+        let probe: &dyn Probe = match &chaos {
+            Some(c) => c,
+            None => &crate::instrument::NoProbe,
+        };
+        let capture = Counters::new();
+        let tg_probe = Self::capture_probe(&capture, probe);
+        let mut tg = TestGenerator::with_probe(model, config.tg.clone(), &tg_probe);
+        let mut status = ShardStatus::default();
+        for (i, error) in errors.iter().enumerate().take(end).skip(start) {
+            let id = u64::from(error.id.0);
+            if observer.before_error(i, id) == ShardControl::Stop {
+                status.stopped = true;
+                return status;
+            }
+            if let Some(done) = Self::chain_complete(ckpt, id, &config.retry) {
+                status.completed += 1;
+                status.resumed += 1;
+                observer.after_error(i, id, &done.outcome, 0, true);
+                continue;
+            }
+            let redundant = is_structurally_redundant(model.design(), error);
+            let (mut outcome, _) =
+                Self::generate_uncached(&mut tg, &capture, error, Some(ckpt), 0, redundant);
+            observer.after_error(i, id, &outcome, 0, false);
+            // The retry chain, eagerly: the finalizing merge retries every
+            // still-aborted non-redundant record, and its targets are a
+            // subset of the errors retried here (screening only removes
+            // targets), so every retry round the merge will look up is
+            // already persisted and replays instead of regenerating with
+            // out-of-line chaos visit counts.
+            let mut round = 0;
+            while round < config.retry.rounds && !redundant && !outcome.is_detected() {
+                round += 1;
+                let tg_cfg = config.retry.tg_for_round(&config.tg, round);
+                let mut retry_tg = TestGenerator::with_probe(model, tg_cfg, &tg_probe);
+                (outcome, _) =
+                    Self::generate_uncached(&mut retry_tg, &capture, error, Some(ckpt), round, false);
+                observer.after_error(i, id, &outcome, round, false);
+            }
+            status.completed += 1;
+        }
+        status
+    }
+
+    /// The checkpointed state of one error's generation chain: `Some`
+    /// with the round-0 entry when the chain is *complete* — round 0 plus
+    /// every escalated retry round [`Campaign::run_retries`] could ask
+    /// for — and `None` when anything is missing. A partial chain (the
+    /// recording worker died between rounds) must be regenerated from
+    /// round 0; see [`Campaign::run_shard`].
+    fn chain_complete(
+        ckpt: &CheckpointLog,
+        id: u64,
+        retry: &RetryPolicy,
+    ) -> Option<CheckpointEntry> {
+        let e0 = ckpt.lookup(id, 0)?;
+        if e0.redundant || e0.outcome.is_detected() {
+            return Some(e0);
+        }
+        for round in 1..=retry.rounds {
+            let er = ckpt.lookup(id, round)?;
+            if er.outcome.is_detected() {
+                break;
+            }
+        }
+        Some(e0)
+    }
+
     #[allow(clippy::too_many_arguments)]
     fn run_serial(
         model: &dyn ProcessorModel,
@@ -907,7 +1103,7 @@ impl Campaign {
             let (redundant, outcome, seconds) = match ckpt.and_then(|log| log.lookup(id, 0)) {
                 Some(entry) => {
                     entry.counters.replay(probe);
-                    (entry.redundant, entry.outcome.clone(), entry.seconds)
+                    (entry.redundant, entry.outcome, entry.seconds)
                 }
                 None => {
                     let redundant = is_structurally_redundant(model.design(), &error);
@@ -982,9 +1178,13 @@ impl Campaign {
         schedule: &Schedule,
         threads: usize,
         ckpt: Option<&CheckpointLog>,
-    ) -> Campaign {
+    ) -> (Campaign, usize) {
         let n = errors.len();
         let cursor = AtomicUsize::new(0);
+        // Errors the pool left unclaimed when the soft deadline tripped
+        // (max across workers — they all observe the same shrinking
+        // remainder, the first to break sees the most).
+        let deadline_left = AtomicUsize::new(0);
         let started = Instant::now();
         // Tests already generated, tagged with their error index. Workers
         // screen their next error against tests of *earlier* errors: if one
@@ -998,7 +1198,7 @@ impl Campaign {
         std::thread::scope(|s| {
             for _ in 0..threads {
                 let tx = tx.clone();
-                let (cursor, pool) = (&cursor, &pool);
+                let (cursor, pool, deadline_left) = (&cursor, &pool, &deadline_left);
                 s.spawn(move || {
                     let capture = Counters::new();
                     let tg_probe = Self::capture_probe(&capture, probe);
@@ -1016,7 +1216,10 @@ impl Campaign {
                         {
                             // Scheduling only: stop claiming work. The merge
                             // pass generates whatever is left, so recorded
-                            // outcomes are unaffected by the deadline.
+                            // outcomes are unaffected by the deadline — but
+                            // the report surfaces how much the deadline cut.
+                            let left = n.saturating_sub(cursor.load(Ordering::Relaxed));
+                            deadline_left.fetch_max(left, Ordering::Relaxed);
                             break;
                         }
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
@@ -1173,9 +1376,12 @@ impl Campaign {
                 round: 0,
             });
         }
-        Campaign {
-            records: records.into_iter().flatten().collect(),
-        }
+        (
+            Campaign {
+                records: records.into_iter().flatten().collect(),
+            },
+            deadline_left.into_inner(),
+        )
     }
 
     /// Re-runs still-aborted, non-redundant errors with escalated budgets
@@ -1430,6 +1636,13 @@ pub struct CampaignReport {
     pub wall_seconds: f64,
     /// Worker threads configured for the run.
     pub num_threads: usize,
+    /// Errors the parallel pool left unclaimed because
+    /// [`CampaignConfig::soft_deadline`] tripped. The deterministic merge
+    /// pass generated them afterwards — records and outcomes are complete
+    /// and unaffected — but the run did not fit its deadline budget, and
+    /// this stat surfaces by how much instead of the deadline silently
+    /// shaping the schedule.
+    pub deadline_exceeded: usize,
 }
 
 impl CampaignReport {
@@ -1501,14 +1714,27 @@ impl CampaignReport {
         out.push_str(&self.deterministic_json_fields());
         let _ = write!(
             out,
-            ", \"seconds\": {}, \"wall_seconds\": {}, \"num_threads\": {}, ",
+            ", \"seconds\": {}, \"wall_seconds\": {}, \"num_threads\": {}, \
+             \"deadline_exceeded\": {}, \"deadline_partial\": {}, ",
             json_f64(self.stats.seconds),
             json_f64(self.wall_seconds),
-            self.num_threads
+            self.num_threads,
+            self.deadline_exceeded,
+            self.deadline_partial()
         );
         out.push_str(&self.counters.to_json_fields());
         out.push('}');
         out
+    }
+
+    /// True when the soft deadline cut the parallel schedule short. The
+    /// report is still complete — the merge pass regenerated the
+    /// remainder — so this flags a budget miss, not missing results.
+    /// Wall-clock dependent, hence part of [`CampaignReport::to_json`]
+    /// but never of [`CampaignReport::to_json_deterministic`].
+    #[must_use]
+    pub fn deadline_partial(&self) -> bool {
+        self.deadline_exceeded > 0
     }
 
     /// Renders only the machine-invariant part of the report: the full
@@ -1847,7 +2073,7 @@ mod tests {
         let model = DlxModel::new();
         let base = CampaignConfig::default();
         let fp = Campaign::checkpoint_fingerprint(&model, &base);
-        assert!(fp.starts_with("v5 "), "fingerprint version bumped: {fp}");
+        assert!(fp.starts_with("v6 "), "fingerprint version bumped: {fp}");
         let collapse = CampaignConfig {
             collapse: true,
             ..base.clone()
@@ -1987,6 +2213,42 @@ mod tests {
                 assert!(r.outcome.is_detected());
             }
         }
+    }
+
+    /// Satellite: the soft deadline used to shape scheduling silently. A
+    /// zero deadline over several workers must surface how many errors
+    /// the pool left to the merge pass, in the report struct and the full
+    /// JSON — but never in the deterministic JSON, where a wall-clock
+    /// artifact has no place.
+    #[test]
+    fn soft_deadline_trips_are_surfaced_in_the_report() {
+        let model = DlxModel::new();
+        let config = CampaignConfig {
+            limit: Some(6),
+            num_threads: 4,
+            soft_deadline: Some(Duration::ZERO),
+            ..CampaignConfig::default()
+        };
+        let report = Campaign::run(&model, &config, RunOptions::default()).report;
+        assert!(report.deadline_exceeded > 0, "zero deadline must trip");
+        assert!(report.deadline_partial());
+        assert_eq!(report.stats.errors, 6, "the merge still completes every record");
+        let json = report.to_json();
+        assert!(json.contains(&format!(
+            "\"deadline_exceeded\": {}",
+            report.deadline_exceeded
+        )));
+        assert!(json.contains("\"deadline_partial\": true"));
+        assert!(!report.to_json_deterministic().contains("deadline"));
+
+        let plain = CampaignConfig {
+            soft_deadline: None,
+            ..config
+        };
+        let report = Campaign::run(&model, &plain, RunOptions::default()).report;
+        assert_eq!(report.deadline_exceeded, 0);
+        assert!(!report.deadline_partial());
+        assert!(report.to_json().contains("\"deadline_partial\": false"));
     }
 
     #[test]

@@ -58,6 +58,14 @@ pub struct ChaosConfig {
     /// so an escalated retry of the same error runs clean — the
     /// recovery scenario the retry tests pin.
     pub first_attempt_only: bool,
+    /// Probability, in permille, of a torn (short) checkpoint append —
+    /// a prefix of the line reaches the file, the rest is lost, as a
+    /// kill mid-write would leave it. Exercises the
+    /// [`crate::checkpoint::CheckpointLog`] recovery path.
+    pub ckpt_torn_permille: u32,
+    /// Probability, in permille, of a transient disk-full checkpoint
+    /// append failure (nothing reaches the file).
+    pub ckpt_full_permille: u32,
 }
 
 impl Default for ChaosConfig {
@@ -70,6 +78,65 @@ impl Default for ChaosConfig {
             phase: None,
             stage: None,
             first_attempt_only: false,
+            ckpt_torn_permille: 0,
+            ckpt_full_permille: 0,
+        }
+    }
+}
+
+impl ChaosConfig {
+    /// The checkpoint-append fault plan this config implies, if any.
+    #[must_use]
+    pub fn checkpoint_io(&self) -> Option<CheckpointIoChaos> {
+        (self.ckpt_torn_permille > 0 || self.ckpt_full_permille > 0).then_some(CheckpointIoChaos {
+            seed: self.seed,
+            torn_permille: self.ckpt_torn_permille,
+            full_permille: self.ckpt_full_permille,
+        })
+    }
+}
+
+/// A checkpoint-append fault, drawn by [`CheckpointIoChaos::roll`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoFault {
+    /// A prefix of the line reaches the file; the rest is lost.
+    TornWrite,
+    /// The append fails outright with nothing persisted.
+    DiskFull,
+}
+
+/// Deterministic fault plan for [`crate::checkpoint::CheckpointLog`]
+/// appends. Each append draws once, pure in `(seed, append index)` —
+/// never wall-clock or thread timing — so a faulty campaign reproduces
+/// bit-for-bit. Because faults are injected *below* the log's
+/// newline-terminate-and-retry recovery, outcomes and reports are
+/// unaffected; only `io_recoveries()` and the skipped-line count of the
+/// next open move.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointIoChaos {
+    /// Seed of the per-append draw.
+    pub seed: u64,
+    /// Probability, in permille, of a torn (short) write.
+    pub torn_permille: u32,
+    /// Probability, in permille, of a transient disk-full failure
+    /// (drawn from the band just above the torn-write band).
+    pub full_permille: u32,
+}
+
+impl CheckpointIoChaos {
+    /// The fault injected on append number `append`, if any.
+    #[must_use]
+    pub fn roll(&self, append: u64) -> Option<IoFault> {
+        let mut rng = SplitMix64::new(
+            self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ append.rotate_left(17),
+        );
+        let draw = rng.next_u64() % 1000;
+        if draw < u64::from(self.torn_permille) {
+            Some(IoFault::TornWrite)
+        } else if draw < u64::from(self.torn_permille) + u64::from(self.full_permille) {
+            Some(IoFault::DiskFull)
+        } else {
+            None
         }
     }
 }

@@ -32,6 +32,7 @@
 //! * write failures degrade to an un-checkpointed campaign with a single
 //!   warning — persistence is best-effort, results are not.
 
+use crate::chaos::{CheckpointIoChaos, IoFault};
 use crate::instrument::{json_escape, json_f64, Counter, CounterDelta, Phase, COUNTERS, PHASES};
 use crate::jsonv::{self, Value};
 use crate::tg::{AbortReason, Outcome, TestCase};
@@ -42,8 +43,8 @@ use std::fmt::Write as _;
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Write};
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError, RwLock};
 
 /// One checkpointed per-error result.
 #[derive(Debug, Clone)]
@@ -59,13 +60,30 @@ pub struct CheckpointEntry {
     pub counters: CounterDelta,
 }
 
+/// The file half of the log: the handle plus an append counter feeding
+/// the deterministic I/O fault plan.
+#[derive(Debug)]
+struct LogFile {
+    file: File,
+    appends: u64,
+}
+
 /// An append-only JSONL checkpoint, shared across campaign workers.
+///
+/// The entry map is *live*: [`CheckpointLog::record`] publishes to it as
+/// well as appending to the file, so a log shared by several in-process
+/// shard attempts (the `hltg-serve` kill-and-respawn path) lets a
+/// respawned attempt skip work its predecessor completed moments ago
+/// without reopening the file.
 #[derive(Debug)]
 pub struct CheckpointLog {
-    file: Mutex<File>,
-    entries: HashMap<(u64, u32), CheckpointEntry>,
+    file: Mutex<LogFile>,
+    entries: RwLock<HashMap<(u64, u32), CheckpointEntry>>,
+    resumed_at_open: usize,
     skipped: usize,
     warned: AtomicBool,
+    recovered: AtomicU64,
+    io_chaos: Option<CheckpointIoChaos>,
 }
 
 impl CheckpointLog {
@@ -126,17 +144,30 @@ impl CheckpointLog {
             )?;
         }
         Ok(CheckpointLog {
-            file: Mutex::new(file),
-            entries,
+            file: Mutex::new(LogFile { file, appends: 0 }),
+            resumed_at_open: entries.len(),
+            entries: RwLock::new(entries),
             skipped,
             warned: AtomicBool::new(false),
+            recovered: AtomicU64::new(0),
+            io_chaos: None,
         })
     }
 
     /// Number of completed entries loaded at open.
     #[must_use]
     pub fn resumed(&self) -> usize {
-        self.entries.len()
+        self.resumed_at_open
+    }
+
+    /// Completed entries currently known: those loaded at open plus
+    /// everything recorded live since.
+    #[must_use]
+    pub fn completed(&self) -> usize {
+        self.entries
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
     }
 
     /// Corrupt/torn lines skipped at open.
@@ -145,20 +176,82 @@ impl CheckpointLog {
         self.skipped
     }
 
-    /// The stored result of `(error id, retry round)`, when completed.
+    /// Appends recovered after a failed write (injected or real): the
+    /// torn prefix was newline-terminated and the append retried.
     #[must_use]
-    pub fn lookup(&self, id: u64, round: u32) -> Option<&CheckpointEntry> {
-        self.entries.get(&(id, round))
+    pub fn io_recoveries(&self) -> u64 {
+        self.recovered.load(Ordering::Relaxed)
     }
 
-    /// Appends one completed per-error result. Best-effort: an I/O error
-    /// warns once and the campaign carries on un-persisted.
+    /// Arms deterministic append-fault injection (see
+    /// [`CheckpointIoChaos`]); the campaign runner wires this from
+    /// [`crate::chaos::ChaosConfig`].
+    pub fn set_io_chaos(&mut self, chaos: CheckpointIoChaos) {
+        self.io_chaos = Some(chaos);
+    }
+
+    /// The stored result of `(error id, retry round)`, when completed —
+    /// loaded at open or recorded live by any worker since.
+    #[must_use]
+    pub fn lookup(&self, id: u64, round: u32) -> Option<CheckpointEntry> {
+        self.entries
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&(id, round))
+            .cloned()
+    }
+
+    /// Appends one completed per-error result and publishes it to the
+    /// live entry map. The file side is best-effort with one layer of
+    /// recovery: a failed append (torn write, transient disk-full) is
+    /// retried once after newline-terminating whatever prefix reached
+    /// the disk — the fragment becomes a single skippable line for the
+    /// next open — and a still-failing append warns once while the
+    /// campaign carries on un-persisted. The in-memory entry is
+    /// published unconditionally: the generation itself completed.
     pub fn record(&self, id: u64, round: u32, entry: &CheckpointEntry) {
+        self.entries
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert((id, round), entry.clone());
         let line = entry_to_json(id, round, entry);
-        let mut file = self.file.lock().expect("checkpoint file");
-        if writeln!(file, "{line}").and_then(|()| file.flush()).is_err()
-            && !self.warned.swap(true, Ordering::Relaxed)
-        {
+        // A worker that panics while appending (e.g. killed by the chaos
+        // probe inside a hook) poisons this lock. The file is still
+        // sound — at worst one torn line, which open() skips — so
+        // recover the guard instead of cascading the panic into every
+        // later append of every surviving worker.
+        let mut log = self.file.lock().unwrap_or_else(PoisonError::into_inner);
+        let append = log.appends;
+        log.appends += 1;
+        let wrote = match self.io_chaos.as_ref().and_then(|c| c.roll(append)) {
+            // A torn write: a prefix of the line reaches the file, the
+            // rest is lost — what a kill mid-append leaves behind.
+            Some(IoFault::TornWrite) => {
+                let half = &line.as_bytes()[..line.len() / 2];
+                let _ = log.file.write_all(half);
+                Err(io::Error::new(
+                    io::ErrorKind::Interrupted,
+                    "chaos: torn checkpoint append",
+                ))
+            }
+            // Transient disk-full: nothing reaches the file.
+            Some(IoFault::DiskFull) => Err(io::Error::new(
+                io::ErrorKind::WriteZero,
+                "chaos: checkpoint disk full",
+            )),
+            None => writeln!(log.file, "{line}").and_then(|()| log.file.flush()),
+        };
+        if wrote.is_ok() {
+            return;
+        }
+        let retried = writeln!(log.file)
+            .and_then(|()| writeln!(log.file, "{line}"))
+            .and_then(|()| log.file.flush());
+        if retried.is_ok() {
+            self.recovered.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        if !self.warned.swap(true, Ordering::Relaxed) {
             eprintln!("checkpoint: write failed; campaign continues without persistence");
         }
     }
@@ -507,6 +600,79 @@ mod tests {
         // And a different fingerprint refuses to open.
         let err = CheckpointLog::open(&path, "fp-2").expect_err("mismatch");
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Regression: a worker that panics while holding the file lock used
+    /// to poison it, and the old `lock().expect(..)` then cascaded the
+    /// panic into every later append from every surviving worker. The
+    /// log must instead recover the guard and keep appending.
+    #[test]
+    fn poisoned_file_lock_recovers() {
+        let dir = std::env::temp_dir().join("hltg_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("poison.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let log = CheckpointLog::open(&path, "fp-p").unwrap();
+        let poisoner = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = log.file.lock().unwrap();
+            panic!("worker dies while appending");
+        }));
+        assert!(poisoner.is_err());
+        assert!(log.file.is_poisoned(), "test must actually poison the lock");
+        log.record(5, 0, &sample_abort());
+        assert!(log.lookup(5, 0).is_some(), "entry published despite poison");
+        drop(log);
+        let back = CheckpointLog::open(&path, "fp-p").unwrap();
+        assert_eq!(back.resumed(), 1, "entry persisted despite poison");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Records are published to the live map as they are appended, so a
+    /// sibling shard attempt sharing the log sees them without a reopen.
+    #[test]
+    fn recorded_entries_are_visible_live() {
+        let dir = std::env::temp_dir().join("hltg_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("live.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let log = CheckpointLog::open(&path, "fp-l").unwrap();
+        assert_eq!(log.completed(), 0);
+        log.record(3, 0, &sample_abort());
+        log.record(3, 1, &sample_abort());
+        assert_eq!(log.resumed(), 0, "resumed() counts the open-time load only");
+        assert_eq!(log.completed(), 2);
+        assert!(log.lookup(3, 1).is_some());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Satellite: injected torn-write / disk-full faults on the append
+    /// path lose no entries — the torn prefix is newline-terminated into
+    /// a line the next open skips, and the append is retried.
+    #[test]
+    fn injected_append_faults_lose_no_entries() {
+        let dir = std::env::temp_dir().join("hltg_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("iofaults.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let mut log = CheckpointLog::open(&path, "fp-io").unwrap();
+        log.set_io_chaos(CheckpointIoChaos {
+            seed: 11,
+            torn_permille: 350,
+            full_permille: 250,
+        });
+        for id in 0..40 {
+            log.record(id, 0, &sample_abort());
+        }
+        assert_eq!(log.completed(), 40);
+        assert!(log.io_recoveries() > 0, "fault plan injected nothing");
+        drop(log);
+        let back = CheckpointLog::open(&path, "fp-io").unwrap();
+        assert_eq!(back.resumed(), 40, "an injected fault lost an entry");
+        assert!(
+            back.skipped_lines() > 0,
+            "no torn prefix reached the file; torn-write path untested"
+        );
         let _ = std::fs::remove_file(&path);
     }
 }

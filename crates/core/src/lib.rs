@@ -57,9 +57,10 @@ pub mod unroll;
 
 pub use campaign::{
     Campaign, CampaignConfig, CampaignConfigBuilder, CampaignReport, CampaignRun, CampaignStats,
-    ConfigError, ObserveOptions, RetryPolicy, RunOptions,
+    ConfigError, ErrorRecord, ObserveOptions, RetryPolicy, RunOptions, ShardControl,
+    ShardObserver, ShardStatus,
 };
-pub use chaos::{ChaosConfig, ChaosProbe, ChaosTally};
+pub use chaos::{ChaosConfig, ChaosProbe, ChaosTally, CheckpointIoChaos, IoFault};
 pub use checkpoint::{CheckpointEntry, CheckpointLog};
 pub use flight::{FlightRecorder, MetricsTimeline};
 pub use ctrljust::CtrlJustMemo;

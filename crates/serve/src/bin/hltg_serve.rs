@@ -1,0 +1,246 @@
+//! `hltg_serve` — the campaign service over stdio.
+//!
+//! Reads JSONL requests on stdin, writes JSONL events on stdout; EOF
+//! drains and exits. `--soak` instead runs the built-in chaos soak
+//! self-test (concurrent chaos jobs plus a mid-run kill/resume cycle,
+//! each byte-compared against an uninterrupted single-threaded run) and
+//! exits nonzero on any mismatch — the scriptable core of the
+//! `check.sh` soak smoke.
+
+use hltg_core::{Campaign, RunOptions};
+use hltg_dlx::build_model;
+use hltg_serve::{serve_lines, ChaosSpec, Event, JobSpec, ServeConfig, Service, Verdict};
+use std::path::PathBuf;
+use std::time::Duration;
+
+const USAGE: &str = "usage: hltg_serve [options]
+  --workers N         worker threads (default 2)
+  --spool DIR         checkpoint spool directory
+                      (default <tmp>/hltg-serve-spool)
+  --heartbeat-ms N    stalled-worker deadline (default 2000)
+  --supervise-ms N    supervisor scan period (default 10)
+  --max-attempts N    shard attempts before degrading (default 4)
+  --backoff-ms N      first respawn backoff (default 8)
+  --backoff-max-ms N  respawn backoff ceiling (default 500)
+  --soak              run the chaos soak self-test and exit
+  --help              this text
+
+Protocol (one JSON object per line):
+  {\"req\": \"submit\", \"name\": \"j1\", \"design\": \"dlx\", \"limit\": 8, ...}
+  {\"req\": \"status\"} | {\"req\": \"metrics\"} | {\"req\": \"cancel\", \"job\": 1}
+  {\"req\": \"shutdown\", \"drain\": true}";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return;
+    }
+    let value_of = |name: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let parse_or_exit = |name: &str, v: String| -> u64 {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("{name}: cannot parse {v:?}");
+            std::process::exit(2);
+        })
+    };
+    let num = |name: &str| value_of(name).map(|v| parse_or_exit(name, v));
+
+    let mut cfg = ServeConfig::default();
+    if let Some(w) = num("--workers") {
+        cfg.workers = w as usize;
+    }
+    if let Some(dir) = value_of("--spool") {
+        cfg.spool = PathBuf::from(dir);
+    }
+    if let Some(ms) = num("--heartbeat-ms") {
+        cfg.heartbeat_deadline = Duration::from_millis(ms);
+    }
+    if let Some(ms) = num("--supervise-ms") {
+        cfg.supervise_every = Duration::from_millis(ms);
+    }
+    if let Some(n) = num("--max-attempts") {
+        cfg.max_attempts = n as u32;
+    }
+    if let Some(ms) = num("--backoff-ms") {
+        cfg.backoff_base = Duration::from_millis(ms);
+    }
+    if let Some(ms) = num("--backoff-max-ms") {
+        cfg.backoff_max = Duration::from_millis(ms);
+    }
+
+    if args.iter().any(|a| a == "--soak") {
+        std::process::exit(soak(&cfg));
+    }
+
+    let (service, events) = Service::start(cfg);
+    let stdin = std::io::stdin();
+    serve_lines(service, events, stdin.lock(), std::io::stdout());
+}
+
+/// The reference report for `spec`: an uninterrupted single-threaded
+/// `Campaign::run` of the same normalized config, no checkpoint.
+fn reference_report(spec: &JobSpec) -> String {
+    let model = build_model(&spec.design).expect("soak uses registered designs");
+    let config = spec.to_campaign_config().expect("soak specs are valid");
+    Campaign::run(model.as_ref(), &config, RunOptions::default())
+        .report
+        .to_json_deterministic()
+}
+
+fn soak_spec(name: &str, design: &str, limit: usize, kill_permille: u32) -> JobSpec {
+    JobSpec {
+        name: name.to_string(),
+        design: design.to_string(),
+        limit: Some(limit),
+        retry_rounds: 1,
+        shard_size: 2,
+        seed: 1,
+        chaos: Some(ChaosSpec {
+            seed: 23,
+            panic_permille: 250,
+            backtrack_permille: 100,
+            ckpt_torn_permille: 200,
+            ckpt_full_permille: 100,
+            kill_permille,
+            stall_permille: 60,
+            stall_ms: 120,
+        }),
+        ..JobSpec::default()
+    }
+}
+
+fn soak_cfg(spool: &PathBuf) -> ServeConfig {
+    ServeConfig {
+        workers: 4,
+        spool: spool.clone(),
+        heartbeat_deadline: Duration::from_millis(60),
+        supervise_every: Duration::from_millis(5),
+        max_attempts: 16,
+        backoff_base: Duration::from_millis(1),
+        backoff_max: Duration::from_millis(16),
+    }
+}
+
+/// The chaos soak self-test. Returns the process exit code.
+fn soak(base: &ServeConfig) -> i32 {
+    let spool = base.spool.join(format!("soak-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&spool);
+    let mut failures = 0;
+
+    // Scenario 1: concurrent chaos jobs, byte-compared.
+    let specs = [
+        soak_spec("soak-dlx", "dlx", 8, 120),
+        soak_spec("soak-dlx16", "dlx16", 6, 120),
+        soak_spec("soak-lite", "dlx-lite", 6, 120),
+    ];
+    let (service, _events) = Service::start(soak_cfg(&spool));
+    let jobs: Vec<_> = specs
+        .iter()
+        .map(|s| (s, service.submit(s).expect("soak submit")))
+        .collect();
+    for (spec, job) in jobs {
+        let Some(done) = service.wait_done(job, Duration::from_secs(120)) else {
+            eprintln!("soak: {} did not finish", spec.name);
+            failures += 1;
+            continue;
+        };
+        if done.verdict != Verdict::Ok {
+            eprintln!("soak: {} ended {:?}", spec.name, done.verdict);
+            failures += 1;
+            continue;
+        }
+        if done.report == reference_report(spec) {
+            eprintln!("soak: {} report matches the uninterrupted run", spec.name);
+        } else {
+            eprintln!("soak: {} report DIVERGED from the uninterrupted run", spec.name);
+            failures += 1;
+        }
+    }
+    let m = service.metrics();
+    eprintln!(
+        "soak: {} respawns, {} stalls detected, {} chaos kills, {} resumes",
+        m.respawns, m.stalls_detected, m.chaos_kills, m.errors_resumed
+    );
+    service.drain();
+
+    // Scenario 2: kill the service mid-run, resume in a fresh one.
+    let spec = soak_spec("soak-resume", "dlx", 10, 0);
+    let (service, events) = Service::start(soak_cfg(&spool));
+    let _job = service.submit(&spec).expect("soak submit");
+    let mut records = 0;
+    for ev in events.iter() {
+        if matches!(ev, Event::Record { .. }) {
+            records += 1;
+            if records >= 3 {
+                break;
+            }
+        }
+    }
+    service.shutdown_now(); // mid-run kill; the checkpoint survives
+    let (service, _events) = Service::start(soak_cfg(&spool));
+    let job = service.submit(&spec).expect("soak resubmit");
+    match service.wait_done(job, Duration::from_secs(120)) {
+        Some(done) if done.verdict == Verdict::Ok && done.report == reference_report(&spec) => {
+            eprintln!("soak: kill/resume report matches the uninterrupted run");
+        }
+        Some(done) => {
+            eprintln!(
+                "soak: kill/resume DIVERGED (verdict {:?})",
+                done.verdict
+            );
+            failures += 1;
+        }
+        None => {
+            eprintln!("soak: kill/resume did not finish");
+            failures += 1;
+        }
+    }
+    service.drain();
+
+    // Scenario 3: a crash-looping job must degrade, not hang.
+    let mut cfg = soak_cfg(&spool);
+    cfg.max_attempts = 3;
+    let spec = JobSpec {
+        chaos: Some(ChaosSpec {
+            kill_permille: 1000,
+            ..soak_spec("soak-degrade", "dlx", 6, 0).chaos.unwrap()
+        }),
+        ..soak_spec("soak-degrade", "dlx", 6, 0)
+    };
+    let (service, _events) = Service::start(cfg);
+    let job = service.submit(&spec).expect("soak submit");
+    match service.wait_done(job, Duration::from_secs(120)) {
+        Some(done) if done.verdict == Verdict::Degraded && done.completed > 0 => {
+            eprintln!(
+                "soak: crash loop degraded gracefully with {}/{} errors",
+                done.completed, done.total
+            );
+        }
+        Some(done) => {
+            eprintln!(
+                "soak: crash loop ended {:?} with {}/{} errors (wanted degraded with partial results)",
+                done.verdict, done.completed, done.total
+            );
+            failures += 1;
+        }
+        None => {
+            eprintln!("soak: crash loop hung the service");
+            failures += 1;
+        }
+    }
+    service.drain();
+
+    let _ = std::fs::remove_dir_all(&spool);
+    if failures == 0 {
+        println!("soak ok");
+        0
+    } else {
+        println!("soak failed: {failures} scenario(s)");
+        1
+    }
+}

@@ -1,0 +1,142 @@
+//! The line-protocol pump and a small client.
+//!
+//! [`serve_lines`] runs a [`Service`] against any `BufRead`/`Write`
+//! pair — stdin/stdout for the `hltg_serve` binary, in-memory buffers
+//! for the protocol tests. Requests are handled inline on the reader
+//! thread; events are pumped to the writer from a dedicated thread, so
+//! a slow client never blocks the scheduler.
+//!
+//! [`Client`] is the other side for embedders and tests: it formats
+//! request lines and picks events back out of the response stream.
+
+use crate::protocol::{extract_report, parse_request, JobId, JobSpec, Request};
+use crate::supervisor::Service;
+use std::io::{BufRead, Write};
+use std::sync::mpsc::Receiver;
+
+/// Drives `service` over a line protocol until EOF or a `shutdown`
+/// request, then shuts the service down (drain by default) and writes
+/// the final `stopped` line. Returns the writer.
+pub fn serve_lines<R, W>(
+    service: Service,
+    events: Receiver<crate::protocol::Event>,
+    input: R,
+    output: W,
+) -> W
+where
+    R: BufRead,
+    W: Write + Send + 'static,
+{
+    let pump = std::thread::spawn(move || {
+        let mut out = output;
+        for ev in events {
+            // A broken pipe just stops the pump; the service itself is
+            // torn down by the request loop.
+            if writeln!(out, "{}", ev.to_json()).is_err() {
+                break;
+            }
+            let _ = out.flush();
+        }
+        out
+    });
+    let mut drain = true;
+    for line in input.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_request(&line) {
+            Ok(Request::Submit(spec)) => {
+                // submit() emits accepted/rejected onto the stream.
+                let _ = service.submit(&spec);
+            }
+            Ok(Request::Status) => service.emit_status(),
+            Ok(Request::Metrics) => service.emit_metrics(),
+            Ok(Request::Cancel(job)) => {
+                service.cancel(job);
+            }
+            Ok(Request::Shutdown { drain: d }) => {
+                drain = d;
+                break;
+            }
+            Err(reason) => {
+                // Parse errors have no job name; reuse the rejected
+                // event so the client sees *something* for the bad line.
+                service.emit_event(crate::protocol::Event::Rejected {
+                    name: String::new(),
+                    reason,
+                });
+            }
+        }
+    }
+    if drain {
+        service.drain();
+    } else {
+        service.shutdown_now();
+    }
+    // The service dropped its event sender; the pump exits once the
+    // queue is flushed.
+    let mut out = pump.join().unwrap_or_else(|e| std::panic::resume_unwind(e));
+    let _ = writeln!(out, "{}", crate::protocol::Event::Stopped.to_json());
+    let _ = out.flush();
+    out
+}
+
+/// Client-side helpers over a response stream: format request lines,
+/// scan events.
+#[derive(Debug, Default)]
+pub struct Client;
+
+impl Client {
+    /// The `submit` line for `spec` (no trailing newline).
+    #[must_use]
+    pub fn submit_line(spec: &JobSpec) -> String {
+        Request::Submit(Box::new(spec.clone())).to_json()
+    }
+
+    /// The `shutdown` line.
+    #[must_use]
+    pub fn shutdown_line(drain: bool) -> String {
+        Request::Shutdown { drain }.to_json()
+    }
+
+    /// The `status` line.
+    #[must_use]
+    pub fn status_line() -> String {
+        Request::Status.to_json()
+    }
+
+    /// The `metrics` line.
+    #[must_use]
+    pub fn metrics_line() -> String {
+        Request::Metrics.to_json()
+    }
+
+    /// The `cancel` line for `job`.
+    #[must_use]
+    pub fn cancel_line(job: JobId) -> String {
+        Request::Cancel(job).to_json()
+    }
+
+    /// Finds the `done` event for the job named `name` in a response
+    /// transcript and returns `(verdict, byte-exact report)`.
+    #[must_use]
+    pub fn done_of<'t>(transcript: &'t str, name: &str) -> Option<(&'t str, &'t str)> {
+        let needle = "\"ev\": \"done\", \"job\": ";
+        for line in transcript.lines() {
+            if !line.contains(needle) {
+                continue;
+            }
+            if !line.contains(&format!("\"name\": \"{name}\"")) {
+                continue;
+            }
+            let verdict = line
+                .split("\"verdict\": \"")
+                .nth(1)
+                .and_then(|rest| rest.split('"').next())?;
+            let report = extract_report(line)?;
+            return Some((verdict, report));
+        }
+        None
+    }
+}

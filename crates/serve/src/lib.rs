@@ -1,0 +1,51 @@
+//! `hltg-serve` — a supervised, fault-tolerant campaign service.
+//!
+//! The paper's campaign is a one-shot batch run; this crate turns it
+//! into a long-running *service*: a job queue plus supervisor that
+//! multiplexes campaign shards from many submissions (any registered
+//! design, any validated [`hltg_core::CampaignConfig`]) over one shared
+//! worker pool, streaming incremental per-error results and service
+//! metrics as JSONL over a stdio line protocol.
+//!
+//! The robustness core is the supervisor loop ([`supervisor`]):
+//!
+//! * per-worker **heartbeats** with deadline-based detection of stalled
+//!   or dead workers;
+//! * automatic **kill-and-respawn** that resumes the victim shard from
+//!   its fingerprint-guarded checkpoint log (suspend/migrate is just
+//!   checkpoint + reschedule);
+//! * **bounded exponential backoff** on repeatedly-crashing shards,
+//!   ending in a graceful `degraded` verdict with partial results
+//!   rather than a hung service;
+//! * clean **drain-on-shutdown**, with checkpoints surviving an
+//!   immediate shutdown for a later resume.
+//!
+//! The correctness contract, pinned by `tests/soak.rs` at the workspace
+//! root: a job sliced across arbitrary scheduler interleavings —
+//! including chaos-injected worker death and kill/resume cycles —
+//! produces a final report byte-identical
+//! ([`hltg_core::CampaignReport::to_json_deterministic`]) to an
+//! uninterrupted single-threaded run. The mechanism is the division of
+//! labor with [`hltg_core::campaign::Campaign::run_shard`]: shards only
+//! *persist* deterministic per-error generations; the final report is
+//! always produced by the one true merge path ([`Campaign::run`]) over
+//! the shared checkpoint, where every generation is a replay hit.
+//!
+//! [`Campaign::run`]: hltg_core::Campaign::run
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod protocol;
+mod queue;
+mod scheduler;
+pub mod supervisor;
+
+pub use client::{serve_lines, Client};
+pub use protocol::{
+    extract_report, parse_request, ChaosSpec, Event, JobId, JobSpec, JobStatus, Request,
+    ServiceMetrics, Verdict,
+};
+pub use queue::DoneInfo;
+pub use supervisor::{ServeConfig, Service};

@@ -1,0 +1,800 @@
+//! The JSONL line protocol of the campaign service.
+//!
+//! One JSON object per line in each direction. Client → service lines
+//! are [`Request`]s; service → client lines are [`Event`]s. The grammar
+//! is deliberately small and hand-rolled over [`hltg_core::jsonv`] —
+//! the workspace has no external dependencies — and every emitted line
+//! parses back through `jsonv`, which the protocol tests pin.
+//!
+//! Requests:
+//!
+//! ```text
+//! {"req": "submit", "name": "...", "design": "dlx", "limit": 8, ...}
+//! {"req": "status"}
+//! {"req": "metrics"}
+//! {"req": "cancel", "job": 1}
+//! {"req": "shutdown", "drain": true}
+//! ```
+//!
+//! Events lead with an `"ev"` tag: `accepted`, `rejected`, `record`,
+//! `respawn`, `degraded`, `done`, `status`, `metrics`, `stopped`. The
+//! `done` event carries the job's final report as an embedded JSON
+//! object in its *last* field, so [`extract_report`] can recover it
+//! byte-exactly for the determinism contract.
+
+use hltg_core::instrument::json_escape;
+use hltg_core::jsonv;
+use hltg_core::{CampaignConfig, ChaosConfig, ConfigError, RetryPolicy};
+use std::fmt;
+use std::time::Duration;
+
+/// Handle of an accepted job, unique within one service instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JobId(pub u64);
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Final verdict of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Every shard completed and the finalizing merge ran: the report is
+    /// byte-identical to an uninterrupted single-threaded run.
+    Ok,
+    /// The job exhausted its respawn budget (a crash-looping shard); the
+    /// report covers the checkpointed prefix only.
+    Degraded,
+    /// The client cancelled the job; the report covers the checkpointed
+    /// prefix only.
+    Cancelled,
+}
+
+impl Verdict {
+    /// The protocol tag (`"ok"`, `"degraded"`, `"cancelled"`).
+    #[must_use]
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Verdict::Ok => "ok",
+            Verdict::Degraded => "degraded",
+            Verdict::Cancelled => "cancelled",
+        }
+    }
+}
+
+/// Chaos plan of one submission: the generator-level fault sites of
+/// [`ChaosConfig`] plus the two *service*-level sites the supervisor
+/// must absorb — worker kills and worker stalls.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ChaosSpec {
+    /// Seed for every injection decision of this job.
+    pub seed: u64,
+    /// Permille chance of a generator panic at a phase entry.
+    pub panic_permille: u32,
+    /// Permille chance of a spurious `CTRLJUST` backtrack.
+    pub backtrack_permille: u32,
+    /// Permille chance of a torn checkpoint append.
+    pub ckpt_torn_permille: u32,
+    /// Permille chance of a transient disk-full checkpoint append.
+    pub ckpt_full_permille: u32,
+    /// Permille chance, per error boundary past the first of an attempt,
+    /// of the worker dying on the spot (the attempt ends as a crash; the
+    /// supervisor respawns and resumes from the checkpoint). Kills never
+    /// land on an attempt's first error, so even `1000` crash-*loops*
+    /// instead of wedging: each attempt checkpoints at least one error
+    /// before dying, which is exactly the degraded-verdict scenario the
+    /// soak suite pins.
+    pub kill_permille: u32,
+    /// Permille chance, per error boundary, of the worker going silent
+    /// (no heartbeat) for [`ChaosSpec::stall_ms`] — the supervisor's
+    /// deadline detection must condemn and replace it.
+    pub stall_permille: u32,
+    /// How long an injected worker stall lasts.
+    pub stall_ms: u64,
+}
+
+impl ChaosSpec {
+    /// The generator-level half of the plan, or `None` when every
+    /// generator-level site is off (service-level kills/stalls do not
+    /// perturb generation, so the job's config stays chaos-free and its
+    /// checkpoint fingerprint matches a plain run's).
+    #[must_use]
+    pub fn generator_chaos(&self) -> Option<ChaosConfig> {
+        let on = self.panic_permille > 0
+            || self.backtrack_permille > 0
+            || self.ckpt_torn_permille > 0
+            || self.ckpt_full_permille > 0;
+        on.then(|| ChaosConfig {
+            seed: self.seed,
+            panic_permille: self.panic_permille,
+            spurious_backtrack_permille: self.backtrack_permille,
+            ckpt_torn_permille: self.ckpt_torn_permille,
+            ckpt_full_permille: self.ckpt_full_permille,
+            ..ChaosConfig::default()
+        })
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"seed\": {}, \"panic_permille\": {}, \"backtrack_permille\": {}, \
+             \"ckpt_torn_permille\": {}, \"ckpt_full_permille\": {}, \
+             \"kill_permille\": {}, \"stall_permille\": {}, \"stall_ms\": {}}}",
+            self.seed,
+            self.panic_permille,
+            self.backtrack_permille,
+            self.ckpt_torn_permille,
+            self.ckpt_full_permille,
+            self.kill_permille,
+            self.stall_permille,
+            self.stall_ms
+        )
+    }
+
+    fn from_value(v: &jsonv::Value) -> ChaosSpec {
+        ChaosSpec {
+            seed: v.get_u64("seed").unwrap_or(0xC4A0_5C4A),
+            panic_permille: get_u32(v, "panic_permille"),
+            backtrack_permille: get_u32(v, "backtrack_permille"),
+            ckpt_torn_permille: get_u32(v, "ckpt_torn_permille"),
+            ckpt_full_permille: get_u32(v, "ckpt_full_permille"),
+            kill_permille: get_u32(v, "kill_permille"),
+            stall_permille: get_u32(v, "stall_permille"),
+            stall_ms: v.get_u64("stall_ms").unwrap_or(0),
+        }
+    }
+}
+
+fn get_u32(v: &jsonv::Value, key: &str) -> u32 {
+    v.get_u64(key).map(|n| n.min(u64::from(u32::MAX)) as u32).unwrap_or(0)
+}
+
+/// One campaign submission: which design, how much of its error
+/// population, which knobs — the protocol-level mirror of a validated
+/// [`CampaignConfig`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobSpec {
+    /// Client-chosen job name. Also the resume identity: a resubmission
+    /// with the same name and an equivalent config reuses the job's
+    /// spool checkpoint, so a killed service picks up where it left off.
+    pub name: String,
+    /// Registered backend name (`hltg_dlx::build_model`).
+    pub design: String,
+    /// Cap on the number of targeted errors.
+    pub limit: Option<usize>,
+    /// Error simulation (screen later errors against each new test).
+    pub error_simulation: bool,
+    /// Error-class collapsing.
+    pub collapse: bool,
+    /// Retry rounds for aborted errors.
+    pub retry_rounds: u32,
+    /// Per-error simulation step budget.
+    pub max_steps: Option<u64>,
+    /// Generator seed.
+    pub seed: u64,
+    /// Errors per shard (the scheduling granule); clamped to at least 1.
+    pub shard_size: usize,
+    /// Fault-injection plan, if any.
+    pub chaos: Option<ChaosSpec>,
+}
+
+impl Default for JobSpec {
+    fn default() -> Self {
+        JobSpec {
+            name: String::new(),
+            design: "dlx".to_string(),
+            limit: None,
+            error_simulation: false,
+            collapse: false,
+            retry_rounds: 0,
+            max_steps: None,
+            seed: 1,
+            shard_size: 4,
+            chaos: None,
+        }
+    }
+}
+
+impl JobSpec {
+    /// The validated campaign configuration this spec describes, already
+    /// [`CampaignConfig::normalized`]. Shards and the finalizing merge
+    /// both execute exactly this config (single-threaded merge), which
+    /// is what makes the service's report byte-identical to an
+    /// uninterrupted run of the same config.
+    pub fn to_campaign_config(&self) -> Result<CampaignConfig, ConfigError> {
+        let mut builder = CampaignConfig::builder()
+            .error_simulation(self.error_simulation)
+            .collapse(self.collapse)
+            .threads(1)
+            .retry(RetryPolicy {
+                rounds: self.retry_rounds,
+                ..RetryPolicy::default()
+            });
+        if let Some(limit) = self.limit {
+            builder = builder.limit(limit);
+        }
+        if let Some(chaos) = self.chaos.as_ref().and_then(ChaosSpec::generator_chaos) {
+            builder = builder.chaos(chaos);
+        }
+        let mut config = builder.build()?;
+        config.tg.seed = self.seed;
+        if self.max_steps.is_some() {
+            config.tg.max_steps = self.max_steps;
+        }
+        Ok(config.normalized())
+    }
+
+    /// The spec as a `submit` request line (no trailing newline).
+    #[must_use]
+    pub fn to_request_json(&self) -> String {
+        use std::fmt::Write;
+        let mut out = format!(
+            "{{\"req\": \"submit\", \"name\": \"{}\", \"design\": \"{}\"",
+            json_escape(&self.name),
+            json_escape(&self.design)
+        );
+        if let Some(limit) = self.limit {
+            let _ = write!(out, ", \"limit\": {limit}");
+        }
+        let _ = write!(
+            out,
+            ", \"error_simulation\": {}, \"collapse\": {}, \"retry_rounds\": {}, \
+             \"seed\": {}, \"shard_size\": {}",
+            self.error_simulation, self.collapse, self.retry_rounds, self.seed, self.shard_size
+        );
+        if let Some(steps) = self.max_steps {
+            let _ = write!(out, ", \"max_steps\": {steps}");
+        }
+        if let Some(chaos) = &self.chaos {
+            let _ = write!(out, ", \"chaos\": {}", chaos.to_json());
+        }
+        out.push('}');
+        out
+    }
+
+    fn from_value(v: &jsonv::Value) -> Result<JobSpec, String> {
+        let name = v
+            .get_str("name")
+            .ok_or("submit: missing \"name\"")?
+            .to_string();
+        if name.is_empty() {
+            return Err("submit: empty \"name\"".to_string());
+        }
+        let d = JobSpec::default();
+        Ok(JobSpec {
+            name,
+            design: v.get_str("design").unwrap_or(&d.design).to_string(),
+            limit: v.get_u64("limit").map(|n| n as usize),
+            error_simulation: v.get("error_simulation").and_then(jsonv::Value::as_bool).unwrap_or(false),
+            collapse: v.get("collapse").and_then(jsonv::Value::as_bool).unwrap_or(false),
+            retry_rounds: get_u32(v, "retry_rounds"),
+            max_steps: v.get_u64("max_steps"),
+            seed: v.get_u64("seed").unwrap_or(d.seed),
+            shard_size: v.get_u64("shard_size").map(|n| n as usize).unwrap_or(d.shard_size),
+            chaos: v.get("chaos").map(ChaosSpec::from_value),
+        })
+    }
+}
+
+/// A client → service line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Submit a new job.
+    Submit(Box<JobSpec>),
+    /// Ask for a per-job status snapshot (`status` event).
+    Status,
+    /// Ask for the service counters (`metrics` event).
+    Metrics,
+    /// Cancel a job by id.
+    Cancel(JobId),
+    /// Stop the service. `drain: true` finishes every accepted job
+    /// first; `false` abandons running work (checkpoints survive).
+    Shutdown {
+        /// Finish accepted jobs before stopping.
+        drain: bool,
+    },
+}
+
+impl Request {
+    /// The request as a protocol line (no trailing newline).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        match self {
+            Request::Submit(spec) => spec.to_request_json(),
+            Request::Status => "{\"req\": \"status\"}".to_string(),
+            Request::Metrics => "{\"req\": \"metrics\"}".to_string(),
+            Request::Cancel(job) => format!("{{\"req\": \"cancel\", \"job\": {job}}}"),
+            Request::Shutdown { drain } => {
+                format!("{{\"req\": \"shutdown\", \"drain\": {drain}}}")
+            }
+        }
+    }
+}
+
+/// Parses one protocol line into a [`Request`].
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let v = jsonv::parse(line).map_err(|e| format!("bad request line: {e}"))?;
+    match v.get_str("req") {
+        Some("submit") => Ok(Request::Submit(Box::new(JobSpec::from_value(&v)?))),
+        Some("status") => Ok(Request::Status),
+        Some("metrics") => Ok(Request::Metrics),
+        Some("cancel") => {
+            let job = v.get_u64("job").ok_or("cancel: missing \"job\"")?;
+            Ok(Request::Cancel(JobId(job)))
+        }
+        Some("shutdown") => Ok(Request::Shutdown {
+            drain: v.get("drain").and_then(jsonv::Value::as_bool).unwrap_or(true),
+        }),
+        Some(other) => Err(format!("unknown request {other:?}")),
+        None => Err("missing \"req\" tag".to_string()),
+    }
+}
+
+/// Per-job line of a `status` event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobStatus {
+    /// Job id.
+    pub job: JobId,
+    /// Client-chosen name.
+    pub name: String,
+    /// Backend name.
+    pub design: String,
+    /// Scheduler phase: `running`, `finalizing` or `done`.
+    pub phase: &'static str,
+    /// Final verdict, once `done`.
+    pub verdict: Option<Verdict>,
+    /// Shards whose generation completed.
+    pub shards_done: usize,
+    /// Total shards.
+    pub shards: usize,
+}
+
+impl JobStatus {
+    fn to_json(&self) -> String {
+        let verdict = match self.verdict {
+            Some(v) => format!("\"{}\"", v.as_str()),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"job\": {}, \"name\": \"{}\", \"design\": \"{}\", \"phase\": \"{}\", \
+             \"verdict\": {}, \"shards_done\": {}, \"shards\": {}}}",
+            self.job,
+            json_escape(&self.name),
+            json_escape(&self.design),
+            self.phase,
+            verdict,
+            self.shards_done,
+            self.shards
+        )
+    }
+}
+
+/// Cumulative service counters, as carried by a `metrics` event — the
+/// service-level analogue of the campaign's flight-recorder snapshots.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceMetrics {
+    /// Jobs accepted.
+    pub jobs_submitted: u64,
+    /// Jobs finished with [`Verdict::Ok`].
+    pub jobs_ok: u64,
+    /// Jobs finished with [`Verdict::Degraded`].
+    pub jobs_degraded: u64,
+    /// Jobs finished with [`Verdict::Cancelled`].
+    pub jobs_cancelled: u64,
+    /// Shard attempts started.
+    pub shard_attempts: u64,
+    /// Shard attempts that completed their range.
+    pub shards_completed: u64,
+    /// Shard attempts rescheduled after a worker death (crash, injected
+    /// kill, or condemned stall).
+    pub respawns: u64,
+    /// Stalled workers the supervisor condemned past the heartbeat
+    /// deadline.
+    pub stalls_detected: u64,
+    /// Injected worker kills taken.
+    pub chaos_kills: u64,
+    /// Injected worker stalls taken.
+    pub chaos_stalls: u64,
+    /// Incremental `record` events streamed.
+    pub records_streamed: u64,
+    /// Errors skipped by shard attempts because the checkpoint already
+    /// held their complete chain (resume hits).
+    pub errors_resumed: u64,
+}
+
+impl ServiceMetrics {
+    fn json_fields(&self) -> String {
+        format!(
+            "\"jobs_submitted\": {}, \"jobs_ok\": {}, \"jobs_degraded\": {}, \
+             \"jobs_cancelled\": {}, \"shard_attempts\": {}, \"shards_completed\": {}, \
+             \"respawns\": {}, \"stalls_detected\": {}, \"chaos_kills\": {}, \
+             \"chaos_stalls\": {}, \"records_streamed\": {}, \"errors_resumed\": {}",
+            self.jobs_submitted,
+            self.jobs_ok,
+            self.jobs_degraded,
+            self.jobs_cancelled,
+            self.shard_attempts,
+            self.shards_completed,
+            self.respawns,
+            self.stalls_detected,
+            self.chaos_kills,
+            self.chaos_stalls,
+            self.records_streamed,
+            self.errors_resumed
+        )
+    }
+}
+
+/// A service → client line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A submission was accepted and sharded.
+    Accepted {
+        /// Assigned job id.
+        job: JobId,
+        /// Client-chosen name.
+        name: String,
+        /// Backend name.
+        design: String,
+        /// Targeted error count.
+        errors: usize,
+        /// Shard count.
+        shards: usize,
+        /// Checkpoint entries resumed from a previous service run.
+        resumed: usize,
+    },
+    /// A submission was refused.
+    Rejected {
+        /// Offending name, when known.
+        name: String,
+        /// Why.
+        reason: String,
+    },
+    /// One per-error result, streamed as generation progresses.
+    Record {
+        /// Job id.
+        job: JobId,
+        /// Error index in enumeration order.
+        index: usize,
+        /// Error id.
+        id: u64,
+        /// Retry round that produced the outcome.
+        round: u32,
+        /// Whether the outcome is a confirmed detection.
+        detected: bool,
+        /// Replayed from the checkpoint (no generation ran).
+        resumed: bool,
+        /// Worker slot that produced it.
+        worker: usize,
+    },
+    /// A worker died or stalled; its shard was rescheduled.
+    Respawn {
+        /// Job id.
+        job: JobId,
+        /// Shard index within the job.
+        shard: usize,
+        /// Worker slot that died.
+        worker: usize,
+        /// Attempts started so far for this shard.
+        attempt: u32,
+        /// `"crash"`, `"kill"` or `"stall"`.
+        reason: &'static str,
+        /// Backoff before the next attempt, in milliseconds.
+        backoff_ms: u64,
+    },
+    /// A shard exhausted its respawn budget; the job is degraded.
+    Degraded {
+        /// Job id.
+        job: JobId,
+        /// Crash-looping shard index.
+        shard: usize,
+        /// Attempts it burned.
+        attempts: u32,
+    },
+    /// A job reached its terminal state. The `report` field is last so
+    /// [`extract_report`] recovers it byte-exactly.
+    Done {
+        /// Job id.
+        job: JobId,
+        /// Client-chosen name.
+        name: String,
+        /// Final verdict.
+        verdict: Verdict,
+        /// Errors with results in the report.
+        completed: usize,
+        /// Errors targeted.
+        total: usize,
+        /// `CampaignReport::to_json_deterministic()` of the final (for
+        /// [`Verdict::Ok`]) or partial (otherwise) report.
+        report: String,
+    },
+    /// Snapshot of every known job.
+    Status(Vec<JobStatus>),
+    /// Service counters.
+    Metrics(ServiceMetrics),
+    /// The service stopped; no further events follow.
+    Stopped,
+}
+
+impl Event {
+    /// The event as a protocol line (no trailing newline).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        match self {
+            Event::Accepted {
+                job,
+                name,
+                design,
+                errors,
+                shards,
+                resumed,
+            } => format!(
+                "{{\"ev\": \"accepted\", \"job\": {job}, \"name\": \"{}\", \
+                 \"design\": \"{}\", \"errors\": {errors}, \"shards\": {shards}, \
+                 \"resumed\": {resumed}}}",
+                json_escape(name),
+                json_escape(design)
+            ),
+            Event::Rejected { name, reason } => format!(
+                "{{\"ev\": \"rejected\", \"name\": \"{}\", \"reason\": \"{}\"}}",
+                json_escape(name),
+                json_escape(reason)
+            ),
+            Event::Record {
+                job,
+                index,
+                id,
+                round,
+                detected,
+                resumed,
+                worker,
+            } => format!(
+                "{{\"ev\": \"record\", \"job\": {job}, \"index\": {index}, \"id\": {id}, \
+                 \"round\": {round}, \"detected\": {detected}, \"resumed\": {resumed}, \
+                 \"worker\": {worker}}}"
+            ),
+            Event::Respawn {
+                job,
+                shard,
+                worker,
+                attempt,
+                reason,
+                backoff_ms,
+            } => format!(
+                "{{\"ev\": \"respawn\", \"job\": {job}, \"shard\": {shard}, \
+                 \"worker\": {worker}, \"attempt\": {attempt}, \"reason\": \"{reason}\", \
+                 \"backoff_ms\": {backoff_ms}}}"
+            ),
+            Event::Degraded {
+                job,
+                shard,
+                attempts,
+            } => format!(
+                "{{\"ev\": \"degraded\", \"job\": {job}, \"shard\": {shard}, \
+                 \"attempts\": {attempts}}}"
+            ),
+            Event::Done {
+                job,
+                name,
+                verdict,
+                completed,
+                total,
+                report,
+            } => format!(
+                "{{\"ev\": \"done\", \"job\": {job}, \"name\": \"{}\", \
+                 \"verdict\": \"{}\", \"completed\": {completed}, \"total\": {total}, \
+                 \"report\": {report}}}",
+                json_escape(name),
+                verdict.as_str()
+            ),
+            Event::Status(jobs) => {
+                let mut out = String::from("{\"ev\": \"status\", \"jobs\": [");
+                for (i, j) in jobs.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str(&j.to_json());
+                }
+                out.push_str("]}");
+                out
+            }
+            Event::Metrics(m) => {
+                format!("{{\"ev\": \"metrics\", {}}}", m.json_fields())
+            }
+            Event::Stopped => "{\"ev\": \"stopped\"}".to_string(),
+        }
+    }
+}
+
+/// Recovers the embedded report object from a `done` event line,
+/// byte-exactly — the field is emitted last precisely so this is a
+/// plain substring, immune to JSON re-serialization drift.
+#[must_use]
+pub fn extract_report(done_line: &str) -> Option<&str> {
+    const MARKER: &str = "\"report\": ";
+    let line = done_line.trim_end();
+    let at = line.find(MARKER)?;
+    let body = &line[at + MARKER.len()..];
+    body.strip_suffix('}')
+}
+
+/// How long an injected worker stall sleeps.
+#[must_use]
+pub fn stall_duration(spec: &ChaosSpec) -> Duration {
+    Duration::from_millis(spec.stall_ms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn submit_round_trips_through_the_line_grammar() {
+        let spec = JobSpec {
+            name: "night run".to_string(),
+            design: "dlx16".to_string(),
+            limit: Some(12),
+            error_simulation: true,
+            collapse: true,
+            retry_rounds: 2,
+            max_steps: Some(40_000),
+            seed: 9,
+            shard_size: 3,
+            chaos: Some(ChaosSpec {
+                seed: 7,
+                panic_permille: 250,
+                backtrack_permille: 100,
+                ckpt_torn_permille: 50,
+                ckpt_full_permille: 25,
+                kill_permille: 300,
+                stall_permille: 80,
+                stall_ms: 40,
+            }),
+        };
+        let line = Request::Submit(Box::new(spec.clone())).to_json();
+        match parse_request(&line).expect("parses") {
+            Request::Submit(parsed) => assert_eq!(*parsed, spec),
+            other => panic!("wrong request: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn control_requests_round_trip() {
+        for req in [
+            Request::Status,
+            Request::Metrics,
+            Request::Cancel(JobId(7)),
+            Request::Shutdown { drain: true },
+            Request::Shutdown { drain: false },
+        ] {
+            assert_eq!(parse_request(&req.to_json()), Ok(req.clone()), "{req:?}");
+        }
+    }
+
+    #[test]
+    fn bad_request_lines_are_rejected_with_a_reason() {
+        assert!(parse_request("not json").is_err());
+        assert!(parse_request("{\"req\": \"submit\"}").is_err());
+        assert!(parse_request("{\"req\": \"warp\"}").is_err());
+        assert!(parse_request("{\"job\": 3}").is_err());
+    }
+
+    #[test]
+    fn every_event_line_parses_back_as_json() {
+        let events = [
+            Event::Accepted {
+                job: JobId(1),
+                name: "a \"quoted\" name".to_string(),
+                design: "dlx".to_string(),
+                errors: 8,
+                shards: 2,
+                resumed: 3,
+            },
+            Event::Rejected {
+                name: "x".to_string(),
+                reason: "unknown design".to_string(),
+            },
+            Event::Record {
+                job: JobId(1),
+                index: 4,
+                id: 17,
+                round: 1,
+                detected: true,
+                resumed: false,
+                worker: 2,
+            },
+            Event::Respawn {
+                job: JobId(1),
+                shard: 0,
+                worker: 2,
+                attempt: 2,
+                reason: "stall",
+                backoff_ms: 16,
+            },
+            Event::Degraded {
+                job: JobId(1),
+                shard: 0,
+                attempts: 4,
+            },
+            Event::Done {
+                job: JobId(1),
+                name: "a".to_string(),
+                verdict: Verdict::Ok,
+                completed: 8,
+                total: 8,
+                report: "{\"errors\": 8}".to_string(),
+            },
+            Event::Status(vec![JobStatus {
+                job: JobId(1),
+                name: "a".to_string(),
+                design: "dlx".to_string(),
+                phase: "running",
+                verdict: None,
+                shards_done: 1,
+                shards: 2,
+            }]),
+            Event::Metrics(ServiceMetrics::default()),
+            Event::Stopped,
+        ];
+        for ev in &events {
+            let line = ev.to_json();
+            jsonv::parse(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
+        }
+    }
+
+    #[test]
+    fn the_done_report_extracts_byte_exactly() {
+        let report = "{\"errors\": 8, \"by_stage\": [{\"stage\": 2}]}";
+        let line = Event::Done {
+            job: JobId(3),
+            name: "n".to_string(),
+            verdict: Verdict::Degraded,
+            completed: 5,
+            total: 8,
+            report: report.to_string(),
+        }
+        .to_json();
+        assert_eq!(extract_report(&line), Some(report));
+        assert_eq!(extract_report("{\"ev\": \"stopped\"}"), None);
+    }
+
+    #[test]
+    fn spec_config_applies_normalization_before_fingerprinting() {
+        let spec = JobSpec {
+            name: "n".to_string(),
+            limit: Some(4),
+            chaos: Some(ChaosSpec {
+                panic_permille: 100,
+                ..ChaosSpec::default()
+            }),
+            ..JobSpec::default()
+        };
+        let config = spec.to_campaign_config().expect("valid");
+        assert!(config.chaos.is_some());
+        assert!(
+            !config.tg.ctrljust_memo,
+            "chaos configs must come out of to_campaign_config pre-normalized"
+        );
+    }
+
+    #[test]
+    fn service_only_chaos_keeps_the_config_chaos_free() {
+        let spec = JobSpec {
+            name: "n".to_string(),
+            limit: Some(4),
+            chaos: Some(ChaosSpec {
+                kill_permille: 500,
+                stall_permille: 100,
+                stall_ms: 10,
+                ..ChaosSpec::default()
+            }),
+            ..JobSpec::default()
+        };
+        let config = spec.to_campaign_config().expect("valid");
+        assert!(
+            config.chaos.is_none(),
+            "worker kills/stalls are supervisor business, not generator chaos"
+        );
+    }
+}

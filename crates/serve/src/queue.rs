@@ -1,0 +1,326 @@
+//! Job planning and queue state.
+//!
+//! A submission becomes a [`Job`]: a validated, normalized
+//! [`CampaignConfig`], a fingerprint-guarded spool checkpoint, the error
+//! population sliced into fixed-size [`Shard`]s, and the cancel flag the
+//! workers' observers poll. The queue itself is just these jobs inside
+//! the scheduler's one mutex — ordering policy lives in
+//! [`crate::scheduler`].
+//!
+//! The spool file name is derived from the job *name* plus the config's
+//! checkpoint fingerprint, so a resubmission after a service restart
+//! finds its previous checkpoint (resume), while a same-named job with a
+//! different configuration gets a fresh file instead of a refused open.
+
+use crate::protocol::{ChaosSpec, JobSpec, Verdict};
+use hltg_core::rng::SplitMix64;
+use hltg_core::{Campaign, CampaignConfig, CheckpointLog};
+use hltg_dlx::build_model;
+use std::ops::Range;
+use std::path::PathBuf;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Scheduler state of one shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ShardState {
+    /// Waiting for a worker (possibly parked behind a backoff).
+    Pending,
+    /// Claimed by a worker attempt.
+    Running,
+    /// Every error of the range is checkpointed.
+    Done,
+    /// Given up (job cancelled or degraded).
+    Abandoned,
+}
+
+/// One contiguous slice of a job's error population.
+#[derive(Debug, Clone)]
+pub(crate) struct Shard {
+    /// Error-index range within the job's enumeration order.
+    pub range: Range<usize>,
+    /// Scheduler state.
+    pub state: ShardState,
+    /// Attempts started (claims), including the one currently running.
+    pub attempts: u32,
+    /// Earliest next claim, when parked behind an exponential backoff.
+    pub not_before: Option<Instant>,
+}
+
+/// Job lifecycle as the scheduler sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum JobPhase {
+    /// Shards are pending or running.
+    Running,
+    /// Generation is over (all shards done, or the job was cancelled or
+    /// degraded and the last running attempt drained); waiting for a
+    /// worker to run the finalizing merge.
+    FinalizeQueued,
+    /// A worker is producing the final report.
+    Finalizing,
+    /// Terminal; [`Job::done`] holds the outcome.
+    Done,
+}
+
+/// Terminal outcome of a job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DoneInfo {
+    /// Final verdict.
+    pub verdict: Verdict,
+    /// Errors with results in the report.
+    pub completed: usize,
+    /// Errors targeted.
+    pub total: usize,
+    /// `CampaignReport::to_json_deterministic()` — complete for
+    /// [`Verdict::Ok`], the checkpointed prefix otherwise.
+    pub report: String,
+}
+
+/// Deterministic service-level fault plan: worker kills and stalls at
+/// error boundaries. Each decision is pure in `(seed, site, shard,
+/// attempt, error index)` — wall-clock and thread timing never enter —
+/// so a soak run's failure schedule reproduces bit-for-bit.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ServiceChaos {
+    seed: u64,
+    kill_permille: u32,
+    stall_permille: u32,
+    /// Injected stall length.
+    pub stall: std::time::Duration,
+}
+
+const SITE_KILL: u64 = 0x6B69_6C6C;
+const SITE_STALL: u64 = 0x7374_616C;
+
+impl ServiceChaos {
+    pub(crate) fn from_spec(spec: &ChaosSpec) -> Option<ServiceChaos> {
+        (spec.kill_permille > 0 || spec.stall_permille > 0).then(|| ServiceChaos {
+            seed: spec.seed,
+            kill_permille: spec.kill_permille,
+            stall_permille: spec.stall_permille,
+            stall: crate::protocol::stall_duration(spec),
+        })
+    }
+
+    fn draw(&self, site: u64, shard: usize, attempt: u32, index: usize) -> u64 {
+        let mix = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .rotate_left(13)
+            ^ site.wrapping_mul(0xBF58_476D_1CE4_E5B9)
+            ^ (shard as u64) << 40
+            ^ u64::from(attempt) << 20
+            ^ index as u64;
+        SplitMix64::new(mix).next_u64() % 1000
+    }
+
+    /// Whether the worker dies at this error boundary. Never fires on
+    /// the attempt's first error, so even a certain kill makes one
+    /// error of progress per attempt — a crash *loop*, which is the
+    /// degradation scenario, not a wedged queue.
+    pub(crate) fn kills(&self, shard: usize, attempt: u32, index: usize, first: usize) -> bool {
+        index > first
+            && self.kill_permille > 0
+            && self.draw(SITE_KILL, shard, attempt, index) < u64::from(self.kill_permille)
+    }
+
+    /// Whether the worker goes silent (sleeps without heartbeating) at
+    /// this error boundary.
+    pub(crate) fn stalls(&self, shard: usize, attempt: u32, index: usize) -> bool {
+        self.stall_permille > 0
+            && self.draw(SITE_STALL, shard, attempt, index) < u64::from(self.stall_permille)
+    }
+}
+
+/// One accepted submission, as held by the scheduler.
+pub(crate) struct Job {
+    pub id: u64,
+    pub spec: JobSpec,
+    /// Normalized config, with `checkpoint` pointing at the spool file —
+    /// exactly what the finalizing `Campaign::run` executes.
+    pub config: CampaignConfig,
+    pub ckpt: Arc<CheckpointLog>,
+    /// Cooperative cancellation: set by cancel requests, degradation and
+    /// immediate shutdown; shard observers poll it at error boundaries.
+    pub cancel: Arc<AtomicBool>,
+    pub total: usize,
+    pub shards: Vec<Shard>,
+    pub phase: JobPhase,
+    pub degraded: bool,
+    pub cancelled: bool,
+    pub done: Option<DoneInfo>,
+    pub chaos: Option<ServiceChaos>,
+}
+
+impl Job {
+    pub(crate) fn terminal(&self) -> bool {
+        self.phase == JobPhase::Done
+    }
+
+    pub(crate) fn shards_done(&self) -> usize {
+        self.shards
+            .iter()
+            .filter(|s| s.state == ShardState::Done)
+            .count()
+    }
+
+    pub(crate) fn phase_str(&self) -> &'static str {
+        match self.phase {
+            JobPhase::Running => "running",
+            JobPhase::FinalizeQueued | JobPhase::Finalizing => "finalizing",
+            JobPhase::Done => "done",
+        }
+    }
+}
+
+/// FNV-1a over a string, for stable spool file names.
+fn fnv(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Plans a submission into a [`Job`]: validates the design and config,
+/// opens (or resumes) the spool checkpoint, slices the population into
+/// shards. Runs outside the scheduler lock — it builds a model and
+/// touches the filesystem.
+pub(crate) fn plan_job(spec: &JobSpec, spool: &PathBuf, id: u64) -> Result<Job, String> {
+    let config = spec
+        .to_campaign_config()
+        .map_err(|e| format!("invalid config: {e:?}"))?;
+    let model =
+        build_model(&spec.design).ok_or_else(|| format!("unknown design {:?}", spec.design))?;
+    let fingerprint = Campaign::checkpoint_fingerprint(model.as_ref(), &config);
+    std::fs::create_dir_all(spool).map_err(|e| format!("spool {}: {e}", spool.display()))?;
+    let path = spool.join(format!(
+        "job-{:016x}-{:016x}.jsonl",
+        fnv(&spec.name),
+        fnv(&fingerprint)
+    ));
+    let mut ckpt = match CheckpointLog::open(&path, &fingerprint) {
+        Ok(log) => log,
+        Err(first) => {
+            // A stale or foreign file under our name: start fresh rather
+            // than running without persistence (the service's resume
+            // contract depends on the checkpoint).
+            std::fs::remove_file(&path).ok();
+            CheckpointLog::open(&path, &fingerprint)
+                .map_err(|e| format!("checkpoint {}: {e} (after {first})", path.display()))?
+        }
+    };
+    if let Some(io) = config.chaos.as_ref().and_then(|c| c.checkpoint_io()) {
+        ckpt.set_io_chaos(io);
+    }
+    let total = Campaign::target_errors(model.as_ref(), &config).len();
+    let granule = spec.shard_size.max(1);
+    let shards: Vec<Shard> = (0..total)
+        .step_by(granule)
+        .map(|start| Shard {
+            range: start..(start + granule).min(total),
+            state: ShardState::Pending,
+            attempts: 0,
+            not_before: None,
+        })
+        .collect();
+    let mut config = config;
+    config.checkpoint = Some(path);
+    let chaos = spec.chaos.as_ref().and_then(ServiceChaos::from_spec);
+    Ok(Job {
+        id,
+        spec: spec.clone(),
+        config,
+        ckpt: Arc::new(ckpt),
+        cancel: Arc::new(AtomicBool::new(false)),
+        total,
+        shards,
+        phase: if total == 0 {
+            JobPhase::FinalizeQueued
+        } else {
+            JobPhase::Running
+        },
+        degraded: false,
+        cancelled: false,
+        done: None,
+        chaos,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::JobSpec;
+
+    fn temp_spool(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("hltg_serve_queue_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn planning_slices_the_population_into_shards() {
+        let spool = temp_spool("slices");
+        let spec = JobSpec {
+            name: "slice".to_string(),
+            limit: Some(7),
+            shard_size: 3,
+            ..JobSpec::default()
+        };
+        let job = plan_job(&spec, &spool, 1).expect("plans");
+        assert_eq!(job.total, 7);
+        let ranges: Vec<Range<usize>> = job.shards.iter().map(|s| s.range.clone()).collect();
+        assert_eq!(ranges, vec![0..3, 3..6, 6..7]);
+        assert_eq!(job.phase, JobPhase::Running);
+        let _ = std::fs::remove_dir_all(&spool);
+    }
+
+    #[test]
+    fn unknown_designs_are_refused() {
+        let spool = temp_spool("unknown");
+        let spec = JobSpec {
+            name: "n".to_string(),
+            design: "z80".to_string(),
+            ..JobSpec::default()
+        };
+        let err = plan_job(&spec, &spool, 1).err().expect("refused");
+        assert!(err.contains("z80"), "{err}");
+        let _ = std::fs::remove_dir_all(&spool);
+    }
+
+    #[test]
+    fn a_respec_under_the_same_name_gets_its_own_spool_file() {
+        let spool = temp_spool("respec");
+        let a = JobSpec {
+            name: "same".to_string(),
+            limit: Some(4),
+            ..JobSpec::default()
+        };
+        // `limit` is deliberately outside the fingerprint (growing a
+        // resumed campaign is a feature); flip a fingerprinted knob.
+        let b = JobSpec {
+            error_simulation: true,
+            ..a.clone()
+        };
+        let ja = plan_job(&a, &spool, 1).expect("plans a");
+        let jb = plan_job(&b, &spool, 2).expect("plans b");
+        assert_ne!(ja.config.checkpoint, jb.config.checkpoint);
+        let _ = std::fs::remove_dir_all(&spool);
+    }
+
+    #[test]
+    fn kills_never_land_on_an_attempts_first_error() {
+        let chaos = ServiceChaos {
+            seed: 3,
+            kill_permille: 1000,
+            stall_permille: 0,
+            stall: std::time::Duration::ZERO,
+        };
+        for attempt in 0..8 {
+            assert!(!chaos.kills(0, attempt, 5, 5));
+            assert!(chaos.kills(0, attempt, 6, 5));
+        }
+    }
+}

@@ -1,0 +1,497 @@
+//! The service façade and the heartbeat supervisor.
+//!
+//! [`Service::start`] spawns the worker pool and one supervisor thread.
+//! The supervisor's job is purely negative: every
+//! [`ServeConfig::supervise_every`], it scans the busy worker slots and
+//! condemns any whose last heartbeat is older than
+//! [`ServeConfig::heartbeat_deadline`] — the worker is presumed stalled
+//! or dead. Condemnation takes the shard away (requeue behind backoff,
+//! or degrade the job once its attempt budget is burned), spawns a
+//! replacement worker, and leaves a flag the stalled thread honors at
+//! its next boundary, whenever that is. Everything the victim attempt
+//! completed is already in the checkpoint, so the respawned attempt
+//! resumes rather than repeats.
+//!
+//! Supervisor state machine, per busy slot:
+//!
+//! ```text
+//! busy --deadline missed--> condemned --(thread wakes)--> retired
+//!   \--attempt settles----> idle/dead (see scheduler::settle)
+//! ```
+//!
+//! Shutdown comes in two flavors: [`Service::drain`] stops intake,
+//! lets every accepted job reach a terminal state, then joins all
+//! threads; [`Service::shutdown_now`] cancels everything first.
+//! Checkpoints survive either way — resubmitting the same spec against
+//! the same spool resumes, which the soak suite's kill/resume scenario
+//! pins.
+
+use crate::protocol::{Event, JobId, JobSpec, JobStatus, ServiceMetrics};
+use crate::queue::{plan_job, DoneInfo};
+use crate::scheduler::{
+    requeue_or_degrade_locked, spawn_worker_locked, ServiceCounters, Shared, State, FINALIZE,
+};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{channel, Receiver};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Tuning of one service instance.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads (the pool is kept at this strength across
+    /// respawns).
+    pub workers: usize,
+    /// Spool directory for per-job checkpoint files.
+    pub spool: PathBuf,
+    /// A busy worker whose heartbeat is older than this is condemned.
+    /// Heartbeats tick at error boundaries, so the deadline must
+    /// comfortably exceed one per-error generation.
+    pub heartbeat_deadline: Duration,
+    /// Supervisor scan period.
+    pub supervise_every: Duration,
+    /// Attempts per shard before the job degrades.
+    pub max_attempts: u32,
+    /// First respawn backoff; doubles per attempt.
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_max: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 2,
+            spool: std::env::temp_dir().join("hltg-serve-spool"),
+            heartbeat_deadline: Duration::from_secs(2),
+            supervise_every: Duration::from_millis(10),
+            max_attempts: 4,
+            backoff_base: Duration::from_millis(8),
+            backoff_max: Duration::from_millis(500),
+        }
+    }
+}
+
+/// A running campaign service: shared worker pool, job queue,
+/// supervisor. Events stream over the channel returned by
+/// [`Service::start`]; the control surface ([`Service::submit`] etc.)
+/// is thread-safe through the inner mutex.
+pub struct Service {
+    shared: Arc<Shared>,
+}
+
+impl Service {
+    /// Starts the pool and the supervisor.
+    #[must_use]
+    pub fn start(cfg: ServeConfig) -> (Service, Receiver<Event>) {
+        let (tx, rx) = channel();
+        let workers = cfg.workers.max(1);
+        let shared = Arc::new(Shared {
+            cfg,
+            epoch: Instant::now(),
+            state: Mutex::new(State {
+                jobs: BTreeMap::new(),
+                next_job: 1,
+                slots: Vec::new(),
+                live_workers: 0,
+                draining: false,
+                stop_now: false,
+            }),
+            work: Condvar::new(),
+            events: Mutex::new(Some(tx)),
+            handles: Mutex::new(Vec::new()),
+            counters: ServiceCounters::default(),
+        });
+        {
+            let mut st = shared.lock_state();
+            for _ in 0..workers {
+                spawn_worker_locked(&shared, &mut st);
+            }
+        }
+        let sup = Arc::clone(&shared);
+        let handle = std::thread::spawn(move || supervise(&sup));
+        shared
+            .handles
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(handle);
+        (Service { shared }, rx)
+    }
+
+    /// Submits a job: validates, opens/resumes its checkpoint, shards
+    /// it, and emits an `accepted` (or `rejected`) event. Names must be
+    /// unique among non-terminal jobs — two live jobs with one name
+    /// would contend for one spool file.
+    pub fn submit(&self, spec: &JobSpec) -> Result<JobId, String> {
+        let refused = {
+            let st = self.shared.lock_state();
+            if st.draining || st.stop_now {
+                Some("service is shutting down".to_string())
+            } else if st
+                .jobs
+                .values()
+                .any(|j| !j.terminal() && j.spec.name == spec.name)
+            {
+                Some(format!("job name {:?} is already active", spec.name))
+            } else {
+                None
+            }
+        };
+        let planned = match refused {
+            Some(reason) => Err(reason),
+            // Planning runs unlocked: it builds a model and opens files.
+            None => plan_job(spec, &self.shared.cfg.spool, 0),
+        };
+        let mut job = match planned {
+            Ok(job) => job,
+            Err(reason) => {
+                self.shared.emit(Event::Rejected {
+                    name: spec.name.clone(),
+                    reason: reason.clone(),
+                });
+                return Err(reason);
+            }
+        };
+        let mut st = self.shared.lock_state();
+        if st.draining || st.stop_now {
+            let reason = "service is shutting down".to_string();
+            self.shared.emit(Event::Rejected {
+                name: spec.name.clone(),
+                reason: reason.clone(),
+            });
+            return Err(reason);
+        }
+        let id = st.next_job;
+        st.next_job += 1;
+        job.id = id;
+        let accepted = Event::Accepted {
+            job: JobId(id),
+            name: spec.name.clone(),
+            design: spec.design.clone(),
+            errors: job.total,
+            shards: job.shards.len(),
+            resumed: job.ckpt.resumed(),
+        };
+        st.jobs.insert(id, job);
+        self.shared
+            .counters
+            .jobs_submitted
+            .fetch_add(1, Ordering::Relaxed);
+        // Emit while still holding the state lock so `accepted` precedes
+        // any `record` a fast worker could produce for this job.
+        self.shared.emit(accepted);
+        drop(st);
+        self.shared.work.notify_all();
+        Ok(JobId(id))
+    }
+
+    /// Cancels a job. Running attempts stop at their next error
+    /// boundary; the job terminates with [`Verdict::Cancelled`] and a
+    /// partial report. Returns `false` for unknown or already-terminal
+    /// jobs.
+    pub fn cancel(&self, job: JobId) -> bool {
+        let mut st = self.shared.lock_state();
+        let Some(j) = st.jobs.get_mut(&job.0) else {
+            return false;
+        };
+        if j.terminal() {
+            return false;
+        }
+        j.cancelled = true;
+        j.cancel.store(true, Ordering::Relaxed);
+        drop(st);
+        self.shared.work.notify_all();
+        true
+    }
+
+    /// Snapshot of every known job.
+    #[must_use]
+    pub fn status(&self) -> Vec<JobStatus> {
+        let st = self.shared.lock_state();
+        st.jobs
+            .values()
+            .map(|j| JobStatus {
+                job: JobId(j.id),
+                name: j.spec.name.clone(),
+                design: j.spec.design.clone(),
+                phase: j.phase_str(),
+                verdict: j.done.as_ref().map(|d| d.verdict),
+                shards_done: j.shards_done(),
+                shards: j.shards.len(),
+            })
+            .collect()
+    }
+
+    /// Cumulative service counters.
+    #[must_use]
+    pub fn metrics(&self) -> ServiceMetrics {
+        self.shared.counters.snapshot()
+    }
+
+    /// Emits the matching event for a read-only request (`status` /
+    /// `metrics`) onto the event stream.
+    pub fn emit_status(&self) {
+        self.shared.emit(Event::Status(self.status()));
+    }
+
+    /// See [`Service::emit_status`].
+    pub fn emit_metrics(&self) {
+        self.shared.emit(Event::Metrics(self.metrics()));
+    }
+
+    /// Puts an arbitrary event onto the stream (the line pump's channel
+    /// for surfacing request-parse errors).
+    pub(crate) fn emit_event(&self, ev: Event) {
+        self.shared.emit(ev);
+    }
+
+    /// Blocks until `job` reaches a terminal state, up to `timeout`.
+    #[must_use]
+    pub fn wait_done(&self, job: JobId, timeout: Duration) -> Option<DoneInfo> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            {
+                let st = self.shared.lock_state();
+                match st.jobs.get(&job.0) {
+                    Some(j) => {
+                        if let Some(done) = &j.done {
+                            return Some(done.clone());
+                        }
+                    }
+                    None => return None,
+                }
+            }
+            if Instant::now() >= deadline {
+                return None;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    /// Graceful shutdown: stop accepting, let every accepted job reach
+    /// a terminal state, then stop the pool and the supervisor. The
+    /// event channel closes when the last event has been sent.
+    pub fn drain(self) {
+        {
+            let mut st = self.shared.lock_state();
+            st.draining = true;
+        }
+        self.shared.work.notify_all();
+        self.join_all();
+    }
+
+    /// Immediate shutdown: cancel every non-terminal job and stop. No
+    /// `done` events are produced for the cancelled jobs — their
+    /// checkpoints survive for a later resume.
+    pub fn shutdown_now(self) {
+        {
+            let mut st = self.shared.lock_state();
+            st.stop_now = true;
+            for job in st.jobs.values_mut() {
+                if !job.terminal() {
+                    job.cancel.store(true, Ordering::Relaxed);
+                }
+            }
+        }
+        self.shared.work.notify_all();
+        self.join_all();
+    }
+
+    fn join_all(self) {
+        loop {
+            let handle = {
+                let mut handles = self
+                    .shared
+                    .handles
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner);
+                handles.pop()
+            };
+            let Some(handle) = handle else { break };
+            let _ = handle.join();
+            // Worker deaths respawn replacements; keep popping until the
+            // vector stays empty. Stop the supervisor once workers are
+            // done so it cannot spawn into a drained pool.
+            let mut st = self.shared.lock_state();
+            if st.live_workers == 0 {
+                st.stop_now = true;
+            }
+            drop(st);
+            self.shared.work.notify_all();
+        }
+        let mut events = self
+            .shared
+            .events
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        *events = None; // close the stream
+    }
+}
+
+/// The supervisor thread: deadline-scan every busy slot.
+fn supervise(shared: &Arc<Shared>) {
+    loop {
+        std::thread::sleep(shared.cfg.supervise_every);
+        let mut st = shared.lock_state();
+        if st.stop_now || (st.draining && st.all_terminal() && st.live_workers == 0) {
+            return;
+        }
+        let now_ms = shared.now_ms();
+        let deadline_ms = shared.cfg.heartbeat_deadline.as_millis() as u64;
+        for i in 0..st.slots.len() {
+            let slot = &st.slots[i];
+            if !slot.alive || slot.flags.condemned.load(Ordering::Relaxed) {
+                continue;
+            }
+            let Some((job_id, shard_idx)) = slot.busy else {
+                continue;
+            };
+            if shard_idx == FINALIZE {
+                // The finalizing merge replays without observer
+                // callbacks; it has no heartbeat and is exempt.
+                continue;
+            }
+            let beat = slot.flags.beat_ms.load(Ordering::Relaxed);
+            if now_ms.saturating_sub(beat) <= deadline_ms {
+                continue;
+            }
+            // Stalled or dead: condemn the worker, take the shard away,
+            // respawn. The thread (if it ever wakes) retires at its next
+            // boundary; the checkpoint already holds its progress.
+            st.slots[i].flags.condemned.store(true, Ordering::Relaxed);
+            st.slots[i].busy = None;
+            shared
+                .counters
+                .stalls_detected
+                .fetch_add(1, Ordering::Relaxed);
+            if let Some(job) = st.jobs.get_mut(&job_id) {
+                requeue_or_degrade_locked(shared, job, shard_idx, i, "stall");
+            }
+            spawn_worker_locked(shared, &mut st);
+        }
+        drop(st);
+        shared.work.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::Verdict;
+
+    fn temp_spool(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("hltg_serve_sup_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn tiny_cfg(tag: &str) -> ServeConfig {
+        ServeConfig {
+            workers: 2,
+            spool: temp_spool(tag),
+            heartbeat_deadline: Duration::from_millis(500),
+            supervise_every: Duration::from_millis(5),
+            max_attempts: 4,
+            backoff_base: Duration::from_millis(1),
+            backoff_max: Duration::from_millis(20),
+        }
+    }
+
+    #[test]
+    fn a_plain_job_runs_to_an_ok_verdict() {
+        let cfg = tiny_cfg("plain");
+        let spool = cfg.spool.clone();
+        let (service, events) = Service::start(cfg);
+        let spec = JobSpec {
+            name: "plain".to_string(),
+            limit: Some(4),
+            shard_size: 2,
+            ..JobSpec::default()
+        };
+        let job = service.submit(&spec).expect("accepted");
+        let done = service
+            .wait_done(job, Duration::from_secs(60))
+            .expect("finishes");
+        assert_eq!(done.verdict, Verdict::Ok);
+        assert_eq!(done.completed, 4);
+        assert_eq!(done.total, 4);
+        service.drain();
+        let evs: Vec<Event> = events.iter().collect();
+        assert!(evs
+            .iter()
+            .any(|e| matches!(e, Event::Accepted { errors: 4, .. })));
+        assert!(evs.iter().any(|e| matches!(e, Event::Record { .. })));
+        assert!(evs
+            .iter()
+            .any(|e| matches!(e, Event::Done { verdict: Verdict::Ok, .. })));
+        let _ = std::fs::remove_dir_all(&spool);
+    }
+
+    #[test]
+    fn duplicate_active_names_are_refused() {
+        let cfg = tiny_cfg("dup");
+        let spool = cfg.spool.clone();
+        let (service, _events) = Service::start(cfg);
+        let spec = JobSpec {
+            name: "dup".to_string(),
+            limit: Some(6),
+            ..JobSpec::default()
+        };
+        let first = service.submit(&spec).expect("accepted");
+        let err = service.submit(&spec).expect_err("refused");
+        assert!(err.contains("already active"), "{err}");
+        assert!(service.wait_done(first, Duration::from_secs(60)).is_some());
+        // Terminal now: the name is free again.
+        service.submit(&spec).expect("accepted after completion");
+        service.drain();
+        let _ = std::fs::remove_dir_all(&spool);
+    }
+
+    #[test]
+    fn cancel_yields_a_cancelled_verdict_with_a_partial_report() {
+        let cfg = tiny_cfg("cancel");
+        let spool = cfg.spool.clone();
+        let (service, _events) = Service::start(cfg);
+        let spec = JobSpec {
+            name: "cancel".to_string(),
+            limit: Some(8),
+            shard_size: 2,
+            ..JobSpec::default()
+        };
+        let job = service.submit(&spec).expect("accepted");
+        assert!(service.cancel(job));
+        let done = service
+            .wait_done(job, Duration::from_secs(60))
+            .expect("terminates");
+        assert_eq!(done.verdict, Verdict::Cancelled);
+        assert!(done.completed <= done.total);
+        assert!(done.report.starts_with('{'));
+        assert!(!service.cancel(job), "terminal jobs cannot be re-cancelled");
+        service.drain();
+        let _ = std::fs::remove_dir_all(&spool);
+    }
+
+    #[test]
+    fn drain_refuses_new_submissions() {
+        let cfg = tiny_cfg("drainref");
+        let spool = cfg.spool.clone();
+        let (service, _events) = Service::start(cfg);
+        {
+            let mut st = service.shared.lock_state();
+            st.draining = true;
+        }
+        let err = service
+            .submit(&JobSpec {
+                name: "late".to_string(),
+                limit: Some(2),
+                ..JobSpec::default()
+            })
+            .expect_err("refused");
+        assert!(err.contains("shutting down"), "{err}");
+        service.drain();
+        let _ = std::fs::remove_dir_all(&spool);
+    }
+}

@@ -161,4 +161,23 @@ cmp -s target/design_default.json target/design_dlx.json || {
     }
 }
 
+echo "== serve smoke (campaign service soak + stdio line protocol)"
+# The service's robustness contract, self-checked by the binary: chaos
+# soak (concurrent jobs under panics/stalls/I-O faults/kills), a whole-
+# service kill/resume cycle and a crash-loop degradation — every healthy
+# report byte-identical to an uninterrupted run.
+./target/release/hltg_serve --soak > /dev/null
+# And a real piped session over stdio: submit, drain, read events.
+rm -rf target/serve_spool_smoke
+printf '%s\n%s\n' \
+    '{"req": "submit", "name": "smoke", "limit": 4}' \
+    '{"req": "shutdown", "drain": true}' \
+    | ./target/release/hltg_serve --spool target/serve_spool_smoke \
+    > target/serve_smoke.jsonl
+grep -q '"ev": "accepted"' target/serve_smoke.jsonl
+grep -q '"ev": "record"' target/serve_smoke.jsonl
+grep -q '"verdict": "ok"' target/serve_smoke.jsonl
+grep -q '"ev": "done"' target/serve_smoke.jsonl
+grep -q '"ev": "stopped"' target/serve_smoke.jsonl
+
 echo "== OK"

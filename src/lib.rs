@@ -17,7 +17,10 @@
 //! * [`errors`] — the bus single-stuck-line (bus SSL) design-error model;
 //! * [`core`] — the three-part test generation algorithm: `DPTRACE` path
 //!   selection, `DPRELAX` discrete relaxation and `CTRLJUST` controller
-//!   justification, organized around the pipeframe model.
+//!   justification, organized around the pipeframe model;
+//! * [`serve`] — the supervised campaign service: a JSONL job protocol,
+//!   a shared worker pool with heartbeat supervision and
+//!   kill-and-respawn, checkpoint-backed resume and chaos soak testing.
 //!
 //! Every engine is generic over [`prelude::ProcessorModel`]: the classic
 //! DLX, its 16-bit-datapath variant and the merged-EX/MEM `dlx-lite`
@@ -63,6 +66,7 @@ pub use hltg_dlx as dlx;
 pub use hltg_errors as errors;
 pub use hltg_isa as isa;
 pub use hltg_netlist as netlist;
+pub use hltg_serve as serve;
 pub use hltg_sim as sim;
 
 /// The stable public surface in one import.

@@ -1,0 +1,330 @@
+//! Chaos soak suite for the campaign service (`hltg-serve`).
+//!
+//! The contract under test: a job sliced across arbitrary scheduler
+//! interleavings — concurrent siblings, chaos-injected worker panics,
+//! stalls, torn/short checkpoint appends, deterministic worker kills,
+//! supervisor condemnations and whole-service kill/resume cycles —
+//! produces a final report byte-identical
+//! (`CampaignReport::to_json_deterministic`) to an uninterrupted
+//! single-threaded `Campaign::run` of the same configuration. And the
+//! failure path: a crash-looping job must end in a `degraded` verdict
+//! with partial results instead of hanging the service.
+
+use hltg::core::{Campaign, RunOptions};
+use hltg::dlx::build_model;
+use hltg::serve::{
+    extract_report, serve_lines, ChaosSpec, Client, Event, JobSpec, ServeConfig, Service, Verdict,
+};
+use std::io::Cursor;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// Debug builds generate tests an order of magnitude slower than the
+/// release builds the timing defaults are tuned for. Scale the
+/// timing-sensitive knobs (heartbeat deadline, injected stall length)
+/// so a slow-but-healthy debug worker is not condemned until it burns a
+/// shard's whole attempt budget; the contract under test is
+/// timing-independent either way.
+const SLOW: u64 = if cfg!(debug_assertions) { 20 } else { 1 };
+
+/// A fresh spool directory per test (tests run concurrently in one
+/// process).
+fn temp_spool(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("hltg_soak_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Service tuning that makes the failure machinery hot: tight heartbeat
+/// deadline (injected stalls sleep well past it), fast supervisor scan,
+/// millisecond backoffs.
+fn soak_cfg(workers: usize, spool: &Path) -> ServeConfig {
+    ServeConfig {
+        workers,
+        spool: spool.to_path_buf(),
+        heartbeat_deadline: Duration::from_millis(60 * SLOW),
+        supervise_every: Duration::from_millis(5),
+        max_attempts: 16,
+        backoff_base: Duration::from_millis(1),
+        backoff_max: Duration::from_millis(16),
+    }
+}
+
+/// Full-spectrum chaos: generator panics and spurious backtracks,
+/// checkpoint I/O faults, worker kills and heartbeat-silent stalls.
+fn full_chaos(seed: u64) -> ChaosSpec {
+    ChaosSpec {
+        seed,
+        panic_permille: 250,
+        backtrack_permille: 100,
+        ckpt_torn_permille: 200,
+        ckpt_full_permille: 100,
+        kill_permille: 120,
+        stall_permille: 60,
+        stall_ms: 120 * SLOW,
+    }
+}
+
+fn soak_spec(name: &str, design: &str, limit: usize, seed: u64) -> JobSpec {
+    JobSpec {
+        name: name.to_string(),
+        design: design.to_string(),
+        limit: Some(limit),
+        retry_rounds: 1,
+        shard_size: 2,
+        chaos: Some(full_chaos(seed)),
+        ..JobSpec::default()
+    }
+}
+
+/// The reference: an uninterrupted single-threaded run of the same
+/// normalized configuration, no checkpoint, no service.
+fn reference_report(spec: &JobSpec) -> String {
+    let model = build_model(&spec.design).expect("registered design");
+    let config = spec.to_campaign_config().expect("valid spec");
+    assert_eq!(config.effective_threads(), 1);
+    Campaign::run(model.as_ref(), &config, RunOptions::default())
+        .report
+        .to_json_deterministic()
+}
+
+/// N concurrent chaos jobs at 1, 2 and 8 workers: every final report is
+/// byte-identical to its uninterrupted run, regardless of how shards
+/// interleaved, died and resumed.
+#[test]
+fn concurrent_chaos_jobs_match_uninterrupted_runs_at_every_worker_count() {
+    for workers in [1usize, 2, 8] {
+        let spool = temp_spool(&format!("conc{workers}"));
+        let specs = [
+            soak_spec("dlx-a", "dlx", 8, 11),
+            soak_spec("dlx16-b", "dlx16", 6, 12),
+            soak_spec("lite-c", "dlx-lite", 6, 13),
+        ];
+        let (service, _events) = Service::start(soak_cfg(workers, &spool));
+        let jobs: Vec<_> = specs
+            .iter()
+            .map(|s| (s, service.submit(s).expect("accepted")))
+            .collect();
+        for (spec, job) in jobs {
+            let done = service
+                .wait_done(job, Duration::from_secs(120))
+                .unwrap_or_else(|| panic!("{} at {workers} workers did not finish", spec.name));
+            assert_eq!(
+                done.verdict,
+                Verdict::Ok,
+                "{} at {workers} workers",
+                spec.name
+            );
+            assert_eq!(done.completed, done.total);
+            assert_eq!(
+                done.report,
+                reference_report(spec),
+                "{} at {workers} workers diverged from the uninterrupted run",
+                spec.name
+            );
+        }
+        service.drain();
+        let _ = std::fs::remove_dir_all(&spool);
+    }
+}
+
+/// The chaos schedule is deterministic, so the soak actually exercises
+/// the supervision machinery rather than vacuously passing: respawns,
+/// stall condemnations and injected kills all fire at 2 workers.
+#[test]
+fn the_soak_exercises_the_failure_machinery() {
+    let spool = temp_spool("exercised");
+    let (service, _events) = Service::start(soak_cfg(2, &spool));
+    // Hotter stall rate than the byte-identity soaks: one small job must
+    // draw every fault class on its own.
+    let mut spec = soak_spec("exercise", "dlx", 10, 11);
+    spec.chaos = Some(ChaosSpec {
+        stall_permille: 300,
+        ..full_chaos(11)
+    });
+    let job = service.submit(&spec).expect("accepted");
+    let done = service
+        .wait_done(job, Duration::from_secs(120))
+        .expect("finishes");
+    assert_eq!(done.verdict, Verdict::Ok);
+    let m = service.metrics();
+    assert!(m.chaos_kills > 0, "no injected kill fired: {m:?}");
+    assert!(m.chaos_stalls > 0, "no injected stall fired: {m:?}");
+    assert!(m.stalls_detected > 0, "the supervisor never condemned: {m:?}");
+    assert!(m.respawns > 0, "no shard was ever respawned: {m:?}");
+    assert!(m.records_streamed > 0);
+    service.drain();
+    let _ = std::fs::remove_dir_all(&spool);
+}
+
+/// Killing the whole service mid-run and resubmitting against the same
+/// spool resumes from the checkpoint and still produces the
+/// byte-identical report.
+#[test]
+fn mid_run_kill_and_resume_is_byte_identical() {
+    let spool = temp_spool("killresume");
+    let spec = soak_spec("resume-me", "dlx", 10, 21);
+    let (service, events) = Service::start(soak_cfg(2, &spool));
+    service.submit(&spec).expect("accepted");
+    // Let some generation land in the checkpoint, then pull the plug.
+    let mut records = 0;
+    for ev in events.iter() {
+        if matches!(ev, Event::Record { .. }) {
+            records += 1;
+            if records >= 3 {
+                break;
+            }
+        }
+    }
+    service.shutdown_now();
+
+    let (service, events) = Service::start(soak_cfg(2, &spool));
+    let job = service.submit(&spec).expect("resubmitted");
+    let done = service
+        .wait_done(job, Duration::from_secs(120))
+        .expect("finishes after resume");
+    assert_eq!(done.verdict, Verdict::Ok);
+    assert_eq!(done.report, reference_report(&spec));
+    // The resubmission really resumed (the first service checkpointed
+    // at least the records we saw).
+    let resumed = events.iter().find_map(|ev| match ev {
+        Event::Accepted { resumed, .. } => Some(resumed),
+        _ => None,
+    });
+    assert!(
+        resumed.is_some_and(|r| r > 0),
+        "second service did not resume from the first one's checkpoint"
+    );
+    service.drain();
+    let _ = std::fs::remove_dir_all(&spool);
+}
+
+/// A crash-looping job (certain kill at every attempt) burns its
+/// attempt budget, degrades with partial results, and leaves a healthy
+/// sibling untouched.
+#[test]
+fn a_crash_looping_job_degrades_and_spares_its_siblings() {
+    let spool = temp_spool("degrade");
+    let mut cfg = soak_cfg(2, &spool);
+    cfg.max_attempts = 3;
+    // The crash loop is driven purely by injected kills; park the
+    // deadline out of reach so a slow debug worker cannot eat the tiny
+    // attempt budget (and degrade the healthy sibling) by condemnation.
+    cfg.heartbeat_deadline = Duration::from_secs(60);
+    let (service, events) = Service::start(cfg);
+    let looping = JobSpec {
+        chaos: Some(ChaosSpec {
+            kill_permille: 1000,
+            ..full_chaos(31)
+        }),
+        ..soak_spec("crash-loop", "dlx", 6, 31)
+    };
+    let healthy = JobSpec {
+        chaos: None,
+        ..soak_spec("healthy", "dlx16", 4, 32)
+    };
+    let loop_job = service.submit(&looping).expect("accepted");
+    let healthy_job = service.submit(&healthy).expect("accepted");
+    let done = service
+        .wait_done(loop_job, Duration::from_secs(120))
+        .expect("the crash loop must terminate, not hang the service");
+    assert_eq!(done.verdict, Verdict::Degraded);
+    assert!(
+        done.completed > 0 && done.completed < done.total,
+        "degraded verdict should carry partial results: {}/{}",
+        done.completed,
+        done.total
+    );
+    assert!(done.report.contains("\"errors\": "));
+    let sibling = service
+        .wait_done(healthy_job, Duration::from_secs(120))
+        .expect("healthy sibling finishes");
+    assert_eq!(sibling.verdict, Verdict::Ok);
+    assert_eq!(sibling.report, reference_report(&healthy));
+    service.drain();
+    let evs: Vec<Event> = events.iter().collect();
+    assert!(
+        evs.iter().any(|e| matches!(e, Event::Degraded { .. })),
+        "no degraded event on the stream"
+    );
+    let _ = std::fs::remove_dir_all(&spool);
+}
+
+/// The same contract end to end over the line protocol: submit via
+/// request lines, read the done event off the output, byte-compare the
+/// embedded report.
+#[test]
+fn the_line_protocol_round_trips_the_deterministic_report() {
+    let spool = temp_spool("protocol");
+    let spec = soak_spec("proto", "dlx", 6, 41);
+    let input = format!(
+        "{}\n{}\n{}\n{}\n",
+        Client::submit_line(&spec),
+        Client::status_line(),
+        Client::metrics_line(),
+        Client::shutdown_line(true)
+    );
+    let (service, events) = Service::start(soak_cfg(2, &spool));
+    let out = serve_lines(service, events, Cursor::new(input), Vec::new());
+    let transcript = String::from_utf8(out).expect("utf8 events");
+    assert!(
+        transcript.contains("\"ev\": \"accepted\""),
+        "{transcript}"
+    );
+    assert!(transcript.contains("\"ev\": \"record\""));
+    assert!(transcript.contains("\"ev\": \"status\""));
+    assert!(transcript.contains("\"ev\": \"metrics\""));
+    assert!(transcript.trim_end().ends_with("{\"ev\": \"stopped\"}"));
+    let (verdict, report) = Client::done_of(&transcript, "proto").expect("done event");
+    assert_eq!(verdict, "ok");
+    assert_eq!(report, reference_report(&spec));
+    // Every emitted line is valid JSON.
+    for line in transcript.lines() {
+        hltg::core::jsonv::parse(line).unwrap_or_else(|e| panic!("{line}: {e}"));
+    }
+    let _ = std::fs::remove_dir_all(&spool);
+}
+
+/// Malformed and unknown request lines produce rejected events instead
+/// of killing the service.
+#[test]
+fn bad_request_lines_are_survivable() {
+    let spool = temp_spool("badlines");
+    let input = "this is not json\n\
+                 {\"req\": \"warp\"}\n\
+                 {\"req\": \"submit\", \"name\": \"ok\", \"design\": \"nope\"}\n\
+                 {\"req\": \"shutdown\", \"drain\": true}\n";
+    let (service, events) = Service::start(soak_cfg(1, &spool));
+    let out = serve_lines(service, events, Cursor::new(input), Vec::new());
+    let transcript = String::from_utf8(out).expect("utf8 events");
+    assert_eq!(
+        transcript.matches("\"ev\": \"rejected\"").count(),
+        3,
+        "{transcript}"
+    );
+    assert!(transcript.contains("unknown design"));
+    assert!(transcript.trim_end().ends_with("{\"ev\": \"stopped\"}"));
+    let _ = std::fs::remove_dir_all(&spool);
+}
+
+/// `extract_report` is the byte-exact inverse of the done event's
+/// report embedding, including on real reports.
+#[test]
+fn report_extraction_is_byte_exact_on_real_reports() {
+    let spec = JobSpec {
+        name: "x".to_string(),
+        limit: Some(4),
+        ..JobSpec::default()
+    };
+    let report = reference_report(&spec);
+    let line = Event::Done {
+        job: hltg::serve::JobId(9),
+        name: "x".to_string(),
+        verdict: Verdict::Ok,
+        completed: 4,
+        total: 4,
+        report: report.clone(),
+    }
+    .to_json();
+    assert_eq!(extract_report(&line), Some(report.as_str()));
+}
