@@ -27,7 +27,15 @@ use hltg_core::jsonv::{self, Value};
 use std::path::{Path, PathBuf};
 
 /// The benchmark sets the runner emits; one `BENCH_<set>.json` each.
-const SETS: [&str; 6] = ["cache", "campaign", "dprelax", "searchspace", "serve", "sim"];
+const SETS: [&str; 7] = [
+    "cache",
+    "campaign",
+    "dprelax",
+    "searchspace",
+    "serve",
+    "sim",
+    "prover",
+];
 
 #[derive(Debug, Clone, PartialEq)]
 struct Bench {

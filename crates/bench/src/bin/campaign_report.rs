@@ -111,6 +111,7 @@ fn parse_metrics(text: &str) -> Result<Timeline, String> {
                 "screened",
                 "detected",
                 "aborted",
+                "proven_untestable",
                 "retried",
                 "redundant",
                 "coverage_pct",
@@ -124,6 +125,7 @@ fn parse_metrics(text: &str) -> Result<Timeline, String> {
                 "screened",
                 "detected",
                 "aborted",
+                "proven_untestable",
                 "retried",
                 "coverage_pct",
                 "test_set_size",
@@ -205,12 +207,15 @@ fn cross_check(t: &Timeline) -> Result<(), String> {
     }
     let tally = |f: &dyn Fn(&Value) -> bool| t.recs.iter().filter(|r| f(r)).count() as u64;
     let detected = tally(&|r| r.get_str("outcome") == Some("detected"));
+    let proven = tally(&|r| r.get_str("outcome") == Some("proven_untestable"));
     let generated = tally(&|r| r.get("by_simulation").and_then(Value::as_bool) == Some(false));
     let retried = tally(&|r| r.get_u64("round").unwrap_or(0) > 0);
     for (key, want) in [
         ("errors", errors),
         ("detected", detected),
-        ("aborted", errors - detected),
+        // Detected, aborted and proven-untestable partition the records.
+        ("aborted", errors - detected - proven),
+        ("proven_untestable", proven),
         ("generated", generated),
         ("screened", errors - generated),
         ("retried", retried),
@@ -356,6 +361,7 @@ fn render_markdown(t: &Timeline) {
     let generated = t.summary.get_u64("generated").unwrap_or(0);
     let screened = t.summary.get_u64("screened").unwrap_or(0);
     let retried = t.summary.get_u64("retried").unwrap_or(0);
+    let proven = t.summary.get_u64("proven_untestable").unwrap_or(0);
     println!("# Campaign metrics: {design}");
     println!();
     println!(
@@ -365,6 +371,14 @@ fn render_markdown(t: &Timeline) {
         t.summary.get_f64("coverage_pct").unwrap_or(0.0),
         t.summary.get_u64("test_set_size").unwrap_or(0),
     );
+    if proven > 0 {
+        println!();
+        println!(
+            "{proven} errors proven untestable by the bounded implication \
+             prover (certified: no activating/propagating sequence exists \
+             within the proof window)."
+        );
+    }
 
     // --- Detection matrix -----------------------------------------------
     println!();

@@ -8,7 +8,8 @@
 //! Usage: `cargo run --release -p hltg-bench --bin ext_error_models
 //!         [--design NAME] [--json] [--trace-out PATH] [--progress]
 //!         [--metrics-out PATH]
-//!         [--resume PATH] [--no-sim-cache] [--no-packed-screen]`
+//!         [--resume PATH] [--no-sim-cache] [--no-packed-screen]
+//!         [--prove-untestable] [--prove-frames K]`
 //!
 //! `--design NAME` selects the processor backend (default `dlx`; see
 //! [`hltg_dlx::BACKENDS`]).
@@ -26,6 +27,9 @@
 //! and, on re-run, skips the errors the file already holds (see DESIGN.md
 //! §Resilience) — the cross-coverage grading then reuses the restored
 //! test set and reproduces the identical report.
+//! `--prove-untestable` runs the untestability prover on aborted errors
+//! (certified proofs reclassify them as `proven_untestable`);
+//! `--prove-frames K` bounds the proof window (default 8 pipeframes).
 
 use hltg_core::tg::Outcome;
 use hltg_core::{Campaign, CampaignConfig, RunOptions};
@@ -38,6 +42,15 @@ fn main() {
     let progress = args.iter().any(|a| a == "--progress");
     let no_sim_cache = args.iter().any(|a| a == "--no-sim-cache");
     let no_packed_screen = args.iter().any(|a| a == "--no-packed-screen");
+    let prove_untestable = args.iter().any(|a| a == "--prove-untestable");
+    let prove_frames_pos = args.iter().position(|a| a == "--prove-frames");
+    let prove_frames: Option<usize> = prove_frames_pos
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok());
+    if prove_frames_pos.is_some() && prove_frames.is_none() {
+        eprintln!("--prove-frames requires a numeric argument");
+        std::process::exit(2);
+    }
     let trace_pos = args.iter().position(|a| a == "--trace-out");
     let trace_out: Option<String> = trace_pos.and_then(|i| args.get(i + 1)).cloned();
     if trace_pos.is_some() && trace_out.is_none() {
@@ -77,6 +90,7 @@ fn main() {
     let stages = model.error_stages();
 
     eprintln!("generating the compacted bus-SSL test set on {}...", model.name());
+    let defaults = CampaignConfig::default();
     let run = Campaign::run(
         model.as_ref(),
         &CampaignConfig {
@@ -85,7 +99,9 @@ fn main() {
             sim_cache: !no_sim_cache,
             packed_screen: !no_packed_screen,
             checkpoint: resume.map(std::path::PathBuf::from),
-            ..CampaignConfig::default()
+            prove_untestable,
+            prove_frames: prove_frames.unwrap_or(defaults.prove_frames),
+            ..defaults
         },
         RunOptions {
             trace: trace_out.is_some(),

@@ -9,7 +9,7 @@
 //!         [--metrics-out PATH] [--metrics-every N] [--metrics-full]
 //!         [--resume PATH] [--retry N] [--max-steps N]
 //!         [--soft-deadline-ms MS] [--chaos-panic PERMILLE]
-//!         [--chaos-seed S]`
+//!         [--chaos-seed S] [--prove-untestable] [--prove-frames K]`
 //!
 //! `--design NAME` selects the processor backend (default `dlx`; see
 //! [`hltg_dlx::BACKENDS`] for the registry — `dlx16` is the 16-bit-wide
@@ -44,6 +44,12 @@
 //! `--chaos-seed S`) deterministically injects panics into the engine
 //! phases to exercise the isolation machinery.
 //!
+//! `--prove-untestable` runs the untestability prover on every error the
+//! generator aborts: a certified proof reclassifies the error as
+//! `proven_untestable` (excluded from testable coverage, skipped by the
+//! retry rounds); `--prove-frames K` bounds the proof window (default 8
+//! pipeframes).
+//!
 //! Reuse flags (see DESIGN.md §Campaign-level reuse): this binary runs
 //! with error-class collapsing on by default — `--no-collapse` restores
 //! the classic one-generation-per-error loop, `--no-sim-cache`
@@ -73,6 +79,7 @@ fn main() {
     let json = args.iter().any(|a| a == "--json");
     let progress = args.iter().any(|a| a == "--progress");
     let metrics_full = args.iter().any(|a| a == "--metrics-full");
+    let prove_untestable = args.iter().any(|a| a == "--prove-untestable");
     // Value-carrying flags: record the value's position so the positional
     // limit scan below can skip it.
     let mut value_positions: Vec<usize> = Vec::new();
@@ -104,6 +111,8 @@ fn main() {
         value_of("--chaos-panic").map(|v| parse_or_exit("--chaos-panic", &v));
     let chaos_seed: Option<u64> =
         value_of("--chaos-seed").map(|v| parse_or_exit("--chaos-seed", &v));
+    let prove_frames: Option<usize> =
+        value_of("--prove-frames").map(|v| parse_or_exit("--prove-frames", &v));
     // The limit is the first positional argument: not a flag, and not a
     // value consumed by one.
     let limit: Option<usize> = args
@@ -143,6 +152,10 @@ fn main() {
     }
     if let Some(ms) = soft_deadline_ms {
         config.soft_deadline = Some(Duration::from_millis(ms));
+    }
+    config.prove_untestable = prove_untestable;
+    if let Some(k) = prove_frames {
+        config.prove_frames = k;
     }
     if chaos_panic.is_some() || chaos_seed.is_some() {
         let mut chaos = ChaosConfig::default();

@@ -31,5 +31,8 @@ fn main() {
             println!("dmem: {:?}", tc.dmem_image);
         }
         Outcome::Aborted { reason, backtracks } => println!("ABORTED {reason:?} bt={backtracks}"),
+        Outcome::ProvenUntestable(p) => {
+            println!("PROVEN UNTESTABLE {} k={}", p.kind.name(), p.frames);
+        }
     }
 }

@@ -84,6 +84,14 @@ pub struct CampaignConfig {
     /// Deterministic fault injection into the generator itself (used by
     /// the robustness tests and the chaos smoke run).
     pub chaos: Option<ChaosConfig>,
+    /// Untestability prover: after a round-0 abort, try to *prove* that no
+    /// activating/propagating sequence exists (see [`crate::prover`]).
+    /// Proven errors are recorded as [`Outcome::ProvenUntestable`] with a
+    /// checkable certificate, leave the testable-coverage denominator, and
+    /// never consume retry rounds. Off by default.
+    pub prove_untestable: bool,
+    /// Frame window for the prover's bounded controller refutations.
+    pub prove_frames: usize,
 }
 
 impl Default for CampaignConfig {
@@ -104,6 +112,8 @@ impl Default for CampaignConfig {
             soft_deadline: None,
             checkpoint: None,
             chaos: None,
+            prove_untestable: false,
+            prove_frames: crate::prover::ProveConfig::default().frames,
         }
     }
 }
@@ -140,6 +150,15 @@ impl CampaignConfig {
             cfg.tg.ctrljust_memo = false;
         }
         cfg
+    }
+
+    /// The prover configuration for round-0 aborts, when the prover is
+    /// enabled.
+    fn prove_config(&self) -> Option<crate::prover::ProveConfig> {
+        self.prove_untestable.then(|| crate::prover::ProveConfig {
+            frames: self.prove_frames.max(1),
+            ..crate::prover::ProveConfig::default()
+        })
     }
 }
 
@@ -282,6 +301,22 @@ impl CampaignConfigBuilder {
         self
     }
 
+    /// Untestability prover for aborted errors (see
+    /// [`CampaignConfig::prove_untestable`]).
+    #[must_use]
+    pub fn prove_untestable(mut self, on: bool) -> Self {
+        self.cfg.prove_untestable = on;
+        self
+    }
+
+    /// Frame window for the prover's bounded refutations (`0` is
+    /// normalized to `1` by the prover).
+    #[must_use]
+    pub fn prove_frames(mut self, frames: usize) -> Self {
+        self.cfg.prove_frames = frames;
+        self
+    }
+
     /// Validates and produces the configuration.
     pub fn build(self) -> Result<CampaignConfig, ConfigError> {
         let mut cfg = self.cfg;
@@ -384,6 +419,9 @@ pub struct CampaignStats {
     pub detected: usize,
     /// Errors aborted.
     pub aborted: usize,
+    /// Errors the untestability prover certified as untestable (disjoint
+    /// from `aborted`; each carries a checkable certificate).
+    pub proven_untestable: usize,
     /// Of the aborted: provably redundant (untestable by any sequence).
     pub aborted_redundant: usize,
     /// Of the aborted: no datapath propagation path (observable only
@@ -426,14 +464,16 @@ impl CampaignStats {
     }
 
     /// Coverage over the *testable* population, the fairer comparison
-    /// point. Structurally untestable classes are excluded: provably
-    /// redundant errors (no behavioural difference exists) and
-    /// controller-only-observable errors (no datapath propagation path
-    /// exists, so no instruction sequence can expose them at a datapath
-    /// output). Both are properties of the design, not of the search.
+    /// point. Only errors with an actual untestability argument are
+    /// excluded: structurally redundant aborts (the stuck line provably
+    /// carries the stuck value) and prover-certified `proven_untestable`
+    /// records. A bare `no_path` abort is *not* excluded — the search
+    /// giving up at a finite window proves nothing about the design, and
+    /// counting it as untestable overstated this percentage on both
+    /// sides.
     #[must_use]
     pub fn testable_coverage_pct(&self) -> f64 {
-        let testable = self.errors - self.aborted_redundant - self.aborted_no_path;
+        let testable = self.errors - self.aborted_redundant - self.proven_untestable;
         if testable == 0 {
             0.0
         } else {
@@ -457,6 +497,13 @@ impl fmt::Display for CampaignStats {
             "    of which control-path only   {:>8}",
             self.aborted_no_path
         )?;
+        if self.proven_untestable > 0 {
+            writeln!(
+                f,
+                "No. of errors proven untestable  {:>8}",
+                self.proven_untestable
+            )?;
+        }
         if self.aborted_panicked > 0 {
             writeln!(
                 f,
@@ -861,8 +908,8 @@ impl Campaign {
     #[must_use]
     pub fn checkpoint_fingerprint(model: &dyn ProcessorModel, config: &CampaignConfig) -> String {
         format!(
-            "v6 design={} width={} stages={:?} policy={:?} sim={} collapse={} \
-             simcache={} packed={} tg={:?} retry={}x{} chaos={:?}",
+            "v7 design={} width={} stages={:?} policy={:?} sim={} collapse={} \
+             simcache={} packed={} tg={:?} retry={}x{} chaos={:?} prove={}x{}",
             model.name(),
             model.data_width(),
             config.stages,
@@ -875,6 +922,8 @@ impl Campaign {
             config.retry.rounds,
             config.retry.escalate,
             config.chaos,
+            config.prove_untestable,
+            config.prove_frames,
         )
     }
 
@@ -889,6 +938,7 @@ impl Campaign {
     /// the original byte for byte). `capture` is the per-worker counter
     /// store composed into `tg`'s probe chain; the difference across one
     /// generation is the delta persisted with the entry.
+    #[allow(clippy::too_many_arguments)]
     fn generate_checkpointed(
         tg: &mut TestGenerator<'_>,
         capture: &Counters,
@@ -897,13 +947,16 @@ impl Campaign {
         ckpt: Option<&CheckpointLog>,
         round: u32,
         redundant: bool,
+        prove: Option<crate::prover::ProveConfig>,
     ) -> (Outcome, f64) {
         let id = u64::from(error.id.0);
         if let Some(entry) = ckpt.and_then(|log| log.lookup(id, round)) {
+            // A persisted `proven_untestable` entry replays its proof —
+            // resume never re-proves.
             entry.counters.replay(probe);
             return (entry.outcome, entry.seconds);
         }
-        Self::generate_uncached(tg, capture, error, ckpt, round, redundant)
+        Self::generate_uncached(tg, capture, error, ckpt, round, redundant, prove)
     }
 
     /// The generation half of [`Campaign::generate_checkpointed`]: always
@@ -921,11 +974,18 @@ impl Campaign {
         ckpt: Option<&CheckpointLog>,
         round: u32,
         redundant: bool,
+        prove: Option<crate::prover::ProveConfig>,
     ) -> (Outcome, f64) {
         let id = u64::from(error.id.0);
         let before = capture.raw();
         let t0 = Instant::now();
-        let outcome =
+        if round > 0 {
+            // Every actual retry generation charges a retry slot; the
+            // counter lives inside the capture window so a resumed
+            // campaign replays it with the entry.
+            tg.probe().add(Counter::RetryAttempts, 1);
+        }
+        let mut outcome =
             match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| tg.generate(error))) {
                 Ok(outcome) => outcome,
                 Err(payload) => Outcome::Aborted {
@@ -936,6 +996,18 @@ impl Campaign {
                     backtracks: 0,
                 },
             };
+        // Round-0 aborts face the untestability prover before anything
+        // else sees them: a proof turns the abort into a certified
+        // `ProvenUntestable` (persisted below, so resume skips the
+        // prover), and the retry machinery filters on the outcome.
+        if let (Some(pcfg), Outcome::Aborted { .. }) = (prove, &outcome) {
+            if let Some(proof) =
+                crate::prover::prove_untestable(tg.model().design(), error, pcfg, tg.probe())
+            {
+                debug_assert!(proof.check(tg.model().design(), error));
+                outcome = Outcome::ProvenUntestable(Box::new(proof));
+            }
+        }
         let seconds = t0.elapsed().as_secs_f64();
         if let Some(log) = ckpt {
             log.record(
@@ -1033,8 +1105,15 @@ impl Campaign {
                 continue;
             }
             let redundant = is_structurally_redundant(model.design(), error);
-            let (mut outcome, _) =
-                Self::generate_uncached(&mut tg, &capture, error, Some(ckpt), 0, redundant);
+            let (mut outcome, _) = Self::generate_uncached(
+                &mut tg,
+                &capture,
+                error,
+                Some(ckpt),
+                0,
+                redundant,
+                config.prove_config(),
+            );
             observer.after_error(i, id, &outcome, 0, false);
             // The retry chain, eagerly: the finalizing merge retries every
             // still-aborted non-redundant record, and its targets are a
@@ -1043,12 +1122,23 @@ impl Campaign {
             // already persisted and replays instead of regenerating with
             // out-of-line chaos visit counts.
             let mut round = 0;
-            while round < config.retry.rounds && !redundant && !outcome.is_detected() {
+            while round < config.retry.rounds
+                && !redundant
+                && !outcome.is_detected()
+                && !outcome.is_proven_untestable()
+            {
                 round += 1;
                 let tg_cfg = config.retry.tg_for_round(&config.tg, round);
                 let mut retry_tg = TestGenerator::with_probe(model, tg_cfg, &tg_probe);
-                (outcome, _) =
-                    Self::generate_uncached(&mut retry_tg, &capture, error, Some(ckpt), round, false);
+                (outcome, _) = Self::generate_uncached(
+                    &mut retry_tg,
+                    &capture,
+                    error,
+                    Some(ckpt),
+                    round,
+                    false,
+                    None,
+                );
                 observer.after_error(i, id, &outcome, round, false);
             }
             status.completed += 1;
@@ -1068,7 +1158,7 @@ impl Campaign {
         retry: &RetryPolicy,
     ) -> Option<CheckpointEntry> {
         let e0 = ckpt.lookup(id, 0)?;
-        if e0.redundant || e0.outcome.is_detected() {
+        if e0.redundant || e0.outcome.is_detected() || e0.outcome.is_proven_untestable() {
             return Some(e0);
         }
         for round in 1..=retry.rounds {
@@ -1108,7 +1198,14 @@ impl Campaign {
                 None => {
                     let redundant = is_structurally_redundant(model.design(), &error);
                     let (outcome, seconds) = Self::generate_checkpointed(
-                        &mut tg, &capture, probe, &error, ckpt, 0, redundant,
+                        &mut tg,
+                        &capture,
+                        probe,
+                        &error,
+                        ckpt,
+                        0,
+                        redundant,
+                        config.prove_config(),
                     );
                     (redundant, outcome, seconds)
                 }
@@ -1262,7 +1359,14 @@ impl Campaign {
                             }
                         }
                         let (outcome, seconds) = Self::generate_checkpointed(
-                            &mut tg, &capture, probe, error, ckpt, 0, redundant,
+                            &mut tg,
+                            &capture,
+                            probe,
+                            error,
+                            ckpt,
+                            0,
+                            redundant,
+                            config.prove_config(),
                         );
                         if config.error_simulation || config.collapse {
                             if let Outcome::Detected(tc) = &outcome {
@@ -1322,6 +1426,7 @@ impl Campaign {
                         ckpt,
                         0,
                         item.redundant,
+                        config.prove_config(),
                     );
                     (o, item.seconds + s)
                 }
@@ -1402,7 +1507,11 @@ impl Campaign {
                 .records
                 .iter()
                 .enumerate()
-                .filter(|(_, r)| !r.redundant && !r.outcome.is_detected())
+                .filter(|(_, r)| {
+                    !r.redundant
+                        && !r.outcome.is_detected()
+                        && !r.outcome.is_proven_untestable()
+                })
                 .map(|(i, _)| i)
                 .collect();
             if targets.is_empty() {
@@ -1445,7 +1554,9 @@ impl Campaign {
             return errors
                 .iter()
                 .map(|e| {
-                    Self::generate_checkpointed(&mut tg, &capture, probe, e, ckpt, round, false)
+                    Self::generate_checkpointed(
+                        &mut tg, &capture, probe, e, ckpt, round, false, None,
+                    )
                 })
                 .collect();
         }
@@ -1467,7 +1578,7 @@ impl Campaign {
                             break;
                         }
                         let result = Self::generate_checkpointed(
-                            &mut tg, &capture, probe, &errors[i], ckpt, round, false,
+                            &mut tg, &capture, probe, &errors[i], ckpt, round, false, None,
                         );
                         let _ = tx.send((i, result));
                     }
@@ -1486,7 +1597,9 @@ impl Campaign {
                     let capture = Counters::new();
                     let tg_probe = Self::capture_probe(&capture, probe);
                     let mut tg = TestGenerator::with_probe(model, tg_cfg.clone(), &tg_probe);
-                    Self::generate_checkpointed(&mut tg, &capture, probe, &errors[i], ckpt, round, false)
+                    Self::generate_checkpointed(
+                        &mut tg, &capture, probe, &errors[i], ckpt, round, false, None,
+                    )
                 })
             })
             .collect()
@@ -1539,6 +1652,7 @@ impl Campaign {
                         s.aborted_no_path += 1;
                     }
                 }
+                Outcome::ProvenUntestable(_) => s.proven_untestable += 1,
             }
         }
         if s.detected > 0 {
@@ -1604,6 +1718,14 @@ impl Campaign {
             s.aborted_no_path,
             s.aborted - s.aborted_redundant - s.aborted_no_path
         );
+        if s.proven_untestable > 0 {
+            let _ = writeln!(
+                out,
+                "untestability prover: {} errors certified untestable \
+                 (excluded from testable coverage)",
+                s.proven_untestable
+            );
+        }
         if s.detected_by_simulation > 0 {
             let _ = writeln!(
                 out,
@@ -1655,12 +1777,14 @@ impl CampaignReport {
         let _ = write!(
             out,
             "\"errors\": {}, \"detected\": {}, \"aborted\": {}, \
+             \"proven_untestable\": {}, \
              \"aborted_redundant\": {}, \"aborted_no_path\": {}, \
              \"aborted_panicked\": {}, \"aborted_step_budget\": {}, \
              \"detected_after_retry\": {}, ",
             s.errors,
             s.detected,
             s.aborted,
+            s.proven_untestable,
             s.aborted_redundant,
             s.aborted_no_path,
             s.aborted_panicked,
@@ -2073,7 +2197,7 @@ mod tests {
         let model = DlxModel::new();
         let base = CampaignConfig::default();
         let fp = Campaign::checkpoint_fingerprint(&model, &base);
-        assert!(fp.starts_with("v6 "), "fingerprint version bumped: {fp}");
+        assert!(fp.starts_with("v7 "), "fingerprint version bumped: {fp}");
         let collapse = CampaignConfig {
             collapse: true,
             ..base.clone()
@@ -2086,9 +2210,17 @@ mod tests {
             packed_screen: false,
             ..base.clone()
         };
+        let prover = CampaignConfig {
+            prove_untestable: true,
+            ..base.clone()
+        };
+        let frames = CampaignConfig {
+            prove_frames: base.prove_frames + 1,
+            ..base.clone()
+        };
         let mut no_memo = base.clone();
         no_memo.tg.ctrljust_memo = false;
-        for other in [&collapse, &no_sim_cache, &no_packed, &no_memo] {
+        for other in [&collapse, &no_sim_cache, &no_packed, &prover, &frames, &no_memo] {
             assert_ne!(
                 fp,
                 Campaign::checkpoint_fingerprint(&model, other),
@@ -2145,21 +2277,35 @@ mod tests {
     }
 
     /// Pins both Table-1 percentages: overall coverage counts every
-    /// enumerated error, while testable coverage excludes the classes a
-    /// test cannot exist for (structurally redundant and proven no-path).
+    /// enumerated error, while testable coverage excludes only errors
+    /// with an actual untestability argument — structurally redundant
+    /// aborts and prover-certified records. A bare `no_path` abort used
+    /// to be excluded too, silently treating a search failure at a finite
+    /// window as a property of the design; it must stay in the
+    /// denominator.
     #[test]
     fn stats_separate_testable_from_overall_coverage() {
         let stats = CampaignStats {
             errors: 10,
             detected: 6,
-            aborted: 4,
+            aborted: 3,
+            proven_untestable: 1,
             aborted_redundant: 2,
             aborted_no_path: 1,
             ..CampaignStats::default()
         };
         assert!((stats.coverage_pct() - 60.0).abs() < 1e-9);
-        // 10 - 2 redundant - 1 no-path = 7 testable; 6/7 detected.
+        // 10 - 2 redundant - 1 proven = 7 testable; 6/7 detected. The
+        // bare no-path abort stays in the denominator.
         assert!((stats.testable_coverage_pct() - 600.0 / 7.0).abs() < 1e-9);
+        let no_proof = CampaignStats {
+            proven_untestable: 0,
+            aborted: 4,
+            ..stats.clone()
+        };
+        // Without a certificate the no-path abort counts as testable:
+        // 10 - 2 redundant = 8 testable.
+        assert!((no_proof.testable_coverage_pct() - 75.0).abs() < 1e-9);
         let empty = CampaignStats::default();
         assert_eq!(empty.coverage_pct(), 0.0);
         assert_eq!(empty.testable_coverage_pct(), 0.0);

@@ -342,6 +342,34 @@ fn entry_to_json(id: u64, round: u32, e: &CheckpointEntry) -> String {
                 }),
             );
         }
+        Outcome::ProvenUntestable(proof) => {
+            let _ = write!(
+                out,
+                "\"outcome\": \"proven_untestable\", \"frames\": {}, \"kind\": \"{}\", ",
+                proof.frames,
+                json_escape(proof.kind.name()),
+            );
+            if let crate::prover::ProofKind::ConstantLine { value } = proof.kind {
+                let _ = write!(out, "\"value\": {value}, ");
+            }
+            // Learned clauses as [frame, net, value] triples so the proof
+            // round-trips losslessly and a resumed campaign can re-`check` it.
+            out.push_str("\"clauses\": [");
+            for (i, clause) in proof.clauses.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push('[');
+                for (j, &(frame, net, value)) in clause.objectives.iter().enumerate() {
+                    if j > 0 {
+                        out.push_str(", ");
+                    }
+                    let _ = write!(out, "[{frame}, {net}, {}]", u8::from(value));
+                }
+                out.push(']');
+            }
+            out.push_str("]}");
+        }
     }
     out
 }
@@ -357,6 +385,7 @@ fn entry_from_json(v: &Value) -> Option<((u64, u32), CheckpointEntry)> {
             reason: reason_from_json(v)?,
             backtracks: v.get_u64("backtracks")? as usize,
         },
+        "proven_untestable" => Outcome::ProvenUntestable(Box::new(proof_from_json(v)?)),
         _ => return None,
     };
     Some((
@@ -368,6 +397,41 @@ fn entry_from_json(v: &Value) -> Option<((u64, u32), CheckpointEntry)> {
             counters: counters_from_json(v)?,
         },
     ))
+}
+
+/// Reconstructs an [`crate::prover::UntestableProof`] exactly as written, so
+/// a resumed record compares equal to a fresh one and `check` still passes.
+fn proof_from_json(v: &Value) -> Option<crate::prover::UntestableProof> {
+    use crate::prover::{ConflictClause, ProofKind, UntestableProof};
+    let frames = v.get_u64("frames")? as usize;
+    let kind = match v.get_str("kind")? {
+        "constant_line" => ProofKind::ConstantLine {
+            value: v.get("value")?.as_bool()?,
+        },
+        "no_propagation_path" => ProofKind::NoPropagationPath,
+        "ctrl_refuted" => ProofKind::CtrlRefuted,
+        _ => return None,
+    };
+    let mut clauses = Vec::new();
+    for clause in v.get("clauses")?.as_arr()? {
+        let mut objectives = Vec::new();
+        for o in clause.as_arr()? {
+            let [frame, net, value] = o.as_arr()? else {
+                return None;
+            };
+            objectives.push((
+                u32::try_from(frame.as_u64()?).ok()?,
+                u32::try_from(net.as_u64()?).ok()?,
+                value.as_u64()? != 0,
+            ));
+        }
+        clauses.push(ConflictClause { objectives });
+    }
+    Some(UntestableProof {
+        frames,
+        kind,
+        clauses,
+    })
 }
 
 /// Reads the persisted counter delta back; entries written before the

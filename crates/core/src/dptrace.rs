@@ -190,10 +190,13 @@ impl<'d> Ctx<'d> {
         r
     }
 
-    /// Input indices ordered by controllability distance (best first).
+    /// Input indices ordered by justification distance (best first):
+    /// how far each input is from a source that can supply an arbitrary
+    /// value. Constant-fed inputs rank unreachable here — they are
+    /// settled (cheap by `c_dist`) but can never be *justified*.
     fn input_order(&self, m: &DpModule) -> Vec<usize> {
         let mut order: Vec<usize> = (0..m.inputs.len()).collect();
-        order.sort_by_key(|&i| self.meas.c_dist(m.inputs[i]));
+        order.sort_by_key(|&i| self.meas.j_dist(m.inputs[i]));
         order
     }
 

@@ -285,7 +285,10 @@ pub struct MetricRec {
     pub class: &'static str,
     /// `true` when a detecting test covers this error.
     pub detected: bool,
-    /// Abort-reason name (`""` when detected).
+    /// `true` when the untestability prover certified no test exists.
+    pub proven_untestable: bool,
+    /// Abort-reason name (`""` when detected; the proof-kind name when
+    /// proven untestable).
     pub reason: &'static str,
     /// Structurally redundant (collapse-class alias of a kept error).
     pub redundant: bool,
@@ -308,15 +311,17 @@ pub struct MetricRec {
 
 impl MetricRec {
     fn from_record(r: &ErrorRecord, engine: Option<EngineWork>) -> Self {
-        let (detected, reason, detected_cycle, test_length, test_fp) = match &r.outcome {
+        let (detected, proven, reason, detected_cycle, test_length, test_fp) = match &r.outcome {
             Outcome::Detected(tc) => (
                 true,
+                false,
                 "",
                 tc.detected_cycle,
                 tc.length,
                 Some(test_fingerprint(tc)),
             ),
-            Outcome::Aborted { reason, .. } => (false, reason.name(), 0, 0, None),
+            Outcome::Aborted { reason, .. } => (false, false, reason.name(), 0, 0, None),
+            Outcome::ProvenUntestable(proof) => (false, true, proof.kind.name(), 0, 0, None),
         };
         MetricRec {
             id: u64::from(r.error.id.0),
@@ -333,6 +338,7 @@ impl MetricRec {
                 "sa0"
             },
             detected,
+            proven_untestable: proven,
             reason,
             redundant: r.redundant,
             by_simulation: r.by_simulation,
@@ -358,8 +364,10 @@ pub struct MetricSnap {
     pub screened: usize,
     /// Detections so far.
     pub detected: usize,
-    /// Aborts so far.
+    /// Aborts so far (proven-untestable errors counted separately).
     pub aborted: usize,
+    /// Prover-certified untestable errors so far.
+    pub proven_untestable: usize,
     /// Records produced by a retry round (round > 0).
     pub retried: usize,
     /// Structurally redundant errors so far.
@@ -435,6 +443,8 @@ impl MetricsTimeline {
             }
             if r.detected {
                 cum.detected += 1;
+            } else if r.proven_untestable {
+                cum.proven_untestable += 1;
             } else {
                 cum.aborted += 1;
             }
@@ -542,7 +552,13 @@ impl MetricsTimeline {
                 r.stage,
                 json_escape(&r.site),
                 r.class,
-                if r.detected { "detected" } else { "aborted" },
+                if r.detected {
+                    "detected"
+                } else if r.proven_untestable {
+                    "proven_untestable"
+                } else {
+                    "aborted"
+                },
                 json_escape(r.reason),
                 r.redundant,
                 r.by_simulation,
@@ -594,7 +610,8 @@ impl MetricsTimeline {
             let _ = write!(
                 out,
                 "{{\"ev\": \"snap\", \"at\": {}, \"generated\": {}, \"screened\": {}, \
-                 \"detected\": {}, \"aborted\": {}, \"retried\": {}, \
+                 \"detected\": {}, \"aborted\": {}, \"proven_untestable\": {}, \
+                 \"retried\": {}, \
                  \"redundant\": {}, \"coverage_pct\": {}, \"decisions\": {}, \
                  \"backtracks\": {}",
                 s.at,
@@ -602,6 +619,7 @@ impl MetricsTimeline {
                 s.screened,
                 s.detected,
                 s.aborted,
+                s.proven_untestable,
                 s.retried,
                 s.redundant,
                 json_f64(s.coverage_pct),
@@ -638,16 +656,19 @@ impl MetricsTimeline {
         }
         let generated = self.recs.iter().filter(|r| !r.by_simulation).count();
         let retried = self.recs.iter().filter(|r| r.round > 0).count();
+        let proven = self.recs.iter().filter(|r| r.proven_untestable).count();
         let _ = write!(
             out,
             "{{\"ev\": \"summary\", \"errors\": {}, \"generated\": {}, \
              \"screened\": {}, \"detected\": {}, \"aborted\": {}, \
+             \"proven_untestable\": {}, \
              \"retried\": {}, \"coverage_pct\": {}, \"test_set_size\": {}",
             self.recs.len(),
             generated,
             self.recs.len() - generated,
             self.detected(),
-            self.recs.len() - self.detected(),
+            self.recs.len() - self.detected() - proven,
+            proven,
             retried,
             json_f64(if self.recs.is_empty() {
                 0.0

@@ -180,10 +180,22 @@ pub enum Counter {
     PackedScreens,
     /// Candidate errors carried as lanes of packed screening passes.
     PackedLanes,
+    /// Untestability-prover invocations (one per aborted error probed).
+    ProverCalls,
+    /// Three-valued implication passes spent inside prover refutations.
+    ProverImplications,
+    /// Conflicts learned by the prover (refuted objective sets, including
+    /// subsumption hits against already-learned clauses).
+    ProverConflicts,
+    /// Errors proven untestable (a checkable certificate was produced).
+    ProverProofs,
+    /// Retry-round generation attempts actually scheduled (escalation
+    /// slots consumed by aborted-but-unproven errors).
+    RetryAttempts,
 }
 
 /// All counters, in reporting order.
-pub const COUNTERS: [Counter; 21] = [
+pub const COUNTERS: [Counter; 26] = [
     Counter::DptraceCalls,
     Counter::DptraceSteps,
     Counter::DptraceModulesOnPath,
@@ -205,6 +217,11 @@ pub const COUNTERS: [Counter; 21] = [
     Counter::CollapseScreened,
     Counter::PackedScreens,
     Counter::PackedLanes,
+    Counter::ProverCalls,
+    Counter::ProverImplications,
+    Counter::ProverConflicts,
+    Counter::ProverProofs,
+    Counter::RetryAttempts,
 ];
 
 impl Counter {
@@ -232,6 +249,11 @@ impl Counter {
             Counter::CollapseScreened => "collapse_screened",
             Counter::PackedScreens => "packed_screens",
             Counter::PackedLanes => "packed_lanes",
+            Counter::ProverCalls => "prover_calls",
+            Counter::ProverImplications => "prover_implications",
+            Counter::ProverConflicts => "prover_conflicts",
+            Counter::ProverProofs => "prover_proofs",
+            Counter::RetryAttempts => "retry_attempts",
         }
     }
 

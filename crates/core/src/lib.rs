@@ -53,6 +53,7 @@ pub mod dprelax;
 pub mod dptrace;
 pub mod ctrljust;
 pub mod pipeframe;
+pub mod prover;
 pub mod unroll;
 
 pub use campaign::{
@@ -65,6 +66,7 @@ pub use checkpoint::{CheckpointEntry, CheckpointLog};
 pub use flight::{FlightRecorder, MetricsTimeline};
 pub use ctrljust::CtrlJustMemo;
 pub use instrument::{Counter, Counters, MultiProbe, Phase, Probe, SpanEnd, StepBudget, NO_PROBE};
+pub use prover::{prove_untestable, ConflictClause, ProofKind, ProveConfig, UntestableProof};
 pub use rng::SplitMix64;
 pub use tg::{AbortReason, Outcome, TestGenerator, TgConfig};
 pub use trace::{LogHistogram, TraceSnapshot, Tracer};

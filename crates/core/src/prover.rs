@@ -1,0 +1,1114 @@
+//! Untestability prover: turns `no_path` guesses into proven redundancy.
+//!
+//! The campaign's coverage accounting needs to distinguish errors that are
+//! merely *undetected* (the search gave up) from errors that are
+//! *undetectable* (no test can exist). `is_structurally_redundant` only
+//! catches shallow pass-through constants; everything else used to be
+//! guesswork. Following the mixed-level fault-redundancy approach, this
+//! module proves untestability by refutation, in three layers of
+//! increasing cost:
+//!
+//! 1. **Constant-line invariants** ([`ProofKind::ConstantLine`]): a
+//!    fixed-point three-valued (0/1/X) implication over the word-level
+//!    datapath, with pipeline registers handled *inductively* — a register
+//!    bit is a candidate invariant when its reset value, clear value and
+//!    implied data input all agree, and candidates contradicted by the
+//!    combinational fixpoint are removed until the set is stable. Every
+//!    surviving known bit holds at **every** cycle of every run. If the
+//!    stuck line provably always carries the stuck value, the erroneous
+//!    machine is behaviourally identical and no test exists. This strictly
+//!    generalizes `hltg_errors::is_structurally_redundant` (which only
+//!    walks pass-through operators) and is frame-independent.
+//! 2. **Structural silence** ([`ProofKind::NoPropagationPath`]): an
+//!    over-approximate fault-cone reachability from the stuck line. The
+//!    cone is bit-accurate through pass-through structure, carry-aware
+//!    through adders, flows through architectural writes into the matching
+//!    read ports, and *escapes* on reaching a designated output, a status
+//!    bit routed to the controller, or an instruction bit routed to a CPI
+//!    input. If the cone never escapes, good and bad machines produce
+//!    identical observable streams forever — also frame-independent.
+//! 3. **Controller refutation** ([`ProofKind::CtrlRefuted`]): for fanout
+//!    edges whose fault propagation requires a controller condition (a mux
+//!    must select the faulty input, a write enable must assert, a register
+//!    enable must open), the condition is posed as CTRLJUST objectives on
+//!    a fresh k-frame [`Unrolled`] controller window **with all CPI and
+//!    STS inputs free**. Only [`JustifyError::Unsatisfiable`] — exhaustive
+//!    search-space exhaustion — counts as a refutation; a backtrack-limit
+//!    abort proves nothing. Refuted objective sets are learned as
+//!    [`ConflictClause`]s: later queries subsumed by a learned clause are
+//!    conflicts without a search, and the clause list is the proof's
+//!    checkable certificate. These proofs are **bounded**: they show no
+//!    activating/propagating sequence exists within `k` frames.
+//!
+//! Soundness discipline throughout: every condition posed for refutation
+//! is *necessary* for detection (dropping unconstrainable conjuncts keeps
+//! it necessary), free inputs over-approximate what the real environment
+//! can do, and the reachability cone over-approximates real fault flow.
+//! When in doubt the prover returns `None` — an honest "unproven", never a
+//! wrong "untestable".
+
+use crate::ctrljust::{justify_budgeted, CtrlJustConfig, JustifyError, Objective};
+use crate::instrument::{Counter, Probe, StepBudget, NO_PROBE};
+use crate::unroll::Unrolled;
+use hltg_errors::BusSslError;
+use hltg_netlist::dp::{DpModId, DpNetId, DpOp, PortRef};
+use hltg_netlist::Design;
+use hltg_sim::Polarity;
+use std::collections::VecDeque;
+
+/// Prover limits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProveConfig {
+    /// Window (in clock frames) for bounded controller refutations.
+    pub frames: usize,
+    /// CTRLJUST backtrack budget per refutation query. A query that hits
+    /// this limit is *not* a refutation.
+    pub max_backtracks: usize,
+}
+
+impl Default for ProveConfig {
+    fn default() -> Self {
+        ProveConfig {
+            frames: 8,
+            max_backtracks: 2000,
+        }
+    }
+}
+
+/// What kind of argument proves the error untestable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProofKind {
+    /// The stuck line provably always carries `value` in the error-free
+    /// machine (inductive constant invariant); the stuck value equals it.
+    ConstantLine {
+        /// The invariant value of the line (equals the stuck polarity).
+        value: bool,
+    },
+    /// The fault cone provably never reaches an observable output, a
+    /// status bit, or an instruction bit.
+    NoPropagationPath,
+    /// Every controller-gated fanout condition was refuted exhaustively
+    /// within the frame window (and all other fanouts are structurally
+    /// silent).
+    CtrlRefuted,
+}
+
+impl ProofKind {
+    /// Stable lowercase name for reports and persistence.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProofKind::ConstantLine { .. } => "constant_line",
+            ProofKind::NoPropagationPath => "no_propagation_path",
+            ProofKind::CtrlRefuted => "ctrl_refuted",
+        }
+    }
+}
+
+/// A learned conflict: the conjunction of these controller objectives is
+/// unsatisfiable within the proof's frame window.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConflictClause {
+    /// Refuted objectives as `(frame, ctl net, value)`, sorted.
+    pub objectives: Vec<(u32, u32, bool)>,
+}
+
+/// A checkable untestability certificate.
+///
+/// `frames == 0` marks a frame-independent (invariant) proof — the
+/// constant-line and structural-silence layers hold at every cycle of
+/// every run. `frames == k > 0` marks a bounded proof: no activating and
+/// propagating sequence exists within `k` frames of reset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UntestableProof {
+    /// Frame bound (0 = unbounded invariant proof).
+    pub frames: usize,
+    /// The argument.
+    pub kind: ProofKind,
+    /// Learned-conflict certificate (empty for invariant proofs).
+    pub clauses: Vec<ConflictClause>,
+}
+
+impl UntestableProof {
+    /// `true` when the proof only covers a bounded frame window.
+    #[must_use]
+    pub fn is_bounded(&self) -> bool {
+        self.frames > 0
+    }
+
+    /// Re-verifies the certificate against the design: re-derives the
+    /// invariant / cone claims and re-refutes every learned clause from
+    /// scratch. A proof that does not check must never be trusted.
+    #[must_use]
+    pub fn check(&self, design: &Design, error: &BusSslError) -> bool {
+        match self.kind {
+            ProofKind::ConstantLine { value } => {
+                if value != stuck_value(error.polarity) {
+                    return false;
+                }
+                let kb = invariant_bits(design);
+                kb.known_value(error.net, error.bit) == Some(value)
+            }
+            ProofKind::NoPropagationPath => {
+                let kb = invariant_bits(design);
+                fanout_conditions(design, &kb, error)
+                    .is_some_and(|conds| conds.is_empty())
+            }
+            ProofKind::CtrlRefuted => {
+                if self.frames == 0 {
+                    return false;
+                }
+                let kb = invariant_bits(design);
+                let Some(conds) = fanout_conditions(design, &kb, error) else {
+                    return false;
+                };
+                // Every live fanout condition at every frame must be
+                // subsumed by a clause, and every clause must genuinely
+                // refute.
+                let queries = expand_over_frames(conds, self.frames);
+                if queries.is_empty() {
+                    return false;
+                }
+                let covered = queries.iter().all(|objs| {
+                    self.clauses.iter().any(|c| subsumes(&c.objectives, objs))
+                });
+                if !covered {
+                    return false;
+                }
+                let mut u = Unrolled::new(&design.ctl, self.frames);
+                self.clauses.iter().all(|c| {
+                    let objectives: Vec<Objective> = c
+                        .objectives
+                        .iter()
+                        .map(|&(f, n, v)| Objective {
+                            frame: f as usize,
+                            net: hltg_netlist::ctl::CtlNetId(n),
+                            value: v,
+                        })
+                        .collect();
+                    if objectives
+                        .iter()
+                        .any(|o| o.frame >= self.frames || o.net.0 as usize >= design.ctl.net_count())
+                    {
+                        return false;
+                    }
+                    matches!(
+                        justify_budgeted(
+                            &mut u,
+                            &objectives,
+                            &[],
+                            CtrlJustConfig::default(),
+                            &NO_PROBE,
+                            0,
+                            &StepBudget::unlimited(),
+                        ),
+                        Err(JustifyError::Unsatisfiable)
+                    )
+                })
+            }
+        }
+    }
+}
+
+fn stuck_value(p: Polarity) -> bool {
+    matches!(p, Polarity::StuckAt1)
+}
+
+/// `true` when `clause` ⊆ `objs` (both sorted): refuting the subset
+/// refutes every superset at the same frames.
+fn subsumes(clause: &[(u32, u32, bool)], objs: &[(u32, u32, bool)]) -> bool {
+    clause.iter().all(|o| objs.binary_search(o).is_ok())
+}
+
+/// Tries to prove `error` untestable. Returns `None` whenever any doubt
+/// remains — every returned proof passes [`UntestableProof::check`].
+pub fn prove_untestable(
+    design: &Design,
+    error: &BusSslError,
+    cfg: ProveConfig,
+    probe: &dyn Probe,
+) -> Option<UntestableProof> {
+    probe.add(Counter::ProverCalls, 1);
+    let kb = invariant_bits(design);
+
+    // Layer 1: the line always carries the stuck value.
+    let stuck = stuck_value(error.polarity);
+    if kb.known_value(error.net, error.bit) == Some(stuck) {
+        probe.add(Counter::ProverProofs, 1);
+        return Some(UntestableProof {
+            frames: 0,
+            kind: ProofKind::ConstantLine { value: stuck },
+            clauses: Vec::new(),
+        });
+    }
+
+    // Layers 2+3: kill every fanout edge of the stuck line, structurally
+    // where possible, by bounded controller refutation where a necessary
+    // control condition exists.
+    let conds = fanout_conditions(design, &kb, error)?;
+    if conds.is_empty() {
+        probe.add(Counter::ProverProofs, 1);
+        return Some(UntestableProof {
+            frames: 0,
+            kind: ProofKind::NoPropagationPath,
+            clauses: Vec::new(),
+        });
+    }
+    let frames = cfg.frames.max(1);
+    let queries = expand_over_frames(conds, frames);
+    let mut learned: Vec<Vec<(u32, u32, bool)>> = Vec::new();
+    let mut u = Unrolled::new(&design.ctl, frames);
+    let budget = StepBudget::unlimited();
+    let jcfg = CtrlJustConfig {
+        max_backtracks: cfg.max_backtracks,
+    };
+    for objs in &queries {
+        if learned.iter().any(|c| subsumes(c, objs)) {
+            // Subsumed by an earlier refutation: conflict without search.
+            probe.add(Counter::ProverConflicts, 1);
+            continue;
+        }
+        let objectives: Vec<Objective> = objs
+            .iter()
+            .map(|&(f, n, v)| Objective {
+                frame: f as usize,
+                net: hltg_netlist::ctl::CtlNetId(n),
+                value: v,
+            })
+            .collect();
+        let before = budget.used();
+        let result = justify_budgeted(&mut u, &objectives, &[], jcfg, &NO_PROBE, 0, &budget);
+        probe.add(Counter::ProverImplications, budget.used() - before);
+        match result {
+            Err(JustifyError::Unsatisfiable) => {
+                probe.add(Counter::ProverConflicts, 1);
+                learned.push(objs.clone());
+            }
+            // Satisfiable (the condition is reachable) or inconclusive
+            // (budget): no proof. Honesty over coverage.
+            _ => return None,
+        }
+    }
+    probe.add(Counter::ProverProofs, 1);
+    Some(UntestableProof {
+        frames,
+        kind: ProofKind::CtrlRefuted,
+        clauses: learned
+            .into_iter()
+            .map(|objectives| ConflictClause { objectives })
+            .collect(),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Layer 1: inductive constant-bit invariants over the word-level datapath.
+// ---------------------------------------------------------------------------
+
+/// Bits of every datapath net proven to carry a fixed value at every cycle
+/// of every run of the error-free machine.
+#[derive(Debug, Clone)]
+pub struct KnownBits {
+    known: Vec<u64>,
+    value: Vec<u64>,
+}
+
+impl KnownBits {
+    /// The invariant value of one line, if proven.
+    #[must_use]
+    pub fn known_value(&self, net: DpNetId, bit: u32) -> Option<bool> {
+        if bit >= 64 {
+            return None;
+        }
+        let i = net.0 as usize;
+        if self.known[i] >> bit & 1 == 1 {
+            Some(self.value[i] >> bit & 1 == 1)
+        } else {
+            None
+        }
+    }
+}
+
+fn width_mask(w: u32) -> u64 {
+    if w >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << w) - 1
+    }
+}
+
+/// Computes [`KnownBits`] by a greatest-fixpoint induction: register-bit
+/// candidates (reset value == clear value == implied data input) seed the
+/// combinational three-valued constant propagation; candidates the
+/// fixpoint contradicts are dropped and the propagation re-runs until the
+/// candidate set is stable. Everything that survives holds at every cycle
+/// by induction over time.
+pub fn invariant_bits(design: &Design) -> KnownBits {
+    let dp = &design.dp;
+    let n = dp.net_count();
+    // Candidate register invariants: candidate mask + value per module.
+    let mut reg_cand: Vec<(DpModId, u64, u64)> = Vec::new();
+    for (id, m) in dp.iter_modules() {
+        if let DpOp::Reg(spec) = m.op {
+            let out = m.output.expect("reg has output");
+            let w = dp.net(out).width;
+            let mut mask = width_mask(w);
+            if spec.has_clear {
+                // A clear may assert at any time: the candidate value must
+                // survive it.
+                mask &= !(spec.init ^ spec.clear_val);
+            }
+            reg_cand.push((id, mask, spec.init & width_mask(w)));
+        }
+    }
+
+    loop {
+        let mut kb = KnownBits {
+            known: vec![0; n],
+            value: vec![0; n],
+        };
+        // Assume the surviving candidates.
+        for &(mid, mask, val) in &reg_cand {
+            let out = dp.module(mid).output.expect("reg has output");
+            kb.known[out.0 as usize] = mask;
+            kb.value[out.0 as usize] = val & mask;
+        }
+        comb_fixpoint(design, &mut kb);
+        // Inductive step: a candidate survives only if its implied data
+        // input carries the candidate value.
+        let mut dropped = false;
+        for (mid, mask, val) in reg_cand.iter_mut() {
+            if *mask == 0 {
+                continue;
+            }
+            let m = dp.module(*mid);
+            let d = m.inputs[0];
+            let di = d.0 as usize;
+            let ok = kb.known[di] & !(kb.value[di] ^ *val);
+            let survived = *mask & ok;
+            if survived != *mask {
+                *mask = survived;
+                dropped = true;
+            }
+        }
+        if !dropped {
+            return kb;
+        }
+    }
+}
+
+/// Forward three-valued constant propagation to a fixpoint. Register
+/// outputs must already be seeded by the caller; this only evaluates
+/// combinational transfer functions.
+fn comb_fixpoint(design: &Design, kb: &mut KnownBits) {
+    let dp = &design.dp;
+    // Inputs, reads and ctrl nets stay unknown; sweep modules until no
+    // output changes (the module list is nearly topological, so this
+    // converges in a few passes).
+    for _ in 0..dp.module_count().max(4) {
+        let mut changed = false;
+        for (_, m) in dp.iter_modules() {
+            if matches!(m.op, DpOp::Reg(_)) {
+                continue; // seeded by the induction
+            }
+            let Some(out) = m.output else { continue };
+            let ow = dp.net(out).width;
+            let om = width_mask(ow);
+            let get = |id: DpNetId| -> (u64, u64) {
+                (kb.known[id.0 as usize], kb.value[id.0 as usize])
+            };
+            let (mut k, mut v) = (0u64, 0u64);
+            match m.op {
+                DpOp::Const(c) => {
+                    k = om;
+                    v = c & om;
+                }
+                DpOp::ZeroExt => {
+                    let (ik, iv) = get(m.inputs[0]);
+                    let iw = dp.net(m.inputs[0]).width;
+                    k = ik | (om & !width_mask(iw));
+                    v = iv;
+                }
+                DpOp::SignExt => {
+                    let (ik, iv) = get(m.inputs[0]);
+                    let iw = dp.net(m.inputs[0]).width;
+                    k = ik & width_mask(iw);
+                    v = iv;
+                    let top = iw - 1;
+                    if ik >> top & 1 == 1 {
+                        let ext = om & !width_mask(iw);
+                        k |= ext;
+                        if iv >> top & 1 == 1 {
+                            v |= ext;
+                        }
+                    }
+                }
+                DpOp::Slice { lo } => {
+                    let (ik, iv) = get(m.inputs[0]);
+                    k = (ik >> lo) & om;
+                    v = (iv >> lo) & om;
+                }
+                DpOp::Concat => {
+                    let mut off = 0u32;
+                    for &inp in &m.inputs {
+                        let (ik, iv) = get(inp);
+                        let iw = dp.net(inp).width;
+                        if off < 64 {
+                            k |= (ik & width_mask(iw)) << off;
+                            v |= (iv & width_mask(iw)) << off;
+                        }
+                        off += iw;
+                    }
+                    k &= om;
+                    v &= om;
+                }
+                DpOp::Not => {
+                    let (ik, iv) = get(m.inputs[0]);
+                    k = ik & om;
+                    v = !iv & k;
+                }
+                DpOp::And | DpOp::Nand => {
+                    let (k0, v0) = get(m.inputs[0]);
+                    let (k1, v1) = get(m.inputs[1]);
+                    let zero = (k0 & !v0) | (k1 & !v1);
+                    let one = k0 & v0 & k1 & v1;
+                    k = (zero | one) & om;
+                    v = one & om;
+                    if matches!(m.op, DpOp::Nand) {
+                        v = !v & k;
+                    }
+                }
+                DpOp::Or | DpOp::Nor => {
+                    let (k0, v0) = get(m.inputs[0]);
+                    let (k1, v1) = get(m.inputs[1]);
+                    let one = (k0 & v0) | (k1 & v1);
+                    let zero = k0 & !v0 & k1 & !v1;
+                    k = (zero | one) & om;
+                    v = one & om;
+                    if matches!(m.op, DpOp::Nor) {
+                        v = !v & k;
+                    }
+                }
+                DpOp::Xor | DpOp::Xnor => {
+                    let (k0, v0) = get(m.inputs[0]);
+                    let (k1, v1) = get(m.inputs[1]);
+                    k = k0 & k1 & om;
+                    v = (v0 ^ v1) & k;
+                    if matches!(m.op, DpOp::Xnor) {
+                        v = !v & k;
+                    }
+                }
+                DpOp::Add | DpOp::Sub => {
+                    // Bits below the first unknown line of either operand
+                    // are determined (carries only travel upward).
+                    let (k0, v0) = get(m.inputs[0]);
+                    let (k1, v1) = get(m.inputs[1]);
+                    let p = (k0 & k1 | !om).trailing_ones().min(64);
+                    if p > 0 {
+                        let pm = if p >= 64 { u64::MAX } else { (1u64 << p) - 1 };
+                        let s = if matches!(m.op, DpOp::Add) {
+                            v0.wrapping_add(v1)
+                        } else {
+                            v0.wrapping_sub(v1)
+                        };
+                        k = pm & om;
+                        v = s & k;
+                    }
+                }
+                DpOp::Eq | DpOp::Ne => {
+                    let (k0, v0) = get(m.inputs[0]);
+                    let (k1, v1) = get(m.inputs[1]);
+                    let iw = width_mask(dp.net(m.inputs[0]).width);
+                    let both = k0 & k1 & iw;
+                    if (v0 ^ v1) & both != 0 {
+                        // A known differing line settles the predicate.
+                        k = 1;
+                        v = u64::from(matches!(m.op, DpOp::Ne));
+                    } else if both == iw {
+                        k = 1;
+                        v = u64::from((v0 & iw == v1 & iw) == matches!(m.op, DpOp::Eq));
+                    }
+                }
+                DpOp::Mux => {
+                    // The select is controller-driven (unknown here); a bit
+                    // is known only when every data input agrees on it.
+                    let mut ak = om;
+                    let mut one = om;
+                    let mut zero = om;
+                    for &inp in &m.inputs {
+                        let (ik, iv) = get(inp);
+                        ak &= ik;
+                        one &= iv;
+                        zero &= !iv;
+                    }
+                    k = ak & (one | zero);
+                    v = one & k;
+                }
+                DpOp::Sll | DpOp::Srl => {
+                    // A known shift amount fixes the bit permutation
+                    // (mirrors `eval_comb`: Sll reduces the amount, Srl
+                    // zero-fills past the input width).
+                    let (k0, v0) = get(m.inputs[0]);
+                    let (k1, v1) = get(m.inputs[1]);
+                    let w1 = width_mask(dp.net(m.inputs[1]).width);
+                    if k1 & w1 == w1 {
+                        let amt = (v1 & w1) as u32;
+                        if matches!(m.op, DpOp::Sll) {
+                            let sh = amt % ow.next_power_of_two().max(ow);
+                            if sh >= ow {
+                                k = om;
+                            } else {
+                                let low = (1u64 << sh) - 1;
+                                k = ((k0 << sh) | low) & om;
+                                v = (v0 << sh) & k;
+                            }
+                        } else if amt >= ow {
+                            k = om;
+                        } else {
+                            let iw = width_mask(dp.net(m.inputs[0]).width);
+                            k = (((k0 & iw) | !iw) >> amt) & om;
+                            v = ((v0 & iw) >> amt) & k;
+                        }
+                    }
+                }
+                op if op.is_combinational() && m.ctrls.is_empty() => {
+                    // Generic fallback (shifts, remaining predicates):
+                    // evaluable only with fully known inputs.
+                    let all_known = m.inputs.iter().all(|&i| {
+                        let (ik, _) = get(i);
+                        ik & width_mask(dp.net(i).width) == width_mask(dp.net(i).width)
+                    });
+                    if all_known {
+                        let inputs: Vec<u64> = m
+                            .inputs
+                            .iter()
+                            .map(|&i| kb.value[i.0 as usize] & width_mask(dp.net(i).width))
+                            .collect();
+                        let widths: Vec<u32> =
+                            m.inputs.iter().map(|&i| dp.net(i).width).collect();
+                        k = om;
+                        v = op.eval_comb(&inputs, &widths, 0, ow) & om;
+                    }
+                }
+                _ => {} // reads, writes, future ops: unknown
+            }
+            let o = out.0 as usize;
+            // The lattice only refines toward known: monotone, so the
+            // sweep terminates.
+            let nk = kb.known[o] | k;
+            let nv = (kb.value[o] & !k) | (v & k);
+            if nk != kb.known[o] || nv != kb.value[o] {
+                kb.known[o] = nk;
+                kb.value[o] = nv & nk;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Layers 2+3: fault-cone reachability and controller-gated fanout kills.
+// ---------------------------------------------------------------------------
+
+/// The frame-free necessary controller conditions left after structural
+/// analysis: one conjunct list per live fanout. `None` means some fanout
+/// is live with no refutable condition — unprovable. `Some(vec![])` means
+/// every fanout is structurally silent.
+fn fanout_conditions(
+    design: &Design,
+    kb: &KnownBits,
+    error: &BusSslError,
+) -> Option<Vec<Vec<(u32, bool)>>> {
+    if error.bit >= 64 {
+        return None;
+    }
+    let bitmask = 1u64 << error.bit;
+    // The stuck line itself directly observable: nothing to refute.
+    if escapes_directly(design, error.net, bitmask) {
+        return None;
+    }
+    let _ = kb;
+    let mut conds: Vec<Vec<(u32, bool)>> = Vec::new();
+    for &(mid, port) in &design.dp.net(error.net).fanouts {
+        let m = design.dp.module(mid);
+        let PortRef::Data(pi) = port else {
+            // A bus error site is never a module control input.
+            return None;
+        };
+        // Structural kill: the fault entering through this edge never
+        // reaches an observable.
+        let entry = cone_entry_mask(design, mid, pi, bitmask);
+        if cone_is_silent(design, mid, entry) {
+            continue;
+        }
+        // Controller kill: a necessary condition for the fault to pass
+        // this module at all.
+        match ctrl_condition(design, m, pi) {
+            Some(objs) => conds.push(objs),
+            None => return None,
+        }
+    }
+    // The caller expands each per-fanout condition over its frame window.
+    Some(conds)
+}
+
+/// Expands per-fanout conditions into per-frame objective sets. Split out
+/// so [`prove_untestable`] and [`UntestableProof::check`] pose identical
+/// queries.
+fn per_frame(objs: &[(u32, bool)], frame: u32) -> Vec<(u32, u32, bool)> {
+    let mut v: Vec<(u32, u32, bool)> = objs.iter().map(|&(n, b)| (frame, n, b)).collect();
+    v.sort_unstable();
+    v
+}
+
+/// The frame-free controller condition necessary for a fault to pass
+/// `module` via data port `pi`: `(ctl net, value)` conjuncts.
+fn ctrl_condition(
+    design: &Design,
+    m: &hltg_netlist::dp::DpModule,
+    pi: usize,
+) -> Option<Vec<(u32, bool)>> {
+    match m.op {
+        DpOp::Mux => {
+            // The mux must select the faulty data input.
+            let mut conj = Vec::with_capacity(m.ctrls.len());
+            for (j, &sel) in m.ctrls.iter().enumerate() {
+                let src = design.ctrl_source(sel)?;
+                conj.push((src.0, pi >> j & 1 == 1));
+            }
+            Some(conj)
+        }
+        DpOp::RegFileWrite(_) | DpOp::MemWrite(_) => {
+            // The write enable must assert.
+            let src = design.ctrl_source(*m.ctrls.first()?)?;
+            Some(vec![(src.0, true)])
+        }
+        DpOp::Reg(spec) if spec.has_enable && pi == 0 => {
+            // The register must load.
+            let src = design.ctrl_source(*m.ctrls.first()?)?;
+            Some(vec![(src.0, true)])
+        }
+        _ => None,
+    }
+}
+
+/// The fault mask on `module`'s output when a fault with `mask` enters
+/// data port `pi`.
+fn cone_entry_mask(design: &Design, mid: DpModId, pi: usize, mask: u64) -> u64 {
+    let m = design.dp.module(mid);
+    let Some(out) = m.output else {
+        // Write ports have no output; the cone instead flows through the
+        // architectural object (handled by the cone walk's write rule, so
+        // give it the full mask).
+        return mask;
+    };
+    let ow = design.dp.net(out).width;
+    transfer_mask(design, m, pi, mask, ow)
+}
+
+/// Over-approximate fault-mask transfer through one module.
+fn transfer_mask(
+    design: &Design,
+    m: &hltg_netlist::dp::DpModule,
+    pi: usize,
+    mask: u64,
+    out_width: u32,
+) -> u64 {
+    let om = width_mask(out_width);
+    match m.op {
+        DpOp::Slice { lo } => (mask >> lo) & om,
+        DpOp::Concat => {
+            let mut off = 0u32;
+            for (i, &inp) in m.inputs.iter().enumerate() {
+                if i == pi {
+                    return if off < 64 { (mask << off) & om } else { 0 };
+                }
+                off += design.dp.net(inp).width;
+            }
+            0
+        }
+        DpOp::ZeroExt => mask & om,
+        DpOp::SignExt => {
+            let iw = design.dp.net(m.inputs[0]).width;
+            let mut out = mask & om;
+            if mask >> (iw - 1) & 1 == 1 {
+                out |= om & !width_mask(iw);
+            }
+            out
+        }
+        DpOp::Not | DpOp::Xor | DpOp::Xnor | DpOp::And | DpOp::Nand | DpOp::Or | DpOp::Nor => {
+            mask & om
+        }
+        DpOp::Add | DpOp::Sub => {
+            // Carries travel upward only.
+            let low = mask.trailing_zeros();
+            if low >= 64 {
+                0
+            } else {
+                (u64::MAX << low) & om
+            }
+        }
+        _ => om, // shifts, predicates, mux, reads, regs: whole output
+    }
+}
+
+/// `true` when `(net, mask)` is itself observable: a designated output, a
+/// status bit routed to the controller, or an instruction bit routed to a
+/// CPI input. Faults that reach the controller can redirect every control
+/// signal, so they count as escaped.
+fn escapes_directly(design: &Design, net: DpNetId, mask: u64) -> bool {
+    if mask == 0 {
+        return false;
+    }
+    if design.dp.outputs.contains(&net) {
+        return true;
+    }
+    if design.sts_binds.iter().any(|b| b.dp == net) {
+        return true;
+    }
+    design
+        .cpi_binds
+        .iter()
+        .any(|b| b.dp == net && b.bit < 64 && mask >> b.bit & 1 == 1)
+}
+
+/// Over-approximate fault-cone walk from `start_module`'s output (or, for
+/// write ports, through the architectural object). Returns `true` when the
+/// cone provably never escapes.
+fn cone_is_silent(design: &Design, start: DpModId, entry_mask: u64) -> bool {
+    let dp = &design.dp;
+    let n = dp.net_count();
+    let mut taint = vec![0u64; n];
+    let mut queue: VecDeque<DpNetId> = VecDeque::new();
+    let mut arch_tainted = vec![false; dp.archs().len()];
+
+    // Seeds a net with new taint bits; returns false on escape.
+    fn seed(
+        design: &Design,
+        taint: &mut [u64],
+        queue: &mut VecDeque<DpNetId>,
+        net: DpNetId,
+        mask: u64,
+    ) -> bool {
+        let add = mask & !taint[net.0 as usize];
+        if add == 0 {
+            return true;
+        }
+        if escapes_directly(design, net, add) {
+            return false;
+        }
+        taint[net.0 as usize] |= add;
+        queue.push_back(net);
+        true
+    }
+
+    // Taints an architectural object: every read port of it.
+    fn taint_arch(
+        design: &Design,
+        taint: &mut [u64],
+        queue: &mut VecDeque<DpNetId>,
+        arch_tainted: &mut [bool],
+        a: hltg_netlist::dp::ArchId,
+    ) -> bool {
+        if arch_tainted[a.0 as usize] {
+            return true;
+        }
+        arch_tainted[a.0 as usize] = true;
+        for (_, m) in design.dp.iter_modules() {
+            let hit = match m.op {
+                DpOp::RegFileRead(b) | DpOp::MemRead(b) => b == a,
+                _ => false,
+            };
+            if hit {
+                let out = m.output.expect("read has output");
+                let om = width_mask(design.dp.net(out).width);
+                if !seed(design, taint, queue, out, om) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    // Seed from the entry module.
+    {
+        let m = dp.module(start);
+        match m.op {
+            DpOp::RegFileWrite(a) | DpOp::MemWrite(a) => {
+                if !taint_arch(design, &mut taint, &mut queue, &mut arch_tainted, a) {
+                    return false;
+                }
+            }
+            _ => {
+                let Some(out) = m.output else { return true };
+                if !seed(design, &mut taint, &mut queue, out, entry_mask) {
+                    return false;
+                }
+            }
+        }
+    }
+
+    while let Some(net) = queue.pop_front() {
+        let mask = taint[net.0 as usize];
+        for &(mid, port) in &dp.net(net).fanouts {
+            let m = dp.module(mid);
+            let pi = match port {
+                PortRef::Data(i) => i,
+                // Only controller-driven ctrl nets feed control ports, and
+                // those are never part of a datapath fault cone; treat a
+                // hypothetical hit conservatively as whole-output taint.
+                PortRef::Ctrl(_) => 0,
+            };
+            match m.op {
+                DpOp::RegFileWrite(a) | DpOp::MemWrite(a) => {
+                    if !taint_arch(design, &mut taint, &mut queue, &mut arch_tainted, a) {
+                        return false;
+                    }
+                }
+                _ => {
+                    let Some(out) = m.output else { continue };
+                    let ow = dp.net(out).width;
+                    let out_mask = transfer_mask(design, m, pi, mask, ow);
+                    if !seed(design, &mut taint, &mut queue, out, out_mask) {
+                        return false;
+                    }
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Expands the frame-free conditions of [`fanout_conditions`] over a
+/// window: one sorted objective set per `(condition, frame)` pair, in
+/// deterministic order.
+fn expand_over_frames(
+    conds: Vec<Vec<(u32, bool)>>,
+    frames: usize,
+) -> Vec<Vec<(u32, u32, bool)>> {
+    let mut out = Vec::with_capacity(conds.len() * frames);
+    for c in &conds {
+        for f in 0..frames {
+            out.push(per_frame(c, f as u32));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hltg_errors::{enumerate_all_errors, is_structurally_redundant, EnumPolicy};
+    use hltg_netlist::ctl::CtlBuilder;
+    use hltg_netlist::dp::DpBuilder;
+    use hltg_netlist::Stage;
+
+    #[test]
+    fn invariants_cover_structural_redundancy_on_every_backend() {
+        // Layer 1 must strictly generalize the shallow structural walk:
+        // every error `is_structurally_redundant` condemns gets a
+        // constant-line proof, and the proof checks.
+        for name in ["dlx", "dlx16", "dlx-lite"] {
+            let model = hltg_dlx::build_model(name).expect("backend");
+            let design = model.design();
+            let errors = enumerate_all_errors(design, EnumPolicy::RepresentativePerBus);
+            let mut proved = 0;
+            for e in &errors {
+                if !is_structurally_redundant(design, e) {
+                    continue;
+                }
+                let proof = prove_untestable(design, e, ProveConfig::default(), &NO_PROBE)
+                    .unwrap_or_else(|| panic!("{name}: {e} is redundant but unproven"));
+                assert_eq!(
+                    proof.kind,
+                    ProofKind::ConstantLine {
+                        value: stuck_value(e.polarity)
+                    },
+                    "{name}: {e}"
+                );
+                assert!(!proof.is_bounded());
+                assert!(proof.check(design, e), "{name}: {e} proof fails check");
+                proved += 1;
+            }
+            assert!(proved > 0, "{name} has redundant errors to prove");
+        }
+    }
+
+    #[test]
+    fn inductive_register_constant_is_proven() {
+        // r feeds itself through an AND with a constant 0 line: r is 0 at
+        // reset and can never become 1. The shallow walk cannot see this;
+        // the inductive fixpoint can.
+        let mut b = DpBuilder::new("dp");
+        b.set_stage(Stage::new(0));
+        let a = b.input("a", 8);
+        let z = b.constant("z", 8, 0);
+        let r_and = b.and("r_and", a, z); // always 0
+        let r = b.reg("r", r_and);
+        let s = b.add("s", r, a);
+        b.mark_output(s);
+        let dp = b.finish().unwrap();
+        let ctl = CtlBuilder::new("ctl").finish().unwrap();
+        let d = Design::new("ind", dp, ctl);
+        let kb = invariant_bits(&d);
+        for bit in 0..8 {
+            assert_eq!(kb.known_value(r, bit), Some(false), "bit {bit}");
+            assert_eq!(kb.known_value(r_and, bit), Some(false));
+        }
+        // The adder output is NOT constant (a is free).
+        assert_eq!(kb.known_value(s, 0), None);
+    }
+
+    #[test]
+    fn candidate_contradicted_by_loop_is_dropped() {
+        // q[t+1] = NOT q[t] oscillates: init 0 but the data input is the
+        // complement, so the candidate must be dropped, not "proven".
+        let mut b = DpBuilder::new("dp");
+        b.set_stage(Stage::new(0));
+        let q_in = b.input("seed", 1);
+        let _ = q_in;
+        // Build the loop with a placeholder then rewire is not possible in
+        // the builder; instead: q -> not -> q via reg(not(q)).
+        // DpBuilder has no cycles for comb; the reg breaks the cycle:
+        // r = reg(d); d = not(r).  Builder order requires d before r, so
+        // use the two-step form with a second builder pass is unavailable —
+        // emulate with reg feeding a Not and a second register chain:
+        // r2 = reg(not(r1)), r1 = reg(not(r2)) is also cyclic. Fall back to
+        // the provable direction: r = reg(xor(r0_const, input)) where the
+        // input is free — the candidate must be dropped because the data
+        // input is unknown.
+        let mut b = DpBuilder::new("dp");
+        b.set_stage(Stage::new(0));
+        let a = b.input("a", 4);
+        let r = b.reg("r", a);
+        let y = b.add("y", r, a);
+        b.mark_output(y);
+        let dp = b.finish().unwrap();
+        let ctl = CtlBuilder::new("ctl").finish().unwrap();
+        let d = Design::new("drop", dp, ctl);
+        let kb = invariant_bits(&d);
+        for bit in 0..4 {
+            assert_eq!(kb.known_value(r, bit), None, "free-fed register bit");
+        }
+    }
+
+    #[test]
+    fn silent_cone_is_proven_untestable() {
+        // A dangling computation: t = a + c is never observed (only s is
+        // an output). Errors on t have no propagation path.
+        let mut b = DpBuilder::new("dp");
+        b.set_stage(Stage::new(0));
+        let a = b.input("a", 8);
+        let c = b.input("c", 8);
+        let s = b.add("s", a, c);
+        let t = b.add("t", a, c);
+        let t2 = b.add("t2", t, c); // consumed, still silent
+        let _ = t2;
+        b.mark_output(s);
+        let dp = b.finish().unwrap();
+        let ctl = CtlBuilder::new("ctl").finish().unwrap();
+        let d = Design::new("dangle", dp, ctl);
+        let err = BusSslError {
+            id: hltg_errors::ErrorId(0),
+            net: t,
+            net_name: "t.y".into(),
+            width: 8,
+            bit: 4,
+            polarity: Polarity::StuckAt1,
+            stage: Stage::new(0),
+        };
+        let proof =
+            prove_untestable(&d, &err, ProveConfig::default(), &NO_PROBE).expect("silent cone");
+        assert_eq!(proof.kind, ProofKind::NoPropagationPath);
+        assert!(proof.check(&d, &err));
+        // An error on s itself is NOT provable (s is observable).
+        let err_s = BusSslError { net: s, ..err.clone() };
+        assert!(prove_untestable(&d, &err_s, ProveConfig::default(), &NO_PROBE).is_none());
+    }
+
+    #[test]
+    fn ctrl_refutation_kills_a_dead_mux_arm() {
+        // sel = q AND NOT q == 0 forever: the mux can never select arm 1,
+        // so an error confined to arm 1 is untestable within any window —
+        // but only the controller refutation can see it.
+        let mut cb = CtlBuilder::new("ctl");
+        let i = cb.cpi("i");
+        let q = cb.ff("q", i, false);
+        let nq = cb.not(q);
+        let sel = cb.and(&[q, nq]);
+        cb.rename(sel, "sel");
+        cb.mark_ctrl_output(sel);
+        let ctl = cb.finish().unwrap();
+
+        let mut b = DpBuilder::new("dp");
+        b.set_stage(Stage::new(0));
+        let a = b.input("a", 8);
+        let c = b.input("c", 8);
+        let sel_dp = b.ctrl("sel_dp");
+        let dead = b.add("dead", a, c);
+        let y = b.mux("y", &[sel_dp], &[a, dead]);
+        b.mark_output(y);
+        let dp = b.finish().unwrap();
+        let mut d = Design::new("deadarm", dp, ctl);
+        d.bind_ctrl("sel", "sel_dp").unwrap();
+        d.validate().unwrap();
+
+        let err = BusSslError {
+            id: hltg_errors::ErrorId(0),
+            net: dead,
+            net_name: "dead.y".into(),
+            width: 8,
+            bit: 4,
+            polarity: Polarity::StuckAt1,
+            stage: Stage::new(0),
+        };
+        let cfg = ProveConfig {
+            frames: 4,
+            ..ProveConfig::default()
+        };
+        let proof = prove_untestable(&d, &err, cfg, &NO_PROBE).expect("dead arm");
+        assert_eq!(proof.kind, ProofKind::CtrlRefuted);
+        assert_eq!(proof.frames, 4);
+        assert!(!proof.clauses.is_empty(), "certificate carries clauses");
+        assert!(proof.check(&d, &err), "certificate re-verifies");
+
+        // The live arm (a) is NOT provable: the mux selects it freely.
+        let err_live = BusSslError { net: a, ..err.clone() };
+        assert!(prove_untestable(&d, &err_live, cfg, &NO_PROBE).is_none());
+    }
+
+    #[test]
+    fn tampered_certificates_fail_check() {
+        let mut b = DpBuilder::new("dp");
+        b.set_stage(Stage::new(0));
+        let a = b.input("a", 4);
+        let x = b.zero_ext("x", a, 8);
+        let y = b.add("y", x, x);
+        b.mark_output(y);
+        let dp = b.finish().unwrap();
+        let ctl = CtlBuilder::new("ctl").finish().unwrap();
+        let d = Design::new("tamper", dp, ctl);
+        let err = BusSslError {
+            id: hltg_errors::ErrorId(0),
+            net: x,
+            net_name: "x.y".into(),
+            width: 8,
+            bit: 6,
+            polarity: Polarity::StuckAt0,
+            stage: Stage::new(0),
+        };
+        let proof = prove_untestable(&d, &err, ProveConfig::default(), &NO_PROBE)
+            .expect("zero-extended upper line");
+        assert!(proof.check(&d, &err));
+        // Wrong polarity claim: must not check.
+        let bad = UntestableProof {
+            kind: ProofKind::ConstantLine { value: true },
+            ..proof.clone()
+        };
+        assert!(!bad.check(&d, &err));
+        // Wrong error: bit 2 is a live line of x.
+        let live = BusSslError { bit: 2, ..err };
+        assert!(!proof.check(&d, &live));
+    }
+}

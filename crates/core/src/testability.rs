@@ -19,6 +19,7 @@ pub const INF: u32 = u32::MAX / 4;
 #[derive(Debug, Clone)]
 pub struct Testability {
     c_dist: Vec<u32>,
+    j_dist: Vec<u32>,
     o_dist: Vec<u32>,
 }
 
@@ -28,6 +29,7 @@ impl Testability {
         let dp = &design.dp;
         let n = dp.net_count();
         let mut c = vec![INF; n];
+        let mut j = vec![INF; n];
         let mut o = vec![INF; n];
 
         // Controllability seeds: primary inputs and architectural reads.
@@ -43,6 +45,7 @@ impl Testability {
                 DpNetKind::Ctrl => {}
             }
         }
+        j.copy_from_slice(&c);
         // Observability seeds: designated outputs and write-port operands.
         for &out in &dp.outputs {
             o[out.0 as usize] = 0;
@@ -64,35 +67,46 @@ impl Testability {
             let mut changed = false;
             for (_, m) in dp.iter_modules() {
                 let Some(out) = m.output else { continue };
-                // Controllability forward.
-                let new_c = match m.op {
-                    DpOp::Const(_) => INF, // settled, not controllable
+                // Controllability forward, over both measures. They share
+                // every transfer rule except the constant: `c` scores a
+                // constant as settled for free (it already carries its
+                // value, no input assignment is needed), while `j` scores
+                // it unreachable (a constant can never be justified to an
+                // *arbitrary* value, which is what justification needs).
+                let forward = |dist: &[u32], const_cost: u32| match m.op {
+                    DpOp::Const(_) => const_cost,
                     DpOp::RegFileRead(_) | DpOp::MemRead(_) => 0,
-                    DpOp::Reg(_) => c[m.inputs[0].0 as usize].saturating_add(2),
+                    DpOp::Reg(_) => dist[m.inputs[0].0 as usize].saturating_add(2),
                     DpOp::Mux => m
                         .inputs
                         .iter()
-                        .map(|i| c[i.0 as usize])
+                        .map(|i| dist[i.0 as usize])
                         .min()
                         .unwrap_or(INF)
                         .saturating_add(1),
                     DpOp::And | DpOp::Nand | DpOp::Or | DpOp::Nor | DpOp::Concat => m
                         .inputs
                         .iter()
-                        .map(|i| c[i.0 as usize])
+                        .map(|i| dist[i.0 as usize])
                         .max()
                         .unwrap_or(INF)
                         .saturating_add(1),
                     _ => m
                         .inputs
                         .iter()
-                        .map(|i| c[i.0 as usize])
+                        .map(|i| dist[i.0 as usize])
                         .min()
                         .unwrap_or(INF)
                         .saturating_add(1),
                 };
+                let new_c = forward(&c, 0);
                 if new_c < c[out.0 as usize] {
                     c[out.0 as usize] = new_c;
+                    changed = true;
+                }
+                let new_j = forward(&j, INF);
+                if new_j < j[out.0 as usize] {
+                    j[out.0 as usize] = new_j;
                     changed = true;
                 }
                 // Observability backward: an input sees the output's
@@ -111,12 +125,26 @@ impl Testability {
                 break;
             }
         }
-        Testability { c_dist: c, o_dist: o }
+        Testability {
+            c_dist: c,
+            j_dist: j,
+            o_dist: o,
+        }
     }
 
-    /// Controllability distance of a net (0 = directly controllable).
+    /// Controllability distance of a net (0 = directly controllable or
+    /// settled — a constant carries its value for free).
     pub fn c_dist(&self, net: DpNetId) -> u32 {
         self.c_dist[net.0 as usize]
+    }
+
+    /// Justification distance of a net: how far to a source that can
+    /// supply an *arbitrary* value. Differs from [`Testability::c_dist`]
+    /// exactly on constants (and nets reachable only through them), which
+    /// are settled but never justifiable. `DPTRACE` orders justification
+    /// alternatives by this measure.
+    pub fn j_dist(&self, net: DpNetId) -> u32 {
+        self.j_dist[net.0 as usize]
     }
 
     /// Observability distance of a net (0 = designated output).
@@ -164,6 +192,46 @@ mod tests {
         assert_eq!(m.o_dist(r), 1);
         assert_eq!(m.o_dist(s), 3, "through the register costs 2");
         assert!(m.o_dist(a) > m.o_dist(s));
+    }
+
+    /// Reconvergent constant regression: a module fed by a constant and a
+    /// deep reconvergent arm must score the constant arm as *settled* for
+    /// free (controllability 0), not unreachable — before the fix the
+    /// `Const` case pinned constants at `INF`, so every net reachable
+    /// only past a constant looked uncontrollable. The justification
+    /// measure is the one place the old value was right: a constant can
+    /// never supply an arbitrary value, so `j_dist` keeps it at `INF` and
+    /// DPTRACE's alternative ordering still tries live arms first.
+    #[test]
+    fn constants_are_free_to_justify() {
+        let mut b = DpBuilder::new("dp");
+        let a = b.input("a", 8);
+        let k = b.constant("k", 8, 7);
+        // Reconvergent deep arm: a feeds both sides of an add chain.
+        let s1 = b.add("s1", a, a);
+        let s2 = b.add("s2", s1, a);
+        let m0 = b.add("m", k, s2);
+        b.mark_output(m0);
+        let dp = b.finish().unwrap();
+        let ctl = CtlBuilder::new("ctl").finish().unwrap();
+        let d = hltg_netlist::Design::new("x", dp, ctl);
+        let t = Testability::compute(&d);
+        assert_eq!(t.c_dist(k), 0, "a constant is settled for free");
+        assert!(
+            t.c_dist(k) < t.c_dist(s2),
+            "settledness must rank the constant arm cheap: k={} s2={}",
+            t.c_dist(k),
+            t.c_dist(s2)
+        );
+        // The output is reachable at cost 1 through the free arm (the
+        // Add class takes the min input controllability plus one).
+        assert_eq!(t.c_dist(m0), 1);
+        // Justification: the constant arm is a dead end, the reconvergent
+        // arm is the only real choice.
+        assert_eq!(t.j_dist(k), INF, "a constant never justifies");
+        assert_eq!(t.j_dist(m0), t.j_dist(s2) + 1);
+        // Where no constant is involved the measures agree.
+        assert_eq!(t.c_dist(s2), t.j_dist(s2));
     }
 
     #[test]

@@ -219,12 +219,23 @@ pub enum Outcome {
         /// Total CTRLJUST backtracks across all variants.
         backtracks: usize,
     },
+    /// The untestability prover established that no activating and
+    /// propagating sequence exists; the certificate is checkable with
+    /// [`crate::prover::UntestableProof::check`]. These errors leave the
+    /// coverage denominator and never enter retry rounds.
+    ProvenUntestable(Box<crate::prover::UntestableProof>),
 }
 
 impl Outcome {
     /// `true` for [`Outcome::Detected`].
     pub fn is_detected(&self) -> bool {
         matches!(self, Outcome::Detected(_))
+    }
+
+    /// `true` for [`Outcome::ProvenUntestable`]: the error is hopeless and
+    /// must not consume retry effort.
+    pub fn is_proven_untestable(&self) -> bool {
+        matches!(self, Outcome::ProvenUntestable(_))
     }
 }
 
@@ -307,6 +318,18 @@ impl<'d> TestGenerator<'d> {
             schedule,
             memo: CtrlJustMemo::default(),
         }
+    }
+
+    /// The model this generator targets.
+    pub fn model(&self) -> &'d dyn ProcessorModel {
+        self.model
+    }
+
+    /// The probe this generator reports to (the campaign's composed
+    /// counter chain — the untestability prover reports through the same
+    /// probe so its counters persist with the per-error checkpoint delta).
+    pub fn probe(&self) -> &'d dyn Probe {
+        self.probe
     }
 
     /// Generates (and confirms) a test for `error`, or reports an abort.

@@ -42,6 +42,12 @@ fn main() {
                     ""
                 }
             ),
+            Outcome::ProvenUntestable(proof) => println!(
+                "  {}: proven untestable ({}, k={})",
+                record.error,
+                proof.kind.name(),
+                proof.frames
+            ),
         }
     }
 

@@ -118,6 +118,49 @@ cmp target/metrics_t1.jsonl target/metrics_t2.jsonl || {
     --retry 1 --metrics-out target/metrics_chaos.jsonl --json > /dev/null
 ./target/release/campaign_report --check target/metrics_chaos.jsonl
 
+echo "== untestability-prover smoke (certified proofs + coverage accounting)"
+# The prover must certify errors on the classic design, leave detections
+# untouched, only *reclassify* aborts (never invent outcomes), keep
+# certified errors out of the retry rounds, and emit a metrics stream
+# campaign_report accepts.
+./target/release/table1 80 --threads 2 --retry 1 --prove-untestable \
+    --metrics-out target/prove_metrics.jsonl \
+    --json > target/prove_on_smoke.json
+./target/release/table1 80 --threads 2 --retry 1 \
+    --json > target/prove_off_smoke.json
+grep -q '"proven_untestable": [1-9]' target/prove_on_smoke.json || {
+    echo "--prove-untestable certified nothing at limit 80" >&2
+    exit 1
+}
+grep -q '"proven_untestable": 0' target/prove_off_smoke.json || {
+    echo "prover ran without --prove-untestable" >&2
+    exit 1
+}
+num_of() { grep -o "\"$2\": [0-9]*" "$1" | head -1 | sed 's/[^0-9]//g'; }
+det_on="$(num_of target/prove_on_smoke.json detected)"
+det_off="$(num_of target/prove_off_smoke.json detected)"
+[ -n "$det_on" ] && [ "$det_on" = "$det_off" ] || {
+    echo "proving changed detections: '$det_on' vs '$det_off'" >&2
+    exit 1
+}
+ab_on="$(num_of target/prove_on_smoke.json aborted)"
+pv_on="$(num_of target/prove_on_smoke.json proven_untestable)"
+ab_off="$(num_of target/prove_off_smoke.json aborted)"
+[ "$((ab_on + pv_on))" -eq "$ab_off" ] || {
+    echo "proofs invented outcomes: aborted $ab_on + proven $pv_on != $ab_off" >&2
+    exit 1
+}
+# Certified errors consume no retry slots (on the classic design they are
+# structurally redundant, which the retry filter already skips — the
+# counter must agree either way).
+ra_on="$(num_of target/prove_on_smoke.json retry_attempts)"
+ra_off="$(num_of target/prove_off_smoke.json retry_attempts)"
+[ "$ra_on" = "$ra_off" ] || {
+    echo "proven errors consumed retry slots: $ra_on vs $ra_off" >&2
+    exit 1
+}
+./target/release/campaign_report --check target/prove_metrics.jsonl
+
 echo "== bench gate (bench_diff self-test + committed baselines)"
 # The gate must be able to fail (an injected 2x slowdown trips it) and
 # the committed baselines must be self-consistent (a report equal to its
@@ -144,9 +187,12 @@ for design in dlx dlx16 dlx-lite; do
         exit 1
     }
     # The metrics timeline validates and the matrix renders per backend.
+    # (Render to a file: piping into `grep -q` races the renderer against
+    # grep's early exit, and pipefail turns the EPIPE into a failure.)
     ./target/release/campaign_report --check "target/design_${design}_metrics.jsonl"
     ./target/release/campaign_report "target/design_${design}_metrics.jsonl" \
-        | grep -q "Detection matrix" || {
+        > "target/design_${design}_report.md"
+    grep -q "Detection matrix" "target/design_${design}_report.md" || {
         echo "--design $design: campaign_report rendered no matrix" >&2
         exit 1
     }

@@ -214,6 +214,46 @@ fn packed_screen_is_invariant_under_chaos_and_retries() {
     }
 }
 
+/// The untestability prover must be invisible to thread scheduling: with
+/// `prove_untestable` on, the deterministic report is byte-identical at
+/// 1, 2 and 8 threads, certifies a nonzero number of errors, and differs
+/// from the (equally thread-invariant) prove-off report only by
+/// reclassifying aborted errors — detections are untouched.
+#[test]
+fn prover_is_thread_invariant() {
+    let lite = hltg::dlx::build_model("dlx-lite").expect("registered backend");
+    let config_at = |num_threads, prove: bool| CampaignConfig {
+        limit: Some(67),
+        prove_untestable: prove,
+        num_threads,
+        ..CampaignConfig::default()
+    };
+    let mut stats_by_mode = Vec::new();
+    for prove in [false, true] {
+        let base = Campaign::run(lite.as_ref(), &config_at(1, prove), RunOptions::default());
+        let reference = base.report.to_json_deterministic();
+        for threads in [2, 8] {
+            let got = Campaign::run(lite.as_ref(), &config_at(threads, prove), RunOptions::default())
+                .report
+                .to_json_deterministic();
+            assert_eq!(
+                got, reference,
+                "deterministic report diverges at num_threads={threads} (prove={prove})"
+            );
+        }
+        stats_by_mode.push(base.report.stats);
+    }
+    let (off, on) = (&stats_by_mode[0], &stats_by_mode[1]);
+    assert_eq!(off.proven_untestable, 0, "prover ran despite prove_untestable=false");
+    assert!(on.proven_untestable > 0, "the window certified no errors");
+    assert_eq!(on.detected, off.detected, "proving must not change detections");
+    assert_eq!(
+        on.aborted + on.proven_untestable,
+        off.aborted,
+        "proofs must reclassify aborted errors, not invent outcomes"
+    );
+}
+
 /// `num_threads: 0` is treated as 1 rather than panicking.
 #[test]
 fn zero_threads_falls_back_to_serial() {

@@ -8,7 +8,7 @@ use hltg::core::{
     AbortReason, Campaign, CampaignConfig, CampaignStats, ChaosConfig, Outcome, Phase,
     RunOptions, TestGenerator, TgConfig,
 };
-use hltg::dlx::{DlxDesign, DlxModel};
+use hltg::dlx::{build_model, DlxDesign, DlxModel};
 use hltg::errors::{
     enumerate_bus_order_errors, enumerate_module_substitutions, enumerate_stage_errors,
     EnumPolicy,
@@ -72,6 +72,8 @@ fn starved_budgets_abort_cleanly() {
                 assert!(tc.detected_cycle < tc.program.len() + 32);
             }
             Outcome::Aborted { .. } => aborted += 1,
+            // The prover only runs under campaign flags, never in raw tg.
+            Outcome::ProvenUntestable(_) => unreachable!("tg::generate never proves"),
         }
     }
     assert!(aborted > 0, "starved budgets must abort at least sometimes");
@@ -481,6 +483,79 @@ fn checkpoint_resume_replays_counter_totals() {
     );
     // Sanity: the campaign did real work that the replay had to carry.
     assert!(resumed.report.counters.count("variants") > 0);
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Certified untestability proofs persist: a checkpointed campaign's
+/// `proven_untestable` entries survive the kill/resume round trip. The
+/// resumed run restores certificates bit for bit from the file (through
+/// the JSONL serialization), and a full replay reproduces the counter
+/// totals exactly — the prover deltas replay with their entries, and
+/// nothing is re-proven on top of them.
+#[test]
+fn checkpoint_resume_preserves_proofs() {
+    let lite = build_model("dlx-lite").expect("registered backend");
+    let path = temp_checkpoint("proofs");
+    let config = |limit: usize, checkpoint: bool| {
+        let mut config = CampaignConfig {
+            limit: Some(limit),
+            num_threads: 1,
+            prove_untestable: true,
+            checkpoint: checkpoint.then(|| path.clone()),
+            ..CampaignConfig::default()
+        };
+        // Counter totals are compared below; the memo's hit pattern
+        // depends on which errors were generated vs replayed.
+        config.tg.ctrljust_memo = false;
+        config
+    };
+    let proofs = |c: &Campaign| {
+        c.records
+            .iter()
+            .filter_map(|r| match &r.outcome {
+                Outcome::ProvenUntestable(p) => Some((r.error.id, (**p).clone())),
+                _ => None,
+            })
+            .collect::<Vec<_>>()
+    };
+    // An uninterrupted reference run, no persistence.
+    let uninterrupted = Campaign::run(lite.as_ref(), &config(67, false), RunOptions::default());
+    assert!(
+        uninterrupted.report.stats.proven_untestable >= 2,
+        "the window must certify enough errors to exercise the round trip: {:?}",
+        uninterrupted.report.stats
+    );
+    // A "killed midway" run whose persisted prefix already holds proofs...
+    let partial = Campaign::run(lite.as_ref(), &config(60, true), RunOptions::default());
+    assert!(
+        partial.report.stats.proven_untestable >= 1,
+        "the partial run must persist at least one proof"
+    );
+    // ...resumed to completion: stats match the uninterrupted reference
+    // and every certificate — restored or freshly proven — is identical.
+    let resumed = Campaign::run(lite.as_ref(), &config(67, true), RunOptions::default());
+    assert_eq!(
+        stats_sans_time(&resumed.campaign),
+        stats_sans_time(&uninterrupted.campaign)
+    );
+    assert_eq!(
+        proofs(&resumed.campaign),
+        proofs(&uninterrupted.campaign),
+        "restored certificates must equal the uninterrupted run's bit for bit"
+    );
+    // A full replay regenerates nothing: the proofs round-trip through
+    // the JSONL file once more, and the counter totals — prover counters
+    // included — replay exactly. Re-proving would inflate them.
+    let replayed = Campaign::run(lite.as_ref(), &config(67, true), RunOptions::default());
+    assert_eq!(proofs(&replayed.campaign), proofs(&resumed.campaign));
+    assert_eq!(
+        replayed.report.counters.counts, resumed.report.counters.counts,
+        "a full replay must reproduce the counter totals without re-proving"
+    );
+    assert!(
+        replayed.report.counters.count("prover_calls") > 0,
+        "the replayed totals must still carry the recorded prover work"
+    );
     let _ = std::fs::remove_file(&path);
 }
 
