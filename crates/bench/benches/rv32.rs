@@ -1,0 +1,37 @@
+//! Benches for the rv32 backends: end-to-end generation over a batch of
+//! the five-stage error population, and controller unrolling on the
+//! seven-stage build — the pipeframe-scaling cost the deep variant
+//! exists to stress. Plain std harness; run with `cargo bench --bench
+//! rv32`.
+
+use hltg_bench::harness::{bench, write_json_report};
+use hltg_core::tg::{TestGenerator, TgConfig};
+use hltg_core::unroll::Unrolled;
+use hltg_errors::{enumerate_stage_errors, EnumPolicy};
+use hltg_netlist::ProcessorModel;
+use hltg_rv32::Rv32Model;
+use std::hint::black_box;
+
+fn main() {
+    let model = Rv32Model::five_stage();
+    let stages = model.error_stages();
+    let errors = enumerate_stage_errors(model.design(), &stages, EnumPolicy::RepresentativePerBus);
+
+    let mut results = Vec::new();
+    results.push(bench("rv32_generate_batch_of_8", || {
+        let mut tg = TestGenerator::new(&model, TgConfig::default());
+        for e in errors.iter().take(8) {
+            black_box(tg.generate(e));
+        }
+    }));
+
+    // Twelve frames covers the seven-stage fill plus the squash window —
+    // the generator's working depth on this pipe.
+    let deep = Rv32Model::seven_stage();
+    results.push(bench("rv32_7stage_unroll", || {
+        let mut u = Unrolled::new(&deep.design().ctl, 12);
+        u.propagate();
+        black_box(u)
+    }));
+    write_json_report("rv32", &results);
+}

@@ -27,7 +27,7 @@ use hltg_core::jsonv::{self, Value};
 use std::path::{Path, PathBuf};
 
 /// The benchmark sets the runner emits; one `BENCH_<set>.json` each.
-const SETS: [&str; 7] = [
+const SETS: [&str; 8] = [
     "cache",
     "campaign",
     "dprelax",
@@ -35,6 +35,7 @@ const SETS: [&str; 7] = [
     "serve",
     "sim",
     "prover",
+    "rv32",
 ];
 
 #[derive(Debug, Clone, PartialEq)]

@@ -11,8 +11,8 @@
 //!         [--resume PATH] [--no-sim-cache] [--no-packed-screen]
 //!         [--prove-untestable] [--prove-frames K]`
 //!
-//! `--design NAME` selects the processor backend (default `dlx`; see
-//! [`hltg_dlx::BACKENDS`]).
+//! `--design NAME` selects the processor backend (default `dlx`) from
+//! the process-wide [`hltg_netlist::registry`].
 //!
 //! `--json` emits a machine-readable object: the generating campaign's
 //! [`hltg_core::CampaignReport`] (stats plus per-phase instrumentation
@@ -80,10 +80,12 @@ fn main() {
             }
             "dlx".to_string()
         });
-    let model = hltg_dlx::build_model(&design_name).unwrap_or_else(|| {
+    hltg_dlx::register_backends();
+    hltg_rv32::register_backends();
+    let model = hltg_netlist::registry::build_model(&design_name).unwrap_or_else(|| {
         eprintln!(
             "--design {design_name}: unknown backend (registered: {})",
-            hltg_dlx::BACKENDS.join(", ")
+            hltg_netlist::registry::backend_names().join(", ")
         );
         std::process::exit(2);
     });

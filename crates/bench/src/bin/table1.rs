@@ -3,17 +3,19 @@
 //! EX/MEM/WB by default).
 //!
 //! Usage: `cargo run --release -p hltg-bench --bin table1 [limit]
-//!         [--design NAME] [--error-sim] [--no-collapse] [--no-sim-cache]
-//!         [--no-packed-screen]
+//!         [--design NAME] [--list-designs] [--error-sim] [--no-collapse]
+//!         [--no-sim-cache] [--no-packed-screen]
 //!         [--threads N] [--json] [--trace-out PATH] [--progress]
 //!         [--metrics-out PATH] [--metrics-every N] [--metrics-full]
 //!         [--resume PATH] [--retry N] [--max-steps N]
 //!         [--soft-deadline-ms MS] [--chaos-panic PERMILLE]
 //!         [--chaos-seed S] [--prove-untestable] [--prove-frames K]`
 //!
-//! `--design NAME` selects the processor backend (default `dlx`; see
-//! [`hltg_dlx::BACKENDS`] for the registry — `dlx16` is the 16-bit-wide
-//! datapath variant, `dlx-lite` the merged-EX/MEM four-stage pipeline).
+//! `--design NAME` selects the processor backend (default `dlx`) from
+//! the process-wide [`hltg_netlist::registry`]; `--list-designs` prints
+//! the registered names, one per line, and exits. Every workspace
+//! backend crate (`hltg-dlx`: `dlx`, `dlx16`, `dlx-lite`; `hltg-rv32`:
+//! `rv32`, `rv32-7`) registers itself here before resolution.
 //!
 //! `--threads N` shards the campaign over N worker threads (default: all
 //! available cores; results are identical for any N). `--json` emits the
@@ -70,8 +72,20 @@ fn parse_or_exit<T: std::str::FromStr>(flag: &str, value: &str) -> T {
     })
 }
 
+fn register_backends() {
+    hltg_dlx::register_backends();
+    hltg_rv32::register_backends();
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list-designs") {
+        register_backends();
+        for name in hltg_netlist::registry::backend_names() {
+            println!("{name}");
+        }
+        return;
+    }
     let error_simulation = args.iter().any(|a| a == "--error-sim");
     let no_collapse = args.iter().any(|a| a == "--no-collapse");
     let no_sim_cache = args.iter().any(|a| a == "--no-sim-cache");
@@ -121,10 +135,11 @@ fn main() {
         .filter(|(i, a)| !a.starts_with("--") && !value_positions.contains(i))
         .find_map(|(_, s)| s.parse().ok());
 
-    let model = hltg_dlx::build_model(&design_name).unwrap_or_else(|| {
+    register_backends();
+    let model = hltg_netlist::registry::build_model(&design_name).unwrap_or_else(|| {
         eprintln!(
             "--design {design_name}: unknown backend (registered: {})",
-            hltg_dlx::BACKENDS.join(", ")
+            hltg_netlist::registry::backend_names().join(", ")
         );
         std::process::exit(2);
     });

@@ -14,7 +14,10 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| "dlx".to_string());
-    let model = hltg_dlx::build_model(&design_name).expect("registered backend");
+    hltg_dlx::register_backends();
+    hltg_rv32::register_backends();
+    let model =
+        hltg_netlist::registry::build_model(&design_name).expect("registered backend");
     let errors = hltg_errors::enumerate_stage_errors(
         model.design(),
         &model.error_stages(),

@@ -909,8 +909,9 @@ mod tests {
         // Layer 1 must strictly generalize the shallow structural walk:
         // every error `is_structurally_redundant` condemns gets a
         // constant-line proof, and the proof checks.
+        hltg_dlx::register_backends();
         for name in ["dlx", "dlx16", "dlx-lite"] {
-            let model = hltg_dlx::build_model(name).expect("backend");
+            let model = hltg_netlist::registry::build_model(name).expect("backend");
             let design = model.design();
             let errors = enumerate_all_errors(design, EnumPolicy::RepresentativePerBus);
             let mut proved = 0;

@@ -52,6 +52,8 @@ pub mod trace;
 
 pub use build::{DlxDesign, DlxNets};
 pub use lite::LiteDesign;
-pub use model::{build_model, DlxModel, LiteModel, BACKENDS};
+#[allow(deprecated)] // shims re-exported for downstream code mid-migration
+pub use model::{build_model, BACKENDS};
+pub use model::{register_backends, DlxModel, LiteModel};
 pub use trace::PipeTrace;
 pub use ctrl_word::{AluOp, CtrlWord, DestSel, ImmSel, LdSel, StSel, WbSel};

@@ -22,9 +22,10 @@
 use crate::controller::{recognizer, DecodedLines};
 use crate::ctrl_word::CtrlWord;
 use hltg_isa::instr::ALL_OPCODES;
+use hltg_netlist::builder::{BuildError, DpDsl};
 use hltg_netlist::ctl::{CtlBuilder, CtlNetId, CtlNetlist, FfSpec};
 use hltg_netlist::design::{CpiBind, CtrlBind, StsBind};
-use hltg_netlist::dp::{ArchId, DpBuilder, DpNetId, DpNetlist, DpOp, RegSpec};
+use hltg_netlist::dp::{ArchId, DpNetId, DpNetlist, DpOp};
 use hltg_netlist::{Design, Stage};
 
 /// Handles to the lite datapath's externally meaningful nets.
@@ -120,302 +121,289 @@ pub struct LiteCtlHandles {
 
 /// Builds the lite datapath netlist.
 ///
+/// Written against the typed builder DSL ([`hltg_netlist::builder`]);
+/// the DSL delegates 1:1 to the raw `DpBuilder`, so this produces a
+/// netlist structurally identical to the original hand-wired
+/// construction (pinned byte for byte by `tests/lite_golden.rs`).
+///
 /// # Panics
 ///
 /// Panics only on internal construction bugs; the returned netlist has
 /// been validated.
 pub fn build_lite_datapath() -> (DpNetlist, LiteDpHandles) {
-    let mut b = DpBuilder::new("dlx_lite_dp");
+    try_build_lite_datapath().expect("dlx-lite datapath is structurally valid")
+}
+
+fn try_build_lite_datapath() -> Result<(DpNetlist, LiteDpHandles), BuildError> {
+    let mut d = DpDsl::new("dlx_lite_dp");
     let s_if = Stage::new(0);
     let s_id = Stage::new(1);
     let s_exm = Stage::new(2);
     let s_wb = Stage::new(3);
 
     // ---- Architectural state -------------------------------------------
-    let imem = b.arch_mem("imem", 32);
-    let dmem = b.arch_mem("dmem", 32);
-    let gpr = b.arch_regfile("gpr", 32, 32, true);
+    let imem = d.arch_mem("imem", 32)?;
+    let dmem = d.arch_mem("dmem", 32)?;
+    let gpr = d.arch_regfile("gpr", 32, 32, true)?;
 
     // ---- IF --------------------------------------------------------------
     // No stall in this pipeline: the PC and IF/ID registers advance every
     // cycle, so neither carries an enable.
-    b.set_stage(s_if);
-    let c_pc_sel = [b.ctrl("c_pc_sel0"), b.ctrl("c_pc_sel1")];
-    let next_pc = b.wire("next_pc", 32);
-    let pc = b.wire("pc", 32);
-    b.drive(pc, "pc_reg", DpOp::Reg(RegSpec::plain(0)), &[next_pc], &[]);
-    let four = b.constant("k4", 32, 4);
-    let pc_plus4 = b.add("pc_plus4", pc, four);
-    let fetch_addr = b.slice("fetch_addr", pc, 2, 30);
-    let instr = b.mem_read("ifetch", imem, fetch_addr);
-    let br_target = b.wire("br_target", 32);
-    let a_fwd = b.wire("a_fwd", 32);
-    b.drive(
+    let mut s = d.stage(s_if);
+    let c_pc_sel = s.ctrl_bus::<2>("c_pc_sel")?;
+    let next_pc = s.wire("next_pc", 32)?;
+    let pc = s.wire("pc", 32)?;
+    s.drive_reg(pc, "pc_reg", next_pc)?;
+    let four = s.constant("k4", 32, 4)?;
+    let pc_plus4 = s.add("pc_plus4", pc, four)?;
+    let fetch_addr = s.slice("fetch_addr", pc, 2, 30)?;
+    let instr = s.mem_read("ifetch", imem, fetch_addr)?;
+    let br_target = s.wire("br_target", 32)?;
+    let a_fwd = s.wire("a_fwd", 32)?;
+    s.drive_mux(
         next_pc,
         "pc_mux",
-        DpOp::Mux,
+        &c_pc_sel,
         &[pc_plus4, br_target, a_fwd, pc_plus4],
-        &[c_pc_sel[0], c_pc_sel[1]],
-    );
+    )?;
 
     // ---- IF/ID -----------------------------------------------------------
-    b.set_stage(s_id);
-    let ifid_ir = b.reg("ifid_ir", instr);
-    let ifid_pc4 = b.reg("ifid_pc4", pc_plus4);
+    let mut s = d.stage(s_id);
+    let ifid_ir = s.reg("ifid_ir", instr)?;
+    let ifid_pc4 = s.reg("ifid_pc4", pc_plus4)?;
 
     // Forward references to WB nets used by ID.
-    b.set_stage(s_wb);
-    let exmwb_dest = b.wire("exmwb_dest", 5);
-    let wb_value = b.wire("wb_value", 32);
-    let c_rf_we = b.ctrl("c_rf_we");
+    let mut s = d.stage(s_wb);
+    let exmwb_dest = s.wire("exmwb_dest", 5)?;
+    let wb_value = s.wire("wb_value", 32)?;
+    let c_rf_we = s.ctrl("c_rf_we")?;
 
     // ---- ID --------------------------------------------------------------
-    b.set_stage(s_id);
-    let f_rs1 = b.slice("f_rs1", ifid_ir, 21, 5);
-    let f_rs2 = b.slice("f_rs2", ifid_ir, 16, 5);
-    let f_rd = b.slice("f_rd", ifid_ir, 11, 5);
-    let imm16 = b.slice("imm16", ifid_ir, 0, 16);
-    let imm26 = b.slice("imm26", ifid_ir, 0, 26);
-    let a_raw = b.rf_read("rf_a", gpr, f_rs1);
-    let b_raw = b.rf_read("rf_b", gpr, f_rs2);
+    let mut s = d.stage(s_id);
+    let f_rs1 = s.slice("f_rs1", ifid_ir, 21, 5)?;
+    let f_rs2 = s.slice("f_rs2", ifid_ir, 16, 5)?;
+    let f_rd = s.slice("f_rd", ifid_ir, 11, 5)?;
+    let imm16 = s.slice("imm16", ifid_ir, 0, 16)?;
+    let imm26 = s.slice("imm26", ifid_ir, 0, 26)?;
+    let a_raw = s.rf_read("rf_a", gpr, f_rs1)?;
+    let b_raw = s.rf_read("rf_b", gpr, f_rs2)?;
     // Write-through register file, modelled as one more bypass (same as
     // the classic build).
-    let k5_0 = b.constant("k5_0", 5, 0);
-    let s_wbdest_nz = b.predicate("s_wbdest_nz", DpOp::Ne, exmwb_dest, k5_0);
-    let eq_a_wb_id = b.predicate("eq_a_wb_id", DpOp::Eq, f_rs1, exmwb_dest);
-    let eq_b_wb_id = b.predicate("eq_b_wb_id", DpOp::Eq, f_rs2, exmwb_dest);
-    let byp_a_pre = b.and("byp_a_pre", eq_a_wb_id, s_wbdest_nz);
-    let byp_a = b.and("byp_a", byp_a_pre, c_rf_we);
-    let byp_b_pre = b.and("byp_b_pre", eq_b_wb_id, s_wbdest_nz);
-    let byp_b = b.and("byp_b", byp_b_pre, c_rf_we);
-    let a_val = b.mux("a_val", &[byp_a], &[a_raw, wb_value]);
-    let b_val = b.mux("b_val", &[byp_b], &[b_raw, wb_value]);
-    let imm_sext = b.sign_ext("imm_sext", imm16, 32);
-    let imm_zext = b.zero_ext("imm_zext", imm16, 32);
-    let k16_0 = b.constant("k16_0", 16, 0);
-    let imm_lhi = b.concat("imm_lhi", &[k16_0, imm16]);
-    let imm_j = b.sign_ext("imm_j", imm26, 32);
-    let c_imm_sel = [b.ctrl("c_imm_sel0"), b.ctrl("c_imm_sel1")];
-    let imm_val = b.mux("imm_val", &c_imm_sel, &[imm_sext, imm_zext, imm_lhi, imm_j]);
-    let k31 = b.constant("k31", 5, 31);
-    let c_dest_sel = [b.ctrl("c_dest_sel0"), b.ctrl("c_dest_sel1")];
-    let dest = b.mux("dest", &c_dest_sel, &[f_rs2, f_rd, k31, f_rs2]);
+    let k5_0 = s.constant("k5_0", 5, 0)?;
+    let s_wbdest_nz = s.ne("s_wbdest_nz", exmwb_dest, k5_0)?;
+    let eq_a_wb_id = s.eq("eq_a_wb_id", f_rs1, exmwb_dest)?;
+    let eq_b_wb_id = s.eq("eq_b_wb_id", f_rs2, exmwb_dest)?;
+    let byp_a_pre = s.and("byp_a_pre", eq_a_wb_id, s_wbdest_nz)?;
+    let byp_a = s.and("byp_a", byp_a_pre, c_rf_we)?;
+    let byp_b_pre = s.and("byp_b_pre", eq_b_wb_id, s_wbdest_nz)?;
+    let byp_b = s.and("byp_b", byp_b_pre, c_rf_we)?;
+    let a_val = s.mux("a_val", &[byp_a], &[a_raw, wb_value])?;
+    let b_val = s.mux("b_val", &[byp_b], &[b_raw, wb_value])?;
+    let imm_sext = s.sign_ext("imm_sext", imm16, 32)?;
+    let imm_zext = s.zero_ext("imm_zext", imm16, 32)?;
+    let k16_0 = s.constant("k16_0", 16, 0)?;
+    let imm_lhi = s.concat("imm_lhi", &[k16_0, imm16])?;
+    let imm_j = s.sign_ext("imm_j", imm26, 32)?;
+    let c_imm_sel = s.ctrl_bus::<2>("c_imm_sel")?;
+    let imm_val = s.mux("imm_val", &c_imm_sel, &[imm_sext, imm_zext, imm_lhi, imm_j])?;
+    let k31 = s.constant("k31", 5, 31)?;
+    let c_dest_sel = s.ctrl_bus::<2>("c_dest_sel")?;
+    let dest = s.mux("dest", &c_dest_sel, &[f_rs2, f_rd, k31, f_rs2])?;
 
     // ---- ID/EXM ----------------------------------------------------------
-    b.set_stage(s_exm);
-    let idex_a = b.reg("idex_a", a_val);
-    let idex_b = b.reg("idex_b", b_val);
-    let idex_imm = b.reg("idex_imm", imm_val);
-    let idex_pc4 = b.reg("idex_pc4", ifid_pc4);
-    let idex_rs1 = b.reg("idex_rs1", f_rs1);
-    let idex_rs2 = b.reg("idex_rs2", f_rs2);
-    let idex_dest = b.reg("idex_dest", dest);
+    let mut s = d.stage(s_exm);
+    let idex_a = s.reg("idex_a", a_val)?;
+    let idex_b = s.reg("idex_b", b_val)?;
+    let idex_imm = s.reg("idex_imm", imm_val)?;
+    let idex_pc4 = s.reg("idex_pc4", ifid_pc4)?;
+    let idex_rs1 = s.reg("idex_rs1", f_rs1)?;
+    let idex_rs2 = s.reg("idex_rs2", f_rs2)?;
+    let idex_dest = s.reg("idex_dest", dest)?;
 
     // ---- EXM -------------------------------------------------------------
     // One bypass source per operand: the WB stage.
-    let c_fwd_a = b.ctrl("c_fwd_a");
-    let c_fwd_b = b.ctrl("c_fwd_b");
-    b.drive(
-        a_fwd,
-        "a_fwd_mux",
-        DpOp::Mux,
-        &[idex_a, wb_value],
-        &[c_fwd_a],
-    );
-    let b_fwd = b.mux("b_fwd", &[c_fwd_b], &[idex_b, wb_value]);
+    let c_fwd_a = s.ctrl("c_fwd_a")?;
+    let c_fwd_b = s.ctrl("c_fwd_b")?;
+    s.drive_mux(a_fwd, "a_fwd_mux", &[c_fwd_a], &[idex_a, wb_value])?;
+    let b_fwd = s.mux("b_fwd", &[c_fwd_b], &[idex_b, wb_value])?;
 
     // Bypass comparators (predicates -> status).
-    let s_a_wb = b.predicate("s_a_wb", DpOp::Eq, idex_rs1, exmwb_dest);
-    let s_b_wb = b.predicate("s_b_wb", DpOp::Eq, idex_rs2, exmwb_dest);
+    let s_a_wb = s.eq("s_a_wb", idex_rs1, exmwb_dest)?;
+    let s_b_wb = s.eq("s_b_wb", idex_rs2, exmwb_dest)?;
 
     // The same parallel ALU composition as the classic build.
-    let c_alu = [
-        b.ctrl("c_alu0"),
-        b.ctrl("c_alu1"),
-        b.ctrl("c_alu2"),
-        b.ctrl("c_alu3"),
-    ];
-    let c_alu_b_imm = b.ctrl("c_alu_b_imm");
-    let op_b = b.mux("op_b", &[c_alu_b_imm], &[b_fwd, idex_imm]);
-    let shamt = b.slice("shamt", op_b, 0, 5);
-    let alu_add = b.add("alu_add", a_fwd, op_b);
-    let alu_sub = b.sub("alu_sub", a_fwd, op_b);
-    let alu_and = b.and("alu_and", a_fwd, op_b);
-    let alu_or = b.or("alu_or", a_fwd, op_b);
-    let alu_xor = b.xor("alu_xor", a_fwd, op_b);
-    let alu_sll = b.shift("alu_sll", DpOp::Sll, a_fwd, shamt);
-    let alu_srl = b.shift("alu_srl", DpOp::Srl, a_fwd, shamt);
-    let alu_sra = b.shift("alu_sra", DpOp::Sra, a_fwd, shamt);
-    let p_seq = b.predicate("p_seq", DpOp::Eq, a_fwd, op_b);
-    let p_sne = b.predicate("p_sne", DpOp::Ne, a_fwd, op_b);
-    let p_slt = b.predicate("p_slt", DpOp::Lt, a_fwd, op_b);
-    let p_sgt = b.predicate("p_sgt", DpOp::Gt, a_fwd, op_b);
-    let p_sle = b.predicate("p_sle", DpOp::Le, a_fwd, op_b);
-    let p_sge = b.predicate("p_sge", DpOp::Ge, a_fwd, op_b);
-    let set_seq = b.zero_ext("set_seq", p_seq, 32);
-    let set_sne = b.zero_ext("set_sne", p_sne, 32);
-    let set_slt = b.zero_ext("set_slt", p_slt, 32);
-    let set_sgt = b.zero_ext("set_sgt", p_sgt, 32);
-    let set_sle = b.zero_ext("set_sle", p_sle, 32);
-    let set_sge = b.zero_ext("set_sge", p_sge, 32);
-    let alu_out = b.mux(
+    let c_alu = s.ctrl_bus::<4>("c_alu")?;
+    let c_alu_b_imm = s.ctrl("c_alu_b_imm")?;
+    let op_b = s.mux("op_b", &[c_alu_b_imm], &[b_fwd, idex_imm])?;
+    let shamt = s.slice("shamt", op_b, 0, 5)?;
+    let alu_add = s.add("alu_add", a_fwd, op_b)?;
+    let alu_sub = s.sub("alu_sub", a_fwd, op_b)?;
+    let alu_and = s.and("alu_and", a_fwd, op_b)?;
+    let alu_or = s.or("alu_or", a_fwd, op_b)?;
+    let alu_xor = s.xor("alu_xor", a_fwd, op_b)?;
+    let alu_sll = s.shift("alu_sll", DpOp::Sll, a_fwd, shamt)?;
+    let alu_srl = s.shift("alu_srl", DpOp::Srl, a_fwd, shamt)?;
+    let alu_sra = s.shift("alu_sra", DpOp::Sra, a_fwd, shamt)?;
+    let p_seq = s.eq("p_seq", a_fwd, op_b)?;
+    let p_sne = s.ne("p_sne", a_fwd, op_b)?;
+    let p_slt = s.predicate("p_slt", DpOp::Lt, a_fwd, op_b)?;
+    let p_sgt = s.predicate("p_sgt", DpOp::Gt, a_fwd, op_b)?;
+    let p_sle = s.predicate("p_sle", DpOp::Le, a_fwd, op_b)?;
+    let p_sge = s.predicate("p_sge", DpOp::Ge, a_fwd, op_b)?;
+    let set_seq = s.zero_ext("set_seq", p_seq, 32)?;
+    let set_sne = s.zero_ext("set_sne", p_sne, 32)?;
+    let set_slt = s.zero_ext("set_slt", p_slt, 32)?;
+    let set_sgt = s.zero_ext("set_sgt", p_sgt, 32)?;
+    let set_sle = s.zero_ext("set_sle", p_sle, 32)?;
+    let set_sge = s.zero_ext("set_sge", p_sge, 32)?;
+    let alu_out = s.mux(
         "alu_out",
         &c_alu,
         &[
             alu_add, alu_sub, alu_and, alu_or, alu_xor, alu_sll, alu_srl, alu_sra, set_seq,
             set_sne, set_slt, set_sgt, set_sle, set_sge, alu_add, alu_add,
         ],
-    );
+    )?;
 
     // Branch condition and targets.
-    let k32_0 = b.constant("k32_0", 32, 0);
-    let s_azero = b.predicate("s_azero", DpOp::Eq, a_fwd, k32_0);
-    b.drive(br_target, "br_adder", DpOp::Add, &[idex_pc4, idex_imm], &[]);
+    let k32_0 = s.constant("k32_0", 32, 0)?;
+    let s_azero = s.eq("s_azero", a_fwd, k32_0)?;
+    s.drive_add(br_target, "br_adder", idex_pc4, idex_imm)?;
 
     // Memory access, folded into the same stage: the ALU result feeds the
     // address port combinationally.
-    let dmem_addr = b.slice("dmem_addr", alu_out, 2, 30);
-    let a0 = b.slice("a0", alu_out, 0, 1);
-    let a1 = b.slice("a1", alu_out, 1, 1);
-    let lmd_word = b.mem_read("dload", dmem, dmem_addr);
-    let b0 = b.slice("lmd_b0", lmd_word, 0, 8);
-    let b1 = b.slice("lmd_b1", lmd_word, 8, 8);
-    let b2 = b.slice("lmd_b2", lmd_word, 16, 8);
-    let b3 = b.slice("lmd_b3", lmd_word, 24, 8);
-    let byte = b.mux("lmd_byte", &[a0, a1], &[b0, b1, b2, b3]);
-    let h0 = b.slice("lmd_h0", lmd_word, 0, 16);
-    let h1 = b.slice("lmd_h1", lmd_word, 16, 16);
-    let half = b.mux("lmd_half", &[a1], &[h0, h1]);
-    let byte_s = b.sign_ext("byte_s", byte, 32);
-    let byte_z = b.zero_ext("byte_z", byte, 32);
-    let half_s = b.sign_ext("half_s", half, 32);
-    let half_z = b.zero_ext("half_z", half, 32);
-    let c_ld_sel = [b.ctrl("c_ld_sel0"), b.ctrl("c_ld_sel1"), b.ctrl("c_ld_sel2")];
-    let load_val = b.mux(
+    let dmem_addr = s.slice("dmem_addr", alu_out, 2, 30)?;
+    let a0 = s.slice("a0", alu_out, 0, 1)?;
+    let a1 = s.slice("a1", alu_out, 1, 1)?;
+    let lmd_word = s.mem_read("dload", dmem, dmem_addr)?;
+    let b0 = s.slice("lmd_b0", lmd_word, 0, 8)?;
+    let b1 = s.slice("lmd_b1", lmd_word, 8, 8)?;
+    let b2 = s.slice("lmd_b2", lmd_word, 16, 8)?;
+    let b3 = s.slice("lmd_b3", lmd_word, 24, 8)?;
+    let byte = s.mux("lmd_byte", &[a0, a1], &[b0, b1, b2, b3])?;
+    let h0 = s.slice("lmd_h0", lmd_word, 0, 16)?;
+    let h1 = s.slice("lmd_h1", lmd_word, 16, 16)?;
+    let half = s.mux("lmd_half", &[a1], &[h0, h1])?;
+    let byte_s = s.sign_ext("byte_s", byte, 32)?;
+    let byte_z = s.zero_ext("byte_z", byte, 32)?;
+    let half_s = s.sign_ext("half_s", half, 32)?;
+    let half_z = s.zero_ext("half_z", half, 32)?;
+    let c_ld_sel = s.ctrl_bus::<3>("c_ld_sel")?;
+    let load_val = s.mux(
         "load_val",
         &c_ld_sel,
         &[
             lmd_word, byte_s, byte_z, half_s, half_z, lmd_word, lmd_word, lmd_word,
         ],
-    );
-    let k5_8 = b.constant("k5_8", 5, 8);
-    let k5_16 = b.constant("k5_16", 5, 16);
-    let k5_24 = b.constant("k5_24", 5, 24);
-    let b_sh8 = b.shift("b_sh8", DpOp::Sll, b_fwd, k5_8);
-    let b_sh16 = b.shift("b_sh16", DpOp::Sll, b_fwd, k5_16);
-    let b_sh24 = b.shift("b_sh24", DpOp::Sll, b_fwd, k5_24);
-    let sh_data = b.mux("sh_data", &[a1], &[b_fwd, b_sh16]);
-    let sb_data = b.mux("sb_data", &[a0, a1], &[b_fwd, b_sh8, b_sh16, b_sh24]);
-    let c_st_sel = [b.ctrl("c_st_sel0"), b.ctrl("c_st_sel1")];
-    let store_data = b.mux("store_data", &c_st_sel, &[b_fwd, sh_data, sb_data, b_fwd]);
-    let m_1111 = b.constant("m_1111", 4, 0b1111);
-    let m_0011 = b.constant("m_0011", 4, 0b0011);
-    let m_1100 = b.constant("m_1100", 4, 0b1100);
-    let m_0001 = b.constant("m_0001", 4, 0b0001);
-    let m_0010 = b.constant("m_0010", 4, 0b0010);
-    let m_0100 = b.constant("m_0100", 4, 0b0100);
-    let m_1000 = b.constant("m_1000", 4, 0b1000);
-    let sh_mask = b.mux("sh_mask", &[a1], &[m_0011, m_1100]);
-    let sb_mask = b.mux("sb_mask", &[a0, a1], &[m_0001, m_0010, m_0100, m_1000]);
-    let store_mask = b.mux("store_mask", &c_st_sel, &[m_1111, sh_mask, sb_mask, m_1111]);
-    let c_mem_we = b.ctrl("c_mem_we");
-    b.mem_write("dstore", dmem, dmem_addr, store_data, store_mask, c_mem_we);
+    )?;
+    let k5_8 = s.constant("k5_8", 5, 8)?;
+    let k5_16 = s.constant("k5_16", 5, 16)?;
+    let k5_24 = s.constant("k5_24", 5, 24)?;
+    let b_sh8 = s.shift("b_sh8", DpOp::Sll, b_fwd, k5_8)?;
+    let b_sh16 = s.shift("b_sh16", DpOp::Sll, b_fwd, k5_16)?;
+    let b_sh24 = s.shift("b_sh24", DpOp::Sll, b_fwd, k5_24)?;
+    let sh_data = s.mux("sh_data", &[a1], &[b_fwd, b_sh16])?;
+    let sb_data = s.mux("sb_data", &[a0, a1], &[b_fwd, b_sh8, b_sh16, b_sh24])?;
+    let c_st_sel = s.ctrl_bus::<2>("c_st_sel")?;
+    let store_data = s.mux("store_data", &c_st_sel, &[b_fwd, sh_data, sb_data, b_fwd])?;
+    let m_1111 = s.constant("m_1111", 4, 0b1111)?;
+    let m_0011 = s.constant("m_0011", 4, 0b0011)?;
+    let m_1100 = s.constant("m_1100", 4, 0b1100)?;
+    let m_0001 = s.constant("m_0001", 4, 0b0001)?;
+    let m_0010 = s.constant("m_0010", 4, 0b0010)?;
+    let m_0100 = s.constant("m_0100", 4, 0b0100)?;
+    let m_1000 = s.constant("m_1000", 4, 0b1000)?;
+    let sh_mask = s.mux("sh_mask", &[a1], &[m_0011, m_1100])?;
+    let sb_mask = s.mux("sb_mask", &[a0, a1], &[m_0001, m_0010, m_0100, m_1000])?;
+    let store_mask = s.mux("store_mask", &c_st_sel, &[m_1111, sh_mask, sb_mask, m_1111])?;
+    let c_mem_we = s.ctrl("c_mem_we")?;
+    s.mem_write("dstore", dmem, dmem_addr, store_data, store_mask, c_mem_we)?;
 
     // ---- EXM/WB ----------------------------------------------------------
-    b.set_stage(s_wb);
-    let exmwb_alu = b.reg("exmwb_alu", alu_out);
-    let exmwb_lmd = b.reg("exmwb_lmd", load_val);
-    let exmwb_pc4 = b.reg("exmwb_pc4", idex_pc4);
-    b.drive(
-        exmwb_dest,
-        "exmwb_dest_reg",
-        DpOp::Reg(RegSpec::plain(0)),
-        &[idex_dest],
-        &[],
-    );
+    let mut s = d.stage(s_wb);
+    let exmwb_alu = s.reg("exmwb_alu", alu_out)?;
+    let exmwb_lmd = s.reg("exmwb_lmd", load_val)?;
+    let exmwb_pc4 = s.reg("exmwb_pc4", idex_pc4)?;
+    s.drive_reg(exmwb_dest, "exmwb_dest_reg", idex_dest)?;
 
     // ---- WB --------------------------------------------------------------
-    let c_wb_sel = [b.ctrl("c_wb_sel0"), b.ctrl("c_wb_sel1")];
-    b.drive(
+    let c_wb_sel = s.ctrl_bus::<2>("c_wb_sel")?;
+    s.drive_mux(
         wb_value,
         "wb_mux",
-        DpOp::Mux,
+        &c_wb_sel,
         &[exmwb_alu, exmwb_lmd, exmwb_pc4, exmwb_alu],
-        &[c_wb_sel[0], c_wb_sel[1]],
-    );
-    b.rf_write("rf_wr", gpr, exmwb_dest, wb_value, c_rf_we);
+    )?;
+    s.rf_write("rf_wr", gpr, exmwb_dest, wb_value, c_rf_we)?;
 
     // ---- Observables and status ------------------------------------------
-    b.mark_output(pc);
-    b.mark_output(dmem_addr);
-    b.mark_output(store_data);
-    b.mark_output(store_mask);
-    b.mark_output(c_mem_we);
-    b.mark_output(exmwb_dest);
-    b.mark_output(wb_value);
-    b.mark_output(c_rf_we);
+    for o in [
+        pc, dmem_addr, store_data, store_mask, c_mem_we, exmwb_dest, wb_value, c_rf_we,
+    ] {
+        d.mark_output(o);
+    }
     for s in [s_azero, s_a_wb, s_b_wb, s_wbdest_nz] {
-        b.mark_status(s);
+        d.mark_status(s)?;
     }
 
     let handles = LiteDpHandles {
         imem,
         dmem,
         gpr,
-        pc,
-        pc_plus4,
-        next_pc,
-        instr,
-        ifid_ir,
-        ifid_pc4,
-        f_rs1,
-        f_rs2,
-        a_raw,
-        b_raw,
-        byp_a,
-        byp_b,
-        imm_val,
-        dest,
-        idex_a,
-        idex_b,
-        idex_imm,
-        idex_pc4,
-        idex_rs1,
-        idex_rs2,
-        idex_dest,
-        a_fwd,
-        b_fwd,
-        alu_out,
-        br_target,
-        dmem_addr,
-        lmd_word,
-        load_val,
-        store_data,
-        store_mask,
-        exmwb_alu,
-        exmwb_lmd,
-        exmwb_pc4,
-        exmwb_dest,
-        wb_value,
-        c_pc_sel,
-        c_imm_sel,
-        c_dest_sel,
-        c_fwd_a,
-        c_fwd_b,
-        c_alu,
-        c_alu_b_imm,
-        c_mem_we,
-        c_st_sel,
-        c_ld_sel,
-        c_rf_we,
-        c_wb_sel,
-        s_azero,
-        s_a_wb,
-        s_b_wb,
-        s_wbdest_nz,
+        pc: pc.id(),
+        pc_plus4: pc_plus4.id(),
+        next_pc: next_pc.id(),
+        instr: instr.id(),
+        ifid_ir: ifid_ir.id(),
+        ifid_pc4: ifid_pc4.id(),
+        f_rs1: f_rs1.id(),
+        f_rs2: f_rs2.id(),
+        a_raw: a_raw.id(),
+        b_raw: b_raw.id(),
+        byp_a: byp_a.id(),
+        byp_b: byp_b.id(),
+        imm_val: imm_val.id(),
+        dest: dest.id(),
+        idex_a: idex_a.id(),
+        idex_b: idex_b.id(),
+        idex_imm: idex_imm.id(),
+        idex_pc4: idex_pc4.id(),
+        idex_rs1: idex_rs1.id(),
+        idex_rs2: idex_rs2.id(),
+        idex_dest: idex_dest.id(),
+        a_fwd: a_fwd.id(),
+        b_fwd: b_fwd.id(),
+        alu_out: alu_out.id(),
+        br_target: br_target.id(),
+        dmem_addr: dmem_addr.id(),
+        lmd_word: lmd_word.id(),
+        load_val: load_val.id(),
+        store_data: store_data.id(),
+        store_mask: store_mask.id(),
+        exmwb_alu: exmwb_alu.id(),
+        exmwb_lmd: exmwb_lmd.id(),
+        exmwb_pc4: exmwb_pc4.id(),
+        exmwb_dest: exmwb_dest.id(),
+        wb_value: wb_value.id(),
+        c_pc_sel: c_pc_sel.map(|n| n.id()),
+        c_imm_sel: c_imm_sel.map(|n| n.id()),
+        c_dest_sel: c_dest_sel.map(|n| n.id()),
+        c_fwd_a: c_fwd_a.id(),
+        c_fwd_b: c_fwd_b.id(),
+        c_alu: c_alu.map(|n| n.id()),
+        c_alu_b_imm: c_alu_b_imm.id(),
+        c_mem_we: c_mem_we.id(),
+        c_st_sel: c_st_sel.map(|n| n.id()),
+        c_ld_sel: c_ld_sel.map(|n| n.id()),
+        c_rf_we: c_rf_we.id(),
+        c_wb_sel: c_wb_sel.map(|n| n.id()),
+        s_azero: s_azero.id(),
+        s_a_wb: s_a_wb.id(),
+        s_b_wb: s_b_wb.id(),
+        s_wbdest_nz: s_wbdest_nz.id(),
     };
-    let nl = b.finish().expect("dlx-lite datapath is structurally valid");
-    (nl, handles)
+    let nl = d.finish()?;
+    Ok((nl, handles))
 }
 
 /// Builds the lite controller netlist.

@@ -1,28 +1,61 @@
-//! [`ProcessorModel`] implementations and the backend registry.
+//! [`ProcessorModel`] implementations and backend registration.
 //!
 //! Each concrete design in this crate is wrapped in a model that owns the
 //! bound netlists plus the [`PipelineDesc`] the design-independent engines
-//! steer by. The registry maps the stable `--design` names to
-//! constructors; `DESIGN.md` §7 walks through adding an entry.
+//! steer by. [`register_backends`] publishes the `--design` names into the
+//! process-wide [`hltg_netlist::registry`]; `DESIGN.md` §7 walks through
+//! adding a backend.
 
 use crate::build::DlxDesign;
 use crate::lite::LiteDesign;
 use hltg_netlist::model::{FieldSlot, PipelineDesc, ProcessorModel, StsDesc, StsKind};
+use hltg_netlist::registry::Backend;
 use hltg_netlist::Design;
 
-/// Stable names of every registered backend, in registry order.
+/// Stable names of every backend this crate registers, in registration
+/// order.
+#[deprecated(
+    since = "0.2.0",
+    note = "enumerate designs via hltg_netlist::registry::backend_names() \
+            after calling hltg_dlx::register_backends()"
+)]
 pub const BACKENDS: &[&str] = &["dlx", "dlx16", "dlx-lite"];
+
+/// Registers this crate's backends — `dlx`, `dlx16`, `dlx-lite` — with
+/// the process-wide [`hltg_netlist::registry`]. Idempotent; call before
+/// resolving any of those names through the registry.
+pub fn register_backends() {
+    hltg_netlist::registry::register(Backend {
+        name: "dlx",
+        summary: "five-stage pipelined DLX, 32-bit datapath (the paper's vehicle)",
+        build: || Box::new(DlxModel::new()),
+    });
+    hltg_netlist::registry::register(Backend {
+        name: "dlx16",
+        summary: "five-stage DLX with a 16-bit datapath",
+        build: || Box::new(DlxModel::narrow()),
+    });
+    hltg_netlist::registry::register(Backend {
+        name: "dlx-lite",
+        summary: "four-stage DLX with a merged EX/MEM stage, WB-only bypass",
+        build: || Box::new(LiteModel::new()),
+    });
+}
 
 /// Builds the backend registered under `name`, or `None` for an unknown
 /// name. `"dlx"` is the paper's five-stage 32-bit vehicle, `"dlx16"` its
 /// 16-bit-datapath variant, `"dlx-lite"` the merged-EX/MEM shallow
 /// pipeline.
+#[deprecated(
+    since = "0.2.0",
+    note = "call hltg_dlx::register_backends() and resolve names through \
+            hltg_netlist::registry::build_model() (or hltg::build_model)"
+)]
 #[must_use]
 pub fn build_model(name: &str) -> Option<Box<dyn ProcessorModel>> {
+    register_backends();
     match name {
-        "dlx" => Some(Box::new(DlxModel::new())),
-        "dlx16" => Some(Box::new(DlxModel::narrow())),
-        "dlx-lite" => Some(Box::new(LiteModel::new())),
+        "dlx" | "dlx16" | "dlx-lite" => hltg_netlist::registry::build_model(name),
         _ => None,
     }
 }
@@ -311,11 +344,26 @@ mod tests {
 
     #[test]
     fn registry_builds_every_backend() {
-        for &name in BACKENDS {
-            let m = build_model(name).expect("registered backend builds");
+        register_backends();
+        let names = hltg_netlist::registry::backend_names();
+        for name in ["dlx", "dlx16", "dlx-lite"] {
+            assert!(names.contains(&name), "{name} not registered");
+            let m = hltg_netlist::registry::build_model(name).expect("registered backend builds");
             assert_eq!(m.name(), name);
             assert!(m.design().validate().is_ok());
             assert_eq!(m.pipeline().sts.len(), m.design().sts_binds.len());
+        }
+        assert!(hltg_netlist::registry::build_model("z80").is_none());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_forward_to_the_registry() {
+        // The pre-registry entry points keep working for downstream code
+        // that has not migrated yet.
+        for &name in BACKENDS {
+            let m = build_model(name).expect("shim resolves registered backend");
+            assert_eq!(m.name(), name);
         }
         assert!(build_model("z80").is_none());
     }

@@ -1,0 +1,44 @@
+//! Pins the dlx-lite campaign output byte for byte.
+//!
+//! The golden file was captured from the hand-wired `DpBuilder`
+//! construction of `lite.rs` *before* the backend was ported to the
+//! typed builder DSL (`hltg_netlist::builder`). Because the DSL
+//! delegates 1:1 to `DpBuilder`, the ported construction must produce a
+//! structurally identical netlist — same net ids, names, stages and
+//! module order — and therefore the identical deterministic campaign
+//! report. This test is the proof that the port (and any future builder
+//! change) is equivalence-preserving.
+//!
+//! Regenerate deliberately with `BLESS_GOLDEN=1 cargo test -p hltg-dlx
+//! --test lite_golden` — but a diff here means the DSL changed netlist
+//! structure, which is exactly what it promises not to do.
+
+use hltg_core::campaign::{Campaign, CampaignConfig, RunOptions};
+use hltg_netlist::ProcessorModel;
+
+const GOLDEN: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/dlx_lite_campaign8.json"
+);
+
+#[test]
+fn lite_campaign_report_matches_pinned_golden() {
+    let model = hltg_dlx::LiteModel::new();
+    let config = CampaignConfig {
+        stages: model.error_stages(),
+        limit: Some(8),
+        num_threads: 1,
+        ..CampaignConfig::default()
+    };
+    let got = Campaign::run(&model, &config, RunOptions::default())
+        .report
+        .to_json_deterministic();
+    if std::env::var_os("BLESS_GOLDEN").is_some() {
+        std::fs::write(GOLDEN, &got).expect("write golden");
+    }
+    let want = std::fs::read_to_string(GOLDEN).expect("golden file committed");
+    assert_eq!(
+        got, want,
+        "dlx-lite deterministic report drifted from the pre-port golden"
+    );
+}

@@ -1,0 +1,1214 @@
+//! Typed, stage-scoped construction DSL for datapath netlists.
+//!
+//! [`DpBuilder`] is deliberately thin: it hands out raw [`DpNetId`]s,
+//! trusts the caller on widths (truncating silently where the module
+//! semantics allow it), and defers every structural complaint to
+//! `finish()` — which is why a full processor datapath written against
+//! it runs to hundreds of lines of unchecked wiring. This module layers
+//! a typed facade on top:
+//!
+//! * **[`Signal`]** — a word-signal handle that carries its width, so
+//!   every module constructor can check port widths *at construction
+//!   time* and return a [`BuildError`] naming the module, the ports and
+//!   the widths instead of silently truncating or panicking later;
+//! * **[`StageDsl`]** — a stage-scoped module builder ([`DpDsl::stage`])
+//!   that pins the pipeline-stage annotation for everything built inside
+//!   it, replacing the error-prone manual `set_stage` cursor;
+//! * **named buses** — [`StageDsl::ctrl_bus`] allocates `name0..nameN`
+//!   control lines as a typed array, and every net name is checked for
+//!   uniqueness at creation;
+//! * **dangling-wire accounting** — forward references declared with
+//!   [`StageDsl::wire`] are tracked until a `drive_*` call connects
+//!   them; [`DpDsl::finish`] reports any still-unconnected wire with its
+//!   name and stage instead of a generic validation failure.
+//!
+//! The facade delegates 1:1 to [`DpBuilder`] in call order, so a
+//! netlist ported from raw builder calls to the DSL is *structurally
+//! identical* — same net ids, names, stages and module order (the
+//! `dlx-lite` backend is the pinned proof; see `crates/dlx/src/lite.rs`).
+//!
+//! ```
+//! use hltg_netlist::builder::DpDsl;
+//! use hltg_netlist::Stage;
+//! let mut d = DpDsl::new("alu");
+//! let mut s = d.stage(Stage::new(0));
+//! let a = s.input("a", 32)?;
+//! let b = s.input("b", 32)?;
+//! let f = s.ctrl("f")?;
+//! let sum = s.add("sum", a, b)?;
+//! let dif = s.sub("dif", a, b)?;
+//! let y = s.mux("y", &[f], &[sum, dif])?;
+//! d.mark_output(y);
+//! let netlist = d.finish()?;
+//! assert_eq!(netlist.net(y.id()).width, 32);
+//! # Ok::<(), hltg_netlist::builder::BuildError>(())
+//! ```
+
+use crate::dp::{ArchId, ArchKind, DpBuilder, DpNetId, DpNetlist, DpOp, RegSpec};
+use crate::error::NetlistError;
+use crate::stage::stage_name;
+use crate::word;
+use crate::Stage;
+use std::collections::HashSet;
+use std::fmt;
+
+/// A construction-time diagnostic from the typed builder.
+///
+/// Every variant names the offending module or net and says what to do
+/// about it — the same "actionable message" contract as the campaign
+/// configuration's `ConfigError`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BuildError {
+    /// Two ports that must share a width do not.
+    WidthMismatch {
+        /// The module being constructed.
+        module: String,
+        /// What disagreed, with both widths.
+        detail: String,
+    },
+    /// A net width outside `1..=64`.
+    InvalidWidth {
+        /// The net being declared.
+        name: String,
+        /// The rejected width.
+        width: u32,
+    },
+    /// A net or module name was already used in this netlist.
+    DuplicateName {
+        /// The colliding name.
+        name: String,
+    },
+    /// A constant value that does not fit its declared width.
+    ConstantOverflow {
+        /// The constant's name.
+        name: String,
+        /// The declared width.
+        width: u32,
+        /// The overflowing value.
+        value: u64,
+    },
+    /// A select bundle whose size disagrees with the data-input count.
+    SelectArity {
+        /// The mux being constructed.
+        module: String,
+        /// What disagreed.
+        detail: String,
+    },
+    /// `drive_*` was aimed at a signal that is not an undriven wire.
+    NotAWire {
+        /// The module being constructed.
+        module: String,
+        /// The target net.
+        net: String,
+    },
+    /// A wire declared with [`StageDsl::wire`] was never driven.
+    Dangling {
+        /// The wire's name.
+        net: String,
+        /// Its declared width.
+        width: u32,
+        /// The stage it was declared in.
+        stage: String,
+    },
+    /// A structural error found by final netlist validation.
+    Structural(NetlistError),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::WidthMismatch { module, detail } => {
+                write!(
+                    f,
+                    "width mismatch in `{module}`: {detail} — extend or slice the \
+                     narrower bus before connecting it"
+                )
+            }
+            BuildError::InvalidWidth { name, width } => {
+                write!(
+                    f,
+                    "net `{name}`: width {width} is outside the supported 1..={} bits",
+                    word::MAX_WIDTH
+                )
+            }
+            BuildError::DuplicateName { name } => {
+                write!(
+                    f,
+                    "name `{name}` is already taken in this netlist — every net and \
+                     module needs a unique name"
+                )
+            }
+            BuildError::ConstantOverflow { name, width, value } => {
+                write!(
+                    f,
+                    "constant `{name}`: value {value:#x} does not fit in {width} bits — \
+                     widen the constant or mask the value explicitly"
+                )
+            }
+            BuildError::SelectArity { module, detail } => {
+                write!(f, "select arity in `{module}`: {detail}")
+            }
+            BuildError::NotAWire { module, net } => {
+                write!(
+                    f,
+                    "`{module}` cannot drive `{net}`: the target is not an undriven \
+                     forward-reference wire (declare it with `wire()` and drive it \
+                     exactly once)"
+                )
+            }
+            BuildError::Dangling { net, width, stage } => {
+                write!(
+                    f,
+                    "wire `{net}` ({width} bits, declared in stage {stage}) is never \
+                     driven — connect it with a `drive_*` call before `finish()`"
+                )
+            }
+            BuildError::Structural(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+impl From<NetlistError> for BuildError {
+    fn from(e: NetlistError) -> Self {
+        BuildError::Structural(e)
+    }
+}
+
+/// A typed handle to a datapath net: the id plus the width it was
+/// created with, so downstream connections can be width-checked without
+/// consulting the netlist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Signal {
+    id: DpNetId,
+    width: u32,
+}
+
+impl Signal {
+    /// The underlying net id (for [`crate::PipelineDesc`] fields, design
+    /// binds and handle structs).
+    pub fn id(self) -> DpNetId {
+        self.id
+    }
+
+    /// The width this signal was created with.
+    pub fn width(self) -> u32 {
+        self.width
+    }
+}
+
+/// A wire declared but not yet driven.
+#[derive(Debug, Clone)]
+struct PendingWire {
+    id: DpNetId,
+    name: String,
+    width: u32,
+    stage: Stage,
+}
+
+/// The typed datapath builder. Create stages with [`DpDsl::stage`] and
+/// build modules inside them; finish with [`DpDsl::finish`].
+#[derive(Debug)]
+pub struct DpDsl {
+    b: DpBuilder,
+    names: HashSet<String>,
+    pending: Vec<PendingWire>,
+    /// Pipeline depth used only to render stage names in diagnostics.
+    depth_hint: usize,
+}
+
+impl DpDsl {
+    /// Creates an empty typed builder for a netlist called `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        DpDsl {
+            b: DpBuilder::new(name),
+            names: HashSet::new(),
+            pending: Vec::new(),
+            depth_hint: 0,
+        }
+    }
+
+    /// Declares an architectural memory of `width`-bit words.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] on a duplicate name or invalid width.
+    pub fn arch_mem(&mut self, name: &str, width: u32) -> Result<ArchId, BuildError> {
+        check_width(name, width)?;
+        self.claim(name)?;
+        Ok(self.b.arch_mem(name, width))
+    }
+
+    /// Declares an architectural register file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] on a duplicate name or invalid width.
+    pub fn arch_regfile(
+        &mut self,
+        name: &str,
+        count: u32,
+        width: u32,
+        zero_reg: bool,
+    ) -> Result<ArchId, BuildError> {
+        check_width(name, width)?;
+        self.claim(name)?;
+        Ok(self.b.arch_regfile(name, count, width, zero_reg))
+    }
+
+    /// Opens a stage scope: every net and module created through the
+    /// returned [`StageDsl`] is annotated with `stage`.
+    pub fn stage(&mut self, stage: Stage) -> StageDsl<'_> {
+        self.b.set_stage(stage);
+        self.depth_hint = self.depth_hint.max(stage.index() + 1);
+        StageDsl { d: self }
+    }
+
+    /// Designates `s` as a primary data output (observable).
+    pub fn mark_output(&mut self, s: Signal) {
+        self.b.mark_output(s.id);
+    }
+
+    /// Designates `s` as a status signal routed to the controller.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::WidthMismatch`] unless `s` is single-bit.
+    pub fn mark_status(&mut self, s: Signal) -> Result<(), BuildError> {
+        if s.width != 1 {
+            return Err(BuildError::WidthMismatch {
+                module: "mark_status".into(),
+                detail: format!(
+                    "status net `{}` is {} bits but status signals are single-bit \
+                     predicates",
+                    self.b.peek().net(s.id).name,
+                    s.width
+                ),
+            });
+        }
+        self.b.mark_status(s.id);
+        Ok(())
+    }
+
+    /// Validates and returns the finished netlist.
+    ///
+    /// # Errors
+    ///
+    /// Reports the first undriven forward-reference wire as
+    /// [`BuildError::Dangling`], then any structural error from netlist
+    /// validation.
+    pub fn finish(self) -> Result<DpNetlist, BuildError> {
+        if let Some(w) = self.pending.first() {
+            return Err(BuildError::Dangling {
+                net: w.name.clone(),
+                width: w.width,
+                stage: stage_name(w.stage, self.depth_hint.max(w.stage.index() + 1)),
+            });
+        }
+        Ok(self.b.finish()?)
+    }
+
+    /// Read-only view of the netlist under construction.
+    pub fn peek(&self) -> &DpNetlist {
+        self.b.peek()
+    }
+
+    fn claim(&mut self, name: &str) -> Result<(), BuildError> {
+        if !self.names.insert(name.to_string()) {
+            return Err(BuildError::DuplicateName { name: name.into() });
+        }
+        Ok(())
+    }
+}
+
+fn check_width(name: &str, width: u32) -> Result<(), BuildError> {
+    if (1..=word::MAX_WIDTH).contains(&width) {
+        Ok(())
+    } else {
+        Err(BuildError::InvalidWidth {
+            name: name.into(),
+            width,
+        })
+    }
+}
+
+/// Requires `a` and `b` to share a width inside module `module`.
+fn same_width(module: &str, a: Signal, b: Signal) -> Result<(), BuildError> {
+    if a.width != b.width {
+        return Err(BuildError::WidthMismatch {
+            module: module.into(),
+            detail: format!(
+                "left operand is {} bits but right operand is {} bits",
+                a.width, b.width
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// A module builder scoped to one pipeline stage (see [`DpDsl::stage`]).
+///
+/// Every constructor claims its name, width-checks its ports, then
+/// delegates 1:1 to the underlying [`DpBuilder`].
+#[derive(Debug)]
+pub struct StageDsl<'a> {
+    d: &'a mut DpDsl,
+}
+
+impl StageDsl<'_> {
+    // --- sources ---------------------------------------------------------
+
+    /// Declares a primary data input of the given width.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] on a duplicate name or invalid width.
+    pub fn input(&mut self, name: &str, width: u32) -> Result<Signal, BuildError> {
+        check_width(name, width)?;
+        self.d.claim(name)?;
+        let id = self.d.b.input(name, width);
+        Ok(Signal { id, width })
+    }
+
+    /// Declares a single-bit control input, to be driven by the
+    /// controller through a design binding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::DuplicateName`] on name reuse.
+    pub fn ctrl(&mut self, name: &str) -> Result<Signal, BuildError> {
+        self.d.claim(name)?;
+        let id = self.d.b.ctrl(name);
+        Ok(Signal { id, width: 1 })
+    }
+
+    /// Declares a named bus of `N` control lines `name0 .. name{N-1}`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::DuplicateName`] if any line name is taken.
+    pub fn ctrl_bus<const N: usize>(&mut self, name: &str) -> Result<[Signal; N], BuildError> {
+        let mut out = [Signal {
+            id: DpNetId(0),
+            width: 1,
+        }; N];
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = self.ctrl(&format!("{name}{i}"))?;
+        }
+        Ok(out)
+    }
+
+    /// Declares a forward-reference wire with no driver yet. Connect it
+    /// with one of the `drive_*` methods before `finish()`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] on a duplicate name or invalid width.
+    pub fn wire(&mut self, name: &str, width: u32) -> Result<Signal, BuildError> {
+        check_width(name, width)?;
+        self.d.claim(name)?;
+        let id = self.d.b.wire(name, width);
+        self.d.pending.push(PendingWire {
+            id,
+            name: name.into(),
+            width,
+            stage: self.d.b.stage(),
+        });
+        Ok(Signal { id, width })
+    }
+
+    /// Constant source. Unlike the raw builder, the value must fit the
+    /// declared width — no silent truncation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::ConstantOverflow`] if `value` has bits above
+    /// `width`.
+    pub fn constant(&mut self, name: &str, width: u32, value: u64) -> Result<Signal, BuildError> {
+        check_width(name, width)?;
+        if width < 64 && value >> width != 0 {
+            return Err(BuildError::ConstantOverflow {
+                name: name.into(),
+                width,
+                value,
+            });
+        }
+        self.d.claim(name)?;
+        let id = self.d.b.constant(name, width, value);
+        Ok(Signal { id, width })
+    }
+
+    // --- combinational modules -------------------------------------------
+
+    fn binop(
+        &mut self,
+        name: &str,
+        op: DpOp,
+        a: Signal,
+        b: Signal,
+        out_width: u32,
+    ) -> Result<Signal, BuildError> {
+        same_width(name, a, b)?;
+        self.d.claim(name)?;
+        let id = self
+            .d
+            .b
+            .module(name, op, &[a.id, b.id], &[], Some(out_width))
+            .expect("binop has output");
+        Ok(Signal {
+            id,
+            width: out_width,
+        })
+    }
+
+    /// Wrapping adder.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] on a width mismatch or duplicate name.
+    pub fn add(&mut self, name: &str, a: Signal, b: Signal) -> Result<Signal, BuildError> {
+        self.binop(name, DpOp::Add, a, b, a.width)
+    }
+
+    /// Wrapping subtractor (`a - b`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] on a width mismatch or duplicate name.
+    pub fn sub(&mut self, name: &str, a: Signal, b: Signal) -> Result<Signal, BuildError> {
+        self.binop(name, DpOp::Sub, a, b, a.width)
+    }
+
+    /// Bitwise and.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] on a width mismatch or duplicate name.
+    pub fn and(&mut self, name: &str, a: Signal, b: Signal) -> Result<Signal, BuildError> {
+        self.binop(name, DpOp::And, a, b, a.width)
+    }
+
+    /// Bitwise or.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] on a width mismatch or duplicate name.
+    pub fn or(&mut self, name: &str, a: Signal, b: Signal) -> Result<Signal, BuildError> {
+        self.binop(name, DpOp::Or, a, b, a.width)
+    }
+
+    /// Bitwise xor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] on a width mismatch or duplicate name.
+    pub fn xor(&mut self, name: &str, a: Signal, b: Signal) -> Result<Signal, BuildError> {
+        self.binop(name, DpOp::Xor, a, b, a.width)
+    }
+
+    /// Word inverter.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::DuplicateName`] on name reuse.
+    pub fn not(&mut self, name: &str, a: Signal) -> Result<Signal, BuildError> {
+        self.d.claim(name)?;
+        let id = self.d.b.not(name, a.id);
+        Ok(Signal { id, width: a.width })
+    }
+
+    /// Comparison predicate (1-bit output). `op` must be one of the
+    /// predicate ops (`Eq`, `Ne`, `Lt`, ...).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] on a width mismatch or duplicate name.
+    pub fn predicate(
+        &mut self,
+        name: &str,
+        op: DpOp,
+        a: Signal,
+        b: Signal,
+    ) -> Result<Signal, BuildError> {
+        assert!(op.is_predicate(), "predicate() requires a predicate op");
+        self.binop(name, op, a, b, 1)
+    }
+
+    /// Equality predicate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] on a width mismatch or duplicate name.
+    pub fn eq(&mut self, name: &str, a: Signal, b: Signal) -> Result<Signal, BuildError> {
+        self.predicate(name, DpOp::Eq, a, b)
+    }
+
+    /// Inequality predicate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] on a width mismatch or duplicate name.
+    pub fn ne(&mut self, name: &str, a: Signal, b: Signal) -> Result<Signal, BuildError> {
+        self.predicate(name, DpOp::Ne, a, b)
+    }
+
+    /// Shift module; the shift amount may have any width.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::DuplicateName`] on name reuse.
+    pub fn shift(
+        &mut self,
+        name: &str,
+        op: DpOp,
+        value: Signal,
+        amount: Signal,
+    ) -> Result<Signal, BuildError> {
+        self.d.claim(name)?;
+        let id = self.d.b.shift(name, op, value.id, amount.id);
+        Ok(Signal {
+            id,
+            width: value.width,
+        })
+    }
+
+    /// Multiplexer: `sels` (little-endian index bits) select among
+    /// `data` inputs of a common width.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::SelectArity`] if the select-bundle size
+    /// disagrees with the input count, [`BuildError::WidthMismatch`] if
+    /// a select is not single-bit or the data inputs disagree on width.
+    pub fn mux(&mut self, name: &str, sels: &[Signal], data: &[Signal]) -> Result<Signal, BuildError> {
+        let (sel_ids, data_ids) = self.check_mux(name, sels, data)?;
+        self.d.claim(name)?;
+        let id = self.d.b.mux(name, &sel_ids, &data_ids);
+        Ok(Signal {
+            id,
+            width: data[0].width,
+        })
+    }
+
+    fn check_mux(
+        &self,
+        name: &str,
+        sels: &[Signal],
+        data: &[Signal],
+    ) -> Result<(Vec<DpNetId>, Vec<DpNetId>), BuildError> {
+        if data.len() < 2 {
+            return Err(BuildError::SelectArity {
+                module: name.into(),
+                detail: format!("a mux needs at least 2 data inputs, got {}", data.len()),
+            });
+        }
+        let need = word::select_bits(data.len());
+        if sels.len() as u32 != need {
+            return Err(BuildError::SelectArity {
+                module: name.into(),
+                detail: format!(
+                    "{} data inputs need {need} select bits, got {}",
+                    data.len(),
+                    sels.len()
+                ),
+            });
+        }
+        for s in sels {
+            if s.width != 1 {
+                return Err(BuildError::WidthMismatch {
+                    module: name.into(),
+                    detail: format!("select input is {} bits but selects are single-bit", s.width),
+                });
+            }
+        }
+        for d in &data[1..] {
+            if d.width != data[0].width {
+                return Err(BuildError::WidthMismatch {
+                    module: name.into(),
+                    detail: format!(
+                        "data inputs disagree on width: {} bits vs {} bits",
+                        data[0].width, d.width
+                    ),
+                });
+            }
+        }
+        Ok((
+            sels.iter().map(|s| s.id).collect(),
+            data.iter().map(|d| d.id).collect(),
+        ))
+    }
+
+    /// Sign-extends `a` to `to` bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::WidthMismatch`] if `to` is narrower than `a`.
+    pub fn sign_ext(&mut self, name: &str, a: Signal, to: u32) -> Result<Signal, BuildError> {
+        self.check_ext(name, a, to)?;
+        self.d.claim(name)?;
+        let id = self.d.b.sign_ext(name, a.id, to);
+        Ok(Signal { id, width: to })
+    }
+
+    /// Zero-extends `a` to `to` bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::WidthMismatch`] if `to` is narrower than `a`.
+    pub fn zero_ext(&mut self, name: &str, a: Signal, to: u32) -> Result<Signal, BuildError> {
+        self.check_ext(name, a, to)?;
+        self.d.claim(name)?;
+        let id = self.d.b.zero_ext(name, a.id, to);
+        Ok(Signal { id, width: to })
+    }
+
+    fn check_ext(&self, name: &str, a: Signal, to: u32) -> Result<(), BuildError> {
+        check_width(name, to)?;
+        if to < a.width {
+            return Err(BuildError::WidthMismatch {
+                module: name.into(),
+                detail: format!("cannot extend a {}-bit value to {to} bits", a.width),
+            });
+        }
+        Ok(())
+    }
+
+    /// Extracts bits `lo .. lo + width` of `a`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::WidthMismatch`] if the slice reaches past
+    /// the end of `a`.
+    pub fn slice(&mut self, name: &str, a: Signal, lo: u32, width: u32) -> Result<Signal, BuildError> {
+        check_width(name, width)?;
+        if lo + width > a.width {
+            return Err(BuildError::WidthMismatch {
+                module: name.into(),
+                detail: format!(
+                    "slice [{lo} +: {width}] reaches past the end of a {}-bit value",
+                    a.width
+                ),
+            });
+        }
+        self.d.claim(name)?;
+        let id = self.d.b.slice(name, a.id, lo, width);
+        Ok(Signal { id, width })
+    }
+
+    /// Concatenates `parts` (first part least significant).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] on a duplicate name or if the total width
+    /// exceeds the word limit.
+    pub fn concat(&mut self, name: &str, parts: &[Signal]) -> Result<Signal, BuildError> {
+        let width: u32 = parts.iter().map(|p| p.width).sum();
+        check_width(name, width)?;
+        self.d.claim(name)?;
+        let ids: Vec<DpNetId> = parts.iter().map(|p| p.id).collect();
+        let id = self.d.b.concat(name, &ids);
+        Ok(Signal { id, width })
+    }
+
+    // --- sequential ------------------------------------------------------
+
+    /// Plain pipeline register resetting to 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::DuplicateName`] on name reuse.
+    pub fn reg(&mut self, name: &str, d: Signal) -> Result<Signal, BuildError> {
+        self.d.claim(name)?;
+        let id = self.d.b.reg(name, d.id);
+        Ok(Signal { id, width: d.width })
+    }
+
+    /// Pipeline register with a load-enable (stall) control input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] on a non-single-bit enable or name reuse.
+    pub fn reg_en(&mut self, name: &str, d: Signal, enable: Signal) -> Result<Signal, BuildError> {
+        self.check_bit(name, "enable", enable)?;
+        self.d.claim(name)?;
+        let spec = RegSpec {
+            init: 0,
+            has_enable: true,
+            has_clear: false,
+            clear_val: 0,
+        };
+        let id = self.d.b.reg_spec(name, d.id, spec, Some(enable.id), None);
+        Ok(Signal { id, width: d.width })
+    }
+
+    /// Pipeline register with both a load-enable and a synchronous
+    /// clear (clear wins).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] on a non-single-bit control or name reuse.
+    pub fn reg_en_clr(
+        &mut self,
+        name: &str,
+        d: Signal,
+        enable: Signal,
+        clear: Signal,
+    ) -> Result<Signal, BuildError> {
+        self.check_bit(name, "enable", enable)?;
+        self.check_bit(name, "clear", clear)?;
+        self.d.claim(name)?;
+        let spec = RegSpec {
+            init: 0,
+            has_enable: true,
+            has_clear: true,
+            clear_val: 0,
+        };
+        let id = self
+            .d
+            .b
+            .reg_spec(name, d.id, spec, Some(enable.id), Some(clear.id));
+        Ok(Signal { id, width: d.width })
+    }
+
+    fn check_bit(&self, module: &str, port: &str, s: Signal) -> Result<(), BuildError> {
+        if s.width != 1 {
+            return Err(BuildError::WidthMismatch {
+                module: module.into(),
+                detail: format!("{port} input is {} bits but must be single-bit", s.width),
+            });
+        }
+        Ok(())
+    }
+
+    // --- architectural ports ---------------------------------------------
+
+    /// Combinational register-file read port. The address must be
+    /// exactly wide enough to index the file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::WidthMismatch`] on an address-width
+    /// mismatch.
+    pub fn rf_read(&mut self, name: &str, rf: ArchId, addr: Signal) -> Result<Signal, BuildError> {
+        let (count, width) = self.rf_shape(rf);
+        let need = word::select_bits(count as usize);
+        if addr.width != need {
+            return Err(BuildError::WidthMismatch {
+                module: name.into(),
+                detail: format!(
+                    "address is {} bits but a {count}-entry register file needs {need}",
+                    addr.width
+                ),
+            });
+        }
+        self.d.claim(name)?;
+        let id = self.d.b.rf_read(name, rf, addr.id);
+        Ok(Signal { id, width })
+    }
+
+    /// Register-file write port (a sink).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] on port-width mismatches or name reuse.
+    pub fn rf_write(
+        &mut self,
+        name: &str,
+        rf: ArchId,
+        addr: Signal,
+        data: Signal,
+        we: Signal,
+    ) -> Result<(), BuildError> {
+        let (count, width) = self.rf_shape(rf);
+        let need = word::select_bits(count as usize);
+        if addr.width != need {
+            return Err(BuildError::WidthMismatch {
+                module: name.into(),
+                detail: format!(
+                    "address is {} bits but a {count}-entry register file needs {need}",
+                    addr.width
+                ),
+            });
+        }
+        if data.width != width {
+            return Err(BuildError::WidthMismatch {
+                module: name.into(),
+                detail: format!(
+                    "data is {} bits but the register file holds {width}-bit words",
+                    data.width
+                ),
+            });
+        }
+        self.check_bit(name, "write-enable", we)?;
+        self.d.claim(name)?;
+        self.d.b.rf_write(name, rf, addr.id, data.id, we.id);
+        Ok(())
+    }
+
+    fn rf_shape(&self, rf: ArchId) -> (u32, u32) {
+        match self.d.b.peek().arch(rf).kind {
+            ArchKind::RegFile { count, width, .. } => (count, width),
+            ArchKind::Mem { width } => (0, width),
+        }
+    }
+
+    /// Combinational memory read port (word-addressed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::DuplicateName`] on name reuse.
+    pub fn mem_read(&mut self, name: &str, mem: ArchId, addr: Signal) -> Result<Signal, BuildError> {
+        self.d.claim(name)?;
+        let width = self.d.b.peek().arch(mem).width();
+        let id = self.d.b.mem_read(name, mem, addr.id);
+        Ok(Signal { id, width })
+    }
+
+    /// Memory write port (a sink) with a per-byte lane mask.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] on port-width mismatches or name reuse.
+    pub fn mem_write(
+        &mut self,
+        name: &str,
+        mem: ArchId,
+        addr: Signal,
+        data: Signal,
+        byte_mask: Signal,
+        we: Signal,
+    ) -> Result<(), BuildError> {
+        let width = self.d.b.peek().arch(mem).width();
+        if data.width != width {
+            return Err(BuildError::WidthMismatch {
+                module: name.into(),
+                detail: format!(
+                    "data is {} bits but the memory holds {width}-bit words",
+                    data.width
+                ),
+            });
+        }
+        self.check_bit(name, "write-enable", we)?;
+        self.d.claim(name)?;
+        self.d
+            .b
+            .mem_write(name, mem, addr.id, data.id, byte_mask.id, we.id);
+        Ok(())
+    }
+
+    // --- driving forward references --------------------------------------
+
+    fn take_pending(&mut self, module: &str, out: Signal) -> Result<(), BuildError> {
+        match self.d.pending.iter().position(|p| p.id == out.id) {
+            Some(i) => {
+                self.d.pending.remove(i);
+                Ok(())
+            }
+            None => Err(BuildError::NotAWire {
+                module: module.into(),
+                net: self.d.b.peek().net(out.id).name.clone(),
+            }),
+        }
+    }
+
+    /// Drives wire `out` with a plain register of `d`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] if `out` is not an undriven wire or widths
+    /// disagree.
+    pub fn drive_reg(&mut self, out: Signal, name: &str, d: Signal) -> Result<(), BuildError> {
+        self.check_drive_width(name, out, d)?;
+        self.take_pending(name, out)?;
+        self.d.claim(name)?;
+        self.d
+            .b
+            .drive(out.id, name, DpOp::Reg(RegSpec::plain(0)), &[d.id], &[]);
+        Ok(())
+    }
+
+    /// Drives wire `out` with an enable-gated register of `d`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] if `out` is not an undriven wire, widths
+    /// disagree, or `enable` is not single-bit.
+    pub fn drive_reg_en(
+        &mut self,
+        out: Signal,
+        name: &str,
+        d: Signal,
+        enable: Signal,
+    ) -> Result<(), BuildError> {
+        self.check_drive_width(name, out, d)?;
+        self.check_bit(name, "enable", enable)?;
+        self.take_pending(name, out)?;
+        self.d.claim(name)?;
+        let spec = RegSpec {
+            init: 0,
+            has_enable: true,
+            has_clear: false,
+            clear_val: 0,
+        };
+        self.d
+            .b
+            .drive(out.id, name, DpOp::Reg(spec), &[d.id], &[enable.id]);
+        Ok(())
+    }
+
+    /// Drives wire `out` with a multiplexer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] if `out` is not an undriven wire or any
+    /// mux check fails (see [`StageDsl::mux`]).
+    pub fn drive_mux(
+        &mut self,
+        out: Signal,
+        name: &str,
+        sels: &[Signal],
+        data: &[Signal],
+    ) -> Result<(), BuildError> {
+        let (sel_ids, data_ids) = self.check_mux(name, sels, data)?;
+        self.check_drive_width(name, out, data[0])?;
+        self.take_pending(name, out)?;
+        self.d.claim(name)?;
+        self.d.b.drive(out.id, name, DpOp::Mux, &data_ids, &sel_ids);
+        Ok(())
+    }
+
+    /// Drives wire `out` with an adder.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] if `out` is not an undriven wire or widths
+    /// disagree.
+    pub fn drive_add(
+        &mut self,
+        out: Signal,
+        name: &str,
+        a: Signal,
+        b: Signal,
+    ) -> Result<(), BuildError> {
+        same_width(name, a, b)?;
+        self.check_drive_width(name, out, a)?;
+        self.take_pending(name, out)?;
+        self.d.claim(name)?;
+        self.d.b.drive(out.id, name, DpOp::Add, &[a.id, b.id], &[]);
+        Ok(())
+    }
+
+    fn check_drive_width(&self, module: &str, out: Signal, src: Signal) -> Result<(), BuildError> {
+        if out.width != src.width {
+            return Err(BuildError::WidthMismatch {
+                module: module.into(),
+                detail: format!(
+                    "drives a {}-bit value into the {}-bit wire `{}`",
+                    src.width,
+                    out.width,
+                    self.d.b.peek().net(out.id).name
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dsl() -> DpDsl {
+        DpDsl::new("t")
+    }
+
+    #[test]
+    fn narrow_bus_into_wide_port_is_rejected_with_widths_named() {
+        // A 16-bit bus driven into a 32-bit port: the classic silent
+        // truncation the DSL exists to catch.
+        let mut d = dsl();
+        let mut s = d.stage(Stage::new(0));
+        let wide = s.input("wide", 32).unwrap();
+        let narrow = s.input("narrow", 16).unwrap();
+        let err = s.add("sum", wide, narrow).unwrap_err();
+        match &err {
+            BuildError::WidthMismatch { module, detail } => {
+                assert_eq!(module, "sum");
+                assert!(detail.contains("32 bits"), "{detail}");
+                assert!(detail.contains("16 bits"), "{detail}");
+            }
+            e => panic!("expected WidthMismatch, got {e:?}"),
+        }
+        assert!(err.to_string().contains("extend or slice"), "{err}");
+
+        // Same through a drive: a 16-bit register result into a 32-bit
+        // forward-reference wire.
+        let mut d = dsl();
+        let mut s = d.stage(Stage::new(0));
+        let port = s.wire("port32", 32).unwrap();
+        let bus = s.input("bus16", 16).unwrap();
+        let err = s.drive_reg(port, "port_reg", bus).unwrap_err();
+        assert!(
+            err.to_string().contains("16-bit value into the 32-bit wire `port32`"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn unconnected_stage_output_is_reported_at_finish() {
+        let mut d = dsl();
+        let mut s = d.stage(Stage::new(2));
+        let out = s.wire("ex_result", 32).unwrap();
+        d.mark_output(out);
+        let err = d.finish().unwrap_err();
+        match &err {
+            BuildError::Dangling { net, width, stage } => {
+                assert_eq!(net, "ex_result");
+                assert_eq!(*width, 32);
+                assert_eq!(stage, "S2");
+            }
+            e => panic!("expected Dangling, got {e:?}"),
+        }
+        assert!(err.to_string().contains("never"), "{err}");
+        assert!(err.to_string().contains("drive_"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_net_name_is_rejected_at_creation() {
+        let mut d = dsl();
+        let mut s = d.stage(Stage::new(0));
+        s.input("pc", 32).unwrap();
+        let err = s.wire("pc", 32).unwrap_err();
+        assert_eq!(
+            err,
+            BuildError::DuplicateName {
+                name: "pc".into()
+            }
+        );
+        assert!(err.to_string().contains("unique name"), "{err}");
+        // Bus lines collide with scalar names too.
+        s.ctrl("c_alu0").unwrap();
+        let err = s.ctrl_bus::<4>("c_alu").unwrap_err();
+        assert!(matches!(err, BuildError::DuplicateName { ref name } if name == "c_alu0"));
+    }
+
+    #[test]
+    fn constant_overflow_is_rejected() {
+        let mut d = dsl();
+        let mut s = d.stage(Stage::new(0));
+        let err = s.constant("k", 4, 0x1f).unwrap_err();
+        assert!(matches!(err, BuildError::ConstantOverflow { width: 4, value: 0x1f, .. }));
+        // In-range values and full-width constants are fine.
+        s.constant("k4", 4, 0xf).unwrap();
+        s.constant("k64", 64, u64::MAX).unwrap();
+    }
+
+    #[test]
+    fn mux_checks_select_arity_and_widths() {
+        let mut d = dsl();
+        let mut s = d.stage(Stage::new(0));
+        let sel = s.ctrl("sel").unwrap();
+        let a = s.input("a", 8).unwrap();
+        let b = s.input("b", 8).unwrap();
+        let c = s.input("c", 8).unwrap();
+        let err = s.mux("m", &[sel], &[a, b, c]).unwrap_err();
+        assert!(matches!(err, BuildError::SelectArity { .. }), "{err}");
+        let w = s.input("w", 16).unwrap();
+        let err = s.mux("m", &[sel], &[a, w]).unwrap_err();
+        assert!(matches!(err, BuildError::WidthMismatch { .. }), "{err}");
+        let y = s.mux("m", &[sel], &[a, b]).unwrap();
+        assert_eq!(y.width(), 8);
+    }
+
+    #[test]
+    fn slice_and_extension_bounds_checked() {
+        let mut d = dsl();
+        let mut s = d.stage(Stage::new(0));
+        let a = s.input("a", 16).unwrap();
+        assert!(matches!(
+            s.slice("hi", a, 12, 8).unwrap_err(),
+            BuildError::WidthMismatch { .. }
+        ));
+        assert!(matches!(
+            s.sign_ext("narrowed", a, 8).unwrap_err(),
+            BuildError::WidthMismatch { .. }
+        ));
+        let lo = s.slice("lo", a, 0, 8).unwrap();
+        assert_eq!(lo.width(), 8);
+        let wide = s.zero_ext("wide", a, 32).unwrap();
+        assert_eq!(wide.width(), 32);
+    }
+
+    #[test]
+    fn drive_targets_must_be_undriven_wires() {
+        let mut d = dsl();
+        let mut s = d.stage(Stage::new(0));
+        let a = s.input("a", 8).unwrap();
+        let r = s.reg("r", a).unwrap();
+        // `r` is already driven by its register module.
+        let err = s.drive_reg(r, "r2", a).unwrap_err();
+        assert!(matches!(err, BuildError::NotAWire { .. }), "{err}");
+        // Driving the same wire twice: second drive finds no pending entry.
+        let w = s.wire("w", 8).unwrap();
+        s.drive_reg(w, "w_reg", a).unwrap();
+        let err = s.drive_reg(w, "w_reg2", a).unwrap_err();
+        assert!(matches!(err, BuildError::NotAWire { .. }), "{err}");
+    }
+
+    #[test]
+    fn regfile_ports_check_address_and_data_widths() {
+        let mut d = dsl();
+        let rf = d.arch_regfile("gpr", 32, 32, true).unwrap();
+        let mut s = d.stage(Stage::new(1));
+        let bad_addr = s.input("bad_addr", 4).unwrap();
+        let err = s.rf_read("rd", rf, bad_addr).unwrap_err();
+        assert!(err.to_string().contains("32-entry register file needs 5"), "{err}");
+        let addr = s.input("addr", 5).unwrap();
+        let v = s.rf_read("rd", rf, addr).unwrap();
+        assert_eq!(v.width(), 32);
+        let we = s.ctrl("we").unwrap();
+        let narrow = s.slice("narrow", v, 0, 16).unwrap();
+        let err = s.rf_write("wr", rf, addr, narrow, we).unwrap_err();
+        assert!(matches!(err, BuildError::WidthMismatch { .. }), "{err}");
+        s.rf_write("wr", rf, addr, v, we).unwrap();
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn finished_netlist_matches_raw_builder_structure() {
+        // The DSL delegates 1:1: the same construction through DpBuilder
+        // yields identical net ids, names, stages and module order.
+        let mut d = dsl();
+        let mut s = d.stage(Stage::new(0));
+        let a = s.input("a", 16).unwrap();
+        let b = s.input("b", 16).unwrap();
+        let f = s.ctrl("f").unwrap();
+        let sum = s.add("sum", a, b).unwrap();
+        let dif = s.sub("dif", a, b).unwrap();
+        let y = s.mux("y", &[f], &[sum, dif]).unwrap();
+        d.mark_output(y);
+        let dsl_nl = d.finish().unwrap();
+
+        let mut rb = DpBuilder::new("t");
+        rb.set_stage(Stage::new(0));
+        let ra = rb.input("a", 16);
+        let rbn = rb.input("b", 16);
+        let rf = rb.ctrl("f");
+        let rsum = rb.add("sum", ra, rbn);
+        let rdif = rb.sub("dif", ra, rbn);
+        let ry = rb.mux("y", &[rf], &[rsum, rdif]);
+        rb.mark_output(ry);
+        let raw_nl = rb.finish().unwrap();
+
+        assert_eq!(dsl_nl.nets().len(), raw_nl.nets().len());
+        for (dn, rn) in dsl_nl.nets().iter().zip(raw_nl.nets()) {
+            assert_eq!(dn.name, rn.name);
+            assert_eq!(dn.width, rn.width);
+            assert_eq!(dn.stage, rn.stage);
+        }
+        assert_eq!(dsl_nl.module_count(), raw_nl.module_count());
+        assert_eq!(y.id(), ry);
+    }
+}

@@ -54,16 +54,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod builder;
 pub mod ctl;
 pub mod design;
 pub mod export;
 pub mod dp;
 pub mod error;
 pub mod model;
+pub mod registry;
 pub mod stage;
 pub mod word;
 
+pub use builder::{BuildError, DpDsl, Signal, StageDsl};
 pub use design::Design;
 pub use error::NetlistError;
 pub use model::{FieldSlot, PipelineDesc, ProcessorModel, ReferenceModel, StsDesc, StsKind};
+pub use registry::Backend;
 pub use stage::Stage;

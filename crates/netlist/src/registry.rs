@@ -1,0 +1,197 @@
+//! Process-wide registry of [`ProcessorModel`] backends.
+//!
+//! The registry decouples backend crates from their consumers: a backend
+//! crate (e.g. `hltg-dlx`, `hltg-rv32`) calls [`register`] once per
+//! design it provides, and any driver — `table1`, `ext_error_models`,
+//! `tg_debug`, `hltg_serve` or a library caller — resolves `--design`
+//! names through [`build_model`] without naming the backend crate. New
+//! backends become available everywhere by registering themselves; no
+//! driver carries a hard-coded design list.
+//!
+//! Registration is idempotent and keyed by name: the first registration
+//! of a name wins and later ones are ignored, so calling a crate's
+//! `register_backends()` entry point repeatedly (or from several
+//! threads) is safe. Listing functions return backends in registration
+//! order, which backend crates keep stable so that `--list-designs`
+//! output and documentation stay deterministic.
+
+use crate::model::ProcessorModel;
+use std::fmt;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// A registered processor-model backend: a stable name, a one-line
+/// summary for listings, and a constructor.
+#[derive(Clone, Copy)]
+pub struct Backend {
+    /// The `--design` name (e.g. `"dlx"`, `"rv32-7"`).
+    pub name: &'static str,
+    /// One-line human-readable description for `--list-designs` output.
+    pub summary: &'static str,
+    /// Constructs a fresh model instance.
+    pub build: fn() -> Box<dyn ProcessorModel>,
+}
+
+impl fmt::Debug for Backend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Backend")
+            .field("name", &self.name)
+            .field("summary", &self.summary)
+            .finish_non_exhaustive()
+    }
+}
+
+fn table() -> MutexGuard<'static, Vec<Backend>> {
+    static TABLE: OnceLock<Mutex<Vec<Backend>>> = OnceLock::new();
+    TABLE
+        .get_or_init(|| Mutex::new(Vec::new()))
+        .lock()
+        // A panic while holding the lock poisons it but cannot corrupt a
+        // Vec of Copy entries; keep serving the table.
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+/// Registers a backend. Idempotent: if a backend with the same name is
+/// already registered, the call is a no-op and the first wins.
+pub fn register(backend: Backend) {
+    let mut t = table();
+    if t.iter().all(|b| b.name != backend.name) {
+        t.push(backend);
+    }
+}
+
+/// Builds a fresh model for the named design, or `None` if no backend
+/// registered that name (the caller's crate may need to call its
+/// `register_backends()` first).
+pub fn build_model(name: &str) -> Option<Box<dyn ProcessorModel>> {
+    let build = table().iter().find(|b| b.name == name).map(|b| b.build)?;
+    Some(build())
+}
+
+/// `true` if a backend with this name is registered.
+pub fn is_registered(name: &str) -> bool {
+    table().iter().any(|b| b.name == name)
+}
+
+/// The registered design names, in registration order.
+pub fn backend_names() -> Vec<&'static str> {
+    table().iter().map(|b| b.name).collect()
+}
+
+/// Snapshot of all registered backends, in registration order.
+pub fn backends() -> Vec<Backend> {
+    table().clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctl::{CtlBuilder, CtlNetId};
+    use crate::design::Design;
+    use crate::dp::{ArchId, DpBuilder, DpNetId};
+    use crate::model::PipelineDesc;
+    use crate::Stage;
+
+    /// A minimal one-stage model, just enough to exercise the registry.
+    struct TinyModel {
+        design: Design,
+        pipe: PipelineDesc,
+    }
+
+    impl TinyModel {
+        fn boxed() -> Box<dyn ProcessorModel> {
+            let mut b = DpBuilder::new("tiny");
+            b.set_stage(Stage::new(0));
+            let a = b.input("a", 8);
+            let c = b.ctrl("c_inv");
+            let n = b.not("n", a);
+            let y = b.mux("y", &[c], &[a, n]);
+            b.mark_output(y);
+            let dp = b.finish().expect("tiny dp");
+
+            let mut cb = CtlBuilder::new("tiny_ctl");
+            cb.set_stage(Stage::new(0));
+            let op = cb.cpi("op");
+            let inv = cb.not(op);
+            cb.rename(inv, "inv");
+            cb.mark_ctrl_output(inv);
+            let ctl = cb.finish().expect("tiny ctl");
+
+            let mut design = Design::new("tiny", dp, ctl);
+            design.bind_ctrl("inv", "c_inv").expect("bind");
+            // Geometry handles are placeholders: the registry test never
+            // runs the generator on this model.
+            let pipe = PipelineDesc {
+                depth: 1,
+                id_stage: 0,
+                ex_stage: 0,
+                mem_stage: 0,
+                wb_stage: 0,
+                imem: ArchId(0),
+                dmem: ArchId(0),
+                gpr: ArchId(0),
+                instr: a,
+                cpi_op: [op; 6],
+                cpi_fn: [op; 6],
+                stall: None,
+                squash: CtlNetId(0),
+                pc_redirect: [DpNetId(0); 2],
+                wb_link: None,
+                byp_a: None,
+                byp_b: None,
+                b_raw: a,
+                a_fwd: y,
+                pc_family: vec![],
+                sts: vec![],
+            };
+            Box::new(TinyModel { design, pipe })
+        }
+    }
+
+    impl ProcessorModel for TinyModel {
+        fn name(&self) -> &str {
+            "tiny"
+        }
+        fn design(&self) -> &Design {
+            &self.design
+        }
+        fn pipeline(&self) -> &PipelineDesc {
+            &self.pipe
+        }
+        fn data_width(&self) -> u32 {
+            8
+        }
+    }
+
+    #[test]
+    fn register_build_and_list_are_consistent() {
+        register(Backend {
+            name: "tiny-registry-test",
+            summary: "one-stage inverter test model",
+            build: TinyModel::boxed,
+        });
+        // Idempotent: a second registration of the same name is ignored.
+        register(Backend {
+            name: "tiny-registry-test",
+            summary: "duplicate that must not shadow the first",
+            build: TinyModel::boxed,
+        });
+        assert!(is_registered("tiny-registry-test"));
+        assert_eq!(
+            backend_names()
+                .iter()
+                .filter(|n| **n == "tiny-registry-test")
+                .count(),
+            1
+        );
+        let b = backends()
+            .into_iter()
+            .find(|b| b.name == "tiny-registry-test")
+            .expect("listed");
+        assert_eq!(b.summary, "one-stage inverter test model");
+        let model = build_model("tiny-registry-test").expect("buildable");
+        assert_eq!(model.name(), "tiny");
+        assert_eq!(model.data_width(), 8);
+        assert!(build_model("no-such-design").is_none());
+        assert!(!is_registered("no-such-design"));
+    }
+}

@@ -1,0 +1,128 @@
+//! Binding the rv32 datapath and controller into a [`Design`].
+//!
+//! The datapath and controller each expose their CTRL and STS nets as
+//! vectors in one canonical order (documented in
+//! [`crate::datapath::DpHandles`]); binding is a zip. The CPI binds wire
+//! the instruction word's opcode field (bits `[31:26]`) and function
+//! field (bits `[5:0]`) to the controller's decoder inputs.
+
+use crate::controller::{build_controller, CtlHandles};
+use crate::datapath::{build_datapath, DpHandles};
+use hltg_netlist::design::{CpiBind, CtrlBind, StsBind};
+use hltg_netlist::{Design, Stage};
+
+/// A complete rv32 processor: bound design plus net handles.
+#[derive(Debug, Clone)]
+pub struct Rv32Design {
+    /// The bound design (datapath + controller).
+    pub design: Design,
+    /// Datapath net handles.
+    pub dp: DpHandles,
+    /// Controller net handles.
+    pub ctl: CtlHandles,
+    /// Whether this is the seven-stage variant.
+    pub deep: bool,
+}
+
+impl Rv32Design {
+    /// Builds and validates the five-stage (`deep == false`) or
+    /// seven-stage (`deep == true`) processor.
+    ///
+    /// # Panics
+    ///
+    /// Panics only on internal construction bugs (the design is validated
+    /// before being returned).
+    #[must_use]
+    pub fn build(deep: bool) -> Self {
+        let (dp_nl, dp) = build_datapath(deep);
+        let (ctl_nl, ctl) = build_controller(deep);
+        assert_eq!(
+            dp.ctrl.len(),
+            ctl.ctrl.len(),
+            "datapath and controller disagree on the CTRL vector"
+        );
+        assert_eq!(
+            dp.sts.len(),
+            ctl.sts.len(),
+            "datapath and controller disagree on the STS vector"
+        );
+
+        let name = if deep { "rv32-7" } else { "rv32" };
+        let mut design = Design::new(name, dp_nl, ctl_nl);
+        for (&c, &d) in ctl.ctrl.iter().zip(&dp.ctrl) {
+            design.ctrl_binds.push(CtrlBind { ctl: c, dp: d });
+        }
+        for (&d, &c) in dp.sts.iter().zip(&ctl.sts) {
+            design.sts_binds.push(StsBind { dp: d, ctl: c });
+        }
+        for (i, &c) in ctl.cpi_op.iter().enumerate() {
+            design.cpi_binds.push(CpiBind {
+                dp: dp.instr,
+                bit: 26 + i as u32,
+                ctl: c,
+            });
+        }
+        for (i, &c) in ctl.cpi_fn.iter().enumerate() {
+            design.cpi_binds.push(CpiBind {
+                dp: dp.instr,
+                bit: i as u32,
+                ctl: c,
+            });
+        }
+
+        design.validate().expect("rv32 design binds consistently");
+        Rv32Design { design, dp, ctl, deep }
+    }
+
+    /// The stage holding decode / register read.
+    #[must_use]
+    pub fn id_stage(&self) -> Stage {
+        Stage::new(crate::geom(self.deep).id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_variants_build_and_levelize() {
+        for deep in [false, true] {
+            let rv = Rv32Design::build(deep);
+            assert!(rv.design.validate().is_ok(), "deep={deep}");
+            assert!(
+                hltg_sim::Schedule::build(&rv.design).is_ok(),
+                "deep={deep} levelizes"
+            );
+        }
+    }
+
+    #[test]
+    fn bind_counts_match_the_geometry() {
+        let shallow = Rv32Design::build(false);
+        assert_eq!(shallow.design.ctrl_binds.len(), 26);
+        assert_eq!(shallow.design.sts_binds.len(), 10);
+        assert_eq!(shallow.design.cpi_binds.len(), 12);
+
+        let deep = Rv32Design::build(true);
+        assert_eq!(deep.design.ctrl_binds.len(), 29);
+        assert_eq!(deep.design.sts_binds.len(), 13);
+        assert_eq!(deep.design.cpi_binds.len(), 12);
+    }
+
+    #[test]
+    fn deep_variant_carries_more_control_state() {
+        let shallow = Rv32Design::build(false).design.ctl.census();
+        let deep = Rv32Design::build(true).design.ctl.census();
+        // Two instruction ranks instead of one, plus the M2 rank.
+        assert!(deep.state_bits > shallow.state_bits);
+        assert_eq!(shallow.sts, 10);
+        assert_eq!(deep.sts, 13);
+        assert_eq!(shallow.cpi, 12);
+        assert_eq!(deep.cpi, 12);
+        // Per-source bypass selects: 2 per operand shallow, 3 deep, plus
+        // stall/squash/pc_sel0/pc_sel1.
+        assert_eq!(shallow.tertiary, 8);
+        assert_eq!(deep.tertiary, 10);
+    }
+}

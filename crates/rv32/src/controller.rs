@@ -1,0 +1,365 @@
+//! The rv32 gate-level controller.
+//!
+//! One construction serves both variants. The control pipe mirrors the
+//! datapath's geometry:
+//!
+//! * **instruction ranks** — the deep variant carries *two* squash-cleared
+//!   instruction registers (`ir1_*` behind the fetch buffer, `cir_*` in
+//!   decode), so a taken transfer resolved in EX kills all three younger
+//!   slots at one edge: the ID/EX rank bubbles the slot in decode, the
+//!   `cir` clear kills the slot in the fetch buffer, and the `ir1` clear
+//!   kills the slot just fetched. The shallow variant has only `cir_*`
+//!   and kills two slots, exactly like the classic DLX.
+//! * **stall** — the load-use interlock holds the fetch front (`pc`, the
+//!   fetch buffer, IF/ID) and bubbles the ID/EX rank; since the EX rank
+//!   is bubbled, the condition self-clears after one cycle.
+//! * **forwarding selects** — computed independently per source rank with
+//!   no cross-gating: the datapath's mux cascade gives nearest-rank
+//!   priority structurally. A memory-rank producer that is a load blocks
+//!   its MEM1-rank select (value not ready); by the MEM2 rank the deep
+//!   variant has merged the load into `m2_val`, so no load gate is needed
+//!   there.
+
+use crate::decode::{line, lines_for, recognizer, OrPlanes};
+use crate::geom;
+use hltg_isa::instr::ALL_OPCODES;
+use hltg_netlist::ctl::{CtlBuilder, CtlNetId, CtlNetlist, FfSpec};
+use hltg_netlist::Stage;
+
+/// Handles to the controller's externally visible nets. The `ctrl` and
+/// `sts` vectors use the same canonical order as
+/// [`crate::datapath::DpHandles`]; `build.rs` zips them into binds.
+#[derive(Debug, Clone)]
+#[allow(missing_docs)] // field names mirror the hardware signal names
+pub struct CtlHandles {
+    pub cpi_op: [CtlNetId; 6],
+    pub cpi_fn: [CtlNetId; 6],
+    pub stall: CtlNetId,
+    pub squash: CtlNetId,
+    /// CTRL outputs in canonical bind order (26 shallow, 29 deep).
+    pub ctrl: Vec<CtlNetId>,
+    /// STS inputs in canonical bind order (10 shallow, 13 deep).
+    pub sts: Vec<CtlNetId>,
+}
+
+/// Builds the controller for the shallow (`deep == false`) or deep
+/// (`deep == true`) variant.
+///
+/// # Panics
+///
+/// Panics only on internal construction bugs; the returned netlist has
+/// been validated.
+#[must_use]
+#[allow(clippy::too_many_lines)] // one linear hardware description
+pub fn build_controller(deep: bool) -> (CtlNetlist, CtlHandles) {
+    let g = geom(deep);
+    let mut b = CtlBuilder::new(if deep { "rv32_7_ctl" } else { "rv32_ctl" });
+    let s_if = Stage::new(0);
+    let s_id = Stage::new(g.id);
+    let s_ex = Stage::new(g.ex);
+    let s_m1 = Stage::new(g.m1);
+    let s_m2 = Stage::new(g.m2);
+    let s_wb = Stage::new(g.wb);
+    let mp = if deep { "m1" } else { "mem" };
+
+    // ---- CPI: instruction bits --------------------------------------------
+    b.set_stage(s_if);
+    let cpi_op: [CtlNetId; 6] = std::array::from_fn(|i| b.cpi(format!("cpi_op{i}")));
+    let cpi_fn: [CtlNetId; 6] = std::array::from_fn(|i| b.cpi(format!("cpi_fn{i}")));
+
+    // Tertiary wires, resolved in EX.
+    b.set_stage(s_ex);
+    let stall = b.wire("stall");
+    let squash = b.wire("squash");
+    let not_stall = b.not(stall);
+
+    // Every instruction rank stalls (enable) and squashes (clear) the
+    // same way.
+    let pipe_spec = FfSpec {
+        init: false,
+        has_enable: true,
+        has_clear: true,
+        clear_val: false,
+    };
+
+    // ---- Fetch-buffer instruction rank (deep only) -------------------------
+    let (ir_op, ir_fn) = if deep {
+        b.set_stage(Stage::new(1));
+        let ir1_op: [CtlNetId; 6] = std::array::from_fn(|i| {
+            b.ff_spec(
+                format!("ir1_op{i}"),
+                cpi_op[i],
+                pipe_spec,
+                Some(not_stall),
+                Some(squash),
+            )
+        });
+        let ir1_fn: [CtlNetId; 6] = std::array::from_fn(|i| {
+            b.ff_spec(
+                format!("ir1_fn{i}"),
+                cpi_fn[i],
+                pipe_spec,
+                Some(not_stall),
+                Some(squash),
+            )
+        });
+        (ir1_op, ir1_fn)
+    } else {
+        (cpi_op, cpi_fn)
+    };
+
+    // ---- Decode-stage instruction rank -------------------------------------
+    b.set_stage(s_id);
+    let cir_op: [CtlNetId; 6] = std::array::from_fn(|i| {
+        b.ff_spec(
+            format!("cir_op{i}"),
+            ir_op[i],
+            pipe_spec,
+            Some(not_stall),
+            Some(squash),
+        )
+    });
+    let cir_fn: [CtlNetId; 6] = std::array::from_fn(|i| {
+        b.ff_spec(
+            format!("cir_fn{i}"),
+            ir_fn[i],
+            pipe_spec,
+            Some(not_stall),
+            Some(squash),
+        )
+    });
+
+    // ---- ID: two-level PLA decode -------------------------------------------
+    let mut pla = OrPlanes::new();
+    for op in ALL_OPCODES {
+        let is = recognizer(&mut b, &cir_op, &cir_fn, op);
+        pla.accumulate(is, &lines_for(op));
+    }
+    let dec = pla.reduce(&mut b);
+
+    // ---- STS inputs ----------------------------------------------------------
+    b.set_stage(s_id);
+    let sts_ld_rs1 = b.sts("sts_ld_rs1");
+    let sts_ld_rs2 = b.sts("sts_ld_rs2");
+    let sts_exdest_nz = b.sts("sts_exdest_nz");
+    b.set_stage(s_ex);
+    let sts_a_m1 = b.sts(if deep { "sts_a_m1" } else { "sts_a_mem" });
+    let sts_a_m2 = deep.then(|| b.sts("sts_a_m2"));
+    let sts_a_wb = b.sts("sts_a_wb");
+    let sts_b_m1 = b.sts(if deep { "sts_b_m1" } else { "sts_b_mem" });
+    let sts_b_m2 = deep.then(|| b.sts("sts_b_m2"));
+    let sts_b_wb = b.sts("sts_b_wb");
+    let sts_m1dest_nz = b.sts(if deep { "sts_m1dest_nz" } else { "sts_memdest_nz" });
+    let sts_m2dest_nz = deep.then(|| b.sts("sts_m2dest_nz"));
+    let sts_wbdest_nz = b.sts("sts_wbdest_nz");
+    let sts_azero = b.sts("sts_azero");
+
+    // ---- ID/EX control rank (bubbled on stall or squash) ---------------------
+    b.set_stage(s_ex);
+    let bubble = b.or(&[stall, squash]);
+    let bub_spec = FfSpec {
+        init: false,
+        has_enable: false,
+        has_clear: true,
+        clear_val: false,
+    };
+    let exff = |b: &mut CtlBuilder, name: &str, dsig: CtlNetId| {
+        b.ff_spec(format!("ex_{name}"), dsig, bub_spec, None, Some(bubble))
+    };
+    let ex_alu: [CtlNetId; 4] =
+        std::array::from_fn(|i| exff(&mut b, &format!("alu{i}"), dec[line::ALU0 + i]));
+    let ex_alu_b_imm = exff(&mut b, "alu_b_imm", dec[line::ALU_B_IMM]);
+    let ex_is_load = exff(&mut b, "is_load", dec[line::IS_LOAD]);
+    let ex_is_store = exff(&mut b, "is_store", dec[line::IS_STORE]);
+    let ex_is_branch = exff(&mut b, "is_branch", dec[line::IS_BRANCH]);
+    let ex_br_on_zero = exff(&mut b, "br_on_zero", dec[line::BR_ON_ZERO]);
+    let ex_is_jimm = exff(&mut b, "is_jimm", dec[line::IS_JIMM]);
+    let ex_is_jreg = exff(&mut b, "is_jreg", dec[line::IS_JREG]);
+    let ex_writes_reg = exff(&mut b, "writes_reg", dec[line::WRITES_REG]);
+    let ex_st: [CtlNetId; 2] =
+        std::array::from_fn(|i| exff(&mut b, &format!("st{i}"), dec[line::ST0 + i]));
+    let ex_ld: [CtlNetId; 3] =
+        std::array::from_fn(|i| exff(&mut b, &format!("ld{i}"), dec[line::LD0 + i]));
+    // The shallow variant pipes both write-back select bits; the deep one
+    // merges the load into `m2_val` in MEM2 (steered by its own load bit)
+    // and only pipes the link bit onward.
+    let ex_wb: Vec<CtlNetId> = if deep {
+        vec![exff(&mut b, "wb_link", dec[line::WB1])]
+    } else {
+        vec![
+            exff(&mut b, "wb0", dec[line::WB0]),
+            exff(&mut b, "wb1", dec[line::WB1]),
+        ]
+    };
+
+    // ---- EX/M control rank ----------------------------------------------------
+    b.set_stage(s_m1);
+    let m1_is_load = b.ff(format!("{mp}_is_load"), ex_is_load, false);
+    let m1_is_store = b.ff(format!("{mp}_is_store"), ex_is_store, false);
+    let m1_writes_reg = b.ff(format!("{mp}_writes_reg"), ex_writes_reg, false);
+    let m1_st: [CtlNetId; 2] =
+        std::array::from_fn(|i| b.ff(format!("{mp}_st{i}"), ex_st[i], false));
+    let m1_ld: [CtlNetId; 3] =
+        std::array::from_fn(|i| b.ff(format!("{mp}_ld{i}"), ex_ld[i], false));
+    let m1_wb: Vec<CtlNetId> = if deep {
+        vec![b.ff("m1_wb_link", ex_wb[0], false)]
+    } else {
+        vec![
+            b.ff("mem_wb0", ex_wb[0], false),
+            b.ff("mem_wb1", ex_wb[1], false),
+        ]
+    };
+
+    // ---- M1/M2 control rank (deep only) ---------------------------------------
+    let (m2_is_load, m2_writes_reg, m2_wb_link, m2_ld) = if deep {
+        b.set_stage(s_m2);
+        let m2_is_load = b.ff("m2_is_load", m1_is_load, false);
+        let m2_writes_reg = b.ff("m2_writes_reg", m1_writes_reg, false);
+        let m2_wb_link = b.ff("m2_wb_link", m1_wb[0], false);
+        let m2_ld: [CtlNetId; 3] =
+            std::array::from_fn(|i| b.ff(format!("m2_ld{i}"), m1_ld[i], false));
+        (
+            Some(m2_is_load),
+            Some(m2_writes_reg),
+            Some(m2_wb_link),
+            Some(m2_ld),
+        )
+    } else {
+        (None, None, None, None)
+    };
+
+    // ---- Final control rank (WB) ----------------------------------------------
+    b.set_stage(s_wb);
+    let (wb_writes_reg, wb_sel);
+    if deep {
+        wb_writes_reg = b.ff(
+            "wb_writes_reg",
+            m2_writes_reg.expect("deep variant has m2 rank"),
+            false,
+        );
+        let wb_link = b.ff(
+            "wb_link",
+            m2_wb_link.expect("deep variant has m2 rank"),
+            false,
+        );
+        wb_sel = vec![wb_link];
+    } else {
+        wb_writes_reg = b.ff("wb_writes_reg", m1_writes_reg, false);
+        wb_sel = vec![
+            b.ff("wb_wb0", m1_wb[0], false),
+            b.ff("wb_wb1", m1_wb[1], false),
+        ];
+    }
+
+    // ---- EX: transfer resolution -----------------------------------------------
+    b.set_stage(s_ex);
+    let cond = b.xor(&[ex_br_on_zero, sts_azero]);
+    let ncond = b.not(cond);
+    let br_taken = b.and(&[ex_is_branch, ncond]);
+    let taken = b.or(&[br_taken, ex_is_jimm, ex_is_jreg]);
+    b.drive_buf(squash, taken);
+    let pc_sel0 = b.or(&[br_taken, ex_is_jimm]);
+    let pc_sel1 = ex_is_jreg;
+
+    // ---- ID: load-use interlock --------------------------------------------------
+    let use1 = b.and(&[dec[line::USES_RS1], sts_ld_rs1]);
+    let use2 = b.and(&[dec[line::USES_RS2], sts_ld_rs2]);
+    let any_use = b.or(&[use1, use2]);
+    let stall_val = b.and(&[ex_is_load, sts_exdest_nz, any_use]);
+    b.drive_buf(stall, stall_val);
+
+    // ---- EX: forwarding selects ---------------------------------------------------
+    let nload_m1 = b.not(m1_is_load);
+    let fwd_a_m1 = b.and(&[sts_a_m1, sts_m1dest_nz, m1_writes_reg, nload_m1]);
+    let fwd_b_m1 = b.and(&[sts_b_m1, sts_m1dest_nz, m1_writes_reg, nload_m1]);
+    let (fwd_a_m2, fwd_b_m2) = if deep {
+        let sa = sts_a_m2.expect("deep variant has m2 comparators");
+        let sb = sts_b_m2.expect("deep variant has m2 comparators");
+        let snz = sts_m2dest_nz.expect("deep variant has m2 comparators");
+        let wr = m2_writes_reg.expect("deep variant has m2 rank");
+        (
+            Some(b.and(&[sa, snz, wr])),
+            Some(b.and(&[sb, snz, wr])),
+        )
+    } else {
+        (None, None)
+    };
+    let fwd_a_wb = b.and(&[sts_a_wb, sts_wbdest_nz, wb_writes_reg]);
+    let fwd_b_wb = b.and(&[sts_b_wb, sts_wbdest_nz, wb_writes_reg]);
+
+    // ---- Canonical output and status vectors ---------------------------------------
+    let mut ctrl = vec![not_stall]; // c_pc_en
+    if deep {
+        ctrl.push(not_stall); // c_if2_en
+    }
+    ctrl.push(not_stall); // c_ifid_en
+    ctrl.extend([pc_sel0, pc_sel1]);
+    ctrl.extend([dec[line::IMM0], dec[line::IMM1]]);
+    ctrl.extend([dec[line::DEST0], dec[line::DEST1]]);
+    ctrl.push(fwd_a_m1);
+    if let Some(n) = fwd_a_m2 {
+        ctrl.push(n);
+    }
+    ctrl.push(fwd_a_wb);
+    ctrl.push(fwd_b_m1);
+    if let Some(n) = fwd_b_m2 {
+        ctrl.push(n);
+    }
+    ctrl.push(fwd_b_wb);
+    ctrl.extend([ex_alu[0], ex_alu[1], ex_alu[2], ex_alu[3], ex_alu_b_imm]);
+    ctrl.extend([m1_is_store, m1_st[0], m1_st[1]]);
+    if deep {
+        let ld = m2_ld.expect("deep variant has m2 rank");
+        ctrl.extend([ld[0], ld[1], ld[2]]);
+        ctrl.push(m2_is_load.expect("deep variant has m2 rank")); // c_m2_ld
+    } else {
+        ctrl.extend([m1_ld[0], m1_ld[1], m1_ld[2]]);
+    }
+    ctrl.push(wb_writes_reg); // c_rf_we
+    ctrl.extend(wb_sel.iter().copied());
+
+    let mut sts = vec![sts_ld_rs1, sts_ld_rs2, sts_exdest_nz, sts_a_m1];
+    if let Some(n) = sts_a_m2 {
+        sts.push(n);
+    }
+    sts.push(sts_a_wb);
+    sts.push(sts_b_m1);
+    if let Some(n) = sts_b_m2 {
+        sts.push(n);
+    }
+    sts.push(sts_b_wb);
+    sts.push(sts_m1dest_nz);
+    if let Some(n) = sts_m2dest_nz {
+        sts.push(n);
+    }
+    sts.push(sts_wbdest_nz);
+    sts.push(sts_azero);
+
+    for &n in &ctrl {
+        b.mark_ctrl_output(n);
+    }
+    let mut tertiary = vec![stall, squash, pc_sel0, pc_sel1, fwd_a_m1];
+    if let Some(n) = fwd_a_m2 {
+        tertiary.push(n);
+    }
+    tertiary.push(fwd_a_wb);
+    tertiary.push(fwd_b_m1);
+    if let Some(n) = fwd_b_m2 {
+        tertiary.push(n);
+    }
+    tertiary.push(fwd_b_wb);
+    for t in tertiary {
+        b.mark_tertiary(t);
+    }
+
+    let handles = CtlHandles {
+        cpi_op,
+        cpi_fn,
+        stall,
+        squash,
+        ctrl,
+        sts,
+    };
+    let nl = b.finish().expect("rv32 controller is structurally valid");
+    (nl, handles)
+}

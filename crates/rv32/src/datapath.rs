@@ -1,0 +1,500 @@
+//! The rv32 word-level datapath, in the typed netlist-builder DSL.
+//!
+//! One construction serves both variants:
+//!
+//! * **shallow** (`rv32`, 5 stages `IF/ID/EX/MEM/WB`) — a classic
+//!   RISC-style pipeline that differs from the DLX build in its bypass
+//!   network: instead of one 4-way mux per operand, each operand runs
+//!   through a *cascade* of 2-way muxes (WB source innermost, memory-rank
+//!   source outermost), so nearest-producer priority is a property of the
+//!   wiring rather than of the controller equations.
+//! * **deep** (`rv32-7`, 7 stages `IF1/IF2/ID/EX/MEM1/MEM2/WB`) — the
+//!   same core with a buffered fetch and a two-stage memory access, built
+//!   to stress pipeframe scaling in the test generator.
+//!
+//! The deep fetch buffers the *instruction word* (`if2_ir`), never the
+//! fetch address: the instruction-memory read stays combinational from
+//! `pc` in stage 0, preserving the generator's CPI contract that the
+//! instruction bits of pipeframe *f* appear on the `instr` bus at cycle
+//! *f*.
+//!
+//! The deep memory split performs addressing, the store and the raw word
+//! read in MEM1, then byte/half extraction in MEM2; `m2_val` merges the
+//! ALU result and the extracted load early so younger stages forward one
+//! bus per rank.
+
+use crate::geom;
+use hltg_netlist::builder::{BuildError, DpDsl};
+use hltg_netlist::dp::{ArchId, DpNetId, DpNetlist, DpOp};
+use hltg_netlist::Stage;
+
+/// Handles to the externally meaningful datapath nets.
+///
+/// Variant-dependent groups are `Vec`s ordered **nearest producer
+/// first** (the controller builds its vectors in the same canonical
+/// order; `build.rs` zips them into binds):
+///
+/// * `ctrl` — the CTRL input nets, in canonical bind order;
+/// * `sts` — the status outputs, in canonical bind order;
+/// * `pc_family` — every bus carrying a pc derivative.
+#[derive(Debug, Clone)]
+#[allow(missing_docs)] // field names mirror the hardware signal names
+pub struct DpHandles {
+    pub imem: ArchId,
+    pub dmem: ArchId,
+    pub gpr: ArchId,
+    pub pc: DpNetId,
+    pub instr: DpNetId,
+    pub b_raw: DpNetId,
+    pub a_fwd: DpNetId,
+    pub byp_a: DpNetId,
+    pub byp_b: DpNetId,
+    pub wb_value: DpNetId,
+    /// The two pc-redirect selects (`c_pc_sel0`, `c_pc_sel1`).
+    pub c_pc_sel: [DpNetId; 2],
+    /// The CTRL input that routes `pc+4` to the register file in WB
+    /// (`c_wb_sel1` shallow, `c_wb_link` deep).
+    pub wb_link: DpNetId,
+    pub pc_family: Vec<DpNetId>,
+    /// CTRL inputs in canonical bind order (26 shallow, 29 deep).
+    pub ctrl: Vec<DpNetId>,
+    /// Status outputs in canonical bind order (10 shallow, 13 deep).
+    pub sts: Vec<DpNetId>,
+}
+
+/// Builds the datapath for the shallow (`deep == false`) or deep
+/// (`deep == true`) variant.
+///
+/// # Panics
+///
+/// Panics only on internal construction bugs; the returned netlist has
+/// been validated by the DSL.
+#[must_use]
+pub fn build_datapath(deep: bool) -> (DpNetlist, DpHandles) {
+    try_build(deep).expect("rv32 datapath is structurally valid")
+}
+
+#[allow(clippy::too_many_lines)] // one linear hardware description
+fn try_build(deep: bool) -> Result<(DpNetlist, DpHandles), BuildError> {
+    let g = geom(deep);
+    let mut d = DpDsl::new(if deep { "rv32_7_dp" } else { "rv32_dp" });
+    let s_if = Stage::new(0);
+    let s_id = Stage::new(g.id);
+    let s_ex = Stage::new(g.ex);
+    let s_m1 = Stage::new(g.m1);
+    let s_m2 = Stage::new(g.m2);
+    let s_wb = Stage::new(g.wb);
+    // Memory-rank naming: the shallow variant's single memory stage keeps
+    // the classical "mem" vocabulary; the deep variant numbers its halves.
+    let nm = |deep_name: &'static str, shallow_name: &'static str| {
+        if deep {
+            deep_name
+        } else {
+            shallow_name
+        }
+    };
+
+    // ---- Architectural state ---------------------------------------------
+    let imem = d.arch_mem("imem", 32)?;
+    let dmem = d.arch_mem("dmem", 32)?;
+    let gpr = d.arch_regfile("gpr", 32, 32, true)?;
+
+    // ---- IF1: fetch -------------------------------------------------------
+    let mut s = d.stage(s_if);
+    let c_pc_en = s.ctrl("c_pc_en")?;
+    let c_pc_sel = s.ctrl_bus::<2>("c_pc_sel")?;
+    let next_pc = s.wire("next_pc", 32)?;
+    let pc = s.wire("pc", 32)?;
+    s.drive_reg_en(pc, "pc_reg", next_pc, c_pc_en)?;
+    let four = s.constant("k4", 32, 4)?;
+    let pc_plus4 = s.add("pc_plus4", pc, four)?;
+    let fetch_addr = s.slice("fetch_addr", pc, 2, 30)?;
+    let instr = s.mem_read("ifetch", imem, fetch_addr)?;
+    let br_target = s.wire("br_target", 32)?;
+    let a_fwd = s.wire("a_fwd", 32)?;
+    s.drive_mux(
+        next_pc,
+        "pc_mux",
+        &c_pc_sel,
+        &[pc_plus4, br_target, a_fwd, pc_plus4],
+    )?;
+
+    // ---- IF2: fetch buffer (deep only) ------------------------------------
+    // Registers the fetched *word*, not the address — see module docs.
+    let (id_ir, id_pc4, c_if2_en, if2_pc4) = if deep {
+        let mut s = d.stage(Stage::new(1));
+        let c_if2_en = s.ctrl("c_if2_en")?;
+        let if2_ir = s.reg_en("if2_ir", instr, c_if2_en)?;
+        let if2_pc4 = s.reg_en("if2_pc4", pc_plus4, c_if2_en)?;
+        (if2_ir, if2_pc4, Some(c_if2_en), Some(if2_pc4))
+    } else {
+        (instr, pc_plus4, None, None)
+    };
+
+    // ---- IF/ID ------------------------------------------------------------
+    let mut s = d.stage(s_id);
+    let c_ifid_en = s.ctrl("c_ifid_en")?;
+    let ifid_ir = s.reg_en("ifid_ir", id_ir, c_ifid_en)?;
+    let ifid_pc4 = s.reg_en("ifid_pc4", id_pc4, c_ifid_en)?;
+
+    // Forward references to younger-rank nets consumed upstream.
+    let mut s = d.stage(s_ex);
+    let exm_alu = s.wire("exm_alu", 32)?;
+    let exm_dest = s.wire("exm_dest", 5)?;
+    let (m1m2_dest, m2_val) = if deep {
+        let mut s = d.stage(s_m2);
+        (
+            Some(s.wire("m1m2_dest", 5)?),
+            Some(s.wire("m2_val", 32)?),
+        )
+    } else {
+        (None, None)
+    };
+    let mut s = d.stage(s_wb);
+    let wb_dest = s.wire(nm("m2wb_dest", "memwb_dest"), 5)?;
+    let wb_value = s.wire("wb_value", 32)?;
+    let c_rf_we = s.ctrl("c_rf_we")?;
+
+    // ---- ID: fields, register read, write-through bypass, immediates ------
+    let mut s = d.stage(s_id);
+    let f_rs1 = s.slice("f_rs1", ifid_ir, 21, 5)?;
+    let f_rs2 = s.slice("f_rs2", ifid_ir, 16, 5)?;
+    let f_rd = s.slice("f_rd", ifid_ir, 11, 5)?;
+    let imm16 = s.slice("imm16", ifid_ir, 0, 16)?;
+    let imm26 = s.slice("imm26", ifid_ir, 0, 26)?;
+    let a_raw = s.rf_read("rf_a", gpr, f_rs1)?;
+    let b_raw = s.rf_read("rf_b", gpr, f_rs2)?;
+    let k5_0 = s.constant("k5_0", 5, 0)?;
+    let s_wbdest_nz = s.ne("s_wbdest_nz", wb_dest, k5_0)?;
+    let eq_a_wb_id = s.eq("eq_a_wb_id", f_rs1, wb_dest)?;
+    let eq_b_wb_id = s.eq("eq_b_wb_id", f_rs2, wb_dest)?;
+    let byp_a_pre = s.and("byp_a_pre", eq_a_wb_id, s_wbdest_nz)?;
+    let byp_a = s.and("byp_a", byp_a_pre, c_rf_we)?;
+    let byp_b_pre = s.and("byp_b_pre", eq_b_wb_id, s_wbdest_nz)?;
+    let byp_b = s.and("byp_b", byp_b_pre, c_rf_we)?;
+    let a_val = s.mux("a_val", &[byp_a], &[a_raw, wb_value])?;
+    let b_val = s.mux("b_val", &[byp_b], &[b_raw, wb_value])?;
+    let imm_sext = s.sign_ext("imm_sext", imm16, 32)?;
+    let imm_zext = s.zero_ext("imm_zext", imm16, 32)?;
+    let k16_0 = s.constant("k16_0", 16, 0)?;
+    let imm_lhi = s.concat("imm_lhi", &[k16_0, imm16])?;
+    let imm_j = s.sign_ext("imm_j", imm26, 32)?;
+    let c_imm_sel = s.ctrl_bus::<2>("c_imm_sel")?;
+    let imm_val = s.mux("imm_val", &c_imm_sel, &[imm_sext, imm_zext, imm_lhi, imm_j])?;
+    let k31 = s.constant("k31", 5, 31)?;
+    let c_dest_sel = s.ctrl_bus::<2>("c_dest_sel")?;
+    let dest = s.mux("dest", &c_dest_sel, &[f_rs2, f_rd, k31, f_rs2])?;
+
+    // ---- ID/EX ------------------------------------------------------------
+    let mut s = d.stage(s_ex);
+    let idex_a = s.reg("idex_a", a_val)?;
+    let idex_b = s.reg("idex_b", b_val)?;
+    let idex_imm = s.reg("idex_imm", imm_val)?;
+    let idex_pc4 = s.reg("idex_pc4", ifid_pc4)?;
+    let idex_rs1 = s.reg("idex_rs1", f_rs1)?;
+    let idex_rs2 = s.reg("idex_rs2", f_rs2)?;
+    let idex_dest = s.reg("idex_dest", dest)?;
+
+    // Load-use hazard comparators: ID-stage nets reading ID/EX state.
+    let mut s = d.stage(s_id);
+    let s_ld_rs1 = s.eq("s_ld_rs1", f_rs1, idex_dest)?;
+    let s_ld_rs2 = s.eq("s_ld_rs2", f_rs2, idex_dest)?;
+    let s_exdest_nz = s.ne("s_exdest_nz", idex_dest, k5_0)?;
+
+    // ---- EX: bypass cascade ------------------------------------------------
+    // Innermost mux takes the farthest producer (WB); each closer rank
+    // wraps it, so when several selects assert, the youngest value wins.
+    let mut s = d.stage(s_ex);
+    let c_fwd_a_wb = s.ctrl("c_fwd_a_wb")?;
+    let c_fwd_b_wb = s.ctrl("c_fwd_b_wb")?;
+    let a_x1 = s.mux("a_wbfwd", &[c_fwd_a_wb], &[idex_a, wb_value])?;
+    let b_x1 = s.mux("b_wbfwd", &[c_fwd_b_wb], &[idex_b, wb_value])?;
+    let (a_xm, b_xm, c_fwd_a_m2, c_fwd_b_m2) = if deep {
+        let c_fwd_a_m2 = s.ctrl("c_fwd_a_m2")?;
+        let c_fwd_b_m2 = s.ctrl("c_fwd_b_m2")?;
+        let m2v = m2_val.expect("deep variant has m2_val");
+        let a_x2 = s.mux("a_m2fwd", &[c_fwd_a_m2], &[a_x1, m2v])?;
+        let b_x2 = s.mux("b_m2fwd", &[c_fwd_b_m2], &[b_x1, m2v])?;
+        (a_x2, b_x2, Some(c_fwd_a_m2), Some(c_fwd_b_m2))
+    } else {
+        (a_x1, b_x1, None, None)
+    };
+    let c_fwd_a_m1 = s.ctrl(nm("c_fwd_a_m1", "c_fwd_a_mem"))?;
+    let c_fwd_b_m1 = s.ctrl(nm("c_fwd_b_m1", "c_fwd_b_mem"))?;
+    s.drive_mux(a_fwd, "a_fwd_mux", &[c_fwd_a_m1], &[a_xm, exm_alu])?;
+    let b_fwd = s.mux("b_fwd", &[c_fwd_b_m1], &[b_xm, exm_alu])?;
+
+    // Bypass comparators (status signals steering the cascade).
+    let s_a_m1 = s.eq(nm("s_a_m1", "s_a_mem"), idex_rs1, exm_dest)?;
+    let s_b_m1 = s.eq(nm("s_b_m1", "s_b_mem"), idex_rs2, exm_dest)?;
+    let (s_a_m2, s_b_m2, s_m2dest_nz) = if deep {
+        let m1m2d = m1m2_dest.expect("deep variant has m1m2_dest");
+        (
+            Some(s.eq("s_a_m2", idex_rs1, m1m2d)?),
+            Some(s.eq("s_b_m2", idex_rs2, m1m2d)?),
+            Some(s.ne("s_m2dest_nz", m1m2d, k5_0)?),
+        )
+    } else {
+        (None, None, None)
+    };
+    let s_a_wb = s.eq("s_a_wb", idex_rs1, wb_dest)?;
+    let s_b_wb = s.eq("s_b_wb", idex_rs2, wb_dest)?;
+    let s_m1dest_nz = s.ne(nm("s_m1dest_nz", "s_memdest_nz"), exm_dest, k5_0)?;
+
+    // ---- EX: ALU -----------------------------------------------------------
+    let c_alu = s.ctrl_bus::<4>("c_alu")?;
+    let c_alu_b_imm = s.ctrl("c_alu_b_imm")?;
+    let op_b = s.mux("op_b", &[c_alu_b_imm], &[b_fwd, idex_imm])?;
+    let shamt = s.slice("shamt", op_b, 0, 5)?;
+    let alu_add = s.add("alu_add", a_fwd, op_b)?;
+    let alu_sub = s.sub("alu_sub", a_fwd, op_b)?;
+    let alu_and = s.and("alu_and", a_fwd, op_b)?;
+    let alu_or = s.or("alu_or", a_fwd, op_b)?;
+    let alu_xor = s.xor("alu_xor", a_fwd, op_b)?;
+    let alu_sll = s.shift("alu_sll", DpOp::Sll, a_fwd, shamt)?;
+    let alu_srl = s.shift("alu_srl", DpOp::Srl, a_fwd, shamt)?;
+    let alu_sra = s.shift("alu_sra", DpOp::Sra, a_fwd, shamt)?;
+    let p_seq = s.eq("p_seq", a_fwd, op_b)?;
+    let p_sne = s.ne("p_sne", a_fwd, op_b)?;
+    let p_slt = s.predicate("p_slt", DpOp::Lt, a_fwd, op_b)?;
+    let p_sgt = s.predicate("p_sgt", DpOp::Gt, a_fwd, op_b)?;
+    let p_sle = s.predicate("p_sle", DpOp::Le, a_fwd, op_b)?;
+    let p_sge = s.predicate("p_sge", DpOp::Ge, a_fwd, op_b)?;
+    let set_seq = s.zero_ext("set_seq", p_seq, 32)?;
+    let set_sne = s.zero_ext("set_sne", p_sne, 32)?;
+    let set_slt = s.zero_ext("set_slt", p_slt, 32)?;
+    let set_sgt = s.zero_ext("set_sgt", p_sgt, 32)?;
+    let set_sle = s.zero_ext("set_sle", p_sle, 32)?;
+    let set_sge = s.zero_ext("set_sge", p_sge, 32)?;
+    let alu_out = s.mux(
+        "alu_out",
+        &c_alu,
+        &[
+            alu_add, alu_sub, alu_and, alu_or, alu_xor, alu_sll, alu_srl, alu_sra, set_seq,
+            set_sne, set_slt, set_sgt, set_sle, set_sge, alu_add, alu_add,
+        ],
+    )?;
+
+    // Branch condition and target.
+    let k32_0 = s.constant("k32_0", 32, 0)?;
+    let s_azero = s.eq("s_azero", a_fwd, k32_0)?;
+    s.drive_add(br_target, "br_adder", idex_pc4, idex_imm)?;
+
+    // ---- EX/M rank + first memory stage ------------------------------------
+    let mut s = d.stage(s_m1);
+    s.drive_reg(exm_alu, "exm_alu_reg", alu_out)?;
+    let exm_b = s.reg("exm_b", b_fwd)?;
+    let exm_pc4 = s.reg("exm_pc4", idex_pc4)?;
+    s.drive_reg(exm_dest, "exm_dest_reg", idex_dest)?;
+
+    // Addressing, store alignment and the raw word read all happen here
+    // in both variants.
+    let dmem_addr = s.slice("dmem_addr", exm_alu, 2, 30)?;
+    let a0 = s.slice("a0", exm_alu, 0, 1)?;
+    let a1 = s.slice("a1", exm_alu, 1, 1)?;
+    let lmd_word = s.mem_read("dload", dmem, dmem_addr)?;
+    let k5_8 = s.constant("k5_8", 5, 8)?;
+    let k5_16 = s.constant("k5_16", 5, 16)?;
+    let k5_24 = s.constant("k5_24", 5, 24)?;
+    let b_sh8 = s.shift("b_sh8", DpOp::Sll, exm_b, k5_8)?;
+    let b_sh16 = s.shift("b_sh16", DpOp::Sll, exm_b, k5_16)?;
+    let b_sh24 = s.shift("b_sh24", DpOp::Sll, exm_b, k5_24)?;
+    let sh_data = s.mux("sh_data", &[a1], &[exm_b, b_sh16])?;
+    let sb_data = s.mux("sb_data", &[a0, a1], &[exm_b, b_sh8, b_sh16, b_sh24])?;
+    let c_st_sel = s.ctrl_bus::<2>("c_st_sel")?;
+    let store_data = s.mux("store_data", &c_st_sel, &[exm_b, sh_data, sb_data, exm_b])?;
+    let m_1111 = s.constant("m_1111", 4, 0b1111)?;
+    let m_0011 = s.constant("m_0011", 4, 0b0011)?;
+    let m_1100 = s.constant("m_1100", 4, 0b1100)?;
+    let m_0001 = s.constant("m_0001", 4, 0b0001)?;
+    let m_0010 = s.constant("m_0010", 4, 0b0010)?;
+    let m_0100 = s.constant("m_0100", 4, 0b0100)?;
+    let m_1000 = s.constant("m_1000", 4, 0b1000)?;
+    let sh_mask = s.mux("sh_mask", &[a1], &[m_0011, m_1100])?;
+    let sb_mask = s.mux("sb_mask", &[a0, a1], &[m_0001, m_0010, m_0100, m_1000])?;
+    let store_mask = s.mux("store_mask", &c_st_sel, &[m_1111, sh_mask, sb_mask, m_1111])?;
+    let c_mem_we = s.ctrl("c_mem_we")?;
+    s.mem_write("dstore", dmem, dmem_addr, store_data, store_mask, c_mem_we)?;
+
+    // Load byte/half extraction, shared helper for whichever stage owns
+    // it (MEM shallow, MEM2 deep).
+    let extract = |s: &mut hltg_netlist::builder::StageDsl<'_>,
+                   word: hltg_netlist::builder::Signal,
+                   la0: hltg_netlist::builder::Signal,
+                   la1: hltg_netlist::builder::Signal,
+                   c_ld_sel: &[hltg_netlist::builder::Signal; 3]|
+     -> Result<hltg_netlist::builder::Signal, BuildError> {
+        let b0 = s.slice("lmd_b0", word, 0, 8)?;
+        let b1 = s.slice("lmd_b1", word, 8, 8)?;
+        let b2 = s.slice("lmd_b2", word, 16, 8)?;
+        let b3 = s.slice("lmd_b3", word, 24, 8)?;
+        let byte = s.mux("lmd_byte", &[la0, la1], &[b0, b1, b2, b3])?;
+        let h0 = s.slice("lmd_h0", word, 0, 16)?;
+        let h1 = s.slice("lmd_h1", word, 16, 16)?;
+        let half = s.mux("lmd_half", &[la1], &[h0, h1])?;
+        let byte_s = s.sign_ext("byte_s", byte, 32)?;
+        let byte_z = s.zero_ext("byte_z", byte, 32)?;
+        let half_s = s.sign_ext("half_s", half, 32)?;
+        let half_z = s.zero_ext("half_z", half, 32)?;
+        s.mux(
+            "load_val",
+            c_ld_sel,
+            &[word, byte_s, byte_z, half_s, half_z, word, word, word],
+        )
+    };
+
+    // ---- Back half: one memory stage (shallow) or two (deep) ---------------
+    let (wb_link_net, c_m2_ld, late_pc4, c_ld_sel_sigs, c_wb_sel_sigs);
+    if deep {
+        // M1/M2 rank.
+        let a10 = s.slice("a10", exm_alu, 0, 2)?;
+        let mut s = d.stage(s_m2);
+        let m1m2_lmd = s.reg("m1m2_lmd", lmd_word)?;
+        let m1m2_alu = s.reg("m1m2_alu", exm_alu)?;
+        let m1m2_pc4 = s.reg("m1m2_pc4", exm_pc4)?;
+        let m1m2_a10 = s.reg("m1m2_a10", a10)?;
+        let m1m2d = m1m2_dest.expect("deep variant has m1m2_dest");
+        s.drive_reg(m1m2d, "m1m2_dest_reg", exm_dest)?;
+
+        // MEM2: extraction and the early ALU/load merge.
+        let la0 = s.slice("la0", m1m2_a10, 0, 1)?;
+        let la1 = s.slice("la1", m1m2_a10, 1, 1)?;
+        let c_ld_sel = s.ctrl_bus::<3>("c_ld_sel")?;
+        let load_val = extract(&mut s, m1m2_lmd, la0, la1, &c_ld_sel)?;
+        let c_m2_ld_sig = s.ctrl("c_m2_ld")?;
+        let m2v = m2_val.expect("deep variant has m2_val");
+        s.drive_mux(m2v, "m2_val_mux", &[c_m2_ld_sig], &[m1m2_alu, load_val])?;
+
+        // M2/WB rank and write-back.
+        let mut s = d.stage(s_wb);
+        let m2wb_val = s.reg("m2wb_val", m2v)?;
+        let m2wb_pc4 = s.reg("m2wb_pc4", m1m2_pc4)?;
+        s.drive_reg(wb_dest, "m2wb_dest_reg", m1m2d)?;
+        let c_wb_link = s.ctrl("c_wb_link")?;
+        s.drive_mux(wb_value, "wb_mux", &[c_wb_link], &[m2wb_val, m2wb_pc4])?;
+        s.rf_write("rf_wr", gpr, wb_dest, wb_value, c_rf_we)?;
+
+        wb_link_net = c_wb_link;
+        c_m2_ld = Some(c_m2_ld_sig);
+        late_pc4 = vec![m1m2_pc4, m2wb_pc4];
+        c_ld_sel_sigs = c_ld_sel;
+        c_wb_sel_sigs = vec![c_wb_link];
+    } else {
+        // Shallow: extraction in the same MEM stage.
+        let c_ld_sel = s.ctrl_bus::<3>("c_ld_sel")?;
+        let load_val = extract(&mut s, lmd_word, a0, a1, &c_ld_sel)?;
+
+        // MEM/WB rank and write-back.
+        let mut s = d.stage(s_wb);
+        let memwb_alu = s.reg("memwb_alu", exm_alu)?;
+        let memwb_lmd = s.reg("memwb_lmd", load_val)?;
+        let memwb_pc4 = s.reg("memwb_pc4", exm_pc4)?;
+        s.drive_reg(wb_dest, "memwb_dest_reg", exm_dest)?;
+        let c_wb_sel = s.ctrl_bus::<2>("c_wb_sel")?;
+        s.drive_mux(
+            wb_value,
+            "wb_mux",
+            &c_wb_sel,
+            &[memwb_alu, memwb_lmd, memwb_pc4, memwb_alu],
+        )?;
+        s.rf_write("rf_wr", gpr, wb_dest, wb_value, c_rf_we)?;
+
+        wb_link_net = c_wb_sel[1];
+        c_m2_ld = None;
+        late_pc4 = vec![memwb_pc4];
+        c_ld_sel_sigs = c_ld_sel;
+        c_wb_sel_sigs = vec![c_wb_sel[0], c_wb_sel[1]];
+    }
+
+    // ---- Observables and status --------------------------------------------
+    for o in [
+        pc, dmem_addr, store_data, store_mask, c_mem_we, wb_dest, wb_value, c_rf_we,
+    ] {
+        d.mark_output(o);
+    }
+
+    // Canonical status order: hazard detectors, then A-operand bypass
+    // comparators nearest-first, B likewise, dest-nonzero predicates
+    // nearest-first, and the zero flag last.
+    let mut sts_sigs = vec![s_ld_rs1, s_ld_rs2, s_exdest_nz, s_a_m1];
+    if let Some(n) = s_a_m2 {
+        sts_sigs.push(n);
+    }
+    sts_sigs.push(s_a_wb);
+    sts_sigs.push(s_b_m1);
+    if let Some(n) = s_b_m2 {
+        sts_sigs.push(n);
+    }
+    sts_sigs.push(s_b_wb);
+    sts_sigs.push(s_m1dest_nz);
+    if let Some(n) = s_m2dest_nz {
+        sts_sigs.push(n);
+    }
+    sts_sigs.push(s_wbdest_nz);
+    sts_sigs.push(s_azero);
+    for &n in &sts_sigs {
+        d.mark_status(n)?;
+    }
+
+    // Canonical CTRL order (mirrored by the controller and zipped into
+    // binds by `build.rs`): fetch enables, pc redirect, decode selects,
+    // bypass selects (A nearest-first then B), ALU, memory, write-back.
+    let mut ctrl_sigs = vec![c_pc_en];
+    if let Some(n) = c_if2_en {
+        ctrl_sigs.push(n);
+    }
+    ctrl_sigs.extend([c_ifid_en, c_pc_sel[0], c_pc_sel[1]]);
+    ctrl_sigs.extend([c_imm_sel[0], c_imm_sel[1], c_dest_sel[0], c_dest_sel[1]]);
+    ctrl_sigs.push(c_fwd_a_m1);
+    if let Some(n) = c_fwd_a_m2 {
+        ctrl_sigs.push(n);
+    }
+    ctrl_sigs.push(c_fwd_a_wb);
+    ctrl_sigs.push(c_fwd_b_m1);
+    if let Some(n) = c_fwd_b_m2 {
+        ctrl_sigs.push(n);
+    }
+    ctrl_sigs.push(c_fwd_b_wb);
+    ctrl_sigs.extend([c_alu[0], c_alu[1], c_alu[2], c_alu[3], c_alu_b_imm]);
+    ctrl_sigs.extend([c_mem_we, c_st_sel[0], c_st_sel[1]]);
+    ctrl_sigs.extend([c_ld_sel_sigs[0], c_ld_sel_sigs[1], c_ld_sel_sigs[2]]);
+    if let Some(n) = c_m2_ld {
+        ctrl_sigs.push(n);
+    }
+    ctrl_sigs.push(c_rf_we);
+    ctrl_sigs.extend(c_wb_sel_sigs.iter().copied());
+
+    let mut pc_family = vec![
+        pc.id(),
+        pc_plus4.id(),
+        next_pc.id(),
+    ];
+    if let Some(n) = if2_pc4 {
+        pc_family.push(n.id());
+    }
+    pc_family.push(ifid_pc4.id());
+    pc_family.push(idex_pc4.id());
+    pc_family.push(exm_pc4.id());
+    pc_family.extend(late_pc4.iter().map(|n| n.id()));
+    pc_family.push(br_target.id());
+
+    let handles = DpHandles {
+        imem,
+        dmem,
+        gpr,
+        pc: pc.id(),
+        instr: instr.id(),
+        b_raw: b_raw.id(),
+        a_fwd: a_fwd.id(),
+        byp_a: byp_a.id(),
+        byp_b: byp_b.id(),
+        wb_value: wb_value.id(),
+        c_pc_sel: [c_pc_sel[0].id(), c_pc_sel[1].id()],
+        wb_link: wb_link_net.id(),
+        pc_family,
+        ctrl: ctrl_sigs.iter().map(|n| n.id()).collect(),
+        sts: sts_sigs.iter().map(|n| n.id()).collect(),
+    };
+    let nl = d.finish()?;
+    Ok((nl, handles))
+}

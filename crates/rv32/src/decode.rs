@@ -1,0 +1,450 @@
+//! The rv32 control-line table and its PLA synthesis.
+//!
+//! Both rv32 variants decode the shared instruction-word contract (opcode
+//! bits `[31:26]`, function bits `[5:0]`) into 25 single-bit control
+//! lines. The table lives here as [`lines_for`]; [`OrPlanes`] turns the
+//! per-opcode rows into OR-planes over the one-hot recognizer outputs,
+//! which is the classic two-level PLA structure the paper's controller
+//! model assumes.
+//!
+//! This crate deliberately has no dependency on `hltg-dlx`: the decode
+//! semantics are pinned by unit tests against the [`hltg_isa::Opcode`]
+//! property methods here, and by co-simulation against
+//! [`hltg_isa::sim::ArchSim`] in `tests/cosim.rs`.
+
+use hltg_isa::Opcode;
+use hltg_netlist::ctl::{CtlBuilder, CtlNetId};
+
+/// Indices into the flattened control-line vector produced by
+/// [`OpLines::bits`] and [`OrPlanes::reduce`].
+#[allow(missing_docs)]
+pub mod line {
+    pub const IMM0: usize = 0;
+    pub const IMM1: usize = 1;
+    pub const DEST0: usize = 2;
+    pub const DEST1: usize = 3;
+    pub const ALU0: usize = 4;
+    pub const ALU1: usize = 5;
+    pub const ALU2: usize = 6;
+    pub const ALU3: usize = 7;
+    pub const ALU_B_IMM: usize = 8;
+    pub const IS_LOAD: usize = 9;
+    pub const IS_STORE: usize = 10;
+    pub const IS_BRANCH: usize = 11;
+    pub const BR_ON_ZERO: usize = 12;
+    pub const IS_JIMM: usize = 13;
+    pub const IS_JREG: usize = 14;
+    pub const WRITES_REG: usize = 15;
+    pub const WB0: usize = 16;
+    pub const WB1: usize = 17;
+    pub const ST0: usize = 18;
+    pub const ST1: usize = 19;
+    pub const LD0: usize = 20;
+    pub const LD1: usize = 21;
+    pub const LD2: usize = 22;
+    pub const USES_RS1: usize = 23;
+    pub const USES_RS2: usize = 24;
+    /// Total number of control lines.
+    pub const COUNT: usize = 25;
+}
+
+// ALU function codes, matching the 16-way result mux in the datapath.
+const ALU_ADD: u8 = 0;
+const ALU_SUB: u8 = 1;
+const ALU_AND: u8 = 2;
+const ALU_OR: u8 = 3;
+const ALU_XOR: u8 = 4;
+const ALU_SLL: u8 = 5;
+const ALU_SRL: u8 = 6;
+const ALU_SRA: u8 = 7;
+const ALU_SEQ: u8 = 8;
+const ALU_SNE: u8 = 9;
+const ALU_SLT: u8 = 10;
+const ALU_SGT: u8 = 11;
+const ALU_SLE: u8 = 12;
+const ALU_SGE: u8 = 13;
+
+// Immediate-select codes on `c_imm_sel`.
+const IMM_SEXT16: u8 = 0;
+const IMM_ZEXT16: u8 = 1;
+const IMM_LHI: u8 = 2;
+const IMM_SEXT26: u8 = 3;
+
+// Destination-select codes on `c_dest_sel` (0 = the rs2 field, the
+// I-type default).
+const DEST_RD: u8 = 1;
+const DEST_LINK: u8 = 2;
+
+// Writeback-select codes on `c_wb_sel` (0 = ALU result, the default; the
+// deep variant only pipes the high bit, its load merge happens earlier
+// on `c_m2_ld`).
+const WB_LMD: u8 = 1;
+const WB_PC4: u8 = 2;
+
+// Store- and load-alignment codes on `c_st_sel` / `c_ld_sel`.
+const ST_WORD: u8 = 0;
+const ST_HALF: u8 = 1;
+const ST_BYTE: u8 = 2;
+const LD_WORD: u8 = 0;
+const LD_BYTE_S: u8 = 1;
+const LD_BYTE_Z: u8 = 2;
+const LD_HALF_S: u8 = 3;
+const LD_HALF_Z: u8 = 4;
+
+/// One row of the control table: the values every control line takes when
+/// a given opcode sits in the decode stage. Multi-bit selects stay small
+/// integers until [`OpLines::bits`] flattens them for PLA synthesis.
+///
+/// `Default` is the all-inert row — the bubble / NOP word, and also what
+/// an all-zero instruction register decodes to (no recognizer fires).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpLines {
+    /// Immediate format: 0 sext16, 1 zext16, 2 lhi, 3 sext26.
+    pub imm_sel: u8,
+    /// Destination field: 0 rs2 slot, 1 rd slot, 2 link register r31.
+    pub dest_sel: u8,
+    /// ALU function code (see the 16-way mux in the datapath).
+    pub alu_op: u8,
+    /// ALU operand B comes from the immediate instead of the register.
+    pub alu_b_imm: bool,
+    /// The instruction reads data memory.
+    pub is_load: bool,
+    /// The instruction writes data memory.
+    pub is_store: bool,
+    /// Conditional transfer resolved in EX.
+    pub is_branch: bool,
+    /// Branch fires when operand A *is* zero (else when nonzero).
+    pub branch_on_zero: bool,
+    /// Unconditional pc-relative jump (J / JAL).
+    pub is_jimm: bool,
+    /// Unconditional register-indirect jump (JR / JALR).
+    pub is_jreg: bool,
+    /// The instruction writes the register file.
+    pub writes_reg: bool,
+    /// Writeback source: 0 ALU, 1 load data, 2 pc+4 (link).
+    pub wb_sel: u8,
+    /// Store alignment: 0 word, 1 half, 2 byte.
+    pub st_sel: u8,
+    /// Load extraction: 0 word, 1/2 byte s/z, 3/4 half s/z.
+    pub ld_sel: u8,
+    /// Decode-stage hazard check cares about rs1.
+    pub uses_rs1: bool,
+    /// Decode-stage hazard check cares about rs2.
+    pub uses_rs2: bool,
+}
+
+impl OpLines {
+    /// Flattens the row to one bool per control line, indexed by the
+    /// [`line`] constants.
+    #[must_use]
+    pub fn bits(&self) -> [bool; line::COUNT] {
+        let mut v = [false; line::COUNT];
+        v[line::IMM0] = self.imm_sel & 1 != 0;
+        v[line::IMM1] = self.imm_sel & 2 != 0;
+        v[line::DEST0] = self.dest_sel & 1 != 0;
+        v[line::DEST1] = self.dest_sel & 2 != 0;
+        v[line::ALU0] = self.alu_op & 1 != 0;
+        v[line::ALU1] = self.alu_op & 2 != 0;
+        v[line::ALU2] = self.alu_op & 4 != 0;
+        v[line::ALU3] = self.alu_op & 8 != 0;
+        v[line::ALU_B_IMM] = self.alu_b_imm;
+        v[line::IS_LOAD] = self.is_load;
+        v[line::IS_STORE] = self.is_store;
+        v[line::IS_BRANCH] = self.is_branch;
+        v[line::BR_ON_ZERO] = self.branch_on_zero;
+        v[line::IS_JIMM] = self.is_jimm;
+        v[line::IS_JREG] = self.is_jreg;
+        v[line::WRITES_REG] = self.writes_reg;
+        v[line::WB0] = self.wb_sel & 1 != 0;
+        v[line::WB1] = self.wb_sel & 2 != 0;
+        v[line::ST0] = self.st_sel & 1 != 0;
+        v[line::ST1] = self.st_sel & 2 != 0;
+        v[line::LD0] = self.ld_sel & 1 != 0;
+        v[line::LD1] = self.ld_sel & 2 != 0;
+        v[line::LD2] = self.ld_sel & 4 != 0;
+        v[line::USES_RS1] = self.uses_rs1;
+        v[line::USES_RS2] = self.uses_rs2;
+        v
+    }
+
+    fn alu_imm(mut self, alu: u8, imm: u8) -> Self {
+        self.alu_op = alu;
+        self.alu_b_imm = true;
+        self.imm_sel = imm;
+        self
+    }
+
+    fn alu_reg(mut self, alu: u8) -> Self {
+        self.alu_op = alu;
+        self.dest_sel = DEST_RD;
+        self
+    }
+}
+
+/// The control-table row for `op`.
+#[must_use]
+pub fn lines_for(op: Opcode) -> OpLines {
+    use Opcode::*;
+    let base = OpLines {
+        uses_rs1: op.reads_rs1(),
+        uses_rs2: op.reads_rs2(),
+        writes_reg: op.writes_reg(),
+        ..OpLines::default()
+    };
+    match op {
+        Nop => OpLines::default(),
+
+        // Loads: effective address = rs1 + sext16, alignment in ld_sel.
+        Lw | Lb | Lbu | Lh | Lhu => {
+            let mut l = base.alu_imm(ALU_ADD, IMM_SEXT16);
+            l.is_load = true;
+            l.wb_sel = WB_LMD;
+            l.ld_sel = match op {
+                Lw => LD_WORD,
+                Lb => LD_BYTE_S,
+                Lbu => LD_BYTE_Z,
+                Lh => LD_HALF_S,
+                Lhu => LD_HALF_Z,
+                _ => unreachable!(),
+            };
+            l
+        }
+
+        // Stores: same address path, alignment in st_sel.
+        Sw | Sh | Sb => {
+            let mut l = base.alu_imm(ALU_ADD, IMM_SEXT16);
+            l.is_store = true;
+            l.st_sel = match op {
+                Sw => ST_WORD,
+                Sh => ST_HALF,
+                Sb => ST_BYTE,
+                _ => unreachable!(),
+            };
+            l
+        }
+
+        // ALU immediates. Sign- vs zero-extension mirrors the ISA.
+        Addi => base.alu_imm(ALU_ADD, IMM_SEXT16),
+        Subi => base.alu_imm(ALU_SUB, IMM_SEXT16),
+        Addui => base.alu_imm(ALU_ADD, IMM_ZEXT16),
+        Subui => base.alu_imm(ALU_SUB, IMM_ZEXT16),
+        Andi => base.alu_imm(ALU_AND, IMM_ZEXT16),
+        Ori => base.alu_imm(ALU_OR, IMM_ZEXT16),
+        Xori => base.alu_imm(ALU_XOR, IMM_ZEXT16),
+        Slli => base.alu_imm(ALU_SLL, IMM_ZEXT16),
+        Srli => base.alu_imm(ALU_SRL, IMM_ZEXT16),
+        Srai => base.alu_imm(ALU_SRA, IMM_ZEXT16),
+        Seqi => base.alu_imm(ALU_SEQ, IMM_SEXT16),
+        Snei => base.alu_imm(ALU_SNE, IMM_SEXT16),
+        Slti => base.alu_imm(ALU_SLT, IMM_SEXT16),
+        Lhi => base.alu_imm(ALU_OR, IMM_LHI),
+
+        // Three-register ALU ops.
+        Add | Addu => base.alu_reg(ALU_ADD),
+        Sub | Subu => base.alu_reg(ALU_SUB),
+        And => base.alu_reg(ALU_AND),
+        Or => base.alu_reg(ALU_OR),
+        Xor => base.alu_reg(ALU_XOR),
+        Sll => base.alu_reg(ALU_SLL),
+        Srl => base.alu_reg(ALU_SRL),
+        Sra => base.alu_reg(ALU_SRA),
+        Seq => base.alu_reg(ALU_SEQ),
+        Sne => base.alu_reg(ALU_SNE),
+        Slt => base.alu_reg(ALU_SLT),
+        Sgt => base.alu_reg(ALU_SGT),
+        Sle => base.alu_reg(ALU_SLE),
+        Sge => base.alu_reg(ALU_SGE),
+
+        // Transfers. Branch displacement is sext16, jump displacement
+        // sext26; both add to the transfer's own pc+4 in EX.
+        Beqz => {
+            let mut l = base;
+            l.is_branch = true;
+            l.branch_on_zero = true;
+            l.imm_sel = IMM_SEXT16;
+            l
+        }
+        Bnez => {
+            let mut l = base;
+            l.is_branch = true;
+            l.imm_sel = IMM_SEXT16;
+            l
+        }
+        J => {
+            let mut l = base;
+            l.is_jimm = true;
+            l.imm_sel = IMM_SEXT26;
+            l
+        }
+        Jal => {
+            let mut l = base;
+            l.is_jimm = true;
+            l.imm_sel = IMM_SEXT26;
+            l.dest_sel = DEST_LINK;
+            l.wb_sel = WB_PC4;
+            l
+        }
+        Jr => {
+            let mut l = base;
+            l.is_jreg = true;
+            l
+        }
+        Jalr => {
+            let mut l = base;
+            l.is_jreg = true;
+            l.dest_sel = DEST_LINK;
+            l.wb_sel = WB_PC4;
+            l
+        }
+    }
+}
+
+/// A one-hot opcode recognizer: the AND of literals over the six opcode
+/// bits, plus the six function bits for major-zero (R-type) opcodes.
+pub fn recognizer(
+    b: &mut CtlBuilder,
+    ir_op: &[CtlNetId; 6],
+    ir_fn: &[CtlNetId; 6],
+    op: Opcode,
+) -> CtlNetId {
+    let major = op.major();
+    let mut terms = Vec::with_capacity(12);
+    for (i, &bit) in ir_op.iter().enumerate() {
+        if major >> i & 1 != 0 {
+            terms.push(bit);
+        } else {
+            terms.push(b.not(bit));
+        }
+    }
+    if let Some(func) = op.func() {
+        for (i, &bit) in ir_fn.iter().enumerate() {
+            if func >> i & 1 != 0 {
+                terms.push(bit);
+            } else {
+                terms.push(b.not(bit));
+            }
+        }
+    }
+    b.and(&terms)
+}
+
+/// The OR-plane accumulator: for each control line, the set of recognizer
+/// outputs that assert it.
+#[derive(Debug, Default)]
+pub struct OrPlanes {
+    planes: Vec<Vec<CtlNetId>>,
+}
+
+impl OrPlanes {
+    /// An empty plane per control line.
+    #[must_use]
+    pub fn new() -> Self {
+        OrPlanes {
+            planes: vec![Vec::new(); line::COUNT],
+        }
+    }
+
+    /// Adds opcode recognizer `is` to the plane of every line its row
+    /// asserts.
+    pub fn accumulate(&mut self, is: CtlNetId, row: &OpLines) {
+        for (plane, bit) in self.planes.iter_mut().zip(row.bits()) {
+            if bit {
+                plane.push(is);
+            }
+        }
+    }
+
+    /// Synthesizes the OR gates, returning one net per control line
+    /// (indexed by the [`line`] constants). Never-asserted lines become
+    /// constant zero.
+    #[must_use]
+    pub fn reduce(self, b: &mut CtlBuilder) -> Vec<CtlNetId> {
+        self.planes
+            .into_iter()
+            .map(|plane| {
+                if plane.is_empty() {
+                    b.const0()
+                } else {
+                    b.or(&plane)
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hltg_isa::instr::ALL_OPCODES;
+
+    #[test]
+    fn rows_agree_with_opcode_properties() {
+        for op in ALL_OPCODES {
+            let l = lines_for(op);
+            assert_eq!(l.is_load, op.is_load(), "{op:?} is_load");
+            assert_eq!(l.is_store, op.is_store(), "{op:?} is_store");
+            assert_eq!(l.is_branch, op.is_branch(), "{op:?} is_branch");
+            assert_eq!(l.is_jimm | l.is_jreg, op.is_jump(), "{op:?} is_jump");
+            assert_eq!(l.writes_reg, op.writes_reg(), "{op:?} writes_reg");
+            assert_eq!(l.uses_rs1, op.reads_rs1(), "{op:?} uses_rs1");
+            assert_eq!(l.uses_rs2, op.reads_rs2(), "{op:?} uses_rs2");
+            if l.is_load || l.is_store {
+                // Address path is always rs1 + sext16 through the adder.
+                assert_eq!(l.alu_op, ALU_ADD, "{op:?} address alu");
+                assert!(l.alu_b_imm, "{op:?} address uses immediate");
+                assert_eq!(l.imm_sel, IMM_SEXT16, "{op:?} address immediate");
+            }
+            if l.is_load {
+                assert_eq!(l.wb_sel, WB_LMD, "{op:?} writes back load data");
+            }
+            if l.dest_sel == DEST_LINK {
+                assert_eq!(l.wb_sel, WB_PC4, "{op:?} links pc+4");
+            }
+        }
+    }
+
+    #[test]
+    fn an_all_zero_word_decodes_inert() {
+        // The controller clears squashed instruction registers to zero, so
+        // no recognizer may fire on the all-zero word: every listed opcode
+        // must have a nonzero major or a nonzero function code.
+        for op in ALL_OPCODES {
+            assert!(
+                op.major() != 0 || op.func().unwrap_or(0) != 0,
+                "{op:?} would alias the bubble word"
+            );
+        }
+        assert_eq!(lines_for(Opcode::Nop), OpLines::default());
+    }
+
+    #[test]
+    fn signedness_of_immediates_matches_the_isa() {
+        for op in ALL_OPCODES {
+            let l = lines_for(op);
+            if l.alu_b_imm && !l.is_load && !l.is_store {
+                let signed = l.imm_sel == IMM_SEXT16 || l.imm_sel == IMM_SEXT26;
+                if l.imm_sel != IMM_LHI {
+                    assert_eq!(signed, op.imm_is_signed(), "{op:?} immediate signedness");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flattening_round_trips_the_selector_fields() {
+        let mut row = OpLines::default();
+        row.imm_sel = IMM_SEXT26;
+        row.dest_sel = DEST_LINK;
+        row.alu_op = ALU_SGE;
+        row.wb_sel = WB_PC4;
+        row.st_sel = ST_BYTE;
+        row.ld_sel = LD_HALF_Z;
+        let bits = row.bits();
+        assert!(bits[line::IMM0] && bits[line::IMM1]);
+        assert!(!bits[line::DEST0] && bits[line::DEST1]);
+        assert!(bits[line::ALU0] && !bits[line::ALU1] && bits[line::ALU2] && bits[line::ALU3]);
+        assert!(!bits[line::WB0] && bits[line::WB1]);
+        assert!(!bits[line::ST0] && bits[line::ST1]);
+        assert!(!bits[line::LD0] && !bits[line::LD1] && bits[line::LD2]);
+    }
+}

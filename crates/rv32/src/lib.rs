@@ -1,0 +1,73 @@
+//! RV32-style pipelined backends for the hltg campaign engines.
+//!
+//! Two variants of a RISC-style 32-bit pipeline over the shared
+//! instruction-word contract, both written in the typed netlist-builder
+//! DSL ([`hltg_netlist::builder`]):
+//!
+//! * **`rv32`** — five stages (`IF/ID/EX/MEM/WB`), branch-target redirect
+//!   from EX, a one-cycle load-use interlock, and a *cascaded* bypass
+//!   network: each ALU operand runs through a chain of 2-way muxes (one
+//!   per producer rank, nearest rank outermost), so producer priority is
+//!   structural and each select line is an independent tertiary signal.
+//! * **`rv32-7`** — seven stages (`IF1/IF2/ID/EX/MEM1/MEM2/WB`): a fetch
+//!   buffer that registers the fetched *word* (keeping the
+//!   instruction-memory read combinational from `pc`, as the generator's
+//!   CPI contract requires), and a memory access split across two stages
+//!   with the load merged into a single forwardable bus in MEM2. Built to
+//!   stress pipeframe scaling: taken transfers cost three squashed slots
+//!   and the bypass cascade grows a third rank.
+//!
+//! Unlike the original `hltg-dlx` backends, this crate never touches the
+//! raw netlist builders and has no dependency on `hltg-dlx`: the decode
+//! table is its own ([`decode`]), correctness is pinned by co-simulation
+//! against [`hltg_isa::ref_sim::ArchSim`], and the backends publish
+//! themselves via [`register_backends`] into
+//! [`hltg_netlist::registry`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod build;
+pub mod controller;
+pub mod datapath;
+pub mod decode;
+pub mod model;
+pub mod runner;
+
+pub use build::Rv32Design;
+pub use model::{register_backends, Rv32Model};
+
+/// Stage-index geometry shared by the datapath, controller and model.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Geom {
+    pub depth: usize,
+    pub id: u8,
+    pub ex: u8,
+    pub m1: u8,
+    /// Second memory stage; equals `m1` for the shallow variant (unused
+    /// there).
+    pub m2: u8,
+    pub wb: u8,
+}
+
+pub(crate) fn geom(deep: bool) -> Geom {
+    if deep {
+        Geom {
+            depth: 7,
+            id: 2,
+            ex: 3,
+            m1: 4,
+            m2: 5,
+            wb: 6,
+        }
+    } else {
+        Geom {
+            depth: 5,
+            id: 1,
+            ex: 2,
+            m1: 3,
+            m2: 3,
+            wb: 4,
+        }
+    }
+}

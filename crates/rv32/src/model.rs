@@ -1,0 +1,244 @@
+//! [`ProcessorModel`] implementations and backend registration.
+//!
+//! The pipeline descriptor is *derived from the geometry* rather than
+//! hand-written per variant: status-signal offsets follow directly from
+//! the stage indices (a comparator against the rank at stage *s* sees the
+//! instruction at pipeframe offset `-s`), so the same function describes
+//! both the five- and the seven-stage build.
+
+use crate::build::Rv32Design;
+use crate::geom;
+use hltg_netlist::model::{FieldSlot, PipelineDesc, ProcessorModel, StsDesc, StsKind};
+use hltg_netlist::registry::Backend;
+use hltg_netlist::Design;
+
+/// Registers this crate's backends — `rv32`, `rv32-7` — with the
+/// process-wide [`hltg_netlist::registry`]. Idempotent; call before
+/// resolving either name through the registry.
+pub fn register_backends() {
+    hltg_netlist::registry::register(Backend {
+        name: "rv32",
+        summary: "five-stage RISC-style pipeline, cascaded per-source bypass network",
+        build: || Box::new(Rv32Model::five_stage()),
+    });
+    hltg_netlist::registry::register(Backend {
+        name: "rv32-7",
+        summary: "seven-stage variant: buffered fetch, split two-stage memory access",
+        build: || Box::new(Rv32Model::seven_stage()),
+    });
+}
+
+/// An rv32 pipeline as a campaign target.
+#[derive(Debug, Clone)]
+pub struct Rv32Model {
+    rv: Rv32Design,
+    pipe: PipelineDesc,
+    name: &'static str,
+}
+
+impl Rv32Model {
+    /// The five-stage build (`"rv32"`).
+    #[must_use]
+    pub fn five_stage() -> Self {
+        Self::build(false)
+    }
+
+    /// The seven-stage build (`"rv32-7"`).
+    #[must_use]
+    pub fn seven_stage() -> Self {
+        Self::build(true)
+    }
+
+    fn build(deep: bool) -> Self {
+        let rv = Rv32Design::build(deep);
+        let pipe = rv32_pipeline(&rv, deep);
+        Rv32Model {
+            rv,
+            pipe,
+            name: if deep { "rv32-7" } else { "rv32" },
+        }
+    }
+
+    /// The wrapped design with its net handles.
+    #[must_use]
+    pub fn inner(&self) -> &Rv32Design {
+        &self.rv
+    }
+}
+
+impl ProcessorModel for Rv32Model {
+    fn name(&self) -> &str {
+        self.name
+    }
+    fn design(&self) -> &Design {
+        &self.rv.design
+    }
+    fn pipeline(&self) -> &PipelineDesc {
+        &self.pipe
+    }
+    fn data_width(&self) -> u32 {
+        32
+    }
+}
+
+/// Derives the pipeline descriptor from the stage geometry.
+///
+/// The STS vector is zipped positionally against the canonical handle
+/// order (hazard detectors, A-operand comparators nearest-first, B
+/// likewise, dest-nonzero predicates nearest-first, zero flag), so the
+/// kinds here must be generated in exactly that order.
+fn rv32_pipeline(rv: &Rv32Design, deep: bool) -> PipelineDesc {
+    let g = geom(deep);
+    let id = i32::from(g.id);
+    let ex = i32::from(g.ex);
+    // Forwarding source ranks, nearest first: MEM(+WB) shallow,
+    // MEM1/MEM2/WB deep.
+    let sources: Vec<i32> = if deep {
+        vec![i32::from(g.m1), i32::from(g.m2), i32::from(g.wb)]
+    } else {
+        vec![i32::from(g.m1), i32::from(g.wb)]
+    };
+
+    let mut kinds = vec![
+        StsKind::FieldEqDest {
+            slot: FieldSlot::Rs1,
+            consumer_off: -id,
+            producer_off: -ex,
+        },
+        StsKind::FieldEqDest {
+            slot: FieldSlot::Rs2,
+            consumer_off: -id,
+            producer_off: -ex,
+        },
+        StsKind::DestNz { producer_off: -ex },
+    ];
+    for slot in [FieldSlot::Rs1, FieldSlot::Rs2] {
+        for &s in &sources {
+            kinds.push(StsKind::FieldEqDest {
+                slot,
+                consumer_off: -ex,
+                producer_off: -s,
+            });
+        }
+    }
+    for &s in &sources {
+        kinds.push(StsKind::DestNz { producer_off: -s });
+    }
+    kinds.push(StsKind::AZero { ex_off: -ex });
+    assert_eq!(kinds.len(), rv.ctl.sts.len(), "STS kind table covers every bind");
+
+    PipelineDesc {
+        depth: g.depth,
+        id_stage: g.id as usize,
+        ex_stage: g.ex as usize,
+        mem_stage: g.m1 as usize,
+        wb_stage: g.wb as usize,
+        imem: rv.dp.imem,
+        dmem: rv.dp.dmem,
+        gpr: rv.dp.gpr,
+        instr: rv.dp.instr,
+        cpi_op: rv.ctl.cpi_op,
+        cpi_fn: rv.ctl.cpi_fn,
+        stall: Some(rv.ctl.stall),
+        squash: rv.ctl.squash,
+        pc_redirect: [rv.dp.c_pc_sel[0], rv.dp.c_pc_sel[1]],
+        wb_link: Some(rv.dp.wb_link),
+        byp_a: Some(rv.dp.byp_a),
+        byp_b: Some(rv.dp.byp_b),
+        b_raw: rv.dp.b_raw,
+        a_fwd: rv.dp.a_fwd,
+        pc_family: rv.dp.pc_family.clone(),
+        sts: rv
+            .ctl
+            .sts
+            .iter()
+            .zip(kinds)
+            .map(|(&net, kind)| StsDesc { net, kind })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hltg_netlist::Stage;
+
+    #[test]
+    fn registry_builds_both_backends() {
+        register_backends();
+        let names = hltg_netlist::registry::backend_names();
+        for name in ["rv32", "rv32-7"] {
+            assert!(names.contains(&name), "{name} not registered");
+            let m = hltg_netlist::registry::build_model(name).expect("registered backend builds");
+            assert_eq!(m.name(), name);
+            assert!(m.design().validate().is_ok());
+            assert_eq!(m.pipeline().sts.len(), m.design().sts_binds.len());
+        }
+    }
+
+    #[test]
+    fn shallow_geometry_matches_the_classic_five_stage_shape() {
+        let m = Rv32Model::five_stage();
+        let p = m.pipeline();
+        assert_eq!(
+            (p.depth, p.id_stage, p.ex_stage, p.mem_stage, p.wb_stage),
+            (5, 1, 2, 3, 4)
+        );
+        assert_eq!(
+            m.error_stages(),
+            vec![Stage::new(2), Stage::new(3), Stage::new(4)]
+        );
+        assert_eq!(m.stage_label(&m.error_stages()), "EX/MEM/WB");
+        assert_eq!(p.pc_family.len(), 8);
+    }
+
+    #[test]
+    fn deep_geometry_spans_seven_stages() {
+        let m = Rv32Model::seven_stage();
+        let p = m.pipeline();
+        assert_eq!(
+            (p.depth, p.id_stage, p.ex_stage, p.mem_stage, p.wb_stage),
+            (7, 2, 3, 4, 6)
+        );
+        assert_eq!(m.error_stages().len(), 4); // EX, MEM1, MEM2, WB
+        assert_eq!(p.pc_family.len(), 10);
+        assert!(p.stall.is_some());
+    }
+
+    #[test]
+    fn sts_offsets_follow_the_geometry() {
+        // Shallow: identical offset table to the classic DLX build.
+        let m = Rv32Model::five_stage();
+        let offs: Vec<_> = m
+            .pipeline()
+            .sts
+            .iter()
+            .map(|d| match d.kind {
+                StsKind::FieldEqDest { producer_off, .. } | StsKind::DestNz { producer_off } => {
+                    producer_off
+                }
+                StsKind::AZero { ex_off } => ex_off,
+            })
+            .collect();
+        assert_eq!(offs, vec![-2, -2, -2, -3, -4, -3, -4, -3, -4, -2]);
+
+        // Deep: one more source rank, everything shifted by the longer
+        // front end.
+        let m7 = Rv32Model::seven_stage();
+        let offs7: Vec<_> = m7
+            .pipeline()
+            .sts
+            .iter()
+            .map(|d| match d.kind {
+                StsKind::FieldEqDest { producer_off, .. } | StsKind::DestNz { producer_off } => {
+                    producer_off
+                }
+                StsKind::AZero { ex_off } => ex_off,
+            })
+            .collect();
+        assert_eq!(
+            offs7,
+            vec![-3, -3, -3, -4, -5, -6, -4, -5, -6, -4, -5, -6, -3]
+        );
+    }
+}

@@ -1,0 +1,161 @@
+//! Helpers for running programs on an rv32 machine.
+
+use crate::build::Rv32Design;
+use hltg_isa::asm::Program;
+use hltg_isa::Reg;
+use hltg_netlist::dp::ArchKind;
+use hltg_sim::{Machine, Schedule, SimError};
+
+/// Architectural results extracted from a machine after a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunResult {
+    /// Final register-file contents.
+    pub regs: Vec<u64>,
+    /// Final data-memory contents `(word_addr, value)`, sorted.
+    pub dmem: Vec<(u64, u64)>,
+    /// PC value at each cycle (the fetch stream).
+    pub pc_trace: Vec<u64>,
+    /// Cycles executed.
+    pub cycles: u64,
+}
+
+impl RunResult {
+    /// Final value of a register.
+    #[must_use]
+    pub fn reg(&self, r: Reg) -> u64 {
+        if r.0 == 0 {
+            0
+        } else {
+            self.regs[r.0 as usize]
+        }
+    }
+
+    /// Final value of the data-memory word containing `byte_addr`.
+    #[must_use]
+    pub fn mem_word(&self, byte_addr: u64) -> u64 {
+        let w = byte_addr / 4;
+        self.dmem
+            .iter()
+            .find(|&&(a, _)| a == w)
+            .map(|&(_, v)| v)
+            .unwrap_or(0)
+    }
+}
+
+/// Creates a machine for the design and loads `program` into instruction
+/// memory.
+///
+/// # Errors
+///
+/// Returns [`SimError`] if the design cannot be levelized (cannot happen
+/// for the stock builds; the error path exists for modified designs).
+pub fn machine_with_program<'d>(
+    rv: &'d Rv32Design,
+    program: &Program,
+) -> Result<Machine<'d>, SimError> {
+    let mut m = Machine::new(&rv.design)?;
+    load_program(rv, &mut m, program);
+    Ok(m)
+}
+
+/// Loads `program` into the instruction memory of an existing machine.
+///
+/// # Panics
+///
+/// Panics if the program base is not word-aligned.
+pub fn load_program(rv: &Rv32Design, machine: &mut Machine<'_>, program: &Program) {
+    assert_eq!(program.base % 4, 0, "program base must be word-aligned");
+    for (i, word) in program.encode().into_iter().enumerate() {
+        machine.preload_mem(rv.dp.imem, (program.base / 4) as u64 + i as u64, u64::from(word));
+    }
+}
+
+/// Extracts the architectural result view from a machine.
+///
+/// # Panics
+///
+/// Panics only on internal inconsistencies (wrong arch kinds).
+#[must_use]
+pub fn extract_result(rv: &Rv32Design, machine: &Machine<'_>, pc_trace: Vec<u64>) -> RunResult {
+    let regs = match &machine.state().archs[rv.dp.gpr.0 as usize] {
+        hltg_sim::machine::ArchState::RegFile { regs } => regs.clone(),
+        _ => unreachable!("gpr is a register file"),
+    };
+    let mut dmem: Vec<(u64, u64)> = match &machine.state().archs[rv.dp.dmem.0 as usize] {
+        hltg_sim::machine::ArchState::Mem { words } => {
+            words.iter().map(|(&a, &v)| (a, v)).collect()
+        }
+        _ => unreachable!("dmem is a memory"),
+    };
+    dmem.sort_unstable();
+    let count = match rv.design.dp.arch(rv.dp.gpr).kind {
+        ArchKind::RegFile { count, .. } => count,
+        _ => unreachable!(),
+    };
+    debug_assert_eq!(regs.len(), count as usize);
+    RunResult {
+        regs,
+        dmem,
+        cycles: machine.cycle(),
+        pc_trace,
+    }
+}
+
+/// Builds a machine, runs `program` for `cycles` clock cycles, and
+/// returns the architectural results.
+///
+/// # Panics
+///
+/// Panics if the design cannot be levelized (internal bug).
+#[must_use]
+pub fn run_program(rv: &Rv32Design, program: &Program, cycles: u64) -> RunResult {
+    let schedule = Schedule::build(&rv.design).expect("rv32 levelizes");
+    let mut m = Machine::with_schedule(&rv.design, schedule);
+    load_program(rv, &mut m, program);
+    let mut pc_trace = Vec::with_capacity(cycles as usize);
+    for _ in 0..cycles {
+        m.step();
+        // The settle happens inside the step: sample afterwards so entry
+        // k is the fetch address of cycle k.
+        pc_trace.push(m.dp_value(rv.dp.pc));
+    }
+    extract_result(rv, &m, pc_trace)
+}
+
+/// Number of cycles that comfortably covers a straight-line program of
+/// `n` instructions on either variant (fill + drain + stalls + squash
+/// margin for the seven-stage pipe).
+#[must_use]
+pub fn cycles_for(n: usize) -> u64 {
+    (2 * n + 24) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hltg_isa::asm::assemble;
+
+    #[test]
+    fn straight_line_arithmetic_on_both_variants() {
+        for deep in [false, true] {
+            let rv = Rv32Design::build(deep);
+            let p = assemble(
+                0,
+                "
+                addi r1, r0, 5
+                addi r2, r0, 7
+                nop
+                nop
+                nop
+                nop
+                add  r3, r1, r2
+                ",
+            )
+            .unwrap();
+            let r = run_program(&rv, &p, cycles_for(p.len()));
+            assert_eq!(r.reg(Reg(1)), 5, "deep={deep}");
+            assert_eq!(r.reg(Reg(2)), 7, "deep={deep}");
+            assert_eq!(r.reg(Reg(3)), 12, "deep={deep}");
+        }
+    }
+}

@@ -1,0 +1,425 @@
+//! Co-simulation of both rv32 pipeline variants against the
+//! architectural reference simulator.
+//!
+//! Every test runs the same program on the five-stage *and* the
+//! seven-stage build and compares final register-file and data-memory
+//! state against [`ArchSim`]. The deep variant pays three squashed slots
+//! per taken transfer and an extra fill/drain margin, so the pipeline
+//! cycle budget is wider than the classic DLX suite's.
+
+use hltg_core::SplitMix64;
+use hltg_isa::asm::{assemble, Program};
+use hltg_isa::ref_sim::ArchSim;
+use hltg_isa::{Instr, Opcode, Reg};
+use hltg_rv32::{runner, Rv32Design};
+
+/// Runs `program` on the reference simulator and on `rv`, then asserts
+/// equal architectural state. `arch_steps` bounds the reference run; the
+/// pipeline budget covers the seven-stage fill, stalls, and squashes.
+fn cosim(rv: &Rv32Design, program: &Program, arch_steps: usize) {
+    let mut spec = ArchSim::new();
+    spec.load_program(program.base, &program.encode());
+    spec.run(arch_steps);
+
+    let result = runner::run_program(rv, program, (4 * arch_steps + 32) as u64);
+
+    let variant = if rv.deep { "rv32-7" } else { "rv32" };
+    for r in 0..32u8 {
+        assert_eq!(
+            result.reg(Reg(r)),
+            spec.reg(Reg(r)) as u64,
+            "[{variant}] r{r} mismatch\nprogram:\n{}",
+            program.listing()
+        );
+    }
+    for &(word_addr, value) in &result.dmem {
+        assert_eq!(
+            value,
+            spec.mem_word(word_addr as u32 * 4) as u64,
+            "[{variant}] dmem[{word_addr:#x}] mismatch\nprogram:\n{}",
+            program.listing()
+        );
+    }
+}
+
+/// Runs an assembly program through [`cosim`] on both variants.
+fn cosim_asm_both(text: &str) {
+    let p = assemble(0, text).expect("valid assembly");
+    for deep in [false, true] {
+        let rv = Rv32Design::build(deep);
+        cosim(&rv, &p, p.len() * 8 + 16);
+    }
+}
+
+#[test]
+fn forwarding_chain_every_distance() {
+    cosim_asm_both(
+        "
+        addi r1, r0, 11
+        add  r2, r1, r1   ; distance 1: nearest-rank bypass
+        add  r3, r2, r1   ; distances 1 and 2
+        add  r4, r3, r2   ; distances 1 and 2
+        add  r5, r4, r1   ; distances 1 and 4
+        add  r6, r1, r1   ; distance 5: plain regfile read on both variants
+        sub  r7, r6, r3
+        ",
+    );
+}
+
+#[test]
+fn producer_at_each_pipeline_rank() {
+    // NOP spacing walks the producer through every forwarding rank (and,
+    // on the deep variant, through MEM1, MEM2, WB and the write-through
+    // path) before the consumer reads it.
+    for gap in 0..6 {
+        let mut text = String::from("        addi r1, r0, 9\n");
+        for _ in 0..gap {
+            text.push_str("        nop\n");
+        }
+        text.push_str("        add  r2, r1, r1\n");
+        cosim_asm_both(&text);
+    }
+}
+
+#[test]
+fn load_use_interlock() {
+    cosim_asm_both(
+        "
+        addi r1, r0, 0x77
+        sw   r1, 0x40(r0)
+        lw   r2, 0x40(r0)
+        add  r3, r2, r2   ; immediate use of load: needs the stall
+        lw   r4, 0x40(r0)
+        sw   r4, 0x44(r0) ; store of just-loaded value
+        ",
+    );
+}
+
+#[test]
+fn load_then_use_at_each_distance() {
+    for gap in 0..5 {
+        let mut text = String::from(
+            "        addi r1, r0, 0x5a\n        sw   r1, 0x60(r0)\n        lw   r2, 0x60(r0)\n",
+        );
+        for _ in 0..gap {
+            text.push_str("        nop\n");
+        }
+        text.push_str("        addi r3, r2, 1\n");
+        cosim_asm_both(&text);
+    }
+}
+
+#[test]
+fn branch_taken_squashes_wrong_path() {
+    cosim_asm_both(
+        "
+        addi r1, r0, 1
+        beqz r0, skip     ; always taken
+        addi r2, r0, 99   ; wrong path: must be squashed
+        addi r3, r0, 99   ; wrong path: must be squashed
+        addi r4, r0, 99   ; third wrong-path slot (deep variant)
+    skip:
+        addi r5, r0, 7
+        ",
+    );
+}
+
+#[test]
+fn branch_not_taken_falls_through() {
+    cosim_asm_both(
+        "
+        addi r1, r0, 1
+        bnez r0, away     ; never taken
+        addi r2, r0, 5
+        addi r3, r0, 6
+    away:
+        addi r4, r0, 7
+        ",
+    );
+}
+
+#[test]
+fn branch_condition_uses_forwarded_value() {
+    cosim_asm_both(
+        "
+        addi r1, r0, 1
+        subi r1, r1, 1    ; r1 becomes 0 right before the branch reads it
+        beqz r1, yes
+        addi r2, r0, 99
+    yes:
+        addi r3, r0, 3
+        ",
+    );
+}
+
+#[test]
+fn back_to_back_branches() {
+    cosim_asm_both(
+        "
+        addi r1, r0, 2
+        bnez r1, one      ; taken
+        addi r2, r0, 99
+    one:
+        beqz r0, two      ; taken again immediately after the redirect
+        addi r3, r0, 99
+    two:
+        addi r4, r0, 4
+        ",
+    );
+}
+
+#[test]
+fn countdown_loop() {
+    cosim_asm_both(
+        "
+        addi r1, r0, 4
+        addi r2, r0, 0
+    top:
+        add  r2, r2, r1
+        subi r1, r1, 1
+        bnez r1, top
+        sw   r2, 0x100(r0)  ; 4+3+2+1 = 10
+        ",
+    );
+}
+
+#[test]
+fn jal_jr_link_and_return() {
+    cosim_asm_both(
+        "
+        jal  sub            ; r31 <- 4
+        addi r1, r0, 1      ; executed after return
+        j    end
+    sub:
+        addi r2, r0, 2
+        jr   r31
+        addi r9, r0, 99     ; wrong path: squashed
+    end:
+        addi r3, r0, 3
+        ",
+    );
+}
+
+#[test]
+fn jalr_links() {
+    cosim_asm_both(
+        "
+        addi r1, r0, 16
+        nop
+        nop
+        jalr r1            ; to byte 16, r31 <- 12
+        addi r2, r0, 99    ; squashed
+        addi r3, r0, 3     ; at byte 16
+        add  r4, r31, r0
+        ",
+    );
+}
+
+#[test]
+fn jr_target_is_forwarded() {
+    // The jump-register target is produced by the immediately preceding
+    // instruction: the redirect address must see the bypassed value.
+    cosim_asm_both(
+        "
+        addi r1, r0, 8
+        addi r1, r1, 8     ; r1 = 16, still in flight when jr reads it
+        jr   r1
+        addi r2, r0, 99    ; squashed
+        addi r3, r0, 3     ; at byte 16 (wait: jr at 8... target 16)
+        addi r4, r0, 4
+        ",
+    );
+}
+
+#[test]
+fn byte_and_half_memory_ops() {
+    cosim_asm_both(
+        "
+        lhi  r1, 0x1234
+        ori  r1, r1, 0x5678
+        sw   r1, 0x200(r0)
+        sb   r1, 0x205(r0)
+        sh   r1, 0x20a(r0)
+        lb   r2, 0x200(r0)
+        lbu  r3, 0x201(r0)
+        lh   r4, 0x202(r0)
+        lhu  r5, 0x205(r0)
+        lw   r6, 0x204(r0)
+        ",
+    );
+}
+
+#[test]
+fn set_instructions_signed_comparisons() {
+    cosim_asm_both(
+        "
+        addi r1, r0, -5
+        addi r2, r0, 3
+        slt  r3, r1, r2
+        sgt  r4, r1, r2
+        sle  r5, r1, r1
+        sge  r6, r2, r1
+        seq  r7, r1, r1
+        sne  r8, r1, r2
+        slti r9, r1, -4
+        seqi r10, r2, 3
+        ",
+    );
+}
+
+#[test]
+fn shifts_and_logic() {
+    cosim_asm_both(
+        "
+        lhi  r1, 0x8000
+        ori  r2, r0, 5
+        sra  r3, r1, r2
+        srl  r4, r1, r2
+        sll  r5, r2, r2
+        srai r6, r1, 31
+        srli r7, r1, 31
+        slli r8, r2, 3
+        andi r9, r1, 0xffff
+        xori r10, r2, 0xff
+        ",
+    );
+}
+
+#[test]
+fn store_data_forwarding() {
+    cosim_asm_both(
+        "
+        addi r1, r0, 0x2a
+        sw   r1, 0x80(r0)   ; store data produced 1 cycle earlier
+        addi r2, r0, 0x2b
+        nop
+        sw   r2, 0x84(r0)   ; distance 2
+        addi r3, r0, 0x2c
+        nop
+        nop
+        sw   r3, 0x88(r0)   ; distance 3
+        ",
+    );
+}
+
+#[test]
+fn r0_writes_are_discarded_in_pipeline() {
+    cosim_asm_both(
+        "
+        addi r0, r0, 77     ; must not change r0
+        add  r1, r0, r0
+        lw   r2, 0(r0)
+        addi r3, r2, 1
+        ",
+    );
+}
+
+/// Randomized co-simulation: hazard-dense register reuse over a small
+/// register window, plus loads/stores to a small scratch region and
+/// occasional forward branches. Same seed and shape as the DLX suite so
+/// a failure here isolates the backend, not the program distribution.
+#[test]
+fn random_cosim_hazard_dense() {
+    let shallow = Rv32Design::build(false);
+    let deep = Rv32Design::build(true);
+    let mut rng = SplitMix64::seed_from_u64(0xD1_5EED);
+    for _trial in 0..40 {
+        let p = random_program(&mut rng, 24);
+        let steps = p.len() * 4 + 16;
+        cosim(&shallow, &p, steps);
+        cosim(&deep, &p, steps);
+    }
+}
+
+fn random_program(rng: &mut SplitMix64, len: usize) -> Program {
+    let mut p = Program::new();
+    let reg = |rng: &mut SplitMix64| Reg(rng.gen_range(0..6) as u8); // dense reuse, incl. r0
+    for i in 0..len {
+        let remaining = len - i;
+        let pick = rng.gen_range(0..100);
+        let instr = if pick < 35 {
+            let ops = [
+                Opcode::Add,
+                Opcode::Sub,
+                Opcode::And,
+                Opcode::Or,
+                Opcode::Xor,
+                Opcode::Sll,
+                Opcode::Srl,
+                Opcode::Sra,
+                Opcode::Slt,
+                Opcode::Sgt,
+                Opcode::Seq,
+                Opcode::Sne,
+                Opcode::Sle,
+                Opcode::Sge,
+            ];
+            let op = ops[rng.gen_index(ops.len())];
+            Instr {
+                op,
+                rd: reg(rng),
+                rs1: reg(rng),
+                rs2: reg(rng),
+                imm: 0,
+            }
+        } else if pick < 60 {
+            let ops = [
+                Opcode::Addi,
+                Opcode::Addui,
+                Opcode::Subi,
+                Opcode::Andi,
+                Opcode::Ori,
+                Opcode::Xori,
+                Opcode::Slti,
+                Opcode::Seqi,
+                Opcode::Snei,
+            ];
+            let op = ops[rng.gen_index(ops.len())];
+            let imm = if op.imm_is_signed() {
+                rng.gen_range_i64(-128..128) as i32
+            } else {
+                rng.gen_range(0..256) as i32
+            };
+            Instr {
+                op,
+                rd: reg(rng),
+                rs1: reg(rng),
+                rs2: Reg(0),
+                imm,
+            }
+        } else if pick < 70 {
+            Instr::lhi(reg(rng), rng.gen_range(0..0x10000) as i32)
+        } else if pick < 82 {
+            let ops = [Opcode::Lw, Opcode::Lb, Opcode::Lbu, Opcode::Lh, Opcode::Lhu];
+            let op = ops[rng.gen_index(ops.len())];
+            let align = match op {
+                Opcode::Lw => !3,
+                Opcode::Lh | Opcode::Lhu => !1,
+                _ => !0,
+            };
+            Instr::load(op, reg(rng), Reg(0), (0x100 + rng.gen_range(0..64) as i32) & align)
+        } else if pick < 92 {
+            let ops = [Opcode::Sw, Opcode::Sh, Opcode::Sb];
+            let op = ops[rng.gen_index(ops.len())];
+            let align = match op {
+                Opcode::Sw => !3,
+                Opcode::Sh => !1,
+                _ => !0,
+            };
+            Instr::store(op, Reg(0), (0x100 + rng.gen_range(0..64) as i32) & align, reg(rng))
+        } else if remaining > 3 {
+            let hi = 3.min(remaining as i64 - 1);
+            let skip = rng.gen_range_i64(1..hi + 1) as i32;
+            let off = skip * 4;
+            if rng.gen_bool(0.5) {
+                Instr::beqz(reg(rng), off)
+            } else {
+                Instr::bnez(reg(rng), off)
+            }
+        } else {
+            Instr::nop()
+        };
+        p.push(instr);
+    }
+    p
+}

@@ -8,7 +8,7 @@
 //! `check.sh` soak smoke.
 
 use hltg_core::{Campaign, RunOptions};
-use hltg_dlx::build_model;
+use hltg_serve::build_model;
 use hltg_serve::{serve_lines, ChaosSpec, Event, JobSpec, ServeConfig, Service, Verdict};
 use std::path::PathBuf;
 use std::time::Duration;

@@ -49,3 +49,14 @@ pub use protocol::{
 };
 pub use queue::DoneInfo;
 pub use supervisor::{ServeConfig, Service};
+
+/// Resolves a job's `design` name to a fresh model through the
+/// process-wide [`hltg_netlist::registry`], after registering every
+/// workspace backend (`dlx`, `dlx16`, `dlx-lite`, `rv32`, `rv32-7`).
+/// Returns `None` for a name no backend registered.
+#[must_use]
+pub fn build_model(name: &str) -> Option<Box<dyn hltg_netlist::ProcessorModel>> {
+    hltg_dlx::register_backends();
+    hltg_rv32::register_backends();
+    hltg_netlist::registry::build_model(name)
+}

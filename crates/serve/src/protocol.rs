@@ -159,7 +159,7 @@ pub struct JobSpec {
     /// with the same name and an equivalent config reuses the job's
     /// spool checkpoint, so a killed service picks up where it left off.
     pub name: String,
-    /// Registered backend name (`hltg_dlx::build_model`).
+    /// Registered backend name, resolved through [`crate::build_model`].
     pub design: String,
     /// Cap on the number of targeted errors.
     pub limit: Option<usize>,

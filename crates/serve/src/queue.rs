@@ -15,7 +15,7 @@
 use crate::protocol::{ChaosSpec, JobSpec, Verdict};
 use hltg_core::rng::SplitMix64;
 use hltg_core::{Campaign, CampaignConfig, CheckpointLog};
-use hltg_dlx::build_model;
+use crate::build_model;
 use std::ops::Range;
 use std::path::PathBuf;
 use std::sync::atomic::AtomicBool;

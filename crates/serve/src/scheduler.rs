@@ -32,7 +32,7 @@ use hltg_core::{
     Campaign, CampaignConfig, CampaignReport, CheckpointLog, ErrorRecord, Outcome, RunOptions,
     ShardControl, ShardObserver,
 };
-use hltg_dlx::build_model;
+use crate::build_model;
 use std::collections::BTreeMap;
 use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};

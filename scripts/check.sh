@@ -169,12 +169,18 @@ echo "== bench gate (bench_diff self-test + committed baselines)"
 ./target/release/bench_diff --fresh crates/bench/baselines > /dev/null
 
 echo "== backend smoke (4-error campaign on every registered design)"
-# Every backend in the hltg_dlx registry must run a small campaign end
-# to end through the same generic driver, and `--design dlx` must be the
-# default. The classic design doubles as the flag/default equivalence
-# check.
+# Every backend in the process-wide registry must run a small campaign
+# end to end through the same generic driver, and `--design dlx` must be
+# the default. The list comes from `--list-designs`, so a newly
+# registered backend is smoked here with no script change. The classic
+# design doubles as the flag/default equivalence check.
+designs="$(./target/release/table1 --list-designs)"
+echo "$designs" | grep -qx "dlx" || {
+    echo "--list-designs does not include the default design" >&2
+    exit 1
+}
 ./target/release/table1 4 --threads 2 --json > target/design_default.json
-for design in dlx dlx16 dlx-lite; do
+for design in $designs; do
     ./target/release/table1 4 --threads 2 --design "$design" \
         --metrics-out "target/design_${design}_metrics.jsonl" \
         --json > "target/design_${design}.json"

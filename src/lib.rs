@@ -14,6 +14,8 @@
 //!   reference simulator;
 //! * [`dlx`] — the five-stage pipelined DLX test vehicle (stall, squash,
 //!   bypass);
+//! * [`rv32`] — RISC-style five- and seven-stage pipelines written in
+//!   the typed netlist-builder DSL ([`netlist::builder`]);
 //! * [`errors`] — the bus single-stuck-line (bus SSL) design-error model;
 //! * [`core`] — the three-part test generation algorithm: `DPTRACE` path
 //!   selection, `DPRELAX` discrete relaxation and `CTRLJUST` controller
@@ -22,10 +24,11 @@
 //!   a shared worker pool with heartbeat supervision and
 //!   kill-and-respawn, checkpoint-backed resume and chaos soak testing.
 //!
-//! Every engine is generic over [`prelude::ProcessorModel`]: the classic
-//! DLX, its 16-bit-datapath variant and the merged-EX/MEM `dlx-lite`
-//! pipeline all ship in [`dlx`], registered under stable names in
-//! [`dlx::BACKENDS`] and built by [`dlx::build_model`].
+//! Every engine is generic over [`prelude::ProcessorModel`]. Backends
+//! publish themselves into the process-wide [`netlist::registry`] under
+//! stable names: `dlx`, `dlx16` and `dlx-lite` from [`dlx`], `rv32` and
+//! `rv32-7` from [`rv32`]. [`build_model`] registers every workspace
+//! backend and resolves a name in one call.
 //!
 //! # Quick start
 //!
@@ -66,8 +69,27 @@ pub use hltg_dlx as dlx;
 pub use hltg_errors as errors;
 pub use hltg_isa as isa;
 pub use hltg_netlist as netlist;
+pub use hltg_rv32 as rv32;
 pub use hltg_serve as serve;
 pub use hltg_sim as sim;
+
+/// Registers every workspace backend (`dlx`, `dlx16`, `dlx-lite`,
+/// `rv32`, `rv32-7`) with the process-wide [`netlist::registry`].
+/// Idempotent.
+pub fn register_backends() {
+    hltg_dlx::register_backends();
+    hltg_rv32::register_backends();
+}
+
+/// Builds the backend registered under `name`, or `None` for an unknown
+/// name. Calls [`register_backends`] first, so every workspace design is
+/// resolvable without further setup; externally-registered backends
+/// resolve too.
+#[must_use]
+pub fn build_model(name: &str) -> Option<Box<dyn netlist::ProcessorModel>> {
+    register_backends();
+    netlist::registry::build_model(name)
+}
 
 /// The stable public surface in one import.
 ///
@@ -85,6 +107,11 @@ pub mod prelude {
         CampaignStats, ConfigError, FlightRecorder, MetricsTimeline, Outcome, Probe,
         RetryPolicy, RunOptions, TestGenerator, TgConfig,
     };
-    pub use hltg_dlx::{build_model, DlxModel, LiteModel, BACKENDS};
-    pub use hltg_netlist::{PipelineDesc, ProcessorModel, Stage};
+    pub use crate::{build_model, register_backends};
+    pub use hltg_dlx::{DlxModel, LiteModel};
+    pub use hltg_netlist::registry::{backend_names, backends, is_registered, Backend};
+    pub use hltg_netlist::{
+        BuildError, DpDsl, PipelineDesc, ProcessorModel, Signal, Stage, StageDsl,
+    };
+    pub use hltg_rv32::Rv32Model;
 }

@@ -18,7 +18,8 @@ fn config_at(model: &dyn ProcessorModel, num_threads: usize) -> CampaignConfig {
 
 #[test]
 fn every_backend_is_thread_count_deterministic() {
-    for &name in BACKENDS {
+    register_backends();
+    for name in backend_names() {
         let model = build_model(name).expect("registered backend");
         let model = model.as_ref();
         let reference = Campaign::run(model, &config_at(model, 1), RunOptions::default());
@@ -38,7 +39,7 @@ fn every_backend_is_thread_count_deterministic() {
 
 #[test]
 fn width_and_depth_variants_report_their_own_table1() {
-    for name in ["dlx16", "dlx-lite"] {
+    for name in ["dlx16", "dlx-lite", "rv32", "rv32-7"] {
         let model = build_model(name).expect("registered backend");
         let model = model.as_ref();
         let campaign = Campaign::run(model, &config_at(model, 1), RunOptions::default()).campaign;
@@ -68,12 +69,16 @@ fn checkpoints_are_design_keyed() {
         checkpoint: Some(path.clone()),
         ..config_at(model, 1)
     };
-    // The v3 fingerprint distinguishes every backend pair.
+    // The fingerprint distinguishes every backend pair.
     let fp = |m: &dyn ProcessorModel| Campaign::checkpoint_fingerprint(m, &with_ckpt(m));
     let dlx16 = build_model("dlx16").expect("registered backend");
+    let rv32 = build_model("rv32").expect("registered backend");
+    let rv32_7 = build_model("rv32-7").expect("registered backend");
     assert_ne!(fp(dlx.as_ref()), fp(lite.as_ref()));
     assert_ne!(fp(dlx.as_ref()), fp(dlx16.as_ref()));
     assert_ne!(fp(dlx16.as_ref()), fp(lite.as_ref()));
+    assert_ne!(fp(rv32.as_ref()), fp(rv32_7.as_ref()));
+    assert_ne!(fp(dlx.as_ref()), fp(rv32.as_ref()));
 
     // Write a checkpoint under the classic design...
     let first = Campaign::run(dlx.as_ref(), &with_ckpt(dlx.as_ref()), RunOptions::default());
@@ -87,4 +92,64 @@ fn checkpoints_are_design_keyed() {
         Campaign::run(lite.as_ref(), &config_at(lite.as_ref(), 1), RunOptions::default()).campaign;
     assert_eq!(stats_sans_time(&resumed), stats_sans_time(&plain));
     let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn rv32_depth_variants_refuse_each_others_checkpoints() {
+    let path = std::env::temp_dir().join("hltg_cross_design_rv32_ckpt.jsonl");
+    let _ = std::fs::remove_file(&path);
+    let shallow = build_model("rv32").expect("registered backend");
+    let deep = build_model("rv32-7").expect("registered backend");
+    let with_ckpt = |model: &dyn ProcessorModel| CampaignConfig {
+        checkpoint: Some(path.clone()),
+        ..config_at(model, 1)
+    };
+    // Write a checkpoint under the five-stage build...
+    let first = Campaign::run(
+        shallow.as_ref(),
+        &with_ckpt(shallow.as_ref()),
+        RunOptions::default(),
+    );
+    assert_eq!(first.report.stats.errors, 8);
+    assert!(path.exists(), "checkpoint file written");
+    // ...then resume under the seven-stage build: the foreign file is
+    // refused, not mixed in — the run matches an unpersisted rv32-7
+    // campaign.
+    let resumed = Campaign::run(deep.as_ref(), &with_ckpt(deep.as_ref()), RunOptions::default())
+        .campaign;
+    let plain = Campaign::run(
+        deep.as_ref(),
+        &config_at(deep.as_ref(), 1),
+        RunOptions::default(),
+    )
+    .campaign;
+    assert_eq!(stats_sans_time(&resumed), stats_sans_time(&plain));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn rv32_packed_screening_matches_serial_verdicts() {
+    // The fault-parallel (packed) screening passes must not change any
+    // verdict: an rv32 campaign with packed screening on and off produces
+    // the identical deterministic report (only throughput counters move,
+    // and those are excluded from the deterministic serialization).
+    for name in ["rv32", "rv32-7"] {
+        let model = build_model(name).expect("registered backend");
+        let model = model.as_ref();
+        let run_with = |packed: bool| {
+            let config = CampaignConfig {
+                error_simulation: true,
+                packed_screen: packed,
+                ..config_at(model, 1)
+            };
+            Campaign::run(model, &config, RunOptions::default())
+                .report
+                .to_json_deterministic()
+        };
+        assert_eq!(
+            run_with(true),
+            run_with(false),
+            "{name}: packed screening changed a verdict"
+        );
+    }
 }

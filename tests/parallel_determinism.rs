@@ -221,7 +221,7 @@ fn packed_screen_is_invariant_under_chaos_and_retries() {
 /// reclassifying aborted errors — detections are untouched.
 #[test]
 fn prover_is_thread_invariant() {
-    let lite = hltg::dlx::build_model("dlx-lite").expect("registered backend");
+    let lite = hltg::build_model("dlx-lite").expect("registered backend");
     let config_at = |num_threads, prove: bool| CampaignConfig {
         limit: Some(67),
         prove_untestable: prove,

@@ -6,7 +6,7 @@
 
 use hltg::core::tg::Outcome;
 use hltg::core::{Campaign, CampaignConfig, RetryPolicy, RunOptions};
-use hltg::dlx::build_model;
+use hltg::build_model;
 use hltg::sim::{Machine, Schedule};
 
 #[test]

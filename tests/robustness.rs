@@ -8,7 +8,8 @@ use hltg::core::{
     AbortReason, Campaign, CampaignConfig, CampaignStats, ChaosConfig, Outcome, Phase,
     RunOptions, TestGenerator, TgConfig,
 };
-use hltg::dlx::{build_model, DlxDesign, DlxModel};
+use hltg::build_model;
+use hltg::dlx::{DlxDesign, DlxModel};
 use hltg::errors::{
     enumerate_bus_order_errors, enumerate_module_substitutions, enumerate_stage_errors,
     EnumPolicy,

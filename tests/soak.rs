@@ -11,7 +11,7 @@
 //! with partial results instead of hanging the service.
 
 use hltg::core::{Campaign, RunOptions};
-use hltg::dlx::build_model;
+use hltg::build_model;
 use hltg::serve::{
     extract_report, serve_lines, ChaosSpec, Client, Event, JobSpec, ServeConfig, Service, Verdict,
 };
